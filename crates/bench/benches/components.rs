@@ -1,0 +1,167 @@
+//! Criterion microbenchmarks for the substrate components: simulator
+//! throughput, critical-path extraction, list scheduling, predictors and
+//! caches.
+
+use ccs_critpath::{analyze, analyze_slack};
+use ccs_isa::{ClusterLayout, MachineConfig, MemoryConfig, Pc};
+use ccs_listsched::{list_schedule, ListScheduleConfig};
+use ccs_predictors::{
+    BinaryCriticality, CriticalityPredictor, ExactLoc, LocEstimator, QuantizedLoc, TokenDetector,
+};
+use ccs_sim::{policies::LeastLoaded, simulate};
+use ccs_trace::Benchmark;
+use ccs_uarch::{BranchPredictor, Gshare, SetAssocCache};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+const N: usize = 10_000;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    for layout in ClusterLayout::ALL {
+        let trace = Benchmark::Vpr.generate(1, N);
+        let cfg = MachineConfig::micro05_baseline().with_layout(layout);
+        g.bench_function(format!("vpr-{layout}"), |b| {
+            b.iter(|| simulate(black_box(&cfg), black_box(&trace), &mut LeastLoaded).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_critpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("critpath");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(N as u64));
+    let trace = Benchmark::Gcc.generate(1, N);
+    let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+    let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+    g.bench_function("analyze-gcc-4x2w", |b| {
+        b.iter(|| analyze(black_box(&trace), black_box(&result)))
+    });
+    g.bench_function("slack-gcc-4x2w", |b| {
+        b.iter(|| analyze_slack(black_box(&trace), black_box(&result)))
+    });
+    g.bench_function("token-detector-gcc-4x2w", |b| {
+        let det = TokenDetector::default();
+        b.iter(|| {
+            let mut count = 0u64;
+            det.run(black_box(&trace), black_box(&result), |_, _| count += 1);
+            count
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace-gen");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(N as u64));
+    for bench in [Benchmark::Vpr, Benchmark::Mcf, Benchmark::Gcc] {
+        g.bench_function(bench.name(), |b| {
+            b.iter(|| bench.generate(black_box(1), N))
+        });
+    }
+    g.finish();
+}
+
+fn bench_listsched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("listsched");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    let trace = Benchmark::Gap.generate(1, N);
+    let mono_cfg = MachineConfig::micro05_baseline();
+    let mono = simulate(&mono_cfg, &trace, &mut LeastLoaded).unwrap();
+    for layout in [ClusterLayout::C1x8w, ClusterLayout::C8x1w] {
+        let machine = mono_cfg.with_layout(layout);
+        g.bench_function(format!("gap-{layout}"), |b| {
+            b.iter(|| {
+                list_schedule(
+                    black_box(&trace),
+                    black_box(&mono),
+                    &ListScheduleConfig::new(machine),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictors");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("binary-train-1k", |b| {
+        b.iter_batched(
+            BinaryCriticality::new,
+            |mut p| {
+                for i in 0..1_000u64 {
+                    p.train(Pc::new(4 * (i % 64)), i % 7 == 0);
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("exact-loc-train-1k", |b| {
+        b.iter_batched(
+            ExactLoc::new,
+            |mut p| {
+                for i in 0..1_000u64 {
+                    p.train(Pc::new(4 * (i % 64)), i % 7 == 0);
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("quantized-loc-train-1k", |b| {
+        b.iter_batched(
+            || QuantizedLoc::new(1),
+            |mut p| {
+                for i in 0..1_000u64 {
+                    p.train(Pc::new(4 * (i % 64)), i % 7 == 0);
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_uarch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uarch");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("gshare-predict-update-1k", |b| {
+        let mut p = Gshare::new(16);
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                let pc = Pc::new(4 * (i % 128));
+                let taken = i % 3 != 0;
+                black_box(p.predict(pc));
+                p.update(pc, taken);
+            }
+        })
+    });
+    g.bench_function("l1-access-1k", |b| {
+        let mut l1 = SetAssocCache::from_config(&MemoryConfig::default());
+        b.iter(|| {
+            for i in 0..1_000u64 {
+                black_box(l1.access((i * 72) % (1 << 20)));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_critpath,
+    bench_trace_generation,
+    bench_listsched,
+    bench_predictors,
+    bench_uarch
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion benchmarks over the policy ladder: wall-clock cost of
+//! evaluating each policy cell (simulation + critical-path analysis +
+//! predictor training), plus the steering decision itself.
+//!
+//! These complement the figure harness: figures report simulated CPI;
+//! these report the *simulator's* cost per policy, which is what a user
+//! extending the policy ladder cares about.
+
+use ccs_core::{run_cell, PolicyKind, RunOptions};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_trace::Benchmark;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const N: usize = 5_000;
+
+fn bench_policy_cells(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy-cell");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    let trace = Benchmark::Vpr.generate(1, N);
+    let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+    let opts = RunOptions::default();
+    for kind in [
+        PolicyKind::Dependence,
+        PolicyKind::Focused,
+        PolicyKind::FocusedLoc,
+        PolicyKind::StallOverSteer,
+        PolicyKind::Proactive,
+    ] {
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| run_cell(black_box(&machine), black_box(&trace), kind, &opts).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_layout_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy-layout");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    let trace = Benchmark::Gcc.generate(1, N);
+    let opts = RunOptions::default();
+    for layout in ClusterLayout::ALL {
+        let machine = MachineConfig::micro05_baseline().with_layout(layout);
+        g.bench_function(format!("proactive-{layout}"), |b| {
+            b.iter(|| {
+                run_cell(
+                    black_box(&machine),
+                    black_box(&trace),
+                    PolicyKind::Proactive,
+                    &opts,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policy_cells, bench_layout_scaling);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Sweeps per-cluster broadcast bandwidth on the global bypass network.
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    println!("{}", ccs_bench::figures::ablate_interconnect(&HarnessOptions::from_env()));
+}

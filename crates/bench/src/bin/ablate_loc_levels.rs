@@ -1,0 +1,6 @@
+//! Sweeps the LoC counter precision around the §7 4-bit design point.
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    println!("{}", ccs_bench::figures::ablate_loc_levels(&HarnessOptions::from_env()));
+}

@@ -1,0 +1,6 @@
+//! Sweeps the §6/§7 proactive load-balancing override thresholds.
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    println!("{}", ccs_bench::figures::ablate_proactive(&HarnessOptions::from_env()));
+}

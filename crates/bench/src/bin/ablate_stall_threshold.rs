@@ -1,0 +1,6 @@
+//! Sweeps the §5 stall-over-steer LoC threshold around the paper's 30%.
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    println!("{}", ccs_bench::figures::ablate_stall_threshold(&HarnessOptions::from_env()));
+}

@@ -1,0 +1,6 @@
+//! Sweeps the aggregate scheduling-window size.
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    println!("{}", ccs_bench::figures::ablate_window(&HarnessOptions::from_env()));
+}

@@ -1,0 +1,28 @@
+//! Regenerates every table and figure of the paper, in order.
+use ccs_bench::{figures, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    println!("clustercrit — full reproduction run ({opts:?})\n");
+    let sep = "=".repeat(78);
+    println!("{sep}\n{}", figures::tab1());
+    println!("{sep}\n{}", figures::fig2(&opts));
+    println!("{sep}\n{}", figures::fig2_latency_sweep(&opts));
+    println!("{sep}\n{}", figures::fig3(&opts));
+    println!("{sep}\n{}", figures::fig4(&opts));
+    println!("{sep}\n{}", figures::fig5(&opts));
+    println!("{sep}\n{}", figures::fig6(&opts));
+    println!("{sep}\n{}", figures::fig8(&opts));
+    println!("{sep}\n{}", figures::fig14(&opts));
+    println!("{sep}\n{}", figures::fig15(&opts));
+    println!("{sep}\n{}", figures::sec2_global_comm(&opts));
+    println!("{sep}\n{}", figures::sec4_listsched(&opts));
+    println!("{sep}\n{}", figures::sec6_consumers(&opts));
+    println!("{sep}\n{}", figures::slack_distribution(&opts));
+    println!("{sep}\n{}", figures::finite_l2_check(&opts));
+    println!("{sep}\n{}", figures::ablate_stall_threshold(&opts));
+    println!("{sep}\n{}", figures::ablate_loc_levels(&opts));
+    println!("{sep}\n{}", figures::ablate_interconnect(&opts));
+    println!("{sep}\n{}", figures::ablate_proactive(&opts));
+    println!("{sep}\n{}", figures::ablate_window(&opts));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 15 (achieved vs available ILP on the 8x1w machine).
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    let fig = ccs_bench::figures::fig15(&HarnessOptions::from_env());
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", fig.to_csv());
+    } else {
+        println!("{fig}");
+    }
+}

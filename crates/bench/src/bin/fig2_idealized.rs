@@ -1,0 +1,14 @@
+//! Regenerates Figure 2 (idealized list scheduling). Pass
+//! `--latency-sweep` for the footnote-3 forwarding-latency sweep.
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    let opts = HarnessOptions::from_env();
+    if std::env::args().any(|a| a == "--latency-sweep") {
+        println!("{}", ccs_bench::figures::fig2_latency_sweep(&opts));
+    } else if std::env::args().any(|a| a == "--csv") {
+        print!("{}", ccs_bench::figures::fig2(&opts).to_csv());
+    } else {
+        println!("{}", ccs_bench::figures::fig2(&opts));
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 (convergent dataflow on each cluster width).
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    println!("{}", ccs_bench::figures::fig3(&HarnessOptions::from_env()));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 4 (focused steering and scheduling).
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    let fig = ccs_bench::figures::fig4(&HarnessOptions::from_env());
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", fig.to_csv());
+    } else {
+        println!("{fig}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 5 (critical-path CPI breakdown).
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    println!("{}", ccs_bench::figures::fig5(&HarnessOptions::from_env()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 (classified contention and forwarding events).
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    println!("{}", ccs_bench::figures::fig6(&HarnessOptions::from_env()));
+}

@@ -1,0 +1,6 @@
+//! Reruns the §2.1 memory-system verification (infinite vs finite L2).
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    println!("{}", ccs_bench::figures::finite_l2_check(&HarnessOptions::from_env()));
+}

@@ -1,0 +1,7 @@
+//! Runs the headline exhibits and writes a markdown reproduction report
+//! to stdout (redirect into `results/REPORT.md`).
+use ccs_bench::{make_report, HarnessOptions};
+
+fn main() {
+    print!("{}", make_report(&HarnessOptions::from_env()));
+}

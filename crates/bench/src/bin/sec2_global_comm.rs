@@ -1,0 +1,6 @@
+//! Regenerates the §2.1 global-communication statistics.
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    println!("{}", ccs_bench::figures::sec2_global_comm(&HarnessOptions::from_env()));
+}

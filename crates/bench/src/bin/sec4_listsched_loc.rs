@@ -1,0 +1,6 @@
+//! Regenerates the §4 list-scheduler criticality-knowledge ablation.
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    println!("{}", ccs_bench::figures::sec4_listsched(&HarnessOptions::from_env()));
+}

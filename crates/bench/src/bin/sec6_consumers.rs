@@ -1,0 +1,6 @@
+//! Regenerates the §6 producer/consumer criticality statistics.
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    println!("{}", ccs_bench::figures::sec6_consumers(&HarnessOptions::from_env()));
+}

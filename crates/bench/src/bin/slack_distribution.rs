@@ -1,0 +1,6 @@
+//! Quantifies the §4 argument that slack is a poor static metric.
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    println!("{}", ccs_bench::figures::slack_distribution(&HarnessOptions::from_env()));
+}

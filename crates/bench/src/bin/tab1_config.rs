@@ -1,0 +1,4 @@
+//! Prints Table 1 (baseline machine parameters).
+fn main() {
+    println!("{}", ccs_bench::figures::tab1());
+}

@@ -1,0 +1,239 @@
+//! Figure 14: the policy ladder — focused, +LoC, +stall-over-steer,
+//! +proactive.
+
+use super::{mean, traces_for};
+use crate::{HarnessOptions, TextTable};
+use ccs_core::{run_cell, PolicyKind};
+use ccs_critpath::CostCategory;
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_trace::Benchmark;
+use std::fmt;
+
+/// One bar of Figure 14.
+#[derive(Debug, Clone)]
+pub struct Fig14Bar {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// The machine layout.
+    pub layout: ClusterLayout,
+    /// The policy.
+    pub policy: PolicyKind,
+    /// CPI normalized to the monolithic machine with LoC scheduling.
+    pub normalized_cpi: f64,
+    /// Normalized forwarding-delay component.
+    pub fwd: f64,
+    /// Normalized contention component.
+    pub contention: f64,
+}
+
+/// Figure 14 data.
+#[derive(Debug, Clone)]
+pub struct Fig14 {
+    /// All bars, grouped by benchmark, layout, then ladder order.
+    pub bars: Vec<Fig14Bar>,
+}
+
+impl Fig14 {
+    /// Average normalized CPI for one (layout, policy) pair.
+    pub fn average(&self, layout: ClusterLayout, policy: PolicyKind) -> f64 {
+        mean(
+            self.bars
+                .iter()
+                .filter(|b| b.layout == layout && b.policy == policy)
+                .map(|b| b.normalized_cpi),
+        )
+    }
+
+    /// Fraction of the focused policy's clustering penalty removed by the
+    /// paper's final policy composition on `layout` (the paper reports
+    /// 42/57/66% for 2/4/8 clusters; proactive load balancing applies
+    /// only to the 8-cluster machine).
+    pub fn penalty_reduction(&self, layout: ClusterLayout) -> f64 {
+        let focused = self.average(layout, PolicyKind::Focused) - 1.0;
+        let best_kind = PolicyKind::best_for(layout.clusters());
+        let best = self.average(layout, best_kind) - 1.0;
+        if focused <= 0.0 {
+            0.0
+        } else {
+            (focused - best) / focused
+        }
+    }
+}
+
+/// Computes Figure 14.
+pub fn fig14(opts: &HarnessOptions) -> Fig14 {
+    let base_cfg = MachineConfig::micro05_baseline();
+    let run_opts = opts.run_options();
+    let mut bars = Vec::new();
+    for bench in Benchmark::ALL {
+        let traces = traces_for(bench, opts);
+        let samples = traces.len() as f64;
+        // Normalization: the monolithic machine with LoC-based scheduling
+        // (the paper's Figure 14 baseline), per sample.
+        let mono_cpis: Vec<f64> = traces
+            .iter()
+            .map(|trace| {
+                run_cell(&base_cfg, trace, PolicyKind::FocusedLoc, &run_opts)
+                    .expect("monolithic reference")
+                    .cpi()
+            })
+            .collect();
+        for layout in ClusterLayout::CLUSTERED {
+            let machine = base_cfg.with_layout(layout);
+            for policy in PolicyKind::LADDER {
+                // Like the paper, the `p` bar exists only for the
+                // 8-cluster machine.
+                if policy == PolicyKind::Proactive && layout != ClusterLayout::C8x1w {
+                    continue;
+                }
+                let mut bar = Fig14Bar {
+                    bench,
+                    layout,
+                    policy,
+                    normalized_cpi: 0.0,
+                    fwd: 0.0,
+                    contention: 0.0,
+                };
+                for (trace, &mono_cpi) in traces.iter().zip(&mono_cpis) {
+                    let cell =
+                        run_cell(&machine, trace, policy, &run_opts).expect("ladder cell");
+                    let insts = cell.result.instructions();
+                    bar.normalized_cpi += cell.cpi() / mono_cpi / samples;
+                    bar.fwd += cell
+                        .analysis
+                        .breakdown
+                        .cpi_component(CostCategory::FwdDelay, insts)
+                        / mono_cpi
+                        / samples;
+                    bar.contention += cell
+                        .analysis
+                        .breakdown
+                        .cpi_component(CostCategory::Contention, insts)
+                        / mono_cpi
+                        / samples;
+                }
+                bars.push(bar);
+            }
+        }
+    }
+    Fig14 { bars }
+}
+
+impl Fig14 {
+    /// Renders the bars as CSV
+    /// (`bench,layout,policy,normalized_cpi,fwd,contention`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bench,layout,policy,normalized_cpi,fwd,contention\n");
+        for b in &self.bars {
+            out.push_str(&format!(
+                "{},{},{},{:.4},{:.4},{:.4}\n",
+                b.bench,
+                b.layout,
+                b.policy.bar_label(),
+                b.normalized_cpi,
+                b.fwd,
+                b.contention
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Fig14 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 14 — the policy ladder (normalized CPI vs monolithic with LoC\n\
+             scheduling; f = focused, l = +LoC, s = +stall-over-steer, p = +proactive)\n"
+        )?;
+        let mut t = TextTable::new(vec![
+            "bench".into(),
+            "layout".into(),
+            "f".into(),
+            "l".into(),
+            "s".into(),
+            "p".into(),
+            "p:fwd".into(),
+            "p:cont".into(),
+        ]);
+        for bench in Benchmark::ALL {
+            for layout in ClusterLayout::CLUSTERED {
+                let bars: Vec<&Fig14Bar> = self
+                    .bars
+                    .iter()
+                    .filter(|b| b.bench == bench && b.layout == layout)
+                    .collect();
+                if bars.len() < 3 {
+                    continue;
+                }
+                let last = bars.last().expect("non-empty bar group");
+                t.row(vec![
+                    bench.to_string(),
+                    layout.to_string(),
+                    format!("{:.3}", bars[0].normalized_cpi),
+                    format!("{:.3}", bars[1].normalized_cpi),
+                    format!("{:.3}", bars[2].normalized_cpi),
+                    bars.get(3)
+                        .map_or_else(|| "-".to_string(), |b| format!("{:.3}", b.normalized_cpi)),
+                    format!("{:.3}", last.fwd),
+                    format!("{:.3}", last.contention),
+                ]);
+            }
+        }
+        write!(f, "{t}")?;
+        writeln!(f)?;
+        let mut avg = TextTable::new(vec![
+            "layout".into(),
+            "f".into(),
+            "l".into(),
+            "s".into(),
+            "p".into(),
+            "penalty cut".into(),
+        ]);
+        for layout in ClusterLayout::CLUSTERED {
+            let p = if layout == ClusterLayout::C8x1w {
+                format!("{:.3}", self.average(layout, PolicyKind::Proactive))
+            } else {
+                "-".to_string()
+            };
+            avg.row(vec![
+                layout.to_string(),
+                format!("{:.3}", self.average(layout, PolicyKind::Focused)),
+                format!("{:.3}", self.average(layout, PolicyKind::FocusedLoc)),
+                format!("{:.3}", self.average(layout, PolicyKind::StallOverSteer)),
+                p,
+                format!("{:.0}%", 100.0 * self.penalty_reduction(layout)),
+            ]);
+        }
+        write!(f, "{avg}")?;
+        writeln!(
+            f,
+            "\nPaper: the three policies cut the clustering penalty by 42/57/66%\n\
+             on 2/4/8 clusters, bringing all configurations within 2/4/6% of the\n\
+             monolithic machine."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig14_ladder_improves_on_average() {
+        let f = fig14(&HarnessOptions::smoke());
+        // 3 bars on the wide layouts, 4 on 8x1w, per benchmark.
+        assert_eq!(f.bars.len(), 12 * (3 + 3 + 4));
+        for layout in ClusterLayout::CLUSTERED {
+            let focused = f.average(layout, PolicyKind::Focused);
+            let best = f.average(layout, PolicyKind::best_for(layout.clusters()));
+            assert!(
+                best <= focused + 0.02,
+                "{layout}: ladder should not hurt on average ({best} vs {focused})"
+            );
+        }
+        // On the 8-cluster machine, the ladder must visibly help.
+        let cut = f.penalty_reduction(ClusterLayout::C8x1w);
+        assert!(cut > 0.0, "8x1w penalty reduction {cut}");
+    }
+}

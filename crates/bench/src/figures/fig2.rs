@@ -1,0 +1,186 @@
+//! Figure 2: idealized list scheduling across cluster configurations.
+
+use super::{mean, mono_result, trace_for, traces_for};
+use crate::{HarnessOptions, TextTable};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_listsched::{list_schedule, ListScheduleConfig};
+use ccs_trace::Benchmark;
+use std::fmt;
+
+/// Figure 2 data: per-benchmark normalized CPI of the idealized schedule
+/// on the 2-, 4- and 8-cluster machines, normalized to the idealized
+/// 1x8w schedule.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// `(benchmark, [2x4w, 4x2w, 8x1w] normalized CPI)`.
+    pub rows: Vec<(Benchmark, [f64; 3])>,
+    /// Per-layout averages.
+    pub average: [f64; 3],
+}
+
+/// Computes Figure 2.
+pub fn fig2(opts: &HarnessOptions) -> Fig2 {
+    let base_cfg = MachineConfig::micro05_baseline();
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let traces = traces_for(bench, opts);
+        let mut norms = [0.0; 3];
+        for trace in &traces {
+            let mono = mono_result(trace);
+            let ideal_mono = list_schedule(trace, &mono, &ListScheduleConfig::new(base_cfg));
+            for (k, layout) in ClusterLayout::CLUSTERED.into_iter().enumerate() {
+                let machine = base_cfg.with_layout(layout);
+                let ideal = list_schedule(trace, &mono, &ListScheduleConfig::new(machine));
+                norms[k] += ideal.cycles as f64 / ideal_mono.cycles as f64 / traces.len() as f64;
+            }
+        }
+        rows.push((bench, norms));
+    }
+    let average = [
+        mean(rows.iter().map(|r| r.1[0])),
+        mean(rows.iter().map(|r| r.1[1])),
+        mean(rows.iter().map(|r| r.1[2])),
+    ];
+    Fig2 { rows, average }
+}
+
+impl Fig2 {
+    /// Renders the figure's data as CSV (`bench,2x4w,4x2w,8x1w`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bench,2x4w,4x2w,8x1w\n");
+        for (bench, n) in &self.rows {
+            out.push_str(&format!("{bench},{:.4},{:.4},{:.4}\n", n[0], n[1], n[2]));
+        }
+        out.push_str(&format!(
+            "AVE,{:.4},{:.4},{:.4}\n",
+            self.average[0], self.average[1], self.average[2]
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 2 — idealized list scheduling (normalized CPI vs idealized 1x8w)\n"
+        )?;
+        let mut t = TextTable::new(vec![
+            "bench".into(),
+            "2x4w".into(),
+            "4x2w".into(),
+            "8x1w".into(),
+        ]);
+        for (bench, n) in &self.rows {
+            t.row(vec![
+                bench.to_string(),
+                format!("{:.3}", n[0]),
+                format!("{:.3}", n[1]),
+                format!("{:.3}", n[2]),
+            ]);
+        }
+        t.row(vec![
+            "AVE".into(),
+            format!("{:.3}", self.average[0]),
+            format!("{:.3}", self.average[1]),
+            format!("{:.3}", self.average[2]),
+        ]);
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "\nPaper: all clustered configurations average < 2% slower than 1x8w;\n\
+             bzip2/crafty/vpr stand out on 8x1w due to convergent dataflow."
+        )
+    }
+}
+
+/// Footnote 3: the same study swept over inter-cluster forwarding
+/// latencies 1–4.
+#[derive(Debug, Clone)]
+pub struct Fig2LatencySweep {
+    /// `(latency, [2x4w, 4x2w, 8x1w] average normalized CPI)`.
+    pub rows: Vec<(u32, [f64; 3])>,
+}
+
+/// Computes the footnote-3 latency sweep (averages only).
+pub fn fig2_latency_sweep(opts: &HarnessOptions) -> Fig2LatencySweep {
+    let base_cfg = MachineConfig::micro05_baseline();
+    // Precompute traces and monolithic runs once.
+    let runs: Vec<_> = Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let trace = trace_for(b, opts);
+            let mono = mono_result(&trace);
+            (trace, mono)
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for latency in 1..=4 {
+        let mut norms = [0.0; 3];
+        for (k, layout) in ClusterLayout::CLUSTERED.into_iter().enumerate() {
+            let machine = base_cfg.with_layout(layout).with_forward_latency(latency);
+            norms[k] = mean(runs.iter().map(|(trace, mono)| {
+                let ideal_mono =
+                    list_schedule(trace, mono, &ListScheduleConfig::new(base_cfg));
+                let ideal = list_schedule(trace, mono, &ListScheduleConfig::new(machine));
+                ideal.cycles as f64 / ideal_mono.cycles as f64
+            }));
+        }
+        rows.push((latency, norms));
+    }
+    Fig2LatencySweep { rows }
+}
+
+impl fmt::Display for Fig2LatencySweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 2 footnote 3 — idealized scheduling vs forwarding latency\n"
+        )?;
+        let mut t = TextTable::new(vec![
+            "fwd latency".into(),
+            "2x4w".into(),
+            "4x2w".into(),
+            "8x1w".into(),
+        ]);
+        for (lat, n) in &self.rows {
+            t.row(vec![
+                format!("{lat} cycles"),
+                format!("{:.3}", n[0]),
+                format!("{:.3}", n[1]),
+                format!("{:.3}", n[2]),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "\nPaper: at 4 cycles, 2x4w/4x2w remain < 2% and 8x1w a little over 4%."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_smoke() {
+        let f = fig2(&HarnessOptions::smoke());
+        assert_eq!(f.rows.len(), 12);
+        for (bench, norms) in &f.rows {
+            for (k, &n) in norms.iter().enumerate() {
+                assert!(
+                    (0.99..1.6).contains(&n),
+                    "{bench} layout {k}: normalized {n}"
+                );
+            }
+        }
+        // The headline: idealized clustering is cheap on average.
+        assert!(f.average[0] < 1.1, "2x4w average {}", f.average[0]);
+        assert!(f.average[2] < 1.25, "8x1w average {}", f.average[2]);
+        assert!(!f.to_string().is_empty());
+        let csv = f.to_csv();
+        assert_eq!(csv.lines().count(), 14); // header + 12 benches + AVE
+        assert!(csv.starts_with("bench,"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 3: convergent dataflow's cost on each cluster width.
+
+use crate::{HarnessOptions, TextTable};
+use ccs_isa::{ClusterLayout, MachineConfig, Pc};
+use ccs_listsched::{list_schedule, ListScheduleConfig};
+use ccs_sim::{policies::LeastLoaded, simulate};
+use ccs_trace::patterns::{ConvergentHammock, HammockConfig, RegAlloc};
+use ccs_trace::{BranchBehavior, TraceBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Figure 3 data: the idealized schedule of back-to-back bzip2 hammocks
+/// on each layout, normalized to the idealized monolithic schedule.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// `(layout, normalized ideal CPI, cross-cluster values per instance)`.
+    pub rows: Vec<(ClusterLayout, f64, f64)>,
+    /// Instances of the hammock in the trace.
+    pub instances: usize,
+}
+
+/// Computes Figure 3.
+pub fn fig3(opts: &HarnessOptions) -> Fig3 {
+    let mut regs = RegAlloc::new();
+    let mut hammock = ConvergentHammock::new(
+        Pc::new(0x1000),
+        &mut regs,
+        HammockConfig {
+            arm_len: 2,
+            branch: BranchBehavior::NeverTaken,
+            region: 1 << 12,
+        },
+    );
+    let mut b = TraceBuilder::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let instances = (opts.len / hammock.body_len()).max(64);
+    for _ in 0..instances {
+        hammock.emit(&mut b, &mut rng);
+    }
+    let trace = b.finish();
+    let mono_cfg = MachineConfig::micro05_baseline();
+    let mono = simulate(&mono_cfg, &trace, &mut LeastLoaded).expect("monolithic run");
+    let base = list_schedule(&trace, &mono, &ListScheduleConfig::new(mono_cfg));
+    let rows = ClusterLayout::ALL
+        .into_iter()
+        .map(|layout| {
+            let machine = mono_cfg.with_layout(layout);
+            let ideal = list_schedule(&trace, &mono, &ListScheduleConfig::new(machine));
+            (
+                layout,
+                ideal.cycles as f64 / base.cycles as f64,
+                ideal.cross_cluster_values as f64 / instances as f64,
+            )
+        })
+        .collect();
+    Fig3 { rows, instances }
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 3 — convergent dataflow (the bzip2 hammock), idealized\n\
+             schedule per layout ({} instances)\n",
+            self.instances
+        )?;
+        let mut t = TextTable::new(vec![
+            "layout".into(),
+            "norm. ideal CPI".into(),
+            "crossings/instance".into(),
+        ]);
+        for (layout, norm, crossings) in &self.rows {
+            t.row(vec![
+                layout.to_string(),
+                format!("{norm:.3}"),
+                format!("{crossings:.2}"),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "\nPaper: 1-wide clusters inevitably pay one forwarding delay per\n\
+             hammock (or contention); 2-wide clusters with one memory port pay a\n\
+             cycle of port contention; 4-wide clusters with two memory ports run\n\
+             it at full speed."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_monolithic_is_the_reference() {
+        let f = fig3(&HarnessOptions::smoke());
+        assert_eq!(f.rows.len(), 4);
+        let (layout, norm, crossings) = f.rows[0];
+        assert_eq!(layout, ClusterLayout::C1x8w);
+        assert!((norm - 1.0).abs() < 1e-9);
+        assert_eq!(crossings, 0.0);
+        // Narrow clusters pay a little, not a lot (§2.2: the effect is
+        // fundamental but small).
+        for (l, n, _) in &f.rows[1..] {
+            assert!(*n >= 0.999 && *n < 1.25, "{l}: {n}");
+        }
+    }
+}

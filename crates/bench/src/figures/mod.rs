@@ -1,0 +1,98 @@
+//! One module per paper exhibit.
+//!
+//! Every function takes [`HarnessOptions`] and
+//! returns a displayable report; the `src/bin` binaries are thin wrappers.
+
+mod ablate;
+mod fig14;
+mod fig15;
+mod fig2;
+mod fig3;
+mod fig4;
+mod fig5;
+mod fig6;
+mod fig8;
+mod memory;
+mod sections;
+mod slackfig;
+mod tab1;
+
+pub use ablate::{
+    ablate_interconnect, ablate_loc_levels, ablate_proactive, ablate_stall_threshold,
+    ablate_window, InterconnectAblation, LocLevelsAblation, ProactiveAblation,
+    StallThresholdAblation, WindowAblation,
+};
+pub use fig14::{fig14, Fig14};
+pub use fig15::{fig15, Fig15};
+pub use fig2::{fig2, fig2_latency_sweep, Fig2, Fig2LatencySweep};
+pub use fig3::{fig3, Fig3};
+pub use fig4::{fig4, Fig4};
+pub use fig5::{fig5, Fig5};
+pub use fig6::{fig6, Fig6};
+pub use fig8::{fig8, Fig8};
+pub use memory::{finite_l2_check, MemoryVerification, MemoryVerificationRow};
+pub use sections::{sec2_global_comm, sec4_listsched, sec6_consumers, Sec2, Sec4, Sec6};
+pub use slackfig::{slack_distribution, SlackDistribution, SlackRow};
+pub use tab1::{tab1, Tab1};
+
+use crate::HarnessOptions;
+use ccs_isa::MachineConfig;
+use ccs_sim::{policies::LeastLoaded, simulate, SimResult};
+use ccs_trace::{Benchmark, Trace};
+
+/// Generates the harness trace for one benchmark (the first sample).
+pub(crate) fn trace_for(bench: Benchmark, opts: &HarnessOptions) -> Trace {
+    bench.generate(opts.seed, opts.len)
+}
+
+/// Generates all trace samples for one benchmark (the paper averages
+/// three samples from different execution offsets; here, different
+/// generator seeds).
+pub(crate) fn traces_for(bench: Benchmark, opts: &HarnessOptions) -> Vec<Trace> {
+    opts.sample_seeds()
+        .into_iter()
+        .map(|seed| bench.generate(seed, opts.len))
+        .collect()
+}
+
+/// Runs the reference monolithic execution (policy-free baseline used by
+/// the idealized studies).
+pub(crate) fn mono_result(trace: &Trace) -> SimResult {
+    let cfg = MachineConfig::micro05_baseline();
+    simulate(&cfg, trace, &mut LeastLoaded).expect("monolithic baseline cannot deadlock")
+}
+
+/// Arithmetic mean.
+pub(crate) fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean([]), 0.0);
+    }
+
+    #[test]
+    fn trace_and_mono_helpers() {
+        let opts = HarnessOptions::smoke();
+        let t = trace_for(Benchmark::Gap, &opts);
+        assert!(t.len() >= opts.len);
+        let m = mono_result(&t);
+        assert!(m.cpi() > 0.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Text-section results: §2.1 global communication, §4 list-scheduler
+//! knowledge ablation, §6 consumer statistics.
+
+use super::{mean, mono_result, trace_for};
+use crate::{HarnessOptions, TextTable};
+use ccs_core::{run_cell, PolicyKind};
+use ccs_critpath::{analyze, analyze_consumers};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_listsched::{list_schedule, ListScheduleConfig, PriorityMode};
+use ccs_predictors::{BinaryCriticality, CriticalityPredictor, ExactLoc, LocEstimator};
+use ccs_trace::Benchmark;
+use std::fmt;
+
+/// §2.1: cross-cluster value deliveries per instruction.
+#[derive(Debug, Clone)]
+pub struct Sec2 {
+    /// `(layout, focused policy, full ladder)` global values/instruction,
+    /// averaged across benchmarks.
+    pub rows: Vec<(ClusterLayout, f64, f64)>,
+}
+
+/// Computes the §2.1 global-communication statistics.
+pub fn sec2_global_comm(opts: &HarnessOptions) -> Sec2 {
+    let base_cfg = MachineConfig::micro05_baseline();
+    let run_opts = opts.run_options();
+    let mut rows = Vec::new();
+    for layout in ClusterLayout::CLUSTERED {
+        let machine = base_cfg.with_layout(layout);
+        let mut focused = Vec::new();
+        let mut ladder = Vec::new();
+        for bench in Benchmark::ALL {
+            let trace = trace_for(bench, opts);
+            let fc = run_cell(&machine, &trace, PolicyKind::Focused, &run_opts)
+                .expect("focused cell");
+            let best = PolicyKind::best_for(layout.clusters());
+            let lc = run_cell(&machine, &trace, best, &run_opts).expect("ladder cell");
+            focused.push(fc.result.global_values_per_inst());
+            ladder.push(lc.result.global_values_per_inst());
+        }
+        rows.push((layout, mean(focused), mean(ladder)));
+    }
+    Sec2 { rows }
+}
+
+impl fmt::Display for Sec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§2.1 — global values communicated per instruction\n")?;
+        let mut t = TextTable::new(vec![
+            "layout".into(),
+            "focused (baseline)".into(),
+            "our policies".into(),
+        ]);
+        for (layout, focused, ladder) in &self.rows {
+            t.row(vec![
+                layout.to_string(),
+                format!("{focused:.3}"),
+                format!("{ladder:.3}"),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "\nPaper: 0.12 / 0.2 / 0.25 global values per instruction on the 2-, 4-\n\
+             and 8-cluster machines, in all cases slightly less than the baseline."
+        )
+    }
+}
+
+/// §4: the idealized list scheduler with degraded criticality knowledge.
+#[derive(Debug, Clone)]
+pub struct Sec4 {
+    /// `(layout, [exact height, LoC-only, binary-criticality])` average
+    /// normalized CPI across benchmarks.
+    pub rows: Vec<(ClusterLayout, [f64; 3])>,
+}
+
+/// Computes the §4 list-scheduler knowledge ablation.
+pub fn sec4_listsched(opts: &HarnessOptions) -> Sec4 {
+    let base_cfg = MachineConfig::micro05_baseline();
+    // Per benchmark: trace, monolithic run, LoC/binary tables trained on
+    // the monolithic critical path (the "average previous criticality"
+    // knowledge of §4).
+    struct Prep {
+        trace: ccs_trace::Trace,
+        mono: ccs_sim::SimResult,
+        loc_priority: Vec<i64>,
+        binary_priority: Vec<i64>,
+    }
+    let preps: Vec<Prep> = Benchmark::ALL
+        .iter()
+        .map(|&bench| {
+            let trace = trace_for(bench, opts);
+            let mono = mono_result(&trace);
+            let cp = analyze(&trace, &mono);
+            let mut loc = ExactLoc::new();
+            let mut binary = BinaryCriticality::new();
+            for (i, inst) in trace.iter() {
+                loc.train(inst.pc(), cp.e_critical[i.index()]);
+                binary.train(inst.pc(), cp.e_critical[i.index()]);
+            }
+            let loc_priority = trace
+                .iter()
+                .map(|(_, inst)| loc.level(inst.pc(), 16) as i64)
+                .collect();
+            let binary_priority = trace
+                .iter()
+                .map(|(_, inst)| binary.predict(inst.pc()) as i64)
+                .collect();
+            Prep {
+                trace,
+                mono,
+                loc_priority,
+                binary_priority,
+            }
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for layout in ClusterLayout::CLUSTERED {
+        let machine = base_cfg.with_layout(layout);
+        let mut norms = [Vec::new(), Vec::new(), Vec::new()];
+        for p in &preps {
+            let base =
+                list_schedule(&p.trace, &p.mono, &ListScheduleConfig::new(base_cfg));
+            let modes = [
+                PriorityMode::DataflowHeight,
+                PriorityMode::PerInst(p.loc_priority.clone()),
+                PriorityMode::PerInst(p.binary_priority.clone()),
+            ];
+            for (k, mode) in modes.into_iter().enumerate() {
+                let r = list_schedule(
+                    &p.trace,
+                    &p.mono,
+                    &ListScheduleConfig::new(machine).with_priority(mode),
+                );
+                norms[k].push(r.cycles as f64 / base.cycles as f64);
+            }
+        }
+        rows.push((
+            layout,
+            [
+                mean(norms[0].iter().copied()),
+                mean(norms[1].iter().copied()),
+                mean(norms[2].iter().copied()),
+            ],
+        ));
+    }
+    Sec4 { rows }
+}
+
+impl fmt::Display for Sec4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "§4 — idealized list scheduler with degraded criticality knowledge\n\
+             (average normalized CPI vs idealized 1x8w)\n"
+        )?;
+        let mut t = TextTable::new(vec![
+            "layout".into(),
+            "exact height".into(),
+            "LoC only".into(),
+            "binary".into(),
+        ]);
+        for (layout, n) in &self.rows {
+            t.row(vec![
+                layout.to_string(),
+                format!("{:.3}", n[0]),
+                format!("{:.3}", n[1]),
+                format!("{:.3}", n[2]),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "\nPaper: replacing exact knowledge with LoC moves losses only from\n\
+             ~1%/2% to 1.5%/2.7% (4x2w/8x1w), while binary criticality degrades\n\
+             them to 1.5%/5%/9.8% — LoC carries most of the useful signal."
+        )
+    }
+}
+
+/// §6: producer/consumer criticality statistics, per benchmark.
+#[derive(Debug, Clone)]
+pub struct Sec6 {
+    /// `(benchmark, unique-MCC fraction, MCC-not-first fraction,
+    /// bimodality)`.
+    pub rows: Vec<(Benchmark, f64, f64, f64)>,
+}
+
+impl Sec6 {
+    /// Average unique-MCC fraction (paper: ~80%).
+    pub fn average_unique(&self) -> f64 {
+        mean(self.rows.iter().map(|r| r.1))
+    }
+
+    /// Average MCC-not-first fraction (paper: >50%).
+    pub fn average_not_first(&self) -> f64 {
+        mean(self.rows.iter().map(|r| r.2))
+    }
+}
+
+/// Computes the §6 consumer statistics (4x2w machine, focused policy).
+pub fn sec6_consumers(opts: &HarnessOptions) -> Sec6 {
+    let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+    let run_opts = opts.run_options();
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let trace = trace_for(bench, opts);
+        let cell = run_cell(&machine, &trace, PolicyKind::Focused, &run_opts)
+            .expect("focused cell");
+        let c = analyze_consumers(&trace, &cell.result, &cell.analysis.e_critical);
+        rows.push((
+            bench,
+            c.unique_mcc_fraction,
+            c.mcc_not_first_fraction,
+            c.bimodality(),
+        ));
+    }
+    Sec6 { rows }
+}
+
+impl fmt::Display for Sec6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§6 — producer/consumer criticality statistics\n")?;
+        let mut t = TextTable::new(vec![
+            "bench".into(),
+            "unique MCC".into(),
+            "MCC not first".into(),
+            "bimodality".into(),
+        ]);
+        for (bench, unique, not_first, bimodal) in &self.rows {
+            t.row(vec![
+                bench.to_string(),
+                format!("{:.0}%", 100.0 * unique),
+                format!("{:.0}%", 100.0 * not_first),
+                format!("{:.0}%", 100.0 * bimodal),
+            ]);
+        }
+        t.row(vec![
+            "AVE".into(),
+            format!("{:.0}%", 100.0 * self.average_unique()),
+            format!("{:.0}%", 100.0 * self.average_not_first()),
+            format!(
+                "{:.0}%",
+                100.0 * mean(self.rows.iter().map(|r| r.3))
+            ),
+        ]);
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "\nPaper: ~80% of values have a statically unique most-critical\n\
+             consumer; consumers are bimodal; >50% of critical multi-consumer\n\
+             values do not have their most critical consumer first in fetch order."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sec2_smoke() {
+        let s = sec2_global_comm(&HarnessOptions::smoke());
+        assert_eq!(s.rows.len(), 3);
+        for (layout, focused, ladder) in &s.rows {
+            assert!(*focused >= 0.0 && *focused < 2.0, "{layout} focused {focused}");
+            assert!(*ladder >= 0.0 && *ladder < 2.0);
+        }
+        // More clusters ⇒ more global communication.
+        assert!(s.rows[2].1 >= s.rows[0].1 * 0.8);
+    }
+
+    #[test]
+    fn sec4_knowledge_ordering() {
+        let s = sec4_listsched(&HarnessOptions::smoke());
+        assert_eq!(s.rows.len(), 3);
+        for (layout, n) in &s.rows {
+            // Binary knowledge should not beat LoC by a meaningful margin.
+            assert!(
+                n[2] >= n[1] - 0.02,
+                "{layout}: binary {} vs LoC {}",
+                n[2],
+                n[1]
+            );
+        }
+    }
+
+    #[test]
+    fn sec6_statistics_in_range() {
+        let s = sec6_consumers(&HarnessOptions::smoke());
+        assert_eq!(s.rows.len(), 12);
+        let unique = s.average_unique();
+        assert!(unique > 0.4, "unique MCC average {unique}");
+        for (_, u, nf, b) in &s.rows {
+            assert!((0.0..=1.0).contains(u));
+            assert!((0.0..=1.0).contains(nf));
+            assert!((0.0..=1.0).contains(b));
+        }
+    }
+}

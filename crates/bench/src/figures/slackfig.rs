@@ -1,0 +1,120 @@
+//! The §4 slack discussion, quantified.
+//!
+//! The paper argues that *slack* — though a richer signal than binary
+//! criticality — is impractical as a static steering metric because it is
+//! a per-instance quantity with huge per-static-instruction variance:
+//! "branches, when mispredicted, have no slack; when predicted correctly
+//! their slack is very large, limited only by the size of the instruction
+//! window." This exhibit measures exactly that.
+
+use super::{mean, trace_for};
+use crate::{HarnessOptions, TextTable};
+use ccs_critpath::analyze_slack;
+use ccs_isa::MachineConfig;
+use ccs_sim::{policies::LeastLoaded, simulate};
+use ccs_trace::Benchmark;
+use std::fmt;
+
+/// Slack statistics for one benchmark on the monolithic machine.
+#[derive(Debug, Clone)]
+pub struct SlackRow {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Fraction of dynamic instructions with zero slack.
+    pub zero_fraction: f64,
+    /// Mean slack in cycles.
+    pub mean_slack: f64,
+    /// Mean slack of mispredicted branch instances.
+    pub mispredicted_branch_slack: f64,
+    /// Mean slack of correctly-predicted branch instances.
+    pub correct_branch_slack: f64,
+}
+
+/// The slack exhibit.
+#[derive(Debug, Clone)]
+pub struct SlackDistribution {
+    /// Per-benchmark statistics.
+    pub rows: Vec<SlackRow>,
+}
+
+/// Computes per-benchmark slack statistics.
+pub fn slack_distribution(opts: &HarnessOptions) -> SlackDistribution {
+    let cfg = MachineConfig::micro05_baseline();
+    let mut rows = Vec::new();
+    for bench in Benchmark::ALL {
+        let trace = trace_for(bench, opts);
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).expect("monolithic run");
+        let slack = analyze_slack(&trace, &result);
+        let mut mis = Vec::new();
+        let mut cor = Vec::new();
+        for (i, rec) in result.records.iter().enumerate() {
+            if trace.as_slice()[i].is_conditional_branch() {
+                if rec.mispredicted {
+                    mis.push(slack.slack[i] as f64);
+                } else {
+                    cor.push(slack.slack[i] as f64);
+                }
+            }
+        }
+        rows.push(SlackRow {
+            bench,
+            zero_fraction: slack.zero_slack_count() as f64 / trace.len().max(1) as f64,
+            mean_slack: slack.mean(),
+            mispredicted_branch_slack: mean(mis),
+            correct_branch_slack: mean(cor),
+        });
+    }
+    SlackDistribution { rows }
+}
+
+impl fmt::Display for SlackDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "§4 — slack as a (poor) static metric: per-instance slack on the\n\
+             monolithic machine\n"
+        )?;
+        let mut t = TextTable::new(vec![
+            "bench".into(),
+            "zero-slack %".into(),
+            "mean slack".into(),
+            "br slack (mispred)".into(),
+            "br slack (correct)".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.bench.to_string(),
+                format!("{:.1}", 100.0 * r.zero_fraction),
+                format!("{:.1}", r.mean_slack),
+                format!("{:.1}", r.mispredicted_branch_slack),
+                format!("{:.1}", r.correct_branch_slack),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "\nThe same static branch has near-zero slack when mispredicted and\n\
+             enormous slack when predicted correctly — per-static slack is a\n\
+             histogram, not a number, which is why the paper builds LoC instead."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_slack_split_is_visible() {
+        let s = slack_distribution(&HarnessOptions::smoke());
+        assert_eq!(s.rows.len(), 12);
+        // Averaged across benchmarks, mispredicted branches must have far
+        // less slack than correctly predicted ones.
+        let mis = mean(s.rows.iter().map(|r| r.mispredicted_branch_slack));
+        let cor = mean(s.rows.iter().map(|r| r.correct_branch_slack));
+        assert!(mis < cor, "mispredicted {mis:.1} vs correct {cor:.1}");
+        for r in &s.rows {
+            assert!((0.0..=1.0).contains(&r.zero_fraction));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Table 1: the baseline machine parameters.
+
+use crate::TextTable;
+use ccs_isa::{ClusterLayout, MachineConfig};
+use std::fmt;
+
+/// Table 1 data: the baseline configuration plus the derived per-cluster
+/// resources of each layout.
+#[derive(Debug, Clone)]
+pub struct Tab1 {
+    /// The baseline machine.
+    pub baseline: MachineConfig,
+}
+
+/// Produces Table 1.
+pub fn tab1() -> Tab1 {
+    Tab1 {
+        baseline: MachineConfig::micro05_baseline(),
+    }
+}
+
+impl fmt::Display for Tab1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = &self.baseline;
+        writeln!(f, "Table 1 — baseline (monolithic) machine parameters\n")?;
+        writeln!(
+            f,
+            "Front-end: {}-wide, {} stages to dispatch, gshare with {} bits of\n\
+             global history, perfect instruction cache.",
+            m.front_end.fetch_width, m.front_end.depth_to_dispatch, m.front_end.gshare_history_bits
+        )?;
+        writeln!(
+            f,
+            "Issue:     {}-entry scheduling window, {}-entry ROB.",
+            m.window_total, m.rob_entries
+        )?;
+        writeln!(
+            f,
+            "Execute:   up to {} instructions per clock ({} int, {} fp, {} mem);\n\
+             Alpha 21264 latencies (3-cycle load-to-use); perfect disambiguation.",
+            m.commit_width, m.int_total, m.fp_total, m.mem_total
+        )?;
+        writeln!(
+            f,
+            "Memory:    {} KB {}-way L1, {}-cycle infinite L2; inter-cluster\n\
+             forwarding latency {} cycles.\n",
+            m.memory.l1_bytes / 1024,
+            m.memory.l1_ways,
+            m.memory.l2_latency,
+            m.forward_latency
+        )?;
+        let mut t = TextTable::new(vec![
+            "layout".into(),
+            "clusters".into(),
+            "window/cluster".into(),
+            "issue".into(),
+            "int".into(),
+            "fp".into(),
+            "mem".into(),
+        ]);
+        for layout in ClusterLayout::ALL {
+            let c = m.with_layout(layout);
+            t.row(vec![
+                layout.to_string(),
+                c.cluster_count().to_string(),
+                c.cluster.window_entries.to_string(),
+                c.cluster.issue_width.to_string(),
+                c.cluster.int_ports.to_string(),
+                c.cluster.fp_ports.to_string(),
+                c.cluster.mem_ports.to_string(),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab1_prints_the_paper_parameters() {
+        let s = tab1().to_string();
+        assert!(s.contains("128-entry scheduling window"));
+        assert!(s.contains("256-entry ROB"));
+        assert!(s.contains("16 bits"));
+        assert!(s.contains("32 KB 4-way"));
+        assert!(s.contains("8x1w"));
+    }
+}

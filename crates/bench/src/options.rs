@@ -1,0 +1,87 @@
+//! Harness configuration.
+
+use ccs_core::RunOptions;
+
+/// Shared configuration for the figure harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessOptions {
+    /// Dynamic instructions per benchmark trace.
+    pub len: usize,
+    /// Workload generation seed.
+    pub seed: u64,
+    /// Training + measurement epochs for policy cells.
+    pub epochs: u32,
+    /// Trace samples per benchmark, averaged like the paper's three
+    /// 100M-instruction samples at different execution offsets.
+    pub samples: u32,
+}
+
+impl HarnessOptions {
+    /// Defaults: 20 000 instructions, seed 1, 2 epochs — overridable via
+    /// the `CCS_LEN`, `CCS_SEED` and `CCS_EPOCHS` environment variables.
+    pub fn from_env() -> Self {
+        let parse = |name: &str, default: u64| -> u64 {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        HarnessOptions {
+            len: parse("CCS_LEN", 20_000) as usize,
+            seed: parse("CCS_SEED", 1),
+            epochs: parse("CCS_EPOCHS", 2) as u32,
+            samples: parse("CCS_SAMPLES", 1) as u32,
+        }
+    }
+
+    /// The seeds of the individual samples.
+    pub fn sample_seeds(&self) -> Vec<u64> {
+        (0..self.samples.max(1) as u64)
+            .map(|k| self.seed + 1_000 * k)
+            .collect()
+    }
+
+    /// A small configuration for fast tests.
+    pub fn smoke() -> Self {
+        HarnessOptions {
+            len: 2_000,
+            seed: 1,
+            epochs: 2,
+            samples: 1,
+        }
+    }
+
+    /// The policy-evaluation options these harness options imply.
+    pub fn run_options(&self) -> RunOptions {
+        RunOptions::default().with_epochs(self.epochs)
+    }
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_options_are_small() {
+        let o = HarnessOptions::smoke();
+        assert!(o.len <= 5_000);
+        assert_eq!(o.run_options().epochs, 2);
+        assert_eq!(o.sample_seeds(), vec![1]);
+    }
+
+    #[test]
+    fn sample_seeds_are_distinct() {
+        let mut o = HarnessOptions::smoke();
+        o.samples = 3;
+        let seeds = o.sample_seeds();
+        assert_eq!(seeds.len(), 3);
+        let set: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Machine-written reproduction report.
+//!
+//! [`make_report`] runs the headline exhibits and renders a markdown
+//! summary with the paper-vs-measured comparisons filled in from the
+//! actual run — the automated counterpart of the hand-written
+//! EXPERIMENTS.md.
+
+use crate::figures;
+use crate::HarnessOptions;
+use ccs_core::PolicyKind;
+use ccs_isa::ClusterLayout;
+use std::fmt::Write as _;
+
+/// Runs the headline exhibits and produces a markdown report.
+pub fn make_report(opts: &HarnessOptions) -> String {
+    let mut md = String::new();
+    let _ = writeln!(
+        md,
+        "# clustercrit reproduction report\n\n\
+         Workloads: 12 synthetic SPECint models × {} instructions, seed {},\n\
+         {} train/measure epochs. Shape comparison against Salverda & Zilles,\n\
+         MICRO 2005; see DESIGN.md for substitutions.\n",
+        opts.len, opts.seed, opts.epochs
+    );
+
+    // Figure 2.
+    let f2 = figures::fig2(opts);
+    let _ = writeln!(
+        md,
+        "## Idealized potential (Figure 2)\n\n\
+         | layout | paper | measured |\n|---|---|---|\n\
+         | 2x4w | < 1.02 | {:.3} |\n| 4x2w | < 1.02 | {:.3} |\n\
+         | 8x1w | ≤ ~1.02 (worst ≤ 1.04) | {:.3} |\n\n\
+         Partitioning the hardware is nearly free for an idealized scheduler.\n",
+        f2.average[0], f2.average[1], f2.average[2]
+    );
+
+    // Figure 4.
+    let f4 = figures::fig4(opts);
+    let _ = writeln!(
+        md,
+        "## State of the art (Figure 4)\n\n\
+         | layout | paper | measured |\n|---|---|---|\n\
+         | 2x4w | usually < 5% | {:.3} |\n| 4x2w | several > 10% | {:.3} |\n\
+         | 8x1w | ~1.20 | {:.3} |\n\n\
+         The focused policy pays an order of magnitude more than the\n\
+         idealized study — the gap the paper sets out to explain.\n",
+        f4.average[0], f4.average[1], f4.average[2]
+    );
+
+    // Figure 6 aggregates.
+    let f6 = figures::fig6(opts);
+    let _ = writeln!(
+        md,
+        "## Lost-cycle classification (Figure 6)\n\n\
+         * {:.0}% of critical contention events hit predicted-critical\n\
+           instructions (paper: up to two-thirds; ties, not mispredictions).\n\
+         * {:.0}% of critical forwarding events stem from load-balance\n\
+           steering (paper: the dominant cause).\n",
+        100.0 * f6.contention_critical_fraction(),
+        100.0 * f6.forwarding_load_balance_fraction()
+    );
+
+    // Figure 8.
+    let f8 = figures::fig8(opts);
+    let _ = writeln!(
+        md,
+        "## LoC spectrum (Figure 8)\n\n\
+         {:.1}% of dynamic instructions sit at LoC 0 (paper: 53%);\n\
+         {:.1}% fall above the binary predictor's 1/8 threshold and are\n\
+         indistinguishable to it.\n",
+        f8.distribution.percent(0),
+        f8.distribution.percent_binary_critical()
+    );
+
+    // Figure 14.
+    let f14 = figures::fig14(opts);
+    let _ = writeln!(
+        md,
+        "## The policy ladder (Figure 14)\n\n\
+         | layout | f | l | s | p | penalty cut | paper cut |\n\
+         |---|---|---|---|---|---|---|"
+    );
+    let paper_cut = ["42%", "57%", "66%"];
+    for (k, layout) in ClusterLayout::CLUSTERED.into_iter().enumerate() {
+        let p = if layout == ClusterLayout::C8x1w {
+            format!("{:.3}", f14.average(layout, PolicyKind::Proactive))
+        } else {
+            "–".into()
+        };
+        let _ = writeln!(
+            md,
+            "| {layout} | {:.3} | {:.3} | {:.3} | {p} | {:.0}% | {} |",
+            f14.average(layout, PolicyKind::Focused),
+            f14.average(layout, PolicyKind::FocusedLoc),
+            f14.average(layout, PolicyKind::StallOverSteer),
+            100.0 * f14.penalty_reduction(layout),
+            paper_cut[k],
+        );
+    }
+    let _ = writeln!(
+        md,
+        "\nLoC scheduling, stall-over-steer and (on 8 clusters) proactive\n\
+         load balancing recover the bulk of the focused policy's penalty.\n"
+    );
+
+    // §6 consumers.
+    let s6 = figures::sec6_consumers(opts);
+    let _ = writeln!(
+        md,
+        "## Consumer criticality (§6)\n\n\
+         | statistic | paper | measured |\n|---|---|---|\n\
+         | statically unique most-critical consumer | ~80% | {:.0}% |\n\
+         | critical MCC not first in fetch order | > 50% | {:.0}% |\n",
+        100.0 * s6.average_unique(),
+        100.0 * s6.average_not_first()
+    );
+
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_all_sections() {
+        let md = make_report(&HarnessOptions::smoke());
+        for section in [
+            "# clustercrit reproduction report",
+            "## Idealized potential",
+            "## State of the art",
+            "## Lost-cycle classification",
+            "## LoC spectrum",
+            "## The policy ladder",
+            "## Consumer criticality",
+        ] {
+            assert!(md.contains(section), "missing section {section}");
+        }
+        // Markdown tables render with pipes.
+        assert!(md.matches('|').count() > 30);
+    }
+}

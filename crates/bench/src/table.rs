@@ -1,0 +1,104 @@
+//! Minimal text-table formatting for harness reports.
+
+use std::fmt;
+
+/// A right-aligned text table with a header row.
+///
+/// ```
+/// use ccs_bench::TextTable;
+/// let mut t = TextTable::new(vec!["bench".into(), "cpi".into()]);
+/// t.row(vec!["vpr".into(), "1.234".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("vpr"));
+/// assert!(s.contains("1.234"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            for (k, (cell, w)) in row.iter().zip(&widths).enumerate() {
+                if k == 0 {
+                    write!(f, "{cell:<w$}")?;
+                } else {
+                    write!(f, "  {cell:>w$}")?;
+                }
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.header)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_aligned_columns() {
+        let mut t = TextTable::new(vec!["a".into(), "value".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "2.5".into()]);
+        let s = t.to_string();
+        assert!(s.contains("longer"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // All lines equally wide (up to trailing content).
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a".into()]);
+        t.row(vec!["x".into(), "y".into()]);
+    }
+}

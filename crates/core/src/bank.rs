@@ -1,0 +1,226 @@
+//! The shared predictor state the paper's policies are driven by.
+
+use ccs_isa::Pc;
+use ccs_predictors::{
+    BinaryCriticality, CriticalityPredictor, ExactLoc, LocEstimator, PcTable, QuantizedLoc,
+};
+use ccs_trace::Trace;
+use ccs_uarch::SaturatingCounter;
+
+/// Which likelihood-of-criticality implementation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocMode {
+    /// Exact instance counting (unlimited precision) — the §4 reference.
+    Exact,
+    /// 16 levels in a 4-bit probabilistic counter — the §7 hardware
+    /// proposal (Riley-Zilles updates).
+    Quantized16,
+    /// A probabilistic counter with the given number of bits — the
+    /// quantization-depth ablation around the §7 design point.
+    QuantizedBits(u32),
+}
+
+#[derive(Debug, Clone)]
+enum LocImpl {
+    Exact(ExactLoc),
+    Quantized(QuantizedLoc),
+}
+
+/// The predictor state shared by the paper's policies and carried across
+/// training epochs: the Fields binary criticality predictor, a likelihood
+/// of criticality estimator, and the proactive load-balancer's learned
+/// per-PC load-balance candidacy.
+#[derive(Debug, Clone)]
+pub struct PredictorBank {
+    binary: BinaryCriticality,
+    loc: LocImpl,
+    /// 2-bit hysteresis per consumer PC: counts toward "this consumer is
+    /// never the most critical one; proactively load-balance it" (§6).
+    lb_candidates: PcTable<SaturatingCounter>,
+    trained_epochs: u32,
+}
+
+impl PredictorBank {
+    /// Number of LoC stratification levels the paper uses.
+    pub const LOC_LEVELS: u32 = 16;
+
+    /// Creates an untrained bank. `seed` drives the probabilistic counter
+    /// updates when `mode` is [`LocMode::Quantized16`].
+    pub fn new(mode: LocMode, seed: u64) -> Self {
+        PredictorBank {
+            binary: BinaryCriticality::new(),
+            loc: match mode {
+                LocMode::Exact => LocImpl::Exact(ExactLoc::new()),
+                LocMode::Quantized16 => LocImpl::Quantized(QuantizedLoc::new(seed)),
+                LocMode::QuantizedBits(bits) => {
+                    LocImpl::Quantized(QuantizedLoc::with_bits(seed, bits))
+                }
+            },
+            lb_candidates: PcTable::new(),
+            trained_epochs: 0,
+        }
+    }
+
+    /// The binary criticality prediction for `pc`.
+    pub fn predicted_critical(&self, pc: Pc) -> bool {
+        self.binary.predict(pc)
+    }
+
+    /// The LoC estimate for `pc` in `[0, 1]`.
+    pub fn loc(&self, pc: Pc) -> f64 {
+        match &self.loc {
+            LocImpl::Exact(l) => l.loc(pc),
+            LocImpl::Quantized(l) => l.loc(pc),
+        }
+    }
+
+    /// The LoC level for `pc` in `0..16`.
+    pub fn loc_level(&self, pc: Pc) -> u32 {
+        match &self.loc {
+            LocImpl::Exact(l) => l.level(pc, Self::LOC_LEVELS),
+            LocImpl::Quantized(l) => l.level(pc, Self::LOC_LEVELS),
+        }
+    }
+
+    /// Trains the criticality predictors from one execution's critical
+    /// path (`e_critical` parallel to `trace`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e_critical` does not match `trace` in length.
+    pub fn train_criticality(&mut self, trace: &Trace, e_critical: &[bool]) {
+        assert_eq!(trace.len(), e_critical.len());
+        for (i, inst) in trace.iter() {
+            let critical = e_critical[i.index()];
+            let pc = inst.pc();
+            self.binary.train(pc, critical);
+            match &mut self.loc {
+                LocImpl::Exact(l) => l.train(pc, critical),
+                LocImpl::Quantized(l) => l.train(pc, critical),
+            }
+        }
+        self.trained_epochs += 1;
+    }
+
+    /// Trains the criticality predictors with a single detector sample —
+    /// the interface the token-passing detector drives (it resolves one
+    /// sampled instruction at a time rather than the whole stream).
+    pub fn train_sample(&mut self, pc: Pc, critical: bool) {
+        self.binary.train(pc, critical);
+        match &mut self.loc {
+            LocImpl::Exact(l) => l.train(pc, critical),
+            LocImpl::Quantized(l) => l.train(pc, critical),
+        }
+    }
+
+    /// Marks a training epoch complete (used by sample-driven training,
+    /// where [`train_sample`](Self::train_sample) does the work).
+    pub fn finish_epoch(&mut self) {
+        self.trained_epochs += 1;
+    }
+
+    /// Number of completed training epochs.
+    pub fn trained_epochs(&self) -> u32 {
+        self.trained_epochs
+    }
+
+    /// Whether the proactive load balancer has learned that the consumer
+    /// at `pc` is (almost) never the most critical consumer of its
+    /// operands.
+    pub fn is_lb_candidate(&self, pc: Pc) -> bool {
+        self.lb_candidates.get(pc).is_some_and(|c| c.msb_set())
+    }
+
+    /// Trains the load-balance candidacy of the consumer at `pc`: `true`
+    /// when it retired less critical than the most critical consumer
+    /// recorded for its operand register.
+    pub fn train_lb_candidate(&mut self, pc: Pc, candidate: bool) {
+        let c = self
+            .lb_candidates
+            .entry_with(pc, SaturatingCounter::bimodal2);
+        if candidate {
+            c.add(1);
+        } else {
+            c.sub(1);
+        }
+    }
+
+    /// Clears all learned state (predictors and candidates).
+    pub fn reset(&mut self) {
+        self.binary.reset();
+        match &mut self.loc {
+            LocImpl::Exact(l) => l.reset(),
+            LocImpl::Quantized(l) => l.reset(),
+        }
+        self.lb_candidates.clear();
+        self.trained_epochs = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_isa::{ArchReg, OpClass, StaticInst};
+    use ccs_trace::TraceBuilder;
+
+    fn tiny_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        for i in 0..10u64 {
+            b.push_simple(
+                StaticInst::new(Pc::new(4 * (i % 2)), OpClass::IntAlu).with_dst(ArchReg::int(1)),
+            );
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn training_updates_both_predictors() {
+        for mode in [LocMode::Exact, LocMode::Quantized16] {
+            let mut bank = PredictorBank::new(mode, 1);
+            let trace = tiny_trace();
+            // PC 0 critical, PC 4 not (instances alternate).
+            let e_critical: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+            for _ in 0..8 {
+                bank.train_criticality(&trace, &e_critical);
+            }
+            assert!(bank.predicted_critical(Pc::new(0)));
+            assert!(!bank.predicted_critical(Pc::new(4)));
+            assert!(bank.loc(Pc::new(0)) > 0.5, "mode {mode:?}");
+            assert!(bank.loc(Pc::new(4)) < 0.5);
+            assert!(bank.loc_level(Pc::new(0)) > bank.loc_level(Pc::new(4)));
+            assert_eq!(bank.trained_epochs(), 8);
+        }
+    }
+
+    #[test]
+    fn lb_candidate_hysteresis() {
+        let mut bank = PredictorBank::new(LocMode::Exact, 0);
+        let pc = Pc::new(0x10);
+        assert!(!bank.is_lb_candidate(pc));
+        bank.train_lb_candidate(pc, true);
+        assert!(bank.is_lb_candidate(pc)); // 2-bit counter starts at 1
+        bank.train_lb_candidate(pc, false);
+        bank.train_lb_candidate(pc, false);
+        assert!(!bank.is_lb_candidate(pc));
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let mut bank = PredictorBank::new(LocMode::Exact, 0);
+        let trace = tiny_trace();
+        bank.train_criticality(&trace, &[true; 10]);
+        bank.train_lb_candidate(Pc::new(0), true);
+        bank.reset();
+        assert!(!bank.predicted_critical(Pc::new(0)));
+        assert_eq!(bank.loc(Pc::new(0)), 0.0);
+        assert!(!bank.is_lb_candidate(Pc::new(0)));
+        assert_eq!(bank.trained_epochs(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_training_panics() {
+        let mut bank = PredictorBank::new(LocMode::Exact, 0);
+        bank.train_criticality(&tiny_trace(), &[true]);
+    }
+}

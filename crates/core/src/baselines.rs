@@ -1,0 +1,241 @@
+//! Prior-art steering baselines the paper argues against.
+//!
+//! * [`FirstConsumer`] — "steer only the first dependent instruction to a
+//!   given producer; all others are load-balanced" (Palacharla et al.;
+//!   Kim & Smith — the paper's references [15, 19]). §6 shows why this
+//!   hurts: when the most critical consumer is not the first one — true
+//!   for more than half of critical multi-consumer values — the critical
+//!   consumer is the one exiled, and recurrences like Figure 13(a) pay
+//!   the forwarding latency every iteration.
+//! * [`ModN`] — static PC-modulo cluster assignment: trivial hardware,
+//!   no locality, the weakest reasonable baseline.
+
+use ccs_sim::{InstRecord, SteerCause, SteerOutcome, SteerView, SteeringPolicy};
+use ccs_trace::{DynIdx, DynInst};
+use std::collections::HashSet;
+
+/// First-consumer-stays dependence steering.
+///
+/// The first consumer of a pending producer is collocated with it; the
+/// producer is then tagged, and subsequent consumers are sent to the
+/// least-loaded cluster.
+#[derive(Debug, Clone, Default)]
+pub struct FirstConsumer {
+    followed: HashSet<u32>,
+}
+
+impl FirstConsumer {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SteeringPolicy for FirstConsumer {
+    fn steer(&mut self, view: &SteerView<'_>) -> SteerOutcome {
+        if view.clusters() == 1 {
+            return if view.has_space(0) {
+                SteerOutcome::to(0, SteerCause::Only)
+            } else {
+                SteerOutcome::stall()
+            };
+        }
+        // The first pending producer that has not yet been followed wins.
+        let unfollowed = view
+            .pending_producers()
+            .find(|p| !self.followed.contains(&p.idx.raw()));
+        match unfollowed {
+            Some(p) if view.has_space(p.cluster) => {
+                self.followed.insert(p.idx.raw());
+                SteerOutcome::to(p.cluster, SteerCause::Dependence)
+            }
+            Some(_) => match view.least_loaded_with_space() {
+                Some(c) => SteerOutcome::to(c, SteerCause::LoadBalance),
+                None => SteerOutcome::stall(),
+            },
+            None => {
+                let cause = if view.pending_producers().next().is_some() {
+                    // All producers already followed: load-balance away.
+                    SteerCause::Proactive
+                } else {
+                    SteerCause::NoDeps
+                };
+                match view.least_loaded_with_space() {
+                    Some(c) => SteerOutcome::to(c, cause),
+                    None => SteerOutcome::stall(),
+                }
+            }
+        }
+    }
+
+    fn on_commit(&mut self, idx: DynIdx, _inst: &DynInst, _record: &InstRecord) {
+        self.followed.remove(&idx.raw());
+    }
+
+    fn name(&self) -> &str {
+        "first-consumer"
+    }
+}
+
+/// Static PC-modulo steering: cluster = (pc / 4) mod N, skipping to the
+/// least-loaded cluster when the target is full.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModN;
+
+impl SteeringPolicy for ModN {
+    fn steer(&mut self, view: &SteerView<'_>) -> SteerOutcome {
+        let n = view.clusters();
+        if n == 1 {
+            return if view.has_space(0) {
+                SteerOutcome::to(0, SteerCause::Only)
+            } else {
+                SteerOutcome::stall()
+            };
+        }
+        let target = ((view.inst.pc().raw() >> 2) % n as u64) as usize;
+        if view.has_space(target) {
+            SteerOutcome::to(target, SteerCause::NoDeps)
+        } else {
+            match view.least_loaded_with_space() {
+                Some(c) => SteerOutcome::to(c, SteerCause::LoadBalance),
+                None => SteerOutcome::stall(),
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "mod-n"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_cell, PolicyKind, RunOptions};
+    use ccs_isa::{ClusterLayout, MachineConfig};
+    use ccs_sim::simulate;
+    use ccs_trace::patterns::{DivergentLoop, DivergentLoopConfig, RegAlloc};
+    use ccs_trace::{Benchmark, Trace, TraceBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn divergent_trace(len: usize) -> Trace {
+        let mut regs = RegAlloc::new();
+        let mut lp = DivergentLoop::new(
+            ccs_isa::Pc::new(0x100),
+            &mut regs,
+            DivergentLoopConfig {
+                exit_prob: 0.02,
+                trip: 64,
+                region: 1 << 13,
+            },
+        );
+        let mut b = TraceBuilder::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        while b.len() < len {
+            lp.emit(&mut b, &mut rng);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn both_baselines_run_everywhere() {
+        let trace = Benchmark::Gcc.generate(1, 2_000);
+        for layout in ClusterLayout::ALL {
+            let cfg = MachineConfig::micro05_baseline().with_layout(layout);
+            let a = simulate(&cfg, &trace, &mut FirstConsumer::new()).unwrap();
+            let b = simulate(&cfg, &trace, &mut ModN).unwrap();
+            assert!(a.cpi() > 0.1, "{layout} first-consumer");
+            assert!(b.cpi() > 0.1, "{layout} mod-n");
+        }
+    }
+
+    #[test]
+    fn first_consumer_exiles_the_recurrence() {
+        // Figure 13(a): on the divergent loop, the loop-carried update is
+        // the LAST consumer of its own value, so first-consumer steering
+        // sends it away from its producer, paying forwarding on the
+        // recurrence. The paper's criticality-aware ladder avoids this.
+        let trace = divergent_trace(8_000);
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
+        let fc = simulate(&cfg, &trace, &mut FirstConsumer::new()).unwrap();
+        let ladder = run_cell(
+            &cfg,
+            &trace,
+            PolicyKind::Proactive,
+            &RunOptions::default().with_epochs(3),
+        )
+        .unwrap();
+        assert!(
+            ladder.result.cycles < fc.cycles,
+            "ladder {} vs first-consumer {}",
+            ladder.result.cycles,
+            fc.cycles
+        );
+        // The recurrence forwarding shows up on the critical path.
+        let fc_analysis = ccs_critpath::analyze(&trace, &fc);
+        let fwd_fc = fc_analysis
+            .breakdown
+            .get(ccs_critpath::CostCategory::FwdDelay);
+        let fwd_ladder = ladder
+            .analysis
+            .breakdown
+            .get(ccs_critpath::CostCategory::FwdDelay);
+        assert!(
+            fwd_ladder < fwd_fc,
+            "ladder fwd {fwd_ladder} vs first-consumer fwd {fwd_fc}"
+        );
+    }
+
+    #[test]
+    fn mod_n_ignores_locality_and_pays_for_it() {
+        // On a serial chain, mod-N scatter costs forwarding on every hop
+        // whose PCs map to different clusters.
+        let mut b = TraceBuilder::new();
+        let r = ccs_isa::ArchReg::int(1);
+        for i in 0..2_000u64 {
+            b.push_simple(
+                ccs_isa::StaticInst::new(ccs_isa::Pc::new(4 * (i % 8)), ccs_isa::OpClass::IntAlu)
+                    .with_src(r)
+                    .with_dst(r),
+            );
+        }
+        let trace = b.finish();
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
+        let modn = simulate(&cfg, &trace, &mut ModN).unwrap();
+        let dep = run_cell(&cfg, &trace, PolicyKind::StallOverSteer, &RunOptions::default())
+            .unwrap();
+        assert!(
+            modn.cpi() > dep.cpi() * 1.5,
+            "mod-n {} vs stall-over-steer {}",
+            modn.cpi(),
+            dep.cpi()
+        );
+    }
+
+    #[test]
+    fn first_consumer_collocates_exactly_one_consumer() {
+        // Two consumers of one producer on an empty machine: the first
+        // collocates, the second is load-balanced away.
+        use ccs_isa::{ArchReg, OpClass, Pc, StaticInst};
+        let mut b = TraceBuilder::new();
+        let p = ArchReg::int(1);
+        b.push_simple(StaticInst::new(Pc::new(0), OpClass::IntAlu).with_dst(p));
+        b.push_simple(
+            StaticInst::new(Pc::new(4), OpClass::IntAlu)
+                .with_src(p)
+                .with_dst(ArchReg::int(2)),
+        );
+        b.push_simple(
+            StaticInst::new(Pc::new(8), OpClass::IntAlu)
+                .with_src(p)
+                .with_dst(ArchReg::int(3)),
+        );
+        let trace = b.finish();
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+        let r = simulate(&cfg, &trace, &mut FirstConsumer::new()).unwrap();
+        let producer_cluster = r.records[0].cluster;
+        assert_eq!(r.records[1].cluster, producer_cluster, "first consumer stays");
+        assert_ne!(r.records[2].cluster, producer_cluster, "second consumer leaves");
+    }
+}

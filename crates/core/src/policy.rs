@@ -1,0 +1,680 @@
+//! The paper's policy ladder as one configurable steering policy.
+
+use crate::bank::PredictorBank;
+use ccs_isa::RegFile;
+use ccs_sim::{
+    InstRecord, SteerCause, SteerOutcome, SteerView, SteeringPolicy,
+};
+use ccs_trace::{DynIdx, DynInst};
+use std::collections::HashSet;
+
+/// Parameters of the §6 proactive load-balancing policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProactiveConfig {
+    /// Minimum LoC for the most-critical-consumer override to apply (the
+    /// paper uses 5%).
+    pub min_loc_override: f64,
+    /// The consumer must be at least this fraction as critical as its
+    /// producer to be kept collocated (the paper uses one half).
+    pub producer_fraction: f64,
+}
+
+impl Default for ProactiveConfig {
+    fn default() -> Self {
+        ProactiveConfig {
+            min_loc_override: 0.05,
+            producer_fraction: 0.5,
+        }
+    }
+}
+
+/// The knobs distinguishing the paper's policies. Usually built through
+/// [`PolicyKind`]; exposed for ablation studies (threshold sweeps).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyConfig {
+    /// Prefer the cluster of the *predicted-critical* producer (focused
+    /// steering). Without this, the first pending producer wins
+    /// (plain dependence-based steering).
+    pub criticality_steer: bool,
+    /// Pick the preferred producer by LoC instead of the binary
+    /// prediction.
+    pub loc_steer: bool,
+    /// Scheduling priority = predicted-critical-first (focused
+    /// scheduling).
+    pub binary_priority: bool,
+    /// Scheduling priority = 16-level LoC (overrides `binary_priority`).
+    pub loc_priority: bool,
+    /// Stall-over-steer: hold dispatch instead of load-balancing when the
+    /// instruction's LoC is at least this threshold (§5; the paper uses
+    /// 30%).
+    pub stall_threshold: Option<f64>,
+    /// Proactive load balancing (§6).
+    pub proactive: Option<ProactiveConfig>,
+}
+
+/// The named policies of the paper's evaluation (Figure 14's ladder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Plain dependence-based steering (Kemp & Franklin), oldest-first
+    /// scheduling — criticality-blind.
+    Dependence,
+    /// Fields et al. focused steering and scheduling: dependence steering
+    /// preferring the critical producer, critical-first scheduling. The
+    /// "state of the art" the paper starts from (Figure 4).
+    Focused,
+    /// Focused + LoC-based scheduling (`l` bars of Figure 14).
+    FocusedLoc,
+    /// Focused + LoC + stall-over-steer at 30% LoC (`s` bars).
+    StallOverSteer,
+    /// Focused + LoC + stall + proactive load balancing (`p` bars).
+    Proactive,
+}
+
+impl PolicyKind {
+    /// The §7 ladder in presentation order.
+    pub const LADDER: [PolicyKind; 4] = [
+        PolicyKind::Focused,
+        PolicyKind::FocusedLoc,
+        PolicyKind::StallOverSteer,
+        PolicyKind::Proactive,
+    ];
+
+    /// The paper's final policy composition for a machine with `clusters`
+    /// clusters: proactive load balancing is applied only to the
+    /// 8-cluster machine ("our implementation does not benefit the wider
+    /// clusters", Figure 14); the wider configurations stop at
+    /// stall-over-steer.
+    pub fn best_for(clusters: usize) -> PolicyKind {
+        if clusters >= 8 {
+            PolicyKind::Proactive
+        } else {
+            PolicyKind::StallOverSteer
+        }
+    }
+
+    /// The short label used in Figure 14 ("", "l", "s", "p").
+    pub const fn bar_label(self) -> &'static str {
+        match self {
+            PolicyKind::Dependence => "dep",
+            PolicyKind::Focused => "f",
+            PolicyKind::FocusedLoc => "l",
+            PolicyKind::StallOverSteer => "s",
+            PolicyKind::Proactive => "p",
+        }
+    }
+
+    /// A descriptive name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Dependence => "dependence",
+            PolicyKind::Focused => "focused",
+            PolicyKind::FocusedLoc => "focused+loc",
+            PolicyKind::StallOverSteer => "focused+loc+stall",
+            PolicyKind::Proactive => "focused+loc+stall+proactive",
+        }
+    }
+
+    /// The policy's configuration.
+    pub fn config(self) -> PolicyConfig {
+        let base = PolicyConfig {
+            criticality_steer: false,
+            loc_steer: false,
+            binary_priority: false,
+            loc_priority: false,
+            stall_threshold: None,
+            proactive: None,
+        };
+        match self {
+            PolicyKind::Dependence => base,
+            PolicyKind::Focused => PolicyConfig {
+                criticality_steer: true,
+                binary_priority: true,
+                ..base
+            },
+            PolicyKind::FocusedLoc => PolicyConfig {
+                criticality_steer: true,
+                loc_steer: true,
+                loc_priority: true,
+                ..base
+            },
+            PolicyKind::StallOverSteer => PolicyConfig {
+                criticality_steer: true,
+                loc_steer: true,
+                loc_priority: true,
+                stall_threshold: Some(PaperPolicy::STALL_THRESHOLD),
+                ..base
+            },
+            PolicyKind::Proactive => PolicyConfig {
+                criticality_steer: true,
+                loc_steer: true,
+                loc_priority: true,
+                stall_threshold: Some(PaperPolicy::STALL_THRESHOLD),
+                proactive: Some(ProactiveConfig::default()),
+                ..base
+            },
+        }
+    }
+}
+
+/// One policy object covering the whole ladder, configured by
+/// [`PolicyConfig`] and driven by a [`PredictorBank`].
+#[derive(Debug, Clone)]
+pub struct PaperPolicy {
+    cfg: PolicyConfig,
+    bank: PredictorBank,
+    /// Producers that already have a collocated consumer (proactive's
+    /// "steer only one consumer to a given producer"). Pruned at commit.
+    followed: HashSet<u32>,
+    /// Highest consumer LoC seen per operand register since its last
+    /// definition — the "most critical consumer of each register"
+    /// tracker (§7).
+    mcc_loc: RegFile<f64>,
+    name: &'static str,
+}
+
+impl PaperPolicy {
+    /// The stall-over-steer LoC threshold the paper found effective.
+    pub const STALL_THRESHOLD: f64 = 0.30;
+
+    /// Builds the named policy over the given predictor state.
+    pub fn new(kind: PolicyKind, bank: PredictorBank) -> Self {
+        Self::from_config(kind.config(), bank, kind.name())
+    }
+
+    /// Builds a custom configuration (for ablations).
+    pub fn from_config(cfg: PolicyConfig, bank: PredictorBank, name: &'static str) -> Self {
+        PaperPolicy {
+            cfg,
+            bank,
+            followed: HashSet::new(),
+            mcc_loc: RegFile::new(),
+            name,
+        }
+    }
+
+    /// Releases the predictor state (to train between epochs).
+    pub fn into_bank(self) -> PredictorBank {
+        self.bank
+    }
+
+    /// The predictor state.
+    pub fn bank(&self) -> &PredictorBank {
+        &self.bank
+    }
+
+    /// The least-loaded cluster with space, avoiding `avoid` when another
+    /// option exists.
+    fn least_loaded_avoiding(view: &SteerView<'_>, avoid: usize) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for (c, &occ) in view.occupancy.iter().enumerate() {
+            if c == avoid || !view.has_space(c) {
+                continue;
+            }
+            if best.is_none_or(|(_, o)| occ < o) {
+                best = Some((c, occ));
+            }
+        }
+        best.map(|(c, _)| c).or_else(|| view.least_loaded_with_space())
+    }
+}
+
+impl SteeringPolicy for PaperPolicy {
+    fn steer(&mut self, view: &SteerView<'_>) -> SteerOutcome {
+        let pc = view.inst.pc();
+        let loc = self.bank.loc(pc);
+        let crit = self.bank.predicted_critical(pc);
+        let annotate =
+            |o: SteerOutcome| -> SteerOutcome { o.with_criticality(crit, loc as f32) };
+
+        // Track the most critical consumer of each operand register
+        // (idempotent across repeated steer attempts for a stalled head).
+        if self.cfg.proactive.is_some() {
+            for src in view.inst.inst.sources() {
+                let cur = self.mcc_loc.get(src).copied().unwrap_or(0.0);
+                if loc > cur {
+                    self.mcc_loc.set(src, loc);
+                }
+            }
+        }
+
+        let place = |this: &mut Self, cluster: usize, cause: SteerCause| -> SteerOutcome {
+            // A placement invalidates the consumer-criticality history of
+            // the destination register (a new value begins).
+            if this.cfg.proactive.is_some() {
+                if let Some(dst) = view.inst.inst.dst {
+                    this.mcc_loc.set(dst, 0.0);
+                }
+            }
+            annotate(SteerOutcome::to(cluster, cause))
+        };
+
+        if view.clusters() == 1 {
+            return if view.has_space(0) {
+                place(self, 0, SteerCause::Only)
+            } else {
+                annotate(SteerOutcome::stall())
+            };
+        }
+
+        let pending: Vec<_> = view.pending_producers().collect();
+
+        // Preferred producer: by LoC, by binary criticality, or first.
+        let preferred = if pending.is_empty() {
+            None
+        } else if self.cfg.loc_steer {
+            pending
+                .iter()
+                .copied()
+                .max_by(|a, b| {
+                    self.bank
+                        .loc(a.pc)
+                        .partial_cmp(&self.bank.loc(b.pc))
+                        .expect("LoC values are finite")
+                        // Stable: prefer the first operand on ties.
+                        .then(b.idx.raw().cmp(&a.idx.raw()))
+                })
+        } else if self.cfg.criticality_steer {
+            pending
+                .iter()
+                .copied()
+                .find(|p| self.bank.predicted_critical(p.pc))
+                .or(Some(pending[0]))
+        } else {
+            Some(pending[0])
+        };
+
+        // Proactive load balancing: push consumers that are not the most
+        // critical one away from their producer (§6).
+        if let (Some(pcfg), Some(p)) = (self.cfg.proactive, preferred) {
+            let already_followed = self.followed.contains(&p.idx.raw());
+            let learned_candidate = self.bank.is_lb_candidate(pc);
+            let keep_collocated = loc > pcfg.min_loc_override
+                && loc >= pcfg.producer_fraction * self.bank.loc(p.pc);
+            if (already_followed || learned_candidate) && !keep_collocated {
+                if let Some(c) = Self::least_loaded_avoiding(view, p.cluster) {
+                    return place(self, c, SteerCause::Proactive);
+                }
+                return annotate(SteerOutcome::stall());
+            }
+        }
+
+        match preferred {
+            Some(p) if view.has_space(p.cluster) => {
+                if self.cfg.proactive.is_some() {
+                    self.followed.insert(p.idx.raw());
+                }
+                place(self, p.cluster, SteerCause::Dependence)
+            }
+            Some(_) => {
+                // Desired cluster full: stall-over-steer for
+                // execute-critical instructions, else load-balance.
+                if let Some(threshold) = self.cfg.stall_threshold {
+                    if loc >= threshold {
+                        return annotate(SteerOutcome::stall());
+                    }
+                }
+                match view.least_loaded_with_space() {
+                    Some(c) => place(self, c, SteerCause::LoadBalance),
+                    None => annotate(SteerOutcome::stall()),
+                }
+            }
+            None => match view.least_loaded_with_space() {
+                Some(c) => place(self, c, SteerCause::NoDeps),
+                None => annotate(SteerOutcome::stall()),
+            },
+        }
+    }
+
+    fn priority(&mut self, _idx: DynIdx, inst: &DynInst) -> i64 {
+        let pc = inst.pc();
+        if self.cfg.loc_priority {
+            self.bank.loc_level(pc) as i64
+        } else if self.cfg.binary_priority {
+            self.bank.predicted_critical(pc) as i64
+        } else {
+            0
+        }
+    }
+
+    fn on_commit(&mut self, idx: DynIdx, inst: &DynInst, record: &InstRecord) {
+        self.followed.remove(&idx.raw());
+        if self.cfg.proactive.is_none() {
+            return;
+        }
+        // Compare the retiring consumer's LoC against the most critical
+        // consumer recorded for its operand registers; train its
+        // load-balance candidacy (§7's implementation).
+        let loc = record.loc as f64;
+        let mut any_src = false;
+        let mut below_mcc = false;
+        for src in inst.inst.sources() {
+            any_src = true;
+            let mcc = self.mcc_loc.get(src).copied().unwrap_or(0.0);
+            if loc + 1e-9 < mcc {
+                below_mcc = true;
+            }
+        }
+        if any_src {
+            self.bank.train_lb_candidate(inst.pc(), below_mcc);
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::LocMode;
+    use ccs_isa::{ArchReg, OpClass, Pc, StaticInst};
+    use ccs_sim::{ProducerInfo, SteerDecision};
+
+    fn trained_bank() -> PredictorBank {
+        use ccs_trace::TraceBuilder;
+        let mut b = TraceBuilder::new();
+        // PC 0x0: high LoC; PC 0x4: low LoC; PC 0x8: never critical.
+        for _ in 0..64 {
+            b.push_simple(StaticInst::new(Pc::new(0x0), OpClass::IntAlu).with_dst(ArchReg::int(1)));
+            b.push_simple(StaticInst::new(Pc::new(0x4), OpClass::IntAlu).with_dst(ArchReg::int(2)));
+            b.push_simple(StaticInst::new(Pc::new(0x8), OpClass::IntAlu).with_dst(ArchReg::int(3)));
+        }
+        let trace = b.finish();
+        let crit: Vec<bool> = (0..trace.len())
+            .map(|i| match i % 3 {
+                0 => true,          // 0x0 always critical
+                1 => i % 15 == 1,   // 0x4 rarely critical
+                _ => false,         // 0x8 never
+            })
+            .collect();
+        let mut bank = PredictorBank::new(LocMode::Exact, 0);
+        bank.train_criticality(&trace, &crit);
+        bank
+    }
+
+    fn dyn_inst(pc: u64, srcs: [Option<ArchReg>; 2]) -> DynInst {
+        DynInst {
+            inst: StaticInst::new(Pc::new(pc), OpClass::IntAlu)
+                .with_srcs(srcs)
+                .with_dst(ArchReg::int(9)),
+            deps: [None, None],
+            mem_addr: None,
+            branch: None,
+        }
+    }
+
+    fn producer(idx: u32, pc: u64, cluster: usize) -> ProducerInfo {
+        ProducerInfo {
+            idx: DynIdx::new(idx),
+            pc: Pc::new(pc),
+            cluster,
+            completed: false,
+        }
+    }
+
+    #[test]
+    fn loc_priority_orders_by_level() {
+        let mut p = PaperPolicy::new(PolicyKind::FocusedLoc, trained_bank());
+        let hi = p.priority(DynIdx::new(0), &dyn_inst(0x0, [None, None]));
+        let lo = p.priority(DynIdx::new(1), &dyn_inst(0x4, [None, None]));
+        let zero = p.priority(DynIdx::new(2), &dyn_inst(0x8, [None, None]));
+        assert!(hi > lo, "hi {hi} lo {lo}");
+        assert!(lo >= zero);
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn binary_priority_cannot_distinguish_critical_instructions() {
+        // Both 0x0 (always critical) and 0x4 (1-in-15 critical) may train
+        // above the Fields threshold; LoC separates them, binary may not.
+        let mut p = PaperPolicy::new(PolicyKind::Focused, trained_bank());
+        let hi = p.priority(DynIdx::new(0), &dyn_inst(0x0, [None, None]));
+        assert_eq!(hi, 1);
+    }
+
+    #[test]
+    fn steer_prefers_high_loc_producer() {
+        let mut p = PaperPolicy::new(PolicyKind::FocusedLoc, trained_bank());
+        let inst = dyn_inst(0x10, [Some(ArchReg::int(1)), Some(ArchReg::int(2))]);
+        let occupancy = vec![0usize, 0, 0, 0];
+        let view = SteerView {
+            inst: &inst,
+            idx: DynIdx::new(5),
+            now: 0,
+            occupancy: &occupancy,
+            capacity: 8,
+            // Producer at PC 0x0 (high LoC) in cluster 2; PC 0x8 in 3.
+            producers: [Some(producer(1, 0x0, 2)), Some(producer(2, 0x8, 3))],
+        };
+        let o = p.steer(&view);
+        assert_eq!(
+            o.decision,
+            SteerDecision::To {
+                cluster: 2,
+                cause: SteerCause::Dependence
+            }
+        );
+    }
+
+    #[test]
+    fn stall_over_steer_stalls_critical_when_full() {
+        let mut p = PaperPolicy::new(PolicyKind::StallOverSteer, trained_bank());
+        // Instruction at PC 0x0 (LoC 100%) whose producer cluster is full.
+        let inst = dyn_inst(0x0, [Some(ArchReg::int(1)), None]);
+        let occupancy = vec![8usize, 0, 0, 0];
+        let view = SteerView {
+            inst: &inst,
+            idx: DynIdx::new(5),
+            now: 0,
+            occupancy: &occupancy,
+            capacity: 8,
+            producers: [Some(producer(1, 0x0, 0)), None],
+        };
+        let o = p.steer(&view);
+        assert_eq!(o.decision, SteerDecision::Stall);
+        assert!(o.loc > 0.9);
+
+        // The same situation for a low-LoC instruction load-balances.
+        let inst2 = dyn_inst(0x8, [Some(ArchReg::int(1)), None]);
+        let view2 = SteerView {
+            inst: &inst2,
+            idx: DynIdx::new(6),
+            now: 0,
+            occupancy: &occupancy,
+            capacity: 8,
+            producers: [Some(producer(1, 0x0, 0)), None],
+        };
+        let o2 = p.steer(&view2);
+        assert!(matches!(
+            o2.decision,
+            SteerDecision::To {
+                cause: SteerCause::LoadBalance,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn without_stall_policy_full_cluster_load_balances_even_critical() {
+        let mut p = PaperPolicy::new(PolicyKind::FocusedLoc, trained_bank());
+        let inst = dyn_inst(0x0, [Some(ArchReg::int(1)), None]);
+        let occupancy = vec![8usize, 3, 0, 0];
+        let view = SteerView {
+            inst: &inst,
+            idx: DynIdx::new(5),
+            now: 0,
+            occupancy: &occupancy,
+            capacity: 8,
+            producers: [Some(producer(1, 0x0, 0)), None],
+        };
+        let o = p.steer(&view);
+        assert_eq!(
+            o.decision,
+            SteerDecision::To {
+                cluster: 2,
+                cause: SteerCause::LoadBalance
+            }
+        );
+    }
+
+    #[test]
+    fn proactive_pushes_second_consumer_away() {
+        let mut p = PaperPolicy::new(PolicyKind::Proactive, trained_bank());
+        let producer_info = producer(1, 0x0, 0);
+        let occupancy = vec![0usize, 0, 0, 0];
+        // First consumer (low LoC) collocates and tags the producer.
+        let c1 = dyn_inst(0x8, [Some(ArchReg::int(1)), None]);
+        let v1 = SteerView {
+            inst: &c1,
+            idx: DynIdx::new(5),
+            now: 0,
+            occupancy: &occupancy,
+            capacity: 8,
+            producers: [Some(producer_info), None],
+        };
+        let o1 = p.steer(&v1);
+        assert!(matches!(
+            o1.decision,
+            SteerDecision::To {
+                cluster: 0,
+                cause: SteerCause::Dependence
+            }
+        ));
+        // Second low-LoC consumer of the same producer is pushed away.
+        let c2 = dyn_inst(0x4, [Some(ArchReg::int(1)), None]);
+        let v2 = SteerView {
+            inst: &c2,
+            idx: DynIdx::new(6),
+            now: 0,
+            occupancy: &occupancy,
+            capacity: 8,
+            producers: [Some(producer_info), None],
+        };
+        let o2 = p.steer(&v2);
+        assert!(
+            matches!(
+                o2.decision,
+                SteerDecision::To {
+                    cause: SteerCause::Proactive,
+                    ..
+                }
+            ),
+            "{:?}",
+            o2.decision
+        );
+        if let SteerDecision::To { cluster, .. } = o2.decision {
+            assert_ne!(cluster, 0, "pushed away from the producer cluster");
+        }
+    }
+
+    #[test]
+    fn proactive_override_keeps_critical_consumer() {
+        let mut p = PaperPolicy::new(PolicyKind::Proactive, trained_bank());
+        let producer_info = producer(1, 0x4, 0); // low-LoC producer
+        let occupancy = vec![0usize, 0, 0, 0];
+        // Tag the producer with a first consumer.
+        let c1 = dyn_inst(0x8, [Some(ArchReg::int(1)), None]);
+        let v1 = SteerView {
+            inst: &c1,
+            idx: DynIdx::new(5),
+            now: 0,
+            occupancy: &occupancy,
+            capacity: 8,
+            producers: [Some(producer_info), None],
+        };
+        let _ = p.steer(&v1);
+        // A highly critical consumer (PC 0x0, LoC 100%) overrides the
+        // single-consumer rule and stays with the producer.
+        let c2 = dyn_inst(0x0, [Some(ArchReg::int(1)), None]);
+        let v2 = SteerView {
+            inst: &c2,
+            idx: DynIdx::new(6),
+            now: 0,
+            occupancy: &occupancy,
+            capacity: 8,
+            producers: [Some(producer_info), None],
+        };
+        let o2 = p.steer(&v2);
+        assert!(matches!(
+            o2.decision,
+            SteerDecision::To {
+                cluster: 0,
+                cause: SteerCause::Dependence
+            }
+        ));
+    }
+
+    #[test]
+    fn no_producers_load_balances() {
+        let mut p = PaperPolicy::new(PolicyKind::Focused, trained_bank());
+        let inst = dyn_inst(0x20, [None, None]);
+        let occupancy = vec![4usize, 1, 3, 2];
+        let view = SteerView {
+            inst: &inst,
+            idx: DynIdx::new(5),
+            now: 0,
+            occupancy: &occupancy,
+            capacity: 8,
+            producers: [None, None],
+        };
+        let o = p.steer(&view);
+        assert_eq!(
+            o.decision,
+            SteerDecision::To {
+                cluster: 1,
+                cause: SteerCause::NoDeps
+            }
+        );
+    }
+
+    #[test]
+    fn monolithic_machine_places_or_stalls() {
+        let mut p = PaperPolicy::new(PolicyKind::Focused, trained_bank());
+        let inst = dyn_inst(0x20, [None, None]);
+        let view = SteerView {
+            inst: &inst,
+            idx: DynIdx::new(5),
+            now: 0,
+            occupancy: &[127],
+            capacity: 128,
+            producers: [None, None],
+        };
+        assert!(matches!(
+            p.steer(&view).decision,
+            SteerDecision::To {
+                cluster: 0,
+                cause: SteerCause::Only
+            }
+        ));
+        let full = SteerView {
+            inst: &inst,
+            idx: DynIdx::new(5),
+            now: 0,
+            occupancy: &[128],
+            capacity: 128,
+            producers: [None, None],
+        };
+        assert_eq!(p.steer(&full).decision, SteerDecision::Stall);
+    }
+
+    #[test]
+    fn ladder_metadata() {
+        assert_eq!(PolicyKind::LADDER.len(), 4);
+        let mut labels = std::collections::HashSet::new();
+        for k in [
+            PolicyKind::Dependence,
+            PolicyKind::Focused,
+            PolicyKind::FocusedLoc,
+            PolicyKind::StallOverSteer,
+            PolicyKind::Proactive,
+        ] {
+            assert!(labels.insert(k.bar_label()));
+            assert!(!k.name().is_empty());
+        }
+        // Config composition is monotone along the ladder.
+        assert!(PolicyKind::StallOverSteer.config().stall_threshold.is_some());
+        assert!(PolicyKind::FocusedLoc.config().stall_threshold.is_none());
+        assert!(PolicyKind::Proactive.config().proactive.is_some());
+    }
+}

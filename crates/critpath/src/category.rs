@@ -1,0 +1,242 @@
+//! Cost categories and the runtime breakdown.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The cost categories of the paper's Figure 5, plus an explicit commit
+/// component (the paper folds in-order commit constraints into its model;
+/// their contribution is negligible but we keep the attribution exact and
+/// visible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CostCategory {
+    /// Front-end delivery: fetch/dispatch bandwidth and pipeline depth.
+    Fetch,
+    /// Branch-misprediction redirect and refill.
+    BrMispredict,
+    /// Waiting for ROB or scheduling-window space.
+    Window,
+    /// Functional-unit latency (and structural dispatch→issue minimum).
+    Execute,
+    /// Additional memory latency from L1 misses.
+    MemLatency,
+    /// Inter-cluster forwarding delay on the last-arriving operand.
+    FwdDelay,
+    /// Ready-but-not-issued waits (issue-port contention).
+    Contention,
+    /// In-order commit and commit bandwidth.
+    Commit,
+}
+
+impl CostCategory {
+    /// All categories in display order (Figure 5's legend order, commit
+    /// last).
+    pub const ALL: [CostCategory; 8] = [
+        CostCategory::FwdDelay,
+        CostCategory::Contention,
+        CostCategory::Execute,
+        CostCategory::Window,
+        CostCategory::Fetch,
+        CostCategory::MemLatency,
+        CostCategory::BrMispredict,
+        CostCategory::Commit,
+    ];
+
+    /// The category's label as it appears in the paper's figures.
+    pub const fn label(self) -> &'static str {
+        match self {
+            CostCategory::Fetch => "fetch",
+            CostCategory::BrMispredict => "br. mispr.",
+            CostCategory::Window => "window",
+            CostCategory::Execute => "execute",
+            CostCategory::MemLatency => "mem. latency",
+            CostCategory::FwdDelay => "fwd. delay",
+            CostCategory::Contention => "contention",
+            CostCategory::Commit => "commit",
+        }
+    }
+
+    const fn index(self) -> usize {
+        match self {
+            CostCategory::Fetch => 0,
+            CostCategory::BrMispredict => 1,
+            CostCategory::Window => 2,
+            CostCategory::Execute => 3,
+            CostCategory::MemLatency => 4,
+            CostCategory::FwdDelay => 5,
+            CostCategory::Contention => 6,
+            CostCategory::Commit => 7,
+        }
+    }
+}
+
+impl fmt::Display for CostCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Total runtime cycles attributed to each [`CostCategory`].
+///
+/// Produced by [`analyze`](crate::analyze); the categories always sum to
+/// the execution's total cycle count (exact attribution).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Breakdown {
+    cycles: [u64; 8],
+}
+
+impl Breakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attributes `cycles` to `category`.
+    #[inline]
+    pub fn charge(&mut self, category: CostCategory, cycles: u64) {
+        self.cycles[category.index()] += cycles;
+    }
+
+    /// Cycles attributed to `category`.
+    #[inline]
+    pub fn get(&self, category: CostCategory) -> u64 {
+        self.cycles[category.index()]
+    }
+
+    /// Total cycles across all categories.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// The per-instruction CPI contribution of `category`.
+    pub fn cpi_component(&self, category: CostCategory, instructions: usize) -> f64 {
+        if instructions == 0 {
+            return 0.0;
+        }
+        self.get(category) as f64 / instructions as f64
+    }
+
+    /// Iterates `(category, cycles)` over non-zero categories in display
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (CostCategory, u64)> + '_ {
+        CostCategory::ALL
+            .into_iter()
+            .map(|c| (c, self.get(c)))
+            .filter(|&(_, v)| v > 0)
+    }
+
+    /// Fraction of total runtime attributed to clustering penalties
+    /// (forwarding delay + contention), the paper's headline quantity.
+    pub fn clustering_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.get(CostCategory::FwdDelay) + self.get(CostCategory::Contention)) as f64
+            / total as f64
+    }
+}
+
+impl Add for Breakdown {
+    type Output = Breakdown;
+
+    fn add(mut self, rhs: Breakdown) -> Breakdown {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for Breakdown {
+    fn add_assign(&mut self, rhs: Breakdown) {
+        for (dst, src) in self.cycles.iter_mut().zip(rhs.cycles) {
+            *dst += src;
+        }
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().max(1);
+        let mut first = true;
+        for (cat, cycles) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{cat}: {cycles} ({:.1}%)", 100.0 * cycles as f64 / total as f64)?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut b = Breakdown::new();
+        b.charge(CostCategory::Fetch, 10);
+        b.charge(CostCategory::Fetch, 5);
+        b.charge(CostCategory::FwdDelay, 2);
+        assert_eq!(b.get(CostCategory::Fetch), 15);
+        assert_eq!(b.get(CostCategory::FwdDelay), 2);
+        assert_eq!(b.get(CostCategory::Commit), 0);
+        assert_eq!(b.total(), 17);
+    }
+
+    #[test]
+    fn cpi_components() {
+        let mut b = Breakdown::new();
+        b.charge(CostCategory::Execute, 100);
+        assert!((b.cpi_component(CostCategory::Execute, 200) - 0.5).abs() < 1e-12);
+        assert_eq!(b.cpi_component(CostCategory::Execute, 0), 0.0);
+    }
+
+    #[test]
+    fn clustering_fraction() {
+        let mut b = Breakdown::new();
+        b.charge(CostCategory::Execute, 60);
+        b.charge(CostCategory::FwdDelay, 30);
+        b.charge(CostCategory::Contention, 10);
+        assert!((b.clustering_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(Breakdown::new().clustering_fraction(), 0.0);
+    }
+
+    #[test]
+    fn iter_skips_zeros_in_display_order() {
+        let mut b = Breakdown::new();
+        b.charge(CostCategory::Commit, 1);
+        b.charge(CostCategory::FwdDelay, 1);
+        let cats: Vec<_> = b.iter().map(|(c, _)| c).collect();
+        assert_eq!(cats, vec![CostCategory::FwdDelay, CostCategory::Commit]);
+    }
+
+    #[test]
+    fn addition_merges() {
+        let mut a = Breakdown::new();
+        a.charge(CostCategory::Fetch, 1);
+        let mut b = Breakdown::new();
+        b.charge(CostCategory::Fetch, 2);
+        b.charge(CostCategory::Window, 3);
+        let c = a + b;
+        assert_eq!(c.get(CostCategory::Fetch), 3);
+        assert_eq!(c.get(CostCategory::Window), 3);
+    }
+
+    #[test]
+    fn labels_unique_and_display_nonempty() {
+        let mut seen = std::collections::HashSet::new();
+        for c in CostCategory::ALL {
+            assert!(seen.insert(c.label()));
+            assert_eq!(c.to_string(), c.label());
+        }
+        assert_eq!(Breakdown::new().to_string(), "(empty)");
+        let mut b = Breakdown::new();
+        b.charge(CostCategory::Fetch, 3);
+        assert!(b.to_string().contains("fetch"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Producer/consumer criticality statistics (§6 of the paper).
+//!
+//! The proactive load-balancing policy depends on two empirical dataflow
+//! properties the paper reports:
+//!
+//! 1. ~80% of produced values have a *statically unique* most-critical
+//!    consumer (the same consumer PC is the most critical one across
+//!    dynamic instances of the producer).
+//! 2. A given static consumer either almost always or almost never is the
+//!    most critical consumer of its operand — the distribution is bimodal.
+//!
+//! Additionally, of critical producers with multiple consumers, more than
+//! half do *not* have their most critical consumer first in fetch order —
+//! which is why first-consumer-stays steering (prior work) hurts.
+//!
+//! The *most critical consumer* of a dynamic value is the consumer on the
+//! execution's critical path when there is one (matching the paper's
+//! criticality-based definition); otherwise the consumer with the least
+//! slack on that dataflow edge (the one that issued soonest after the
+//! value could reach it).
+
+use ccs_sim::SimResult;
+use ccs_trace::{DynIdx, Trace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Aggregated producer/consumer criticality statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConsumerAnalysis {
+    /// Dynamic values with at least one consumer.
+    pub values: u64,
+    /// Dynamic values with two or more consumers.
+    pub multi_consumer_values: u64,
+    /// Fraction of values whose producer PC has a statically unique
+    /// most-critical consumer (one consumer PC is most critical in ≥ 80%
+    /// of that producer's instances).
+    pub unique_mcc_fraction: f64,
+    /// Among values produced by *critical* instructions with two or more
+    /// consumers, the fraction where the most critical consumer was *not*
+    /// the first consumer in fetch order (the paper reports > 50%).
+    pub mcc_not_first_fraction: f64,
+    /// Critical multi-consumer values considered for
+    /// [`mcc_not_first_fraction`](Self::mcc_not_first_fraction).
+    pub critical_multi_consumer_values: u64,
+    /// Histogram (10 buckets over `[0, 1]`) of each static consumer's rate
+    /// of being the most critical consumer — bimodality shows up as mass
+    /// in the first and last buckets.
+    pub mcc_rate_histogram: [u64; 10],
+}
+
+impl ConsumerAnalysis {
+    /// Fraction of static consumers in the extreme histogram buckets
+    /// (rate < 0.1 or ≥ 0.9) — the bimodality measure.
+    pub fn bimodality(&self) -> f64 {
+        let total: u64 = self.mcc_rate_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.mcc_rate_histogram[0] + self.mcc_rate_histogram[9]) as f64 / total as f64
+    }
+}
+
+/// Computes the §6 consumer statistics for one simulated execution.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_isa::MachineConfig;
+/// use ccs_sim::{policies::LeastLoaded, simulate};
+/// use ccs_trace::Benchmark;
+///
+/// let trace = Benchmark::Vpr.generate(1, 2_000);
+/// let result = simulate(&MachineConfig::micro05_baseline(), &trace,
+///     &mut LeastLoaded).unwrap();
+/// let cp = ccs_critpath::analyze(&trace, &result);
+/// let c = ccs_critpath::analyze_consumers(&trace, &result, &cp.e_critical);
+/// assert!(c.values > 0);
+/// assert!(c.unique_mcc_fraction > 0.0);
+/// ```
+///
+/// `e_critical` is the critical-instruction set from
+/// [`analyze`](crate::analyze) over the same execution.
+///
+/// # Panics
+///
+/// Panics if `result` or `e_critical` does not correspond to `trace`.
+pub fn analyze_consumers(
+    trace: &Trace,
+    result: &SimResult,
+    e_critical: &[bool],
+) -> ConsumerAnalysis {
+    assert_eq!(trace.len(), result.records.len());
+    assert_eq!(trace.len(), e_critical.len());
+    let consumers = trace.consumer_lists();
+    let recs = &result.records;
+    let cfg = &result.config;
+
+    let mut values = 0u64;
+    let mut multi = 0u64;
+    let mut critical_multi = 0u64;
+    let mut mcc_not_first = 0u64;
+
+    // producer PC -> (instances, per-consumer-PC mcc counts)
+    let mut per_producer: HashMap<u64, (u64, HashMap<u64, u64>)> = HashMap::new();
+    // consumer PC -> (times considered, times most critical)
+    let mut per_consumer: HashMap<u64, (u64, u64)> = HashMap::new();
+
+    for (p, cons) in consumers.iter().enumerate() {
+        if cons.is_empty() {
+            continue;
+        }
+        values += 1;
+        let p_rec = &recs[p];
+        // Least slack: the consumer that issued soonest after the value
+        // could have reached it.
+        let slack_of = |c: &DynIdx| {
+            let c_rec = &recs[c.index()];
+            let fwd = cfg.forwarding_between(p_rec.cluster as usize, c_rec.cluster as usize);
+            c_rec.issue.saturating_sub(p_rec.complete + fwd as u64)
+        };
+        // Critical consumers take precedence; slack breaks ties and covers
+        // values with no critical consumer at all.
+        let mcc = *cons
+            .iter()
+            .min_by_key(|c| (!e_critical[c.index()], slack_of(c), c.raw()))
+            .expect("non-empty consumer list");
+        if cons.len() >= 2 {
+            multi += 1;
+            if e_critical[p] {
+                critical_multi += 1;
+                if mcc != cons[0] {
+                    mcc_not_first += 1;
+                }
+            }
+        }
+        let ppc = trace.as_slice()[p].pc().raw();
+        let mcc_pc = trace.as_slice()[mcc.index()].pc().raw();
+        let entry = per_producer.entry(ppc).or_default();
+        entry.0 += 1;
+        *entry.1.entry(mcc_pc).or_insert(0) += 1;
+        for c in cons {
+            let e = per_consumer.entry(trace.as_slice()[c.index()].pc().raw()).or_default();
+            e.0 += 1;
+            if *c == mcc {
+                e.1 += 1;
+            }
+        }
+    }
+
+    // Weight producer-PC uniqueness by dynamic instance count, as the
+    // paper reports a fraction of *values produced*.
+    let mut unique_weighted = 0u64;
+    for (instances, mcc_counts) in per_producer.values() {
+        let top = mcc_counts.values().copied().max().unwrap_or(0);
+        if top as f64 >= 0.8 * *instances as f64 {
+            unique_weighted += instances;
+        }
+    }
+
+    let mut hist = [0u64; 10];
+    for &(seen, was_mcc) in per_consumer.values() {
+        if seen == 0 {
+            continue;
+        }
+        let rate = was_mcc as f64 / seen as f64;
+        let bucket = ((rate * 10.0) as usize).min(9);
+        hist[bucket] += 1;
+    }
+
+    ConsumerAnalysis {
+        values,
+        multi_consumer_values: multi,
+        unique_mcc_fraction: if values == 0 {
+            0.0
+        } else {
+            unique_weighted as f64 / values as f64
+        },
+        mcc_not_first_fraction: if critical_multi == 0 {
+            0.0
+        } else {
+            mcc_not_first as f64 / critical_multi as f64
+        },
+        critical_multi_consumer_values: critical_multi,
+        mcc_rate_histogram: hist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_isa::{ClusterLayout, MachineConfig};
+    use ccs_sim::{policies::LeastLoaded, simulate};
+    use ccs_trace::{Benchmark, TraceBuilder};
+
+    fn analyze_bench(bench: Benchmark, layout: ClusterLayout, len: usize) -> ConsumerAnalysis {
+        let trace = bench.generate(1, len);
+        let cfg = MachineConfig::micro05_baseline().with_layout(layout);
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let cp = crate::analyze(&trace, &result);
+        analyze_consumers(&trace, &result, &cp.e_critical)
+    }
+
+    #[test]
+    fn empty_trace_yields_zeroes() {
+        let trace = TraceBuilder::new().finish();
+        let cfg = MachineConfig::micro05_baseline();
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let a = analyze_consumers(&trace, &result, &[]);
+        assert_eq!(a.values, 0);
+        assert_eq!(a.unique_mcc_fraction, 0.0);
+        assert_eq!(a.bimodality(), 0.0);
+        assert_eq!(a.mcc_not_first_fraction, 0.0);
+    }
+
+    #[test]
+    fn loop_workloads_have_static_mcc_structure() {
+        // In loop-dominated code the most-critical consumer of each static
+        // producer should be highly repeatable across iterations.
+        let a = analyze_bench(Benchmark::Vpr, ClusterLayout::C4x2w, 8_000);
+        assert!(a.values > 1_000);
+        assert!(a.multi_consumer_values > 100);
+        assert!(
+            a.unique_mcc_fraction > 0.5,
+            "unique mcc fraction {}",
+            a.unique_mcc_fraction
+        );
+        // Consumers are bimodal: most either always or never are the MCC.
+        assert!(a.bimodality() > 0.5, "bimodality {}", a.bimodality());
+    }
+
+    #[test]
+    fn divergent_loop_mcc_is_often_not_first() {
+        // Figure 12/13: the loop-carried update is the most critical
+        // consumer but the *last* in fetch order within the iteration.
+        let a = analyze_bench(Benchmark::Parser, ClusterLayout::C8x1w, 8_000);
+        assert!(a.critical_multi_consumer_values > 50);
+        assert!(
+            a.mcc_not_first_fraction > 0.2,
+            "mcc-not-first {}",
+            a.mcc_not_first_fraction
+        );
+    }
+
+    #[test]
+    fn histogram_counts_static_consumers() {
+        let a = analyze_bench(Benchmark::Gap, ClusterLayout::C1x8w, 4_000);
+        let total: u64 = a.mcc_rate_histogram.iter().sum();
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Classified lost-cycle events on the critical path (Figure 6).
+
+use ccs_trace::DynIdx;
+use serde::{Deserialize, Serialize};
+
+/// A contention stall on the critical path: an instruction that was ready
+/// but could not issue (Figure 6a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContentionEvent {
+    /// The stalled instruction.
+    pub idx: DynIdx,
+    /// Cycles spent ready but not issued.
+    pub cycles: u64,
+    /// Whether the steering policy had predicted the instruction critical
+    /// — the paper finds up to two-thirds of critical contention hits
+    /// *predicted-critical* instructions (criticality ties, §4).
+    pub predicted_critical: bool,
+}
+
+/// Why a critical dataflow edge crossed clusters (Figure 6b's legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ForwardingCause {
+    /// The consumer was load-balance steered away from its producer
+    /// because the desired cluster was full — the dominant cause (§3).
+    LoadBalance,
+    /// The consumer is dyadic with producers on different clusters, so
+    /// one operand had to cross regardless (convergent dataflow, §2.2).
+    Dyadic,
+    /// Any other placement decision.
+    Other,
+}
+
+/// An inter-cluster forwarding delay on the critical path (Figure 6b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForwardingEvent {
+    /// The consumer whose last-arriving operand crossed clusters.
+    pub consumer: DynIdx,
+    /// The producing instruction.
+    pub producer: DynIdx,
+    /// Forwarding cycles paid.
+    pub cycles: u64,
+    /// The classified cause.
+    pub cause: ForwardingCause,
+}
+
+/// Aggregate counts over classified events, for Figure 6's stacked bars.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventTotals {
+    /// Contention events hitting predicted-critical instructions.
+    pub contention_predicted_critical: u64,
+    /// Contention events hitting other instructions.
+    pub contention_other: u64,
+    /// Forwarding events caused by load-balance steering.
+    pub forwarding_load_balance: u64,
+    /// Forwarding events at dyadic convergence points.
+    pub forwarding_dyadic: u64,
+    /// Other forwarding events.
+    pub forwarding_other: u64,
+}
+
+impl EventTotals {
+    /// Tallies the totals from event lists.
+    pub fn from_events(contention: &[ContentionEvent], forwarding: &[ForwardingEvent]) -> Self {
+        let mut t = EventTotals::default();
+        for e in contention {
+            if e.predicted_critical {
+                t.contention_predicted_critical += 1;
+            } else {
+                t.contention_other += 1;
+            }
+        }
+        for e in forwarding {
+            match e.cause {
+                ForwardingCause::LoadBalance => t.forwarding_load_balance += 1,
+                ForwardingCause::Dyadic => t.forwarding_dyadic += 1,
+                ForwardingCause::Other => t.forwarding_other += 1,
+            }
+        }
+        t
+    }
+
+    /// All contention events.
+    pub fn contention_total(&self) -> u64 {
+        self.contention_predicted_critical + self.contention_other
+    }
+
+    /// All forwarding events.
+    pub fn forwarding_total(&self) -> u64 {
+        self.forwarding_load_balance + self.forwarding_dyadic + self.forwarding_other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_classify_events() {
+        let contention = vec![
+            ContentionEvent {
+                idx: DynIdx::new(0),
+                cycles: 2,
+                predicted_critical: true,
+            },
+            ContentionEvent {
+                idx: DynIdx::new(1),
+                cycles: 1,
+                predicted_critical: false,
+            },
+            ContentionEvent {
+                idx: DynIdx::new(2),
+                cycles: 3,
+                predicted_critical: true,
+            },
+        ];
+        let forwarding = vec![
+            ForwardingEvent {
+                consumer: DynIdx::new(3),
+                producer: DynIdx::new(0),
+                cycles: 2,
+                cause: ForwardingCause::LoadBalance,
+            },
+            ForwardingEvent {
+                consumer: DynIdx::new(4),
+                producer: DynIdx::new(1),
+                cycles: 2,
+                cause: ForwardingCause::Dyadic,
+            },
+        ];
+        let t = EventTotals::from_events(&contention, &forwarding);
+        assert_eq!(t.contention_predicted_critical, 2);
+        assert_eq!(t.contention_other, 1);
+        assert_eq!(t.contention_total(), 3);
+        assert_eq!(t.forwarding_load_balance, 1);
+        assert_eq!(t.forwarding_dyadic, 1);
+        assert_eq!(t.forwarding_other, 0);
+        assert_eq!(t.forwarding_total(), 2);
+    }
+
+    #[test]
+    fn empty_events_give_zero_totals() {
+        let t = EventTotals::from_events(&[], &[]);
+        assert_eq!(t.contention_total(), 0);
+        assert_eq!(t.forwarding_total(), 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Global slack analysis (§4's discussion of slack vs. LoC).
+//!
+//! The slack of an instruction's execute node is how many cycles its
+//! completion could be delayed without lengthening total runtime (Fields,
+//! Bodík & Hill, ISCA 2002). The paper argues slack is a poor *static*
+//! metric for clustered steering: it is a property of each dynamic
+//! instance, and instances of one static instruction vary wildly — a
+//! branch has no slack when mispredicted and window-bounded slack when
+//! predicted correctly — so a static instruction's slack is a histogram,
+//! not a number. This module computes per-instance slack so that claim
+//! can be demonstrated quantitatively (see the `slack_distribution`
+//! harness binary).
+//!
+//! Slack is computed by a backward *required-time* pass over the same
+//! dependence graph the critical-path walk uses: `req(u) = min over edges
+//! u→v of (req(v) − w)`, anchored at the last commit. The observed times
+//! are one feasible schedule, so `slack = req − observed ≥ 0`, and
+//! instructions on the critical path have zero slack.
+
+use ccs_sim::{DispatchBound, SimResult};
+use ccs_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Per-instance execute-node slack, plus per-static-instruction
+/// aggregation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlackAnalysis {
+    /// Slack (cycles) of each dynamic instruction's execute node.
+    pub slack: Vec<u64>,
+}
+
+impl SlackAnalysis {
+    /// Number of instructions with zero slack (at least the critical path).
+    pub fn zero_slack_count(&self) -> usize {
+        self.slack.iter().filter(|&&s| s == 0).count()
+    }
+
+    /// Number of instructions with slack at most `tau` — the
+    /// "near-critical" set behind the paper's observation that fixing one
+    /// critical path may only expose a parallel near-critical one (§3).
+    pub fn near_critical_count(&self, tau: u64) -> usize {
+        self.slack.iter().filter(|&&s| s <= tau).count()
+    }
+
+    /// Mean slack in cycles.
+    pub fn mean(&self) -> f64 {
+        if self.slack.is_empty() {
+            return 0.0;
+        }
+        self.slack.iter().sum::<u64>() as f64 / self.slack.len() as f64
+    }
+
+    /// A histogram of slack values over the given bucket boundaries:
+    /// bucket `k` counts instances with `bounds[k-1] <= slack < bounds[k]`
+    /// (first bucket starts at 0; a final bucket catches the rest).
+    pub fn histogram(&self, bounds: &[u64]) -> Vec<u64> {
+        let mut hist = vec![0u64; bounds.len() + 1];
+        for &s in &self.slack {
+            let k = bounds.iter().position(|&b| s < b).unwrap_or(bounds.len());
+            hist[k] += 1;
+        }
+        hist
+    }
+
+    /// For one static instruction (all dynamic indices in `instances`),
+    /// the coefficient-of-range statistic `(max − min)` of its slack —
+    /// large values demonstrate §4's point that per-static slack is not a
+    /// single number.
+    pub fn instance_range(&self, instances: &[usize]) -> u64 {
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for &i in instances {
+            min = min.min(self.slack[i]);
+            max = max.max(self.slack[i]);
+        }
+        if min == u64::MAX {
+            0
+        } else {
+            max - min
+        }
+    }
+}
+
+/// Computes per-instance execute-node slack for one simulated execution.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_isa::MachineConfig;
+/// use ccs_sim::{policies::LeastLoaded, simulate};
+/// use ccs_trace::Benchmark;
+///
+/// let trace = Benchmark::Vpr.generate(1, 1_000);
+/// let result = simulate(&MachineConfig::micro05_baseline(), &trace,
+///     &mut LeastLoaded).unwrap();
+/// let slack = ccs_critpath::analyze_slack(&trace, &result);
+/// // Something is always critical; most instructions have some slack.
+/// assert!(slack.zero_slack_count() >= 1);
+/// assert!(slack.near_critical_count(8) >= slack.zero_slack_count());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `result` does not correspond to `trace`.
+pub fn analyze_slack(trace: &Trace, result: &SimResult) -> SlackAnalysis {
+    assert_eq!(trace.len(), result.records.len());
+    let n = trace.len();
+    if n == 0 {
+        return SlackAnalysis { slack: Vec::new() };
+    }
+    let recs = &result.records;
+    let cfg = &result.config;
+    let depth = cfg.front_end.depth_to_dispatch as u64;
+    let cw = cfg.commit_width;
+    let fw = cfg.front_end.fetch_width;
+
+    const INF: u64 = u64::MAX / 4;
+    let mut req_d = vec![INF; n];
+    let mut req_e = vec![INF; n];
+    let mut req_c = vec![INF; n];
+    req_c[n - 1] = recs[n - 1].commit;
+
+    // Dataflow consumers are needed to relax E→E edges from the consumer
+    // side; iterate nodes in decreasing index, relaxing incoming edges.
+    for i in (0..n).rev() {
+        let r = &recs[i];
+        // --- node C(i): incoming E(i) (w=1), C(i-1) (w=0), C(i-cw) (w=1).
+        let rc = req_c[i];
+        if rc < INF {
+            req_e[i] = req_e[i].min(rc - 1);
+            if i > 0 {
+                req_c[i - 1] = req_c[i - 1].min(rc);
+            }
+            if i >= cw {
+                req_c[i - cw] = req_c[i - cw].min(rc - 1);
+            }
+        }
+        // --- node E(i): incoming D(i) (w = 1 + observed latency) and
+        // E(p) (w = fwd + observed latency) per operand.
+        let re = req_e[i];
+        if re < INF {
+            let lat = r.exec_latency();
+            req_d[i] = req_d[i].min(re.saturating_sub(1 + lat));
+            for p in trace.as_slice()[i].producers() {
+                let pr = &recs[p.index()];
+                let fwd =
+                    cfg.forwarding_between(pr.cluster as usize, r.cluster as usize) as u64;
+                let w = fwd + lat;
+                req_e[p.index()] = req_e[p.index()].min(re.saturating_sub(w));
+            }
+        }
+        // --- node D(i): incoming D(i-1) (w=0), D(i-fw) (w=1), plus the
+        // observed redirect / ROB binding edges.
+        let rd = req_d[i];
+        if rd < INF {
+            if i > 0 {
+                req_d[i - 1] = req_d[i - 1].min(rd);
+            }
+            if i >= fw {
+                req_d[i - fw] = req_d[i - fw].min(rd - 1);
+            }
+            match r.dispatch_bound {
+                DispatchBound::Redirect(b) => {
+                    req_e[b.index()] = req_e[b.index()].min(rd.saturating_sub(1 + depth));
+                }
+                DispatchBound::RobFull(j) => {
+                    req_c[j.index()] = req_c[j.index()].min(rd);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let slack = (0..n)
+        .map(|i| {
+            if req_e[i] >= INF {
+                // No path to the end constrains this node (e.g. a value
+                // never consumed); its slack is bounded only by its own
+                // commit requirement, already relaxed via C(i).
+                0
+            } else {
+                req_e[i].saturating_sub(recs[i].complete)
+            }
+        })
+        .collect();
+    SlackAnalysis { slack }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::analyze;
+    use ccs_isa::{ArchReg, ClusterLayout, MachineConfig, OpClass, Pc, StaticInst};
+    use ccs_sim::{policies::LeastLoaded, simulate};
+    use ccs_trace::{Benchmark, TraceBuilder};
+
+    #[test]
+    fn critical_instructions_have_zero_slack() {
+        let trace = Benchmark::Gzip.generate(1, 3_000);
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let cp = analyze(&trace, &result);
+        let slack = analyze_slack(&trace, &result);
+        for (i, &critical) in cp.e_critical.iter().enumerate() {
+            if critical {
+                assert_eq!(slack.slack[i], 0, "critical inst {i} must have zero slack");
+            }
+        }
+        // And the critical set is a subset of the zero-slack set.
+        assert!(slack.zero_slack_count() >= cp.critical_count());
+    }
+
+    #[test]
+    fn independent_side_work_has_large_slack() {
+        // A long serial chain plus one independent instruction early on:
+        // the chain has no slack, the independent one has plenty.
+        let mut b = TraceBuilder::new();
+        let r = ArchReg::int(1);
+        let side = ArchReg::int(2);
+        b.push_simple(StaticInst::new(Pc::new(0), OpClass::IntAlu).with_dst(side));
+        for i in 0..500u64 {
+            b.push_simple(
+                StaticInst::new(Pc::new(4 + 4 * (i % 8)), OpClass::IntAlu)
+                    .with_src(r)
+                    .with_dst(r),
+            );
+        }
+        let trace = b.finish();
+        let cfg = MachineConfig::micro05_baseline();
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let slack = analyze_slack(&trace, &result);
+        assert!(
+            slack.slack[0] > 100,
+            "independent inst slack {}",
+            slack.slack[0]
+        );
+        // Chain middle: zero slack.
+        assert_eq!(slack.slack[250], 0);
+    }
+
+    #[test]
+    fn slack_is_nonnegative_and_bounded() {
+        let trace = Benchmark::Vpr.generate(2, 3_000);
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let slack = analyze_slack(&trace, &result);
+        assert_eq!(slack.slack.len(), trace.len());
+        for &s in &slack.slack {
+            assert!(s <= result.cycles, "slack {s} exceeds runtime");
+        }
+        assert!(slack.mean() >= 0.0);
+    }
+
+    #[test]
+    fn near_critical_grows_with_tau() {
+        let trace = Benchmark::Vpr.generate(5, 3_000);
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let slack = analyze_slack(&trace, &result);
+        let z = slack.near_critical_count(0);
+        let t2 = slack.near_critical_count(2);
+        let t16 = slack.near_critical_count(16);
+        assert_eq!(z, slack.zero_slack_count());
+        assert!(z <= t2 && t2 <= t16);
+        // §3: near-critical mass exceeds the strictly-critical set.
+        assert!(t16 > z, "near-critical {t16} vs critical {z}");
+    }
+
+    #[test]
+    fn histogram_partitions_instances() {
+        let trace = Benchmark::Gap.generate(3, 2_000);
+        let cfg = MachineConfig::micro05_baseline();
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let slack = analyze_slack(&trace, &result);
+        let hist = slack.histogram(&[1, 8, 32, 128]);
+        assert_eq!(hist.len(), 5);
+        assert_eq!(hist.iter().sum::<u64>() as usize, trace.len());
+    }
+
+    #[test]
+    fn branch_slack_is_bimodal_per_instance() {
+        // §4: mispredicted instances have no slack; correctly predicted
+        // ones have large slack — per-static slack is a histogram.
+        let trace = Benchmark::Vpr.generate(4, 8_000);
+        let cfg = MachineConfig::micro05_baseline();
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let slack = analyze_slack(&trace, &result);
+        // Gather instances of the hard rib branch (mispredicted often).
+        let mut mispredicted = Vec::new();
+        let mut correct = Vec::new();
+        for (i, rec) in result.records.iter().enumerate() {
+            if trace.as_slice()[i].is_conditional_branch() {
+                if rec.mispredicted {
+                    mispredicted.push(slack.slack[i]);
+                } else {
+                    correct.push(slack.slack[i]);
+                }
+            }
+        }
+        assert!(!mispredicted.is_empty() && !correct.is_empty());
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        assert!(
+            mean(&mispredicted) < mean(&correct),
+            "mispredicted {} vs correct {}",
+            mean(&mispredicted),
+            mean(&correct)
+        );
+    }
+
+    #[test]
+    fn empty_trace_slack() {
+        let trace = TraceBuilder::new().finish();
+        let cfg = MachineConfig::micro05_baseline();
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let s = analyze_slack(&trace, &result);
+        assert!(s.slack.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.zero_slack_count(), 0);
+        assert_eq!(s.instance_range(&[]), 0);
+    }
+}

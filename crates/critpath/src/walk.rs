@@ -1,0 +1,417 @@
+//! The backward last-arriving-edge walk.
+
+use crate::category::{Breakdown, CostCategory};
+use crate::events::{ContentionEvent, EventTotals, ForwardingCause, ForwardingEvent};
+use ccs_sim::{CommitBound, DispatchBound, ReadyBound, SimResult, SteerCause};
+use ccs_trace::{DynIdx, Trace};
+use serde::{Deserialize, Serialize};
+
+/// The result of a critical-path analysis over one simulated execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CritPathAnalysis {
+    /// Total runtime attributed per cost category; sums exactly to the
+    /// execution's cycle count.
+    pub breakdown: Breakdown,
+    /// `e_critical[i]` — instruction `i`'s execute node lies on the
+    /// critical path. This is the signal the Fields token-passing detector
+    /// samples, and what trains the criticality predictors.
+    pub e_critical: Vec<bool>,
+    /// Contention stalls encountered on the path (Figure 6a).
+    pub contention_events: Vec<ContentionEvent>,
+    /// Inter-cluster forwarding delays on the path (Figure 6b).
+    pub forwarding_events: Vec<ForwardingEvent>,
+    /// Length of the critical path in graph nodes.
+    pub path_nodes: usize,
+}
+
+impl CritPathAnalysis {
+    /// Number of E-critical instructions.
+    pub fn critical_count(&self) -> usize {
+        self.e_critical.iter().filter(|&&c| c).count()
+    }
+
+    /// Aggregated Figure 6 event totals.
+    pub fn event_totals(&self) -> EventTotals {
+        EventTotals::from_events(&self.contention_events, &self.forwarding_events)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Node {
+    Dispatch(u32),
+    Execute(u32),
+    Commit(u32),
+    Root,
+}
+
+/// Walks the critical path of `result` and attributes every cycle of
+/// runtime to a cost category.
+///
+/// The walk starts at the commit node of the last instruction and follows
+/// each node's recorded binding constraint backwards until it reaches the
+/// dispatch of the first instruction. Because node times are monotone
+/// along binding edges, the per-edge attributions sum exactly to the total
+/// cycle count.
+///
+/// # Panics
+///
+/// Panics if `result` does not correspond to `trace` (differing lengths).
+pub fn analyze(trace: &Trace, result: &SimResult) -> CritPathAnalysis {
+    assert_eq!(
+        trace.len(),
+        result.records.len(),
+        "trace and simulation result must match"
+    );
+    let n = trace.len();
+    let mut breakdown = Breakdown::new();
+    let mut e_critical = vec![false; n];
+    let mut contention_events = Vec::new();
+    let mut forwarding_events = Vec::new();
+    let mut path_nodes = 0usize;
+
+    if n == 0 {
+        return CritPathAnalysis {
+            breakdown,
+            e_critical,
+            contention_events,
+            forwarding_events,
+            path_nodes,
+        };
+    }
+
+    let recs = &result.records;
+    let commit_width = result.config.commit_width;
+
+    let mut node = Node::Commit((n - 1) as u32);
+    // The walk strictly decreases node time or instruction index, so it
+    // terminates; the budget is a defensive bound.
+    let mut budget = 8 * n as u64 + result.cycles + 16;
+
+    loop {
+        path_nodes += 1;
+        budget -= 1;
+        assert!(budget > 0, "critical-path walk failed to terminate");
+        match node {
+            Node::Root => break,
+            Node::Commit(i) => {
+                let r = &recs[i as usize];
+                match r.commit_bound {
+                    CommitBound::Complete => {
+                        breakdown.charge(CostCategory::Commit, r.commit - r.complete);
+                        node = Node::Execute(i);
+                    }
+                    CommitBound::InOrder => {
+                        let prev = i - 1;
+                        breakdown.charge(CostCategory::Commit, r.commit - recs[prev as usize].commit);
+                        node = Node::Commit(prev);
+                    }
+                    CommitBound::Bandwidth => {
+                        let prev = i.saturating_sub(commit_width as u32);
+                        if prev == i {
+                            // Degenerate tiny-machine case; treat as complete-bound.
+                            breakdown.charge(CostCategory::Commit, r.commit - r.complete);
+                            node = Node::Execute(i);
+                        } else {
+                            breakdown
+                                .charge(CostCategory::Commit, r.commit - recs[prev as usize].commit);
+                            node = Node::Commit(prev);
+                        }
+                    }
+                }
+            }
+            Node::Execute(i) => {
+                let r = &recs[i as usize];
+                e_critical[i as usize] = true;
+                // complete = issue + base latency + memory extra.
+                let exec = r.exec_latency();
+                let mem_extra = r.mem_extra as u64;
+                breakdown.charge(CostCategory::Execute, exec - mem_extra);
+                breakdown.charge(CostCategory::MemLatency, mem_extra);
+
+                let contention = r.contention_wait();
+                if contention > 0 {
+                    breakdown.charge(CostCategory::Contention, contention);
+                    contention_events.push(ContentionEvent {
+                        idx: DynIdx::new(i),
+                        cycles: contention,
+                        predicted_critical: r.predicted_critical,
+                    });
+                }
+
+                match r.ready_bound {
+                    ReadyBound::Operand {
+                        producer, fwd, ..
+                    } => {
+                        if fwd > 0 {
+                            breakdown.charge(CostCategory::FwdDelay, fwd as u64);
+                            forwarding_events.push(ForwardingEvent {
+                                consumer: DynIdx::new(i),
+                                producer,
+                                cycles: fwd as u64,
+                                cause: classify_forwarding(trace, result, i as usize),
+                            });
+                        }
+                        node = Node::Execute(producer.raw());
+                    }
+                    ReadyBound::Dispatch => {
+                        // The structural dispatch→ready minimum cycle.
+                        breakdown.charge(CostCategory::Execute, r.ready - r.dispatch);
+                        node = Node::Dispatch(i);
+                    }
+                }
+            }
+            Node::Dispatch(i) => {
+                let r = &recs[i as usize];
+                match r.dispatch_bound {
+                    DispatchBound::FrontEnd | DispatchBound::InOrder => {
+                        if i == 0 {
+                            breakdown.charge(CostCategory::Fetch, r.dispatch);
+                            node = Node::Root;
+                        } else {
+                            let prev = i - 1;
+                            breakdown
+                                .charge(CostCategory::Fetch, r.dispatch - recs[prev as usize].dispatch);
+                            node = Node::Dispatch(prev);
+                        }
+                    }
+                    DispatchBound::Redirect(b) => {
+                        breakdown.charge(
+                            CostCategory::BrMispredict,
+                            r.dispatch - recs[b.index()].complete,
+                        );
+                        node = Node::Execute(b.raw());
+                    }
+                    DispatchBound::RobFull(j) => {
+                        breakdown.charge(CostCategory::Window, r.dispatch - recs[j.index()].commit);
+                        node = Node::Commit(j.raw());
+                    }
+                    DispatchBound::SteerStall { freed_by } => {
+                        // The slot was freed by instruction `j` issuing out
+                        // of the target window. `j`'s issue was itself
+                        // bound by its last-arriving operand — the window
+                        // drained at that dataflow's pace — so the path
+                        // continues through that producer's execute node
+                        // (the Fields-style E-chain), with the drain wait
+                        // charged to the window category.
+                        match freed_by {
+                            Some(j) if j.raw() < i => match recs[j.index()].ready_bound {
+                                ReadyBound::Operand { producer, .. }
+                                    if recs[producer.index()].complete <= r.dispatch =>
+                                {
+                                    breakdown.charge(
+                                        CostCategory::Window,
+                                        r.dispatch - recs[producer.index()].complete,
+                                    );
+                                    node = Node::Execute(producer.raw());
+                                }
+                                _ => {
+                                    breakdown.charge(
+                                        CostCategory::Window,
+                                        r.dispatch - recs[j.index()].dispatch,
+                                    );
+                                    node = Node::Dispatch(j.raw());
+                                }
+                            },
+                            _ => {
+                                if i == 0 {
+                                    breakdown.charge(CostCategory::Window, r.dispatch);
+                                    node = Node::Root;
+                                } else {
+                                    let prev = i - 1;
+                                    breakdown.charge(
+                                        CostCategory::Window,
+                                        r.dispatch - recs[prev as usize].dispatch,
+                                    );
+                                    node = Node::Dispatch(prev);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // The walk ends at the dispatch chain's root; the cycles between the
+    // last commit and the total cycle count (the +1 loop exit) land in
+    // commit.
+    let attributed = breakdown.total();
+    debug_assert!(attributed <= result.cycles);
+    breakdown.charge(CostCategory::Commit, result.cycles - attributed);
+
+    CritPathAnalysis {
+        breakdown,
+        e_critical,
+        contention_events,
+        forwarding_events,
+        path_nodes,
+    }
+}
+
+/// Classifies why consumer `i`'s critical operand crossed clusters.
+fn classify_forwarding(trace: &Trace, result: &SimResult, i: usize) -> ForwardingCause {
+    let r = &result.records[i];
+    if r.steer_cause == SteerCause::LoadBalance {
+        return ForwardingCause::LoadBalance;
+    }
+    let inst = &trace.as_slice()[i];
+    let producers: Vec<_> = inst.producers().collect();
+    if producers.len() == 2 {
+        let c0 = result.records[producers[0].index()].cluster;
+        let c1 = result.records[producers[1].index()].cluster;
+        if c0 != c1 {
+            return ForwardingCause::Dyadic;
+        }
+    }
+    ForwardingCause::Other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_isa::{ArchReg, ClusterLayout, MachineConfig, OpClass, Pc, StaticInst};
+    use ccs_sim::policies::{LeastLoaded, RoundRobin};
+    use ccs_sim::simulate;
+    use ccs_trace::{Benchmark, TraceBuilder};
+
+    fn run(
+        bench: Benchmark,
+        layout: ClusterLayout,
+        len: usize,
+    ) -> (Trace, SimResult) {
+        let trace = bench.generate(1, len);
+        let cfg = MachineConfig::micro05_baseline().with_layout(layout);
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        (trace, result)
+    }
+
+    #[test]
+    fn attribution_is_exact_for_all_benchmarks_and_layouts() {
+        for bench in [Benchmark::Vpr, Benchmark::Mcf, Benchmark::Gcc, Benchmark::Gzip] {
+            for layout in ClusterLayout::ALL {
+                let (trace, result) = run(bench, layout, 3_000);
+                let a = analyze(&trace, &result);
+                assert_eq!(
+                    a.breakdown.total(),
+                    result.cycles,
+                    "{bench} {layout}: attribution must sum to runtime"
+                );
+                assert!(a.path_nodes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_chain_is_execute_bound() {
+        let mut b = TraceBuilder::new();
+        let r = ArchReg::int(1);
+        for i in 0..2_000u64 {
+            b.push_simple(
+                StaticInst::new(Pc::new(4 * (i % 8)), OpClass::IntAlu)
+                    .with_src(r)
+                    .with_dst(r),
+            );
+        }
+        let trace = b.finish();
+        let cfg = MachineConfig::micro05_baseline();
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let a = analyze(&trace, &result);
+        let exec_frac =
+            a.breakdown.get(CostCategory::Execute) as f64 / a.breakdown.total() as f64;
+        assert!(exec_frac > 0.9, "execute fraction {exec_frac}");
+        // Nearly every instruction is E-critical.
+        assert!(a.critical_count() > 1_900, "critical {}", a.critical_count());
+    }
+
+    #[test]
+    fn independent_insts_are_fetch_bound() {
+        let mut b = TraceBuilder::new();
+        for i in 0..4_000u64 {
+            b.push_simple(
+                StaticInst::new(Pc::new(4 * (i % 16)), OpClass::IntAlu)
+                    .with_dst(ArchReg::int(1 + (i % 30) as u16)),
+            );
+        }
+        let trace = b.finish();
+        let cfg = MachineConfig::micro05_baseline();
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let a = analyze(&trace, &result);
+        let fetch_frac = a.breakdown.get(CostCategory::Fetch) as f64 / a.breakdown.total() as f64;
+        assert!(fetch_frac > 0.8, "fetch fraction {fetch_frac}");
+    }
+
+    #[test]
+    fn round_robin_serial_chain_shows_forwarding_delay() {
+        let mut b = TraceBuilder::new();
+        let r = ArchReg::int(1);
+        for i in 0..1_500u64 {
+            b.push_simple(
+                StaticInst::new(Pc::new(4 * (i % 8)), OpClass::IntAlu)
+                    .with_src(r)
+                    .with_dst(r),
+            );
+        }
+        let trace = b.finish();
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
+        let result = simulate(&cfg, &trace, &mut RoundRobin::default()).unwrap();
+        let a = analyze(&trace, &result);
+        let fwd_frac = a.breakdown.get(CostCategory::FwdDelay) as f64 / a.breakdown.total() as f64;
+        assert!(fwd_frac > 0.5, "fwd fraction {fwd_frac}");
+        assert!(!a.forwarding_events.is_empty());
+    }
+
+    #[test]
+    fn pointer_chase_is_memory_bound() {
+        let (trace, result) = run(Benchmark::Mcf, ClusterLayout::C1x8w, 4_000);
+        let a = analyze(&trace, &result);
+        let mem_frac =
+            a.breakdown.get(CostCategory::MemLatency) as f64 / a.breakdown.total() as f64;
+        assert!(mem_frac > 0.3, "mem fraction {mem_frac}");
+    }
+
+    #[test]
+    fn mispredict_heavy_workload_shows_br_cost() {
+        let (trace, result) = run(Benchmark::Vpr, ClusterLayout::C1x8w, 6_000);
+        assert!(result.mispredict_rate() > 0.05);
+        let a = analyze(&trace, &result);
+        assert!(
+            a.breakdown.get(CostCategory::BrMispredict) > 0,
+            "expected branch misprediction cost on the critical path"
+        );
+    }
+
+    #[test]
+    fn empty_execution_analyzes_cleanly() {
+        let trace = TraceBuilder::new().finish();
+        let cfg = MachineConfig::micro05_baseline();
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let a = analyze(&trace, &result);
+        assert_eq!(a.breakdown.total(), 0);
+        assert_eq!(a.critical_count(), 0);
+        assert_eq!(a.event_totals().contention_total(), 0);
+    }
+
+    #[test]
+    fn critical_set_is_sparse_on_wide_machine() {
+        // On the monolithic machine running parallel-friendly code, only a
+        // minority of instructions should be E-critical.
+        let (trace, result) = run(Benchmark::Vortex, ClusterLayout::C1x8w, 6_000);
+        let a = analyze(&trace, &result);
+        let frac = a.critical_count() as f64 / trace.len() as f64;
+        assert!(frac < 0.5, "critical fraction {frac}");
+    }
+
+    #[test]
+    fn clustered_runs_shift_cost_toward_clustering_categories() {
+        let (trace_m, result_m) = run(Benchmark::Gzip, ClusterLayout::C1x8w, 5_000);
+        let (trace_c, result_c) = run(Benchmark::Gzip, ClusterLayout::C8x1w, 5_000);
+        let am = analyze(&trace_m, &result_m);
+        let ac = analyze(&trace_c, &result_c);
+        assert!(
+            ac.breakdown.clustering_fraction() > am.breakdown.clustering_fraction(),
+            "clustering categories should grow: {} vs {}",
+            ac.breakdown.clustering_fraction(),
+            am.breakdown.clustering_fraction()
+        );
+    }
+}

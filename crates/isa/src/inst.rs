@@ -1,0 +1,272 @@
+//! Static instruction representation.
+//!
+//! A *static* instruction is a PC-identified operation template: its class,
+//! source registers and destination register. Dynamic instances of static
+//! instructions (with resolved dependences, addresses and branch outcomes)
+//! live in the `ccs-trace` crate. The criticality predictors in
+//! `ccs-predictors` are indexed by [`Pc`], because the paper's likelihood
+//! of criticality is a property of the *static* instruction.
+
+use crate::op::OpClass;
+use crate::reg::ArchReg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A program counter value identifying a static instruction.
+///
+/// ```
+/// use ccs_isa::Pc;
+/// let pc = Pc::new(0x1200);
+/// assert_eq!(pc.next().raw(), 0x1204);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Instruction size in bytes (fixed-width, Alpha-style).
+    pub const INST_BYTES: u64 = 4;
+
+    /// Creates a PC from a raw address.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        Pc(addr)
+    }
+
+    /// The raw address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The PC of the next sequential instruction.
+    #[inline]
+    pub const fn next(self) -> Pc {
+        Pc(self.0 + Self::INST_BYTES)
+    }
+
+    /// The PC `n` instructions later.
+    #[inline]
+    pub const fn offset(self, n: u64) -> Pc {
+        Pc(self.0 + n * Self::INST_BYTES)
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Pc {
+    fn from(addr: u64) -> Self {
+        Pc(addr)
+    }
+}
+
+/// How a control-flow instruction behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchClass {
+    /// Conditional branch whose direction is predicted by the branch
+    /// predictor.
+    Conditional,
+    /// Unconditional direct jump (always taken, direction trivially known).
+    Unconditional,
+}
+
+/// The dynamic outcome of a control-flow instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// The branch's class.
+    pub class: BranchClass,
+    /// Whether the branch was taken in this dynamic instance.
+    pub taken: bool,
+}
+
+impl BranchInfo {
+    /// A taken/not-taken conditional branch outcome.
+    pub const fn conditional(taken: bool) -> Self {
+        BranchInfo {
+            class: BranchClass::Conditional,
+            taken,
+        }
+    }
+
+    /// An unconditional (always taken) jump outcome.
+    pub const fn unconditional() -> Self {
+        BranchInfo {
+            class: BranchClass::Unconditional,
+            taken: true,
+        }
+    }
+}
+
+/// A static instruction: operation class plus register operands.
+///
+/// Up to two source registers and an optional destination, which is the
+/// operand shape of the Alpha integer ISA the paper compiles for.
+///
+/// ```
+/// use ccs_isa::{ArchReg, OpClass, Pc, StaticInst};
+/// let add = StaticInst::new(Pc::new(0x100), OpClass::IntAlu)
+///     .with_srcs([Some(ArchReg::int(1)), Some(ArchReg::int(2))])
+///     .with_dst(ArchReg::int(3));
+/// assert_eq!(add.src_count(), 2);
+/// assert!(add.is_dyadic());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StaticInst {
+    /// The instruction's PC.
+    pub pc: Pc,
+    /// The operation class.
+    pub op: OpClass,
+    /// Source registers (up to two).
+    pub srcs: [Option<ArchReg>; 2],
+    /// Destination register, if the instruction produces a value.
+    pub dst: Option<ArchReg>,
+}
+
+impl StaticInst {
+    /// Creates an instruction with no operands.
+    pub const fn new(pc: Pc, op: OpClass) -> Self {
+        StaticInst {
+            pc,
+            op,
+            srcs: [None, None],
+            dst: None,
+        }
+    }
+
+    /// Sets the source registers.
+    #[must_use]
+    pub const fn with_srcs(mut self, srcs: [Option<ArchReg>; 2]) -> Self {
+        self.srcs = srcs;
+        self
+    }
+
+    /// Sets a single (first) source register.
+    #[must_use]
+    pub const fn with_src(mut self, src: ArchReg) -> Self {
+        self.srcs = [Some(src), None];
+        self
+    }
+
+    /// Sets the destination register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation class does not produce a value
+    /// (stores, branches, jumps).
+    #[must_use]
+    pub fn with_dst(mut self, dst: ArchReg) -> Self {
+        assert!(
+            self.op.produces_value(),
+            "{} does not produce a register value",
+            self.op
+        );
+        self.dst = Some(dst);
+        self
+    }
+
+    /// The number of source operands.
+    #[inline]
+    pub fn src_count(&self) -> usize {
+        self.srcs.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether the instruction has two source operands — the *dyadic*
+    /// shape at which convergent dataflow (§2.2 of the paper) occurs.
+    #[inline]
+    pub fn is_dyadic(&self) -> bool {
+        self.src_count() == 2
+    }
+
+    /// Iterates over the present source registers.
+    pub fn sources(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.srcs.iter().filter_map(|s| *s)
+    }
+}
+
+impl fmt::Display for StaticInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pc, self.op)?;
+        if let Some(dst) = self.dst {
+            write!(f, " {dst}")?;
+        }
+        let mut first = self.dst.is_none();
+        for src in self.sources() {
+            if first {
+                write!(f, " {src}")?;
+                first = false;
+            } else {
+                write!(f, ", {src}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_arithmetic() {
+        let pc = Pc::new(0x1000);
+        assert_eq!(pc.next(), Pc::new(0x1004));
+        assert_eq!(pc.offset(4), Pc::new(0x1010));
+        assert_eq!(Pc::from(8u64).raw(), 8);
+    }
+
+    #[test]
+    fn pc_display_is_hex() {
+        assert_eq!(Pc::new(0xff).to_string(), "0xff");
+    }
+
+    #[test]
+    fn static_inst_builders() {
+        let inst = StaticInst::new(Pc::new(0), OpClass::IntAlu)
+            .with_srcs([Some(ArchReg::int(1)), Some(ArchReg::int(2))])
+            .with_dst(ArchReg::int(3));
+        assert_eq!(inst.src_count(), 2);
+        assert!(inst.is_dyadic());
+        assert_eq!(inst.dst, Some(ArchReg::int(3)));
+        assert_eq!(inst.sources().count(), 2);
+    }
+
+    #[test]
+    fn monadic_inst_is_not_dyadic() {
+        let inst = StaticInst::new(Pc::new(0), OpClass::Load).with_src(ArchReg::int(1));
+        assert_eq!(inst.src_count(), 1);
+        assert!(!inst.is_dyadic());
+    }
+
+    #[test]
+    #[should_panic]
+    fn store_cannot_have_dst() {
+        let _ = StaticInst::new(Pc::new(0), OpClass::Store).with_dst(ArchReg::int(0));
+    }
+
+    #[test]
+    fn branch_info_constructors() {
+        let b = BranchInfo::conditional(true);
+        assert!(b.taken);
+        assert_eq!(b.class, BranchClass::Conditional);
+        let j = BranchInfo::unconditional();
+        assert!(j.taken);
+        assert_eq!(j.class, BranchClass::Unconditional);
+    }
+
+    #[test]
+    fn display_includes_operands() {
+        let inst = StaticInst::new(Pc::new(0x40), OpClass::IntAlu)
+            .with_srcs([Some(ArchReg::int(1)), Some(ArchReg::int(2))])
+            .with_dst(ArchReg::int(3));
+        let s = inst.to_string();
+        assert!(s.contains("alu"));
+        assert!(s.contains("r3"));
+        assert!(s.contains("r1"));
+        assert!(s.contains("r2"));
+    }
+}

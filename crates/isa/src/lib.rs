@@ -1,0 +1,37 @@
+//! Alpha-flavoured micro-op ISA and machine configuration types.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: operation classes and their latencies (modelled after the
+//! Alpha 21264, as in the paper), architectural registers, static
+//! instructions, and the machine/cluster configuration types that describe
+//! the monolithic baseline (`1x8w`) and its clustered partitionings
+//! (`2x4w`, `4x2w`, `8x1w`).
+//!
+//! # Example
+//!
+//! ```
+//! use ccs_isa::{MachineConfig, ClusterLayout, OpClass};
+//!
+//! let baseline = MachineConfig::micro05_baseline();
+//! assert_eq!(baseline.cluster_count(), 1);
+//!
+//! let clustered = baseline.with_layout(ClusterLayout::C4x2w);
+//! assert_eq!(clustered.cluster_count(), 4);
+//! assert_eq!(clustered.cluster.window_entries, 32);
+//! assert_eq!(OpClass::Load.latency(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod inst;
+mod op;
+mod reg;
+
+pub use config::{
+    ClusterConfig, ClusterLayout, ConfigError, FrontEndConfig, MachineConfig, MemoryConfig,
+};
+pub use inst::{BranchClass, BranchInfo, Pc, StaticInst};
+pub use op::{OpClass, PortKind};
+pub use reg::{ArchReg, RegClass, RegFile, INT_REG_COUNT, TOTAL_REG_COUNT};

@@ -1,0 +1,226 @@
+//! Operation classes and execution latencies.
+//!
+//! The simulator does not interpret instruction semantics; only the
+//! *operation class* matters for timing: which execution port an
+//! instruction occupies, how long it takes to produce its result, and
+//! whether it touches memory or redirects control flow. Latencies follow
+//! the Alpha 21264 values used by the paper (e.g. a 3-cycle load-to-use).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The class of a micro-operation.
+///
+/// Classes are timing-equivalence classes: two dynamic instructions with
+/// the same `OpClass` are indistinguishable to the timing model except for
+/// their dependences and (for memory ops) their addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation (add, compare, logical, shift).
+    IntAlu,
+    /// Pipelined integer multiply (7 cycles on the 21264).
+    IntMul,
+    /// Floating-point add/subtract/compare (4 cycles).
+    FpAdd,
+    /// Floating-point multiply (4 cycles).
+    FpMul,
+    /// Floating-point divide (12 cycles, modelled fully pipelined for
+    /// simplicity — divides are rare in the integer workloads studied).
+    FpDiv,
+    /// Memory load. Latency is the 3-cycle load-to-use time on an L1 hit;
+    /// the memory subsystem adds miss latency on top.
+    Load,
+    /// Memory store. Occupies a memory port; produces no register value.
+    Store,
+    /// Conditional branch (single-cycle compare-and-branch).
+    Branch,
+    /// Unconditional jump / call / return.
+    Jump,
+}
+
+/// The kind of execution port an operation occupies for one cycle at issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortKind {
+    /// Integer ALU port (also used by branches and jumps).
+    Int,
+    /// Floating-point port.
+    Fp,
+    /// Memory port (loads and stores).
+    Mem,
+}
+
+impl OpClass {
+    /// All operation classes, in a fixed order (useful for histograms).
+    pub const ALL: [OpClass; 9] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::FpAdd,
+        OpClass::FpMul,
+        OpClass::FpDiv,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Branch,
+        OpClass::Jump,
+    ];
+
+    /// Base execution latency in cycles, i.e. the number of cycles from
+    /// issue until the result is available to a same-cluster consumer.
+    ///
+    /// For [`OpClass::Load`] this is the load-to-use latency on an L1 hit;
+    /// cache misses add further cycles (see the memory model in `ccs-sim`).
+    ///
+    /// ```
+    /// use ccs_isa::OpClass;
+    /// assert_eq!(OpClass::IntAlu.latency(), 1);
+    /// assert_eq!(OpClass::Load.latency(), 3);
+    /// assert_eq!(OpClass::IntMul.latency(), 7);
+    /// ```
+    #[inline]
+    pub const fn latency(self) -> u32 {
+        match self {
+            OpClass::IntAlu | OpClass::Store | OpClass::Branch | OpClass::Jump => 1,
+            OpClass::IntMul => 7,
+            OpClass::FpAdd | OpClass::FpMul => 4,
+            OpClass::FpDiv => 12,
+            OpClass::Load => 3,
+        }
+    }
+
+    /// The execution port this operation contends for.
+    ///
+    /// ```
+    /// use ccs_isa::{OpClass, PortKind};
+    /// assert_eq!(OpClass::Branch.port(), PortKind::Int);
+    /// assert_eq!(OpClass::Store.port(), PortKind::Mem);
+    /// ```
+    #[inline]
+    pub const fn port(self) -> PortKind {
+        match self {
+            OpClass::IntAlu | OpClass::IntMul | OpClass::Branch | OpClass::Jump => PortKind::Int,
+            OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => PortKind::Fp,
+            OpClass::Load | OpClass::Store => PortKind::Mem,
+        }
+    }
+
+    /// Whether this operation reads or writes memory.
+    #[inline]
+    pub const fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether this operation can redirect control flow.
+    #[inline]
+    pub const fn is_control(self) -> bool {
+        matches!(self, OpClass::Branch | OpClass::Jump)
+    }
+
+    /// Whether this operation produces a register value that consumers can
+    /// read (stores, branches and jumps do not).
+    #[inline]
+    pub const fn produces_value(self) -> bool {
+        !matches!(self, OpClass::Store | OpClass::Branch | OpClass::Jump)
+    }
+
+    /// A short mnemonic used in debug output and schedule dumps.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            OpClass::IntAlu => "alu",
+            OpClass::IntMul => "mul",
+            OpClass::FpAdd => "fadd",
+            OpClass::FpMul => "fmul",
+            OpClass::FpDiv => "fdiv",
+            OpClass::Load => "ld",
+            OpClass::Store => "st",
+            OpClass::Branch => "br",
+            OpClass::Jump => "jmp",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for PortKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortKind::Int => f.write_str("int"),
+            PortKind::Fp => f.write_str("fp"),
+            PortKind::Mem => f.write_str("mem"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_21264_model() {
+        assert_eq!(OpClass::IntAlu.latency(), 1);
+        assert_eq!(OpClass::IntMul.latency(), 7);
+        assert_eq!(OpClass::FpAdd.latency(), 4);
+        assert_eq!(OpClass::FpMul.latency(), 4);
+        assert_eq!(OpClass::FpDiv.latency(), 12);
+        assert_eq!(OpClass::Load.latency(), 3);
+        assert_eq!(OpClass::Store.latency(), 1);
+        assert_eq!(OpClass::Branch.latency(), 1);
+    }
+
+    #[test]
+    fn ports_partition_op_classes() {
+        let mut int = 0;
+        let mut fp = 0;
+        let mut mem = 0;
+        for op in OpClass::ALL {
+            match op.port() {
+                PortKind::Int => int += 1,
+                PortKind::Fp => fp += 1,
+                PortKind::Mem => mem += 1,
+            }
+        }
+        assert_eq!(int, 4);
+        assert_eq!(fp, 3);
+        assert_eq!(mem, 2);
+    }
+
+    #[test]
+    fn memory_ops_use_mem_port() {
+        for op in OpClass::ALL {
+            assert_eq!(op.is_mem(), op.port() == PortKind::Mem);
+        }
+    }
+
+    #[test]
+    fn control_ops_do_not_produce_values() {
+        assert!(!OpClass::Branch.produces_value());
+        assert!(!OpClass::Jump.produces_value());
+        assert!(!OpClass::Store.produces_value());
+        assert!(OpClass::Load.produces_value());
+        assert!(OpClass::IntAlu.produces_value());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for op in OpClass::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op);
+        }
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        for op in OpClass::ALL {
+            assert_eq!(op.to_string(), op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn all_latencies_positive() {
+        for op in OpClass::ALL {
+            assert!(op.latency() >= 1);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Architectural registers.
+//!
+//! The trace generators allocate values into a flat architectural register
+//! file of 32 integer and 32 floating-point registers, mirroring the Alpha.
+//! Register identity is what the dependence-based steering policies key on
+//! ("both instructions consume from the same source register"), so the
+//! register file is part of the public vocabulary rather than an internal
+//! detail of the trace builder.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of integer architectural registers.
+pub const INT_REG_COUNT: u16 = 32;
+/// Total number of architectural registers (integer + floating point).
+pub const TOTAL_REG_COUNT: u16 = 64;
+
+/// The class of an architectural register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// Integer register (`r0`–`r31`).
+    Int,
+    /// Floating-point register (`f0`–`f31`).
+    Fp,
+}
+
+/// An architectural register identifier.
+///
+/// Registers `0..32` are integer registers, `32..64` floating point.
+///
+/// ```
+/// use ccs_isa::{ArchReg, RegClass};
+/// let r = ArchReg::int(5);
+/// assert_eq!(r.class(), RegClass::Int);
+/// assert_eq!(r.to_string(), "r5");
+/// let f = ArchReg::fp(3);
+/// assert_eq!(f.class(), RegClass::Fp);
+/// assert_eq!(f.to_string(), "f3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArchReg(u16);
+
+impl ArchReg {
+    /// Creates an integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub const fn int(n: u16) -> Self {
+        assert!(n < INT_REG_COUNT);
+        ArchReg(n)
+    }
+
+    /// Creates a floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[inline]
+    pub const fn fp(n: u16) -> Self {
+        assert!(n < INT_REG_COUNT);
+        ArchReg(INT_REG_COUNT + n)
+    }
+
+    /// Creates a register from its flat index in `0..64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 64`.
+    #[inline]
+    pub const fn from_index(idx: u16) -> Self {
+        assert!(idx < TOTAL_REG_COUNT);
+        ArchReg(idx)
+    }
+
+    /// The flat index of this register in `0..64`.
+    #[inline]
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// The register's class.
+    #[inline]
+    pub const fn class(self) -> RegClass {
+        if self.0 < INT_REG_COUNT {
+            RegClass::Int
+        } else {
+            RegClass::Fp
+        }
+    }
+
+    /// The register's number within its class (`0..32`).
+    #[inline]
+    pub const fn number(self) -> u16 {
+        self.0 % INT_REG_COUNT
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            RegClass::Int => write!(f, "r{}", self.number()),
+            RegClass::Fp => write!(f, "f{}", self.number()),
+        }
+    }
+}
+
+/// A small map from architectural registers to values of type `T`.
+///
+/// Used as a rename table (register → producing dynamic instruction) by the
+/// trace builder, the steering logic and the critical-path analysis.
+///
+/// ```
+/// use ccs_isa::{ArchReg, RegFile};
+/// let mut rf: RegFile<u32> = RegFile::new();
+/// rf.set(ArchReg::int(1), 42);
+/// assert_eq!(rf.get(ArchReg::int(1)), Some(&42));
+/// assert_eq!(rf.get(ArchReg::int(2)), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegFile<T> {
+    slots: Vec<Option<T>>,
+}
+
+impl<T> RegFile<T> {
+    /// Creates a register file with every register unset.
+    pub fn new() -> Self {
+        let mut slots = Vec::with_capacity(TOTAL_REG_COUNT as usize);
+        slots.resize_with(TOTAL_REG_COUNT as usize, || None);
+        RegFile { slots }
+    }
+
+    /// Returns the value for `reg`, if one has been set.
+    #[inline]
+    pub fn get(&self, reg: ArchReg) -> Option<&T> {
+        self.slots[reg.index() as usize].as_ref()
+    }
+
+    /// Sets the value for `reg`, returning the previous value.
+    #[inline]
+    pub fn set(&mut self, reg: ArchReg, value: T) -> Option<T> {
+        self.slots[reg.index() as usize].replace(value)
+    }
+
+    /// Clears the value for `reg`, returning it.
+    #[inline]
+    pub fn clear(&mut self, reg: ArchReg) -> Option<T> {
+        self.slots[reg.index() as usize].take()
+    }
+
+    /// Clears every register.
+    pub fn clear_all(&mut self) {
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+    }
+
+    /// Iterates over the registers that currently hold a value.
+    pub fn iter(&self) -> impl Iterator<Item = (ArchReg, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (ArchReg::from_index(i as u16), v)))
+    }
+}
+
+impl<T> Default for RegFile<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_fp_registers_do_not_collide() {
+        assert_ne!(ArchReg::int(0), ArchReg::fp(0));
+        assert_eq!(ArchReg::int(0).index(), 0);
+        assert_eq!(ArchReg::fp(0).index(), 32);
+    }
+
+    #[test]
+    fn class_and_number_round_trip() {
+        for i in 0..TOTAL_REG_COUNT {
+            let r = ArchReg::from_index(i);
+            let rebuilt = match r.class() {
+                RegClass::Int => ArchReg::int(r.number()),
+                RegClass::Fp => ArchReg::fp(r.number()),
+            };
+            assert_eq!(r, rebuilt);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn int_register_out_of_range_panics() {
+        let _ = ArchReg::int(32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn flat_index_out_of_range_panics() {
+        let _ = ArchReg::from_index(64);
+    }
+
+    #[test]
+    fn regfile_set_get_clear() {
+        let mut rf: RegFile<&str> = RegFile::new();
+        assert_eq!(rf.set(ArchReg::int(3), "a"), None);
+        assert_eq!(rf.set(ArchReg::int(3), "b"), Some("a"));
+        assert_eq!(rf.get(ArchReg::int(3)), Some(&"b"));
+        assert_eq!(rf.clear(ArchReg::int(3)), Some("b"));
+        assert_eq!(rf.get(ArchReg::int(3)), None);
+    }
+
+    #[test]
+    fn regfile_iter_visits_only_set_registers() {
+        let mut rf: RegFile<u8> = RegFile::new();
+        rf.set(ArchReg::int(1), 10);
+        rf.set(ArchReg::fp(2), 20);
+        let mut got: Vec<_> = rf.iter().map(|(r, &v)| (r.to_string(), v)).collect();
+        got.sort();
+        assert_eq!(got, vec![("f2".to_string(), 20), ("r1".to_string(), 10)]);
+    }
+
+    #[test]
+    fn regfile_clear_all() {
+        let mut rf: RegFile<u8> = RegFile::new();
+        for i in 0..TOTAL_REG_COUNT {
+            rf.set(ArchReg::from_index(i), 1);
+        }
+        rf.clear_all();
+        assert_eq!(rf.iter().count(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ArchReg::int(31).to_string(), "r31");
+        assert_eq!(ArchReg::fp(31).to_string(), "f31");
+    }
+}

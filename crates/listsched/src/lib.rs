@@ -1,0 +1,54 @@
+//! The idealized list scheduler of §2.2.
+//!
+//! The paper's *potential* study takes the trace of instructions retiring
+//! from the monolithic (`1x8w`) machine and rebuilds, offline, a joint
+//! cluster placement + issue slotting for each clustered configuration —
+//! with a global view of all in-flight instructions and exact future
+//! knowledge. The resulting schedule length bounds what any steering and
+//! scheduling policy could achieve on that hardware, and comes out within
+//! ~2% of the monolithic machine: clustering's IPC penalty is an artifact
+//! of policies, not hardware (the paper's first contribution).
+//!
+//! Faithfulness to the paper's construction:
+//!
+//! * The trace is split into regions at mispredicted branches (footnote
+//!   2); summing region spans gives a conservative runtime estimate.
+//! * Instructions cannot be scheduled before they were dispatched into
+//!   the window of the real machine (front-end constraint), and the
+//!   misprediction redirect latency is observed between regions.
+//! * Per-cycle issue constraints (cluster width and int/fp/mem ports) and
+//!   the inter-cluster forwarding penalty are enforced.
+//! * Priority is dataflow height with precedence for the terminating
+//!   mispredicted branch's backward slice; locality is respected by
+//!   preferring clusters holding a producer. §4's variants replace this
+//!   exact knowledge with LoC-only or binary-criticality priorities
+//!   ([`PriorityMode`]).
+//!
+//! # Example
+//!
+//! ```
+//! use ccs_isa::{ClusterLayout, MachineConfig};
+//! use ccs_listsched::{list_schedule, ListScheduleConfig};
+//! use ccs_sim::{policies::LeastLoaded, simulate};
+//! use ccs_trace::Benchmark;
+//!
+//! let trace = Benchmark::Gap.generate(1, 3_000);
+//! let mono_cfg = MachineConfig::micro05_baseline();
+//! let mono = simulate(&mono_cfg, &trace, &mut LeastLoaded).unwrap();
+//!
+//! let ideal_mono = list_schedule(&trace, &mono,
+//!     &ListScheduleConfig::new(mono_cfg));
+//! let ideal_4x2 = list_schedule(&trace, &mono,
+//!     &ListScheduleConfig::new(mono_cfg.with_layout(ClusterLayout::C4x2w)));
+//! // The idealized clustered schedule is close to the idealized
+//! // monolithic one.
+//! let normalized = ideal_4x2.cycles as f64 / ideal_mono.cycles as f64;
+//! assert!(normalized < 1.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scheduler;
+
+pub use scheduler::{list_schedule, ListScheduleConfig, ListScheduleResult, Placement, PriorityMode};

@@ -1,0 +1,553 @@
+//! Region-based joint placement and slotting.
+
+use ccs_isa::{MachineConfig, PortKind};
+use ccs_sim::SimResult;
+use ccs_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// What the scheduler knows when prioritizing instructions (§4's
+/// knowledge ablation).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PriorityMode {
+    /// Exact future knowledge: dataflow height within the region, with
+    /// precedence for the terminating mispredicted branch's backward
+    /// slice — the §2.2 configuration.
+    DataflowHeight,
+    /// An externally supplied priority per dynamic instruction (e.g. LoC
+    /// values or binary criticality from a trained predictor), replacing
+    /// the scheduler's future knowledge.
+    PerInst(Vec<i64>),
+}
+
+/// Configuration of a list-scheduling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListScheduleConfig {
+    /// The (possibly clustered) machine being scheduled for.
+    pub machine: MachineConfig,
+    /// Maximum region size. Regions are split at mispredicted branches;
+    /// this cap bounds regions in stretches with no mispredictions,
+    /// introducing extra (conservative) barriers — consistent with the
+    /// paper's conservative span summation (footnote 2).
+    pub max_region: usize,
+    /// The priority knowledge mode.
+    pub priority: PriorityMode,
+    /// Record every instruction's placement (for schedule inspection and
+    /// legality checking).
+    pub record_placements: bool,
+}
+
+impl ListScheduleConfig {
+    /// The §2.2 configuration for a machine: height priorities, regions
+    /// capped at 512 instructions.
+    pub fn new(machine: MachineConfig) -> Self {
+        ListScheduleConfig {
+            machine,
+            max_region: 512,
+            priority: PriorityMode::DataflowHeight,
+            record_placements: false,
+        }
+    }
+
+    /// Enables placement recording.
+    #[must_use]
+    pub fn with_placements(mut self) -> Self {
+        self.record_placements = true;
+        self
+    }
+
+    /// Replaces the priority knowledge (the §4 ablation).
+    #[must_use]
+    pub fn with_priority(mut self, priority: PriorityMode) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Replaces the region cap.
+    #[must_use]
+    pub fn with_max_region(mut self, max_region: usize) -> Self {
+        assert!(max_region >= 2, "regions must allow at least two instructions");
+        self.max_region = max_region;
+        self
+    }
+}
+
+/// One instruction's placement in the idealized schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Region index the instruction was scheduled in.
+    pub region: u32,
+    /// Issue cycle, relative to the region's start.
+    pub issue: u64,
+    /// Completion cycle, relative to the region's start.
+    pub finish: u64,
+    /// The cluster assigned.
+    pub cluster: u32,
+}
+
+/// The outcome of list-scheduling a trace onto a machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ListScheduleResult {
+    /// Total schedule length in cycles (sum of region spans plus
+    /// misprediction redelivery between regions).
+    pub cycles: u64,
+    /// Instructions scheduled.
+    pub instructions: usize,
+    /// Number of regions.
+    pub regions: usize,
+    /// Operand deliveries that crossed clusters.
+    pub cross_cluster_values: u64,
+    /// Per-instruction placements (when
+    /// [`record_placements`](ListScheduleConfig::record_placements) is
+    /// set), parallel to the trace.
+    pub placements: Option<Vec<Placement>>,
+}
+
+impl ListScheduleResult {
+    /// Cycles per instruction of the idealized schedule.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 / self.instructions as f64
+    }
+
+    /// Cross-cluster operand deliveries per instruction.
+    pub fn global_values_per_inst(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.cross_cluster_values as f64 / self.instructions as f64
+    }
+}
+
+/// List-schedules `trace` onto `cfg.machine`, using the monolithic
+/// execution `mono` for the front-end availability constraints,
+/// misprediction locations and observed memory latencies.
+///
+/// # Panics
+///
+/// Panics if `mono` is not a monolithic-machine result for `trace`.
+pub fn list_schedule(
+    trace: &Trace,
+    mono: &SimResult,
+    cfg: &ListScheduleConfig,
+) -> ListScheduleResult {
+    assert!(
+        mono.config.is_monolithic(),
+        "the reference execution must come from the 1x8w machine"
+    );
+    assert_eq!(trace.len(), mono.records.len(), "trace/result mismatch");
+
+    let n = trace.len();
+    let machine = &cfg.machine;
+    let clusters = machine.cluster_count();
+    // Initial front-end fill.
+    let mut total: u64 = machine.front_end.depth_to_dispatch as u64 + 1;
+    let mut regions = 0usize;
+    let mut cross_values: u64 = 0;
+
+    let mut placements = cfg
+        .record_placements
+        .then(|| Vec::with_capacity(n));
+    if n == 0 {
+        return ListScheduleResult {
+            cycles: 0,
+            instructions: 0,
+            regions: 0,
+            cross_cluster_values: 0,
+            placements,
+        };
+    }
+
+    let mut start = 0usize;
+    while start < n {
+        // Region ends at the first mispredicted branch or the size cap.
+        let mut end = start;
+        let mut mispredict_end = false;
+        while end < n {
+            let i = end;
+            end += 1;
+            if mono.records[i].mispredicted {
+                mispredict_end = true;
+                break;
+            }
+            if end - start >= cfg.max_region {
+                break;
+            }
+        }
+        let region_id = regions as u32;
+        regions += 1;
+        let (span, crossings) = schedule_region(
+            trace,
+            mono,
+            cfg,
+            start,
+            end,
+            region_id,
+            placements.as_mut(),
+        );
+        total += span;
+        cross_values += crossings;
+        if mispredict_end {
+            // Redirect and refill the front-end pipe.
+            total += machine.front_end.depth_to_dispatch as u64 + 1;
+        }
+        start = end;
+    }
+
+    let _ = clusters;
+    ListScheduleResult {
+        cycles: total,
+        instructions: n,
+        regions,
+        cross_cluster_values: cross_values,
+        placements,
+    }
+}
+
+/// Schedules one region; returns (span, cross-cluster deliveries).
+fn schedule_region(
+    trace: &Trace,
+    mono: &SimResult,
+    cfg: &ListScheduleConfig,
+    start: usize,
+    end: usize,
+    region_id: u32,
+    placements: Option<&mut Vec<Placement>>,
+) -> (u64, u64) {
+    let machine = &cfg.machine;
+    let clusters = machine.cluster_count();
+    let n = end - start;
+    let insts = &trace.as_slice()[start..end];
+    let recs = &mono.records[start..end];
+
+    // Local dependence structure (region-internal only; earlier regions
+    // act as barriers — live-ins are available at region start).
+    let local_dep = |d: ccs_trace::DynIdx| -> Option<usize> {
+        let di = d.index();
+        (di >= start).then(|| di - start)
+    };
+
+    // Latencies as observed on the monolithic machine (includes misses).
+    let lat: Vec<u64> = recs.iter().map(|r| r.exec_latency()).collect();
+
+    // Dataflow heights (consumers always have larger local index).
+    let mut height: Vec<u64> = lat.clone();
+    for i in (0..n).rev() {
+        for d in insts[i].producers().filter_map(local_dep) {
+            let h = height[i] + lat[d];
+            if h > height[d] {
+                height[d] = h;
+            }
+        }
+    }
+
+    // Backward slice of a terminating mispredicted branch.
+    let mut on_slice = vec![false; n];
+    if n > 0 && recs[n - 1].mispredicted {
+        let mut stack = vec![n - 1];
+        on_slice[n - 1] = true;
+        while let Some(i) = stack.pop() {
+            for d in insts[i].producers().filter_map(local_dep) {
+                if !on_slice[d] {
+                    on_slice[d] = true;
+                    stack.push(d);
+                }
+            }
+        }
+    }
+
+    let priority: Vec<i64> = match &cfg.priority {
+        PriorityMode::DataflowHeight => (0..n)
+            .map(|i| height[i] as i64 + if on_slice[i] { 1 << 40 } else { 0 })
+            .collect(),
+        PriorityMode::PerInst(p) => {
+            assert_eq!(p.len(), trace.len(), "per-instruction priorities must cover the trace");
+            (0..n).map(|i| p[start + i]).collect()
+        }
+    };
+
+    // Front-end availability, relative to the region's first fetch.
+    let base_fetch = recs[0].fetch;
+    let lb: Vec<u64> = recs.iter().map(|r| r.fetch - base_fetch).collect();
+
+    let mut finish: Vec<Option<u64>> = vec![None; n];
+    let mut placed: Vec<usize> = vec![0; n];
+    let mut scheduled = 0usize;
+    let mut crossings: u64 = 0;
+    let mut t: u64 = 0;
+    let span_guard = 64 * n as u64 + lat.iter().sum::<u64>() + lb.last().copied().unwrap_or(0) + 64;
+
+    let mut width_used = vec![0usize; clusters];
+    let mut int_used = vec![0usize; clusters];
+    let mut fp_used = vec![0usize; clusters];
+    let mut mem_used = vec![0usize; clusters];
+
+    // Candidate scratch, rebuilt each cycle.
+    let mut cands: Vec<usize> = Vec::with_capacity(n);
+
+    while scheduled < n {
+        assert!(t <= span_guard, "list scheduler failed to converge");
+        width_used.iter_mut().for_each(|x| *x = 0);
+        int_used.iter_mut().for_each(|x| *x = 0);
+        fp_used.iter_mut().for_each(|x| *x = 0);
+        mem_used.iter_mut().for_each(|x| *x = 0);
+
+        cands.clear();
+        'outer: for i in 0..n {
+            if finish[i].is_some() || lb[i] > t {
+                continue;
+            }
+            for d in insts[i].producers().filter_map(local_dep) {
+                if finish[d].is_none() {
+                    continue 'outer;
+                }
+            }
+            cands.push(i);
+        }
+        // Highest priority first; ties oldest-first.
+        cands.sort_by_key(|&i| (std::cmp::Reverse(priority[i]), i));
+
+        for &i in &cands {
+            let port = insts[i].op().port();
+            // Per-cluster earliest start given operand placement.
+            let mut best: Option<(usize, bool, usize)> = None; // (cluster, has_producer, load)
+            for c in 0..clusters {
+                if width_used[c] >= machine.cluster.issue_width {
+                    continue;
+                }
+                let (used, cap) = match port {
+                    PortKind::Int => (int_used[c], machine.cluster.int_ports),
+                    PortKind::Fp => (fp_used[c], machine.cluster.fp_ports),
+                    PortKind::Mem => (mem_used[c], machine.cluster.mem_ports),
+                };
+                if used >= cap {
+                    continue;
+                }
+                let mut est: u64 = 0;
+                let mut has_producer = false;
+                for d in insts[i].producers().filter_map(local_dep) {
+                    let f = finish[d].expect("deps scheduled");
+                    let fwd = machine.forwarding_between(placed[d], c) as u64;
+                    est = est.max(f + fwd);
+                    if placed[d] == c {
+                        has_producer = true;
+                    }
+                }
+                if est > t {
+                    continue;
+                }
+                // Prefer clusters holding a producer (locality), then the
+                // least-loaded this cycle.
+                let better = match best {
+                    None => true,
+                    Some((_, best_has, best_load)) => {
+                        (has_producer && !best_has)
+                            || (has_producer == best_has && width_used[c] < best_load)
+                    }
+                };
+                if better {
+                    best = Some((c, has_producer, width_used[c]));
+                }
+            }
+            if let Some((c, _, _)) = best {
+                finish[i] = Some(t + lat[i]);
+                placed[i] = c;
+                width_used[c] += 1;
+                match port {
+                    PortKind::Int => int_used[c] += 1,
+                    PortKind::Fp => fp_used[c] += 1,
+                    PortKind::Mem => mem_used[c] += 1,
+                }
+                for d in insts[i].producers().filter_map(local_dep) {
+                    if placed[d] != c {
+                        crossings += 1;
+                    }
+                }
+                scheduled += 1;
+            }
+        }
+        t += 1;
+    }
+
+    if let Some(out) = placements {
+        for i in 0..n {
+            let f = finish[i].expect("all instructions scheduled");
+            out.push(Placement {
+                region: region_id,
+                issue: f - lat[i],
+                finish: f,
+                cluster: placed[i] as u32,
+            });
+        }
+    }
+    let span = finish.iter().map(|f| f.unwrap()).max().unwrap_or(0);
+    (span, crossings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_isa::{ArchReg, ClusterLayout, OpClass, Pc, StaticInst};
+    use ccs_sim::{policies::LeastLoaded, simulate};
+    use ccs_trace::{Benchmark, TraceBuilder};
+
+    fn mono_run(trace: &Trace) -> SimResult {
+        let cfg = MachineConfig::micro05_baseline();
+        simulate(&cfg, trace, &mut LeastLoaded).unwrap()
+    }
+
+    fn schedule(trace: &Trace, mono: &SimResult, layout: ClusterLayout) -> ListScheduleResult {
+        let machine = MachineConfig::micro05_baseline().with_layout(layout);
+        list_schedule(trace, mono, &ListScheduleConfig::new(machine))
+    }
+
+    #[test]
+    fn serial_chain_schedules_at_chain_length() {
+        let mut b = TraceBuilder::new();
+        let r = ArchReg::int(1);
+        for i in 0..400u64 {
+            b.push_simple(
+                StaticInst::new(Pc::new(4 * (i % 8)), OpClass::IntAlu)
+                    .with_src(r)
+                    .with_dst(r),
+            );
+        }
+        let trace = b.finish();
+        let mono = mono_run(&trace);
+        // On every layout, the ideal schedule keeps the chain on one
+        // cluster: span ≈ chain length, no crossings.
+        for layout in ClusterLayout::ALL {
+            let r = schedule(&trace, &mono, layout);
+            assert_eq!(r.cross_cluster_values, 0, "{layout}");
+            assert!(
+                (r.cycles as f64) < 1.2 * 400.0 + 40.0,
+                "{layout}: {} cycles",
+                r.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn clustered_ideal_schedules_stay_close_to_monolithic() {
+        // The paper's headline potential result (Figure 2): within a few
+        // percent for every benchmark-flavoured workload.
+        for bench in [Benchmark::Gap, Benchmark::Vpr, Benchmark::Gcc, Benchmark::Eon] {
+            let trace = bench.generate(1, 4_000);
+            let mono = mono_run(&trace);
+            let base = schedule(&trace, &mono, ClusterLayout::C1x8w);
+            for layout in ClusterLayout::CLUSTERED {
+                let clus = schedule(&trace, &mono, layout);
+                let norm = clus.cycles as f64 / base.cycles as f64;
+                assert!(
+                    norm < 1.15,
+                    "{bench} {layout}: normalized {norm:.3}"
+                );
+                assert!(norm >= 0.999, "{bench} {layout}: clustered beat monolithic? {norm:.3}");
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_normalized_penalty_beats_runtime_policy_penalty() {
+        // The §2 comparison is between *normalized* penalties: the ideal
+        // schedule's clustering loss (Figure 2) is far below a runtime
+        // policy's (Figure 4). Absolute spans are conservative (regions
+        // are barriers, footnote 2) and cannot be compared directly.
+        let trace = Benchmark::Vpr.generate(2, 4_000);
+        let mono = mono_run(&trace);
+        let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
+        let runtime = simulate(&machine, &trace, &mut LeastLoaded).unwrap();
+        let runtime_norm = runtime.cycles as f64 / mono.cycles as f64;
+        let ideal_mono = schedule(&trace, &mono, ClusterLayout::C1x8w);
+        let ideal = list_schedule(&trace, &mono, &ListScheduleConfig::new(machine));
+        let ideal_norm = ideal.cycles as f64 / ideal_mono.cycles as f64;
+        assert!(
+            ideal_norm < runtime_norm,
+            "ideal penalty {ideal_norm:.3} vs runtime {runtime_norm:.3}"
+        );
+    }
+
+    #[test]
+    fn forwarding_latency_sweep_degrades_gracefully() {
+        // Footnote 3: even at 4-cycle forwarding, idealized loss stays
+        // small.
+        let trace = Benchmark::Gap.generate(4, 3_000);
+        let mono = mono_run(&trace);
+        let mk = |lat: u32| {
+            MachineConfig::micro05_baseline()
+                .with_layout(ClusterLayout::C4x2w)
+                .with_forward_latency(lat)
+        };
+        let base = schedule(&trace, &mono, ClusterLayout::C1x8w);
+        let l2 = list_schedule(&trace, &mono, &ListScheduleConfig::new(mk(2)));
+        let l4 = list_schedule(&trace, &mono, &ListScheduleConfig::new(mk(4)));
+        assert!(l4.cycles >= l2.cycles);
+        assert!((l4.cycles as f64 / base.cycles as f64) < 1.15);
+    }
+
+    #[test]
+    fn per_inst_priorities_are_respected() {
+        let trace = Benchmark::Vpr.generate(5, 2_000);
+        let mono = mono_run(&trace);
+        let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
+        let exact = list_schedule(&trace, &mono, &ListScheduleConfig::new(machine));
+        // A degenerate priority (all zero) is a legal knowledge mode and
+        // schedules everything, just possibly slower.
+        let blind = list_schedule(
+            &trace,
+            &mono,
+            &ListScheduleConfig::new(machine)
+                .with_priority(PriorityMode::PerInst(vec![0; trace.len()])),
+        );
+        assert_eq!(blind.instructions, trace.len());
+        // List scheduling is a heuristic, so blind priorities can
+        // occasionally tie or marginally beat informed ones on a given
+        // trace; they must not be dramatically better.
+        assert!(
+            blind.cycles as f64 >= exact.cycles as f64 * 0.95,
+            "blind {} vs exact {}",
+            blind.cycles,
+            exact.cycles
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = TraceBuilder::new().finish();
+        let mono = mono_run(&trace);
+        let r = schedule(&trace, &mono, ClusterLayout::C4x2w);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.cpi(), 0.0);
+        assert_eq!(r.global_values_per_inst(), 0.0);
+    }
+
+    #[test]
+    fn region_cap_is_respected_and_conservative() {
+        let trace = Benchmark::Gzip.generate(1, 3_000);
+        let mono = mono_run(&trace);
+        let machine = MachineConfig::micro05_baseline();
+        let small = list_schedule(
+            &trace,
+            &mono,
+            &ListScheduleConfig::new(machine).with_max_region(64),
+        );
+        let large = list_schedule(
+            &trace,
+            &mono,
+            &ListScheduleConfig::new(machine).with_max_region(1024),
+        );
+        assert!(small.regions > large.regions);
+        // More barriers can only lengthen the estimate.
+        assert!(small.cycles >= large.cycles);
+    }
+
+    #[test]
+    #[should_panic]
+    fn clustered_reference_is_rejected() {
+        let trace = Benchmark::Gap.generate(1, 500);
+        let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C2x4w);
+        let clustered = simulate(&machine, &trace, &mut LeastLoaded).unwrap();
+        let _ = list_schedule(&trace, &clustered, &ListScheduleConfig::new(machine));
+    }
+}

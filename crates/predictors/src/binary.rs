@@ -1,0 +1,125 @@
+//! The Fields et al. binary criticality predictor.
+
+use crate::table::PcTable;
+use crate::CriticalityPredictor;
+use ccs_isa::Pc;
+use ccs_uarch::SaturatingCounter;
+
+/// The binary criticality predictor of Fields, Rubin & Bodík as
+/// configured in the paper (footnote 6): a 6-bit saturating counter per
+/// PC that trains `+8` on a critical instance and `−1` otherwise, and
+/// predicts critical when the counter is at least 8.
+///
+/// Consequently an instruction critical as rarely as 1 instance in 8
+/// stays predicted-critical — the coarseness that makes predicted-critical
+/// instructions contend with each other (§4).
+#[derive(Debug, Clone, Default)]
+pub struct BinaryCriticality {
+    table: PcTable<SaturatingCounter>,
+}
+
+impl BinaryCriticality {
+    /// Increment applied when an instance trains critical.
+    pub const TRAIN_UP: u32 = 8;
+    /// Decrement applied when an instance trains non-critical.
+    pub const TRAIN_DOWN: u32 = 1;
+    /// Counter threshold at or above which the prediction is "critical".
+    pub const THRESHOLD: u32 = 8;
+
+    /// Creates an empty predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of PCs with trained state.
+    pub fn footprint(&self) -> usize {
+        self.table.len()
+    }
+
+    fn counter_mut(&mut self, pc: Pc) -> &mut SaturatingCounter {
+        self.table
+            .entry_with(pc, SaturatingCounter::fields_criticality)
+    }
+}
+
+impl CriticalityPredictor for BinaryCriticality {
+    fn predict(&self, pc: Pc) -> bool {
+        self.table
+            .get(pc)
+            .is_some_and(|c| c.at_least(Self::THRESHOLD))
+    }
+
+    fn train(&mut self, pc: Pc, critical: bool) {
+        let c = self.counter_mut(pc);
+        if critical {
+            c.add(Self::TRAIN_UP);
+        } else {
+            c.sub(Self::TRAIN_DOWN);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.table.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_pcs_predict_not_critical() {
+        let p = BinaryCriticality::new();
+        assert!(!p.predict(Pc::new(0x100)));
+    }
+
+    #[test]
+    fn one_in_eight_critical_is_predicted_critical() {
+        let mut p = BinaryCriticality::new();
+        let pc = Pc::new(0x40);
+        for i in 0..80 {
+            p.train(pc, i % 8 == 0);
+        }
+        assert!(p.predict(pc));
+    }
+
+    #[test]
+    fn one_in_sixteen_critical_is_not() {
+        let mut p = BinaryCriticality::new();
+        let pc = Pc::new(0x44);
+        for i in 0..160 {
+            p.train(pc, i % 16 == 0);
+        }
+        assert!(!p.predict(pc));
+    }
+
+    #[test]
+    fn never_critical_stays_not_critical() {
+        let mut p = BinaryCriticality::new();
+        let pc = Pc::new(0x48);
+        for _ in 0..100 {
+            p.train(pc, false);
+        }
+        assert!(!p.predict(pc));
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut p = BinaryCriticality::new();
+        let pc = Pc::new(0x4c);
+        p.train(pc, true);
+        assert!(p.predict(pc));
+        p.reset();
+        assert!(!p.predict(pc));
+        assert_eq!(p.footprint(), 0);
+    }
+
+    #[test]
+    fn footprint_counts_pcs() {
+        let mut p = BinaryCriticality::new();
+        p.train(Pc::new(0), true);
+        p.train(Pc::new(4), false);
+        p.train(Pc::new(0), false);
+        assert_eq!(p.footprint(), 2);
+    }
+}

@@ -1,0 +1,440 @@
+//! The token-passing criticality detector of Fields, Rubin & Bodík
+//! (ISCA 2001) — the hardware mechanism the paper builds into its
+//! pipeline ("a criticality detector that samples the retiring
+//! instruction stream").
+//!
+//! The detector exploits the *last-arriving edge* structure of the
+//! dependence graph: a node lies on the critical path iff an unbroken
+//! chain of last-arriving edges connects it to the end of the program.
+//! In hardware, this is tested forward: plant a token at a sampled
+//! instruction's execute node and propagate it along last-arriving edges
+//! as later instructions retire. If the token is still propagating after
+//! a horizon of instructions, the planted node was (almost certainly)
+//! critical; if every tagged node ages out of the machine, it was not.
+//!
+//! This implementation consumes the simulator's per-retire records, which
+//! carry exactly the last-arriving information real token-passing
+//! hardware observes (which operand arrived last, what bound dispatch and
+//! commit). Several tokens are tracked concurrently as a bitmask per
+//! node, as in the original proposal's token array.
+
+use crate::CriticalityPredictor;
+use ccs_isa::Pc;
+use ccs_sim::{CommitBound, DispatchBound, ReadyBound, SimResult};
+use ccs_trace::Trace;
+use std::collections::VecDeque;
+
+/// Configuration of the token-passing detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenDetector {
+    /// Instructions a token must survive to be declared critical. The
+    /// window must exceed the machine's ROB reach for the liveness test
+    /// to be meaningful.
+    pub horizon: usize,
+    /// Concurrent tokens (hardware token-array size). Up to 32.
+    pub tokens: u32,
+}
+
+impl Default for TokenDetector {
+    fn default() -> Self {
+        TokenDetector {
+            horizon: 512,
+            tokens: 16,
+        }
+    }
+}
+
+/// Per-node token bitmasks: D, E, C.
+type NodeMasks = [u32; 3];
+const D: usize = 0;
+const E: usize = 1;
+const C: usize = 2;
+
+impl TokenDetector {
+    /// Runs the detector over one execution, invoking `train` with
+    /// `(pc, critical)` for every resolved sample. Returns the number of
+    /// samples resolved.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ccs_isa::MachineConfig;
+    /// use ccs_predictors::TokenDetector;
+    /// use ccs_sim::{policies::LeastLoaded, simulate};
+    /// use ccs_trace::Benchmark;
+    ///
+    /// let trace = Benchmark::Gzip.generate(1, 4_000);
+    /// let result = simulate(&MachineConfig::micro05_baseline(), &trace,
+    ///     &mut LeastLoaded).unwrap();
+    /// let mut samples = 0;
+    /// let resolved = TokenDetector::default()
+    ///     .run(&trace, &result, |_pc, _critical| samples += 1);
+    /// assert_eq!(resolved, samples);
+    /// assert!(resolved > 0);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `result` does not correspond to `trace`, if `tokens`
+    /// is 0 or exceeds 32, or if the horizon is zero.
+    pub fn run(
+        &self,
+        trace: &Trace,
+        result: &SimResult,
+        mut train: impl FnMut(Pc, bool),
+    ) -> usize {
+        assert_eq!(trace.len(), result.records.len());
+        assert!(self.horizon > 0, "horizon must be positive");
+        assert!(
+            (1..=32).contains(&self.tokens),
+            "token count must be in 1..=32"
+        );
+        let n = trace.len();
+        let recs = &result.records;
+        // Nodes can be referenced from at most ROB-reach instructions
+        // later (dataflow, redirect and ROB edges all stay within the
+        // in-flight window).
+        let span = result.config.rob_entries + result.config.commit_width + 2;
+
+        // Sliding window of node masks for the last `span` instructions.
+        let mut window: VecDeque<NodeMasks> = VecDeque::with_capacity(span + 1);
+        let mut window_base = 0usize; // index of window.front()
+
+        // Token bookkeeping.
+        let mut planted_at: Vec<Option<(usize, Pc)>> = vec![None; self.tokens as usize];
+        let mut alive: Vec<u32> = vec![0; self.tokens as usize]; // tagged-node counts
+        let mut free: Vec<u32> = (0..self.tokens).rev().collect();
+        let mut next_sample = 0usize;
+        let mut resolved = 0usize;
+
+        let mask_of = |window: &VecDeque<NodeMasks>, base: usize, idx: usize, node: usize| -> u32 {
+            if idx < base {
+                0
+            } else {
+                window.get(idx - base).map_or(0, |m| m[node])
+            }
+        };
+
+        #[allow(clippy::needless_range_loop)] // `i` indexes several arrays
+        for i in 0..n {
+            let r = &recs[i];
+            let mut masks: NodeMasks = [0; 3];
+
+            // D(i): tag from its last-arriving predecessor.
+            let dpred: Option<(usize, usize)> = match r.dispatch_bound {
+                DispatchBound::FrontEnd | DispatchBound::InOrder => {
+                    i.checked_sub(1).map(|p| (p, D))
+                }
+                DispatchBound::Redirect(b) => Some((b.index(), E)),
+                DispatchBound::RobFull(j) => Some((j.index(), C)),
+                DispatchBound::SteerStall { freed_by } => match freed_by {
+                    Some(j) if j.index() < i => Some((j.index(), D)),
+                    _ => i.checked_sub(1).map(|p| (p, D)),
+                },
+            };
+            if let Some((p, node)) = dpred {
+                masks[D] = mask_of(&window, window_base, p, node);
+            }
+            // E(i): from the last-arriving operand or dispatch.
+            masks[E] = match r.ready_bound {
+                ReadyBound::Dispatch => masks[D],
+                ReadyBound::Operand { producer, .. } => {
+                    mask_of(&window, window_base, producer.index(), E)
+                }
+            };
+            // C(i): from completion or the commit chain.
+            masks[C] = match r.commit_bound {
+                CommitBound::Complete => masks[E],
+                CommitBound::InOrder => {
+                    i.checked_sub(1).map_or(0, |p| mask_of(&window, window_base, p, C))
+                }
+                CommitBound::Bandwidth => i
+                    .checked_sub(result.config.commit_width)
+                    .map_or(0, |p| mask_of(&window, window_base, p, C)),
+            };
+
+            // Plant a fresh token at E(i) when it is this instruction's
+            // turn to be sampled and a token is available.
+            if i == next_sample {
+                if let Some(k) = free.pop() {
+                    masks[E] |= 1 << k;
+                    planted_at[k as usize] = Some((i, trace.as_slice()[i].pc()));
+                }
+                // Spread samples over the stream.
+                next_sample = i + 1 + (i % 7);
+            }
+
+            // Account tagged nodes per token.
+            let union = masks[D] | masks[E] | masks[C];
+            for k in 0..self.tokens {
+                if union & (1 << k) != 0 {
+                    let bits = ((masks[D] >> k) & 1) + ((masks[E] >> k) & 1) + ((masks[C] >> k) & 1);
+                    alive[k as usize] += bits;
+                }
+            }
+
+            window.push_back(masks);
+            // Expire nodes that can no longer be referenced.
+            while window.len() > span {
+                let old = window.pop_front().expect("non-empty window");
+                window_base += 1;
+                for k in 0..self.tokens {
+                    let bits =
+                        ((old[D] >> k) & 1) + ((old[E] >> k) & 1) + ((old[C] >> k) & 1);
+                    if bits > 0 {
+                        let a = &mut alive[k as usize];
+                        *a -= bits;
+                        if *a == 0 {
+                            // Token died: the planted node's influence
+                            // never reached this far — not critical.
+                            if let Some((_, pc)) = planted_at[k as usize].take() {
+                                train(pc, false);
+                                resolved += 1;
+                                free.push(k);
+                            }
+                        }
+                    }
+                }
+            }
+
+            // Resolve long-lived tokens as critical.
+            for k in 0..self.tokens {
+                if let Some((at, pc)) = planted_at[k as usize] {
+                    if alive[k as usize] > 0 && i - at >= self.horizon {
+                        train(pc, true);
+                        resolved += 1;
+                        planted_at[k as usize] = None;
+                        // Clear the token's bits from the live window.
+                        for m in window.iter_mut() {
+                            for node in m.iter_mut() {
+                                *node &= !(1u32 << k);
+                            }
+                        }
+                        alive[k as usize] = 0;
+                        free.push(k);
+                    }
+                }
+            }
+        }
+        resolved
+    }
+
+    /// Convenience: runs the detector and trains a
+    /// [`CriticalityPredictor`] with every resolved sample.
+    pub fn train_predictor(
+        &self,
+        trace: &Trace,
+        result: &SimResult,
+        predictor: &mut dyn CriticalityPredictor,
+    ) -> usize {
+        self.run(trace, result, |pc, critical| predictor.train(pc, critical))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinaryCriticality, ExactLoc, LocEstimator};
+    use ccs_isa::{ArchReg, ClusterLayout, MachineConfig, OpClass, StaticInst};
+    use ccs_sim::{policies::LeastLoaded, simulate};
+    use ccs_trace::{Benchmark, TraceBuilder};
+    use std::collections::HashMap;
+
+    #[test]
+    fn serial_chain_tokens_survive_forever() {
+        // Every instruction of a serial chain is critical: all planted
+        // tokens must resolve critical.
+        let mut b = TraceBuilder::new();
+        let r = ArchReg::int(1);
+        for i in 0..4_000u64 {
+            b.push_simple(
+                StaticInst::new(Pc::new(4 * (i % 8)), OpClass::IntAlu)
+                    .with_src(r)
+                    .with_dst(r),
+            );
+        }
+        let trace = b.finish();
+        let cfg = MachineConfig::micro05_baseline();
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let det = TokenDetector::default();
+        let mut outcomes = Vec::new();
+        let resolved = det.run(&trace, &result, |_pc, c| outcomes.push(c));
+        assert!(resolved > 4, "resolved {resolved}");
+        let critical = outcomes.iter().filter(|&&c| c).count();
+        assert!(
+            critical as f64 / outcomes.len() as f64 > 0.9,
+            "critical fraction {}/{}",
+            critical,
+            outcomes.len()
+        );
+    }
+
+    #[test]
+    fn independent_work_tokens_die() {
+        // Fully independent instructions: tokens planted on most
+        // instructions die quickly (their influence ends immediately).
+        let mut b = TraceBuilder::new();
+        for i in 0..6_000u64 {
+            b.push_simple(
+                StaticInst::new(Pc::new(4 * (i % 16)), OpClass::IntAlu)
+                    .with_dst(ArchReg::int(1 + (i % 30) as u16)),
+            );
+        }
+        let trace = b.finish();
+        let cfg = MachineConfig::micro05_baseline();
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let det = TokenDetector::default();
+        let mut outcomes = Vec::new();
+        det.run(&trace, &result, |_pc, c| outcomes.push(c));
+        assert!(!outcomes.is_empty());
+        let critical = outcomes.iter().filter(|&&c| c).count();
+        assert!(
+            (critical as f64) < outcomes.len() as f64 * 0.5,
+            "critical fraction {}/{}",
+            critical,
+            outcomes.len()
+        );
+    }
+
+    #[test]
+    fn detector_agrees_with_exact_graph_analysis() {
+        // Per-PC LoC learned from the token detector should correlate
+        // with LoC learned from the exact critical path.
+        let trace = Benchmark::Vpr.generate(3, 20_000);
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let cp = ccs_critpath_analyze(&trace, &result);
+
+        let mut exact = ExactLoc::new();
+        for (i, inst) in trace.iter() {
+            exact.train(inst.pc(), cp[i.index()]);
+        }
+        let mut sampled: HashMap<u64, (u64, u64)> = HashMap::new();
+        let det = TokenDetector {
+            horizon: 384,
+            tokens: 32,
+        };
+        let resolved = det.run(&trace, &result, |pc, c| {
+            let e = sampled.entry(pc.raw()).or_insert((0, 0));
+            if c {
+                e.0 += 1;
+            }
+            e.1 += 1;
+        });
+        assert!(resolved > 200, "resolved {resolved}");
+
+        // Rank agreement: PCs the exact analysis calls clearly critical
+        // (LoC > 0.5) should have higher detector rates than clearly
+        // non-critical ones (LoC < 0.05), on average.
+        let mut hi = Vec::new();
+        let mut lo = Vec::new();
+        for (&pc, &(c, t)) in &sampled {
+            if t < 5 {
+                continue;
+            }
+            let rate = c as f64 / t as f64;
+            let exact_loc = exact.loc(Pc::new(pc));
+            if exact_loc > 0.5 {
+                hi.push(rate);
+            } else if exact_loc < 0.05 {
+                lo.push(rate);
+            }
+        }
+        assert!(!hi.is_empty() && !lo.is_empty(), "need both classes");
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&hi) > mean(&lo),
+            "critical PCs {:.2} vs non-critical {:.2}",
+            mean(&hi),
+            mean(&lo)
+        );
+    }
+
+    #[test]
+    fn detector_trains_a_binary_predictor() {
+        let trace = Benchmark::Gzip.generate(1, 10_000);
+        let cfg = MachineConfig::micro05_baseline();
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let mut pred = BinaryCriticality::new();
+        let det = TokenDetector::default();
+        let resolved = det.train_predictor(&trace, &result, &mut pred);
+        assert!(resolved > 10);
+        assert!(pred.footprint() > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_horizon_panics() {
+        let trace = TraceBuilder::new().finish();
+        let cfg = MachineConfig::micro05_baseline();
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let det = TokenDetector {
+            horizon: 0,
+            tokens: 1,
+        };
+        det.run(&trace, &result, |_, _| {});
+    }
+
+    /// Local shim: the predictors crate cannot depend on ccs-critpath
+    /// (ccs-critpath sits above it), so tests re-derive E-criticality with
+    /// a minimal backward walk over the recorded bounds.
+    fn ccs_critpath_analyze(trace: &Trace, result: &SimResult) -> Vec<bool> {
+        let n = trace.len();
+        let mut e_critical = vec![false; n];
+        if n == 0 {
+            return e_critical;
+        }
+        let recs = &result.records;
+        #[derive(Clone, Copy, PartialEq)]
+        enum Node {
+            D(usize),
+            E(usize),
+            C(usize),
+            Root,
+        }
+        let mut node = Node::C(n - 1);
+        let cw = result.config.commit_width;
+        loop {
+            match node {
+                Node::Root => break,
+                Node::C(i) => {
+                    node = match recs[i].commit_bound {
+                        CommitBound::Complete => Node::E(i),
+                        CommitBound::InOrder => Node::C(i - 1),
+                        CommitBound::Bandwidth => {
+                            if i >= cw {
+                                Node::C(i - cw)
+                            } else {
+                                Node::E(i)
+                            }
+                        }
+                    }
+                }
+                Node::E(i) => {
+                    e_critical[i] = true;
+                    node = match recs[i].ready_bound {
+                        ReadyBound::Dispatch => Node::D(i),
+                        ReadyBound::Operand { producer, .. } => Node::E(producer.index()),
+                    }
+                }
+                Node::D(i) => {
+                    node = match recs[i].dispatch_bound {
+                        DispatchBound::Redirect(b) => Node::E(b.index()),
+                        DispatchBound::RobFull(j) => Node::C(j.index()),
+                        DispatchBound::SteerStall { freed_by: Some(j) } if j.index() < i => {
+                            Node::D(j.index())
+                        }
+                        _ => {
+                            if i == 0 {
+                                Node::Root
+                            } else {
+                                Node::D(i - 1)
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        e_critical
+    }
+}

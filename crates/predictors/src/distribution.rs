@@ -1,0 +1,156 @@
+//! The LoC value distribution of Figure 8.
+
+use crate::loc::{ExactLoc, LocEstimator};
+use ccs_isa::Pc;
+use serde::{Deserialize, Serialize};
+
+/// A dynamic-instruction-weighted histogram of static LoC values —
+/// Figure 8 of the paper ("% dynamic inst" per 5% LoC bucket, with the
+/// binary predictor's threshold falling at 1/8 ≈ 12.5%).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct LocDistribution {
+    /// `buckets[k]` = dynamic instances whose static LoC falls in
+    /// `[5k%, 5(k+1)%)` (last bucket closed at 100%).
+    buckets: [u64; 21],
+    total: u64,
+}
+
+impl LocDistribution {
+    /// Number of 5%-wide buckets (0, 5, …, 100).
+    pub const BUCKETS: usize = 21;
+
+    /// Builds the distribution from a trained [`ExactLoc`] table, weighting
+    /// each PC by its dynamic instance count.
+    pub fn from_exact(loc: &ExactLoc) -> Self {
+        let mut buckets = [0u64; 21];
+        let mut total = 0u64;
+        for (_, l, instances) in loc.iter() {
+            let b = ((l * 100.0) / 5.0).floor() as usize;
+            buckets[b.min(20)] += instances;
+            total += instances;
+        }
+        LocDistribution { buckets, total }
+    }
+
+    /// Percentage of dynamic instructions in bucket `k` (LoC in
+    /// `[5k%, 5(k+1)%)`).
+    pub fn percent(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        100.0 * self.buckets[k] as f64 / self.total as f64
+    }
+
+    /// Total dynamic instances behind the histogram.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Percentage of dynamic instructions the Fields binary predictor
+    /// would classify critical (LoC ≥ 1/8): everything the paper's Figure
+    /// 8 shows right of the dashed threshold line.
+    pub fn percent_binary_critical(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        // Buckets 3.. (15%+) are entirely above 12.5%; bucket 2 (10–15%)
+        // straddles it — count it fully, matching the figure's threshold
+        // line drawn inside that bucket.
+        let above: u64 = self.buckets[3..].iter().sum();
+        100.0 * above as f64 / self.total as f64
+    }
+
+    /// Merges another distribution (for cross-benchmark averaging).
+    pub fn merge(&mut self, other: &LocDistribution) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets) {
+            *dst += src;
+        }
+        self.total += other.total;
+    }
+
+    /// Iterates `(loc_percent_lower_bound, percent_dynamic)` for display.
+    pub fn series(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        (0..Self::BUCKETS).map(|k| (5 * k as u32, self.percent(k)))
+    }
+}
+
+
+/// Convenience: trains an [`ExactLoc`] from a per-instruction criticality
+/// vector and the trace's PCs, then builds the distribution.
+pub fn distribution_from_criticality(
+    pcs: impl IntoIterator<Item = Pc>,
+    critical: impl IntoIterator<Item = bool>,
+) -> LocDistribution {
+    let mut loc = ExactLoc::new();
+    for (pc, c) in pcs.into_iter().zip(critical) {
+        loc.train(pc, c);
+    }
+    LocDistribution::from_exact(&loc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_and_percentages() {
+        let mut loc = ExactLoc::new();
+        // PC A: never critical, 80 instances → bucket 0.
+        for _ in 0..80 {
+            loc.train(Pc::new(0), false);
+        }
+        // PC B: 50% critical, 20 instances → bucket 10 (50–55%).
+        for i in 0..20 {
+            loc.train(Pc::new(4), i % 2 == 0);
+        }
+        let d = LocDistribution::from_exact(&loc);
+        assert_eq!(d.total(), 100);
+        assert!((d.percent(0) - 80.0).abs() < 1e-9);
+        assert!((d.percent(10) - 20.0).abs() < 1e-9);
+        assert!((d.percent_binary_critical() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn always_critical_lands_in_last_bucket() {
+        let mut loc = ExactLoc::new();
+        for _ in 0..5 {
+            loc.train(Pc::new(0), true);
+        }
+        let d = LocDistribution::from_exact(&loc);
+        assert!((d.percent(20) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_distribution_is_zero() {
+        let d = LocDistribution::default();
+        assert_eq!(d.total(), 0);
+        assert_eq!(d.percent(0), 0.0);
+        assert_eq!(d.percent_binary_critical(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = distribution_from_criticality(
+            vec![Pc::new(0); 10],
+            std::iter::repeat_n(false, 10),
+        );
+        let b = distribution_from_criticality(
+            vec![Pc::new(4); 10],
+            std::iter::repeat_n(true, 10),
+        );
+        a.merge(&b);
+        assert_eq!(a.total(), 20);
+        assert!((a.percent(0) - 50.0).abs() < 1e-9);
+        assert!((a.percent(20) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_covers_all_buckets() {
+        let d = LocDistribution::default();
+        let s: Vec<_> = d.series().collect();
+        assert_eq!(s.len(), 21);
+        assert_eq!(s[0].0, 0);
+        assert_eq!(s[20].0, 100);
+    }
+}

@@ -1,0 +1,70 @@
+//! Criticality predictors.
+//!
+//! The paper's policies are driven by PC-indexed predictions of how
+//! critical each static instruction tends to be:
+//!
+//! * [`BinaryCriticality`] — the Fields et al. predictor: a 6-bit
+//!   saturating counter per PC, incremented by 8 when an instance trains
+//!   critical and decremented by 1 otherwise; predicted critical at a
+//!   threshold of 8 (so 1-in-8 critical instances suffice — the binary
+//!   coarseness that §4 identifies as the source of criticality ties).
+//! * [`ExactLoc`] — the *likelihood of criticality* (LoC) metric of §4
+//!   with unlimited precision: the fraction of a static instruction's
+//!   dynamic instances that have been critical.
+//! * [`QuantizedLoc`] — the §7 implementation: LoC stratified into 16
+//!   levels held in 4 bits per PC using Riley-Zilles probabilistic counter
+//!   updates.
+//! * [`LocDistribution`] — the dynamic-instruction-weighted histogram of
+//!   LoC values behind Figure 8.
+//!
+//! Training comes from the critical-path analysis of retired instructions
+//! (`ccs-critpath`'s `e_critical` set) — the idealized form of the signal
+//! the paper's token-passing detector produces in hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use ccs_predictors::{BinaryCriticality, CriticalityPredictor, ExactLoc, LocEstimator};
+//! use ccs_isa::Pc;
+//!
+//! let mut binary = BinaryCriticality::new();
+//! let mut loc = ExactLoc::new();
+//! let pc = Pc::new(0x40);
+//! // An instruction critical 1 time in 4:
+//! for i in 0..40 {
+//!     let critical = i % 4 == 0;
+//!     binary.train(pc, critical);
+//!     loc.train(pc, critical);
+//! }
+//! assert!(binary.predict(pc));             // binary: critical
+//! assert!((loc.loc(pc) - 0.25).abs() < 0.01); // LoC: 25%
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod binary;
+mod detector;
+mod distribution;
+mod loc;
+mod table;
+
+pub use binary::BinaryCriticality;
+pub use detector::TokenDetector;
+pub use distribution::{distribution_from_criticality, LocDistribution};
+pub use loc::{ExactLoc, LocEstimator, QuantizedLoc};
+pub use table::PcTable;
+
+use ccs_isa::Pc;
+
+/// A PC-indexed binary criticality predictor.
+pub trait CriticalityPredictor {
+    /// Predicts whether instances of the instruction at `pc` are critical.
+    fn predict(&self, pc: Pc) -> bool;
+
+    /// Trains with one observed instance.
+    fn train(&mut self, pc: Pc, critical: bool);
+
+    /// Clears all learned state.
+    fn reset(&mut self);
+}

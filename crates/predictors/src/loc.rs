@@ -1,0 +1,263 @@
+//! Likelihood-of-criticality predictors (§4 and §7).
+
+use crate::table::PcTable;
+use ccs_isa::Pc;
+use ccs_uarch::ProbabilisticCounter;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A PC-indexed estimator of the likelihood of criticality: the fraction
+/// of a static instruction's dynamic instances that have been critical.
+pub trait LocEstimator {
+    /// The LoC estimate in `[0, 1]` (0 for untrained PCs).
+    fn loc(&self, pc: Pc) -> f64;
+
+    /// Trains with one observed instance.
+    fn train(&mut self, pc: Pc, critical: bool);
+
+    /// Clears all learned state.
+    fn reset(&mut self);
+
+    /// The estimate stratified into `levels` equal buckets
+    /// (`0..levels`), the form the scheduler consumes. The paper finds 16
+    /// levels indistinguishable from unlimited precision.
+    fn level(&self, pc: Pc, levels: u32) -> u32 {
+        let l = (self.loc(pc) * levels as f64) as u32;
+        l.min(levels - 1)
+    }
+}
+
+/// LoC with unlimited precision: exact critical/total instance counts per
+/// PC. This is the reference the paper compares its 4-bit implementation
+/// against.
+#[derive(Debug, Clone, Default)]
+pub struct ExactLoc {
+    table: PcTable<(u64, u64)>, // (critical, total)
+}
+
+impl ExactLoc {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total training instances observed for `pc`.
+    pub fn instances(&self, pc: Pc) -> u64 {
+        self.table.get(pc).map_or(0, |&(_, t)| t)
+    }
+
+    /// Number of trained PCs.
+    pub fn footprint(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Iterates `(pc, loc, instances)` over trained PCs.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, f64, u64)> + '_ {
+        self.table.iter().map(|(pc, &(c, t))| {
+            let loc = if t == 0 { 0.0 } else { c as f64 / t as f64 };
+            (pc, loc, t)
+        })
+    }
+}
+
+impl LocEstimator for ExactLoc {
+    fn loc(&self, pc: Pc) -> f64 {
+        match self.table.get(pc) {
+            Some(&(c, t)) if t > 0 => c as f64 / t as f64,
+            _ => 0.0,
+        }
+    }
+
+    fn train(&mut self, pc: Pc, critical: bool) {
+        let e = self.table.entry(pc);
+        if critical {
+            e.0 += 1;
+        }
+        e.1 += 1;
+    }
+
+    fn reset(&mut self) {
+        self.table.clear();
+    }
+}
+
+/// The §7 hardware implementation: LoC stratified into 16 levels stored in
+/// a 4-bit probabilistic counter per PC (Riley-Zilles updates) — less
+/// storage than the 6-bit Fields binary counter, yet carrying a whole
+/// criticality *spectrum*.
+#[derive(Debug, Clone)]
+pub struct QuantizedLoc {
+    table: PcTable<ProbabilisticCounter>,
+    rng: SmallRng,
+    seed: u64,
+    bits: u32,
+}
+
+impl QuantizedLoc {
+    /// Creates an empty predictor with the paper's 4-bit (16-level)
+    /// counters, whose probabilistic updates draw from a deterministic
+    /// stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self::with_bits(seed, 4)
+    }
+
+    /// Creates an empty predictor with `bits`-bit counters — the
+    /// quantization-depth ablation of §7 (the paper finds 16 levels
+    /// equivalent to unlimited precision).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn with_bits(seed: u64, bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+        QuantizedLoc {
+            table: PcTable::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+            bits,
+        }
+    }
+
+    /// The number of counter bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The raw 0..=15 level for `pc`.
+    pub fn raw_level(&self, pc: Pc) -> u32 {
+        self.table.get(pc).map_or(0, ProbabilisticCounter::level)
+    }
+
+    /// Number of trained PCs.
+    pub fn footprint(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl LocEstimator for QuantizedLoc {
+    fn loc(&self, pc: Pc) -> f64 {
+        self.table.get(pc).map_or(0.0, ProbabilisticCounter::estimate)
+    }
+
+    fn train(&mut self, pc: Pc, critical: bool) {
+        let bits = self.bits;
+        let c = self
+            .table
+            .entry_with(pc, || ProbabilisticCounter::new(bits));
+        c.update(critical, &mut self.rng);
+    }
+
+    fn reset(&mut self) {
+        self.table.clear();
+        self.rng = SmallRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_loc_is_exact() {
+        let mut p = ExactLoc::new();
+        let pc = Pc::new(0x10);
+        for i in 0..100 {
+            p.train(pc, i % 5 == 0);
+        }
+        assert!((p.loc(pc) - 0.2).abs() < 1e-12);
+        assert_eq!(p.instances(pc), 100);
+        assert_eq!(p.footprint(), 1);
+        assert_eq!(p.level(pc, 16), 3); // 0.2 * 16 = 3.2
+    }
+
+    #[test]
+    fn untrained_loc_is_zero() {
+        let p = ExactLoc::new();
+        assert_eq!(p.loc(Pc::new(0)), 0.0);
+        assert_eq!(p.level(Pc::new(0), 16), 0);
+        let q = QuantizedLoc::new(1);
+        assert_eq!(q.loc(Pc::new(0)), 0.0);
+    }
+
+    #[test]
+    fn level_saturates_at_top() {
+        let mut p = ExactLoc::new();
+        let pc = Pc::new(0x20);
+        for _ in 0..10 {
+            p.train(pc, true);
+        }
+        assert_eq!(p.loc(pc), 1.0);
+        assert_eq!(p.level(pc, 16), 15);
+    }
+
+    #[test]
+    fn quantized_tracks_exact_approximately() {
+        let mut exact = ExactLoc::new();
+        let mut quant = QuantizedLoc::new(7);
+        let pc = Pc::new(0x30);
+        // 60% critical stream.
+        for i in 0..5_000 {
+            let critical = (i * 3) % 5 < 3;
+            exact.train(pc, critical);
+            quant.train(pc, critical);
+        }
+        let e = exact.loc(pc);
+        let q = quant.loc(pc);
+        assert!((e - 0.6).abs() < 0.01, "exact {e}");
+        assert!((q - e).abs() < 0.25, "quantized {q} vs exact {e}");
+        assert!(quant.raw_level(pc) > 4);
+    }
+
+    #[test]
+    fn quantized_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut q = QuantizedLoc::new(seed);
+            for i in 0..500 {
+                q.train(Pc::new(0x40), i % 3 == 0);
+            }
+            q.raw_level(Pc::new(0x40))
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn reset_clears_both() {
+        let mut exact = ExactLoc::new();
+        let mut quant = QuantizedLoc::new(1);
+        exact.train(Pc::new(0), true);
+        quant.train(Pc::new(0), true);
+        exact.reset();
+        quant.reset();
+        assert_eq!(exact.footprint(), 0);
+        assert_eq!(quant.footprint(), 0);
+    }
+
+    #[test]
+    fn coarse_quantization_loses_resolution() {
+        // A 1-bit counter can only say 0 or 1; a 4-bit counter tracks the
+        // 40% stream much more closely on average.
+        let stream: Vec<bool> = (0..4_000).map(|i| i % 5 < 2).collect();
+        let mut one = QuantizedLoc::with_bits(3, 1);
+        let mut four = QuantizedLoc::with_bits(3, 4);
+        let pc = Pc::new(0x50);
+        for &c in &stream {
+            one.train(pc, c);
+            four.train(pc, c);
+        }
+        assert_eq!(one.bits(), 1);
+        assert_eq!(four.bits(), 4);
+        assert!(one.loc(pc) == 0.0 || one.loc(pc) == 1.0);
+        assert!((four.loc(pc) - 0.4).abs() < 0.35, "4-bit {}", four.loc(pc));
+    }
+
+    #[test]
+    fn iter_reports_trained_pcs() {
+        let mut p = ExactLoc::new();
+        p.train(Pc::new(0), true);
+        p.train(Pc::new(4), false);
+        let v: Vec<_> = p.iter().collect();
+        assert_eq!(v.len(), 2);
+        let total: u64 = v.iter().map(|&(_, _, t)| t).sum();
+        assert_eq!(total, 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! A generic PC-indexed table.
+
+use ccs_isa::Pc;
+use std::collections::HashMap;
+
+/// A map from static instruction PCs to per-instruction predictor state.
+///
+/// Real hardware would use a finite, untagged table with aliasing; the
+/// paper's results are about policy quality rather than table pressure, so
+/// the table is modelled as unaliased (equivalent to a sufficiently large
+/// tagged table). The static footprints of the workload models are tiny,
+/// making aliasing moot.
+///
+/// ```
+/// use ccs_predictors::PcTable;
+/// use ccs_isa::Pc;
+/// let mut t: PcTable<u32> = PcTable::new();
+/// *t.entry(Pc::new(8)) += 3;
+/// assert_eq!(t.get(Pc::new(8)), Some(&3));
+/// assert_eq!(t.get(Pc::new(12)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PcTable<T> {
+    entries: HashMap<u64, T>,
+}
+
+impl<T> Default for PcTable<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PcTable<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PcTable {
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The state for `pc`, if any instance has trained it.
+    #[inline]
+    pub fn get(&self, pc: Pc) -> Option<&T> {
+        self.entries.get(&pc.raw())
+    }
+
+    /// Mutable state for `pc`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, pc: Pc) -> Option<&mut T> {
+        self.entries.get_mut(&pc.raw())
+    }
+
+    /// Number of PCs with state.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no PC has state.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears all state.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over `(pc, state)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Pc, &T)> {
+        self.entries.iter().map(|(&pc, v)| (Pc::new(pc), v))
+    }
+}
+
+impl<T: Default> PcTable<T> {
+    /// The state for `pc`, inserting a default entry if absent.
+    #[inline]
+    pub fn entry(&mut self, pc: Pc) -> &mut T {
+        self.entries.entry(pc.raw()).or_default()
+    }
+}
+
+impl<T> PcTable<T> {
+    /// The state for `pc`, inserting `init()` if absent — for entry types
+    /// whose power-on state is not `Default` (e.g. configured counters).
+    #[inline]
+    pub fn entry_with(&mut self, pc: Pc, init: impl FnOnce() -> T) -> &mut T {
+        self.entries.entry(pc.raw()).or_insert_with(init)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entry_defaults_and_persists() {
+        let mut t: PcTable<i32> = PcTable::new();
+        assert!(t.is_empty());
+        *t.entry(Pc::new(4)) = 7;
+        assert_eq!(t.get(Pc::new(4)), Some(&7));
+        assert_eq!(t.len(), 1);
+        *t.entry(Pc::new(4)) += 1;
+        assert_eq!(t.get(Pc::new(4)), Some(&8));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_and_clear() {
+        let mut t: PcTable<String> = PcTable::new();
+        t.entry(Pc::new(0)).push('a');
+        if let Some(s) = t.get_mut(Pc::new(0)) {
+            s.push('b');
+        }
+        assert_eq!(t.get(Pc::new(0)).unwrap(), "ab");
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let mut t: PcTable<u8> = PcTable::new();
+        t.entry(Pc::new(0));
+        t.entry(Pc::new(4));
+        assert_eq!(t.iter().count(), 2);
+    }
+}

@@ -1,0 +1,542 @@
+//! The cycle-level simulation engine.
+//!
+//! Each simulated cycle processes, in order: commit, issue (per cluster),
+//! dispatch/steer, fetch. Event times and binding constraints are recorded
+//! per instruction as they are determined; see the crate docs for the
+//! pipeline model.
+
+use crate::policy::{ProducerInfo, SteerDecision, SteerView, SteeringPolicy};
+use crate::record::{CommitBound, Cycle, DispatchBound, InstRecord, ReadyBound};
+use crate::result::{IlpCensus, SimResult};
+use ccs_isa::{BranchClass, MachineConfig, PortKind};
+use ccs_trace::{DynIdx, Trace};
+use ccs_uarch::{BranchPredictor, Gshare, SetAssocCache};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Errors a simulation run can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The simulation exceeded its cycle budget — indicates a deadlocked
+    /// policy (e.g. one that stalls forever).
+    CycleLimitExceeded {
+        /// The cycle at which the simulation gave up.
+        cycle: Cycle,
+        /// Instructions committed by then.
+        committed: usize,
+        /// Instructions in the trace.
+        total: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CycleLimitExceeded {
+                cycle,
+                committed,
+                total,
+            } => write!(
+                f,
+                "cycle limit exceeded at cycle {cycle} with {committed}/{total} committed \
+                 (deadlocked steering policy?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+const NOT_YET: Cycle = Cycle::MAX;
+
+/// A window entry: a dispatched, not-yet-issued instruction.
+#[derive(Debug, Clone, Copy)]
+struct WinEntry {
+    idx: u32,
+    priority: i64,
+    /// Determined ready cycle, or `NOT_YET` while some producer has not
+    /// issued.
+    ready: Cycle,
+}
+
+/// Runs `trace` through the machine described by `config` under `policy`.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_isa::{ClusterLayout, MachineConfig};
+/// use ccs_sim::{policies::LeastLoaded, simulate};
+/// use ccs_trace::Benchmark;
+///
+/// # fn main() -> Result<(), ccs_sim::SimError> {
+/// let trace = Benchmark::Gap.generate(1, 1_000);
+/// let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C2x4w);
+/// let result = simulate(&machine, &trace, &mut LeastLoaded)?;
+/// assert_eq!(result.instructions(), trace.len());
+/// assert!(result.ipc() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`SimError::CycleLimitExceeded`] if the machine stops making
+/// progress (only possible with a policy that stalls unboundedly).
+pub fn simulate(
+    config: &MachineConfig,
+    trace: &Trace,
+    policy: &mut dyn SteeringPolicy,
+) -> Result<SimResult, SimError> {
+    let n = trace.len();
+    let clusters = config.cluster_count();
+    let win_cap = config.cluster.window_entries;
+    let fw = config.front_end.fetch_width;
+    let depth = config.front_end.depth_to_dispatch as Cycle;
+
+    let mut records = vec![InstRecord::empty(); n];
+    let mut completes = vec![NOT_YET; n];
+    // Perfect memory disambiguation (Table 1): a load depends on the
+    // latest older store to the same 8-byte word — and *only* on true
+    // conflicts (no false dependences). Resolved exactly from the trace.
+    let mem_dep: Vec<Option<u32>> = {
+        let mut last_store: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        trace
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| match (inst.op(), inst.mem_addr) {
+                (op, Some(addr)) if op == ccs_isa::OpClass::Store => {
+                    last_store.insert(addr >> 3, i as u32);
+                    None
+                }
+                (op, Some(addr)) if op == ccs_isa::OpClass::Load => {
+                    last_store.get(&(addr >> 3)).copied()
+                }
+                _ => None,
+            })
+            .collect()
+    };
+    // Which mispredicted branch redirected this instruction's fetch.
+    let mut redirect_of: Vec<Option<DynIdx>> = vec![None; n];
+    // Bitmask of clusters a producer's value has been delivered to.
+    let mut delivered: Vec<u8> = vec![0; n];
+
+    let mut windows: Vec<Vec<WinEntry>> = vec![Vec::with_capacity(win_cap); clusters];
+    let mut fe_queue: VecDeque<u32> = VecDeque::with_capacity(config.front_end.skid_buffer);
+
+    let mut bp = Gshare::new(config.front_end.gshare_history_bits);
+    let mut l1 = SetAssocCache::from_config(&config.memory);
+    let mut l2 = config
+        .memory
+        .l2
+        .map(|c| SetAssocCache::new(c.bytes, c.ways, c.line_bytes));
+    // When the result becomes visible on the global bypass network (equals
+    // the complete time unless broadcast bandwidth is limited).
+    let mut broadcast = vec![NOT_YET; n];
+    // Per-cluster broadcast slots in use, for limited-bandwidth networks.
+    let mut bcast_used: Vec<std::collections::HashMap<Cycle, u32>> =
+        vec![std::collections::HashMap::new(); clusters];
+
+    let mut next_fetch: usize = 0;
+    let mut next_commit: usize = 0;
+    let mut dispatched: usize = 0;
+    let mut fetch_blocked_on: Option<DynIdx> = None;
+    let mut fetch_resume: Cycle = 0;
+    let mut redirect_pending: Option<DynIdx> = None;
+
+    // Per-cluster most recent issue (for SteerStall::freed_by attribution).
+    let mut last_issue: Vec<Option<DynIdx>> = vec![None; clusters];
+    // Whether the instruction at the dispatch head was steer-stalled on a
+    // previous cycle.
+    let mut head_steer_stalled = false;
+
+    let mut mispredicts: u64 = 0;
+    let mut conditional_branches: u64 = 0;
+    let mut global_values: u64 = 0;
+    let mut steer_stall_cycles: u64 = 0;
+    let mut ilp = IlpCensus::default();
+
+    let limit: Cycle = 64 * n as Cycle + 100_000;
+    let mut t: Cycle = 0;
+
+    while next_commit < n {
+        if t > limit {
+            return Err(SimError::CycleLimitExceeded {
+                cycle: t,
+                committed: next_commit,
+                total: n,
+            });
+        }
+
+        // ---- Commit ------------------------------------------------------
+        let mut committed_this_cycle = 0;
+        while next_commit < dispatched
+            && committed_this_cycle < config.commit_width
+            && completes[next_commit] != NOT_YET
+            && completes[next_commit] < t
+        {
+            let i = next_commit;
+            let commit_bound = if completes[i] + 1 == t {
+                CommitBound::Complete
+            } else if i > 0 && records[i - 1].commit == t {
+                CommitBound::InOrder
+            } else if i >= config.commit_width && records[i - config.commit_width].commit + 1 == t
+            {
+                CommitBound::Bandwidth
+            } else {
+                // Late head whose predecessors committed earlier: the head
+                // itself was the limiter on an earlier cycle but commit
+                // bandwidth ran out; classify as bandwidth.
+                CommitBound::Bandwidth
+            };
+            records[i].commit = t;
+            records[i].commit_bound = commit_bound;
+            let rec = records[i];
+            policy.on_commit(DynIdx::new(i as u32), &trace.as_slice()[i], &rec);
+            next_commit += 1;
+            committed_this_cycle += 1;
+        }
+
+        // ---- Issue -------------------------------------------------------
+        let mut available_total = 0usize;
+        let mut issued_total = 0usize;
+        let mut any_in_window = false;
+        for c in 0..clusters {
+            if windows[c].is_empty() {
+                continue;
+            }
+            any_in_window = true;
+            // Refresh ready times.
+            for e in windows[c].iter_mut() {
+                if e.ready != NOT_YET {
+                    continue;
+                }
+                let i = e.idx as usize;
+                let inst = &trace.as_slice()[i];
+                let mut all_known = true;
+                let mut best: Option<(Cycle, u8, DynIdx, u32)> = None;
+                let mem_operand = mem_dep[i].map(|s| (2usize, DynIdx::new(s)));
+                for (slot, dep) in inst
+                    .deps
+                    .iter()
+                    .enumerate()
+                    .map(|(k, d)| (k, *d))
+                    .chain(mem_operand.map(|(k, d)| (k, Some(d))))
+                {
+                    let Some(p) = &dep else { continue };
+                    let pc_complete = completes[p.index()];
+                    if pc_complete == NOT_YET {
+                        all_known = false;
+                        break;
+                    }
+                    let pcluster = records[p.index()].cluster as usize;
+                    let fwd = config.forwarding_between(pcluster, c);
+                    // Remote consumers see the value after it has been
+                    // broadcast and traversed the network; local consumers
+                    // bypass directly.
+                    let visible = if fwd == 0 {
+                        pc_complete
+                    } else {
+                        broadcast[p.index()] + fwd as Cycle
+                    };
+                    let eff_fwd = (visible - pc_complete) as u32;
+                    if best.is_none_or(|(v, ..)| visible > v) {
+                        best = Some((visible, slot as u8, *p, eff_fwd));
+                    }
+                }
+                if !all_known {
+                    continue;
+                }
+                let dispatch_floor = records[i].dispatch + 1;
+                // Tie-breaking: when the operand arrives exactly at the
+                // dispatch floor, prefer the dataflow edge (Fields' model
+                // follows E→E edges) unless it would charge forwarding
+                // cycles that the dispatch constraint already covers.
+                match best {
+                    Some((visible, slot, producer, fwd))
+                        if visible > dispatch_floor
+                            || (visible == dispatch_floor && fwd == 0) =>
+                    {
+                        e.ready = visible;
+                        records[i].ready = visible;
+                        records[i].ready_bound = ReadyBound::Operand {
+                            slot,
+                            producer,
+                            fwd,
+                        };
+                    }
+                    _ => {
+                        e.ready = dispatch_floor;
+                        records[i].ready = dispatch_floor;
+                        records[i].ready_bound = ReadyBound::Dispatch;
+                    }
+                }
+            }
+
+            // Collect issuable entries.
+            let mut issuable: Vec<usize> = windows[c]
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.ready <= t)
+                .map(|(pos, _)| pos)
+                .collect();
+            available_total += issuable.len();
+            if issuable.is_empty() {
+                continue;
+            }
+            issuable.sort_by_key(|&pos| {
+                let e = &windows[c][pos];
+                (std::cmp::Reverse(e.priority), e.idx)
+            });
+
+            let mut int_used = 0;
+            let mut fp_used = 0;
+            let mut mem_used = 0;
+            let mut width_used = 0;
+            let mut taken_positions: Vec<usize> = Vec::new();
+            for &pos in &issuable {
+                if width_used >= config.cluster.issue_width {
+                    break;
+                }
+                let e = windows[c][pos];
+                let i = e.idx as usize;
+                let inst = &trace.as_slice()[i];
+                let (used, cap) = match inst.op().port() {
+                    PortKind::Int => (&mut int_used, config.cluster.int_ports),
+                    PortKind::Fp => (&mut fp_used, config.cluster.fp_ports),
+                    PortKind::Mem => (&mut mem_used, config.cluster.mem_ports),
+                };
+                if *used >= cap {
+                    continue;
+                }
+                *used += 1;
+                width_used += 1;
+                taken_positions.push(pos);
+
+                // Execute.
+                let mut latency = inst.op().latency() as Cycle;
+                if let Some(addr) = inst.mem_addr {
+                    let hit = l1.access(addr);
+                    if !hit {
+                        records[i].l1_miss = true;
+                        let mut extra = config.memory.l2_latency;
+                        if let (Some(l2), Some(l2cfg)) = (l2.as_mut(), config.memory.l2) {
+                            if !l2.access(addr) {
+                                extra += l2cfg.memory_latency;
+                            }
+                        }
+                        records[i].mem_extra = extra;
+                        latency += extra as Cycle;
+                    }
+                }
+                records[i].issue = t;
+                records[i].complete = t + latency;
+                completes[i] = t + latency;
+                // Broadcast scheduling: with limited bandwidth, the value
+                // waits for a free slot on its cluster's egress.
+                broadcast[i] = match config.forward_bandwidth {
+                    None => t + latency,
+                    Some(b) => {
+                        let mut slot = t + latency;
+                        loop {
+                            let used = bcast_used[c].entry(slot).or_insert(0);
+                            if *used < b {
+                                *used += 1;
+                                break slot;
+                            }
+                            slot += 1;
+                        }
+                    }
+                };
+                last_issue[c] = Some(DynIdx::new(e.idx));
+
+                // Global-value accounting: one delivery per (producer,
+                // consumer-cluster) pair.
+                for dep in trace.as_slice()[i].producers() {
+                    let pcluster = records[dep.index()].cluster as usize;
+                    if pcluster != c {
+                        let bit = 1u8 << c;
+                        if delivered[dep.index()] & bit == 0 {
+                            delivered[dep.index()] |= bit;
+                            global_values += 1;
+                        }
+                    }
+                }
+            }
+            issued_total += taken_positions.len();
+            // Remove issued entries (descending positions to keep indices valid).
+            taken_positions.sort_unstable_by(|a, b| b.cmp(a));
+            for pos in taken_positions {
+                windows[c].swap_remove(pos);
+            }
+        }
+        if any_in_window {
+            ilp.record(available_total, issued_total);
+        }
+
+        // ---- Dispatch / steer ---------------------------------------------
+        let mut dispatched_this_cycle = 0;
+        while dispatched_this_cycle < fw {
+            let Some(&head) = fe_queue.front() else { break };
+            let i = head as usize;
+            if records[i].fetch + depth > t {
+                break; // still in the front-end pipe
+            }
+            if dispatched - next_commit >= config.rob_entries {
+                break; // ROB full
+            }
+            let inst = &trace.as_slice()[i];
+            let mut producers = [None, None];
+            for (slot, dep) in inst.deps.iter().enumerate() {
+                if let Some(p) = dep {
+                    let pcluster = records[p.index()].cluster as usize;
+                    let pcomplete = completes[p.index()];
+                    let visible_everywhere = pcomplete != NOT_YET
+                        && broadcast[p.index()] + config.forward_latency as Cycle <= t;
+                    producers[slot] = Some(ProducerInfo {
+                        idx: *p,
+                        pc: trace.as_slice()[p.index()].pc(),
+                        cluster: pcluster,
+                        completed: visible_everywhere,
+                    });
+                }
+            }
+            let occupancy: Vec<usize> = windows.iter().map(Vec::len).collect();
+            let view = SteerView {
+                inst,
+                idx: DynIdx::new(head),
+                now: t,
+                occupancy: &occupancy,
+                capacity: win_cap,
+                producers,
+            };
+            let outcome = policy.steer(&view);
+            let (cluster, cause) = match outcome.decision {
+                SteerDecision::To { cluster, cause } if occupancy[cluster] < win_cap => {
+                    (cluster, cause)
+                }
+                _ => {
+                    steer_stall_cycles += 1;
+                    head_steer_stalled = true;
+                    break;
+                }
+            };
+
+            // Binding constraint for the dispatch time.
+            let fe_time = records[i].fetch + depth;
+            let bound = if fe_time == t {
+                match redirect_of[i] {
+                    Some(b) => DispatchBound::Redirect(b),
+                    None => DispatchBound::FrontEnd,
+                }
+            } else if head_steer_stalled {
+                DispatchBound::SteerStall {
+                    freed_by: last_issue[cluster],
+                }
+            } else if i >= config.rob_entries && records[i - config.rob_entries].commit == t {
+                DispatchBound::RobFull(DynIdx::new((i - config.rob_entries) as u32))
+            } else {
+                DispatchBound::InOrder
+            };
+            head_steer_stalled = false;
+
+            let rec = &mut records[i];
+            rec.dispatch = t;
+            rec.cluster = cluster as u8;
+            rec.steer_cause = cause;
+            rec.predicted_critical = outcome.predicted_critical;
+            rec.loc = outcome.loc;
+            rec.dispatch_bound = bound;
+
+            let priority = policy.priority(DynIdx::new(head), inst);
+            windows[cluster].push(WinEntry {
+                idx: head,
+                priority,
+                ready: NOT_YET,
+            });
+            fe_queue.pop_front();
+            dispatched += 1;
+            dispatched_this_cycle += 1;
+        }
+
+        // ---- Fetch ---------------------------------------------------------
+        if let Some(b) = fetch_blocked_on {
+            if completes[b.index()] != NOT_YET {
+                fetch_resume = completes[b.index()] + 1;
+                fetch_blocked_on = None;
+                redirect_pending = Some(b);
+            }
+        }
+        if fetch_blocked_on.is_none() && t >= fetch_resume {
+            // The skid buffer bounds instructions that have exited the
+            // front-end pipe but not dispatched; instructions still in
+            // flight inside the pipe (fetched within the last `depth`
+            // cycles) do not occupy buffer entries.
+            let waiting = fe_queue
+                .iter()
+                .take_while(|&&i| records[i as usize].fetch + depth <= t)
+                .count();
+            let in_pipe = fe_queue.len() - waiting;
+            let mut fetched_this_cycle = 0;
+            while fetched_this_cycle < fw
+                && next_fetch < n
+                && waiting + in_pipe + fetched_this_cycle
+                    < config.front_end.skid_buffer + (depth as usize + 1) * fw
+                && waiting < config.front_end.skid_buffer
+            {
+                let i = next_fetch;
+                let inst = &trace.as_slice()[i];
+                records[i].fetch = t;
+                if let Some(r) = redirect_pending.take() {
+                    redirect_of[i] = Some(r);
+                }
+                fe_queue.push_back(i as u32);
+                next_fetch += 1;
+                fetched_this_cycle += 1;
+
+                if let Some(br) = inst.branch {
+                    match br.class {
+                        BranchClass::Conditional => {
+                            conditional_branches += 1;
+                            let pred = bp.predict(inst.pc());
+                            bp.update(inst.pc(), br.taken);
+                            if pred != br.taken {
+                                mispredicts += 1;
+                                records[i].mispredicted = true;
+                                fetch_blocked_on = Some(DynIdx::new(i as u32));
+                                break;
+                            }
+                        }
+                        BranchClass::Unconditional => {}
+                    }
+                    if br.taken && config.front_end.break_on_taken {
+                        break;
+                    }
+                }
+            }
+        }
+
+        if config.forward_bandwidth.is_some() && t.is_multiple_of(4096) {
+            for m in &mut bcast_used {
+                m.retain(|&k, _| k + 1 >= t);
+            }
+        }
+        t += 1;
+    }
+
+    debug_assert!(windows.iter().all(Vec::is_empty));
+    debug_assert!(fe_queue.is_empty());
+
+    Ok(SimResult {
+        config: *config,
+        cycles: t,
+        records,
+        mispredicts,
+        conditional_branches,
+        l1_misses: l1.misses(),
+        l1_accesses: l1.accesses(),
+        global_values,
+        ilp,
+        steer_stall_cycles,
+    })
+}

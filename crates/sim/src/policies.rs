@@ -1,0 +1,697 @@
+//! Baseline steering policies that ship with the simulator.
+//!
+//! These are the policy-free reference points: trivial monolithic
+//! steering, naive load balancing, and round-robin distribution. The
+//! paper's dependence-based, focused, and criticality-driven policies
+//! build on predictors and live in `ccs-core`.
+
+use crate::policy::{SteerCause, SteerOutcome, SteerView, SteeringPolicy};
+
+/// Steers every instruction to the least-loaded cluster with space;
+/// stalls only when every window is full. Oldest-first scheduling.
+///
+/// On a monolithic machine this is the trivial (only possible) policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoaded;
+
+impl SteeringPolicy for LeastLoaded {
+    fn steer(&mut self, view: &SteerView<'_>) -> SteerOutcome {
+        match view.least_loaded_with_space() {
+            Some(c) => {
+                let cause = if view.clusters() == 1 {
+                    SteerCause::Only
+                } else if view.pending_producers().next().is_some() {
+                    SteerCause::LoadBalance
+                } else {
+                    SteerCause::NoDeps
+                };
+                SteerOutcome::to(c, cause)
+            }
+            None => SteerOutcome::stall(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "least-loaded"
+    }
+}
+
+/// Distributes dispatching instructions round-robin over the clusters,
+/// skipping full ones. A locality-blind baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl SteeringPolicy for RoundRobin {
+    fn steer(&mut self, view: &SteerView<'_>) -> SteerOutcome {
+        let n = view.clusters();
+        for k in 0..n {
+            let c = (self.next + k) % n;
+            if view.has_space(c) {
+                self.next = (c + 1) % n;
+                let cause = if n == 1 {
+                    SteerCause::Only
+                } else {
+                    SteerCause::NoDeps
+                };
+                return SteerOutcome::to(c, cause);
+            }
+        }
+        SteerOutcome::stall()
+    }
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::record::{DispatchBound, ReadyBound};
+    use ccs_isa::{ArchReg, ClusterLayout, MachineConfig, OpClass, Pc, StaticInst};
+    use ccs_trace::{Benchmark, DynIdx, Trace, TraceBuilder};
+
+    fn serial_chain(n: usize) -> Trace {
+        let mut b = TraceBuilder::new();
+        let r = ArchReg::int(1);
+        for i in 0..n {
+            b.push_simple(
+                StaticInst::new(Pc::new(4 * i as u64 % 64), OpClass::IntAlu)
+                    .with_src(r)
+                    .with_dst(r),
+            );
+        }
+        b.finish()
+    }
+
+    fn independent(n: usize) -> Trace {
+        let mut b = TraceBuilder::new();
+        for i in 0..n {
+            let r = ArchReg::int(1 + (i % 30) as u16);
+            b.push_simple(StaticInst::new(Pc::new(4 * i as u64), OpClass::IntAlu).with_dst(r));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn serial_chain_runs_at_one_ipc_on_monolithic() {
+        let cfg = MachineConfig::micro05_baseline();
+        let t = serial_chain(2_000);
+        let r = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        // One instruction per cycle in steady state, plus pipeline fill.
+        let cpi = r.cpi();
+        assert!((0.98..1.1).contains(&cpi), "cpi {cpi}");
+        // Each non-first link waits on its producer.
+        let mid = &r.records[1000];
+        assert!(matches!(mid.ready_bound, ReadyBound::Operand { fwd: 0, .. }));
+    }
+
+    #[test]
+    fn independent_insts_run_at_issue_width() {
+        let cfg = MachineConfig::micro05_baseline();
+        let t = independent(8_000);
+        let r = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        let ipc = r.ipc();
+        assert!(ipc > 7.0, "ipc {ipc}");
+    }
+
+    #[test]
+    fn independent_insts_also_saturate_clustered_machines() {
+        // Load-balancing across clusters preserves throughput when there
+        // are no dependences.
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
+        let t = independent(8_000);
+        let r = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        let ipc = r.ipc();
+        assert!(ipc > 6.5, "ipc {ipc}");
+        // Work is spread over all clusters.
+        let counts = r.per_cluster_counts();
+        assert!(counts.iter().all(|&c| c > 500), "counts {counts:?}");
+    }
+
+    #[test]
+    fn load_balanced_serial_chain_pays_forwarding_on_clusters() {
+        // Figure 9: on a clustered machine, least-loaded steering spreads
+        // a serial chain across clusters, adding forwarding delay.
+        let mono = MachineConfig::micro05_baseline();
+        let clus = mono.with_layout(ClusterLayout::C4x2w);
+        let t = serial_chain(3_000);
+        let rm = simulate(&mono, &t, &mut LeastLoaded).unwrap();
+        let rc = simulate(&clus, &t, &mut LeastLoaded).unwrap();
+        assert!(
+            rc.cpi() > rm.cpi() * 1.5,
+            "clustered {} vs monolithic {}",
+            rc.cpi(),
+            rm.cpi()
+        );
+        // Forwarding delays appear in ready bounds.
+        let with_fwd = rc
+            .records
+            .iter()
+            .filter(|r| r.forwarding_on_ready() > 0)
+            .count();
+        assert!(with_fwd > 1_000, "forwarded {with_fwd}");
+    }
+
+    #[test]
+    fn round_robin_spreads_serial_chain_maximally() {
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
+        let t = serial_chain(2_000);
+        let r = simulate(&cfg, &t, &mut RoundRobin::default()).unwrap();
+        // Every link crosses clusters: CPI ≈ 1 + forward latency.
+        let cpi = r.cpi();
+        assert!(cpi > 2.5, "cpi {cpi}");
+        let counts = r.per_cluster_counts();
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        assert!(max - min <= 1, "round robin counts {counts:?}");
+    }
+
+    #[test]
+    fn loads_hit_and_miss_affect_latency() {
+        let mut b = TraceBuilder::new();
+        let addr_reg = ArchReg::int(1);
+        let v = ArchReg::int(2);
+        // Two loads to the same line: miss then hit; consumers time them.
+        b.push_mem(
+            StaticInst::new(Pc::new(0), OpClass::Load)
+                .with_src(addr_reg)
+                .with_dst(v),
+            0x9000,
+        );
+        b.push_simple(
+            StaticInst::new(Pc::new(4), OpClass::IntAlu)
+                .with_src(v)
+                .with_dst(v),
+        );
+        let t = b.finish();
+        let cfg = MachineConfig::micro05_baseline();
+        let r = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        assert!(r.records[0].l1_miss);
+        assert_eq!(r.records[0].exec_latency(), 23); // 3 + 20
+        assert_eq!(r.l1_misses, 1);
+        // The consumer became ready exactly when the load completed.
+        assert_eq!(r.records[1].ready, r.records[0].complete);
+    }
+
+    #[test]
+    fn mispredicted_branches_stall_fetch() {
+        // A chain ending in a hard-to-predict branch every 8 instructions:
+        // mispredicts force front-end refill, dominating runtime.
+        let mut b = TraceBuilder::new();
+        let r1 = ArchReg::int(1);
+        for i in 0..400u64 {
+            for k in 0..7u64 {
+                b.push_simple(
+                    StaticInst::new(Pc::new(4 * k), OpClass::IntAlu)
+                        .with_src(r1)
+                        .with_dst(r1),
+                );
+            }
+            // Direction from a pattern gshare cannot learn (period 13 prime
+            // against history mixing plus data-dependence).
+            let flip = (i * 7 + i / 13) % 13 < 6;
+            b.push_branch(
+                StaticInst::new(Pc::new(64), OpClass::Branch).with_src(r1),
+                ccs_isa::BranchInfo::conditional(flip),
+            );
+        }
+        let t = b.finish();
+        let cfg = MachineConfig::micro05_baseline();
+        let res = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        assert!(res.mispredicts > 20, "mispredicts {}", res.mispredicts);
+        // Some instruction's dispatch must be redirect-bound.
+        let redirected = res
+            .records
+            .iter()
+            .filter(|r| matches!(r.dispatch_bound, DispatchBound::Redirect(_)))
+            .count();
+        assert!(redirected > 10, "redirected {redirected}");
+    }
+
+    #[test]
+    fn all_event_times_are_ordered() {
+        for layout in ClusterLayout::ALL {
+            let cfg = MachineConfig::micro05_baseline().with_layout(layout);
+            let t = Benchmark::Vpr.generate(5, 3_000);
+            let r = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+            for (i, rec) in r.records.iter().enumerate() {
+                assert!(rec.fetch + 13 <= rec.dispatch, "inst {i} fetch/dispatch");
+                assert!(rec.dispatch < rec.ready, "inst {i} dispatch/ready");
+                assert!(rec.ready <= rec.issue, "inst {i} ready/issue");
+                assert!(rec.issue < rec.complete, "inst {i} issue/complete");
+                assert!(rec.complete < rec.commit, "inst {i} complete/commit");
+                assert!((rec.cluster as usize) < cfg.cluster_count());
+            }
+            // Commits are in order.
+            for w in r.records.windows(2) {
+                assert!(w[0].commit <= w[1].commit);
+            }
+        }
+    }
+
+    #[test]
+    fn dependences_are_respected_across_clusters() {
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
+        let t = Benchmark::Gcc.generate(2, 3_000);
+        let r = simulate(&cfg, &t, &mut RoundRobin::default()).unwrap();
+        for (i, inst) in t.iter() {
+            for p in inst.producers() {
+                let pr = &r.records[p.index()];
+                let cr = &r.records[i.index()];
+                let fwd = cfg.forwarding_between(pr.cluster as usize, cr.cluster as usize);
+                assert!(
+                    cr.issue >= pr.complete + fwd as u64,
+                    "inst {i} issued before operand from {p} was visible"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monolithic_machine_has_no_global_values() {
+        let cfg = MachineConfig::micro05_baseline();
+        let t = Benchmark::Gap.generate(3, 2_000);
+        let r = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        assert_eq!(r.global_values, 0);
+        assert!(r.records.iter().all(|rec| rec.forwarding_on_ready() == 0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+        let t = Benchmark::Twolf.generate(11, 2_000);
+        let a = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        let b = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn ilp_census_is_populated() {
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
+        let t = Benchmark::Vortex.generate(4, 4_000);
+        let r = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        let total_cycles: u64 = r.ilp.series().map(|(_, c, _)| c).sum();
+        assert!(total_cycles > 0);
+        // Achieved can never exceed the machine width.
+        for (_, _, achieved) in r.ilp.series() {
+            assert!(achieved <= 8.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_trace_finishes_immediately() {
+        let cfg = MachineConfig::micro05_baseline();
+        let t = TraceBuilder::new().finish();
+        let r = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        assert_eq!(r.instructions(), 0);
+        assert_eq!(r.cycles, 0);
+    }
+
+    #[test]
+    fn deadlocked_policy_reports_cycle_limit() {
+        struct AlwaysStall;
+        impl SteeringPolicy for AlwaysStall {
+            fn steer(&mut self, _view: &SteerView<'_>) -> SteerOutcome {
+                SteerOutcome::stall()
+            }
+            fn name(&self) -> &str {
+                "always-stall"
+            }
+        }
+        let cfg = MachineConfig::micro05_baseline();
+        let t = serial_chain(4);
+        let err = simulate(&cfg, &t, &mut AlwaysStall).unwrap_err();
+        assert!(matches!(err, crate::SimError::CycleLimitExceeded { .. }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn rob_full_bound_appears_under_backpressure() {
+        // A long L2-missing pointer chase fills the ROB behind it.
+        let t = Benchmark::Mcf.generate(1, 4_000);
+        let cfg = MachineConfig::micro05_baseline();
+        let r = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        let rob_bound = r
+            .records
+            .iter()
+            .filter(|rec| matches!(rec.dispatch_bound, DispatchBound::RobFull(_)))
+            .count();
+        assert!(rob_bound > 0, "expected some ROB-full dispatch bounds");
+    }
+
+    #[test]
+    fn dyn_idx_bounds_in_records() {
+        let t = Benchmark::Perl.generate(1, 1_000);
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C2x4w);
+        let r = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        for rec in &r.records {
+            if let ReadyBound::Operand { producer, .. } = rec.ready_bound {
+                assert!(producer.index() < t.len());
+            }
+            if let DispatchBound::Redirect(b) = rec.dispatch_bound {
+                assert!(b.index() < t.len());
+                assert!(r.records[b.index()].mispredicted);
+            }
+        }
+        let _ = DynIdx::new(0);
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::engine::simulate;
+    use ccs_isa::{ArchReg, ClusterLayout, MachineConfig, OpClass, Pc, StaticInst};
+    use ccs_trace::{Benchmark, Trace, TraceBuilder};
+
+    #[test]
+    fn finite_l2_is_slower_than_infinite_l2_on_mcf() {
+        let trace = Benchmark::Mcf.generate(1, 4_000);
+        let infinite = MachineConfig::micro05_baseline();
+        let finite = infinite.with_finite_l2();
+        let ri = simulate(&infinite, &trace, &mut LeastLoaded).unwrap();
+        let rf = simulate(&finite, &trace, &mut LeastLoaded).unwrap();
+        assert!(
+            rf.cycles > ri.cycles,
+            "finite {} vs infinite {}",
+            rf.cycles,
+            ri.cycles
+        );
+        // Some loads went all the way to memory (20 + 200 extra cycles).
+        let to_memory = rf
+            .records
+            .iter()
+            .filter(|r| r.mem_extra > finite.memory.l2_latency)
+            .count();
+        assert!(to_memory > 0, "expected main-memory accesses");
+        // And some hit in the L2 (exactly 20 extra).
+        let l2_hits = rf
+            .records
+            .iter()
+            .filter(|r| r.l1_miss && r.mem_extra == finite.memory.l2_latency)
+            .count();
+        assert!(l2_hits > 0, "expected L2 hits");
+    }
+
+    #[test]
+    fn l1_resident_code_is_unaffected_by_finite_l2() {
+        // Loads hammering a single line hit the L1 after the first access,
+        // so the hierarchy behind the L1 is invisible.
+        let mut b = TraceBuilder::new();
+        let a = ArchReg::int(1);
+        let v = ArchReg::int(2);
+        for i in 0..1_000u64 {
+            b.push_mem(
+                StaticInst::new(Pc::new(4 * (i % 4)), OpClass::Load)
+                    .with_src(a)
+                    .with_dst(v),
+                0x4000,
+            );
+            b.push_simple(
+                StaticInst::new(Pc::new(32), OpClass::IntAlu)
+                    .with_src(v)
+                    .with_dst(v),
+            );
+        }
+        let trace = b.finish();
+        let infinite = MachineConfig::micro05_baseline();
+        let finite = infinite.with_finite_l2();
+        let ri = simulate(&infinite, &trace, &mut LeastLoaded).unwrap();
+        let rf = simulate(&finite, &trace, &mut LeastLoaded).unwrap();
+        // One cold miss differs by the memory latency at most.
+        assert!(
+            rf.cycles <= ri.cycles + 200,
+            "finite {} vs infinite {}",
+            rf.cycles,
+            ri.cycles
+        );
+        assert_eq!(rf.l1_misses, 1);
+    }
+
+    /// A wide fan-out: one producer, many remote consumers, so a
+    /// bandwidth-1 network must serialize the broadcasts... actually one
+    /// broadcast serves all clusters; serialization appears when *many
+    /// producers* complete simultaneously in one cluster.
+    fn fanout_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        // 8 independent producers (same cycle completions on a wide
+        // cluster), then one consumer of each on other clusters.
+        for i in 0..2_000u64 {
+            let k = (i % 8) as u16;
+            b.push_simple(
+                StaticInst::new(Pc::new(4 * (i % 8)), OpClass::IntAlu)
+                    .with_dst(ArchReg::int(1 + k)),
+            );
+            b.push_simple(
+                StaticInst::new(Pc::new(64 + 4 * (i % 8)), OpClass::IntAlu)
+                    .with_src(ArchReg::int(1 + k))
+                    .with_dst(ArchReg::int(9 + k)),
+            );
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn limited_broadcast_bandwidth_slows_communication_heavy_code() {
+        let trace = fanout_trace();
+        let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C2x4w);
+        let unlimited = simulate(&machine, &trace, &mut RoundRobin::default()).unwrap();
+        let limited = simulate(
+            &machine.with_forward_bandwidth(Some(1)),
+            &trace,
+            &mut RoundRobin::default(),
+        )
+        .unwrap();
+        assert!(
+            limited.cycles >= unlimited.cycles,
+            "limited {} vs unlimited {}",
+            limited.cycles,
+            unlimited.cycles
+        );
+        // Serialization shows up as larger effective forwarding delays.
+        let max_fwd_unlimited = unlimited
+            .records
+            .iter()
+            .map(|r| r.forwarding_on_ready())
+            .max()
+            .unwrap();
+        let max_fwd_limited = limited
+            .records
+            .iter()
+            .map(|r| r.forwarding_on_ready())
+            .max()
+            .unwrap();
+        assert!(
+            max_fwd_limited >= max_fwd_unlimited,
+            "{max_fwd_limited} vs {max_fwd_unlimited}"
+        );
+    }
+
+    #[test]
+    fn unlimited_bandwidth_matches_default_exactly() {
+        let trace = Benchmark::Vpr.generate(9, 2_000);
+        let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+        let a = simulate(&machine, &trace, &mut LeastLoaded).unwrap();
+        let b = simulate(
+            &machine.with_forward_bandwidth(None),
+            &trace,
+            &mut LeastLoaded,
+        )
+        .unwrap();
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_forward_bandwidth_is_rejected() {
+        let _ = MachineConfig::micro05_baseline().with_forward_bandwidth(Some(0));
+    }
+}
+
+#[cfg(test)]
+mod frontend_tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::record::CommitBound;
+    use ccs_isa::{ArchReg, BranchInfo, MachineConfig, OpClass, Pc, StaticInst};
+    use ccs_trace::TraceBuilder;
+
+    #[test]
+    fn break_on_taken_throttles_fetch() {
+        // Dense taken branches: with break_on_taken, every fetch group ends
+        // at a branch, capping fetch throughput well below 8/cycle.
+        let mut b = TraceBuilder::new();
+        for i in 0..3_000u64 {
+            let r = ArchReg::int(1 + (i % 8) as u16);
+            b.push_simple(StaticInst::new(Pc::new(4 * (i % 4)), OpClass::IntAlu).with_dst(r));
+            b.push_branch(
+                StaticInst::new(Pc::new(64), OpClass::Branch).with_src(r),
+                BranchInfo::conditional(true),
+            );
+        }
+        let trace = b.finish();
+        let normal = MachineConfig::micro05_baseline();
+        let mut broken = normal;
+        broken.front_end.break_on_taken = true;
+        let rn = simulate(&normal, &trace, &mut LeastLoaded).unwrap();
+        let rb = simulate(&broken, &trace, &mut LeastLoaded).unwrap();
+        assert!(
+            rb.cycles > rn.cycles * 2,
+            "break-on-taken {} vs normal {}",
+            rb.cycles,
+            rn.cycles
+        );
+        // Roughly two instructions per fetch group → CPI near 0.5.
+        assert!(rb.cpi() > 0.4, "cpi {}", rb.cpi());
+    }
+
+    #[test]
+    fn commit_bandwidth_binds_wide_completion_bursts() {
+        // A long-latency load at the ROB head dams up a burst of quickly
+        // completed independent instructions behind it; when it completes,
+        // the backlog drains at 8 per cycle — in-order and bandwidth
+        // bounds must appear.
+        let mut b = TraceBuilder::new();
+        b.push_mem(
+            StaticInst::new(Pc::new(0), OpClass::Load)
+                .with_src(ArchReg::int(31))
+                .with_dst(ArchReg::int(30)),
+            0xdead_000,
+        );
+        for i in 0..32u64 {
+            b.push_simple(
+                StaticInst::new(Pc::new(4 + 4 * i), OpClass::IntAlu)
+                    .with_dst(ArchReg::int(1 + (i % 28) as u16)),
+            );
+        }
+        let trace = b.finish();
+        let cfg = MachineConfig::micro05_baseline();
+        let r = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let bw_bound = r
+            .records
+            .iter()
+            .filter(|rec| rec.commit_bound == CommitBound::Bandwidth)
+            .count();
+        let inorder = r
+            .records
+            .iter()
+            .filter(|rec| rec.commit_bound == CommitBound::InOrder)
+            .count();
+        assert!(bw_bound + inorder > 0, "expected commit-side bounds");
+        // No more than commit_width commits share any cycle.
+        let mut per_cycle = std::collections::HashMap::new();
+        for rec in &r.records {
+            *per_cycle.entry(rec.commit).or_insert(0usize) += 1;
+        }
+        assert!(per_cycle.values().all(|&c| c <= cfg.commit_width));
+    }
+
+    #[test]
+    fn skid_buffer_limits_runahead() {
+        // Fetch may run ahead of a stalled dispatch by at most the skid
+        // buffer plus the front-end pipe contents.
+        let mut b = TraceBuilder::new();
+        let r = ArchReg::int(1);
+        for i in 0..2_000u64 {
+            b.push_simple(
+                StaticInst::new(Pc::new(4 * (i % 8)), OpClass::IntAlu)
+                    .with_src(r)
+                    .with_dst(r),
+            );
+        }
+        let trace = b.finish();
+        let cfg = MachineConfig::micro05_baseline();
+        let res = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let max_runahead = cfg.front_end.skid_buffer
+            + (cfg.front_end.depth_to_dispatch as usize + 1) * cfg.front_end.fetch_width;
+        for (i, rec) in res.records.iter().enumerate() {
+            // Instruction i+max_runahead must be fetched after i dispatched.
+            if let Some(later) = res.records.get(i + max_runahead) {
+                assert!(
+                    later.fetch >= rec.dispatch,
+                    "inst {i}: fetch ran {max_runahead} ahead of dispatch"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod disambiguation_tests {
+    use super::*;
+    use crate::engine::simulate;
+    use crate::record::ReadyBound;
+    use ccs_isa::{ArchReg, MachineConfig, OpClass, Pc, StaticInst};
+    use ccs_trace::{DynIdx, TraceBuilder};
+
+    fn store_then_load(store_addr: u64, load_addr: u64) -> ccs_trace::Trace {
+        let mut b = TraceBuilder::new();
+        let v = ArchReg::int(1);
+        let a = ArchReg::int(2);
+        // A slow producer delays the store's issue.
+        b.push_mem(
+            StaticInst::new(Pc::new(0), OpClass::Load)
+                .with_src(a)
+                .with_dst(v),
+            0xBEEF_000, // cold miss: 23-cycle load
+        );
+        b.push_mem(
+            StaticInst::new(Pc::new(4), OpClass::Store).with_srcs([Some(v), Some(a)]),
+            store_addr,
+        );
+        b.push_mem(
+            StaticInst::new(Pc::new(8), OpClass::Load)
+                .with_src(a)
+                .with_dst(ArchReg::int(3)),
+            load_addr,
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn load_waits_for_conflicting_older_store() {
+        let cfg = MachineConfig::micro05_baseline();
+        let t = store_then_load(0x5000, 0x5000);
+        let r = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        // The load (inst 2) cannot issue before the store (inst 1)
+        // completes.
+        assert!(r.records[2].issue >= r.records[1].complete);
+        assert_eq!(
+            r.records[2].ready_bound,
+            ReadyBound::Operand {
+                slot: 2,
+                producer: DynIdx::new(1),
+                fwd: 0
+            }
+        );
+    }
+
+    #[test]
+    fn perfect_disambiguation_has_no_false_dependences() {
+        let cfg = MachineConfig::micro05_baseline();
+        let t = store_then_load(0x5000, 0x6000);
+        let r = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        // Different address: the load issues long before the store
+        // completes (the store waits on the 23-cycle producer).
+        assert!(
+            r.records[2].issue < r.records[1].complete,
+            "load {} vs store complete {}",
+            r.records[2].issue,
+            r.records[1].complete
+        );
+    }
+
+    #[test]
+    fn word_granularity_conflicts_detected() {
+        let cfg = MachineConfig::micro05_baseline();
+        // Same 8-byte word, different byte: still a dependence.
+        let t = store_then_load(0x5000, 0x5004);
+        let r = simulate(&cfg, &t, &mut LeastLoaded).unwrap();
+        assert!(r.records[2].issue >= r.records[1].complete);
+    }
+}

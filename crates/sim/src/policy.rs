@@ -1,0 +1,275 @@
+//! The steering / scheduling policy interface.
+//!
+//! A [`SteeringPolicy`] makes the two decisions the paper studies:
+//! *cluster assignment* for each dispatching instruction
+//! ([`steer`](SteeringPolicy::steer)) and *scheduling priority* among the
+//! ready instructions in a window ([`priority`](SteeringPolicy::priority)).
+//! The commit callback lets learning policies (the proactive
+//! load-balancer's most-critical-consumer tracker) observe the retiring
+//! stream.
+
+use crate::record::{Cycle, InstRecord};
+use ccs_isa::Pc;
+use ccs_trace::{DynIdx, DynInst};
+use serde::{Deserialize, Serialize};
+
+/// What a producer of one of the dispatching instruction's operands looks
+/// like at steering time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProducerInfo {
+    /// The producer's dynamic index.
+    pub idx: DynIdx,
+    /// The producer's PC (for predictor lookups).
+    pub pc: Pc,
+    /// The cluster the producer was steered to.
+    pub cluster: usize,
+    /// Whether the producer's result is already available everywhere
+    /// (completed at least `forward_latency` cycles ago). Completed
+    /// producers impose no locality preference.
+    pub completed: bool,
+}
+
+/// The dispatch-time view a steering policy decides from.
+///
+/// Mirrors what real steering hardware could observe: the instruction and
+/// its PC, per-cluster window occupancy, and where its not-yet-completed
+/// producers live.
+#[derive(Debug)]
+pub struct SteerView<'a> {
+    /// The dispatching instruction.
+    pub inst: &'a DynInst,
+    /// Its dynamic index.
+    pub idx: DynIdx,
+    /// Current cycle.
+    pub now: Cycle,
+    /// Window occupancy per cluster.
+    pub occupancy: &'a [usize],
+    /// Window capacity per cluster.
+    pub capacity: usize,
+    /// Producer information per source-operand slot.
+    pub producers: [Option<ProducerInfo>; 2],
+}
+
+impl SteerView<'_> {
+    /// Number of clusters.
+    #[inline]
+    pub fn clusters(&self) -> usize {
+        self.occupancy.len()
+    }
+
+    /// Whether cluster `c` has a free window entry.
+    #[inline]
+    pub fn has_space(&self, c: usize) -> bool {
+        self.occupancy[c] < self.capacity
+    }
+
+    /// The cluster with the fewest in-flight instructions (ties broken by
+    /// lowest index) — the conventional load-balance target.
+    pub fn least_loaded(&self) -> usize {
+        self.occupancy
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &o)| (o, i))
+            .map(|(i, _)| i)
+            .expect("at least one cluster")
+    }
+
+    /// The least-loaded cluster that has space, if any.
+    pub fn least_loaded_with_space(&self) -> Option<usize> {
+        let c = self.least_loaded();
+        self.has_space(c).then_some(c)
+    }
+
+    /// Iterates over the producers that are still in flight (their results
+    /// are not yet globally visible) — the ones that create a locality
+    /// preference.
+    pub fn pending_producers(&self) -> impl Iterator<Item = ProducerInfo> + '_ {
+        self.producers
+            .iter()
+            .filter_map(|p| *p)
+            .filter(|p| !p.completed)
+    }
+}
+
+/// Why a placement was chosen — recorded per instruction and used by the
+/// lost-cycle classification of Figure 6(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SteerCause {
+    /// Trivial placement (monolithic machine, or no choice involved).
+    Only,
+    /// Collocated with a producer by dependence-based steering.
+    Dependence,
+    /// Sent to the least-loaded cluster because the desired cluster was
+    /// full — *load-balance steering*, the dominant source of critical
+    /// forwarding delay (§3).
+    LoadBalance,
+    /// No in-flight producers; placed by the load balancer's default rule.
+    NoDeps,
+    /// Deliberately pushed away from its producer by the proactive
+    /// load-balancing policy (§6).
+    Proactive,
+}
+
+/// A steering decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteerDecision {
+    /// Dispatch to the given cluster.
+    To {
+        /// Target cluster index.
+        cluster: usize,
+        /// Placement rationale.
+        cause: SteerCause,
+    },
+    /// Hold this instruction (and, because dispatch is in-order,
+    /// everything behind it) until a later cycle.
+    Stall,
+}
+
+/// A steering decision plus the policy's criticality assessment of the
+/// instruction, which the simulator stamps into the [`InstRecord`] so the
+/// analysis can classify stalls as hitting predicted-critical
+/// instructions or not (Figure 6a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SteerOutcome {
+    /// Where to put the instruction (or whether to stall).
+    pub decision: SteerDecision,
+    /// The policy's binary criticality prediction for this instruction.
+    pub predicted_critical: bool,
+    /// The policy's likelihood-of-criticality estimate in `[0, 1]`.
+    pub loc: f32,
+}
+
+impl SteerOutcome {
+    /// A placement with no criticality annotation.
+    pub fn to(cluster: usize, cause: SteerCause) -> Self {
+        SteerOutcome {
+            decision: SteerDecision::To { cluster, cause },
+            predicted_critical: false,
+            loc: 0.0,
+        }
+    }
+
+    /// A stall with no criticality annotation.
+    pub fn stall() -> Self {
+        SteerOutcome {
+            decision: SteerDecision::Stall,
+            predicted_critical: false,
+            loc: 0.0,
+        }
+    }
+
+    /// Attaches a criticality annotation.
+    #[must_use]
+    pub fn with_criticality(mut self, predicted_critical: bool, loc: f32) -> Self {
+        self.predicted_critical = predicted_critical;
+        self.loc = loc;
+        self
+    }
+}
+
+/// A steering and scheduling policy.
+///
+/// One trait covers both decisions because the paper's policies couple
+/// them (focused steering *and* focused scheduling share a criticality
+/// predictor). Implementations live in `ccs-core`; the simulator ships
+/// only the baselines in [`policies`](crate::policies).
+pub trait SteeringPolicy {
+    /// Chooses a cluster for a dispatching instruction, or stalls.
+    ///
+    /// If the returned cluster's window is full, the simulator treats the
+    /// outcome as a stall and re-consults the policy next cycle.
+    fn steer(&mut self, view: &SteerView<'_>) -> SteerOutcome;
+
+    /// Scheduling priority for a dispatched instruction; higher issues
+    /// first, ties broken oldest-first. Consulted once at dispatch.
+    fn priority(&mut self, idx: DynIdx, inst: &DynInst) -> i64 {
+        let _ = (idx, inst);
+        0
+    }
+
+    /// Observes a committing instruction (for learning policies).
+    fn on_commit(&mut self, idx: DynIdx, inst: &DynInst, record: &InstRecord) {
+        let _ = (idx, inst, record);
+    }
+
+    /// The policy's display name (used in reports and figures).
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_isa::{ArchReg, OpClass, StaticInst};
+
+    fn view_with(occupancy: &[usize], capacity: usize) -> SteerView<'_> {
+        // A static dummy instruction for view construction.
+        static INST: std::sync::OnceLock<DynInst> = std::sync::OnceLock::new();
+        let inst = INST.get_or_init(|| DynInst {
+            inst: StaticInst::new(Pc::new(0), OpClass::IntAlu).with_dst(ArchReg::int(1)),
+            deps: [None, None],
+            mem_addr: None,
+            branch: None,
+        });
+        SteerView {
+            inst,
+            idx: DynIdx::new(0),
+            now: 0,
+            occupancy,
+            capacity,
+            producers: [None, None],
+        }
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_low() {
+        let v = view_with(&[3, 1, 1, 2], 8);
+        assert_eq!(v.least_loaded(), 1);
+        assert_eq!(v.clusters(), 4);
+    }
+
+    #[test]
+    fn has_space_and_least_loaded_with_space() {
+        let v = view_with(&[8, 8], 8);
+        assert!(!v.has_space(0));
+        assert_eq!(v.least_loaded_with_space(), None);
+        let v = view_with(&[8, 7], 8);
+        assert_eq!(v.least_loaded_with_space(), Some(1));
+    }
+
+    #[test]
+    fn steer_outcome_builders() {
+        let o = SteerOutcome::to(2, SteerCause::Dependence).with_criticality(true, 0.8);
+        assert!(o.predicted_critical);
+        assert!((o.loc - 0.8).abs() < 1e-6);
+        assert_eq!(
+            o.decision,
+            SteerDecision::To {
+                cluster: 2,
+                cause: SteerCause::Dependence
+            }
+        );
+        assert_eq!(SteerOutcome::stall().decision, SteerDecision::Stall);
+    }
+
+    #[test]
+    fn pending_producers_filters_completed() {
+        let mut v = view_with(&[0], 8);
+        v.producers = [
+            Some(ProducerInfo {
+                idx: DynIdx::new(1),
+                pc: Pc::new(4),
+                cluster: 0,
+                completed: true,
+            }),
+            Some(ProducerInfo {
+                idx: DynIdx::new(2),
+                pc: Pc::new(8),
+                cluster: 0,
+                completed: false,
+            }),
+        ];
+        let pending: Vec<_> = v.pending_producers().collect();
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].idx, DynIdx::new(2));
+    }
+}

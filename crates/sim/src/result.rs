@@ -1,0 +1,302 @@
+//! Simulation results and aggregate statistics.
+
+use crate::record::{Cycle, InstRecord};
+use ccs_isa::MachineConfig;
+use serde::{Deserialize, Serialize};
+
+/// The per-cycle ready-vs-issued census behind Figure 15.
+///
+/// For every execute cycle, the simulator counts how many instructions
+/// were ready across all clusters (*available ILP*) and how many actually
+/// issued (*achieved ILP*), and accumulates achieved per available bucket.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IlpCensus {
+    /// `buckets[a] = (cycles with available ILP a, total instructions
+    /// issued on those cycles)`.
+    buckets: Vec<(u64, u64)>,
+}
+
+impl IlpCensus {
+    /// Records one cycle with `available` ready instructions of which
+    /// `achieved` issued.
+    pub fn record(&mut self, available: usize, achieved: usize) {
+        if self.buckets.len() <= available {
+            self.buckets.resize(available + 1, (0, 0));
+        }
+        let b = &mut self.buckets[available];
+        b.0 += 1;
+        b.1 += achieved as u64;
+    }
+
+    /// Mean achieved ILP on cycles with exactly `available` ready
+    /// instructions, or `None` if no such cycle occurred.
+    pub fn achieved_at(&self, available: usize) -> Option<f64> {
+        let &(cycles, issued) = self.buckets.get(available)?;
+        (cycles > 0).then(|| issued as f64 / cycles as f64)
+    }
+
+    /// Number of cycles observed with exactly `available` ready
+    /// instructions.
+    pub fn cycles_at(&self, available: usize) -> u64 {
+        self.buckets.get(available).map_or(0, |b| b.0)
+    }
+
+    /// The largest available-ILP value observed.
+    pub fn max_available(&self) -> usize {
+        self.buckets.len().saturating_sub(1)
+    }
+
+    /// Iterates `(available, cycles, mean achieved)` over populated buckets.
+    pub fn series(&self) -> impl Iterator<Item = (usize, u64, f64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.0 > 0)
+            .map(|(a, &(cycles, issued))| (a, cycles, issued as f64 / cycles as f64))
+    }
+
+    /// Merges another census into this one.
+    pub fn merge(&mut self, other: &IlpCensus) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), (0, 0));
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            dst.0 += src.0;
+            dst.1 += src.1;
+        }
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// The machine configuration simulated.
+    pub config: MachineConfig,
+    /// Total cycles (the commit cycle of the last instruction, plus one).
+    pub cycles: Cycle,
+    /// Per-instruction event records, parallel to the trace.
+    pub records: Vec<InstRecord>,
+    /// Conditional branches the front end mispredicted.
+    pub mispredicts: u64,
+    /// Conditional branches simulated.
+    pub conditional_branches: u64,
+    /// L1 data-cache misses.
+    pub l1_misses: u64,
+    /// L1 data-cache accesses.
+    pub l1_accesses: u64,
+    /// Operand deliveries that crossed clusters (§2.1's "global values").
+    pub global_values: u64,
+    /// The ready/issued census (Figure 15).
+    pub ilp: IlpCensus,
+    /// Dispatch cycles lost to steering stalls (policy stalled or target
+    /// full while the ROB had space).
+    pub steer_stall_cycles: u64,
+}
+
+impl SimResult {
+    /// Instructions simulated.
+    #[inline]
+    pub fn instructions(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.cycles as f64 / self.records.len() as f64
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.records.len() as f64 / self.cycles as f64
+    }
+
+    /// Branch misprediction rate over conditional branches.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.conditional_branches == 0 {
+            return 0.0;
+        }
+        self.mispredicts as f64 / self.conditional_branches as f64
+    }
+
+    /// L1 miss rate.
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            return 0.0;
+        }
+        self.l1_misses as f64 / self.l1_accesses as f64
+    }
+
+    /// Cross-cluster operand deliveries per instruction (the paper reports
+    /// 0.12 / 0.2 / 0.25 for its 2-, 4- and 8-cluster policies).
+    pub fn global_values_per_inst(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.global_values as f64 / self.records.len() as f64
+    }
+
+    /// Instructions executed per cluster, for load-distribution reports.
+    pub fn per_cluster_counts(&self) -> Vec<u64> {
+        let n = self.config.cluster_count();
+        let mut counts = vec![0u64; n];
+        for r in &self.records {
+            counts[r.cluster as usize] += 1;
+        }
+        counts
+    }
+
+    /// Total cycles ready instructions spent waiting to issue (aggregate
+    /// contention exposure, §3).
+    pub fn total_contention_cycles(&self) -> u64 {
+        self.records.iter().map(InstRecord::contention_wait).sum()
+    }
+
+    /// Placement counts per steering cause, in the order
+    /// `[Only, Dependence, LoadBalance, NoDeps, Proactive]` — the
+    /// diagnostic behind Figure 6(b)'s cause attribution.
+    pub fn steer_cause_counts(&self) -> [u64; 5] {
+        let mut counts = [0u64; 5];
+        for r in &self.records {
+            let k = match r.steer_cause {
+                crate::SteerCause::Only => 0,
+                crate::SteerCause::Dependence => 1,
+                crate::SteerCause::LoadBalance => 2,
+                crate::SteerCause::NoDeps => 3,
+                crate::SteerCause::Proactive => 4,
+            };
+            counts[k] += 1;
+        }
+        counts
+    }
+
+    /// Number of clusters that executed more than `threshold` of the
+    /// instructions — the utilization measure behind §7's observation
+    /// that much of gzip's stall-over-steer speedup happens "in long
+    /// stretches of the execution where only 3 clusters are used",
+    /// confirming that cluster utilization is not a metric to optimize.
+    pub fn active_clusters(&self, threshold: f64) -> usize {
+        let total = self.records.len().max(1) as f64;
+        self.per_cluster_counts()
+            .iter()
+            .filter(|&&c| c as f64 / total > threshold)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ilp_census_means() {
+        let mut c = IlpCensus::default();
+        c.record(3, 2);
+        c.record(3, 3);
+        c.record(1, 1);
+        assert_eq!(c.achieved_at(3), Some(2.5));
+        assert_eq!(c.achieved_at(1), Some(1.0));
+        assert_eq!(c.achieved_at(0), None);
+        assert_eq!(c.achieved_at(99), None);
+        assert_eq!(c.cycles_at(3), 2);
+        assert_eq!(c.max_available(), 3);
+        let series: Vec<_> = c.series().collect();
+        assert_eq!(series, vec![(1, 1, 1.0), (3, 2, 2.5)]);
+    }
+
+    #[test]
+    fn ilp_census_merge() {
+        let mut a = IlpCensus::default();
+        a.record(2, 2);
+        let mut b = IlpCensus::default();
+        b.record(2, 1);
+        b.record(5, 4);
+        a.merge(&b);
+        assert_eq!(a.achieved_at(2), Some(1.5));
+        assert_eq!(a.achieved_at(5), Some(4.0));
+    }
+
+    fn empty_result() -> SimResult {
+        SimResult {
+            config: MachineConfig::micro05_baseline(),
+            cycles: 0,
+            records: Vec::new(),
+            mispredicts: 0,
+            conditional_branches: 0,
+            l1_misses: 0,
+            l1_accesses: 0,
+            global_values: 0,
+            ilp: IlpCensus::default(),
+            steer_stall_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn rates_on_empty_results_are_zero() {
+        let r = empty_result();
+        assert_eq!(r.cpi(), 0.0);
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.mispredict_rate(), 0.0);
+        assert_eq!(r.l1_miss_rate(), 0.0);
+        assert_eq!(r.global_values_per_inst(), 0.0);
+        assert_eq!(r.total_contention_cycles(), 0);
+        assert_eq!(r.instructions(), 0);
+    }
+
+    #[test]
+    fn cpi_and_ipc_are_reciprocal() {
+        let mut r = empty_result();
+        r.cycles = 50;
+        r.records = vec![InstRecord::empty(); 100];
+        assert!((r.cpi() - 0.5).abs() < 1e-12);
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steer_cause_counts_partition_records() {
+        let mut r = empty_result();
+        let mut rec = InstRecord::empty();
+        rec.steer_cause = crate::SteerCause::Dependence;
+        r.records.push(rec);
+        rec.steer_cause = crate::SteerCause::LoadBalance;
+        r.records.push(rec);
+        r.records.push(rec);
+        let c = r.steer_cause_counts();
+        assert_eq!(c, [0, 1, 2, 0, 0]);
+        assert_eq!(c.iter().sum::<u64>() as usize, r.records.len());
+    }
+
+    #[test]
+    fn active_clusters_counts_above_threshold() {
+        let mut r = empty_result();
+        r.config = MachineConfig::micro05_baseline().with_layout(ccs_isa::ClusterLayout::C2x4w);
+        let mut rec = InstRecord::empty();
+        for _ in 0..95 {
+            rec.cluster = 0;
+            r.records.push(rec);
+        }
+        for _ in 0..5 {
+            rec.cluster = 1;
+            r.records.push(rec);
+        }
+        assert_eq!(r.active_clusters(0.10), 1);
+        assert_eq!(r.active_clusters(0.01), 2);
+    }
+
+    #[test]
+    fn per_cluster_counts_sum_to_total() {
+        let mut r = empty_result();
+        let mut rec = InstRecord::empty();
+        rec.cluster = 0;
+        r.records.push(rec);
+        rec.cluster = 0;
+        r.records.push(rec);
+        let counts = r.per_cluster_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 2);
+    }
+}

@@ -1,0 +1,296 @@
+//! Branch-outcome and memory-address behaviour models.
+//!
+//! Workload generators do not simulate real programs, so the *dynamic*
+//! behaviour of each static branch and memory instruction is described by a
+//! small stochastic model. Branch behaviour determines what the simulated
+//! gshare predictor can learn (and hence which dynamic branches mispredict);
+//! address behaviour determines L1 hit rates.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Dynamic direction behaviour of one static conditional branch.
+///
+/// ```
+/// use ccs_trace::BranchBehavior;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut b = BranchBehavior::loop_exit(4).into_state();
+/// let dirs: Vec<bool> = (0..8).map(|_| b.next(&mut rng)).collect();
+/// // Taken three times (loop back), then the exit, repeating.
+/// assert_eq!(dirs, vec![true, true, true, false, true, true, true, false]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BranchBehavior {
+    /// Taken with independent probability `p` each instance. `p` near 0 or
+    /// 1 yields a highly predictable branch; `p` near 0.5 a hard one.
+    Bernoulli(f64),
+    /// A loop back-edge: taken `trip - 1` times, then not taken, repeating.
+    /// Perfectly predictable by a gshare with enough history for small
+    /// trip counts.
+    LoopExit(u32),
+    /// Always taken.
+    AlwaysTaken,
+    /// Never taken.
+    NeverTaken,
+    /// Alternates taken / not-taken, starting taken. Predictable with any
+    /// history at all.
+    Alternating,
+    /// A repeating direction pattern of up to 32 outcomes, stored as a
+    /// bitmask (bit `k` = direction of instance `k mod len`). Perfectly
+    /// predictable by a history-based predictor whose history covers the
+    /// period; build with [`BranchBehavior::pattern`].
+    Pattern {
+        /// Outcome bits, LSB first.
+        bits: u32,
+        /// Period length (1..=32).
+        len: u8,
+    },
+}
+
+impl BranchBehavior {
+    /// A loop back-edge with the given trip count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trip == 0`.
+    pub fn loop_exit(trip: u32) -> Self {
+        assert!(trip > 0, "trip count must be positive");
+        BranchBehavior::LoopExit(trip)
+    }
+
+    /// A repeating direction pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dirs` is empty or longer than 32 outcomes.
+    pub fn pattern(dirs: &[bool]) -> Self {
+        assert!(
+            !dirs.is_empty() && dirs.len() <= 32,
+            "pattern length must be in 1..=32"
+        );
+        let mut bits = 0u32;
+        for (k, &d) in dirs.iter().enumerate() {
+            if d {
+                bits |= 1 << k;
+            }
+        }
+        BranchBehavior::Pattern {
+            bits,
+            len: dirs.len() as u8,
+        }
+    }
+
+    /// Converts the (stateless) behaviour description into a stateful
+    /// outcome stream.
+    pub fn into_state(self) -> BranchState {
+        BranchState {
+            behavior: self,
+            counter: 0,
+        }
+    }
+}
+
+/// Stateful outcome stream for one static branch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchState {
+    behavior: BranchBehavior,
+    counter: u64,
+}
+
+impl BranchState {
+    /// Produces the next dynamic direction.
+    pub fn next(&mut self, rng: &mut StdRng) -> bool {
+        let n = self.counter;
+        self.counter += 1;
+        match self.behavior {
+            BranchBehavior::Bernoulli(p) => rng.random_bool(p.clamp(0.0, 1.0)),
+            BranchBehavior::LoopExit(trip) => (n % trip as u64) != (trip as u64 - 1),
+            BranchBehavior::AlwaysTaken => true,
+            BranchBehavior::NeverTaken => false,
+            BranchBehavior::Alternating => n.is_multiple_of(2),
+            BranchBehavior::Pattern { bits, len } => {
+                (bits >> (n % len as u64)) & 1 == 1
+            }
+        }
+    }
+}
+
+/// Effective-address stream for one static memory instruction.
+///
+/// The L1 in the simulator is 32 KB 4-way with 64-byte lines; streams are
+/// parameterized so workload models can dial in a hit rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AddrStream {
+    /// Fixed address — always hits after the first access (stack slot,
+    /// global scalar).
+    Fixed(u64),
+    /// Sequential walk: `base + i * stride`, wrapping within `len` bytes.
+    /// With a small stride this hits on all but one access per line.
+    Stream {
+        /// First address.
+        base: u64,
+        /// Bytes between consecutive accesses.
+        stride: u64,
+        /// Region size in bytes before wrapping.
+        len: u64,
+    },
+    /// Uniformly random address inside a region. A region much larger than
+    /// the L1 yields misses at roughly `1 - 32KB/len`.
+    RandomIn {
+        /// Region base address.
+        base: u64,
+        /// Region size in bytes.
+        len: u64,
+    },
+}
+
+impl AddrStream {
+    /// A sequential stream over a region.
+    pub fn stream(base: u64, stride: u64, len: u64) -> Self {
+        assert!(stride > 0 && len > 0, "stride and len must be positive");
+        AddrStream::Stream { base, stride, len }
+    }
+
+    /// A uniformly random stream within a region.
+    pub fn random_in(base: u64, len: u64) -> Self {
+        assert!(len > 0, "len must be positive");
+        AddrStream::RandomIn { base, len }
+    }
+
+    /// Converts into a stateful address generator.
+    pub fn into_state(self) -> AddrState {
+        AddrState {
+            stream: self,
+            counter: 0,
+        }
+    }
+}
+
+/// Stateful address generator for one static memory instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AddrState {
+    stream: AddrStream,
+    counter: u64,
+}
+
+impl AddrState {
+    /// Produces the next effective address.
+    pub fn next(&mut self, rng: &mut StdRng) -> u64 {
+        let n = self.counter;
+        self.counter += 1;
+        match self.stream {
+            AddrStream::Fixed(a) => a,
+            AddrStream::Stream { base, stride, len } => base + (n * stride) % len,
+            AddrStream::RandomIn { base, len } => base + rng.random_range(0..len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn loop_exit_pattern() {
+        let mut r = rng();
+        let mut s = BranchBehavior::loop_exit(3).into_state();
+        let v: Vec<bool> = (0..6).map(|_| s.next(&mut r)).collect();
+        assert_eq!(v, vec![true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn constant_behaviors() {
+        let mut r = rng();
+        let mut t = BranchBehavior::AlwaysTaken.into_state();
+        let mut n = BranchBehavior::NeverTaken.into_state();
+        for _ in 0..10 {
+            assert!(t.next(&mut r));
+            assert!(!n.next(&mut r));
+        }
+    }
+
+    #[test]
+    fn alternating_behavior() {
+        let mut r = rng();
+        let mut s = BranchBehavior::Alternating.into_state();
+        let v: Vec<bool> = (0..4).map(|_| s.next(&mut r)).collect();
+        assert_eq!(v, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn bernoulli_rate_approximates_p() {
+        let mut r = rng();
+        let mut s = BranchBehavior::Bernoulli(0.3).into_state();
+        let taken = (0..10_000).filter(|_| s.next(&mut r)).count();
+        let rate = taken as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_clamps_out_of_range_p() {
+        let mut r = rng();
+        let mut s = BranchBehavior::Bernoulli(1.5).into_state();
+        assert!(s.next(&mut r));
+    }
+
+    #[test]
+    fn pattern_repeats_its_period() {
+        let mut r = rng();
+        let dirs = [true, true, false, true, false];
+        let mut s = BranchBehavior::pattern(&dirs).into_state();
+        for k in 0..20 {
+            assert_eq!(s.next(&mut r), dirs[k % dirs.len()], "instance {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_pattern_panics() {
+        let _ = BranchBehavior::pattern(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_trip_count_panics() {
+        let _ = BranchBehavior::loop_exit(0);
+    }
+
+    #[test]
+    fn fixed_address_is_constant() {
+        let mut r = rng();
+        let mut s = AddrStream::Fixed(0x4000).into_state();
+        assert_eq!(s.next(&mut r), 0x4000);
+        assert_eq!(s.next(&mut r), 0x4000);
+    }
+
+    #[test]
+    fn stream_wraps_within_region() {
+        let mut r = rng();
+        let mut s = AddrStream::stream(0x1000, 8, 32).into_state();
+        let v: Vec<u64> = (0..5).map(|_| s.next(&mut r)).collect();
+        assert_eq!(v, vec![0x1000, 0x1008, 0x1010, 0x1018, 0x1000]);
+    }
+
+    #[test]
+    fn random_stays_in_region() {
+        let mut r = rng();
+        let mut s = AddrStream::random_in(0x8000, 0x100).into_state();
+        for _ in 0..100 {
+            let a = s.next(&mut r);
+            assert!((0x8000..0x8100).contains(&a));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_len_region_panics() {
+        let _ = AddrStream::random_in(0, 0);
+    }
+}

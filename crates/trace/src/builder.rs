@@ -1,0 +1,319 @@
+//! Trace container and dependence-resolving builder.
+
+use crate::dynamic::{DynIdx, DynInst};
+use crate::stats::TraceStats;
+use ccs_isa::{BranchInfo, RegFile, StaticInst};
+use serde::{Deserialize, Serialize};
+use std::ops::Index;
+
+/// An immutable dynamic instruction trace with pre-resolved dependences.
+///
+/// Produced by [`TraceBuilder`]; consumed by the timing simulator, the
+/// idealized list scheduler and the critical-path analysis.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    insts: Vec<DynInst>,
+}
+
+impl Trace {
+    /// Number of dynamic instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `idx`, or `None` past the end.
+    #[inline]
+    pub fn get(&self, idx: DynIdx) -> Option<&DynInst> {
+        self.insts.get(idx.index())
+    }
+
+    /// Iterates over the instructions in program order.
+    pub fn iter(&self) -> impl Iterator<Item = (DynIdx, &DynInst)> {
+        self.insts
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (DynIdx::new(i as u32), inst))
+    }
+
+    /// The underlying instruction slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[DynInst] {
+        &self.insts
+    }
+
+    /// Computes aggregate statistics over the trace.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_trace(self)
+    }
+
+    /// Builds, for every instruction, the list of in-trace consumers of its
+    /// value, in program order. Index `i` of the result holds the dynamic
+    /// indices that name instruction `i` as a producer.
+    pub fn consumer_lists(&self) -> Vec<Vec<DynIdx>> {
+        let mut consumers = vec![Vec::new(); self.insts.len()];
+        for (i, inst) in self.iter() {
+            for p in inst.producers() {
+                consumers[p.index()].push(i);
+            }
+        }
+        consumers
+    }
+
+    /// Verifies internal consistency: every dependence points backwards, at
+    /// a value-producing instruction, and positionally matches a source
+    /// register of the consumer. Used by tests and the property suite.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, inst) in self.iter() {
+            for (k, dep) in inst.deps.iter().enumerate() {
+                let Some(dep) = dep else { continue };
+                if dep.index() >= i.index() {
+                    return Err(format!("{i}: dep {k} points forward to {dep}"));
+                }
+                let producer = &self.insts[dep.index()];
+                let Some(dst) = producer.inst.dst else {
+                    return Err(format!("{i}: dep {k} names non-producing {dep}"));
+                };
+                match inst.inst.srcs[k] {
+                    Some(src) if src == dst => {}
+                    Some(src) => {
+                        return Err(format!(
+                            "{i}: dep {k} register mismatch: src {src} vs producer dst {dst}"
+                        ));
+                    }
+                    None => return Err(format!("{i}: dep {k} present but source {k} absent")),
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Index<DynIdx> for Trace {
+    type Output = DynInst;
+
+    fn index(&self, idx: DynIdx) -> &DynInst {
+        &self.insts[idx.index()]
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a DynInst;
+    type IntoIter = std::slice::Iter<'a, DynInst>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.insts.iter()
+    }
+}
+
+/// Builds a [`Trace`], resolving register dependences through a rename
+/// table as instructions are appended.
+///
+/// The builder tracks, per architectural register, the most recent dynamic
+/// instruction that wrote it; each pushed instruction's source operands are
+/// resolved against that table, exactly as a rename stage would.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    insts: Vec<DynInst>,
+    last_writer: RegFile<DynIdx>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions appended so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether nothing has been appended yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The index the next pushed instruction will receive.
+    #[inline]
+    pub fn next_idx(&self) -> DynIdx {
+        DynIdx::new(self.insts.len() as u32)
+    }
+
+    /// Appends a dynamic instance of `inst`, with optional memory address
+    /// and branch outcome. Returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace would exceed `u32::MAX` instructions.
+    pub fn push(
+        &mut self,
+        inst: StaticInst,
+        mem_addr: Option<u64>,
+        branch: Option<BranchInfo>,
+    ) -> DynIdx {
+        assert!(self.insts.len() < u32::MAX as usize, "trace too long");
+        debug_assert_eq!(inst.op.is_mem(), mem_addr.is_some(), "mem addr presence");
+        debug_assert_eq!(inst.op.is_control(), branch.is_some(), "branch info presence");
+        let idx = self.next_idx();
+        let mut deps = [None, None];
+        for (k, src) in inst.srcs.iter().enumerate() {
+            if let Some(src) = src {
+                deps[k] = self.last_writer.get(*src).copied();
+            }
+        }
+        if let Some(dst) = inst.dst {
+            self.last_writer.set(dst, idx);
+        }
+        self.insts.push(DynInst {
+            inst,
+            deps,
+            mem_addr,
+            branch,
+        });
+        idx
+    }
+
+    /// Appends a non-memory, non-control instruction.
+    pub fn push_simple(&mut self, inst: StaticInst) -> DynIdx {
+        self.push(inst, None, None)
+    }
+
+    /// Appends a load or store at the given effective address.
+    pub fn push_mem(&mut self, inst: StaticInst, addr: u64) -> DynIdx {
+        self.push(inst, Some(addr), None)
+    }
+
+    /// Appends a control-flow instruction with its resolved outcome.
+    pub fn push_branch(&mut self, inst: StaticInst, outcome: BranchInfo) -> DynIdx {
+        self.push(inst, None, Some(outcome))
+    }
+
+    /// Forgets the current register bindings, so that subsequently pushed
+    /// instructions see earlier values as live-ins rather than dependences.
+    /// Models a context change between composed workload phases.
+    pub fn barrier(&mut self) {
+        self.last_writer.clear_all();
+    }
+
+    /// Finalizes the trace.
+    pub fn finish(self) -> Trace {
+        Trace { insts: self.insts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_isa::{ArchReg, OpClass, Pc};
+
+    fn alu(pc: u64, src: Option<u16>, src2: Option<u16>, dst: u16) -> StaticInst {
+        StaticInst::new(Pc::new(pc), OpClass::IntAlu)
+            .with_srcs([src.map(ArchReg::int), src2.map(ArchReg::int)])
+            .with_dst(ArchReg::int(dst))
+    }
+
+    #[test]
+    fn dependences_resolve_through_rename_table() {
+        let mut b = TraceBuilder::new();
+        let a = b.push_simple(alu(0, None, None, 1));
+        let c = b.push_simple(alu(4, Some(1), None, 2));
+        let d = b.push_simple(alu(8, Some(1), Some(2), 1));
+        let e = b.push_simple(alu(12, Some(1), None, 3));
+        let t = b.finish();
+        assert_eq!(t[c].deps, [Some(a), None]);
+        assert_eq!(t[d].deps, [Some(a), Some(c)]);
+        // r1 was overwritten by d, so e depends on d, not a.
+        assert_eq!(t[e].deps, [Some(d), None]);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn live_ins_have_no_dependence() {
+        let mut b = TraceBuilder::new();
+        let c = b.push_simple(alu(0, Some(5), None, 1));
+        let t = b.finish();
+        assert_eq!(t[c].deps, [None, None]);
+    }
+
+    #[test]
+    fn barrier_clears_bindings() {
+        let mut b = TraceBuilder::new();
+        b.push_simple(alu(0, None, None, 1));
+        b.barrier();
+        let c = b.push_simple(alu(4, Some(1), None, 2));
+        let t = b.finish();
+        assert_eq!(t[c].deps, [None, None]);
+    }
+
+    #[test]
+    fn consumer_lists_invert_deps() {
+        let mut b = TraceBuilder::new();
+        let a = b.push_simple(alu(0, None, None, 1));
+        let c = b.push_simple(alu(4, Some(1), None, 2));
+        let d = b.push_simple(alu(8, Some(1), Some(2), 3));
+        let t = b.finish();
+        let cons = t.consumer_lists();
+        assert_eq!(cons[a.index()], vec![c, d]);
+        assert_eq!(cons[c.index()], vec![d]);
+        assert!(cons[d.index()].is_empty());
+    }
+
+    #[test]
+    fn iteration_and_indexing() {
+        let mut b = TraceBuilder::new();
+        b.push_simple(alu(0, None, None, 1));
+        b.push_simple(alu(4, None, None, 2));
+        let t = b.finish();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.iter().count(), 2);
+        assert_eq!((&t).into_iter().count(), 2);
+        assert!(t.get(DynIdx::new(5)).is_none());
+        assert_eq!(t.as_slice().len(), 2);
+    }
+
+    #[test]
+    fn mem_and_branch_constructors() {
+        let mut b = TraceBuilder::new();
+        let ld = b.push_mem(
+            StaticInst::new(Pc::new(0), OpClass::Load).with_dst(ArchReg::int(1)),
+            0x1000,
+        );
+        let br = b.push_branch(
+            StaticInst::new(Pc::new(4), OpClass::Branch).with_src(ArchReg::int(1)),
+            BranchInfo::conditional(true),
+        );
+        let t = b.finish();
+        assert_eq!(t[ld].mem_addr, Some(0x1000));
+        assert!(t[br].branch.unwrap().taken);
+        assert_eq!(t[br].deps[0], Some(ld));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_traces() {
+        let mut b = TraceBuilder::new();
+        b.push_simple(alu(0, None, None, 1));
+        b.push_simple(alu(4, Some(1), None, 2));
+        let mut t = b.finish();
+        // Corrupt: make the second instruction depend on itself.
+        t.insts[1].deps[0] = Some(DynIdx::new(1));
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let t = TraceBuilder::new().finish();
+        assert!(t.is_empty());
+        t.validate().unwrap();
+    }
+}

@@ -1,0 +1,158 @@
+//! Dynamic instruction instances.
+
+use ccs_isa::{BranchInfo, OpClass, Pc, StaticInst};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a dynamic instruction within a [`Trace`](crate::Trace).
+///
+/// A newtype over `u32`, which bounds traces at ~4 billion instructions —
+/// far beyond what the cycle-level simulator can chew through anyway.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct DynIdx(u32);
+
+impl DynIdx {
+    /// Creates an index from a raw position.
+    #[inline]
+    pub const fn new(i: u32) -> Self {
+        DynIdx(i)
+    }
+
+    /// The raw position.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The position as a `usize`, for slice indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The index `n` instructions earlier, or `None` if that underflows.
+    #[inline]
+    pub fn checked_back(self, n: u32) -> Option<DynIdx> {
+        self.0.checked_sub(n).map(DynIdx)
+    }
+}
+
+impl fmt::Display for DynIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<DynIdx> for usize {
+    fn from(i: DynIdx) -> usize {
+        i.index()
+    }
+}
+
+/// One dynamic instance of a static instruction.
+///
+/// Dependences are pre-resolved by the [`TraceBuilder`](crate::TraceBuilder)
+/// through a rename table: `deps[k]` is the index of the dynamic instruction
+/// that produced source operand `k`, or `None` if the value predates the
+/// trace (a live-in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DynInst {
+    /// The static instruction this is an instance of.
+    pub inst: StaticInst,
+    /// Producing dynamic instruction for each source operand. Entries
+    /// correspond positionally to `inst.srcs`.
+    pub deps: [Option<DynIdx>; 2],
+    /// Effective address for loads and stores.
+    pub mem_addr: Option<u64>,
+    /// Resolved outcome for control-flow instructions.
+    pub branch: Option<BranchInfo>,
+}
+
+impl DynInst {
+    /// The instruction's PC.
+    #[inline]
+    pub fn pc(&self) -> Pc {
+        self.inst.pc
+    }
+
+    /// The instruction's operation class.
+    #[inline]
+    pub fn op(&self) -> OpClass {
+        self.inst.op
+    }
+
+    /// Iterates over the in-trace producers of this instruction's operands.
+    pub fn producers(&self) -> impl Iterator<Item = DynIdx> + '_ {
+        self.deps.iter().filter_map(|d| *d)
+    }
+
+    /// Whether this instance is a conditional branch.
+    #[inline]
+    pub fn is_conditional_branch(&self) -> bool {
+        matches!(
+            self.branch,
+            Some(BranchInfo {
+                class: ccs_isa::BranchClass::Conditional,
+                ..
+            })
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_isa::ArchReg;
+
+    fn sample() -> DynInst {
+        DynInst {
+            inst: StaticInst::new(Pc::new(0x10), OpClass::IntAlu)
+                .with_srcs([Some(ArchReg::int(1)), Some(ArchReg::int(2))])
+                .with_dst(ArchReg::int(3)),
+            deps: [Some(DynIdx::new(0)), None],
+            mem_addr: None,
+            branch: None,
+        }
+    }
+
+    #[test]
+    fn dyn_idx_round_trips() {
+        let i = DynIdx::new(7);
+        assert_eq!(i.raw(), 7);
+        assert_eq!(i.index(), 7);
+        assert_eq!(usize::from(i), 7);
+        assert_eq!(i.to_string(), "#7");
+    }
+
+    #[test]
+    fn checked_back_saturates_at_zero() {
+        assert_eq!(DynIdx::new(5).checked_back(2), Some(DynIdx::new(3)));
+        assert_eq!(DynIdx::new(1).checked_back(2), None);
+    }
+
+    #[test]
+    fn producers_skips_live_ins() {
+        let d = sample();
+        let v: Vec<_> = d.producers().collect();
+        assert_eq!(v, vec![DynIdx::new(0)]);
+    }
+
+    #[test]
+    fn conditional_branch_detection() {
+        let mut d = sample();
+        assert!(!d.is_conditional_branch());
+        d.branch = Some(BranchInfo::conditional(true));
+        assert!(d.is_conditional_branch());
+        d.branch = Some(BranchInfo::unconditional());
+        assert!(!d.is_conditional_branch());
+    }
+
+    #[test]
+    fn accessors_delegate_to_static_inst() {
+        let d = sample();
+        assert_eq!(d.pc(), Pc::new(0x10));
+        assert_eq!(d.op(), OpClass::IntAlu);
+    }
+}

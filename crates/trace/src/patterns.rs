@@ -1,0 +1,913 @@
+//! Reusable dataflow-pattern emitters.
+//!
+//! Every effect the paper analyses is driven by a small set of dataflow
+//! *shapes*. This module provides one emitter per shape; the benchmark
+//! models in [`Benchmark`](crate::Benchmark) are compositions of these.
+//!
+//! | Emitter | Shape | Paper reference |
+//! |---|---|---|
+//! | [`DepChain`] | single serial dependence chain | Figure 9 (stall-over-steer) |
+//! | [`SpineRibs`] | loop-carried spine with diverging ribs | Figure 7 (`vpr`) |
+//! | [`ConvergentHammock`] | two chains converging at a dyadic op | Figure 3 (`bzip2`) |
+//! | [`DivergentLoop`] | early-exit loop with two loop-carried deps | Figure 12 |
+//! | [`PointerChase`] | load-to-load recurrence with poor locality | `mcf` |
+//! | [`ParallelChains`] | independent chains (high ILP) | §7 / Figure 15 |
+//! | [`ReductionTree`] | wide leaves reduced pairwise (convergence) | §2.2 hammocks |
+//! | [`BranchyBlock`] | short computations ending in branches | `gcc`-like control |
+//!
+//! Each emitter is constructed once per static code region — so its PCs are
+//! stable across loop iterations, which is what lets the PC-indexed
+//! criticality predictors learn — and then `emit` is called once per
+//! dynamic iteration.
+
+use crate::behavior::{AddrState, AddrStream, BranchBehavior, BranchState};
+use crate::builder::TraceBuilder;
+use crate::dynamic::DynIdx;
+use ccs_isa::{ArchReg, BranchInfo, OpClass, Pc, StaticInst};
+use rand::rngs::StdRng;
+
+/// Hands out architectural integer registers from a contiguous range so
+/// that composed patterns do not alias one another's values.
+#[derive(Debug, Clone)]
+pub struct RegAlloc {
+    next: u16,
+    limit: u16,
+}
+
+impl RegAlloc {
+    /// An allocator over the full integer register file (r1..r31; r0 is
+    /// left as a conventional zero/live-in register).
+    pub fn new() -> Self {
+        RegAlloc { next: 1, limit: 32 }
+    }
+
+    /// Allocates the next free integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the register file is exhausted; patterns within one
+    /// workload phase must fit in 31 registers (they all do).
+    pub fn alloc(&mut self) -> ArchReg {
+        assert!(self.next < self.limit, "out of integer registers");
+        let r = ArchReg::int(self.next);
+        self.next += 1;
+        r
+    }
+
+    /// Allocates `n` registers.
+    pub fn alloc_n(&mut self, n: usize) -> Vec<ArchReg> {
+        (0..n).map(|_| self.alloc()).collect()
+    }
+}
+
+impl Default for RegAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A single serial chain of dependent single-cycle integer operations —
+/// the hypothetical program of Figure 9. ILP is exactly 1, so the code is
+/// *execute-critical*: it fetches far faster than it executes, and
+/// load-balance steering spreads it across clusters, inserting a
+/// forwarding delay every window-size instructions.
+#[derive(Debug, Clone)]
+pub struct DepChain {
+    body: Vec<StaticInst>,
+    cursor: usize,
+}
+
+impl DepChain {
+    /// Creates the chain's static loop body at `base_pc`: `body_len`
+    /// distinct static instructions, all links of one serial chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `body_len == 0`.
+    pub fn new(base_pc: Pc, regs: &mut RegAlloc, body_len: usize) -> Self {
+        assert!(body_len > 0, "chain body must be non-empty");
+        let acc = regs.alloc();
+        let body = (0..body_len)
+            .map(|i| {
+                StaticInst::new(base_pc.offset(i as u64), OpClass::IntAlu)
+                    .with_src(acc)
+                    .with_dst(acc)
+            })
+            .collect();
+        DepChain { body, cursor: 0 }
+    }
+
+    /// Emits `n` links of the chain, cycling through the static body.
+    pub fn emit(&mut self, b: &mut TraceBuilder, n: usize) -> Vec<DynIdx> {
+        (0..n)
+            .map(|_| {
+                let inst = self.body[self.cursor];
+                self.cursor = (self.cursor + 1) % self.body.len();
+                b.push_simple(inst)
+            })
+            .collect()
+    }
+}
+
+/// The spine-and-ribs loop of Figure 7 (`vpr`'s `get_heap_head`).
+///
+/// A dominant *spine* computes a loop-carried dependence; each iteration,
+/// dataflow diverges from the spine into *ribs* that terminate in stores
+/// and branches. One rib ends in a hard-to-predict branch, so both the
+/// first rib instruction (`a`) and the spine instruction (`b`) are often
+/// predicted critical — the contention scenario of §4.
+#[derive(Debug, Clone)]
+pub struct SpineRibs {
+    spine: Vec<StaticInst>,
+    rib_head: StaticInst,
+    rib_body: Vec<StaticInst>,
+    rib_store: StaticInst,
+    rib_branch: StaticInst,
+    back_edge: StaticInst,
+    branch_state: BranchState,
+    back_state: BranchState,
+    store_addrs: AddrState,
+    load_addrs: AddrState,
+    rib_load: StaticInst,
+}
+
+/// Configuration for [`SpineRibs`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpineRibsConfig {
+    /// Spine operations per iteration (the loop-carried chain height).
+    pub spine_len: usize,
+    /// Rib operations between the rib head and its terminator.
+    pub rib_len: usize,
+    /// Behaviour of the hard branch at the end of the rib.
+    pub rib_branch: BranchBehavior,
+    /// Loop trip count (drives the back-edge behaviour).
+    pub trip: u32,
+}
+
+impl Default for SpineRibsConfig {
+    fn default() -> Self {
+        SpineRibsConfig {
+            spine_len: 2,
+            rib_len: 3,
+            rib_branch: BranchBehavior::Bernoulli(0.5),
+            trip: 64,
+        }
+    }
+}
+
+impl SpineRibs {
+    /// Builds the static loop body at `base_pc`.
+    pub fn new(base_pc: Pc, regs: &mut RegAlloc, cfg: SpineRibsConfig) -> Self {
+        let spine_reg = regs.alloc();
+        let rib_reg = regs.alloc();
+        let load_reg = regs.alloc();
+        let mut pc = base_pc;
+        let mut next_pc = || {
+            let p = pc;
+            pc = p.next();
+            p
+        };
+
+        // Spine: b <- op(b) repeated spine_len times (instruction `b` of Fig 7).
+        let spine = (0..cfg.spine_len.max(1))
+            .map(|_| {
+                StaticInst::new(next_pc(), OpClass::IntAlu)
+                    .with_src(spine_reg)
+                    .with_dst(spine_reg)
+            })
+            .collect();
+        // Rib head `a` diverges from the spine (reads the same register).
+        let rib_head = StaticInst::new(next_pc(), OpClass::IntAlu)
+            .with_src(spine_reg)
+            .with_dst(rib_reg);
+        // A load feeding the rib (the LDs of Fig 7).
+        let rib_load = StaticInst::new(next_pc(), OpClass::Load)
+            .with_src(rib_reg)
+            .with_dst(load_reg);
+        // Rib body: chain on the rib register, converging with the load.
+        let mut rib_body: Vec<StaticInst> = Vec::new();
+        for k in 0..cfg.rib_len {
+            let srcs = if k == 0 {
+                [Some(rib_reg), Some(load_reg)]
+            } else {
+                [Some(rib_reg), None]
+            };
+            rib_body.push(
+                StaticInst::new(next_pc(), OpClass::IntAlu)
+                    .with_srcs(srcs)
+                    .with_dst(rib_reg),
+            );
+        }
+        // Rib terminators: a store and the hard-to-predict branch (BR* of Fig 7).
+        let rib_store = StaticInst::new(next_pc(), OpClass::Store).with_src(rib_reg);
+        let rib_branch = StaticInst::new(next_pc(), OpClass::Branch).with_src(rib_reg);
+        // Loop back-edge on the spine.
+        let back_edge = StaticInst::new(next_pc(), OpClass::Branch).with_src(spine_reg);
+
+        SpineRibs {
+            spine,
+            rib_head,
+            rib_load,
+            rib_body,
+            rib_store,
+            rib_branch,
+            back_edge,
+            branch_state: cfg.rib_branch.into_state(),
+            back_state: BranchBehavior::loop_exit(cfg.trip).into_state(),
+            store_addrs: AddrStream::stream(0x10_0000, 8, 1 << 16).into_state(),
+            load_addrs: AddrStream::stream(0x20_0000, 8, 1 << 14).into_state(),
+        }
+    }
+
+    /// Number of instructions emitted per iteration.
+    pub fn body_len(&self) -> usize {
+        self.spine.len() + 1 + 1 + self.rib_body.len() + 3
+    }
+
+    /// Emits one loop iteration. Returns the index of the hard rib branch.
+    pub fn emit(&mut self, b: &mut TraceBuilder, rng: &mut StdRng) -> DynIdx {
+        for s in &self.spine {
+            b.push_simple(*s);
+        }
+        b.push_simple(self.rib_head);
+        let addr = self.load_addrs.next(rng);
+        b.push_mem(self.rib_load, addr);
+        for s in &self.rib_body {
+            b.push_simple(*s);
+        }
+        let st_addr = self.store_addrs.next(rng);
+        b.push_mem(self.rib_store, st_addr);
+        let taken = self.branch_state.next(rng);
+        let br = b.push_branch(self.rib_branch, BranchInfo::conditional(taken));
+        let back = self.back_state.next(rng);
+        b.push_branch(self.back_edge, BranchInfo::conditional(back));
+        br
+    }
+}
+
+/// Convergent dyadic dataflow, Figure 3 (`bzip2`).
+///
+/// Two chains — each headed by loads — converge at a dyadic operation
+/// (the `xor`) feeding a sometimes-mispredicted branch. On narrow clusters
+/// this shape forces either a forwarding delay or contention (§2.2).
+#[derive(Debug, Clone)]
+pub struct ConvergentHammock {
+    left: Vec<StaticInst>,
+    right: Vec<StaticInst>,
+    left_load: StaticInst,
+    right_load: StaticInst,
+    converge: StaticInst,
+    branch: StaticInst,
+    branch_state: BranchState,
+    left_addrs: AddrState,
+    right_addrs: AddrState,
+}
+
+/// Configuration for [`ConvergentHammock`].
+#[derive(Debug, Clone, Copy)]
+pub struct HammockConfig {
+    /// Operations per arm between the load and the convergence point.
+    pub arm_len: usize,
+    /// Behaviour of the converging branch.
+    pub branch: BranchBehavior,
+    /// Bytes of the regions the arm loads touch (locality knob).
+    pub region: u64,
+}
+
+impl Default for HammockConfig {
+    fn default() -> Self {
+        HammockConfig {
+            arm_len: 2,
+            branch: BranchBehavior::Bernoulli(0.15),
+            region: 1 << 14,
+        }
+    }
+}
+
+impl ConvergentHammock {
+    /// Builds the static hammock at `base_pc`.
+    pub fn new(base_pc: Pc, regs: &mut RegAlloc, cfg: HammockConfig) -> Self {
+        let lr = regs.alloc();
+        let rr = regs.alloc();
+        let cr = regs.alloc();
+        let mut pc = base_pc;
+        let mut next_pc = || {
+            let p = pc;
+            pc = p.next();
+            p
+        };
+        let left_load = StaticInst::new(next_pc(), OpClass::Load)
+            .with_src(lr)
+            .with_dst(lr);
+        let right_load = StaticInst::new(next_pc(), OpClass::Load)
+            .with_src(rr)
+            .with_dst(rr);
+        let left = (0..cfg.arm_len)
+            .map(|_| {
+                StaticInst::new(next_pc(), OpClass::IntAlu)
+                    .with_src(lr)
+                    .with_dst(lr)
+            })
+            .collect();
+        let right = (0..cfg.arm_len)
+            .map(|_| {
+                StaticInst::new(next_pc(), OpClass::IntAlu)
+                    .with_src(rr)
+                    .with_dst(rr)
+            })
+            .collect();
+        // The xor of Fig 3: dyadic convergence.
+        let converge = StaticInst::new(next_pc(), OpClass::IntAlu)
+            .with_srcs([Some(lr), Some(rr)])
+            .with_dst(cr);
+        let branch = StaticInst::new(next_pc(), OpClass::Branch).with_src(cr);
+        ConvergentHammock {
+            left,
+            right,
+            left_load,
+            right_load,
+            converge,
+            branch,
+            branch_state: cfg.branch.into_state(),
+            left_addrs: AddrStream::stream(0x30_0000, 16, cfg.region).into_state(),
+            right_addrs: AddrStream::stream(0x40_0000, 16, cfg.region).into_state(),
+        }
+    }
+
+    /// Number of instructions emitted per iteration.
+    pub fn body_len(&self) -> usize {
+        2 + self.left.len() + self.right.len() + 2
+    }
+
+    /// Emits one hammock instance, interleaving the arms in fetch order as
+    /// a compiler schedule would. Returns the converging branch's index.
+    pub fn emit(&mut self, b: &mut TraceBuilder, rng: &mut StdRng) -> DynIdx {
+        let la = self.left_addrs.next(rng);
+        let ra = self.right_addrs.next(rng);
+        b.push_mem(self.left_load, la);
+        b.push_mem(self.right_load, ra);
+        let mut l = self.left.iter();
+        let mut r = self.right.iter();
+        loop {
+            match (l.next(), r.next()) {
+                (None, None) => break,
+                (li, ri) => {
+                    if let Some(li) = li {
+                        b.push_simple(*li);
+                    }
+                    if let Some(ri) = ri {
+                        b.push_simple(*ri);
+                    }
+                }
+            }
+        }
+        b.push_simple(self.converge);
+        let taken = self.branch_state.next(rng);
+        b.push_branch(self.branch, BranchInfo::conditional(taken))
+    }
+}
+
+/// The early-exit search loop of Figure 12.
+///
+/// The compiler has split the loop into two loop-carried dependences
+/// (`addl` on the index, `lda` on the pointer); each iteration's compares
+/// and branches *diverge* from those chains. Dependence-based steering
+/// collocates each whole tree on one cluster, serializing parallel work —
+/// the motivation for proactive load balancing (§6).
+#[derive(Debug, Clone)]
+pub struct DivergentLoop {
+    addl: StaticInst,
+    cmple: StaticInst,
+    bne_count: StaticInst,
+    lda: StaticInst,
+    ldl: StaticInst,
+    cmpeq: StaticInst,
+    bne_val: StaticInst,
+    exit_state: BranchState,
+    count_state: BranchState,
+    load_addrs: AddrState,
+}
+
+/// Configuration for [`DivergentLoop`].
+#[derive(Debug, Clone, Copy)]
+pub struct DivergentLoopConfig {
+    /// Probability that the early-exit branch fires on a given iteration.
+    pub exit_prob: f64,
+    /// Trip count guarding the counted exit.
+    pub trip: u32,
+    /// Bytes of the array being scanned.
+    pub region: u64,
+}
+
+impl Default for DivergentLoopConfig {
+    fn default() -> Self {
+        DivergentLoopConfig {
+            exit_prob: 0.04,
+            trip: 32,
+            region: 1 << 15,
+        }
+    }
+}
+
+impl DivergentLoop {
+    /// Builds the static loop body at `base_pc` (the assembly of Fig 12b).
+    pub fn new(base_pc: Pc, regs: &mut RegAlloc, cfg: DivergentLoopConfig) -> Self {
+        let idx = regs.alloc(); // $4
+        let ptr = regs.alloc(); // $2
+        let val = regs.alloc(); // $7
+        let c1 = regs.alloc(); // $3
+        let c2 = regs.alloc(); // $6
+        let mut pc = base_pc;
+        let mut next_pc = || {
+            let p = pc;
+            pc = p.next();
+            p
+        };
+        DivergentLoop {
+            addl: StaticInst::new(next_pc(), OpClass::IntAlu)
+                .with_src(idx)
+                .with_dst(idx),
+            ldl: StaticInst::new(next_pc(), OpClass::Load)
+                .with_src(ptr)
+                .with_dst(val),
+            cmple: StaticInst::new(next_pc(), OpClass::IntAlu)
+                .with_src(idx)
+                .with_dst(c1),
+            lda: StaticInst::new(next_pc(), OpClass::IntAlu)
+                .with_src(ptr)
+                .with_dst(ptr),
+            cmpeq: StaticInst::new(next_pc(), OpClass::IntAlu)
+                .with_src(val)
+                .with_dst(c2),
+            bne_val: StaticInst::new(next_pc(), OpClass::Branch).with_src(c2),
+            bne_count: StaticInst::new(next_pc(), OpClass::Branch).with_src(c1),
+            exit_state: BranchBehavior::Bernoulli(cfg.exit_prob).into_state(),
+            count_state: BranchBehavior::loop_exit(cfg.trip).into_state(),
+            load_addrs: AddrStream::stream(0x50_0000, 4, cfg.region).into_state(),
+        }
+    }
+
+    /// Number of instructions emitted per iteration.
+    pub const fn body_len(&self) -> usize {
+        7
+    }
+
+    /// Emits one loop iteration in the fetch order of Figure 12b. Returns
+    /// `true` if the early exit fired (callers typically restart the scan).
+    pub fn emit(&mut self, b: &mut TraceBuilder, rng: &mut StdRng) -> bool {
+        b.push_simple(self.addl);
+        let addr = self.load_addrs.next(rng);
+        b.push_mem(self.ldl, addr);
+        b.push_simple(self.cmple);
+        b.push_simple(self.lda);
+        b.push_simple(self.cmpeq);
+        let exit = self.exit_state.next(rng);
+        b.push_branch(self.bne_val, BranchInfo::conditional(exit));
+        let cont = self.count_state.next(rng);
+        b.push_branch(self.bne_count, BranchInfo::conditional(cont && !exit));
+        exit
+    }
+}
+
+/// A load-to-load recurrence with poor locality (`mcf`-like list walking).
+///
+/// Each load's address register is the previous load's result, so the
+/// chain's effective latency is dominated by cache misses; the program is
+/// memory-bound with very low ILP.
+#[derive(Debug, Clone)]
+pub struct PointerChase {
+    load: StaticInst,
+    bump: StaticInst,
+    check: StaticInst,
+    branch: StaticInst,
+    back_state: BranchState,
+    addrs: AddrState,
+}
+
+impl PointerChase {
+    /// Builds the chase loop at `base_pc` walking a region of `region`
+    /// bytes (region ≫ 32 KB yields a high miss rate).
+    pub fn new(base_pc: Pc, regs: &mut RegAlloc, region: u64, trip: u32) -> Self {
+        let ptr = regs.alloc();
+        let chk = regs.alloc();
+        let mut pc = base_pc;
+        let mut next_pc = || {
+            let p = pc;
+            pc = p.next();
+            p
+        };
+        PointerChase {
+            load: StaticInst::new(next_pc(), OpClass::Load)
+                .with_src(ptr)
+                .with_dst(ptr),
+            bump: StaticInst::new(next_pc(), OpClass::IntAlu)
+                .with_src(ptr)
+                .with_dst(chk),
+            check: StaticInst::new(next_pc(), OpClass::IntAlu)
+                .with_src(chk)
+                .with_dst(chk),
+            branch: StaticInst::new(next_pc(), OpClass::Branch).with_src(chk),
+            back_state: BranchBehavior::loop_exit(trip).into_state(),
+            addrs: AddrStream::random_in(0x100_0000, region).into_state(),
+        }
+    }
+
+    /// Number of instructions emitted per iteration.
+    pub const fn body_len(&self) -> usize {
+        4
+    }
+
+    /// Emits one chase step.
+    pub fn emit(&mut self, b: &mut TraceBuilder, rng: &mut StdRng) {
+        let addr = self.addrs.next(rng);
+        b.push_mem(self.load, addr);
+        b.push_simple(self.bump);
+        b.push_simple(self.check);
+        let taken = self.back_state.next(rng);
+        b.push_branch(self.branch, BranchInfo::conditional(taken));
+    }
+}
+
+/// `k` independent dependence chains advanced in an interleaved fetch
+/// order — available ILP ≈ `k` (Figure 15's sweep variable).
+#[derive(Debug, Clone)]
+pub struct ParallelChains {
+    links: Vec<StaticInst>,
+    op: OpClass,
+}
+
+impl ParallelChains {
+    /// Builds `k` chains of `op` instructions at `base_pc`.
+    pub fn new(base_pc: Pc, regs: &mut RegAlloc, k: usize, op: OpClass) -> Self {
+        assert!(k > 0, "need at least one chain");
+        assert!(op.produces_value(), "chain op must produce a value");
+        let links = (0..k)
+            .map(|i| {
+                let r = regs.alloc();
+                StaticInst::new(base_pc.offset(i as u64), op)
+                    .with_src(r)
+                    .with_dst(r)
+            })
+            .collect();
+        ParallelChains { links, op }
+    }
+
+    /// The number of chains.
+    pub fn width(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Emits one link of every chain (round-robin fetch interleaving).
+    pub fn emit(&mut self, b: &mut TraceBuilder, addrs: Option<&mut AddrState>, rng: &mut StdRng) {
+        match (self.op.is_mem(), addrs) {
+            (true, Some(addrs)) => {
+                for l in &self.links {
+                    let a = addrs.next(rng);
+                    b.push_mem(*l, a);
+                }
+            }
+            (false, _) => {
+                for l in &self.links {
+                    b.push_simple(*l);
+                }
+            }
+            (true, None) => panic!("memory chains require an address stream"),
+        }
+    }
+}
+
+/// A pairwise reduction over `width` leaves — the "large hammock" shape
+/// where divergent dataflow later re-converges (§2.2, `vpr`).
+#[derive(Debug, Clone)]
+pub struct ReductionTree {
+    leaves: Vec<StaticInst>,
+    levels: Vec<Vec<StaticInst>>,
+    source: StaticInst,
+}
+
+impl ReductionTree {
+    /// Builds a reduction over `width` leaves (rounded down to a power of
+    /// two, minimum 2) at `base_pc`. One *source* instruction produces the
+    /// value all leaves consume — the divergence point.
+    pub fn new(base_pc: Pc, regs: &mut RegAlloc, width: usize) -> Self {
+        let width = width.next_power_of_two().max(2);
+        let width = if width > 8 { 8 } else { width }; // register budget
+        let src_reg = regs.alloc();
+        let leaf_regs = regs.alloc_n(width);
+        let mut pc = base_pc;
+        let mut next_pc = || {
+            let p = pc;
+            pc = p.next();
+            p
+        };
+        let source = StaticInst::new(next_pc(), OpClass::IntAlu)
+            .with_src(src_reg)
+            .with_dst(src_reg);
+        let leaves: Vec<StaticInst> = leaf_regs
+            .iter()
+            .map(|&r| {
+                StaticInst::new(next_pc(), OpClass::IntAlu)
+                    .with_src(src_reg)
+                    .with_dst(r)
+            })
+            .collect();
+        let mut levels = Vec::new();
+        let mut cur = leaf_regs;
+        while cur.len() > 1 {
+            let mut level = Vec::new();
+            let mut nextregs = Vec::new();
+            for pair in cur.chunks(2) {
+                level.push(
+                    StaticInst::new(next_pc(), OpClass::IntAlu)
+                        .with_srcs([Some(pair[0]), Some(pair[1])])
+                        .with_dst(pair[0]),
+                );
+                nextregs.push(pair[0]);
+            }
+            levels.push(level);
+            cur = nextregs;
+        }
+        ReductionTree {
+            leaves,
+            levels,
+            source,
+        }
+    }
+
+    /// Number of instructions emitted per instance.
+    pub fn body_len(&self) -> usize {
+        1 + self.leaves.len() + self.levels.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Emits one source + leaves + reduction instance.
+    pub fn emit(&mut self, b: &mut TraceBuilder) {
+        b.push_simple(self.source);
+        for l in &self.leaves {
+            b.push_simple(*l);
+        }
+        for level in &self.levels {
+            for i in level {
+                b.push_simple(*i);
+            }
+        }
+    }
+}
+
+/// Short computations each terminated by a conditional branch — dense,
+/// irregular control flow in the style of `gcc`.
+#[derive(Debug, Clone)]
+pub struct BranchyBlock {
+    units: Vec<(StaticInst, StaticInst, StaticInst)>,
+    states: Vec<BranchState>,
+}
+
+impl BranchyBlock {
+    /// Builds `units` compute→compare→branch triples at `base_pc`; branch
+    /// `i` follows `behaviors[i % behaviors.len()]`.
+    pub fn new(
+        base_pc: Pc,
+        regs: &mut RegAlloc,
+        units: usize,
+        behaviors: &[BranchBehavior],
+    ) -> Self {
+        assert!(!behaviors.is_empty(), "need at least one branch behaviour");
+        let r = regs.alloc();
+        let c = regs.alloc();
+        let mut pc = base_pc;
+        let mut next_pc = || {
+            let p = pc;
+            pc = p.next();
+            p
+        };
+        let triples = (0..units)
+            .map(|_| {
+                (
+                    StaticInst::new(next_pc(), OpClass::IntAlu)
+                        .with_src(r)
+                        .with_dst(r),
+                    StaticInst::new(next_pc(), OpClass::IntAlu)
+                        .with_src(r)
+                        .with_dst(c),
+                    StaticInst::new(next_pc(), OpClass::Branch).with_src(c),
+                )
+            })
+            .collect::<Vec<_>>();
+        let states = (0..units)
+            .map(|i| behaviors[i % behaviors.len()].into_state())
+            .collect();
+        BranchyBlock {
+            units: triples,
+            states,
+        }
+    }
+
+    /// Number of instructions emitted per instance.
+    pub fn body_len(&self) -> usize {
+        self.units.len() * 3
+    }
+
+    /// Emits one pass over all units.
+    pub fn emit(&mut self, b: &mut TraceBuilder, rng: &mut StdRng) {
+        for ((compute, compare, branch), state) in self.units.iter().zip(&mut self.states) {
+            b.push_simple(*compute);
+            b.push_simple(*compare);
+            let taken = state.next(rng);
+            b.push_branch(*branch, BranchInfo::conditional(taken));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn reg_alloc_hands_out_distinct_registers() {
+        let mut ra = RegAlloc::new();
+        let a = ra.alloc();
+        let b = ra.alloc();
+        assert_ne!(a, b);
+        let more = ra.alloc_n(3);
+        assert_eq!(more.len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reg_alloc_exhaustion_panics() {
+        let mut ra = RegAlloc::new();
+        let _ = ra.alloc_n(32);
+    }
+
+    #[test]
+    fn dep_chain_is_fully_serial() {
+        let mut ra = RegAlloc::new();
+        let mut chain = DepChain::new(Pc::new(0x100), &mut ra, 3);
+        let mut b = TraceBuilder::new();
+        let idxs = chain.emit(&mut b, 10);
+        let t = b.finish();
+        t.validate().unwrap();
+        // Every link depends on the previous one.
+        for w in idxs.windows(2) {
+            assert_eq!(t[w[1]].deps[0], Some(w[0]));
+        }
+    }
+
+    #[test]
+    fn spine_ribs_has_loop_carried_spine_and_diverging_rib() {
+        let mut ra = RegAlloc::new();
+        let mut sr = SpineRibs::new(Pc::new(0x200), &mut ra, SpineRibsConfig::default());
+        let mut b = TraceBuilder::new();
+        let mut r = rng();
+        for _ in 0..4 {
+            sr.emit(&mut b, &mut r);
+        }
+        let t = b.finish();
+        t.validate().unwrap();
+        assert_eq!(t.len(), 4 * sr.body_len());
+        let body = sr.body_len();
+        // The first spine op of iteration 2 depends on the last spine op of
+        // iteration 1 (loop-carried).
+        let it1_last_spine = DynIdx::new(1); // spine_len=2: insts 0,1
+        let it2_first_spine = DynIdx::new(body as u32);
+        assert_eq!(t[it2_first_spine].deps[0], Some(it1_last_spine));
+        // The rib head of iteration 1 also reads the spine.
+        let rib_head = DynIdx::new(2);
+        assert_eq!(t[rib_head].deps[0], Some(it1_last_spine));
+    }
+
+    #[test]
+    fn spine_ribs_pcs_are_stable_across_iterations() {
+        let mut ra = RegAlloc::new();
+        let mut sr = SpineRibs::new(Pc::new(0), &mut ra, SpineRibsConfig::default());
+        let mut b = TraceBuilder::new();
+        let mut r = rng();
+        sr.emit(&mut b, &mut r);
+        sr.emit(&mut b, &mut r);
+        let t = b.finish();
+        let body = sr.body_len();
+        for i in 0..body {
+            assert_eq!(
+                t.as_slice()[i].pc(),
+                t.as_slice()[i + body].pc(),
+                "pc at body offset {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn hammock_converges_dyadically() {
+        let mut ra = RegAlloc::new();
+        let mut h = ConvergentHammock::new(Pc::new(0x300), &mut ra, HammockConfig::default());
+        let mut b = TraceBuilder::new();
+        let mut r = rng();
+        let br = h.emit(&mut b, &mut r);
+        let t = b.finish();
+        t.validate().unwrap();
+        assert_eq!(t.len(), h.body_len());
+        // The instruction before the branch is the dyadic convergence.
+        let conv = br.checked_back(1).unwrap();
+        assert_eq!(t[conv].producers().count(), 2);
+        assert_eq!(t[br].deps[0], Some(conv));
+    }
+
+    #[test]
+    fn divergent_loop_matches_figure_12_shape() {
+        let mut ra = RegAlloc::new();
+        let mut d = DivergentLoop::new(Pc::new(0x400), &mut ra, DivergentLoopConfig::default());
+        let mut b = TraceBuilder::new();
+        let mut r = rng();
+        d.emit(&mut b, &mut r);
+        d.emit(&mut b, &mut r);
+        let t = b.finish();
+        t.validate().unwrap();
+        // Second iteration's addl depends on first iteration's addl
+        // (loop-carried destructive update — the Figure 13 recurrence).
+        let addl2 = DynIdx::new(7);
+        assert_eq!(t[addl2].deps[0], Some(DynIdx::new(0)));
+        // Second iteration's ldl depends on first iteration's lda.
+        let ldl2 = DynIdx::new(8);
+        assert_eq!(t[ldl2].deps[0], Some(DynIdx::new(3)));
+    }
+
+    #[test]
+    fn pointer_chase_loads_depend_on_previous_load() {
+        let mut ra = RegAlloc::new();
+        let mut p = PointerChase::new(Pc::new(0x500), &mut ra, 1 << 22, 100);
+        let mut b = TraceBuilder::new();
+        let mut r = rng();
+        p.emit(&mut b, &mut r);
+        p.emit(&mut b, &mut r);
+        let t = b.finish();
+        t.validate().unwrap();
+        let second_load = DynIdx::new(4);
+        assert_eq!(t[second_load].deps[0], Some(DynIdx::new(0)));
+    }
+
+    #[test]
+    fn parallel_chains_are_independent() {
+        let mut ra = RegAlloc::new();
+        let mut p = ParallelChains::new(Pc::new(0x600), &mut ra, 4, OpClass::IntAlu);
+        let mut b = TraceBuilder::new();
+        let mut r = rng();
+        p.emit(&mut b, None, &mut r);
+        p.emit(&mut b, None, &mut r);
+        let t = b.finish();
+        t.validate().unwrap();
+        // Chain i's second link depends only on chain i's first link.
+        for i in 0..4u32 {
+            assert_eq!(t[DynIdx::new(4 + i)].deps[0], Some(DynIdx::new(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn memory_parallel_chains_need_addresses() {
+        let mut ra = RegAlloc::new();
+        let mut p = ParallelChains::new(Pc::new(0), &mut ra, 2, OpClass::Load);
+        let mut b = TraceBuilder::new();
+        let mut r = rng();
+        p.emit(&mut b, None, &mut r);
+    }
+
+    #[test]
+    fn reduction_tree_has_log_depth_convergence() {
+        let mut ra = RegAlloc::new();
+        let mut tree = ReductionTree::new(Pc::new(0x700), &mut ra, 8);
+        let mut b = TraceBuilder::new();
+        tree.emit(&mut b);
+        let t = b.finish();
+        t.validate().unwrap();
+        // 1 source + 8 leaves + 4 + 2 + 1 reducers.
+        assert_eq!(t.len(), 16);
+        let dyadic = t.iter().filter(|(_, i)| i.producers().count() == 2).count();
+        assert_eq!(dyadic, 7);
+        // All leaves consume the source.
+        for i in 1..=8u32 {
+            assert_eq!(t[DynIdx::new(i)].deps[0], Some(DynIdx::new(0)));
+        }
+    }
+
+    #[test]
+    fn branchy_block_emits_triples() {
+        let mut ra = RegAlloc::new();
+        let mut bb = BranchyBlock::new(
+            Pc::new(0x800),
+            &mut ra,
+            3,
+            &[BranchBehavior::Bernoulli(0.5), BranchBehavior::AlwaysTaken],
+        );
+        let mut b = TraceBuilder::new();
+        let mut r = rng();
+        bb.emit(&mut b, &mut r);
+        let t = b.finish();
+        t.validate().unwrap();
+        assert_eq!(t.len(), bb.body_len());
+        let branches = t.iter().filter(|(_, i)| i.is_conditional_branch()).count();
+        assert_eq!(branches, 3);
+    }
+}

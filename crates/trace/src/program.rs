@@ -1,0 +1,493 @@
+//! A declarative control-flow-graph program representation.
+//!
+//! The built-in [`Benchmark`](crate::Benchmark) models are hand-written
+//! emitters; this module is the general, user-facing way to define a
+//! synthetic workload: build a small program out of basic blocks with
+//! typed instructions, stochastic branch behaviours and address streams,
+//! then [`execute`](Program::execute) it into a dynamic [`Trace`].
+//!
+//! Static PCs are assigned once at build time, so PC-indexed predictors
+//! see stable static instructions across loop iterations — the property
+//! every criticality mechanism in this workspace relies on.
+//!
+//! # Example
+//!
+//! The early-exit search loop of the paper's Figure 12:
+//!
+//! ```
+//! use ccs_trace::program::{ProgramBuilder, Terminator};
+//! use ccs_trace::{AddrStream, BranchBehavior};
+//! use ccs_isa::{ArchReg, Pc};
+//!
+//! let mut p = ProgramBuilder::new(Pc::new(0x1000));
+//! let body = p.add_block();
+//! let exit = p.add_block();
+//!
+//! let idx = ArchReg::int(1);
+//! let ptr = ArchReg::int(2);
+//! let val = ArchReg::int(3);
+//! p.block(body)
+//!     .alu(idx, &[idx])                                  // addl
+//!     .load(val, ptr, AddrStream::stream(0x8000, 4, 1 << 12)) // ldl
+//!     .alu(ptr, &[ptr])                                  // lda
+//!     .alu(val, &[val])                                  // cmpeq
+//!     .branch(
+//!         BranchBehavior::Bernoulli(0.05),
+//!         val,
+//!         Terminator::conditional(exit, body),           // bne / loop
+//!     );
+//! p.block(exit).alu(idx, &[idx]).jump(body);
+//!
+//! let program = p.finish(body).unwrap();
+//! let trace = program.execute(7, 500);
+//! assert!(trace.len() >= 500);
+//! trace.validate().unwrap();
+//! ```
+
+use crate::behavior::{AddrState, AddrStream, BranchBehavior, BranchState};
+use crate::builder::{Trace, TraceBuilder};
+use ccs_isa::{ArchReg, BranchInfo, OpClass, Pc, StaticInst};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Identifies a basic block within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId(u32);
+
+impl BlockId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminator {
+    /// Fall through / unconditionally jump to a block.
+    Jump(BlockId),
+    /// Conditional: `taken` when the behaviour says taken, else
+    /// `fallthrough`.
+    Conditional {
+        /// Successor when the branch is taken.
+        taken: BlockId,
+        /// Successor when the branch falls through.
+        fallthrough: BlockId,
+    },
+}
+
+impl Terminator {
+    /// A conditional terminator.
+    pub fn conditional(taken: BlockId, fallthrough: BlockId) -> Self {
+        Terminator::Conditional { taken, fallthrough }
+    }
+}
+
+/// One instruction slot in a block: the static instruction plus its
+/// dynamic-behaviour model.
+#[derive(Debug, Clone)]
+enum Slot {
+    Simple(StaticInst),
+    Mem(StaticInst, AddrStream),
+    Branch(StaticInst, BranchBehavior, BlockId, BlockId),
+    Jump(StaticInst, BlockId),
+}
+
+/// A basic block under construction / in a finished program.
+#[derive(Debug, Clone, Default)]
+struct Block {
+    slots: Vec<Slot>,
+    terminated: bool,
+}
+
+/// Errors from [`ProgramBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A block has no terminator.
+    Unterminated(u32),
+    /// The entry block id is out of range.
+    BadEntry,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Unterminated(b) => write!(f, "block {b} has no terminator"),
+            ProgramError::BadEntry => write!(f, "entry block does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Builds a [`Program`] block by block.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    base_pc: Pc,
+    next_pc: u64,
+    blocks: Vec<Block>,
+}
+
+impl ProgramBuilder {
+    /// Starts a program whose instructions are laid out from `base_pc`.
+    pub fn new(base_pc: Pc) -> Self {
+        ProgramBuilder {
+            base_pc,
+            next_pc: 0,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Allocates an (empty) basic block and returns its id.
+    pub fn add_block(&mut self) -> BlockId {
+        self.blocks.push(Block::default());
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Opens a block for appending instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block id is invalid or the block is already
+    /// terminated.
+    pub fn block(&mut self, id: BlockId) -> BlockCursor<'_> {
+        assert!(id.index() < self.blocks.len(), "invalid block id");
+        assert!(
+            !self.blocks[id.index()].terminated,
+            "block {id:?} is already terminated"
+        );
+        BlockCursor { builder: self, id }
+    }
+
+    fn alloc_pc(&mut self) -> Pc {
+        let pc = self.base_pc.offset(self.next_pc);
+        self.next_pc += 1;
+        pc
+    }
+
+    /// Validates and finalizes the program with the given entry block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if a block lacks a terminator or the
+    /// entry id is invalid.
+    pub fn finish(self, entry: BlockId) -> Result<Program, ProgramError> {
+        if entry.index() >= self.blocks.len() {
+            return Err(ProgramError::BadEntry);
+        }
+        for (k, b) in self.blocks.iter().enumerate() {
+            if !b.terminated {
+                return Err(ProgramError::Unterminated(k as u32));
+            }
+        }
+        Ok(Program {
+            blocks: self.blocks,
+            entry,
+        })
+    }
+}
+
+/// Appends instructions to one block.
+#[derive(Debug)]
+pub struct BlockCursor<'a> {
+    builder: &'a mut ProgramBuilder,
+    id: BlockId,
+}
+
+impl BlockCursor<'_> {
+    fn push(&mut self, slot: Slot) -> &mut Self {
+        self.builder.blocks[self.id.index()].slots.push(slot);
+        self
+    }
+
+    /// Appends an operation of the given class with up to two sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than two sources are given, or for memory/control
+    /// classes (use the dedicated methods).
+    pub fn op(&mut self, op: OpClass, dst: ArchReg, srcs: &[ArchReg]) -> &mut Self {
+        assert!(srcs.len() <= 2, "at most two source operands");
+        assert!(
+            !op.is_mem() && !op.is_control(),
+            "use load/store/branch/jump for {op}"
+        );
+        let pc = self.builder.alloc_pc();
+        let inst = StaticInst::new(pc, op)
+            .with_srcs([srcs.first().copied(), srcs.get(1).copied()])
+            .with_dst(dst);
+        self.push(Slot::Simple(inst))
+    }
+
+    /// Appends a single-cycle integer ALU operation.
+    pub fn alu(&mut self, dst: ArchReg, srcs: &[ArchReg]) -> &mut Self {
+        self.op(OpClass::IntAlu, dst, srcs)
+    }
+
+    /// Appends a load of `dst` through address register `addr_src`, with
+    /// addresses drawn from `stream`.
+    pub fn load(&mut self, dst: ArchReg, addr_src: ArchReg, stream: AddrStream) -> &mut Self {
+        let pc = self.builder.alloc_pc();
+        let inst = StaticInst::new(pc, OpClass::Load)
+            .with_src(addr_src)
+            .with_dst(dst);
+        self.push(Slot::Mem(inst, stream))
+    }
+
+    /// Appends a store of `value` through `addr_src`.
+    pub fn store(&mut self, value: ArchReg, addr_src: ArchReg, stream: AddrStream) -> &mut Self {
+        let pc = self.builder.alloc_pc();
+        let inst =
+            StaticInst::new(pc, OpClass::Store).with_srcs([Some(value), Some(addr_src)]);
+        self.push(Slot::Mem(inst, stream))
+    }
+
+    /// Terminates the block with a conditional branch on `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the terminator is not [`Terminator::Conditional`].
+    pub fn branch(&mut self, behavior: BranchBehavior, src: ArchReg, term: Terminator) {
+        let Terminator::Conditional { taken, fallthrough } = term else {
+            panic!("branch requires a conditional terminator");
+        };
+        let pc = self.builder.alloc_pc();
+        let inst = StaticInst::new(pc, OpClass::Branch).with_src(src);
+        self.push(Slot::Branch(inst, behavior, taken, fallthrough));
+        self.builder.blocks[self.id.index()].terminated = true;
+    }
+
+    /// Terminates the block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        let pc = self.builder.alloc_pc();
+        let inst = StaticInst::new(pc, OpClass::Jump);
+        self.push(Slot::Jump(inst, target));
+        self.builder.blocks[self.id.index()].terminated = true;
+    }
+}
+
+/// A finished program: a CFG of basic blocks ready to execute into
+/// dynamic traces.
+#[derive(Debug, Clone)]
+pub struct Program {
+    blocks: Vec<Block>,
+    entry: BlockId,
+}
+
+impl Program {
+    /// Number of basic blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total static instructions.
+    pub fn static_len(&self) -> usize {
+        self.blocks.iter().map(|b| b.slots.len()).sum()
+    }
+
+    /// Executes the program from its entry block until at least `min_len`
+    /// dynamic instructions have been emitted (finishing the current
+    /// block), deterministically for a given seed.
+    pub fn execute(&self, seed: u64, min_len: usize) -> Trace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut builder = TraceBuilder::new();
+        // Stateful behaviour instances, parallel to the program structure.
+        let mut branch_states: Vec<Vec<Option<BranchState>>> = self
+            .blocks
+            .iter()
+            .map(|b| {
+                b.slots
+                    .iter()
+                    .map(|s| match s {
+                        Slot::Branch(_, behavior, _, _) => Some(behavior.into_state()),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut addr_states: Vec<Vec<Option<AddrState>>> = self
+            .blocks
+            .iter()
+            .map(|b| {
+                b.slots
+                    .iter()
+                    .map(|s| match s {
+                        Slot::Mem(_, stream) => Some(stream.clone().into_state()),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut current = self.entry;
+        while builder.len() < min_len {
+            let bi = current.index();
+            let mut next = current; // re-assigned by the terminator
+            for (k, slot) in self.blocks[bi].slots.iter().enumerate() {
+                match slot {
+                    Slot::Simple(inst) => {
+                        builder.push_simple(*inst);
+                    }
+                    Slot::Mem(inst, _) => {
+                        let addr = addr_states[bi][k]
+                            .as_mut()
+                            .expect("address state present")
+                            .next(&mut rng);
+                        builder.push_mem(*inst, addr);
+                    }
+                    Slot::Branch(inst, _, taken_blk, fall_blk) => {
+                        let taken = branch_states[bi][k]
+                            .as_mut()
+                            .expect("branch state present")
+                            .next(&mut rng);
+                        builder.push_branch(*inst, BranchInfo::conditional(taken));
+                        next = if taken { *taken_blk } else { *fall_blk };
+                    }
+                    Slot::Jump(inst, target) => {
+                        builder.push_branch(*inst, BranchInfo::unconditional());
+                        next = *target;
+                    }
+                }
+            }
+            current = next;
+        }
+        builder.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure12_program() -> Program {
+        let mut p = ProgramBuilder::new(Pc::new(0x2000));
+        let body = p.add_block();
+        let exit = p.add_block();
+        let idx = ArchReg::int(1);
+        let ptr = ArchReg::int(2);
+        let val = ArchReg::int(3);
+        p.block(body)
+            .alu(idx, &[idx])
+            .load(val, ptr, AddrStream::stream(0x9000, 4, 1 << 12))
+            .alu(ptr, &[ptr])
+            .alu(val, &[val])
+            .branch(
+                BranchBehavior::Bernoulli(0.1),
+                val,
+                Terminator::conditional(exit, body),
+            );
+        p.block(exit).alu(idx, &[idx]).jump(body);
+        p.finish(body).unwrap()
+    }
+
+    #[test]
+    fn program_executes_to_a_valid_trace() {
+        let p = figure12_program();
+        assert_eq!(p.block_count(), 2);
+        assert_eq!(p.static_len(), 7);
+        let t = p.execute(3, 1_000);
+        assert!(t.len() >= 1_000);
+        t.validate().unwrap();
+        // Static footprint matches the program.
+        assert_eq!(t.stats().static_insts, 7);
+    }
+
+    #[test]
+    fn loop_carried_dependences_resolve() {
+        let p = figure12_program();
+        let t = p.execute(1, 100);
+        // Find two consecutive instances of the first alu (same PC) and
+        // check the second depends on the first.
+        let pc0 = Pc::new(0x2000);
+        let instances: Vec<_> = t
+            .iter()
+            .filter(|(_, inst)| inst.pc() == pc0)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(instances.len() >= 2);
+        assert_eq!(t[instances[1]].deps[0], Some(instances[0]));
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let p = figure12_program();
+        let a = p.execute(9, 500);
+        let b = p.execute(9, 500);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn branch_steers_control_flow() {
+        // An always-taken branch visits the taken block only.
+        let mut p = ProgramBuilder::new(Pc::new(0));
+        let a = p.add_block();
+        let b = p.add_block();
+        let c = p.add_block();
+        let r = ArchReg::int(1);
+        p.block(a)
+            .alu(r, &[])
+            .branch(BranchBehavior::AlwaysTaken, r, Terminator::conditional(b, c));
+        p.block(b).alu(r, &[r]).jump(a);
+        p.block(c).alu(r, &[r]).alu(r, &[r]).jump(a);
+        let prog = p.finish(a).unwrap();
+        let t = prog.execute(1, 200);
+        // Block c's instructions (PCs 4 and 5 in allocation order from
+        // block c) never appear.
+        let stats = t.stats();
+        assert_eq!(stats.static_insts, 4, "only blocks a and b execute");
+    }
+
+    #[test]
+    fn unterminated_block_is_rejected() {
+        let mut p = ProgramBuilder::new(Pc::new(0));
+        let a = p.add_block();
+        let r = ArchReg::int(1);
+        p.block(a).alu(r, &[]);
+        assert_eq!(p.finish(a).unwrap_err(), ProgramError::Unterminated(0));
+    }
+
+    #[test]
+    fn bad_entry_is_rejected() {
+        let mut p = ProgramBuilder::new(Pc::new(0));
+        let a = p.add_block();
+        p.block(a).jump(a);
+        let err = p.finish(BlockId(7)).unwrap_err();
+        assert_eq!(err, ProgramError::BadEntry);
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn appending_to_terminated_block_panics() {
+        let mut p = ProgramBuilder::new(Pc::new(0));
+        let a = p.add_block();
+        p.block(a).jump(a);
+        p.block(a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn op_rejects_memory_classes() {
+        let mut p = ProgramBuilder::new(Pc::new(0));
+        let a = p.add_block();
+        p.block(a).op(OpClass::Load, ArchReg::int(1), &[]);
+    }
+
+    #[test]
+    fn stores_and_fp_ops_build() {
+        let mut p = ProgramBuilder::new(Pc::new(0x100));
+        let a = p.add_block();
+        let r = ArchReg::int(1);
+        let f = ArchReg::fp(0);
+        p.block(a)
+            .op(OpClass::FpMul, f, &[f, f])
+            .store(r, r, AddrStream::Fixed(0x5000))
+            .jump(a);
+        let prog = p.finish(a).unwrap();
+        let t = prog.execute(1, 50);
+        t.validate().unwrap();
+        assert!(t.stats().op_fraction(OpClass::Store) > 0.2);
+        assert!(t.stats().op_fraction(OpClass::FpMul) > 0.2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Aggregate trace statistics.
+
+use crate::builder::Trace;
+use ccs_isa::OpClass;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate statistics over a [`Trace`].
+///
+/// Used by the workload models' own tests (to pin the instruction mix each
+/// benchmark model is supposed to exhibit) and by the experiment harness
+/// for reporting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total dynamic instructions.
+    pub total: usize,
+    /// Dynamic count per operation class.
+    pub per_op: BTreeMap<OpClass, usize>,
+    /// Dynamic conditional branches.
+    pub conditional_branches: usize,
+    /// Taken conditional branches.
+    pub taken_branches: usize,
+    /// Instructions with two in-trace producers (dyadic convergence
+    /// points, §2.2).
+    pub dyadic_converging: usize,
+    /// Number of distinct static instructions (PCs).
+    pub static_insts: usize,
+    /// Sum over instructions of in-trace dependence count (for average
+    /// dependence degree).
+    pub dep_edges: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for a trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut stats = TraceStats::default();
+        let mut pcs = std::collections::HashSet::new();
+        for (_, inst) in trace.iter() {
+            stats.total += 1;
+            *stats.per_op.entry(inst.op()).or_insert(0) += 1;
+            pcs.insert(inst.pc());
+            if inst.is_conditional_branch() {
+                stats.conditional_branches += 1;
+                if inst.branch.map(|b| b.taken).unwrap_or(false) {
+                    stats.taken_branches += 1;
+                }
+            }
+            let deps = inst.producers().count();
+            stats.dep_edges += deps;
+            if deps == 2 {
+                stats.dyadic_converging += 1;
+            }
+        }
+        stats.static_insts = pcs.len();
+        stats
+    }
+
+    /// Fraction of dynamic instructions in the given class.
+    pub fn op_fraction(&self, op: OpClass) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.per_op.get(&op).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Fraction of dynamic instructions that are loads or stores.
+    pub fn mem_fraction(&self) -> f64 {
+        self.op_fraction(OpClass::Load) + self.op_fraction(OpClass::Store)
+    }
+
+    /// Fraction of dynamic instructions that are conditional branches.
+    pub fn branch_fraction(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.conditional_branches as f64 / self.total as f64
+    }
+
+    /// Average number of in-trace producers per instruction.
+    pub fn mean_dep_degree(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.dep_edges as f64 / self.total as f64
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} insts, {} static, {:.1}% branches, {:.1}% mem, {:.2} deps/inst",
+            self.total,
+            self.static_insts,
+            100.0 * self.branch_fraction(),
+            100.0 * self.mem_fraction(),
+            self.mean_dep_degree()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TraceBuilder;
+    use ccs_isa::{ArchReg, BranchInfo, Pc, StaticInst};
+
+    #[test]
+    fn stats_over_empty_trace() {
+        let t = TraceBuilder::new().finish();
+        let s = t.stats();
+        assert_eq!(s.total, 0);
+        assert_eq!(s.op_fraction(OpClass::IntAlu), 0.0);
+        assert_eq!(s.mean_dep_degree(), 0.0);
+        assert_eq!(s.branch_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stats_count_ops_and_deps() {
+        let mut b = TraceBuilder::new();
+        b.push_mem(
+            StaticInst::new(Pc::new(0), OpClass::Load).with_dst(ArchReg::int(1)),
+            0x100,
+        );
+        b.push_simple(
+            StaticInst::new(Pc::new(4), OpClass::IntAlu)
+                .with_src(ArchReg::int(1))
+                .with_dst(ArchReg::int(2)),
+        );
+        b.push_simple(
+            StaticInst::new(Pc::new(8), OpClass::IntAlu)
+                .with_srcs([Some(ArchReg::int(1)), Some(ArchReg::int(2))])
+                .with_dst(ArchReg::int(3)),
+        );
+        b.push_branch(
+            StaticInst::new(Pc::new(12), OpClass::Branch).with_src(ArchReg::int(3)),
+            BranchInfo::conditional(true),
+        );
+        let s = b.finish().stats();
+        assert_eq!(s.total, 4);
+        assert_eq!(s.static_insts, 4);
+        assert_eq!(s.per_op[&OpClass::Load], 1);
+        assert_eq!(s.per_op[&OpClass::IntAlu], 2);
+        assert_eq!(s.conditional_branches, 1);
+        assert_eq!(s.taken_branches, 1);
+        assert_eq!(s.dyadic_converging, 1);
+        assert_eq!(s.dep_edges, 4);
+        assert!((s.mem_fraction() - 0.25).abs() < 1e-12);
+        assert!((s.mean_dep_degree() - 1.0).abs() < 1e-12);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn repeated_pcs_counted_once_statically() {
+        let mut b = TraceBuilder::new();
+        let inst = StaticInst::new(Pc::new(0), OpClass::IntAlu).with_dst(ArchReg::int(1));
+        for _ in 0..5 {
+            b.push_simple(inst);
+        }
+        let s = b.finish().stats();
+        assert_eq!(s.total, 5);
+        assert_eq!(s.static_insts, 1);
+    }
+}

@@ -1,0 +1,625 @@
+//! The twelve SPECint-like benchmark models.
+//!
+//! Each model composes the emitters in [`patterns`](crate::patterns) to
+//! produce a dynamic instruction stream with the dataflow character the
+//! paper attributes to the corresponding SPEC 2000 integer benchmark:
+//!
+//! * `bzip2`, `crafty` — abundant *convergent* dataflow (Figure 3); the
+//!   paper's worst cases for the idealized scheduler.
+//! * `vpr`, `twolf`, `perl` — *spine and ribs* loops with hard branches on
+//!   the ribs (Figure 7) and dataflow hammocks.
+//! * `gzip`, `gap` — long serial dependence chains: execute-critical code
+//!   that benefits most from stall-over-steer (§5, the 20% gzip speedup).
+//! * `mcf` — pointer chasing with a high miss rate; memory-bound.
+//! * `gcc`, `parser` — dense irregular control flow and divergent
+//!   early-exit scans (Figure 12).
+//! * `eon`, `vortex` — high-ILP, predictable code (eon with FP).
+//!
+//! Models are deterministic given a seed.
+
+use crate::behavior::{AddrStream, BranchBehavior};
+use crate::builder::{Trace, TraceBuilder};
+use crate::patterns::{
+    BranchyBlock, ConvergentHammock, DepChain, DivergentLoop, DivergentLoopConfig, HammockConfig,
+    ParallelChains, PointerChase, ReductionTree, RegAlloc, SpineRibs, SpineRibsConfig,
+};
+use ccs_isa::{BranchInfo, OpClass, Pc, StaticInst};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the twelve SPEC 2000 integer benchmarks the paper evaluates,
+/// as a synthetic workload model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Benchmark {
+    Bzip2,
+    Crafty,
+    Eon,
+    Gap,
+    Gcc,
+    Gzip,
+    Mcf,
+    Parser,
+    Perl,
+    Twolf,
+    Vortex,
+    Vpr,
+}
+
+impl Benchmark {
+    /// All twelve benchmarks in the paper's (alphabetical) order.
+    pub const ALL: [Benchmark; 12] = [
+        Benchmark::Bzip2,
+        Benchmark::Crafty,
+        Benchmark::Eon,
+        Benchmark::Gap,
+        Benchmark::Gcc,
+        Benchmark::Gzip,
+        Benchmark::Mcf,
+        Benchmark::Parser,
+        Benchmark::Perl,
+        Benchmark::Twolf,
+        Benchmark::Vortex,
+        Benchmark::Vpr,
+    ];
+
+    /// The benchmark's SPEC name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Benchmark::Bzip2 => "bzip2",
+            Benchmark::Crafty => "crafty",
+            Benchmark::Eon => "eon",
+            Benchmark::Gap => "gap",
+            Benchmark::Gcc => "gcc",
+            Benchmark::Gzip => "gzip",
+            Benchmark::Mcf => "mcf",
+            Benchmark::Parser => "parser",
+            Benchmark::Perl => "perl",
+            Benchmark::Twolf => "twolf",
+            Benchmark::Vortex => "vortex",
+            Benchmark::Vpr => "vpr",
+        }
+    }
+
+    /// A one-line description of the model's dataflow character.
+    pub const fn description(self) -> &'static str {
+        match self {
+            Benchmark::Bzip2 => "convergent dyadic hammocks feeding branches (Figure 3)",
+            Benchmark::Crafty => "convergent compares under dense, predictable control",
+            Benchmark::Eon => "high-ILP floating point, near-perfect prediction",
+            Benchmark::Gap => "arithmetic spines with moderate ribs",
+            Benchmark::Gcc => "dense irregular control, many mispredicts",
+            Benchmark::Gzip => "long serial chains; execute-critical (Figure 9)",
+            Benchmark::Mcf => "pointer chasing, memory-latency bound",
+            Benchmark::Parser => "divergent early-exit scans (Figure 12)",
+            Benchmark::Perl => "interpreter dispatch spine, hard rib branches",
+            Benchmark::Twolf => "spine-and-ribs with poor-locality loads",
+            Benchmark::Vortex => "high-ILP, store-heavy, predictable",
+            Benchmark::Vpr => "spine-and-ribs with criticality ties (Figure 7)",
+        }
+    }
+
+    /// Generates a dynamic trace of at least `min_len` instructions,
+    /// deterministically for a given `seed`.
+    ///
+    /// The actual length slightly exceeds `min_len` because generation
+    /// stops at the end of a pattern iteration.
+    pub fn generate(self, seed: u64, min_len: usize) -> Trace {
+        let mut b = TraceBuilder::new();
+        self.emit_into(&mut b, seed, min_len);
+        b.finish()
+    }
+
+    /// Emits this model's instructions into an existing builder until the
+    /// builder holds at least `min_len` instructions — the building block
+    /// for [`phased`] composite workloads.
+    pub fn emit_into(self, b: &mut TraceBuilder, seed: u64, min_len: usize) {
+        let mut rng = StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match self {
+            Benchmark::Bzip2 => bzip2(b, &mut rng, min_len),
+            Benchmark::Crafty => crafty(b, &mut rng, min_len),
+            Benchmark::Eon => eon(b, &mut rng, min_len),
+            Benchmark::Gap => gap(b, &mut rng, min_len),
+            Benchmark::Gcc => gcc(b, &mut rng, min_len),
+            Benchmark::Gzip => gzip(b, &mut rng, min_len),
+            Benchmark::Mcf => mcf(b, &mut rng, min_len),
+            Benchmark::Parser => parser(b, &mut rng, min_len),
+            Benchmark::Perl => perl(b, &mut rng, min_len),
+            Benchmark::Twolf => twolf(b, &mut rng, min_len),
+            Benchmark::Vortex => vortex(b, &mut rng, min_len),
+            Benchmark::Vpr => vpr(b, &mut rng, min_len),
+        }
+    }
+}
+
+/// Builds a *phased* composite workload: each benchmark model runs for
+/// `phase_len` instructions, separated by register barriers (a context
+/// change: later phases see earlier values as live-ins). Phase changes
+/// exercise predictor retraining — criticality learned in one phase is
+/// stale in the next.
+///
+/// # Examples
+///
+/// ```
+/// use ccs_trace::{phased, Benchmark};
+///
+/// let t = phased(&[Benchmark::Gzip, Benchmark::Mcf], 7, 1_000);
+/// assert!(t.len() >= 2_000);
+/// t.validate().unwrap();
+/// ```
+///
+/// # Panics
+///
+/// Panics if `phases` is empty.
+pub fn phased(phases: &[Benchmark], seed: u64, phase_len: usize) -> Trace {
+    assert!(!phases.is_empty(), "need at least one phase");
+    let mut b = TraceBuilder::new();
+    for (k, bench) in phases.iter().enumerate() {
+        let target = b.len() + phase_len;
+        bench.emit_into(&mut b, seed + k as u64, target);
+        b.barrier();
+    }
+    b.finish()
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Emits a loop back-edge branch at a fixed PC. Keeps overall control-flow
+/// density realistic in models whose patterns do not emit their own.
+struct BackEdge {
+    inst: StaticInst,
+    state: crate::behavior::BranchState,
+}
+
+impl BackEdge {
+    fn new(pc: Pc, regs: &mut RegAlloc, trip: u32) -> Self {
+        let r = regs.alloc();
+        BackEdge {
+            inst: StaticInst::new(pc, OpClass::Branch).with_src(r),
+            state: BranchBehavior::loop_exit(trip).into_state(),
+        }
+    }
+
+    fn emit(&mut self, b: &mut TraceBuilder, rng: &mut StdRng) {
+        let taken = self.state.next(rng);
+        b.push_branch(self.inst, BranchInfo::conditional(taken));
+    }
+}
+
+/// bzip2: Huffman/BWT inner loops — convergent dyadic dataflow feeding
+/// sometimes-mispredicted branches (Figure 3), plus a short work loop.
+fn bzip2(b: &mut TraceBuilder, rng: &mut StdRng, min_len: usize) {
+    let mut regs = RegAlloc::new();
+    let mut h1 = ConvergentHammock::new(
+        Pc::new(0x1000),
+        &mut regs,
+        HammockConfig {
+            arm_len: 2,
+            branch: BranchBehavior::Bernoulli(0.18),
+            region: 1 << 15,
+        },
+    );
+    let mut h2 = ConvergentHammock::new(
+        Pc::new(0x1100),
+        &mut regs,
+        HammockConfig {
+            arm_len: 1,
+            branch: BranchBehavior::Bernoulli(0.06),
+            region: 1 << 13,
+        },
+    );
+    let mut chain = DepChain::new(Pc::new(0x1200), &mut regs, 3);
+    let mut back = BackEdge::new(Pc::new(0x1300), &mut regs, 48);
+    while b.len() < min_len {
+        h1.emit(b, rng);
+        h2.emit(b, rng);
+        chain.emit(b, 3);
+        back.emit(b, rng);
+    }
+}
+
+/// crafty: chess move generation/evaluation — convergent compares plus
+/// dense, mostly-predictable control.
+fn crafty(b: &mut TraceBuilder, rng: &mut StdRng, min_len: usize) {
+    let mut regs = RegAlloc::new();
+    let mut h = ConvergentHammock::new(
+        Pc::new(0x2000),
+        &mut regs,
+        HammockConfig {
+            arm_len: 3,
+            branch: BranchBehavior::Bernoulli(0.12),
+            region: 1 << 14,
+        },
+    );
+    let mut bb = BranchyBlock::new(
+        Pc::new(0x2100),
+        &mut regs,
+        4,
+        &[
+            BranchBehavior::Bernoulli(0.05),
+            BranchBehavior::LoopExit(6),
+            BranchBehavior::Bernoulli(0.30),
+            BranchBehavior::AlwaysTaken,
+        ],
+    );
+    let mut tree = ReductionTree::new(Pc::new(0x2200), &mut regs, 4);
+    while b.len() < min_len {
+        h.emit(b, rng);
+        bb.emit(b, rng);
+        tree.emit(b);
+    }
+}
+
+/// eon: ray tracing — floating-point heavy, high ILP, very predictable
+/// branches.
+fn eon(b: &mut TraceBuilder, rng: &mut StdRng, min_len: usize) {
+    let mut regs = RegAlloc::new();
+    let mut fp = ParallelChains::new(Pc::new(0x3000), &mut regs, 4, OpClass::FpMul);
+    let mut int = ParallelChains::new(Pc::new(0x3100), &mut regs, 4, OpClass::IntAlu);
+    let mut loads = ParallelChains::new(Pc::new(0x3200), &mut regs, 2, OpClass::Load);
+    let mut load_addrs = AddrStream::stream(0x60_0000, 8, 1 << 13).into_state();
+    let mut back = BackEdge::new(Pc::new(0x3300), &mut regs, 16);
+    while b.len() < min_len {
+        loads.emit(b, Some(&mut load_addrs), rng);
+        fp.emit(b, None, rng);
+        int.emit(b, None, rng);
+        back.emit(b, rng);
+    }
+}
+
+/// gap: group-theory interpreter — arithmetic spines with moderate ribs.
+fn gap(b: &mut TraceBuilder, rng: &mut StdRng, min_len: usize) {
+    let mut regs = RegAlloc::new();
+    let mut sr = SpineRibs::new(
+        Pc::new(0x4000),
+        &mut regs,
+        SpineRibsConfig {
+            spine_len: 4,
+            rib_len: 2,
+            rib_branch: BranchBehavior::Bernoulli(0.10),
+            trip: 40,
+        },
+    );
+    let mut chain = DepChain::new(Pc::new(0x4100), &mut regs, 4);
+    while b.len() < min_len {
+        sr.emit(b, rng);
+        chain.emit(b, 4);
+    }
+}
+
+/// gcc: compilation — very branchy, irregular, short dependence chains,
+/// many mispredicts.
+fn gcc(b: &mut TraceBuilder, rng: &mut StdRng, min_len: usize) {
+    let mut regs = RegAlloc::new();
+    let mut bb1 = BranchyBlock::new(
+        Pc::new(0x5000),
+        &mut regs,
+        5,
+        &[
+            BranchBehavior::Bernoulli(0.40),
+            BranchBehavior::Bernoulli(0.10),
+            BranchBehavior::LoopExit(3),
+            BranchBehavior::Bernoulli(0.25),
+            BranchBehavior::Alternating,
+        ],
+    );
+    let mut d = DivergentLoop::new(
+        Pc::new(0x5100),
+        &mut regs,
+        DivergentLoopConfig {
+            exit_prob: 0.08,
+            trip: 12,
+            region: 1 << 16,
+        },
+    );
+    let mut h = ConvergentHammock::new(
+        Pc::new(0x5200),
+        &mut regs,
+        HammockConfig {
+            arm_len: 1,
+            branch: BranchBehavior::Bernoulli(0.35),
+            region: 1 << 16,
+        },
+    );
+    while b.len() < min_len {
+        bb1.emit(b, rng);
+        d.emit(b, rng);
+        h.emit(b, rng);
+    }
+}
+
+/// gzip: LZ77 match loops — a long serial dependence chain with a little
+/// off-chain work; the canonical execute-critical program (§5).
+fn gzip(b: &mut TraceBuilder, rng: &mut StdRng, min_len: usize) {
+    let mut regs = RegAlloc::new();
+    let mut chain = DepChain::new(Pc::new(0x6000), &mut regs, 6);
+    let mut side = ParallelChains::new(Pc::new(0x6100), &mut regs, 2, OpClass::IntAlu);
+    let mut loads = ParallelChains::new(Pc::new(0x6200), &mut regs, 1, OpClass::Load);
+    let mut load_addrs = AddrStream::stream(0x70_0000, 4, 1 << 14).into_state();
+    let mut back = BackEdge::new(Pc::new(0x6300), &mut regs, 96);
+    while b.len() < min_len {
+        chain.emit(b, 12);
+        side.emit(b, None, rng);
+        loads.emit(b, Some(&mut load_addrs), rng);
+        back.emit(b, rng);
+    }
+}
+
+/// mcf: network simplex — pointer chasing over a structure far larger than
+/// the L1; memory-bound with low ILP.
+fn mcf(b: &mut TraceBuilder, rng: &mut StdRng, min_len: usize) {
+    let mut regs = RegAlloc::new();
+    let mut chase = PointerChase::new(Pc::new(0x7000), &mut regs, 16 << 20, 64);
+    let mut side = ParallelChains::new(Pc::new(0x7100), &mut regs, 2, OpClass::IntAlu);
+    let mut h = ConvergentHammock::new(
+        Pc::new(0x7200),
+        &mut regs,
+        HammockConfig {
+            arm_len: 1,
+            branch: BranchBehavior::Bernoulli(0.20),
+            region: 8 << 20,
+        },
+    );
+    while b.len() < min_len {
+        chase.emit(b, rng);
+        side.emit(b, None, rng);
+        chase.emit(b, rng);
+        h.emit(b, rng);
+    }
+}
+
+/// parser: recursive-descent link grammar — divergent early-exit scans and
+/// mixed control.
+fn parser(b: &mut TraceBuilder, rng: &mut StdRng, min_len: usize) {
+    let mut regs = RegAlloc::new();
+    let mut d = DivergentLoop::new(
+        Pc::new(0x8000),
+        &mut regs,
+        DivergentLoopConfig {
+            exit_prob: 0.05,
+            trip: 24,
+            region: 1 << 15,
+        },
+    );
+    let mut bb = BranchyBlock::new(
+        Pc::new(0x8100),
+        &mut regs,
+        3,
+        &[
+            BranchBehavior::Bernoulli(0.15),
+            BranchBehavior::Bernoulli(0.45),
+            BranchBehavior::LoopExit(5),
+        ],
+    );
+    let mut chain = DepChain::new(Pc::new(0x8200), &mut regs, 2);
+    while b.len() < min_len {
+        for _ in 0..3 {
+            d.emit(b, rng);
+        }
+        bb.emit(b, rng);
+        chain.emit(b, 2);
+    }
+}
+
+/// perl: interpreter dispatch loop — a spine through the dispatch state
+/// with poorly-predicted indirect-style branches on the ribs.
+fn perl(b: &mut TraceBuilder, rng: &mut StdRng, min_len: usize) {
+    let mut regs = RegAlloc::new();
+    let mut sr = SpineRibs::new(
+        Pc::new(0x9000),
+        &mut regs,
+        SpineRibsConfig {
+            spine_len: 3,
+            rib_len: 4,
+            rib_branch: BranchBehavior::Bernoulli(0.35),
+            trip: 32,
+        },
+    );
+    let mut h = ConvergentHammock::new(
+        Pc::new(0x9100),
+        &mut regs,
+        HammockConfig {
+            arm_len: 2,
+            branch: BranchBehavior::Bernoulli(0.10),
+            region: 1 << 14,
+        },
+    );
+    while b.len() < min_len {
+        sr.emit(b, rng);
+        h.emit(b, rng);
+    }
+}
+
+/// twolf: placement/routing — spine-and-ribs with poor-locality loads and
+/// hammocks on the critical path.
+fn twolf(b: &mut TraceBuilder, rng: &mut StdRng, min_len: usize) {
+    let mut regs = RegAlloc::new();
+    let mut sr = SpineRibs::new(
+        Pc::new(0xA000),
+        &mut regs,
+        SpineRibsConfig {
+            spine_len: 2,
+            rib_len: 3,
+            rib_branch: BranchBehavior::Bernoulli(0.40),
+            trip: 20,
+        },
+    );
+    let mut loads = ParallelChains::new(Pc::new(0xA100), &mut regs, 2, OpClass::Load);
+    let mut load_addrs = AddrStream::random_in(0x80_0000, 1 << 19).into_state();
+    let mut tree = ReductionTree::new(Pc::new(0xA200), &mut regs, 4);
+    while b.len() < min_len {
+        sr.emit(b, rng);
+        loads.emit(b, Some(&mut load_addrs), rng);
+        tree.emit(b);
+    }
+}
+
+/// vortex: object database — high-ILP, store-heavy, very predictable.
+fn vortex(b: &mut TraceBuilder, rng: &mut StdRng, min_len: usize) {
+    let mut regs = RegAlloc::new();
+    let mut int = ParallelChains::new(Pc::new(0xB000), &mut regs, 6, OpClass::IntAlu);
+    let mut loads = ParallelChains::new(Pc::new(0xB100), &mut regs, 2, OpClass::Load);
+    let mut load_addrs = AddrStream::stream(0x90_0000, 8, 1 << 13).into_state();
+    let store_reg = regs.alloc();
+    let store = StaticInst::new(Pc::new(0xB200), OpClass::Store).with_src(store_reg);
+    let mut store_addrs = AddrStream::stream(0xA0_0000, 8, 1 << 13).into_state();
+    let mut bb = BranchyBlock::new(
+        Pc::new(0xB300),
+        &mut regs,
+        2,
+        &[BranchBehavior::Bernoulli(0.02), BranchBehavior::LoopExit(10)],
+    );
+    while b.len() < min_len {
+        int.emit(b, None, rng);
+        loads.emit(b, Some(&mut load_addrs), rng);
+        let a = store_addrs.next(rng);
+        b.push_mem(store, a);
+        bb.emit(b, rng);
+    }
+}
+
+/// vpr: place-and-route — the paper's running example: spine-and-ribs with
+/// a hard branch on the rib (Figure 7) plus large hammocks that converge
+/// (§2.2's contention case).
+fn vpr(b: &mut TraceBuilder, rng: &mut StdRng, min_len: usize) {
+    let mut regs = RegAlloc::new();
+    let mut sr = SpineRibs::new(
+        Pc::new(0xC000),
+        &mut regs,
+        SpineRibsConfig {
+            spine_len: 2,
+            rib_len: 3,
+            rib_branch: BranchBehavior::Bernoulli(0.50),
+            trip: 64,
+        },
+    );
+    let mut tree = ReductionTree::new(Pc::new(0xC100), &mut regs, 8);
+    while b.len() < min_len {
+        for _ in 0..4 {
+            sr.emit(b, rng);
+        }
+        tree.emit(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_generate_valid_traces() {
+        for bench in Benchmark::ALL {
+            let t = bench.generate(1, 2_000);
+            assert!(t.len() >= 2_000, "{bench} too short: {}", t.len());
+            t.validate().unwrap_or_else(|e| panic!("{bench}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for bench in [Benchmark::Vpr, Benchmark::Mcf, Benchmark::Gcc] {
+            let a = bench.generate(7, 1_000);
+            let b = bench.generate(7, 1_000);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x, y);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Benchmark::Gcc.generate(1, 1_000);
+        let b = Benchmark::Gcc.generate(2, 1_000);
+        // Same static structure but at least some dynamic outcome differs.
+        let any_diff = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .any(|(x, y)| x.branch != y.branch || x.mem_addr != y.mem_addr);
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn benchmarks_have_distinct_pcs() {
+        // Static footprints must not overlap across benchmarks' base PCs
+        // within a trace (each model manages its own PC space).
+        for bench in Benchmark::ALL {
+            let t = bench.generate(3, 1_000);
+            let s = t.stats();
+            assert!(s.static_insts >= 8, "{bench} static footprint too small");
+            assert!(
+                s.static_insts <= 200,
+                "{bench} static footprint too large: {}",
+                s.static_insts
+            );
+        }
+    }
+
+    #[test]
+    fn model_characters_differ() {
+        let n = 20_000;
+        let gzip = Benchmark::Gzip.generate(1, n).stats();
+        let eon = Benchmark::Eon.generate(1, n).stats();
+        let mcf = Benchmark::Mcf.generate(1, n).stats();
+        let gcc = Benchmark::Gcc.generate(1, n).stats();
+        let bzip2 = Benchmark::Bzip2.generate(1, n).stats();
+
+        // gzip is serial: high dependence degree, few branches.
+        assert!(gzip.mean_dep_degree() > 0.8);
+        // eon uses floating point; others here do not.
+        assert!(eon.op_fraction(OpClass::FpMul) > 0.2);
+        assert_eq!(gcc.op_fraction(OpClass::FpMul), 0.0);
+        // mcf is memory-heavy.
+        assert!(mcf.mem_fraction() > 0.2, "mcf mem {}", mcf.mem_fraction());
+        // gcc is branch-dense.
+        assert!(gcc.branch_fraction() > 0.2, "gcc br {}", gcc.branch_fraction());
+        // bzip2 has abundant dyadic convergence.
+        assert!(
+            bzip2.dyadic_converging as f64 / bzip2.total as f64 > 0.05,
+            "bzip2 dyadic {}",
+            bzip2.dyadic_converging
+        );
+    }
+
+    #[test]
+    fn phased_workloads_compose_models() {
+        let t = phased(&[Benchmark::Gzip, Benchmark::Mcf, Benchmark::Gcc], 1, 2_000);
+        assert!(t.len() >= 6_000);
+        t.validate().unwrap();
+        // Static footprint covers all three models (distinct PC ranges).
+        let stats = t.stats();
+        assert!(stats.static_insts > 30, "static {}", stats.static_insts);
+        // Phase boundary: the first mcf instruction has no dependence on
+        // gzip values (the barrier cleared bindings).
+        let first_mcf = t
+            .iter()
+            .find(|(_, inst)| inst.pc().raw() >= 0x7000 && inst.pc().raw() < 0x8000)
+            .map(|(i, _)| i)
+            .expect("mcf phase present");
+        assert_eq!(t[first_mcf].producers().count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_phases_panic() {
+        let _ = phased(&[], 1, 100);
+    }
+
+    #[test]
+    fn names_are_unique_and_display() {
+        let mut seen = std::collections::HashSet::new();
+        for b in Benchmark::ALL {
+            assert!(seen.insert(b.name()));
+            assert_eq!(b.to_string(), b.name());
+            assert!(!b.description().is_empty());
+        }
+        assert_eq!(Benchmark::ALL.len(), 12);
+    }
+}

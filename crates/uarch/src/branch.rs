@@ -1,0 +1,243 @@
+//! Branch direction predictors.
+//!
+//! The paper's front end uses a gshare predictor with 16 bits of global
+//! history (Table 1). A bimodal predictor and a trivial oracle are
+//! provided for comparison and for tests.
+
+use crate::counters::SaturatingCounter;
+use ccs_isa::Pc;
+
+/// A dynamic branch direction predictor.
+///
+/// The simulator calls [`predict`](Self::predict) when a conditional
+/// branch is fetched and [`update`](Self::update) with the resolved
+/// direction (speculative-history effects are not modelled; the trace is
+/// the correct path, matching the paper's trace-driven methodology).
+pub trait BranchPredictor {
+    /// Predicts the direction of the branch at `pc`.
+    fn predict(&mut self, pc: Pc) -> bool;
+
+    /// Trains the predictor with the branch's resolved direction.
+    fn update(&mut self, pc: Pc, taken: bool);
+
+    /// Resets all state to power-on values.
+    fn reset(&mut self);
+}
+
+/// gshare: a global-history predictor indexing a table of 2-bit counters
+/// with `history XOR pc`.
+#[derive(Debug, Clone)]
+pub struct Gshare {
+    table: Vec<SaturatingCounter>,
+    history: u64,
+    history_bits: u32,
+    mask: u64,
+}
+
+impl Gshare {
+    /// Creates a gshare predictor with `history_bits` bits of global
+    /// history and a table of `2^history_bits` 2-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is 0 or greater than 24 (a 24-bit table is
+    /// already 16M counters; the paper uses 16).
+    pub fn new(history_bits: u32) -> Self {
+        assert!(
+            (1..=24).contains(&history_bits),
+            "history bits must be in 1..=24"
+        );
+        let size = 1usize << history_bits;
+        Gshare {
+            table: vec![SaturatingCounter::bimodal2(); size],
+            history: 0,
+            history_bits,
+            mask: (size - 1) as u64,
+        }
+    }
+
+    fn index(&self, pc: Pc) -> usize {
+        (((pc.raw() >> 2) ^ self.history) & self.mask) as usize
+    }
+}
+
+impl BranchPredictor for Gshare {
+    fn predict(&mut self, pc: Pc) -> bool {
+        self.table[self.index(pc)].msb_set()
+    }
+
+    fn update(&mut self, pc: Pc, taken: bool) {
+        let idx = self.index(pc);
+        if taken {
+            self.table[idx].add(1);
+        } else {
+            self.table[idx].sub(1);
+        }
+        self.history = ((self.history << 1) | taken as u64) & self.mask;
+        let _ = self.history_bits;
+    }
+
+    fn reset(&mut self) {
+        for c in &mut self.table {
+            *c = SaturatingCounter::bimodal2();
+        }
+        self.history = 0;
+    }
+}
+
+/// Bimodal: a PC-indexed table of 2-bit counters with no history.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<SaturatingCounter>,
+    mask: u64,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `2^index_bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 24.
+    pub fn new(index_bits: u32) -> Self {
+        assert!(
+            (1..=24).contains(&index_bits),
+            "index bits must be in 1..=24"
+        );
+        let size = 1usize << index_bits;
+        Bimodal {
+            table: vec![SaturatingCounter::bimodal2(); size],
+            mask: (size - 1) as u64,
+        }
+    }
+
+    fn index(&self, pc: Pc) -> usize {
+        ((pc.raw() >> 2) & self.mask) as usize
+    }
+}
+
+impl BranchPredictor for Bimodal {
+    fn predict(&mut self, pc: Pc) -> bool {
+        self.table[self.index(pc)].msb_set()
+    }
+
+    fn update(&mut self, pc: Pc, taken: bool) {
+        let idx = self.index(pc);
+        if taken {
+            self.table[idx].add(1);
+        } else {
+            self.table[idx].sub(1);
+        }
+    }
+
+    fn reset(&mut self) {
+        for c in &mut self.table {
+            *c = SaturatingCounter::bimodal2();
+        }
+    }
+}
+
+/// A trivial predictor that always predicts taken. Useful as a worst-case
+/// baseline in tests and ablations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OracleTaken;
+
+impl BranchPredictor for OracleTaken {
+    fn predict(&mut self, _pc: Pc) -> bool {
+        true
+    }
+
+    fn update(&mut self, _pc: Pc, _taken: bool) {}
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accuracy<P: BranchPredictor>(p: &mut P, stream: &[(u64, bool)]) -> f64 {
+        let mut hits = 0;
+        for &(pc, taken) in stream {
+            let pc = Pc::new(pc);
+            if p.predict(pc) == taken {
+                hits += 1;
+            }
+            p.update(pc, taken);
+        }
+        hits as f64 / stream.len() as f64
+    }
+
+    #[test]
+    fn gshare_learns_constant_direction() {
+        let mut p = Gshare::new(12);
+        let stream: Vec<(u64, bool)> = (0..500).map(|_| (0x100, true)).collect();
+        assert!(accuracy(&mut p, &stream) > 0.95);
+    }
+
+    #[test]
+    fn gshare_learns_loop_exit_pattern() {
+        // taken,taken,taken,not — trip count 4; gshare history captures it.
+        let mut p = Gshare::new(12);
+        let stream: Vec<(u64, bool)> = (0..2000).map(|i| (0x200, i % 4 != 3)).collect();
+        let acc = accuracy(&mut p, &stream);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn bimodal_cannot_learn_alternation_but_gshare_can() {
+        let stream: Vec<(u64, bool)> = (0..2000).map(|i| (0x300, i % 2 == 0)).collect();
+        let mut b = Bimodal::new(12);
+        let mut g = Gshare::new(12);
+        let ba = accuracy(&mut b, &stream);
+        let ga = accuracy(&mut g, &stream);
+        assert!(ba < 0.7, "bimodal accuracy {ba}");
+        assert!(ga > 0.95, "gshare accuracy {ga}");
+    }
+
+    #[test]
+    fn random_branches_are_hard_for_everyone() {
+        // A deterministic pseudo-random direction stream.
+        let mut x: u64 = 0x12345;
+        let stream: Vec<(u64, bool)> = (0..4000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (0x400, (x >> 33) & 1 == 1)
+            })
+            .collect();
+        let mut g = Gshare::new(16);
+        let acc = accuracy(&mut g, &stream);
+        assert!(acc < 0.65, "accuracy {acc} should be near chance");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut g = Gshare::new(8);
+        for _ in 0..100 {
+            g.update(Pc::new(0x40), true);
+        }
+        assert!(g.predict(Pc::new(0x40)));
+        g.reset();
+        assert!(!g.predict(Pc::new(0x40)));
+    }
+
+    #[test]
+    fn oracle_taken_is_constant() {
+        let mut o = OracleTaken;
+        assert!(o.predict(Pc::new(0)));
+        o.update(Pc::new(0), false);
+        o.reset();
+        assert!(o.predict(Pc::new(0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn gshare_zero_bits_panics() {
+        let _ = Gshare::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bimodal_too_many_bits_panics() {
+        let _ = Bimodal::new(25);
+    }
+}

@@ -1,0 +1,205 @@
+//! Set-associative cache with LRU replacement.
+
+use ccs_isa::MemoryConfig;
+
+/// A set-associative, write-allocate cache model with true-LRU
+/// replacement. Tracks hit/miss only — the timing consequences (2-cycle
+/// L1, +20-cycle L2) are applied by the simulator.
+///
+/// ```
+/// use ccs_uarch::SetAssocCache;
+/// let mut c = SetAssocCache::new(1024, 2, 64); // 1 KB, 2-way, 64 B lines
+/// assert!(!c.access(0x0));
+/// assert!(c.access(0x3f));   // same line
+/// assert!(!c.access(0x40));  // next line
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    /// `sets[s]` holds up to `ways` tags, most recently used first.
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_shift: u32,
+    set_mask: u64,
+    accesses: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `size_bytes` with the given associativity and
+    /// line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size or set count is not a power of two, or if
+    /// the geometry is inconsistent (`size = sets × ways × line`).
+    pub fn new(size_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways >= 1, "need at least one way");
+        assert_eq!(size_bytes % (ways * line_bytes), 0, "inconsistent geometry");
+        let n_sets = size_bytes / (ways * line_bytes);
+        assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways); n_sets],
+            ways,
+            line_shift: line_bytes.trailing_zeros(),
+            set_mask: (n_sets - 1) as u64,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Creates the L1 described by a [`MemoryConfig`].
+    pub fn from_config(cfg: &MemoryConfig) -> Self {
+        Self::new(cfg.l1_bytes, cfg.l1_ways, cfg.l1_line_bytes)
+    }
+
+    /// Accesses `addr`, returning `true` on a hit. Misses allocate the
+    /// line (evicting LRU if the set is full).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line) {
+            // Move to MRU position.
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            true
+        } else {
+            self.misses += 1;
+            if ways.len() == self.ways {
+                ways.pop();
+            }
+            ways.insert(0, line);
+            false
+        }
+    }
+
+    /// Peeks whether `addr` would hit, without touching LRU state or
+    /// statistics.
+    pub fn would_hit(&self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        self.sets[set].contains(&line)
+    }
+
+    /// Total accesses so far.
+    #[inline]
+    pub const fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    #[inline]
+    pub const fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate over all accesses so far (0 if none).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Empties the cache and clears statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = SetAssocCache::new(1024, 2, 64);
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x13f)); // same 64B line as 0x100
+        assert_eq!(c.accesses(), 3);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // 2-way, map three lines to the same set: 1KB/2way/64B = 8 sets,
+        // so lines 0, 8, 16 all land in set 0.
+        let mut c = SetAssocCache::new(1024, 2, 64);
+        let a = 0u64; // line 0, set 0
+        let b = 8 * 64; // line 8, set 0
+        let d = 16 * 64; // line 16, set 0
+        assert!(!c.access(a));
+        assert!(!c.access(b));
+        assert!(c.access(a)); // a is now MRU
+        assert!(!c.access(d)); // evicts b (LRU)
+        assert!(c.access(a));
+        assert!(!c.access(b)); // b was evicted
+    }
+
+    #[test]
+    fn would_hit_does_not_mutate() {
+        let mut c = SetAssocCache::new(1024, 2, 64);
+        c.access(0x0);
+        assert!(c.would_hit(0x0));
+        assert!(!c.would_hit(0x40));
+        assert_eq!(c.accesses(), 1);
+    }
+
+    #[test]
+    fn sequential_stream_miss_rate_is_one_per_line() {
+        let mut c = SetAssocCache::new(32 * 1024, 4, 64);
+        for i in 0..4096u64 {
+            c.access(i * 8 % (1 << 14)); // 16 KB region, 8-byte stride
+        }
+        // 16 KB spans 256 lines; everything else hits.
+        assert_eq!(c.misses(), 256);
+    }
+
+    #[test]
+    fn giant_random_region_misses_often() {
+        let mut c = SetAssocCache::from_config(&MemoryConfig::default());
+        let mut x: u64 = 9;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            c.access(x % (64 << 20));
+        }
+        assert!(c.miss_rate() > 0.9, "miss rate {}", c.miss_rate());
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut c = SetAssocCache::new(1024, 2, 64);
+        c.access(0);
+        c.reset();
+        assert_eq!(c.accesses(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(!c.would_hit(0));
+        assert_eq!(c.miss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_line_panics() {
+        let _ = SetAssocCache::new(1024, 2, 48);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inconsistent_geometry_panics() {
+        let _ = SetAssocCache::new(1000, 3, 64);
+    }
+
+    #[test]
+    fn l1_from_config_has_128_sets() {
+        let c = SetAssocCache::from_config(&MemoryConfig::default());
+        assert_eq!(c.sets.len(), 128);
+    }
+}

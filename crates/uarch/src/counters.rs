@@ -1,0 +1,275 @@
+//! Saturating and probabilistic counters.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// An n-bit saturating counter with configurable training increments.
+///
+/// The Fields criticality predictor uses a 6-bit counter that increments
+/// by 8 when an instruction trains critical and decrements by 1 otherwise,
+/// predicting critical at a threshold of 8 (footnote 6 of the paper);
+/// branch direction predictors use the classic 2-bit configuration.
+///
+/// ```
+/// use ccs_uarch::SaturatingCounter;
+/// let mut c = SaturatingCounter::fields_criticality();
+/// assert!(!c.at_least(8));
+/// c.add(8);
+/// assert!(c.at_least(8));
+/// for _ in 0..7 { c.sub(1); }
+/// assert!(!c.at_least(8));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SaturatingCounter {
+    value: u32,
+    max: u32,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter saturating at `2^bits - 1`, starting at `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 31, or if `initial` exceeds
+    /// the maximum.
+    pub fn new(bits: u32, initial: u32) -> Self {
+        assert!((1..=31).contains(&bits), "bits must be in 1..=31");
+        let max = (1u32 << bits) - 1;
+        assert!(initial <= max, "initial value exceeds saturation maximum");
+        SaturatingCounter {
+            value: initial,
+            max,
+        }
+    }
+
+    /// The Fields criticality configuration: 6 bits, starting at zero.
+    /// Train with `add(8)` / `sub(1)`; predict critical with `at_least(8)`.
+    pub fn fields_criticality() -> Self {
+        Self::new(6, 0)
+    }
+
+    /// A 2-bit branch direction counter initialized weakly not-taken.
+    pub fn bimodal2() -> Self {
+        Self::new(2, 1)
+    }
+
+    /// Current value.
+    #[inline]
+    pub const fn value(&self) -> u32 {
+        self.value
+    }
+
+    /// Saturation maximum.
+    #[inline]
+    pub const fn max(&self) -> u32 {
+        self.max
+    }
+
+    /// Adds `n`, saturating at the maximum.
+    #[inline]
+    pub fn add(&mut self, n: u32) {
+        self.value = self.value.saturating_add(n).min(self.max);
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    #[inline]
+    pub fn sub(&mut self, n: u32) {
+        self.value = self.value.saturating_sub(n);
+    }
+
+    /// Whether the value is at least `threshold`.
+    #[inline]
+    pub const fn at_least(&self, threshold: u32) -> bool {
+        self.value >= threshold
+    }
+
+    /// Whether the counter's top bit is set — the conventional "taken"
+    /// reading of a direction counter.
+    #[inline]
+    pub const fn msb_set(&self) -> bool {
+        self.value > self.max / 2
+    }
+}
+
+/// A probabilistic counter after Riley & Zilles, *Probabilistic Counter
+/// Updates for Predictor Hysteresis and Bias* (CAL 2005), as used by the
+/// paper's 4-bit likelihood-of-criticality predictor (§7).
+///
+/// The counter holds `level ∈ 0..=max` and estimates the probability `p`
+/// of a boolean event stream using stochastic updates: a `true` event
+/// increments with probability `(max - level)/max`, a `false` event
+/// decrements with probability `level/max`. In steady state
+/// `E[level] = p · max`, so `level/max` is an unbiased estimate of `p`
+/// using only `bits` bits of storage — the paper stratifies LoC into 16
+/// levels with 4 bits, less storage than the 6-bit Fields counter.
+///
+/// ```
+/// use ccs_uarch::ProbabilisticCounter;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut c = ProbabilisticCounter::new(4);
+/// for i in 0..4000 {
+///     c.update(i % 4 == 0, &mut rng); // p = 0.25
+/// }
+/// let est = c.estimate();
+/// assert!((est - 0.25).abs() < 0.2, "estimate {est}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbabilisticCounter {
+    level: u32,
+    max: u32,
+}
+
+impl ProbabilisticCounter {
+    /// Creates a probabilistic counter with `bits` bits (so `2^bits`
+    /// levels, `max = 2^bits - 1`), starting at level 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+        ProbabilisticCounter {
+            level: 0,
+            max: (1u32 << bits) - 1,
+        }
+    }
+
+    /// The paper's configuration: 16 levels in 4 bits.
+    pub fn loc4() -> Self {
+        Self::new(4)
+    }
+
+    /// Current level in `0..=max`.
+    #[inline]
+    pub const fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Number of representable levels (`max + 1`).
+    #[inline]
+    pub const fn levels(&self) -> u32 {
+        self.max + 1
+    }
+
+    /// The estimated event probability, `level / max`.
+    #[inline]
+    pub fn estimate(&self) -> f64 {
+        self.level as f64 / self.max as f64
+    }
+
+    /// Trains on one event using a probabilistic update.
+    pub fn update<R: Rng + ?Sized>(&mut self, event: bool, rng: &mut R) {
+        if event {
+            if self.level < self.max {
+                let p = (self.max - self.level) as f64 / self.max as f64;
+                if rng.random_bool(p) {
+                    self.level += 1;
+                }
+            }
+        } else if self.level > 0 {
+            let p = self.level as f64 / self.max as f64;
+            if rng.random_bool(p) {
+                self.level -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn saturating_counter_saturates_both_ends() {
+        let mut c = SaturatingCounter::new(2, 0);
+        c.sub(5);
+        assert_eq!(c.value(), 0);
+        c.add(100);
+        assert_eq!(c.value(), 3);
+        assert_eq!(c.max(), 3);
+    }
+
+    #[test]
+    fn fields_configuration_thresholds() {
+        // 1-in-8 critical instances suffice to stay predicted-critical:
+        // +8 on the critical one, -1 on the other seven.
+        let mut c = SaturatingCounter::fields_criticality();
+        c.add(8);
+        for _ in 0..7 {
+            c.sub(1);
+        }
+        assert_eq!(c.value(), 1);
+        c.add(8);
+        assert!(c.at_least(8));
+    }
+
+    #[test]
+    fn bimodal_msb_semantics() {
+        let mut c = SaturatingCounter::bimodal2();
+        assert!(!c.msb_set()); // 1 of 3
+        c.add(1);
+        assert!(c.msb_set()); // 2 of 3
+        c.add(1);
+        assert!(c.msb_set()); // 3 of 3
+        c.sub(2);
+        assert!(!c.msb_set());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bits_panics() {
+        let _ = SaturatingCounter::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn initial_out_of_range_panics() {
+        let _ = SaturatingCounter::new(2, 4);
+    }
+
+    #[test]
+    fn probabilistic_counter_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &p in &[0.1, 0.5, 0.9] {
+            let mut c = ProbabilisticCounter::loc4();
+            // Long stream; average the level over the tail for a stable read.
+            let mut acc = 0u64;
+            let mut n = 0u64;
+            for i in 0..20_000 {
+                c.update(rng.random_bool(p), &mut rng);
+                if i >= 5_000 {
+                    acc += c.level() as u64;
+                    n += 1;
+                }
+            }
+            let est = acc as f64 / n as f64 / c.max as f64;
+            assert!((est - p).abs() < 0.08, "p={p} est={est}");
+        }
+    }
+
+    #[test]
+    fn probabilistic_counter_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = ProbabilisticCounter::new(2);
+        for _ in 0..1000 {
+            c.update(true, &mut rng);
+            assert!(c.level() <= c.max);
+        }
+        assert_eq!(c.level(), c.max);
+        for _ in 0..1000 {
+            c.update(false, &mut rng);
+        }
+        assert_eq!(c.level(), 0);
+        assert_eq!(c.levels(), 4);
+    }
+
+    #[test]
+    fn loc4_has_16_levels() {
+        let c = ProbabilisticCounter::loc4();
+        assert_eq!(c.levels(), 16);
+        assert_eq!(c.estimate(), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Microarchitectural substrate models.
+//!
+//! The hardware structures the clustered simulator is built from, each
+//! implemented from scratch:
+//!
+//! * [`SaturatingCounter`] — the n-bit hysteresis counters used throughout
+//!   (2-bit branch direction counters, the Fields 6-bit criticality
+//!   counter with asymmetric +8/−1 training).
+//! * [`ProbabilisticCounter`] — Riley & Zilles probabilistic counter
+//!   updates, used by the 4-bit/16-level likelihood-of-criticality
+//!   predictor (§7 of the paper).
+//! * [`Gshare`] (and [`Bimodal`], [`BranchPredictor`]) — the paper's
+//!   16-bit-history gshare front-end predictor.
+//! * [`SetAssocCache`] — the 32 KB 4-way L1 data cache with LRU
+//!   replacement, backed by an infinite 20-cycle L2.
+//!
+//! # Example
+//!
+//! ```
+//! use ccs_uarch::{BranchPredictor, Gshare, SetAssocCache};
+//! use ccs_isa::{MemoryConfig, Pc};
+//!
+//! let mut bp = Gshare::new(16);
+//! let pc = Pc::new(0x400);
+//! for _ in 0..64 {
+//!     let pred = bp.predict(pc);
+//!     bp.update(pc, true);
+//!     let _ = pred;
+//! }
+//! assert!(bp.predict(pc)); // learned always-taken
+//!
+//! let mut l1 = SetAssocCache::from_config(&MemoryConfig::default());
+//! assert!(!l1.access(0x1000)); // cold miss
+//! assert!(l1.access(0x1000));  // hit
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod cache;
+mod counters;
+
+pub use branch::{Bimodal, BranchPredictor, Gshare, OracleTaken};
+pub use cache::SetAssocCache;
+pub use counters::{ProbabilisticCounter, SaturatingCounter};

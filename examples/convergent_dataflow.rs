@@ -1,0 +1,72 @@
+//! Figure 3: convergent dataflow imposes a small but fundamental limit on
+//! clustered machines.
+//!
+//! Two load-headed chains converge at a dyadic `xor` feeding a branch
+//! (the `bzip2` kernel of Figure 3). On 1-wide clusters the best possible
+//! assignment pays one forwarding delay; with 2-wide clusters and one
+//! memory port there is a cycle of memory-port contention; a 4-wide
+//! cluster with two memory ports runs it at full speed.
+//!
+//! Run with `cargo run --release --example convergent_dataflow`.
+
+use clustercrit::isa::{ClusterLayout, MachineConfig};
+use clustercrit::listsched::{list_schedule, ListScheduleConfig};
+use clustercrit::sim::{policies::LeastLoaded, simulate};
+use clustercrit::trace::patterns::{ConvergentHammock, HammockConfig, RegAlloc};
+use clustercrit::trace::{BranchBehavior, TraceBuilder};
+use ccs_isa::Pc;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Build a trace of back-to-back Figure 3 hammocks.
+    let mut regs = RegAlloc::new();
+    let mut hammock = ConvergentHammock::new(
+        Pc::new(0x1000),
+        &mut regs,
+        HammockConfig {
+            arm_len: 2,
+            branch: BranchBehavior::NeverTaken, // perfectly predictable
+            region: 1 << 12,                    // L1-resident
+        },
+    );
+    let mut b = TraceBuilder::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..2_000 {
+        hammock.emit(&mut b, &mut rng);
+    }
+    let trace = b.finish();
+    println!(
+        "trace: {} instances of the Figure 3 hammock ({} instructions)",
+        2_000,
+        trace.len()
+    );
+
+    let mono_cfg = MachineConfig::micro05_baseline();
+    let mono = simulate(&mono_cfg, &trace, &mut LeastLoaded)?;
+
+    println!(
+        "\n{:>6} {:>12} {:>10} {:>22}",
+        "layout", "ideal CPI", "norm.", "cross-cluster values"
+    );
+    let base = list_schedule(&trace, &mono, &ListScheduleConfig::new(mono_cfg));
+    for layout in ClusterLayout::ALL {
+        let machine = mono_cfg.with_layout(layout);
+        let ideal = list_schedule(&trace, &mono, &ListScheduleConfig::new(machine));
+        println!(
+            "{:>6} {:>12.3} {:>10.3} {:>22}",
+            layout,
+            ideal.cpi(),
+            ideal.cycles as f64 / base.cycles as f64,
+            ideal.cross_cluster_values,
+        );
+    }
+
+    println!(
+        "\nEven the *idealized* scheduler pays a little on narrow clusters: \
+         convergence forces either a forwarding delay or contention (§2.2). \
+         The 2x4w layout (two memory ports per cluster) absorbs the kernel \
+         at nearly monolithic speed."
+    );
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Figures 12/13 / §6: proactive load balancing of divergent dataflow.
+//!
+//! The early-exit search loop of Figure 12 carries two loop-carried
+//! dependences (`addl` on the index, `lda` on the pointer); every
+//! iteration's compares and branches *diverge* from them. Dependence
+//! steering packs each divergence tree onto one cluster, serializing
+//! parallel work on 1-wide clusters. Worse, first-consumer-stays schemes
+//! evict the *loop-carried* consumer — the most critical one, and the
+//! last in fetch order (Figure 13a). Proactive load balancing pushes the
+//! non-critical consumers away and keeps the recurrence home.
+//!
+//! Run with `cargo run --release --example proactive_lb`.
+
+use clustercrit::core::{run_cell, PolicyKind, RunOptions};
+use clustercrit::critpath::{analyze_consumers, CostCategory};
+use clustercrit::isa::{ClusterLayout, MachineConfig};
+use clustercrit::trace::patterns::{DivergentLoop, DivergentLoopConfig, RegAlloc};
+use clustercrit::trace::TraceBuilder;
+use ccs_isa::Pc;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Dynamically unroll the Figure 12 loop.
+    let mut regs = RegAlloc::new();
+    let mut lp = DivergentLoop::new(
+        Pc::new(0x2000),
+        &mut regs,
+        DivergentLoopConfig {
+            exit_prob: 0.03,
+            trip: 48,
+            region: 1 << 14,
+        },
+    );
+    let mut b = TraceBuilder::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    while b.len() < 30_000 {
+        lp.emit(&mut b, &mut rng);
+    }
+    let trace = b.finish();
+
+    let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
+    let opts = RunOptions::default().with_epochs(3);
+
+    println!("Figure 12 early-exit scan on the 8x1w machine\n");
+    println!(
+        "{:>34} {:>8} {:>12} {:>12}",
+        "policy", "CPI", "contention", "fwd cycles"
+    );
+    let mut cells = Vec::new();
+    for kind in [
+        PolicyKind::Dependence,
+        PolicyKind::StallOverSteer,
+        PolicyKind::Proactive,
+    ] {
+        let cell = run_cell(&machine, &trace, kind, &opts)?;
+        println!(
+            "{:>34} {:>8.3} {:>12} {:>12}",
+            kind.name(),
+            cell.cpi(),
+            cell.analysis.breakdown.get(CostCategory::Contention),
+            cell.analysis.breakdown.get(CostCategory::FwdDelay),
+        );
+        cells.push(cell);
+    }
+
+    // The §6 dataflow statistics that make a learned scheme plausible.
+    let last = cells.last().expect("ran at least one policy");
+    let consumers = analyze_consumers(&trace, &last.result, &last.analysis.e_critical);
+    println!(
+        "\nconsumer statistics (§6): {:.0}% of values have a statically unique \
+         most-critical consumer; among critical multi-consumer values, \
+         {:.0}% do NOT have the most critical consumer first in fetch order; \
+         consumer MCC rates are {:.0}% bimodal.",
+        100.0 * consumers.unique_mcc_fraction,
+        100.0 * consumers.mcc_not_first_fraction,
+        100.0 * consumers.bimodality(),
+    );
+    println!(
+        "\nThe loop-carried update is the last consumer of its own value, so a \
+         first-consumer-stays scheme would exile it (Figure 13a); the \
+         most-critical-consumer override keeps it collocated (Figure 13b)."
+    );
+    Ok(())
+}

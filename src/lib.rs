@@ -1,0 +1,47 @@
+//! # clustercrit
+//!
+//! A reproduction of **Salverda & Zilles, "A Criticality Analysis of
+//! Clustering in Superscalar Processors" (MICRO 2005)** as a Rust
+//! workspace, re-exported here as a single facade.
+//!
+//! The workspace builds, from scratch:
+//!
+//! * a cycle-level clustered out-of-order superscalar timing simulator
+//!   ([`sim`]), configurable as the paper's `1x8w`, `2x4w`, `4x2w` and
+//!   `8x1w` machines ([`isa`]),
+//! * synthetic SPECint-like workload models exposing the dataflow shapes
+//!   the paper analyses ([`trace`]),
+//! * Fields-style critical-path analysis with exact cycle attribution
+//!   ([`critpath`]),
+//! * criticality and likelihood-of-criticality predictors
+//!   ([`predictors`]), built on branch predictors / caches / counters
+//!   ([`uarch`]),
+//! * the paper's policy ladder — focused steering, LoC scheduling,
+//!   stall-over-steer, proactive load balancing ([`core`]), and
+//! * the §2.2 idealized list scheduler ([`listsched`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use clustercrit::core::{run_cell, PolicyKind, RunOptions};
+//! use clustercrit::isa::{ClusterLayout, MachineConfig};
+//! use clustercrit::trace::Benchmark;
+//!
+//! let trace = Benchmark::Vpr.generate(1, 2_000);
+//! let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+//! let cell = run_cell(&machine, &trace, PolicyKind::Proactive, &RunOptions::default())?;
+//! println!("CPI {:.3}", cell.cpi());
+//! # Ok::<(), clustercrit::sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ccs_core as core;
+pub use ccs_critpath as critpath;
+pub use ccs_isa as isa;
+pub use ccs_listsched as listsched;
+pub use ccs_predictors as predictors;
+pub use ccs_sim as sim;
+pub use ccs_trace as trace;
+pub use ccs_uarch as uarch;

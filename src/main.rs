@@ -1,0 +1,265 @@
+//! The `clustercrit` command-line tool: run one (workload, machine,
+//! policy) cell and report timing, the critical-path breakdown, and the
+//! criticality analyses — without writing any code.
+//!
+//! ```console
+//! $ clustercrit list
+//! $ clustercrit simulate --bench vpr --layout 4x2w --policy stall
+//! $ clustercrit analyze --bench gzip --layout 8x1w --policy focused --len 50000
+//! $ clustercrit analyze --bench mcf --layout 8x1w --policy proactive --finite-l2
+//! ```
+
+use clustercrit::core::{run_cell, PolicyKind, RunOptions, TrainingSource};
+use clustercrit::critpath::{analyze_consumers, analyze_slack, CostCategory};
+use clustercrit::isa::{ClusterLayout, MachineConfig};
+use clustercrit::predictors::TokenDetector;
+use clustercrit::trace::Benchmark;
+use std::process::ExitCode;
+
+#[derive(Debug)]
+struct Args {
+    command: String,
+    bench: Benchmark,
+    layout: ClusterLayout,
+    policy: PolicyKind,
+    len: usize,
+    seed: u64,
+    epochs: u32,
+    fwd_latency: u32,
+    fwd_bandwidth: Option<u32>,
+    finite_l2: bool,
+    detector: bool,
+}
+
+fn usage() -> &'static str {
+    "clustercrit — criticality analysis of clustered superscalar processors\n\
+     \n\
+     USAGE:\n\
+       clustercrit list\n\
+       clustercrit simulate [OPTIONS]\n\
+       clustercrit analyze  [OPTIONS]\n\
+     \n\
+     OPTIONS:\n\
+       --bench <name>        workload model (default vpr; see `list`)\n\
+       --layout <name>       1x8w | 2x4w | 4x2w | 8x1w (default 4x2w)\n\
+       --policy <name>       dependence | focused | loc | stall | proactive\n\
+                             (default stall)\n\
+       --len <n>             dynamic instructions (default 20000)\n\
+       --seed <n>            workload seed (default 1)\n\
+       --epochs <n>          train/measure epochs (default 2)\n\
+       --fwd-latency <n>     inter-cluster forwarding cycles (default 2)\n\
+       --fwd-bandwidth <n>   broadcasts per cluster per cycle (default unlimited)\n\
+       --finite-l2           finite 512 KB L2 + 200-cycle memory\n\
+       --detector            train with the token-passing detector\n"
+}
+
+fn parse_bench(s: &str) -> Option<Benchmark> {
+    Benchmark::ALL.into_iter().find(|b| b.name() == s)
+}
+
+fn parse_layout(s: &str) -> Option<ClusterLayout> {
+    ClusterLayout::ALL.into_iter().find(|l| l.name() == s)
+}
+
+fn parse_policy(s: &str) -> Option<PolicyKind> {
+    match s {
+        "dependence" | "dep" => Some(PolicyKind::Dependence),
+        "focused" | "f" => Some(PolicyKind::Focused),
+        "loc" | "l" => Some(PolicyKind::FocusedLoc),
+        "stall" | "s" => Some(PolicyKind::StallOverSteer),
+        "proactive" | "p" => Some(PolicyKind::Proactive),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(|| usage().to_string())?;
+    let mut args = Args {
+        command,
+        bench: Benchmark::Vpr,
+        layout: ClusterLayout::C4x2w,
+        policy: PolicyKind::StallOverSteer,
+        len: 20_000,
+        seed: 1,
+        epochs: 2,
+        fwd_latency: 2,
+        fwd_bandwidth: None,
+        finite_l2: false,
+        detector: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            argv.next().ok_or(format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--bench" => {
+                let v = value("--bench")?;
+                args.bench = parse_bench(&v).ok_or(format!("unknown benchmark '{v}'"))?;
+            }
+            "--layout" => {
+                let v = value("--layout")?;
+                args.layout = parse_layout(&v).ok_or(format!("unknown layout '{v}'"))?;
+            }
+            "--policy" => {
+                let v = value("--policy")?;
+                args.policy = parse_policy(&v).ok_or(format!("unknown policy '{v}'"))?;
+            }
+            "--len" => args.len = value("--len")?.parse().map_err(|e| format!("--len: {e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--epochs" => {
+                args.epochs = value("--epochs")?.parse().map_err(|e| format!("--epochs: {e}"))?;
+            }
+            "--fwd-latency" => {
+                args.fwd_latency = value("--fwd-latency")?
+                    .parse()
+                    .map_err(|e| format!("--fwd-latency: {e}"))?;
+            }
+            "--fwd-bandwidth" => {
+                args.fwd_bandwidth = Some(
+                    value("--fwd-bandwidth")?
+                        .parse()
+                        .map_err(|e| format!("--fwd-bandwidth: {e}"))?,
+                );
+            }
+            "--finite-l2" => args.finite_l2 = true,
+            "--detector" => args.detector = true,
+            other => return Err(format!("unknown option '{other}'\n\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn list() {
+    println!("benchmarks:");
+    for b in Benchmark::ALL {
+        println!("  {:<8} {}", b.to_string(), b.description());
+    }
+    println!("\nlayouts:");
+    for l in ClusterLayout::ALL {
+        println!("  {l}");
+    }
+    println!("\npolicies:");
+    for (flag, kind) in [
+        ("dependence", PolicyKind::Dependence),
+        ("focused", PolicyKind::Focused),
+        ("loc", PolicyKind::FocusedLoc),
+        ("stall", PolicyKind::StallOverSteer),
+        ("proactive", PolicyKind::Proactive),
+    ] {
+        println!("  {flag:<12} {}", kind.name());
+    }
+}
+
+fn run(args: &Args, deep: bool) -> Result<(), String> {
+    let trace = args.bench.generate(args.seed, args.len);
+    let mut machine = MachineConfig::micro05_baseline()
+        .with_layout(args.layout)
+        .with_forward_latency(args.fwd_latency)
+        .with_forward_bandwidth(args.fwd_bandwidth);
+    if args.finite_l2 {
+        machine = machine.with_finite_l2();
+    }
+    let mut opts = RunOptions::default().with_epochs(args.epochs);
+    if args.detector {
+        opts.training = TrainingSource::TokenDetector(TokenDetector::default());
+    }
+
+    println!(
+        "workload {} ({} instructions), machine {}, policy {}\n",
+        args.bench,
+        trace.len(),
+        args.layout,
+        args.policy.name()
+    );
+    let cell = run_cell(&machine, &trace, args.policy, &opts).map_err(|e| e.to_string())?;
+    let r = &cell.result;
+    println!("cycles            {:>12}", r.cycles);
+    println!("CPI               {:>12.4}", cell.cpi());
+    println!("IPC               {:>12.4}", r.ipc());
+    println!("mispredict rate   {:>11.2}%", 100.0 * r.mispredict_rate());
+    println!("L1 miss rate      {:>11.2}%", 100.0 * r.l1_miss_rate());
+    println!("global values/inst{:>12.4}", r.global_values_per_inst());
+    println!("steer stalls      {:>12}", r.steer_stall_cycles);
+    let counts = r.per_cluster_counts();
+    println!("per-cluster insts {counts:?}");
+
+    println!("\ncritical-path breakdown (cycles, exact):");
+    for (cat, cycles) in cell.analysis.breakdown.iter() {
+        println!(
+            "  {:<14} {:>10}  ({:>5.1}%)",
+            cat.to_string(),
+            cycles,
+            100.0 * cycles as f64 / r.cycles.max(1) as f64
+        );
+    }
+
+    if deep {
+        let totals = cell.analysis.event_totals();
+        println!("\nlost-cycle events on the critical path:");
+        println!(
+            "  contention: {} on predicted-critical, {} other",
+            totals.contention_predicted_critical, totals.contention_other
+        );
+        println!(
+            "  forwarding: {} load-balance, {} dyadic, {} other",
+            totals.forwarding_load_balance, totals.forwarding_dyadic, totals.forwarding_other
+        );
+        let causes = r.steer_cause_counts();
+        println!(
+            "\nsteering causes: {} collocated, {} load-balanced, {} no-deps, \
+             {} proactive",
+            causes[1], causes[2], causes[3], causes[4]
+        );
+        let consumers = analyze_consumers(&trace, r, &cell.analysis.e_critical);
+        println!(
+            "\nconsumer statistics: {:.0}% unique MCC, {:.0}% MCC-not-first, {:.0}% bimodal",
+            100.0 * consumers.unique_mcc_fraction,
+            100.0 * consumers.mcc_not_first_fraction,
+            100.0 * consumers.bimodality()
+        );
+        let slack = analyze_slack(&trace, r);
+        println!(
+            "slack: {:.0}% zero-slack instructions, mean {:.1} cycles",
+            100.0 * slack.zero_slack_count() as f64 / trace.len().max(1) as f64,
+            slack.mean()
+        );
+        let clustering = cell.analysis.breakdown.get(CostCategory::FwdDelay)
+            + cell.analysis.breakdown.get(CostCategory::Contention);
+        println!(
+            "clustering penalty on the critical path: {:.1}% of runtime",
+            100.0 * clustering as f64 / r.cycles.max(1) as f64
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match args.command.as_str() {
+        "list" => {
+            list();
+            Ok(())
+        }
+        "simulate" => run(&args, false),
+        "analyze" => run(&args, true),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{}", usage())),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

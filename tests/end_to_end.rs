@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: trace generation → timing simulation →
+//! critical-path analysis → predictors → policies, on every machine
+//! layout.
+
+use clustercrit::core::{run_cell, PolicyKind, RunOptions};
+use clustercrit::critpath::{analyze, analyze_consumers, CostCategory};
+use clustercrit::isa::{ClusterLayout, MachineConfig};
+use clustercrit::listsched::{list_schedule, ListScheduleConfig};
+use clustercrit::sim::{policies::LeastLoaded, simulate, ReadyBound};
+use clustercrit::trace::Benchmark;
+
+const LEN: usize = 2_500;
+
+#[test]
+fn every_benchmark_runs_on_every_layout_under_every_policy() {
+    for bench in Benchmark::ALL {
+        let trace = bench.generate(1, LEN);
+        for layout in ClusterLayout::ALL {
+            let machine = MachineConfig::micro05_baseline().with_layout(layout);
+            for kind in [
+                PolicyKind::Dependence,
+                PolicyKind::Focused,
+                PolicyKind::FocusedLoc,
+                PolicyKind::StallOverSteer,
+                PolicyKind::Proactive,
+            ] {
+                let cell = run_cell(&machine, &trace, kind, &RunOptions::default())
+                    .unwrap_or_else(|e| panic!("{bench} {layout} {kind:?}: {e}"));
+                assert!(cell.cpi() > 0.1, "{bench} {layout} {kind:?}");
+                assert_eq!(
+                    cell.analysis.breakdown.total(),
+                    cell.result.cycles,
+                    "{bench} {layout} {kind:?}: attribution must be exact"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn monolithic_never_pays_clustering_penalties() {
+    for bench in [Benchmark::Vpr, Benchmark::Gzip, Benchmark::Mcf] {
+        let trace = bench.generate(2, LEN);
+        let machine = MachineConfig::micro05_baseline();
+        let cell = run_cell(&machine, &trace, PolicyKind::FocusedLoc, &RunOptions::default())
+            .unwrap();
+        assert_eq!(cell.analysis.breakdown.get(CostCategory::FwdDelay), 0);
+        assert_eq!(cell.result.global_values, 0);
+        for rec in &cell.result.records {
+            assert!(matches!(
+                rec.ready_bound,
+                ReadyBound::Dispatch | ReadyBound::Operand { fwd: 0, .. }
+            ));
+        }
+    }
+}
+
+#[test]
+fn clustered_cpi_dominates_monolithic_cpi() {
+    // No steering policy can make the clustered machine *faster* than the
+    // monolithic one by more than scheduling noise.
+    for bench in [Benchmark::Gap, Benchmark::Gcc] {
+        let trace = bench.generate(3, LEN);
+        let mono = run_cell(
+            &MachineConfig::micro05_baseline(),
+            &trace,
+            PolicyKind::FocusedLoc,
+            &RunOptions::default(),
+        )
+        .unwrap();
+        for layout in ClusterLayout::CLUSTERED {
+            let machine = MachineConfig::micro05_baseline().with_layout(layout);
+            let cell =
+                run_cell(&machine, &trace, PolicyKind::FocusedLoc, &RunOptions::default())
+                    .unwrap();
+            assert!(
+                cell.cpi() >= mono.cpi() * 0.99,
+                "{bench} {layout}: clustered {} vs mono {}",
+                cell.cpi(),
+                mono.cpi()
+            );
+        }
+    }
+}
+
+#[test]
+fn idealized_penalty_is_below_runtime_policy_penalty() {
+    // The paper's §2 argument: the *normalized* clustering penalty of the
+    // idealized schedule (Figure 2) is far below what runtime policies pay
+    // (Figure 4). Absolute spans are conservative (footnote 2: regions are
+    // barriers), so only the normalized comparison is meaningful.
+    for bench in [Benchmark::Vpr, Benchmark::Gzip] {
+        let trace = bench.generate(4, 6_000);
+        let mono_cfg = MachineConfig::micro05_baseline();
+        let mono = simulate(&mono_cfg, &trace, &mut LeastLoaded).unwrap();
+        let ideal_mono = list_schedule(&trace, &mono, &ListScheduleConfig::new(mono_cfg));
+        let mono_cell =
+            run_cell(&mono_cfg, &trace, PolicyKind::Focused, &RunOptions::default()).unwrap();
+        {
+            let layout = ClusterLayout::C8x1w;
+            let machine = mono_cfg.with_layout(layout);
+            let ideal = list_schedule(&trace, &mono, &ListScheduleConfig::new(machine));
+            let ideal_norm = ideal.cycles as f64 / ideal_mono.cycles as f64;
+            let cell =
+                run_cell(&machine, &trace, PolicyKind::Focused, &RunOptions::default()).unwrap();
+            let runtime_norm = cell.normalized_cpi(&mono_cell);
+            assert!(
+                ideal_norm < runtime_norm,
+                "{bench} {layout}: ideal penalty {ideal_norm:.3} vs focused {runtime_norm:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn critical_set_agrees_between_passes() {
+    // Re-analyzing the same result is deterministic and self-consistent.
+    let trace = Benchmark::Twolf.generate(5, LEN);
+    let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+    let cell = run_cell(&machine, &trace, PolicyKind::Focused, &RunOptions::default()).unwrap();
+    let again = analyze(&trace, &cell.result);
+    assert_eq!(cell.analysis.e_critical, again.e_critical);
+    assert_eq!(cell.analysis.breakdown, again.breakdown);
+    // Consumer analysis runs off the same artifacts.
+    let consumers = analyze_consumers(&trace, &cell.result, &again.e_critical);
+    assert!(consumers.values > 0);
+}
+
+#[test]
+fn policy_ladder_monotone_on_execute_critical_code() {
+    // gzip (serial chains) is the showcase: every ladder step should be at
+    // least as good as the previous on the 8-cluster machine.
+    let trace = Benchmark::Gzip.generate(1, 6_000);
+    let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
+    let opts = RunOptions::default().with_epochs(3);
+    let focused = run_cell(&machine, &trace, PolicyKind::Focused, &opts).unwrap();
+    let loc = run_cell(&machine, &trace, PolicyKind::FocusedLoc, &opts).unwrap();
+    let stall = run_cell(&machine, &trace, PolicyKind::StallOverSteer, &opts).unwrap();
+    assert!(loc.cpi() <= focused.cpi() * 1.02, "{} vs {}", loc.cpi(), focused.cpi());
+    assert!(stall.cpi() < loc.cpi(), "{} vs {}", stall.cpi(), loc.cpi());
+    // Stall-over-steer should approach monolithic performance on gzip.
+    let mono = run_cell(
+        &MachineConfig::micro05_baseline(),
+        &trace,
+        PolicyKind::FocusedLoc,
+        &opts,
+    )
+    .unwrap();
+    assert!(
+        stall.normalized_cpi(&mono) < 1.10,
+        "normalized {}",
+        stall.normalized_cpi(&mono)
+    );
+}
+
+#[test]
+fn forwarding_latency_scales_the_penalty() {
+    let trace = Benchmark::Gap.generate(6, LEN);
+    let mut cpis = Vec::new();
+    for latency in [1, 2, 4] {
+        let machine = MachineConfig::micro05_baseline()
+            .with_layout(ClusterLayout::C8x1w)
+            .with_forward_latency(latency);
+        let cell =
+            run_cell(&machine, &trace, PolicyKind::Focused, &RunOptions::default()).unwrap();
+        cpis.push(cell.cpi());
+    }
+    assert!(cpis[0] <= cpis[1] + 1e-9, "{cpis:?}");
+    assert!(cpis[1] <= cpis[2] + 1e-9, "{cpis:?}");
+}

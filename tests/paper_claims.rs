@@ -1,0 +1,145 @@
+//! The paper's headline quantitative claims, pinned as integration tests
+//! at moderate scale so regressions in any crate are caught as a broken
+//! *conclusion*, not just a broken unit.
+//!
+//! Each test names the claim it guards. Thresholds are looser than the
+//! reference-run numbers in EXPERIMENTS.md (smaller traces here), but
+//! tight enough that the paper's qualitative story cannot silently
+//! invert.
+
+use ccs_bench::figures;
+use ccs_bench::HarnessOptions;
+use ccs_core::PolicyKind;
+use ccs_isa::ClusterLayout;
+
+fn opts() -> HarnessOptions {
+    let mut o = HarnessOptions::smoke();
+    o.len = 4_000;
+    o
+}
+
+#[test]
+fn claim_1_idealized_clustering_is_nearly_free() {
+    // §2.2 / Figure 2: "all clustered configurations achieve average
+    // performance that is less than 2% slower than the 1x8w
+    // configuration" (we allow a few points of slack at this scale).
+    let f = figures::fig2(&opts());
+    assert!(f.average[0] < 1.05, "2x4w idealized {}", f.average[0]);
+    assert!(f.average[1] < 1.06, "4x2w idealized {}", f.average[1]);
+    assert!(f.average[2] < 1.08, "8x1w idealized {}", f.average[2]);
+}
+
+#[test]
+fn claim_2_focused_pays_an_order_of_magnitude_more() {
+    // §2.3 / Figure 4: focused steering loses ~an order of magnitude more
+    // than the idealized study, growing with cluster count.
+    let o = opts();
+    let ideal = figures::fig2(&o);
+    let focused = figures::fig4(&o);
+    for k in 0..3 {
+        let ideal_pen = ideal.average[k] - 1.0;
+        let focused_pen = focused.average[k] - 1.0;
+        assert!(
+            focused_pen > ideal_pen,
+            "layout {k}: focused {focused_pen:.3} vs ideal {ideal_pen:.3}"
+        );
+    }
+    // The 8-cluster machine suffers visibly.
+    assert!(focused.average[2] > 1.08, "8x1w focused {}", focused.average[2]);
+    // Penalty grows with cluster count.
+    assert!(focused.average[0] < focused.average[2]);
+}
+
+#[test]
+fn claim_3_contention_hits_predicted_critical_instructions() {
+    // §3 / Figure 6(a): critical contention predominantly hits
+    // instructions *correctly predicted* critical — ties, not predictor
+    // false negatives.
+    let f = figures::fig6(&opts());
+    assert!(
+        f.contention_critical_fraction() > 0.5,
+        "predicted-critical contention fraction {}",
+        f.contention_critical_fraction()
+    );
+}
+
+#[test]
+fn claim_4_load_balance_steering_dominates_critical_forwarding() {
+    // §3 / Figure 6(b).
+    let f = figures::fig6(&opts());
+    assert!(
+        f.forwarding_load_balance_fraction() > 0.5,
+        "load-balance forwarding fraction {}",
+        f.forwarding_load_balance_fraction()
+    );
+}
+
+#[test]
+fn claim_5_loc_spectrum_is_wide_with_mass_at_zero() {
+    // §4 / Figure 8.
+    let f = figures::fig8(&opts());
+    assert!(f.distribution.percent(0) > 20.0);
+    let above = f.distribution.percent_binary_critical();
+    assert!((5.0..85.0).contains(&above), "binary-critical {above}%");
+}
+
+#[test]
+fn claim_6_the_policy_ladder_recovers_most_of_the_penalty() {
+    // §7 / Figure 14: the three policies cut the clustering penalty
+    // substantially on every configuration (paper: 42/57/66%).
+    let f = figures::fig14(&opts());
+    for layout in ClusterLayout::CLUSTERED {
+        let cut = f.penalty_reduction(layout);
+        assert!(cut > 0.25, "{layout}: penalty cut {cut:.2}");
+        let focused = f.average(layout, PolicyKind::Focused);
+        let best = f.average(layout, PolicyKind::best_for(layout.clusters()));
+        assert!(best < focused, "{layout}: {best} !< {focused}");
+    }
+    // Final configurations land within ~8% of the monolithic machine
+    // (paper: 2/4/6%).
+    let final_8 = f.average(
+        ClusterLayout::C8x1w,
+        PolicyKind::best_for(8),
+    );
+    assert!(final_8 < 1.09, "8x1w final {final_8}");
+}
+
+#[test]
+fn claim_7_loc_knowledge_is_almost_as_good_as_exact() {
+    // §4: replacing the list scheduler's exact knowledge with LoC barely
+    // hurts; binary criticality hurts more on the narrow machine.
+    let s = figures::sec4_listsched(&opts());
+    let (_, n8) = (&s.rows[2].0, s.rows[2].1);
+    let exact = n8[0];
+    let loc = n8[1];
+    let binary = n8[2];
+    assert!(loc - exact < 0.05, "LoC {loc:.3} vs exact {exact:.3}");
+    assert!(
+        binary >= loc - 0.01,
+        "binary {binary:.3} should not beat LoC {loc:.3}"
+    );
+}
+
+#[test]
+fn claim_8_most_critical_consumers_are_statically_predictable() {
+    // §6: ~80% of values have a statically unique most-critical consumer;
+    // >50% of critical multi-consumer values don't have it first.
+    let s = figures::sec6_consumers(&opts());
+    assert!(s.average_unique() > 0.6, "unique {}", s.average_unique());
+    assert!(
+        s.average_not_first() > 0.3,
+        "not-first {}",
+        s.average_not_first()
+    );
+}
+
+#[test]
+fn claim_9_available_ilp_near_width_is_hard_to_achieve() {
+    // §7 / Figure 15.
+    let f = figures::fig15(&opts());
+    let at_1 = f.census.achieved_at(1).expect("ILP-1 cycles");
+    assert!(at_1 > 0.9, "achieved at available=1: {at_1}");
+    if let Some(at_8) = f.census.achieved_at(8) {
+        assert!(at_8 < 7.2, "achieved at available=8: {at_8}");
+    }
+}

@@ -1,0 +1,293 @@
+//! Property-based tests: random traces and configurations must preserve
+//! the simulator's and analyses' core invariants.
+
+use clustercrit::critpath::analyze;
+use clustercrit::isa::{
+    ArchReg, BranchInfo, ClusterLayout, MachineConfig, OpClass, Pc, StaticInst,
+};
+use clustercrit::sim::{
+    policies::{LeastLoaded, RoundRobin},
+    simulate, SteeringPolicy,
+};
+use clustercrit::trace::{Trace, TraceBuilder};
+use proptest::prelude::*;
+
+/// A generated instruction blueprint: op class + small operand indices.
+#[derive(Debug, Clone)]
+struct InstSpec {
+    op_sel: u8,
+    src1: Option<u8>,
+    src2: Option<u8>,
+    dst: u8,
+    addr: u32,
+    taken: bool,
+    pc_slot: u8,
+}
+
+fn inst_spec() -> impl Strategy<Value = InstSpec> {
+    (
+        0u8..6,
+        proptest::option::of(0u8..16),
+        proptest::option::of(0u8..16),
+        0u8..16,
+        any::<u32>(),
+        any::<bool>(),
+        0u8..32,
+    )
+        .prop_map(|(op_sel, src1, src2, dst, addr, taken, pc_slot)| InstSpec {
+            op_sel,
+            src1,
+            src2,
+            dst,
+            addr,
+            taken,
+            pc_slot,
+        })
+}
+
+/// Materializes blueprints into a well-formed trace.
+fn build_trace(specs: &[InstSpec]) -> Trace {
+    let mut b = TraceBuilder::new();
+    for s in specs {
+        let pc = Pc::new(0x1000 + 4 * s.pc_slot as u64);
+        let reg = |n: u8| ArchReg::int(1 + (n % 30) as u16);
+        let srcs = [s.src1.map(reg), s.src2.map(reg)];
+        match s.op_sel {
+            0 | 1 => {
+                // Integer ALU with 0-2 sources.
+                b.push_simple(
+                    StaticInst::new(pc, OpClass::IntAlu)
+                        .with_srcs(srcs)
+                        .with_dst(reg(s.dst)),
+                );
+            }
+            2 => {
+                b.push_mem(
+                    StaticInst::new(pc, OpClass::Load)
+                        .with_srcs(srcs)
+                        .with_dst(reg(s.dst)),
+                    s.addr as u64,
+                );
+            }
+            3 => {
+                b.push_mem(
+                    StaticInst::new(pc, OpClass::Store).with_srcs(srcs),
+                    s.addr as u64,
+                );
+            }
+            4 => {
+                b.push_branch(
+                    StaticInst::new(pc, OpClass::Branch).with_srcs(srcs),
+                    BranchInfo::conditional(s.taken),
+                );
+            }
+            _ => {
+                b.push_simple(
+                    StaticInst::new(pc, OpClass::FpMul)
+                        .with_srcs(srcs)
+                        .with_dst(ArchReg::fp((s.dst % 30) as u16)),
+                );
+            }
+        }
+    }
+    b.finish()
+}
+
+fn any_layout() -> impl Strategy<Value = ClusterLayout> {
+    prop_oneof![
+        Just(ClusterLayout::C1x8w),
+        Just(ClusterLayout::C2x4w),
+        Just(ClusterLayout::C4x2w),
+        Just(ClusterLayout::C8x1w),
+    ]
+}
+
+fn check_invariants(trace: &Trace, layout: ClusterLayout, policy: &mut dyn SteeringPolicy) {
+    let cfg = MachineConfig::micro05_baseline().with_layout(layout);
+    let result = simulate(&cfg, trace, policy).expect("baseline policies never deadlock");
+
+    // Event ordering per instruction.
+    for (i, rec) in result.records.iter().enumerate() {
+        assert!(rec.fetch + 13 <= rec.dispatch, "inst {i}");
+        assert!(rec.dispatch < rec.ready, "inst {i}");
+        assert!(rec.ready <= rec.issue, "inst {i}");
+        assert!(rec.issue < rec.complete, "inst {i}");
+        assert!(rec.complete < rec.commit, "inst {i}");
+        assert!((rec.cluster as usize) < cfg.cluster_count(), "inst {i}");
+    }
+    // In-order dispatch and commit.
+    for w in result.records.windows(2) {
+        assert!(w[0].dispatch <= w[1].dispatch);
+        assert!(w[0].commit <= w[1].commit);
+    }
+    // Dataflow respected, including forwarding.
+    for (i, inst) in trace.iter() {
+        for p in inst.producers() {
+            let pr = &result.records[p.index()];
+            let cr = &result.records[i.index()];
+            let fwd = cfg.forwarding_between(pr.cluster as usize, cr.cluster as usize);
+            assert!(
+                cr.issue >= pr.complete + fwd as u64,
+                "inst {i} used operand from {p} too early"
+            );
+        }
+    }
+    // Exact critical-path attribution.
+    let analysis = analyze(trace, &result);
+    assert_eq!(analysis.breakdown.total(), result.cycles);
+    // The last instruction's execute node is always critical... only when
+    // its commit is complete-bound; weaker invariant: some instruction is
+    // E-critical for non-empty traces.
+    if !trace.is_empty() {
+        assert!(analysis.critical_count() >= 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_traces_respect_invariants(
+        specs in proptest::collection::vec(inst_spec(), 1..200),
+        layout in any_layout(),
+        round_robin in any::<bool>(),
+    ) {
+        let trace = build_trace(&specs);
+        trace.validate().unwrap();
+        if round_robin {
+            check_invariants(&trace, layout, &mut RoundRobin::default());
+        } else {
+            check_invariants(&trace, layout, &mut LeastLoaded);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        specs in proptest::collection::vec(inst_spec(), 1..120),
+        layout in any_layout(),
+    ) {
+        let trace = build_trace(&specs);
+        let cfg = MachineConfig::micro05_baseline().with_layout(layout);
+        let a = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let b = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn cycles_scale_sanely_with_trace_length(
+        specs in proptest::collection::vec(inst_spec(), 8..150),
+    ) {
+        let trace = build_trace(&specs);
+        let cfg = MachineConfig::micro05_baseline();
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        // Lower bound: pipeline depth. Upper bound: worst case fully
+        // serial L2-missing loads plus mispredict refills.
+        prop_assert!(result.cycles >= 14);
+        prop_assert!(result.cycles <= 64 * trace.len() as u64 + 100);
+    }
+
+    #[test]
+    fn trace_builder_dependences_point_backwards(
+        specs in proptest::collection::vec(inst_spec(), 0..300),
+    ) {
+        let trace = build_trace(&specs);
+        prop_assert!(trace.validate().is_ok());
+        for (i, inst) in trace.iter() {
+            for p in inst.producers() {
+                prop_assert!(p.index() < i.index());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// List-scheduler legality: the idealized schedule must itself respect the
+// machine's constraints within every region.
+// ---------------------------------------------------------------------------
+
+mod listsched_legality {
+    use super::*;
+    use clustercrit::isa::PortKind;
+    use clustercrit::listsched::{list_schedule, ListScheduleConfig};
+    use std::collections::HashMap;
+
+    fn check_schedule_legality(trace: &Trace, layout: ClusterLayout) {
+        let mono_cfg = MachineConfig::micro05_baseline();
+        let mono = simulate(&mono_cfg, trace, &mut LeastLoaded).unwrap();
+        let machine = mono_cfg.with_layout(layout);
+        let r = list_schedule(
+            trace,
+            &mono,
+            &ListScheduleConfig::new(machine).with_placements(),
+        );
+        let placements = r.placements.as_ref().expect("placements recorded");
+        assert_eq!(placements.len(), trace.len());
+
+        // Per (region, cycle, cluster): width and port usage.
+        let mut width: HashMap<(u32, u64, u32), usize> = HashMap::new();
+        let mut ports: HashMap<(u32, u64, u32, u8), usize> = HashMap::new();
+        for (i, p) in placements.iter().enumerate() {
+            assert!((p.cluster as usize) < machine.cluster_count());
+            assert!(p.finish > p.issue, "inst {i} has zero latency");
+            *width.entry((p.region, p.issue, p.cluster)).or_insert(0) += 1;
+            let kind = match trace.as_slice()[i].op().port() {
+                PortKind::Int => 0u8,
+                PortKind::Fp => 1,
+                PortKind::Mem => 2,
+            };
+            *ports
+                .entry((p.region, p.issue, p.cluster, kind))
+                .or_insert(0) += 1;
+        }
+        for (&(_, _, _), &w) in &width {
+            assert!(w <= machine.cluster.issue_width, "width violated: {w}");
+        }
+        for (&(_, _, _, kind), &u) in &ports {
+            let cap = match kind {
+                0 => machine.cluster.int_ports,
+                1 => machine.cluster.fp_ports,
+                _ => machine.cluster.mem_ports,
+            };
+            assert!(u <= cap, "port {kind} violated: {u} > {cap}");
+        }
+        // Dataflow + forwarding within regions.
+        for (i, inst) in trace.iter() {
+            let pi = &placements[i.index()];
+            for d in inst.producers() {
+                let pd = &placements[d.index()];
+                if pd.region != pi.region {
+                    continue; // regions are barriers
+                }
+                let fwd = machine.forwarding_between(pd.cluster as usize, pi.cluster as usize);
+                assert!(
+                    pi.issue >= pd.finish + fwd as u64,
+                    "inst {i} issued before operand from {d} was visible"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn idealized_schedules_are_legal(
+            specs in proptest::collection::vec(super::inst_spec(), 8..250),
+            layout in super::any_layout(),
+        ) {
+            let trace = super::build_trace(&specs);
+            check_schedule_legality(&trace, layout);
+        }
+    }
+
+    #[test]
+    fn benchmark_schedules_are_legal() {
+        use clustercrit::trace::Benchmark;
+        for bench in [Benchmark::Vpr, Benchmark::Mcf] {
+            let trace = bench.generate(1, 2_000);
+            check_schedule_legality(&trace, ClusterLayout::C8x1w);
+            check_schedule_legality(&trace, ClusterLayout::C2x4w);
+        }
+    }
+}
