@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the parallel grid executor and the shared
+//! trace cache: cells/sec serial vs parallel, and trace fetch cost on a
+//! cache hit vs a cold generation.
+//!
+//! The parallel/serial pair quantifies the `all_figures` speed-up; the
+//! trace-store pair quantifies what memoizing workload generation saves
+//! every figure after the first.
+
+use ccs_core::{run_grid, GridRequest, PolicyKind};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_trace::{Benchmark, TraceStore};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+const N: usize = 4_000;
+
+fn grid_specs() -> Vec<ccs_core::CellSpec> {
+    GridRequest::new(MachineConfig::micro05_baseline(), N)
+        .benchmarks([
+            Benchmark::Vpr,
+            Benchmark::Gzip,
+            Benchmark::Mcf,
+            Benchmark::Gcc,
+        ])
+        .layouts([
+            ClusterLayout::C2x4w,
+            ClusterLayout::C4x2w,
+            ClusterLayout::C8x1w,
+        ])
+        .policies([PolicyKind::Focused])
+        .build()
+}
+
+fn bench_grid_throughput(c: &mut Criterion) {
+    let specs = grid_specs();
+    // Warm the global trace store so both variants measure pure
+    // simulation throughput, not first-touch generation.
+    for spec in &specs {
+        TraceStore::global().get(spec.benchmark, spec.sample_seed, spec.len);
+    }
+    let threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let mut g = c.benchmark_group("grid-throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(specs.len() as u64));
+    g.bench_function("serial", |b| {
+        b.iter(|| run_grid(black_box(&specs), 1));
+    });
+    g.bench_function(format!("parallel-{threads}t"), |b| {
+        b.iter(|| run_grid(black_box(&specs), threads));
+    });
+    g.finish();
+}
+
+fn bench_trace_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace-store");
+    g.throughput(Throughput::Elements(1));
+    let warm = TraceStore::new();
+    warm.get(Benchmark::Vpr, 1, N);
+    g.bench_function("hit", |b| {
+        b.iter(|| warm.get(black_box(Benchmark::Vpr), 1, N));
+    });
+    g.sample_size(10);
+    g.bench_function("cold", |b| {
+        b.iter_batched(
+            TraceStore::new,
+            |store| store.get(black_box(Benchmark::Vpr), 1, N),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_grid_throughput, bench_trace_store);
+criterion_main!(benches);

@@ -1,9 +1,16 @@
 //! Regenerates every table and figure of the paper, in order.
 use ccs_bench::{figures, HarnessOptions};
+use ccs_trace::TraceStore;
+use std::time::Instant;
 
 fn main() {
-    let opts = HarnessOptions::from_env();
-    println!("clustercrit — full reproduction run ({opts:?})\n");
+    let opts = HarnessOptions::from_env_and_args();
+    println!(
+        "clustercrit — full reproduction run ({opts:?}, {} grid workers)\n",
+        opts.effective_threads()
+    );
+    let start = Instant::now();
+    let cells_before = ccs_core::cells_run();
     let sep = "=".repeat(78);
     println!("{sep}\n{}", figures::tab1());
     println!("{sep}\n{}", figures::fig2(&opts));
@@ -25,4 +32,20 @@ fn main() {
     println!("{sep}\n{}", figures::ablate_interconnect(&opts));
     println!("{sep}\n{}", figures::ablate_proactive(&opts));
     println!("{sep}\n{}", figures::ablate_window(&opts));
+
+    let elapsed = start.elapsed();
+    let cells = ccs_core::cells_run() - cells_before;
+    let store = TraceStore::global();
+    println!("{sep}");
+    println!(
+        "total wall-clock: {:.2}s on {} threads — {} grid cells ({:.1} cells/sec), \
+         trace cache: {} traces, {} hits / {} misses",
+        elapsed.as_secs_f64(),
+        opts.effective_threads(),
+        cells,
+        cells as f64 / elapsed.as_secs_f64().max(1e-9),
+        store.len(),
+        store.hits(),
+        store.misses(),
+    );
 }

@@ -4,9 +4,9 @@
 //! policies around the paper's chosen design point, quantifying how
 //! sensitive the results are to it.
 
-use super::{mean, trace_for};
+use super::mean;
 use crate::{HarnessOptions, TextTable};
-use ccs_core::{run_cell, run_custom, LocMode, PolicyKind, RunOptions};
+use ccs_core::{run_grid, CellResult, CellSpec, LocMode, PolicyKind, RunOptions};
 use ccs_isa::{ClusterLayout, MachineConfig};
 use ccs_trace::Benchmark;
 use std::fmt;
@@ -21,15 +21,26 @@ const SWEEP_BENCHES: [Benchmark; 5] = [
     Benchmark::Vortex,
 ];
 
-fn mono_reference(trace: &ccs_trace::Trace, run_opts: &RunOptions) -> f64 {
-    run_cell(
-        &MachineConfig::micro05_baseline(),
-        trace,
-        PolicyKind::FocusedLoc,
-        run_opts,
-    )
-    .expect("monolithic reference")
-    .cpi()
+/// One monolithic-FocusedLoc normalization cell per sweep benchmark.
+fn mono_reference_specs(opts: &HarnessOptions, run_opts: RunOptions) -> Vec<CellSpec> {
+    SWEEP_BENCHES
+        .iter()
+        .map(|&b| {
+            CellSpec::new(
+                MachineConfig::micro05_baseline(),
+                b,
+                opts.seed,
+                opts.len,
+                PolicyKind::FocusedLoc,
+                run_opts,
+            )
+        })
+        .collect()
+}
+
+/// Average of `cells[i].cpi() / monos[i]` over the sweep set.
+fn mean_normalized(cells: &[CellResult], monos: &[f64]) -> f64 {
+    mean(cells.iter().zip(monos).map(|(c, &m)| c.cpi() / m))
 }
 
 /// Stall-over-steer threshold sweep (§5: the paper picks 30%).
@@ -39,32 +50,41 @@ pub struct StallThresholdAblation {
     pub rows: Vec<(f64, [f64; 3])>,
 }
 
-/// Sweeps the stall-over-steer LoC threshold.
+/// Sweeps the stall-over-steer LoC threshold on the grid executor.
 pub fn ablate_stall_threshold(opts: &HarnessOptions) -> StallThresholdAblation {
     let run_opts = opts.run_options();
     let base_cfg = MachineConfig::micro05_baseline();
     let thresholds = [0.05, 0.15, 0.30, 0.50, 0.70, 0.95];
-    let preps: Vec<_> = SWEEP_BENCHES
-        .iter()
-        .map(|&b| {
-            let trace = trace_for(b, opts);
-            let mono = mono_reference(&trace, &run_opts);
-            (trace, mono)
-        })
-        .collect();
-    let mut rows = Vec::new();
+    let mut specs = mono_reference_specs(opts, run_opts);
     for &th in &thresholds {
         let mut cfg = PolicyKind::StallOverSteer.config();
         cfg.stall_threshold = Some(th);
-        let mut norms = [0.0; 3];
-        for (k, layout) in ClusterLayout::CLUSTERED.into_iter().enumerate() {
+        for layout in ClusterLayout::CLUSTERED {
             let machine = base_cfg.with_layout(layout);
-            norms[k] = mean(preps.iter().map(|(trace, mono)| {
-                run_custom(&machine, trace, cfg, PolicyKind::StallOverSteer, &run_opts)
-                    .expect("sweep cell")
-                    .cpi()
-                    / mono
-            }));
+            for &b in &SWEEP_BENCHES {
+                specs.push(
+                    CellSpec::new(
+                        machine,
+                        b,
+                        opts.seed,
+                        opts.len,
+                        PolicyKind::StallOverSteer,
+                        run_opts,
+                    )
+                    .with_policy_config(cfg),
+                );
+            }
+        }
+    }
+    let results = run_grid(&specs, opts.effective_threads());
+    let (monos, cells) = results.split_at(SWEEP_BENCHES.len());
+    let monos: Vec<f64> = monos.iter().map(CellResult::cpi).collect();
+    let mut groups = cells.chunks(SWEEP_BENCHES.len());
+    let mut rows = Vec::new();
+    for &th in &thresholds {
+        let mut norms = [0.0; 3];
+        for norm in norms.iter_mut() {
+            *norm = mean_normalized(groups.next().expect("sweep group"), &monos);
         }
         rows.push((th, norms));
     }
@@ -118,27 +138,28 @@ pub fn ablate_loc_levels(opts: &HarnessOptions) -> LocLevelsAblation {
         ("2-bit (4 levels)", LocMode::QuantizedBits(2)),
         ("1-bit (2 levels)", LocMode::QuantizedBits(1)),
     ];
-    let preps: Vec<_> = SWEEP_BENCHES
-        .iter()
-        .map(|&b| {
-            let trace = trace_for(b, opts);
-            let mono = mono_reference(&trace, &opts.run_options());
-            (trace, mono)
-        })
-        .collect();
+    let mut specs = mono_reference_specs(opts, opts.run_options());
+    for (_, mode) in modes {
+        let mut run_opts = opts.run_options();
+        run_opts.loc_mode = mode;
+        for &b in &SWEEP_BENCHES {
+            specs.push(CellSpec::new(
+                machine,
+                b,
+                opts.seed,
+                opts.len,
+                PolicyKind::StallOverSteer,
+                run_opts,
+            ));
+        }
+    }
+    let results = run_grid(&specs, opts.effective_threads());
+    let (monos, cells) = results.split_at(SWEEP_BENCHES.len());
+    let monos: Vec<f64> = monos.iter().map(CellResult::cpi).collect();
     let rows = modes
         .into_iter()
-        .map(|(label, mode)| {
-            let mut run_opts = opts.run_options();
-            run_opts.loc_mode = mode;
-            let avg = mean(preps.iter().map(|(trace, mono)| {
-                run_cell(&machine, trace, PolicyKind::StallOverSteer, &run_opts)
-                    .expect("loc-level cell")
-                    .cpi()
-                    / mono
-            }));
-            (label, avg)
-        })
+        .zip(cells.chunks(SWEEP_BENCHES.len()))
+        .map(|((label, _), group)| (label, mean_normalized(group, &monos)))
         .collect();
     LocLevelsAblation { rows }
 }
@@ -170,14 +191,20 @@ pub fn ablate_interconnect(opts: &HarnessOptions) -> InterconnectAblation {
     let run_opts = opts.run_options();
     let base_cfg = MachineConfig::micro05_baseline();
     let bandwidths = [Some(1u32), Some(2), Some(4), None];
-    let preps: Vec<_> = SWEEP_BENCHES
-        .iter()
-        .map(|&b| {
-            let trace = trace_for(b, opts);
-            let mono = mono_reference(&trace, &run_opts);
-            (trace, mono)
-        })
-        .collect();
+    let mut specs = mono_reference_specs(opts, run_opts);
+    for bw in bandwidths {
+        for layout in ClusterLayout::CLUSTERED {
+            let machine = base_cfg.with_layout(layout).with_forward_bandwidth(bw);
+            let kind = PolicyKind::best_for(layout.clusters());
+            for &b in &SWEEP_BENCHES {
+                specs.push(CellSpec::new(machine, b, opts.seed, opts.len, kind, run_opts));
+            }
+        }
+    }
+    let results = run_grid(&specs, opts.effective_threads());
+    let (monos, cells) = results.split_at(SWEEP_BENCHES.len());
+    let monos: Vec<f64> = monos.iter().map(CellResult::cpi).collect();
+    let mut groups = cells.chunks(SWEEP_BENCHES.len());
     let mut rows = Vec::new();
     for bw in bandwidths {
         let label = match bw {
@@ -185,15 +212,8 @@ pub fn ablate_interconnect(opts: &HarnessOptions) -> InterconnectAblation {
             None => "unlimited".to_string(),
         };
         let mut norms = [0.0; 3];
-        for (k, layout) in ClusterLayout::CLUSTERED.into_iter().enumerate() {
-            let machine = base_cfg.with_layout(layout).with_forward_bandwidth(bw);
-            let kind = PolicyKind::best_for(layout.clusters());
-            norms[k] = mean(preps.iter().map(|(trace, mono)| {
-                run_cell(&machine, trace, kind, &run_opts)
-                    .expect("interconnect cell")
-                    .cpi()
-                    / mono
-            }));
+        for norm in norms.iter_mut() {
+            *norm = mean_normalized(groups.next().expect("interconnect group"), &monos);
         }
         rows.push((label, norms));
     }
@@ -243,31 +263,39 @@ pub struct ProactiveAblation {
 pub fn ablate_proactive(opts: &HarnessOptions) -> ProactiveAblation {
     let run_opts = opts.run_options();
     let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
-    let preps: Vec<_> = SWEEP_BENCHES
+    let points: Vec<(f64, f64)> = [0.0, 0.05, 0.20]
         .iter()
-        .map(|&b| {
-            let trace = trace_for(b, opts);
-            let mono = mono_reference(&trace, &run_opts);
-            (trace, mono)
-        })
+        .flat_map(|&min_loc| [0.25, 0.5, 1.0].iter().map(move |&frac| (min_loc, frac)))
         .collect();
-    let mut rows = Vec::new();
-    for &min_loc in &[0.0, 0.05, 0.20] {
-        for &frac in &[0.25, 0.5, 1.0] {
-            let mut cfg = PolicyKind::Proactive.config();
-            cfg.proactive = Some(ccs_core::ProactiveConfig {
-                min_loc_override: min_loc,
-                producer_fraction: frac,
-            });
-            let avg = mean(preps.iter().map(|(trace, mono)| {
-                run_custom(&machine, trace, cfg, PolicyKind::Proactive, &run_opts)
-                    .expect("proactive cell")
-                    .cpi()
-                    / mono
-            }));
-            rows.push((min_loc, frac, avg));
+    let mut specs = mono_reference_specs(opts, run_opts);
+    for &(min_loc, frac) in &points {
+        let mut cfg = PolicyKind::Proactive.config();
+        cfg.proactive = Some(ccs_core::ProactiveConfig {
+            min_loc_override: min_loc,
+            producer_fraction: frac,
+        });
+        for &b in &SWEEP_BENCHES {
+            specs.push(
+                CellSpec::new(
+                    machine,
+                    b,
+                    opts.seed,
+                    opts.len,
+                    PolicyKind::Proactive,
+                    run_opts,
+                )
+                .with_policy_config(cfg),
+            );
         }
     }
+    let results = run_grid(&specs, opts.effective_threads());
+    let (monos, cells) = results.split_at(SWEEP_BENCHES.len());
+    let monos: Vec<f64> = monos.iter().map(CellResult::cpi).collect();
+    let rows = points
+        .into_iter()
+        .zip(cells.chunks(SWEEP_BENCHES.len()))
+        .map(|((min_loc, frac), group)| (min_loc, frac, mean_normalized(group, &monos)))
+        .collect();
     ProactiveAblation { rows }
 }
 
@@ -389,40 +417,45 @@ pub fn ablate_window(opts: &HarnessOptions) -> WindowAblation {
         )
         .expect("window sizes divide among the paper's layouts")
     };
-    let traces: Vec<_> = SWEEP_BENCHES.iter().map(|&b| trace_for(b, opts)).collect();
-    let base_mono_cpis: Vec<f64> = traces
-        .iter()
-        .map(|t| {
-            run_cell(&build(128, ClusterLayout::C1x8w), t, PolicyKind::FocusedLoc, &run_opts)
-                .expect("mono cell")
-                .cpi()
-        })
-        .collect();
-    let mut rows = Vec::new();
-    for window in [64usize, 128, 256] {
-        let mono_cpis: Vec<f64> = traces
-            .iter()
-            .map(|t| {
-                run_cell(
-                    &build(window, ClusterLayout::C1x8w),
-                    t,
-                    PolicyKind::FocusedLoc,
-                    &run_opts,
-                )
-                .expect("mono cell")
-                .cpi()
-            })
-            .collect();
-        let mut norms = [0.0; 3];
-        for (k, layout) in ClusterLayout::CLUSTERED.into_iter().enumerate() {
+    let windows = [64usize, 128, 256];
+    let mono_spec = |window: usize, b: Benchmark| {
+        CellSpec::new(
+            build(window, ClusterLayout::C1x8w),
+            b,
+            opts.seed,
+            opts.len,
+            PolicyKind::FocusedLoc,
+            run_opts,
+        )
+    };
+    let mut specs: Vec<CellSpec> = SWEEP_BENCHES.iter().map(|&b| mono_spec(128, b)).collect();
+    for window in windows {
+        for &b in &SWEEP_BENCHES {
+            specs.push(mono_spec(window, b));
+        }
+        for layout in ClusterLayout::CLUSTERED {
             let machine = build(window, layout);
             let kind = PolicyKind::best_for(layout.clusters());
-            norms[k] = mean(traces.iter().zip(&mono_cpis).map(|(t, &mono)| {
-                run_cell(&machine, t, kind, &run_opts)
-                    .expect("window cell")
-                    .cpi()
-                    / mono
-            }));
+            for &b in &SWEEP_BENCHES {
+                specs.push(CellSpec::new(machine, b, opts.seed, opts.len, kind, run_opts));
+            }
+        }
+    }
+    let results = run_grid(&specs, opts.effective_threads());
+    let (base, rest) = results.split_at(SWEEP_BENCHES.len());
+    let base_mono_cpis: Vec<f64> = base.iter().map(CellResult::cpi).collect();
+    let mut groups = rest.chunks(SWEEP_BENCHES.len());
+    let mut rows = Vec::new();
+    for window in windows {
+        let mono_cpis: Vec<f64> = groups
+            .next()
+            .expect("window mono group")
+            .iter()
+            .map(CellResult::cpi)
+            .collect();
+        let mut norms = [0.0; 3];
+        for norm in norms.iter_mut() {
+            *norm = mean_normalized(groups.next().expect("window group"), &mono_cpis);
         }
         let mono_ratio = mean(
             mono_cpis

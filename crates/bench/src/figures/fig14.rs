@@ -1,9 +1,9 @@
 //! Figure 14: the policy ladder — focused, +LoC, +stall-over-steer,
 //! +proactive.
 
-use super::{mean, traces_for};
+use super::mean;
 use crate::{HarnessOptions, TextTable};
-use ccs_core::{run_cell, PolicyKind};
+use ccs_core::{run_grid, CellSpec, PolicyKind};
 use ccs_critpath::CostCategory;
 use ccs_isa::{ClusterLayout, MachineConfig};
 use ccs_trace::Benchmark;
@@ -60,30 +60,59 @@ impl Fig14 {
     }
 }
 
-/// Computes Figure 14.
+/// Whether the ladder evaluates `policy` on `layout` (like the paper,
+/// the `p` bar exists only for the 8-cluster machine).
+fn ladder_cell(layout: ClusterLayout, policy: PolicyKind) -> bool {
+    policy != PolicyKind::Proactive || layout == ClusterLayout::C8x1w
+}
+
+/// Computes Figure 14 on the parallel grid executor.
 pub fn fig14(opts: &HarnessOptions) -> Fig14 {
     let base_cfg = MachineConfig::micro05_baseline();
     let run_opts = opts.run_options();
-    let mut bars = Vec::new();
+    let seeds = opts.sample_seeds();
+    let samples = seeds.len() as f64;
+    // Enumerate every cell — per benchmark: the monolithic FocusedLoc
+    // normalization references (the paper's Figure 14 baseline), then
+    // the ladder cells — and fan the whole grid out at once.
+    let mut specs = Vec::new();
     for bench in Benchmark::ALL {
-        let traces = traces_for(bench, opts);
-        let samples = traces.len() as f64;
-        // Normalization: the monolithic machine with LoC-based scheduling
-        // (the paper's Figure 14 baseline), per sample.
-        let mono_cpis: Vec<f64> = traces
-            .iter()
-            .map(|trace| {
-                run_cell(&base_cfg, trace, PolicyKind::FocusedLoc, &run_opts)
-                    .expect("monolithic reference")
-                    .cpi()
-            })
-            .collect();
+        for &seed in &seeds {
+            specs.push(CellSpec::new(
+                base_cfg,
+                bench,
+                seed,
+                opts.len,
+                PolicyKind::FocusedLoc,
+                run_opts,
+            ));
+        }
         for layout in ClusterLayout::CLUSTERED {
             let machine = base_cfg.with_layout(layout);
             for policy in PolicyKind::LADDER {
-                // Like the paper, the `p` bar exists only for the
-                // 8-cluster machine.
-                if policy == PolicyKind::Proactive && layout != ClusterLayout::C8x1w {
+                if !ladder_cell(layout, policy) {
+                    continue;
+                }
+                for &seed in &seeds {
+                    specs.push(CellSpec::new(
+                        machine, bench, seed, opts.len, policy, run_opts,
+                    ));
+                }
+            }
+        }
+    }
+    let mut results = run_grid(&specs, opts.effective_threads()).into_iter();
+
+    // Consume the results in the exact enumeration order.
+    let mut bars = Vec::new();
+    for bench in Benchmark::ALL {
+        let mono_cpis: Vec<f64> = seeds
+            .iter()
+            .map(|_| results.next().expect("mono reference cell").cpi())
+            .collect();
+        for layout in ClusterLayout::CLUSTERED {
+            for policy in PolicyKind::LADDER {
+                if !ladder_cell(layout, policy) {
                     continue;
                 }
                 let mut bar = Fig14Bar {
@@ -94,18 +123,18 @@ pub fn fig14(opts: &HarnessOptions) -> Fig14 {
                     fwd: 0.0,
                     contention: 0.0,
                 };
-                for (trace, &mono_cpi) in traces.iter().zip(&mono_cpis) {
-                    let cell =
-                        run_cell(&machine, trace, policy, &run_opts).expect("ladder cell");
-                    let insts = cell.result.instructions();
-                    bar.normalized_cpi += cell.cpi() / mono_cpi / samples;
-                    bar.fwd += cell
+                for &mono_cpi in &mono_cpis {
+                    let cell = results.next().expect("ladder cell");
+                    let outcome = cell.expect_outcome();
+                    let insts = outcome.result.instructions();
+                    bar.normalized_cpi += outcome.cpi() / mono_cpi / samples;
+                    bar.fwd += outcome
                         .analysis
                         .breakdown
                         .cpi_component(CostCategory::FwdDelay, insts)
                         / mono_cpi
                         / samples;
-                    bar.contention += cell
+                    bar.contention += outcome
                         .analysis
                         .breakdown
                         .cpi_component(CostCategory::Contention, insts)

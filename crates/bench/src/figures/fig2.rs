@@ -1,10 +1,11 @@
 //! Figure 2: idealized list scheduling across cluster configurations.
 
-use super::{mean, mono_result, trace_for, traces_for};
+use super::{mean, mono_result, trace_for};
 use crate::{HarnessOptions, TextTable};
+use ccs_core::parallel_map;
 use ccs_isa::{ClusterLayout, MachineConfig};
 use ccs_listsched::{list_schedule, ListScheduleConfig};
-use ccs_trace::Benchmark;
+use ccs_trace::{Benchmark, TraceStore};
 use std::fmt;
 
 /// Figure 2 data: per-benchmark normalized CPI of the idealized schedule
@@ -18,20 +19,35 @@ pub struct Fig2 {
     pub average: [f64; 3],
 }
 
-/// Computes Figure 2.
+/// Computes Figure 2. The list-scheduling study does not go through
+/// [`run_cell`](ccs_core::run_cell), so it parallelizes over
+/// `(benchmark, sample)` pairs with the grid executor's ordered
+/// [`parallel_map`]; each pair is deterministic in isolation.
 pub fn fig2(opts: &HarnessOptions) -> Fig2 {
     let base_cfg = MachineConfig::micro05_baseline();
-    let mut rows = Vec::new();
-    for bench in Benchmark::ALL {
-        let traces = traces_for(bench, opts);
+    let seeds = opts.sample_seeds();
+    let pairs: Vec<(Benchmark, u64)> = Benchmark::ALL
+        .into_iter()
+        .flat_map(|b| seeds.iter().map(move |&s| (b, s)))
+        .collect();
+    let per_pair = parallel_map(&pairs, opts.effective_threads(), |&(bench, seed)| {
+        let trace = TraceStore::global().get(bench, seed, opts.len);
+        let mono = mono_result(&trace);
+        let ideal_mono = list_schedule(&trace, &mono, &ListScheduleConfig::new(base_cfg));
         let mut norms = [0.0; 3];
-        for trace in &traces {
-            let mono = mono_result(trace);
-            let ideal_mono = list_schedule(trace, &mono, &ListScheduleConfig::new(base_cfg));
-            for (k, layout) in ClusterLayout::CLUSTERED.into_iter().enumerate() {
-                let machine = base_cfg.with_layout(layout);
-                let ideal = list_schedule(trace, &mono, &ListScheduleConfig::new(machine));
-                norms[k] += ideal.cycles as f64 / ideal_mono.cycles as f64 / traces.len() as f64;
+        for (k, layout) in ClusterLayout::CLUSTERED.into_iter().enumerate() {
+            let machine = base_cfg.with_layout(layout);
+            let ideal = list_schedule(&trace, &mono, &ListScheduleConfig::new(machine));
+            norms[k] = ideal.cycles as f64 / ideal_mono.cycles as f64;
+        }
+        norms
+    });
+    let mut rows = Vec::new();
+    for (chunk, bench) in per_pair.chunks(seeds.len()).zip(Benchmark::ALL) {
+        let mut norms = [0.0; 3];
+        for sample in chunk {
+            for (n, s) in norms.iter_mut().zip(sample) {
+                *n += s / seeds.len() as f64;
             }
         }
         rows.push((bench, norms));
@@ -105,15 +121,13 @@ pub struct Fig2LatencySweep {
 /// Computes the footnote-3 latency sweep (averages only).
 pub fn fig2_latency_sweep(opts: &HarnessOptions) -> Fig2LatencySweep {
     let base_cfg = MachineConfig::micro05_baseline();
-    // Precompute traces and monolithic runs once.
-    let runs: Vec<_> = Benchmark::ALL
-        .iter()
-        .map(|&b| {
-            let trace = trace_for(b, opts);
-            let mono = mono_result(&trace);
-            (trace, mono)
-        })
-        .collect();
+    // Precompute traces and monolithic runs once, in parallel.
+    let benches: Vec<Benchmark> = Benchmark::ALL.to_vec();
+    let runs = parallel_map(&benches, opts.effective_threads(), |&b| {
+        let trace = trace_for(b, opts);
+        let mono = mono_result(&trace);
+        (trace, mono)
+    });
     let mut rows = Vec::new();
     for latency in 1..=4 {
         let mut norms = [0.0; 3];

@@ -1,8 +1,8 @@
 //! Figure 4: focused steering and scheduling on the timing simulator.
 
-use super::{mean, traces_for};
+use super::mean;
 use crate::{HarnessOptions, TextTable};
-use ccs_core::{run_cell, PolicyKind};
+use ccs_core::{GridRequest, PolicyKind};
 use ccs_isa::{ClusterLayout, MachineConfig};
 use ccs_trace::Benchmark;
 use std::fmt;
@@ -17,22 +17,31 @@ pub struct Fig4 {
     pub average: [f64; 3],
 }
 
-/// Computes Figure 4.
+/// Computes Figure 4 on the parallel grid executor.
 pub fn fig4(opts: &HarnessOptions) -> Fig4 {
     let base_cfg = MachineConfig::micro05_baseline();
-    let run_opts = opts.run_options();
+    let seeds = opts.sample_seeds();
+    // One focused cell per (benchmark, sample, layout), the monolithic
+    // layout first in each group as the normalization baseline.
+    let layouts = std::iter::once(ClusterLayout::C1x8w).chain(ClusterLayout::CLUSTERED);
+    let results = GridRequest::new(base_cfg, opts.len)
+        .benchmarks(Benchmark::ALL)
+        .sample_seeds(seeds.iter().copied())
+        .layouts(layouts)
+        .policies([PolicyKind::Focused])
+        .options(opts.run_options())
+        .run(opts.effective_threads());
+
+    let mut results = results.into_iter();
     let mut rows = Vec::new();
     for bench in Benchmark::ALL {
-        let traces = traces_for(bench, opts);
         let mut norms = [0.0; 3];
-        for trace in &traces {
-            let mono = run_cell(&base_cfg, trace, PolicyKind::Focused, &run_opts)
-                .expect("monolithic focused run");
-            for (k, layout) in ClusterLayout::CLUSTERED.into_iter().enumerate() {
-                let machine = base_cfg.with_layout(layout);
-                let cell = run_cell(&machine, trace, PolicyKind::Focused, &run_opts)
-                    .expect("clustered focused run");
-                norms[k] += cell.normalized_cpi(&mono) / traces.len() as f64;
+        for _ in &seeds {
+            let mono = results.next().expect("monolithic focused run");
+            let mono_cpi = mono.cpi();
+            for norm in norms.iter_mut() {
+                let cell = results.next().expect("clustered focused run");
+                *norm += cell.cpi() / mono_cpi / seeds.len() as f64;
             }
         }
         rows.push((bench, norms));

@@ -38,21 +38,14 @@ pub use tab1::{tab1, Tab1};
 use crate::HarnessOptions;
 use ccs_isa::MachineConfig;
 use ccs_sim::{policies::LeastLoaded, simulate, SimResult};
-use ccs_trace::{Benchmark, Trace};
+use ccs_trace::{Benchmark, Trace, TraceStore};
+use std::sync::Arc;
 
-/// Generates the harness trace for one benchmark (the first sample).
-pub(crate) fn trace_for(bench: Benchmark, opts: &HarnessOptions) -> Trace {
-    bench.generate(opts.seed, opts.len)
-}
-
-/// Generates all trace samples for one benchmark (the paper averages
-/// three samples from different execution offsets; here, different
-/// generator seeds).
-pub(crate) fn traces_for(bench: Benchmark, opts: &HarnessOptions) -> Vec<Trace> {
-    opts.sample_seeds()
-        .into_iter()
-        .map(|seed| bench.generate(seed, opts.len))
-        .collect()
+/// The harness trace for one benchmark (the first sample), from the
+/// process-wide [`TraceStore`] — generated once, shared by every figure
+/// and every grid worker.
+pub(crate) fn trace_for(bench: Benchmark, opts: &HarnessOptions) -> Arc<Trace> {
+    TraceStore::global().get(bench, opts.seed, opts.len)
 }
 
 /// Runs the reference monolithic execution (policy-free baseline used by
@@ -62,7 +55,9 @@ pub(crate) fn mono_result(trace: &Trace) -> SimResult {
     simulate(&cfg, trace, &mut LeastLoaded).expect("monolithic baseline cannot deadlock")
 }
 
-/// Arithmetic mean.
+/// Arithmetic mean. An empty input is a figure-harness bug (an exhibit
+/// averaging zero cells silently reports 0.0), so it debug-panics;
+/// release builds keep the old 0.0 fallback.
 pub(crate) fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut sum = 0.0;
     let mut n = 0usize;
@@ -70,6 +65,7 @@ pub(crate) fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
         sum += v;
         n += 1;
     }
+    debug_assert!(n > 0, "mean of an empty figure series");
     if n == 0 {
         0.0
     } else {
@@ -84,7 +80,14 @@ mod tests {
     #[test]
     fn mean_of_values() {
         assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
-        assert_eq!(mean([]), 0.0);
+        assert_eq!(mean([4.0]), 4.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "mean of an empty figure series")]
+    fn mean_of_empty_series_is_a_bug() {
+        let _ = mean([]);
     }
 
     #[test]

@@ -81,7 +81,7 @@ pub fn sec4_listsched(opts: &HarnessOptions) -> Sec4 {
     // the monolithic critical path (the "average previous criticality"
     // knowledge of §4).
     struct Prep {
-        trace: ccs_trace::Trace,
+        trace: std::sync::Arc<ccs_trace::Trace>,
         mono: ccs_sim::SimResult,
         loc_priority: Vec<i64>,
         binary_priority: Vec<i64>,

@@ -32,5 +32,5 @@ mod report;
 mod table;
 
 pub use options::HarnessOptions;
-pub use report::make_report;
+pub use report::{grid_benchmark_json, make_report};
 pub use table::TextTable;

@@ -14,11 +14,17 @@ pub struct HarnessOptions {
     /// Trace samples per benchmark, averaged like the paper's three
     /// 100M-instruction samples at different execution offsets.
     pub samples: u32,
+    /// Worker threads for grid evaluation (`0` = one per available
+    /// core). Results are bit-identical for every value; only
+    /// wall-clock time changes.
+    pub threads: usize,
 }
 
 impl HarnessOptions {
-    /// Defaults: 20 000 instructions, seed 1, 2 epochs — overridable via
-    /// the `CCS_LEN`, `CCS_SEED` and `CCS_EPOCHS` environment variables.
+    /// Defaults: 20 000 instructions, seed 1, 2 epochs, one grid worker
+    /// per core — overridable via the `CCS_LEN`, `CCS_SEED`,
+    /// `CCS_EPOCHS`, `CCS_SAMPLES` and `CCS_THREADS` environment
+    /// variables.
     pub fn from_env() -> Self {
         let parse = |name: &str, default: u64| -> u64 {
             std::env::var(name)
@@ -31,6 +37,38 @@ impl HarnessOptions {
             seed: parse("CCS_SEED", 1),
             epochs: parse("CCS_EPOCHS", 2) as u32,
             samples: parse("CCS_SAMPLES", 1) as u32,
+            threads: parse("CCS_THREADS", 0) as usize,
+        }
+    }
+
+    /// [`from_env`](Self::from_env), then applies `--threads N` /
+    /// `--threads=N` from the binary's command line on top.
+    pub fn from_env_and_args() -> Self {
+        let mut opts = Self::from_env();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if let Some(v) = arg.strip_prefix("--threads=") {
+                if let Ok(n) = v.parse() {
+                    opts.threads = n;
+                }
+            } else if arg == "--threads" {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    opts.threads = n;
+                }
+            }
+        }
+        opts
+    }
+
+    /// The effective grid worker count: `threads`, with `0` resolved to
+    /// the number of available cores.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(usize::from)
+                .unwrap_or(1)
+        } else {
+            self.threads
         }
     }
 
@@ -48,6 +86,7 @@ impl HarnessOptions {
             seed: 1,
             epochs: 2,
             samples: 1,
+            threads: 2,
         }
     }
 
@@ -83,5 +122,14 @@ mod tests {
         assert_eq!(seeds.len(), 3);
         let set: std::collections::HashSet<_> = seeds.iter().collect();
         assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        let mut o = HarnessOptions::smoke();
+        o.threads = 0;
+        assert!(o.effective_threads() >= 1);
+        o.threads = 3;
+        assert_eq!(o.effective_threads(), 3);
     }
 }

@@ -119,9 +119,90 @@ pub fn make_report(opts: &HarnessOptions) -> String {
     md
 }
 
+/// Times a small reference grid serially and in parallel, plus a trace
+/// fetch on a cold and a warm cache, and renders the measurements as a
+/// JSON object (the `make_report` binary writes it to
+/// `results/BENCH_grid.json`).
+///
+/// This is the machine-readable counterpart of the
+/// `grid_throughput` criterion bench: small enough to ride along with
+/// every report run, stable enough to track the executor's scaling.
+pub fn grid_benchmark_json(opts: &HarnessOptions) -> String {
+    use ccs_core::{GridRequest, PolicyKind};
+    use ccs_trace::{Benchmark, TraceStore};
+    use std::time::Instant;
+
+    let len = opts.len.min(4_000);
+    let specs = GridRequest::new(ccs_isa::MachineConfig::micro05_baseline(), len)
+        .benchmarks([
+            Benchmark::Vpr,
+            Benchmark::Gzip,
+            Benchmark::Mcf,
+            Benchmark::Gcc,
+        ])
+        .layouts(ClusterLayout::CLUSTERED)
+        .policies([PolicyKind::Focused])
+        .options(opts.run_options())
+        .build();
+
+    // Trace fetch: cold (private store, forces generation) vs hit.
+    let private = TraceStore::new();
+    let t0 = Instant::now();
+    private.get(Benchmark::Vpr, opts.seed, len);
+    let cold_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    private.get(Benchmark::Vpr, opts.seed, len);
+    let hit_secs = t0.elapsed().as_secs_f64();
+
+    // Warm the global store so both grid runs measure simulation only.
+    for s in &specs {
+        TraceStore::global().get(s.benchmark, s.sample_seed, s.len);
+    }
+    let threads = opts.effective_threads();
+    let t0 = Instant::now();
+    let serial = ccs_core::run_grid(&specs, 1);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = ccs_core::run_grid(&specs, threads);
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(serial.len(), parallel.len());
+
+    let cells = specs.len() as f64;
+    format!(
+        "{{\n  \"cells\": {},\n  \"trace_len\": {len},\n  \"threads\": {threads},\n  \
+         \"serial_secs\": {serial_secs:.4},\n  \"parallel_secs\": {parallel_secs:.4},\n  \
+         \"serial_cells_per_sec\": {:.2},\n  \"parallel_cells_per_sec\": {:.2},\n  \
+         \"speedup\": {:.2},\n  \"trace_cold_secs\": {cold_secs:.6},\n  \
+         \"trace_hit_secs\": {hit_secs:.6}\n}}\n",
+        specs.len(),
+        cells / serial_secs.max(1e-9),
+        cells / parallel_secs.max(1e-9),
+        serial_secs / parallel_secs.max(1e-9),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn grid_benchmark_json_is_well_formed() {
+        let mut opts = HarnessOptions::smoke();
+        opts.len = 1_500;
+        let json = grid_benchmark_json(&opts);
+        for key in [
+            "\"cells\"",
+            "\"threads\"",
+            "\"serial_cells_per_sec\"",
+            "\"parallel_cells_per_sec\"",
+            "\"speedup\"",
+            "\"trace_cold_secs\"",
+            "\"trace_hit_secs\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    }
 
     #[test]
     fn report_renders_all_sections() {

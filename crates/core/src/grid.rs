@@ -1,0 +1,380 @@
+//! The parallel experiment-grid executor.
+//!
+//! Every paper exhibit evaluates a grid of independent
+//! `(benchmark, machine, policy, sample)` cells; [`run_cell`] is
+//! deterministic per cell, so the grid is embarrassingly parallel.
+//! [`run_grid`] fans a slice of [`CellSpec`]s out over a scoped thread
+//! pool with an atomic work-stealing index — no thread pool dependency,
+//! no unsafe — and returns results **in input order**, bit-identical to
+//! a serial evaluation of the same specs.
+//!
+//! Traces are fetched through the process-wide
+//! [`TraceStore`](ccs_trace::TraceStore), so the 12 workloads × sample
+//! seeds are generated once per process no matter how many grids run.
+//!
+//! [`parallel_map`] exposes the same ordered work-stealing scheduler for
+//! grid-shaped work that is not a [`run_cell`] evaluation (e.g. the
+//! idealized list-scheduling study of Figure 2).
+
+use crate::experiment::{run_custom, CellOutcome, RunOptions};
+use crate::policy::{PolicyConfig, PolicyKind};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_sim::SimError;
+use ccs_trace::{Benchmark, TraceStore};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One cell of an experiment grid: everything needed to evaluate one
+/// `(machine, workload, policy)` point with [`run_cell`].
+///
+/// [`run_cell`]: crate::run_cell
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSpec {
+    /// The machine to simulate.
+    pub config: MachineConfig,
+    /// The workload model.
+    pub benchmark: Benchmark,
+    /// The workload generation seed of this sample.
+    pub sample_seed: u64,
+    /// Dynamic instructions in the trace.
+    pub len: usize,
+    /// The policy label (and, when `policy_config` is `None`, the policy
+    /// configuration via [`PolicyKind::config`]).
+    pub policy: PolicyKind,
+    /// Explicit policy configuration for ablation cells; `None` uses the
+    /// canonical configuration of `policy`.
+    pub policy_config: Option<PolicyConfig>,
+    /// The two-phase evaluation options.
+    pub options: RunOptions,
+}
+
+impl CellSpec {
+    /// A cell with the canonical configuration of `policy`.
+    pub fn new(
+        config: MachineConfig,
+        benchmark: Benchmark,
+        sample_seed: u64,
+        len: usize,
+        policy: PolicyKind,
+        options: RunOptions,
+    ) -> Self {
+        CellSpec {
+            config,
+            benchmark,
+            sample_seed,
+            len,
+            policy,
+            policy_config: None,
+            options,
+        }
+    }
+
+    /// The same cell with an explicit policy configuration (ablations).
+    #[must_use]
+    pub fn with_policy_config(mut self, config: PolicyConfig) -> Self {
+        self.policy_config = Some(config);
+        self
+    }
+
+    /// Evaluates this cell serially (the unit of work [`run_grid`]
+    /// distributes). The trace comes from the global
+    /// [`TraceStore`](ccs_trace::TraceStore).
+    pub fn run(&self) -> CellResult {
+        let trace = TraceStore::global().get(self.benchmark, self.sample_seed, self.len);
+        let policy_config = self.policy_config.unwrap_or_else(|| self.policy.config());
+        let outcome = run_custom(
+            &self.config,
+            &trace,
+            policy_config,
+            self.policy,
+            &self.options,
+        );
+        CELLS_RUN.fetch_add(1, Ordering::Relaxed);
+        CellResult {
+            spec: *self,
+            outcome,
+        }
+    }
+}
+
+/// The outcome of one grid cell, paired with the spec that produced it.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The evaluated cell.
+    pub spec: CellSpec,
+    /// The evaluation outcome ([`SimError`] only from deadlocking
+    /// policies, which the paper policies never are).
+    pub outcome: Result<CellOutcome, SimError>,
+}
+
+impl CellResult {
+    /// The successful outcome, panicking with the cell's identity on a
+    /// simulator error — grid cells built from the paper's policies
+    /// cannot deadlock, so figure code treats errors as fatal.
+    pub fn expect_outcome(&self) -> &CellOutcome {
+        match &self.outcome {
+            Ok(o) => o,
+            Err(e) => panic!(
+                "grid cell failed: {:?} {} seed {} len {}: {e}",
+                self.spec.policy,
+                self.spec.benchmark.name(),
+                self.spec.sample_seed,
+                self.spec.len
+            ),
+        }
+    }
+
+    /// Cycles per instruction of the measured epoch.
+    pub fn cpi(&self) -> f64 {
+        self.expect_outcome().cpi()
+    }
+}
+
+/// Total cells evaluated by this process (for throughput reporting).
+static CELLS_RUN: AtomicU64 = AtomicU64::new(0);
+
+/// Number of grid cells evaluated by this process so far.
+pub fn cells_run() -> u64 {
+    CELLS_RUN.load(Ordering::Relaxed)
+}
+
+/// Evaluates `specs` on up to `threads` worker threads, returning
+/// results in input order.
+///
+/// Each cell is deterministic in isolation (its predictor bank, caches
+/// and branch predictors are private to the cell), so the result vector
+/// is **bit-identical** for every `threads` value; parallelism only
+/// changes wall-clock time. `threads == 0` or `1` runs inline without
+/// spawning.
+pub fn run_grid(specs: &[CellSpec], threads: usize) -> Vec<CellResult> {
+    parallel_map(specs, threads, CellSpec::run)
+}
+
+/// Applies `f` to every item of `items` on up to `threads` worker
+/// threads, returning outputs in input order.
+///
+/// Scheduling is work-stealing over an atomic index: threads grab the
+/// next unclaimed item, so a slow cell never stalls the queue behind it.
+/// `f` must be pure per item for the output to be thread-count
+/// invariant (all harness workloads are).
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    // Hand each worker a disjoint set of result slots by round of the
+    // shared index: collect (index, value) pairs per worker, then place
+    // them after the scope joins — no locks on the hot path.
+    let mut per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("grid worker panicked"))
+            .collect()
+    });
+    for (i, r) in per_worker.drain(..).flatten() {
+        debug_assert!(results[i].is_none(), "slot {i} filled twice");
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("work-stealing index covered every item"))
+        .collect()
+}
+
+/// A builder enumerating the cells of a sweep in a fixed, documented
+/// order: `benchmarks × sample_seeds × layouts × policies`, with
+/// benchmarks outermost — the iteration order every figure module uses.
+#[derive(Debug, Clone)]
+pub struct GridRequest {
+    base: MachineConfig,
+    benchmarks: Vec<Benchmark>,
+    layouts: Vec<ClusterLayout>,
+    policies: Vec<PolicyKind>,
+    sample_seeds: Vec<u64>,
+    len: usize,
+    options: RunOptions,
+}
+
+impl GridRequest {
+    /// A request over `base`-derived machines with a single seed, no
+    /// benchmarks/layouts/policies yet, and default options.
+    pub fn new(base: MachineConfig, len: usize) -> Self {
+        GridRequest {
+            base,
+            benchmarks: Vec::new(),
+            layouts: vec![ClusterLayout::C1x8w],
+            policies: Vec::new(),
+            sample_seeds: vec![1],
+            len,
+            options: RunOptions::default(),
+        }
+    }
+
+    /// Sets the benchmarks (outermost axis).
+    #[must_use]
+    pub fn benchmarks(mut self, benchmarks: impl IntoIterator<Item = Benchmark>) -> Self {
+        self.benchmarks = benchmarks.into_iter().collect();
+        self
+    }
+
+    /// Sets the cluster layouts applied to the base machine.
+    #[must_use]
+    pub fn layouts(mut self, layouts: impl IntoIterator<Item = ClusterLayout>) -> Self {
+        self.layouts = layouts.into_iter().collect();
+        self
+    }
+
+    /// Sets the policies (innermost axis).
+    #[must_use]
+    pub fn policies(mut self, policies: impl IntoIterator<Item = PolicyKind>) -> Self {
+        self.policies = policies.into_iter().collect();
+        self
+    }
+
+    /// Sets the workload sample seeds.
+    #[must_use]
+    pub fn sample_seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.sample_seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the evaluation options shared by every cell.
+    #[must_use]
+    pub fn options(mut self, options: RunOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Enumerates the cells in the documented order.
+    pub fn build(&self) -> Vec<CellSpec> {
+        let mut cells = Vec::with_capacity(
+            self.benchmarks.len()
+                * self.sample_seeds.len()
+                * self.layouts.len()
+                * self.policies.len(),
+        );
+        for &bench in &self.benchmarks {
+            for &seed in &self.sample_seeds {
+                for &layout in &self.layouts {
+                    let machine = self.base.with_layout(layout);
+                    for &policy in &self.policies {
+                        cells.push(CellSpec::new(
+                            machine,
+                            bench,
+                            seed,
+                            self.len,
+                            policy,
+                            self.options,
+                        ));
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Builds and evaluates the grid on `threads` threads.
+    pub fn run(&self, threads: usize) -> Vec<CellResult> {
+        run_grid(&self.build(), threads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_specs() -> Vec<CellSpec> {
+        GridRequest::new(MachineConfig::micro05_baseline(), 1_500)
+            .benchmarks([Benchmark::Vpr, Benchmark::Gzip])
+            .layouts([ClusterLayout::C2x4w, ClusterLayout::C8x1w])
+            .policies([PolicyKind::Focused, PolicyKind::FocusedLoc])
+            .build()
+    }
+
+    #[test]
+    fn request_enumerates_in_documented_order() {
+        let specs = small_specs();
+        assert_eq!(specs.len(), 2 * 2 * 2);
+        assert_eq!(specs[0].benchmark, Benchmark::Vpr);
+        assert_eq!(specs[0].policy, PolicyKind::Focused);
+        assert_eq!(specs[1].policy, PolicyKind::FocusedLoc);
+        assert_eq!(specs[2].config.cluster_count(), 8);
+        assert_eq!(specs[4].benchmark, Benchmark::Gzip);
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial_exactly() {
+        let specs = small_specs();
+        let serial = run_grid(&specs, 1);
+        let parallel = run_grid(&specs, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.spec, p.spec, "input order preserved");
+            let (so, po) = (s.expect_outcome(), p.expect_outcome());
+            assert_eq!(so.result.cycles, po.result.cycles);
+            assert_eq!(so.result.records, po.result.records);
+            assert_eq!(
+                so.analysis.breakdown, po.analysis.breakdown,
+                "critical-path attribution must be thread-count invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_map_orders_and_covers() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(&items, 8, |&x| x * 3);
+        assert_eq!(out.len(), items.len());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn oversized_thread_counts_are_clamped() {
+        let items = [1u32, 2];
+        let out = parallel_map(&items, 64, |&x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+        let empty: Vec<u32> = parallel_map(&[], 4, |&x: &u32| x);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn cells_run_counter_advances() {
+        let before = cells_run();
+        let specs = vec![CellSpec::new(
+            MachineConfig::micro05_baseline(),
+            Benchmark::Gap,
+            1,
+            1_000,
+            PolicyKind::Focused,
+            RunOptions::default(),
+        )];
+        run_grid(&specs, 1);
+        assert!(cells_run() > before);
+    }
+}

@@ -49,9 +49,11 @@
 mod bank;
 mod baselines;
 mod experiment;
+pub mod grid;
 mod policy;
 
 pub use bank::{LocMode, PredictorBank};
 pub use baselines::{FirstConsumer, ModN};
 pub use experiment::{run_cell, run_custom, CellOutcome, RunOptions, TrainingSource};
+pub use grid::{cells_run, parallel_map, run_grid, CellResult, CellSpec, GridRequest};
 pub use policy::{PaperPolicy, PolicyConfig, PolicyKind, ProactiveConfig};

@@ -59,6 +59,24 @@ struct WinEntry {
     ready: Cycle,
 }
 
+/// Reusable per-run scratch buffers for the cycle loop.
+///
+/// The issue and dispatch stages previously allocated these vectors
+/// fresh every cluster-cycle (issue candidates, issued positions) and
+/// every dispatched instruction (window occupancy snapshot); hoisting
+/// them here makes the steady-state cycle loop allocation-free.
+#[derive(Debug, Default)]
+struct SimScratch {
+    /// Window positions whose ready time has arrived, sorted by
+    /// scheduling priority each cycle.
+    issuable: Vec<usize>,
+    /// Window positions actually granted an issue slot this cycle.
+    taken: Vec<usize>,
+    /// Per-cluster window occupancy snapshot handed to the steering
+    /// policy.
+    occupancy: Vec<usize>,
+}
+
 /// Runs `trace` through the machine described by `config` under `policy`.
 ///
 /// # Examples
@@ -98,24 +116,7 @@ pub fn simulate(
     // Perfect memory disambiguation (Table 1): a load depends on the
     // latest older store to the same 8-byte word — and *only* on true
     // conflicts (no false dependences). Resolved exactly from the trace.
-    let mem_dep: Vec<Option<u32>> = {
-        let mut last_store: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
-        trace
-            .as_slice()
-            .iter()
-            .enumerate()
-            .map(|(i, inst)| match (inst.op(), inst.mem_addr) {
-                (op, Some(addr)) if op == ccs_isa::OpClass::Store => {
-                    last_store.insert(addr >> 3, i as u32);
-                    None
-                }
-                (op, Some(addr)) if op == ccs_isa::OpClass::Load => {
-                    last_store.get(&(addr >> 3)).copied()
-                }
-                _ => None,
-            })
-            .collect()
-    };
+    let mem_dep: Vec<Option<u32>> = crate::memdep::resolve_memory_deps(trace);
     // Which mispredicted branch redirected this instruction's fetch.
     let mut redirect_of: Vec<Option<DynIdx>> = vec![None; n];
     // Bitmask of clusters a producer's value has been delivered to.
@@ -155,6 +156,11 @@ pub fn simulate(
     let mut global_values: u64 = 0;
     let mut steer_stall_cycles: u64 = 0;
     let mut ilp = IlpCensus::default();
+    let mut scratch = SimScratch {
+        issuable: Vec::with_capacity(win_cap),
+        taken: Vec::with_capacity(config.cluster.issue_width),
+        occupancy: vec![0; clusters],
+    };
 
     let limit: Cycle = 64 * n as Cycle + 100_000;
     let mut t: Cycle = 0;
@@ -273,18 +279,22 @@ pub fn simulate(
                 }
             }
 
-            // Collect issuable entries.
-            let mut issuable: Vec<usize> = windows[c]
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.ready <= t)
-                .map(|(pos, _)| pos)
-                .collect();
-            available_total += issuable.len();
-            if issuable.is_empty() {
+            // Collect issuable entries into the reused scratch buffer.
+            scratch.issuable.clear();
+            scratch
+                .issuable
+                .extend(windows[c].iter().enumerate().filter_map(|(pos, e)| {
+                    if e.ready <= t {
+                        Some(pos)
+                    } else {
+                        None
+                    }
+                }));
+            available_total += scratch.issuable.len();
+            if scratch.issuable.is_empty() {
                 continue;
             }
-            issuable.sort_by_key(|&pos| {
+            scratch.issuable.sort_by_key(|&pos| {
                 let e = &windows[c][pos];
                 (std::cmp::Reverse(e.priority), e.idx)
             });
@@ -293,8 +303,8 @@ pub fn simulate(
             let mut fp_used = 0;
             let mut mem_used = 0;
             let mut width_used = 0;
-            let mut taken_positions: Vec<usize> = Vec::new();
-            for &pos in &issuable {
+            scratch.taken.clear();
+            for &pos in &scratch.issuable {
                 if width_used >= config.cluster.issue_width {
                     break;
                 }
@@ -311,7 +321,7 @@ pub fn simulate(
                 }
                 *used += 1;
                 width_used += 1;
-                taken_positions.push(pos);
+                scratch.taken.push(pos);
 
                 // Execute.
                 let mut latency = inst.op().latency() as Cycle;
@@ -363,10 +373,10 @@ pub fn simulate(
                     }
                 }
             }
-            issued_total += taken_positions.len();
+            issued_total += scratch.taken.len();
             // Remove issued entries (descending positions to keep indices valid).
-            taken_positions.sort_unstable_by(|a, b| b.cmp(a));
-            for pos in taken_positions {
+            scratch.taken.sort_unstable_by(|a, b| b.cmp(a));
+            for &pos in &scratch.taken {
                 windows[c].swap_remove(pos);
             }
         }
@@ -401,18 +411,19 @@ pub fn simulate(
                     });
                 }
             }
-            let occupancy: Vec<usize> = windows.iter().map(Vec::len).collect();
+            scratch.occupancy.clear();
+            scratch.occupancy.extend(windows.iter().map(Vec::len));
             let view = SteerView {
                 inst,
                 idx: DynIdx::new(head),
                 now: t,
-                occupancy: &occupancy,
+                occupancy: &scratch.occupancy,
                 capacity: win_cap,
                 producers,
             };
             let outcome = policy.steer(&view);
             let (cluster, cause) = match outcome.decision {
-                SteerDecision::To { cluster, cause } if occupancy[cluster] < win_cap => {
+                SteerDecision::To { cluster, cause } if scratch.occupancy[cluster] < win_cap => {
                     (cluster, cause)
                 }
                 _ => {

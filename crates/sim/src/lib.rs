@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod memdep;
 pub mod policies;
 mod policy;
 mod record;

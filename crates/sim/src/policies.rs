@@ -561,7 +561,7 @@ mod frontend_tests {
             StaticInst::new(Pc::new(0), OpClass::Load)
                 .with_src(ArchReg::int(31))
                 .with_dst(ArchReg::int(30)),
-            0xdead_000,
+            0x0dea_d000,
         );
         for i in 0..32u64 {
             b.push_simple(
@@ -638,7 +638,7 @@ mod disambiguation_tests {
             StaticInst::new(Pc::new(0), OpClass::Load)
                 .with_src(a)
                 .with_dst(v),
-            0xBEEF_000, // cold miss: 23-cycle load
+            0x0BEE_F000, // cold miss: 23-cycle load
         );
         b.push_mem(
             StaticInst::new(Pc::new(4), OpClass::Store).with_srcs([Some(v), Some(a)]),

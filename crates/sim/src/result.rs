@@ -19,6 +19,7 @@ pub struct IlpCensus {
 impl IlpCensus {
     /// Records one cycle with `available` ready instructions of which
     /// `achieved` issued.
+    #[inline]
     pub fn record(&mut self, available: usize, achieved: usize) {
         if self.buckets.len() <= available {
             self.buckets.resize(available + 1, (0, 0));

@@ -84,6 +84,7 @@ impl DynInst {
     }
 
     /// Iterates over the in-trace producers of this instruction's operands.
+    #[inline]
     pub fn producers(&self) -> impl Iterator<Item = DynIdx> + '_ {
         self.deps.iter().filter_map(|d| *d)
     }

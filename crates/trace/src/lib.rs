@@ -41,10 +41,12 @@ mod dynamic;
 pub mod patterns;
 pub mod program;
 mod stats;
+mod store;
 mod workloads;
 
 pub use behavior::{AddrStream, BranchBehavior};
 pub use builder::{Trace, TraceBuilder};
 pub use dynamic::{DynIdx, DynInst};
 pub use stats::TraceStats;
+pub use store::{TraceKey, TraceStore};
 pub use workloads::{phased, Benchmark};

@@ -1,0 +1,156 @@
+//! The shared, process-wide trace cache.
+//!
+//! Every figure of the paper harness evaluates the same 12 workloads at
+//! the same seeds and lengths; historically each figure binary (and each
+//! figure *within* `all_figures`) regenerated those traces from scratch.
+//! [`TraceStore`] memoizes generation behind a `(Benchmark, seed, len)`
+//! key and hands out `Arc<Trace>` clones, so each distinct trace is
+//! generated exactly once per process — including under the parallel
+//! grid executor, where many worker threads request the same trace
+//! concurrently.
+
+use crate::builder::Trace;
+use crate::workloads::Benchmark;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The memoization key: which trace, which sample seed, which length.
+pub type TraceKey = (Benchmark, u64, usize);
+
+/// A thread-safe memo table of generated traces.
+///
+/// Use [`TraceStore::global`] for the process-wide instance shared by
+/// the figure harness and the grid executor; independent instances are
+/// only useful for tests that need cold-cache behaviour.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    map: Mutex<HashMap<TraceKey, Arc<Trace>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceStore {
+    /// A new, empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide shared store.
+    pub fn global() -> &'static TraceStore {
+        static GLOBAL: OnceLock<TraceStore> = OnceLock::new();
+        GLOBAL.get_or_init(TraceStore::new)
+    }
+
+    /// The trace for `(bench, seed, len)`, generating it on first
+    /// request and returning a shared handle afterwards.
+    ///
+    /// Generation runs outside the table lock so concurrent requests for
+    /// *different* keys generate in parallel. Two threads racing on the
+    /// *same* cold key may both generate it; generation is deterministic,
+    /// so both produce identical traces and the first insert wins.
+    pub fn get(&self, bench: Benchmark, seed: u64, len: usize) -> Arc<Trace> {
+        let key = (bench, seed, len);
+        if let Some(t) = self.map.lock().expect("trace store poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(t);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let generated = Arc::new(bench.generate(seed, len));
+        Arc::clone(
+            self.map
+                .lock()
+                .expect("trace store poisoned")
+                .entry(key)
+                .or_insert(generated),
+        )
+    }
+
+    /// Number of distinct traces currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("trace store poisoned").len()
+    }
+
+    /// Whether the store holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits served since construction (or the last [`clear`](Self::clear)).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (trace generations) since construction (or the last
+    /// [`clear`](Self::clear)).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops all cached traces and resets the hit/miss counters.
+    pub fn clear(&self) {
+        self.map.lock().expect("trace store poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_memoizes_per_key() {
+        let store = TraceStore::new();
+        let a = store.get(Benchmark::Vpr, 1, 1_000);
+        let b = store.get(Benchmark::Vpr, 1, 1_000);
+        assert!(Arc::ptr_eq(&a, &b), "same key shares one trace");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 1);
+
+        let c = store.get(Benchmark::Vpr, 2, 1_000);
+        assert!(!Arc::ptr_eq(&a, &c), "different seed is a different trace");
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn cached_traces_match_direct_generation() {
+        let store = TraceStore::new();
+        let cached = store.get(Benchmark::Gzip, 7, 500);
+        let direct = Benchmark::Gzip.generate(7, 500);
+        assert_eq!(cached.len(), direct.len());
+        for ((ai, a), (_, b)) in cached.iter().zip(direct.iter()) {
+            assert_eq!(a.pc(), b.pc(), "inst {ai}");
+            assert_eq!(a.deps, b.deps, "inst {ai}");
+        }
+    }
+
+    #[test]
+    fn concurrent_access_generates_consistently() {
+        let store = TraceStore::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|k| {
+                    let store = &store;
+                    scope.spawn(move || store.get(Benchmark::Mcf, k % 2, 800).len())
+                })
+                .collect();
+            let lens: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            assert!(lens.iter().all(|&l| l == lens[0]));
+        });
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.hits() + store.misses(), 8);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let store = TraceStore::new();
+        store.get(Benchmark::Gap, 1, 400);
+        store.get(Benchmark::Gap, 1, 400);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.hits(), 0);
+        assert_eq!(store.misses(), 0);
+    }
+}

@@ -56,16 +56,19 @@ impl Gshare {
         }
     }
 
+    #[inline]
     fn index(&self, pc: Pc) -> usize {
         (((pc.raw() >> 2) ^ self.history) & self.mask) as usize
     }
 }
 
 impl BranchPredictor for Gshare {
+    #[inline]
     fn predict(&mut self, pc: Pc) -> bool {
         self.table[self.index(pc)].msb_set()
     }
 
+    #[inline]
     fn update(&mut self, pc: Pc, taken: bool) {
         let idx = self.index(pc);
         if taken {

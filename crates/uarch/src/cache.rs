@@ -55,6 +55,7 @@ impl SetAssocCache {
 
     /// Accesses `addr`, returning `true` on a hit. Misses allocate the
     /// line (evicting LRU if the set is full).
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.accesses += 1;
         let line = addr >> self.line_shift;

@@ -1,0 +1,76 @@
+//! Regression test: the parallel grid executor is bit-identical to
+//! serial evaluation.
+//!
+//! The harness's methodology claims (EXPERIMENTS.md) depend on every
+//! figure being reproducible regardless of `--threads`; this pins the
+//! guarantee on a 3-benchmark × 2-layout × 2-policy grid, comparing
+//! cycle counts, the full per-instruction event records, the
+//! critical-path cost breakdown, and the trained predictor footprints.
+
+use clustercrit::core::{run_grid, GridRequest, PolicyKind};
+use clustercrit::isa::{ClusterLayout, MachineConfig};
+use clustercrit::trace::Benchmark;
+
+#[test]
+fn parallel_grid_is_bit_identical_to_serial() {
+    let specs = GridRequest::new(MachineConfig::micro05_baseline(), 2_000)
+        .benchmarks([Benchmark::Vpr, Benchmark::Mcf, Benchmark::Gzip])
+        .layouts([ClusterLayout::C2x4w, ClusterLayout::C8x1w])
+        .policies([PolicyKind::Focused, PolicyKind::StallOverSteer])
+        .build();
+    assert_eq!(specs.len(), 3 * 2 * 2);
+
+    let serial = run_grid(&specs, 1);
+    let parallel = run_grid(&specs, 8);
+    assert_eq!(serial.len(), parallel.len());
+
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.spec, p.spec, "results must come back in input order");
+        let ctx = format!(
+            "{} {:?} on {} clusters",
+            s.spec.benchmark.name(),
+            s.spec.policy,
+            s.spec.config.cluster_count()
+        );
+        let (so, po) = (s.expect_outcome(), p.expect_outcome());
+
+        // Simulated timing: identical to the cycle.
+        assert_eq!(so.result.cycles, po.result.cycles, "{ctx}: cycles");
+        assert_eq!(so.result.records, po.result.records, "{ctx}: records");
+        assert_eq!(
+            so.result.steer_stall_cycles, po.result.steer_stall_cycles,
+            "{ctx}: steer stalls"
+        );
+
+        // Critical-path attribution: identical cost breakdown.
+        assert_eq!(
+            so.analysis.breakdown, po.analysis.breakdown,
+            "{ctx}: breakdown"
+        );
+
+        // Predictor footprints: identically trained banks.
+        assert_eq!(
+            so.bank.trained_epochs(),
+            po.bank.trained_epochs(),
+            "{ctx}: trained epochs"
+        );
+        for (i, inst) in clustercrit::trace::TraceStore::global()
+            .get(s.spec.benchmark, s.spec.sample_seed, s.spec.len)
+            .as_slice()
+            .iter()
+            .enumerate()
+        {
+            let pc = inst.pc();
+            assert_eq!(
+                so.bank.predicted_critical(pc),
+                po.bank.predicted_critical(pc),
+                "{ctx}: binary prediction for instruction {i}"
+            );
+            assert_eq!(
+                so.bank.loc_level(pc),
+                po.bank.loc_level(pc),
+                "{ctx}: LoC level for instruction {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the small slice of the `rand` API it actually uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] construction,
+//! * [`rngs::StdRng`] / [`rngs::SmallRng`] deterministic generators,
+//! * [`RngExt::random_bool`] and [`RngExt::random_range`].
+//!
+//! Generators are xoshiro-family PRNGs seeded through SplitMix64 — not
+//! cryptographic, but high-quality, fast, and fully deterministic, which
+//! is all the synthetic workload models and probabilistic counters need.
+//! Streams differ from upstream `rand`'s ChaCha-based `StdRng`; every
+//! consumer in this workspace treats the generator as an arbitrary
+//! deterministic stream, so only reproducibility matters, not the exact
+//! values.
+
+#![forbid(unsafe_code)]
+
+use core::ops::Range;
+
+/// A uniform random bit generator.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods over any [`Rng`].
+pub trait RngExt: Rng {
+    /// Samples a `bool` that is `true` with probability `p` (clamped to
+    /// `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits -> [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Samples uniformly from `range` (half-open; panics if empty).
+    fn random_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::sample_uniform(self.next_u64(), range)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Integer types that can be sampled uniformly from a half-open range.
+pub trait UniformInt: Copy {
+    /// Maps 64 random bits into `range`.
+    fn sample_uniform(raw: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl UniformInt for $t {
+            fn sample_uniform(raw: u64, range: Range<Self>) -> Self {
+                let lo = range.start as i128;
+                let hi = range.end as i128;
+                assert!(hi > lo, "cannot sample from empty range");
+                let span = (hi - lo) as u128;
+                // Modulo bias is < 2^-64 * span — irrelevant for the
+                // workload models' small spans.
+                (lo + ((raw as u128) % span) as i128) as Self
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator deterministically from `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The workspace's default generator: xoshiro256++.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// A small-state generator: xoroshiro128++.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 2],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            SmallRng {
+                s: [splitmix64(&mut sm), splitmix64(&mut sm)],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let [s0, mut s1] = self.s;
+            let result = s0.wrapping_add(s1).rotate_left(17).wrapping_add(s0);
+            s1 ^= s0;
+            self.s[0] = s0.rotate_left(49) ^ s1 ^ (s1 << 21);
+            self.s[1] = s1.rotate_left(28);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| super::Rng::next_u64(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| super::Rng::next_u64(&mut b)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| super::Rng::next_u64(&mut c)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds_and_covers() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0u64..10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values reachable");
+    }
+
+    #[test]
+    fn random_range_handles_offsets_and_signed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let v = rng.random_range(100u32..108);
+            assert!((100..108).contains(&v));
+            let w = rng.random_range(-4i32..4);
+            assert!((-4..4).contains(&w));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes anything at runtime (there is no serde_json or
+//! similar in the dependency tree, and no generic code bounds on these
+//! traits). With no network access to crates.io, this crate supplies the
+//! trait *names* and no-op derive macros so the annotations compile; the
+//! derives expand to nothing.
+//!
+//! If a future PR adds real serialization, replace this stub with the
+//! actual `serde` (the API here is intentionally a strict subset).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never implemented or
+/// required by the stub derive).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (never implemented or
+/// required by the stub derive).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,19 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! Each derive accepts the input item (including `#[serde(...)]` helper
+//! attributes) and expands to nothing: the workspace only needs the
+//! annotations to compile, not to generate serialization code.
+
+use proc_macro::TokenStream;
+
+/// Expands `#[derive(Serialize)]` to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands `#[derive(Deserialize)]` to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
