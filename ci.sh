@@ -6,8 +6,13 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+# The workspace test run includes the verification suites: the
+# differential engine-vs-oracle campaign (bounded by CCS_DIFF_CASES,
+# deterministic per case id) and the golden snapshot tests, which
+# re-evaluate the full benchmark x layout x policy grid in checked
+# (invariant-audited) mode against results/golden/.
+echo "==> cargo test -q (incl. differential campaign + golden snapshots)"
+CCS_DIFF_CASES="${CCS_DIFF_CASES:-200}" cargo test -q
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -18,13 +18,17 @@ pub struct HarnessOptions {
     /// core). Results are bit-identical for every value; only
     /// wall-clock time changes.
     pub threads: usize,
+    /// Run every cell in checked mode (structural invariant audits on
+    /// each epoch's schedule); roughly doubles per-cell cost.
+    pub checked: bool,
 }
 
 impl HarnessOptions {
     /// Defaults: 20 000 instructions, seed 1, 2 epochs, one grid worker
     /// per core — overridable via the `CCS_LEN`, `CCS_SEED`,
     /// `CCS_EPOCHS`, `CCS_SAMPLES` and `CCS_THREADS` environment
-    /// variables.
+    /// variables. `CCS_CHECKED=1` turns on checked (invariant-audited)
+    /// simulation for every cell.
     pub fn from_env() -> Self {
         let parse = |name: &str, default: u64| -> u64 {
             std::env::var(name)
@@ -38,6 +42,7 @@ impl HarnessOptions {
             epochs: parse("CCS_EPOCHS", 2) as u32,
             samples: parse("CCS_SAMPLES", 1) as u32,
             threads: parse("CCS_THREADS", 0) as usize,
+            checked: parse("CCS_CHECKED", 0) != 0,
         }
     }
 
@@ -87,12 +92,15 @@ impl HarnessOptions {
             epochs: 2,
             samples: 1,
             threads: 2,
+            checked: false,
         }
     }
 
     /// The policy-evaluation options these harness options imply.
     pub fn run_options(&self) -> RunOptions {
-        RunOptions::default().with_epochs(self.epochs)
+        RunOptions::default()
+            .with_epochs(self.epochs)
+            .with_checked(self.checked)
     }
 }
 

@@ -34,6 +34,12 @@ pub struct RunOptions {
     pub seed: u64,
     /// The criticality training signal.
     pub training: TrainingSource,
+    /// Run every epoch in *checked* mode: the structural invariant
+    /// checker ([`ccs_sim::check_invariants`]) audits each schedule and
+    /// the critical-path breakdown must conserve the cycle count, with
+    /// any violation surfaced as [`SimError::InvariantViolated`]. Adds
+    /// one audit pass per epoch (~2× cost); off by default.
+    pub checked: bool,
 }
 
 impl Default for RunOptions {
@@ -43,6 +49,7 @@ impl Default for RunOptions {
             loc_mode: LocMode::Quantized16,
             seed: 0xC1A5,
             training: TrainingSource::ExactGraph,
+            checked: false,
         }
     }
 }
@@ -68,6 +75,13 @@ impl RunOptions {
     #[must_use]
     pub fn with_token_detector(mut self, detector: TokenDetector) -> Self {
         self.training = TrainingSource::TokenDetector(detector);
+        self
+    }
+
+    /// Convenience: the same options with checked mode on or off.
+    #[must_use]
+    pub fn with_checked(mut self, checked: bool) -> Self {
+        self.checked = checked;
         self
     }
 }
@@ -137,8 +151,26 @@ pub fn run_custom(
     let mut last: Option<(SimResult, CritPathAnalysis)> = None;
     for _ in 0..epochs {
         let mut policy = PaperPolicy::from_config(policy_config, bank, kind.name());
-        let result = simulate(config, trace, &mut policy)?;
+        let result = if options.checked {
+            ccs_sim::simulate_checked(config, trace, &mut policy)?
+        } else {
+            simulate(config, trace, &mut policy)?
+        };
         let analysis = analyze(trace, &result);
+        if options.checked && analysis.breakdown.total() != result.cycles {
+            return Err(SimError::InvariantViolated {
+                first: ccs_sim::Violation {
+                    cycle: result.cycles,
+                    inst: None,
+                    message: format!(
+                        "critical-path breakdown sums to {} cycles, run took {}",
+                        analysis.breakdown.total(),
+                        result.cycles
+                    ),
+                },
+                count: 1,
+            });
+        }
         bank = policy.into_bank();
         match options.training {
             TrainingSource::ExactGraph => {

@@ -27,6 +27,14 @@ pub enum SimError {
         /// Instructions in the trace.
         total: usize,
     },
+    /// The `checked` run mode ([`simulate_checked`](crate::simulate_checked))
+    /// found the engine's schedule violating a structural invariant.
+    InvariantViolated {
+        /// The first violation in (cycle, instruction) order.
+        first: crate::check::Violation,
+        /// Total violations found.
+        count: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -41,6 +49,9 @@ impl fmt::Display for SimError {
                 "cycle limit exceeded at cycle {cycle} with {committed}/{total} committed \
                  (deadlocked steering policy?)"
             ),
+            SimError::InvariantViolated { first, count } => {
+                write!(f, "{count} structural invariant violation(s); first: {first}")
+            }
         }
     }
 }

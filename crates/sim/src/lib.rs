@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 mod engine;
 mod memdep;
 pub mod policies;
@@ -43,6 +44,7 @@ mod record;
 mod result;
 pub mod viz;
 
+pub use check::{check_invariants, simulate_checked, Violation};
 pub use engine::{simulate, SimError};
 pub use policy::{
     ProducerInfo, SteerCause, SteerDecision, SteerOutcome, SteerView, SteeringPolicy,

@@ -155,6 +155,100 @@ mod tests {
         assert_eq!(got, want);
     }
 
+    /// Finds `count` distinct word keys that all hash to `target` in `t`.
+    /// Scanning is cheap (Fibonacci hashing spreads uniformly, so about
+    /// one key in `cap` lands on any given slot).
+    fn colliding_words(t: &LastStoreTable, target: usize, count: usize) -> Vec<u64> {
+        (1u64..)
+            .filter(|&w| t.slot_of(w) == target)
+            .take(count)
+            .collect()
+    }
+
+    #[test]
+    fn colliding_keys_stay_distinct_under_linear_probing() {
+        // Six distinct words forced onto ONE home slot: every lookup must
+        // probe through the whole cluster and still distinguish the keys.
+        let mut t = LastStoreTable::with_capacity(8);
+        let words = colliding_words(&t, 3, 6);
+        assert_eq!(words.len(), 6);
+        let mut reference: HashMap<u64, u32> = HashMap::new();
+        for (i, &w) in words.iter().enumerate() {
+            t.insert(w, i as u32);
+            reference.insert(w, i as u32);
+        }
+        // Overwrite the middle of the probe chain; neighbours must be
+        // untouched.
+        t.insert(words[3], 99);
+        reference.insert(words[3], 99);
+        for &w in &words {
+            assert_eq!(t.get(w), reference.get(&w).copied(), "word {w:#x}");
+        }
+        // A seventh colliding word was never inserted: the probe walks the
+        // full cluster and must end at EMPTY, not mis-match.
+        let absent = colliding_words(&t, 3, 7)[6];
+        assert_eq!(t.get(absent), None);
+    }
+
+    #[test]
+    fn probe_chains_wrap_around_the_table_end() {
+        // Fill the tail of the table so a cluster starting at the LAST
+        // slot must wrap to slot 0 and beyond.
+        let mut t = LastStoreTable::with_capacity(8); // 16 slots, mask 15
+        let last_slot = t.mask;
+        let words = colliding_words(&t, last_slot, 4);
+        let mut reference: HashMap<u64, u32> = HashMap::new();
+        for (i, &w) in words.iter().enumerate() {
+            t.insert(w, 1000 + i as u32);
+            reference.insert(w, 1000 + i as u32);
+        }
+        // words[1..] necessarily live in wrapped slots 0, 1, 2.
+        for (off, &w) in words.iter().enumerate().skip(1) {
+            assert_eq!(t.keys[off - 1], w, "wrapped placement of word {w:#x}");
+        }
+        for &w in &words {
+            assert_eq!(t.get(w), reference.get(&w).copied());
+        }
+        // Updates through the wrapped chain hit the existing entry, not a
+        // fresh slot.
+        t.insert(words[3], 7);
+        reference.insert(words[3], 7);
+        assert_eq!(t.get(words[3]), Some(7));
+        assert_eq!(
+            t.keys.iter().filter(|&&k| k != EMPTY).count(),
+            reference.len(),
+            "update must not duplicate a wrapped key"
+        );
+    }
+
+    #[test]
+    fn near_full_table_matches_reference_hashmap() {
+        // 60 distinct words in a 64-slot table (94% load — far beyond the
+        // ≤50% the sizing guarantees) with repeated overwrites in a
+        // pseudo-random order: get/insert must still agree with a HashMap.
+        let mut t = LastStoreTable::with_capacity(32); // 64 slots
+        let mut reference: HashMap<u64, u32> = HashMap::new();
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        for i in 0..4_000u32 {
+            // xorshift over a fixed pool of 60 words.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let word = 0x40_0000 + (x % 60) * 8;
+            t.insert(word, i);
+            reference.insert(word, i);
+            if i % 7 == 0 {
+                let probe = 0x40_0000 + (x % 61) * 8; // sometimes absent
+                assert_eq!(t.get(probe), reference.get(&probe).copied());
+            }
+        }
+        assert_eq!(reference.len(), 60);
+        for (&w, &v) in &reference {
+            assert_eq!(t.get(w), Some(v), "word {w:#x}");
+        }
+        assert_eq!(t.keys.iter().filter(|&&k| k != EMPTY).count(), 60);
+    }
+
     #[test]
     fn loads_see_only_true_word_conflicts() {
         let mut b = TraceBuilder::new();

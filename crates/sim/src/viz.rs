@@ -110,6 +110,43 @@ mod tests {
     }
 
     #[test]
+    fn schedule_snapshot_is_stable() {
+        // Exact-output snapshot: a serial dependence chain issues one
+        // instruction per available cycle on one cluster, giving a small,
+        // fully deterministic picture. Any change to the rendered format
+        // (column widths, separators, row elision) must show up here.
+        let mut b = TraceBuilder::new();
+        let r = ArchReg::int(1);
+        for i in 0..4u64 {
+            b.push_simple(
+                StaticInst::new(Pc::new(4 * i), OpClass::IntAlu)
+                    .with_src(r)
+                    .with_dst(r),
+            );
+        }
+        let trace = b.finish();
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C2x4w);
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let names = ["A", "B", "C", "D"];
+        let s = render_schedule(&result, 0, result.cycles, |i| {
+            names[i.index()].to_string()
+        });
+        // Least-loaded steering ping-pongs the chain across the two
+        // clusters, and each hop pays the forwarding latency on top of
+        // the ALU latency — hence one issue every 3 cycles, alternating
+        // columns.
+        let expected = concat!(
+            " cycle | cl0      | cl1      \n",
+            "-----------------------------\n",
+            "    14 | A        |          \n",
+            "    17 |          | B        \n",
+            "    20 | C        |          \n",
+            "    23 |          | D        \n",
+        );
+        assert_eq!(s, expected, "rendered:\n{s}");
+    }
+
+    #[test]
     fn empty_range_renders_header_only() {
         let trace = TraceBuilder::new().finish();
         let cfg = MachineConfig::micro05_baseline();

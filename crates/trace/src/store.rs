@@ -23,9 +23,18 @@ pub type TraceKey = (Benchmark, u64, usize);
 /// Use [`TraceStore::global`] for the process-wide instance shared by
 /// the figure harness and the grid executor; independent instances are
 /// only useful for tests that need cold-cache behaviour.
+///
+/// The table maps each key to a [`OnceLock`] slot rather than directly
+/// to a trace: the slot is created (and the miss counted) under the
+/// table lock, but generation itself runs through
+/// [`OnceLock::get_or_init`] *outside* it. Concurrent requests for
+/// different keys generate in parallel; concurrent requests for the same
+/// cold key block on the slot until its single generation finishes, so
+/// every key is generated exactly once per store and all callers share
+/// one pointer-identical `Arc<Trace>`.
 #[derive(Debug, Default)]
 pub struct TraceStore {
-    map: Mutex<HashMap<TraceKey, Arc<Trace>>>,
+    map: Mutex<HashMap<TraceKey, Arc<OnceLock<Arc<Trace>>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -45,25 +54,32 @@ impl TraceStore {
     /// The trace for `(bench, seed, len)`, generating it on first
     /// request and returning a shared handle afterwards.
     ///
-    /// Generation runs outside the table lock so concurrent requests for
-    /// *different* keys generate in parallel. Two threads racing on the
-    /// *same* cold key may both generate it; generation is deterministic,
-    /// so both produce identical traces and the first insert wins.
+    /// Exactly one caller generates each distinct key (counted as the
+    /// miss); everyone else — including threads that raced on the cold
+    /// key and waited for generation to finish — counts a hit and gets a
+    /// clone of the same `Arc`.
     pub fn get(&self, bench: Benchmark, seed: u64, len: usize) -> Arc<Trace> {
         let key = (bench, seed, len);
-        if let Some(t) = self.map.lock().expect("trace store poisoned").get(&key) {
+        let (slot, creator) = {
+            let mut map = self.map.lock().expect("trace store poisoned");
+            match map.get(&key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(OnceLock::new());
+                    map.insert(key, Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if creator {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(t);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let generated = Arc::new(bench.generate(seed, len));
-        Arc::clone(
-            self.map
-                .lock()
-                .expect("trace store poisoned")
-                .entry(key)
-                .or_insert(generated),
-        )
+        // Generation happens outside the table lock; `get_or_init` makes
+        // the slot's creator (or whichever racer arrives first) run it
+        // once while any other caller for this key blocks until done.
+        Arc::clone(slot.get_or_init(|| Arc::new(bench.generate(seed, len))))
     }
 
     /// Number of distinct traces currently cached.
@@ -98,6 +114,7 @@ impl TraceStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Barrier;
 
     #[test]
     fn get_memoizes_per_key() {
@@ -141,6 +158,36 @@ mod tests {
         });
         assert_eq!(store.len(), 2);
         assert_eq!(store.hits() + store.misses(), 8);
+        assert_eq!(store.misses(), 2, "each distinct key generates exactly once");
+    }
+
+    #[test]
+    fn racing_threads_on_one_cold_key_share_a_single_generation() {
+        // All 16 threads release together against a cold key: exactly one
+        // generation (one miss), everyone holding the same allocation.
+        let store = TraceStore::new();
+        let threads = 16;
+        let barrier = Barrier::new(threads);
+        let traces: Vec<Arc<Trace>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (store, barrier) = (&store, &barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        store.get(Benchmark::Twolf, 3, 1_200)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(
+            traces.iter().all(|t| Arc::ptr_eq(t, &traces[0])),
+            "every thread must see the same allocation"
+        );
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.misses(), 1, "one generation despite {threads} racers");
+        assert_eq!(store.hits(), threads as u64 - 1);
+        assert_eq!(traces[0].len(), 1_200);
     }
 
     #[test]

@@ -1,0 +1,35 @@
+//! Regenerates the golden regression corpus under `results/golden/`.
+//!
+//! Run after an *intended* simulator behaviour change:
+//!
+//! ```text
+//! cargo run --release -p ccs-verify --bin regen_golden
+//! ```
+//!
+//! then review the `results/golden/` diff and commit it with the change.
+//! Every cell runs in checked mode, so a regeneration that completes has
+//! also audited the full grid against the structural invariant checker.
+
+use ccs_verify::golden::{corpus_files, golden_dir};
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("create results/golden");
+    let files = corpus_files(threads);
+    let mut changed = 0;
+    for (name, contents) in &files {
+        let path = dir.join(name);
+        let previous = std::fs::read_to_string(&path).ok();
+        if previous.as_deref() != Some(contents.as_str()) {
+            changed += 1;
+            println!("updated {}", path.display());
+        }
+        std::fs::write(&path, contents).expect("write golden file");
+    }
+    println!(
+        "golden corpus: {} files regenerated under {} ({changed} changed)",
+        files.len(),
+        dir.display()
+    );
+}

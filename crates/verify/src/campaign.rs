@@ -1,0 +1,325 @@
+//! Differential test campaigns: deterministic fleets of randomized
+//! (trace, machine, policy) cases driven through the engine and the
+//! reference oracle.
+//!
+//! A campaign is a pure function of its case count: case `i` always maps
+//! to the same trace, layout, policy, forwarding parameters and training
+//! depth, so a failure reported by CI reproduces locally by id. The
+//! enumeration round-robins layouts × the full policy ladder with period
+//! 20, so any campaign of at least 20 cases covers every pair.
+
+use crate::{diff_results, reference_simulate};
+use ccs_core::{LocMode, PaperPolicy, PolicyKind, PredictorBank};
+use ccs_critpath::analyze;
+use ccs_isa::{
+    ArchReg, BranchInfo, ClusterLayout, MachineConfig, OpClass, Pc, StaticInst,
+};
+use ccs_trace::{Benchmark, Trace, TraceBuilder};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Every steering policy of the paper's ladder (the four LADDER rungs
+/// plus the plain dependence baseline).
+pub const ALL_POLICIES: [PolicyKind; 5] = [
+    PolicyKind::Dependence,
+    PolicyKind::Focused,
+    PolicyKind::FocusedLoc,
+    PolicyKind::StallOverSteer,
+    PolicyKind::Proactive,
+];
+
+/// Where a differential case's trace comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSource {
+    /// A workload-model trace (the same generators the figures use).
+    Bench {
+        /// The benchmark model.
+        bench: Benchmark,
+        /// Generator seed.
+        seed: u64,
+        /// Dynamic instruction count.
+        len: usize,
+    },
+    /// An unstructured random trace from [`random_trace`] — no workload
+    /// realism, maximal coverage of odd dependence/branch/memory shapes.
+    Random {
+        /// Generator seed.
+        seed: u64,
+        /// Dynamic instruction count.
+        len: usize,
+    },
+}
+
+impl TraceSource {
+    /// Materializes the trace.
+    pub fn trace(&self) -> Trace {
+        match *self {
+            TraceSource::Bench { bench, seed, len } => bench.generate(seed, len),
+            TraceSource::Random { seed, len } => random_trace(seed, len),
+        }
+    }
+}
+
+/// One engine-vs-oracle differential case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffCase {
+    /// Position in the campaign (reproduces the case exactly).
+    pub id: usize,
+    /// Cluster layout under test.
+    pub layout: ClusterLayout,
+    /// Steering policy under test.
+    pub policy: PolicyKind,
+    /// Trace source.
+    pub source: TraceSource,
+    /// Inter-cluster forwarding latency (cycles).
+    pub forward_latency: u32,
+    /// Per-cluster broadcast bandwidth (`None` = unlimited).
+    pub forward_bandwidth: Option<u32>,
+    /// Training epochs before the measured (differential) run.
+    pub epochs: u32,
+}
+
+impl DiffCase {
+    /// The machine configuration this case simulates.
+    pub fn config(&self) -> MachineConfig {
+        MachineConfig::micro05_baseline()
+            .with_layout(self.layout)
+            .with_forward_latency(self.forward_latency)
+            .with_forward_bandwidth(self.forward_bandwidth)
+    }
+
+    /// One-line description for failure reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "case {}: {} {} {:?} fwd={} bw={:?} epochs={}",
+            self.id,
+            self.layout,
+            self.policy.name(),
+            self.source,
+            self.forward_latency,
+            self.forward_bandwidth,
+            self.epochs,
+        )
+    }
+}
+
+/// The outcome of one differential case.
+#[derive(Debug, Clone)]
+pub enum CaseOutcome {
+    /// Engine and oracle agreed on every compared quantity, the engine's
+    /// schedule passed the invariant checker, and the critical-path
+    /// breakdown conserved the cycle count.
+    Agreed,
+    /// Something diverged; one readable line per problem.
+    Diverged(Vec<String>),
+}
+
+/// Enumerates the first `cases` cases of the standard campaign.
+///
+/// Layouts and policies round-robin with coprime strides so the full
+/// 4 × 5 product is covered every 20 cases; trace sources alternate
+/// between the twelve workload models and unstructured random traces;
+/// forwarding latency, broadcast bandwidth and training depth cycle
+/// through their interesting values on their own periods.
+pub fn standard_campaign(cases: usize) -> Vec<DiffCase> {
+    (0..cases)
+        .map(|id| {
+            let source = if id % 3 == 0 {
+                TraceSource::Bench {
+                    bench: Benchmark::ALL[(id / 3) % Benchmark::ALL.len()],
+                    seed: 1 + (id / 36) as u64,
+                    len: 500 + 40 * (id % 8),
+                }
+            } else {
+                TraceSource::Random {
+                    seed: 0xD1FF_0000 ^ id as u64,
+                    len: 350 + 61 * (id % 7),
+                }
+            };
+            DiffCase {
+                id,
+                layout: ClusterLayout::ALL[id % 4],
+                policy: ALL_POLICIES[(id / 4) % 5],
+                source,
+                forward_latency: [1, 2, 4][(id / 20) % 3],
+                forward_bandwidth: [None, None, Some(1), Some(2)][(id / 5) % 4],
+                epochs: 1 + (id % 3) as u32,
+            }
+        })
+        .collect()
+}
+
+/// Runs one differential case end to end:
+///
+/// 1. train a predictor bank for `epochs - 1` epochs using the engine
+///    (the paper's two-phase methodology);
+/// 2. run the measured epoch through engine *and* oracle from identical
+///    clones of the trained bank;
+/// 3. compare everything with [`diff_results`];
+/// 4. audit the engine's schedule with [`ccs_sim::check_invariants`];
+/// 5. require the critical-path breakdown to conserve total cycles.
+///
+/// # Errors
+///
+/// Returns `Err` if either simulator hits its cycle limit — that is an
+/// infrastructure failure distinct from a divergence.
+pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, String> {
+    let trace = case.source.trace();
+    let config = case.config();
+    let cfg = case.policy.config();
+    let name = case.policy.name();
+
+    let mut bank = PredictorBank::new(LocMode::Quantized16, 0xC1A5);
+    for _ in 1..case.epochs.max(1) {
+        let mut policy = PaperPolicy::from_config(cfg, bank, name);
+        let result = ccs_sim::simulate(&config, &trace, &mut policy)
+            .map_err(|e| format!("{}: training run failed: {e}", case.describe()))?;
+        let analysis = analyze(&trace, &result);
+        bank = policy.into_bank();
+        bank.train_criticality(&trace, &analysis.e_critical);
+    }
+
+    let mut engine_policy = PaperPolicy::from_config(cfg, bank.clone(), name);
+    let engine = ccs_sim::simulate(&config, &trace, &mut engine_policy)
+        .map_err(|e| format!("{}: engine failed: {e}", case.describe()))?;
+    let mut oracle_policy = PaperPolicy::from_config(cfg, bank, name);
+    let oracle = reference_simulate(&config, &trace, &mut oracle_policy)
+        .map_err(|e| format!("{}: oracle failed: {e}", case.describe()))?;
+
+    let mut problems = diff_results(&engine, &oracle);
+    for v in ccs_sim::check_invariants(&config, &trace, &engine) {
+        problems.push(format!("invariant: {v}"));
+    }
+    let analysis = analyze(&trace, &engine);
+    if analysis.breakdown.total() != engine.cycles {
+        problems.push(format!(
+            "critical-path breakdown sums to {} but the run took {} cycles",
+            analysis.breakdown.total(),
+            engine.cycles
+        ));
+    }
+
+    if problems.is_empty() {
+        Ok(CaseOutcome::Agreed)
+    } else {
+        Ok(CaseOutcome::Diverged(
+            std::iter::once(case.describe()).chain(problems).collect(),
+        ))
+    }
+}
+
+/// Generates an unstructured random trace: arbitrary dependence shapes,
+/// a hot store/load address pool plus a cold sweep (for memory
+/// dependences and cache misses both), conditional branches with mixed
+/// bias, and occasional jumps. Deterministic in `seed`.
+pub fn random_trace(seed: u64, len: usize) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7A5E_D5EE_D000_0000);
+    let mut b = TraceBuilder::new();
+    while b.len() < len {
+        // A small PC pool aliases predictor and criticality-table entries.
+        let pc = Pc::new(0x40_0000 + 4 * rng.random_range(0u64..48));
+        let roll = rng.random_range(0u32..100);
+        let op = match roll {
+            0..=39 => OpClass::IntAlu,
+            40..=47 => OpClass::IntMul,
+            48..=55 => OpClass::FpAdd,
+            56..=60 => OpClass::FpMul,
+            61..=62 => OpClass::FpDiv,
+            63..=80 => OpClass::Load,
+            81..=89 => OpClass::Store,
+            90..=97 => OpClass::Branch,
+            _ => OpClass::Jump,
+        };
+        let random_reg = |rng: &mut StdRng| {
+            if rng.random_bool(0.75) {
+                ArchReg::int(rng.random_range(0u16..32))
+            } else {
+                ArchReg::fp(rng.random_range(0u16..32))
+            }
+        };
+        let mut inst = StaticInst::new(pc, op);
+        let src_count = rng.random_range(0u32..3);
+        if src_count >= 1 {
+            let a = random_reg(&mut rng);
+            let b2 = (src_count == 2).then(|| random_reg(&mut rng));
+            inst = inst.with_srcs([Some(a), b2]);
+        }
+        if op.produces_value() {
+            inst = inst.with_dst(random_reg(&mut rng));
+        }
+        match op {
+            OpClass::Load | OpClass::Store => {
+                // 70% a hot pool of 128 words (dense store→load conflicts
+                // and L1 hits), 30% a wide cold region (L1 misses).
+                let addr = if rng.random_bool(0.7) {
+                    0x1000 + 8 * rng.random_range(0u64..128)
+                } else {
+                    0x10_0000 + 64 * rng.random_range(0u64..8192)
+                };
+                b.push_mem(inst, addr);
+            }
+            OpClass::Branch => {
+                b.push_branch(inst, BranchInfo::conditional(rng.random_bool(0.4)));
+            }
+            OpClass::Jump => {
+                b.push_branch(inst, BranchInfo::unconditional());
+            }
+            _ => {
+                b.push_simple(inst);
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_is_deterministic_and_covers_everything() {
+        let a = standard_campaign(40);
+        let b = standard_campaign(40);
+        assert_eq!(a, b);
+        for layout in ClusterLayout::ALL {
+            for policy in ALL_POLICIES {
+                assert!(
+                    a.iter().any(|c| c.layout == layout && c.policy == policy),
+                    "{layout} × {} not covered",
+                    policy.name()
+                );
+            }
+        }
+        assert!(a.iter().any(|c| matches!(c.source, TraceSource::Bench { .. })));
+        assert!(a.iter().any(|c| matches!(c.source, TraceSource::Random { .. })));
+        assert!(a.iter().any(|c| c.forward_bandwidth.is_some()));
+    }
+
+    #[test]
+    fn random_traces_are_deterministic_and_valid() {
+        let t1 = random_trace(7, 500);
+        let t2 = random_trace(7, 500);
+        assert_eq!(t1.len(), 500);
+        t1.validate().expect("random trace must be well-formed");
+        for (a, b) in t1.as_slice().iter().zip(t2.as_slice()) {
+            assert_eq!(a.inst.pc, b.inst.pc);
+            assert_eq!(a.deps, b.deps);
+            assert_eq!(a.mem_addr, b.mem_addr);
+        }
+        // The generator must exercise memory, branches and both port
+        // classes, or the differential campaign loses coverage.
+        let stats = |op: OpClass| t1.as_slice().iter().filter(|i| i.op() == op).count();
+        assert!(stats(OpClass::Load) > 0);
+        assert!(stats(OpClass::Store) > 0);
+        assert!(stats(OpClass::Branch) > 0);
+        assert!(stats(OpClass::FpAdd) + stats(OpClass::FpMul) > 0);
+    }
+
+    #[test]
+    fn a_single_case_agrees_end_to_end() {
+        let case = &standard_campaign(1)[0];
+        match run_case(case).unwrap() {
+            CaseOutcome::Agreed => {}
+            CaseOutcome::Diverged(lines) => panic!("{}", lines.join("\n")),
+        }
+    }
+}

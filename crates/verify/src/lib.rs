@@ -1,0 +1,37 @@
+//! Differential verification for the clustered-superscalar simulator.
+//!
+//! The production engine in `ccs-sim` is optimized: it caches readiness
+//! in window entries, resolves memory dependences through an
+//! open-addressed table, reuses scratch buffers, and encodes "not yet"
+//! as a sentinel cycle. Each of those optimizations is a place for a
+//! subtle scheduling bug to hide. This crate provides three independent
+//! lines of defence:
+//!
+//! 1. **A reference oracle** ([`reference_simulate`]) — a naive
+//!    event-per-cycle simulator of the *same machine semantics*, written
+//!    for readability, with no caching and no sentinels. Differential
+//!    campaigns ([`campaign`]) drive random traces, benchmark traces,
+//!    every cluster layout and every steering policy through both
+//!    simulators and require cycle-exact agreement ([`diff_results`]).
+//! 2. **An invariant checker** (in `ccs-sim` itself:
+//!    [`ccs_sim::check_invariants`] and the `checked` run mode) that
+//!    audits a finished schedule against the machine's structural rules.
+//! 3. **A golden regression corpus** ([`golden`]) — committed snapshots
+//!    of CPI, event counts and critical-path breakdowns across the full
+//!    benchmark × layout × policy grid, regenerated with the
+//!    `regen_golden` binary and compared by snapshot tests with readable
+//!    diffs.
+//!
+//! See `DESIGN.md` ("Verification subsystem") for the methodology.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod diff;
+pub mod golden;
+pub mod oracle;
+
+pub use campaign::{run_case, standard_campaign, CaseOutcome, DiffCase, TraceSource};
+pub use diff::diff_results;
+pub use oracle::reference_simulate;

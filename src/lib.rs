@@ -17,8 +17,10 @@
 //!   ([`predictors`]), built on branch predictors / caches / counters
 //!   ([`uarch`]),
 //! * the paper's policy ladder — focused steering, LoC scheduling,
-//!   stall-over-steer, proactive load balancing ([`core`]), and
-//! * the §2.2 idealized list scheduler ([`listsched`]).
+//!   stall-over-steer, proactive load balancing ([`core`]),
+//! * the §2.2 idealized list scheduler ([`listsched`]), and
+//! * a differential verification subsystem — reference oracle, engine
+//!   invariant checker, golden regression corpus ([`verify`]).
 //!
 //! # Quickstart
 //!
@@ -45,3 +47,4 @@ pub use ccs_predictors as predictors;
 pub use ccs_sim as sim;
 pub use ccs_trace as trace;
 pub use ccs_uarch as uarch;
+pub use ccs_verify as verify;

@@ -1,0 +1,53 @@
+//! The differential verification campaign: the production engine versus
+//! the naive reference oracle (`ccs_verify::reference_simulate`) across
+//! random traces, workload-model traces, every cluster layout, the full
+//! policy ladder, and varied forwarding latency/bandwidth.
+//!
+//! The case budget defaults to 200 and is tunable via `CCS_DIFF_CASES`
+//! (CI sets it explicitly; see `ci.sh`). Cases are deterministic by id,
+//! so a reported failure reproduces exactly.
+
+use ccs_core::parallel_map;
+use ccs_isa::ClusterLayout;
+use ccs_verify::campaign::ALL_POLICIES;
+use ccs_verify::{run_case, standard_campaign, CaseOutcome};
+
+fn case_budget() -> usize {
+    std::env::var("CCS_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+#[test]
+fn engine_agrees_with_reference_oracle() {
+    // At least 20 cases guarantees full layout × policy coverage.
+    let cases = standard_campaign(case_budget().max(20));
+    for layout in ClusterLayout::ALL {
+        for policy in ALL_POLICIES {
+            assert!(
+                cases.iter().any(|c| c.layout == layout && c.policy == policy),
+                "campaign must cover {layout} × {}",
+                policy.name()
+            );
+        }
+    }
+
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let outcomes = parallel_map(&cases, threads, run_case);
+    let mut failures: Vec<String> = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(CaseOutcome::Agreed) => {}
+            Ok(CaseOutcome::Diverged(lines)) => failures.push(lines.join("\n  ")),
+            Err(infra) => failures.push(infra),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} differential cases diverged:\n{}",
+        failures.len(),
+        cases.len(),
+        failures.join("\n")
+    );
+}

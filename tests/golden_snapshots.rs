@@ -1,0 +1,40 @@
+//! Golden regression corpus snapshot tests.
+//!
+//! Recomputes the full benchmark × layout × policy golden grid (every
+//! cell in checked mode — so this test also proves the invariant checker
+//! finds zero violations across the whole grid) and compares it line by
+//! line against the committed corpus under `results/golden/`.
+//!
+//! On an *intended* behaviour change, regenerate with
+//! `cargo run --release -p ccs-verify --bin regen_golden` and commit the
+//! resulting diff alongside the change.
+
+use ccs_verify::golden::{corpus_files, diff_lines, golden_dir};
+
+#[test]
+fn golden_corpus_matches_committed_snapshots() {
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let dir = golden_dir();
+    let mut problems: Vec<String> = Vec::new();
+    let files = corpus_files(threads);
+    assert!(!files.is_empty());
+    for (name, computed) in &files {
+        let path = dir.join(name);
+        match std::fs::read_to_string(&path) {
+            Ok(committed) => problems.extend(diff_lines(name, &committed, computed)),
+            Err(_) => problems.push(format!(
+                "{name}: missing under {} — run `cargo run --release -p ccs-verify --bin \
+                 regen_golden` and commit results/golden/",
+                dir.display()
+            )),
+        }
+    }
+    assert!(
+        problems.is_empty(),
+        "golden corpus drift ({} problems):\n{}\n\
+         If this change is intended, regenerate the corpus with\n\
+         `cargo run --release -p ccs-verify --bin regen_golden` and commit the diff.",
+        problems.len(),
+        problems.join("\n")
+    );
+}

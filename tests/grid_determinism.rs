@@ -9,7 +9,7 @@
 
 use clustercrit::core::{run_grid, GridRequest, PolicyKind};
 use clustercrit::isa::{ClusterLayout, MachineConfig};
-use clustercrit::trace::Benchmark;
+use clustercrit::trace::{Benchmark, TraceStore};
 
 #[test]
 fn parallel_grid_is_bit_identical_to_serial() {
@@ -54,7 +54,7 @@ fn parallel_grid_is_bit_identical_to_serial() {
             po.bank.trained_epochs(),
             "{ctx}: trained epochs"
         );
-        for (i, inst) in clustercrit::trace::TraceStore::global()
+        for (i, inst) in TraceStore::global()
             .get(s.spec.benchmark, s.spec.sample_seed, s.spec.len)
             .as_slice()
             .iter()
@@ -70,6 +70,63 @@ fn parallel_grid_is_bit_identical_to_serial() {
                 so.bank.loc_level(pc),
                 po.bank.loc_level(pc),
                 "{ctx}: LoC level for instruction {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn warmed_trace_store_leaves_results_bit_identical() {
+    // The grid executor fetches every trace through the process-wide
+    // TraceStore. This pins the cache-hit path: a first run warms the
+    // store (generating each trace at most once), then serial and
+    // 8-thread re-runs over the warmed store must serve pure hits and
+    // reproduce the cold results bit for bit.
+    let specs = GridRequest::new(MachineConfig::micro05_baseline(), 1_700)
+        .benchmarks([Benchmark::Twolf, Benchmark::Parser])
+        .layouts([ClusterLayout::C4x2w])
+        .policies([PolicyKind::Focused, PolicyKind::Proactive])
+        .build();
+
+    let store = TraceStore::global();
+    let cold = run_grid(&specs, 2);
+    // Snapshot the cached allocation of each of this grid's keys. (The
+    // hit/miss counters are process-global and other tests share the
+    // store, so the single-generation guarantee is pinned per key, by
+    // pointer identity, not by counter deltas.)
+    let warmed: Vec<_> = specs
+        .iter()
+        .map(|s| store.get(s.benchmark, s.sample_seed, s.len))
+        .collect();
+    let hits_after_cold = store.hits();
+
+    let warm_serial = run_grid(&specs, 1);
+    let warm_parallel = run_grid(&specs, 8);
+
+    assert!(
+        store.hits() >= hits_after_cold + 2 * specs.len() as u64,
+        "every warmed cell must be served from the cache"
+    );
+    for (spec, arc) in specs.iter().zip(&warmed) {
+        let again = store.get(spec.benchmark, spec.sample_seed, spec.len);
+        assert!(
+            std::sync::Arc::ptr_eq(arc, &again),
+            "{} seed {} len {}: warmed re-runs must share the one cached trace",
+            spec.benchmark.name(),
+            spec.sample_seed,
+            spec.len
+        );
+    }
+
+    for ((c, s), p) in cold.iter().zip(&warm_serial).zip(&warm_parallel) {
+        let ctx = format!("{} {:?}", c.spec.benchmark.name(), c.spec.policy);
+        let co = c.expect_outcome();
+        for (label, o) in [("serial", s.expect_outcome()), ("parallel", p.expect_outcome())] {
+            assert_eq!(co.result.cycles, o.result.cycles, "{ctx}: {label} cycles");
+            assert_eq!(co.result.records, o.result.records, "{ctx}: {label} records");
+            assert_eq!(
+                co.analysis.breakdown, o.analysis.breakdown,
+                "{ctx}: {label} breakdown"
             );
         }
     }

@@ -15,6 +15,10 @@ use ccs_isa::ClusterLayout;
 fn opts() -> HarnessOptions {
     let mut o = HarnessOptions::smoke();
     o.len = 4_000;
+    // Every claim's grid doubles as a checked-mode smoke test: each
+    // cell's schedule is audited against the structural invariant
+    // checker, and any violation fails the cell outright.
+    o.checked = true;
     o
 }
 
