@@ -14,6 +14,21 @@ cargo build --release
 echo "==> cargo test -q (incl. differential campaign + golden snapshots)"
 CCS_DIFF_CASES="${CCS_DIFF_CASES:-200}" cargo test -q
 
+# Fault-injection smoke: a bounded slice of the 100-cell seeded-fault
+# acceptance grid (panic isolation, deterministic timeouts, bit-identity
+# of the unfaulted cells). CCS_FAULT_CASES bounds the grid; the full
+# 100-cell run happens when the variable is unset (as in the plain
+# `cargo test` above).
+echo "==> fault-injection smoke (CCS_FAULT_CASES=${CCS_FAULT_CASES:-30})"
+CCS_FAULT_CASES="${CCS_FAULT_CASES:-30}" \
+    cargo test --release --test fault_injection -q
+
+# Kill-and-resume: a campaign truncated mid-run and resumed from its
+# manifest must reproduce the uninterrupted run bit-identically without
+# re-running finished cells.
+echo "==> checkpoint kill-and-resume"
+cargo test --release --test checkpoint_resume -q
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,6 +1,11 @@
 //! Regenerates every table and figure of the paper, in order.
+//!
+//! Each exhibit runs isolated: a panic inside one figure is caught,
+//! annotated, and the remaining figures still render. The process exits
+//! nonzero if any exhibit failed, so CI notices partial output.
 use ccs_bench::{figures, HarnessOptions};
 use ccs_trace::TraceStore;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 fn main() {
@@ -12,26 +17,55 @@ fn main() {
     let start = Instant::now();
     let cells_before = ccs_core::cells_run();
     let sep = "=".repeat(78);
-    println!("{sep}\n{}", figures::tab1());
-    println!("{sep}\n{}", figures::fig2(&opts));
-    println!("{sep}\n{}", figures::fig2_latency_sweep(&opts));
-    println!("{sep}\n{}", figures::fig3(&opts));
-    println!("{sep}\n{}", figures::fig4(&opts));
-    println!("{sep}\n{}", figures::fig5(&opts));
-    println!("{sep}\n{}", figures::fig6(&opts));
-    println!("{sep}\n{}", figures::fig8(&opts));
-    println!("{sep}\n{}", figures::fig14(&opts));
-    println!("{sep}\n{}", figures::fig15(&opts));
-    println!("{sep}\n{}", figures::sec2_global_comm(&opts));
-    println!("{sep}\n{}", figures::sec4_listsched(&opts));
-    println!("{sep}\n{}", figures::sec6_consumers(&opts));
-    println!("{sep}\n{}", figures::slack_distribution(&opts));
-    println!("{sep}\n{}", figures::finite_l2_check(&opts));
-    println!("{sep}\n{}", figures::ablate_stall_threshold(&opts));
-    println!("{sep}\n{}", figures::ablate_loc_levels(&opts));
-    println!("{sep}\n{}", figures::ablate_interconnect(&opts));
-    println!("{sep}\n{}", figures::ablate_proactive(&opts));
-    println!("{sep}\n{}", figures::ablate_window(&opts));
+    let mut failed: Vec<&'static str> = Vec::new();
+    let mut show = |name: &'static str, render: &dyn Fn() -> String| {
+        match catch_unwind(AssertUnwindSafe(render)) {
+            Ok(text) => println!("{sep}\n{text}"),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                println!("{sep}\nFIGURE FAILED: {name}: {msg}");
+                failed.push(name);
+            }
+        }
+    };
+    show("tab1", &|| figures::tab1().to_string());
+    show("fig2", &|| figures::fig2(&opts).to_string());
+    show("fig2_latency_sweep", &|| {
+        figures::fig2_latency_sweep(&opts).to_string()
+    });
+    show("fig3", &|| figures::fig3(&opts).to_string());
+    show("fig4", &|| figures::fig4(&opts).to_string());
+    show("fig5", &|| figures::fig5(&opts).to_string());
+    show("fig6", &|| figures::fig6(&opts).to_string());
+    show("fig8", &|| figures::fig8(&opts).to_string());
+    show("fig14", &|| figures::fig14(&opts).to_string());
+    show("fig15", &|| figures::fig15(&opts).to_string());
+    show("sec2_global_comm", &|| {
+        figures::sec2_global_comm(&opts).to_string()
+    });
+    show("sec4_listsched", &|| figures::sec4_listsched(&opts).to_string());
+    show("sec6_consumers", &|| figures::sec6_consumers(&opts).to_string());
+    show("slack_distribution", &|| {
+        figures::slack_distribution(&opts).to_string()
+    });
+    show("finite_l2_check", &|| figures::finite_l2_check(&opts).to_string());
+    show("ablate_stall_threshold", &|| {
+        figures::ablate_stall_threshold(&opts).to_string()
+    });
+    show("ablate_loc_levels", &|| {
+        figures::ablate_loc_levels(&opts).to_string()
+    });
+    show("ablate_interconnect", &|| {
+        figures::ablate_interconnect(&opts).to_string()
+    });
+    show("ablate_proactive", &|| {
+        figures::ablate_proactive(&opts).to_string()
+    });
+    show("ablate_window", &|| figures::ablate_window(&opts).to_string());
 
     let elapsed = start.elapsed();
     let cells = ccs_core::cells_run() - cells_before;
@@ -48,4 +82,8 @@ fn main() {
         store.hits(),
         store.misses(),
     );
+    if !failed.is_empty() {
+        eprintln!("{} exhibit(s) failed: {}", failed.len(), failed.join(", "));
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,99 @@
+//! Runs the full benchmark × layout × policy grid as a *checkpointed
+//! campaign*: every finished cell is streamed to an append-only JSONL
+//! manifest, failed or hung cells are isolated and annotated instead of
+//! taking the run down, and `--resume` (or `CCS_RESUME=1`) picks an
+//! interrupted campaign back up without re-running finished cells.
+//!
+//! Exit code: `0` when every cell completed, `1` when any cell failed
+//! or timed out, `2` when the campaign is still incomplete.
+
+use ccs_bench::{HarnessOptions, TextTable};
+use ccs_core::checkpoint::{run_campaign, CampaignOptions, CheckpointRecord};
+use ccs_core::{CellSpec, PolicyKind};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_trace::Benchmark;
+
+fn main() {
+    let opts = HarnessOptions::from_env_and_args();
+    let manifest = std::env::var("CCS_MANIFEST")
+        .unwrap_or_else(|_| "results/checkpoints/grid_campaign.jsonl".to_string());
+
+    let base = MachineConfig::micro05_baseline();
+    let run_opts = opts.run_options();
+    let seeds = opts.sample_seeds();
+    let mut specs = Vec::new();
+    for bench in Benchmark::ALL {
+        for layout in ClusterLayout::CLUSTERED {
+            for policy in PolicyKind::LADDER {
+                // Like the paper's Figure 14, the proactive bar exists
+                // only on the 8-cluster machine.
+                if policy == PolicyKind::Proactive && layout != ClusterLayout::C8x1w {
+                    continue;
+                }
+                for &seed in &seeds {
+                    specs.push(CellSpec::new(
+                        base.with_layout(layout),
+                        bench,
+                        seed,
+                        opts.len,
+                        policy,
+                        run_opts,
+                    ));
+                }
+            }
+        }
+    }
+
+    println!(
+        "grid campaign: {} cells, manifest {manifest}{}",
+        specs.len(),
+        if opts.resume { " (resuming)" } else { "" }
+    );
+    let campaign = CampaignOptions::new(&manifest).with_resume(opts.resume);
+    let report = match run_campaign(&specs, opts.effective_threads(), &opts.resilience(), &campaign)
+    {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("campaign aborted: {e}");
+            std::process::exit(3);
+        }
+    };
+
+    let mut table = TextTable::new(
+        ["bench", "layout", "policy", "seed", "status", "att", "CPI / error"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (spec, record) in specs.iter().zip(&report.records) {
+        let (status, attempts, detail) = match record {
+            Some(r) => (r.status.clone(), r.attempts.to_string(), describe(r)),
+            None => ("UNFINISHED".to_string(), "-".to_string(), String::new()),
+        };
+        table.row(vec![
+            format!("{:?}", spec.benchmark),
+            format!("{:?}", spec.config.layout),
+            format!("{:?}", spec.policy),
+            spec.sample_seed.to_string(),
+            status,
+            attempts,
+            detail,
+        ]);
+    }
+    println!("{table}");
+    println!("{}", report.summary());
+    std::process::exit(report.exit_code());
+}
+
+/// The CPI for completed cells, the (truncated) error for failed ones.
+fn describe(record: &CheckpointRecord) -> String {
+    if record.is_ok() {
+        format!("{:.4}", f64::from_bits(record.cpi_bits))
+    } else {
+        let err = record.error.as_deref().unwrap_or("unknown error");
+        let mut short: String = err.chars().take(60).collect();
+        if short.len() < err.len() {
+            short.push('…');
+        }
+        short
+    }
+}

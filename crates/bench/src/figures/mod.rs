@@ -36,6 +36,7 @@ pub use slackfig::{slack_distribution, SlackDistribution, SlackRow};
 pub use tab1::{tab1, Tab1};
 
 use crate::HarnessOptions;
+use ccs_core::CcsError;
 use ccs_isa::MachineConfig;
 use ccs_sim::{policies::LeastLoaded, simulate, SimResult};
 use ccs_trace::{Benchmark, Trace, TraceStore};
@@ -55,22 +56,30 @@ pub(crate) fn mono_result(trace: &Trace) -> SimResult {
     simulate(&cfg, trace, &mut LeastLoaded).expect("monolithic baseline cannot deadlock")
 }
 
-/// Arithmetic mean. An empty input is a figure-harness bug (an exhibit
-/// averaging zero cells silently reports 0.0), so it debug-panics;
-/// release builds keep the old 0.0 fallback.
-pub(crate) fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+/// Arithmetic mean, rejecting empty series with a typed error. An
+/// exhibit averaging zero cells would silently report 0.0 — a harness
+/// bug, not a number.
+pub(crate) fn try_mean(values: impl IntoIterator<Item = f64>) -> Result<f64, CcsError> {
     let mut sum = 0.0;
     let mut n = 0usize;
     for v in values {
         sum += v;
         n += 1;
     }
-    debug_assert!(n > 0, "mean of an empty figure series");
     if n == 0 {
-        0.0
-    } else {
-        sum / n as f64
+        return Err(CcsError::EmptyInput {
+            what: "figure series to average",
+        });
     }
+    Ok(sum / n as f64)
+}
+
+/// Arithmetic mean over a series the caller guarantees non-empty.
+/// Figure code builds each series from a fixed benchmark/layout
+/// enumeration, so an empty one is a bug; the panic is isolated per
+/// exhibit by the `all_figures` driver.
+pub(crate) fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    try_mean(values).expect("mean of an empty figure series")
 }
 
 #[cfg(test)]
@@ -83,11 +92,18 @@ mod tests {
         assert_eq!(mean([4.0]), 4.0);
     }
 
-    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "mean of an empty figure series")]
     fn mean_of_empty_series_is_a_bug() {
         let _ = mean([]);
+    }
+
+    #[test]
+    fn try_mean_reports_empty_series_as_a_typed_error() {
+        assert_eq!(try_mean([2.0, 4.0]).unwrap(), 3.0);
+        let err = try_mean([]).unwrap_err();
+        assert!(matches!(err, CcsError::EmptyInput { .. }));
+        assert!(err.to_string().contains("figure series"));
     }
 
     #[test]

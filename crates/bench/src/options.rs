@@ -1,6 +1,7 @@
 //! Harness configuration.
 
-use ccs_core::RunOptions;
+use ccs_core::{Resilience, RunOptions};
+use std::time::Duration;
 
 /// Shared configuration for the figure harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +22,17 @@ pub struct HarnessOptions {
     /// Run every cell in checked mode (structural invariant audits on
     /// each epoch's schedule); roughly doubles per-cell cost.
     pub checked: bool,
+    /// Resume a checkpointed campaign: skip cells already recorded in
+    /// the manifest instead of truncating it.
+    pub resume: bool,
+    /// Attempts per grid cell before it is reported as failed.
+    pub max_attempts: u32,
+    /// Wall-clock deadline per cell attempt in milliseconds (`0` = no
+    /// watchdog).
+    pub deadline_ms: u64,
+    /// Cycle budget per simulation (`0` = unbounded); exceeding it
+    /// reports the cell as timed out.
+    pub cycle_budget: u64,
 }
 
 impl HarnessOptions {
@@ -28,7 +40,10 @@ impl HarnessOptions {
     /// per core — overridable via the `CCS_LEN`, `CCS_SEED`,
     /// `CCS_EPOCHS`, `CCS_SAMPLES` and `CCS_THREADS` environment
     /// variables. `CCS_CHECKED=1` turns on checked (invariant-audited)
-    /// simulation for every cell.
+    /// simulation for every cell. Resilience knobs: `CCS_RESUME=1`
+    /// resumes a checkpointed campaign, `CCS_MAX_ATTEMPTS` retries
+    /// failing cells, `CCS_DEADLINE_MS` arms the per-cell wall-clock
+    /// watchdog and `CCS_CYCLE_BUDGET` bounds each simulation.
     pub fn from_env() -> Self {
         let parse = |name: &str, default: u64| -> u64 {
             std::env::var(name)
@@ -43,11 +58,16 @@ impl HarnessOptions {
             samples: parse("CCS_SAMPLES", 1) as u32,
             threads: parse("CCS_THREADS", 0) as usize,
             checked: parse("CCS_CHECKED", 0) != 0,
+            resume: parse("CCS_RESUME", 0) != 0,
+            max_attempts: parse("CCS_MAX_ATTEMPTS", 1).max(1) as u32,
+            deadline_ms: parse("CCS_DEADLINE_MS", 0),
+            cycle_budget: parse("CCS_CYCLE_BUDGET", 0),
         }
     }
 
     /// [`from_env`](Self::from_env), then applies `--threads N` /
-    /// `--threads=N` from the binary's command line on top.
+    /// `--threads=N` and `--resume` from the binary's command line on
+    /// top.
     pub fn from_env_and_args() -> Self {
         let mut opts = Self::from_env();
         let mut args = std::env::args().skip(1);
@@ -60,6 +80,8 @@ impl HarnessOptions {
                 if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
                     opts.threads = n;
                 }
+            } else if arg == "--resume" {
+                opts.resume = true;
             }
         }
         opts
@@ -93,14 +115,31 @@ impl HarnessOptions {
             samples: 1,
             threads: 2,
             checked: false,
+            resume: false,
+            max_attempts: 1,
+            deadline_ms: 0,
+            cycle_budget: 0,
         }
     }
 
     /// The policy-evaluation options these harness options imply.
     pub fn run_options(&self) -> RunOptions {
-        RunOptions::default()
+        let mut opts = RunOptions::default()
             .with_epochs(self.epochs)
-            .with_checked(self.checked)
+            .with_checked(self.checked);
+        if self.cycle_budget > 0 {
+            opts = opts.with_cycle_budget(self.cycle_budget);
+        }
+        opts
+    }
+
+    /// The per-cell retry/watchdog policy these harness options imply.
+    pub fn resilience(&self) -> Resilience {
+        let mut res = Resilience::default().with_max_attempts(self.max_attempts);
+        if self.deadline_ms > 0 {
+            res = res.with_deadline(Duration::from_millis(self.deadline_ms));
+        }
+        res
     }
 }
 
@@ -130,6 +169,20 @@ mod tests {
         assert_eq!(seeds.len(), 3);
         let set: std::collections::HashSet<_> = seeds.iter().collect();
         assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn resilience_and_budget_knobs_map_through() {
+        let mut o = HarnessOptions::smoke();
+        assert_eq!(o.resilience(), Resilience::default());
+        assert_eq!(o.run_options().cycle_budget, None);
+        o.max_attempts = 3;
+        o.deadline_ms = 250;
+        o.cycle_budget = 1_000;
+        let res = o.resilience();
+        assert_eq!(res.max_attempts, 3);
+        assert_eq!(res.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(o.run_options().cycle_budget, Some(1_000));
     }
 
     #[test]

@@ -1,0 +1,559 @@
+//! Checkpoint/resume for long grid campaigns.
+//!
+//! A campaign streams every finished cell — completed, failed, or timed
+//! out — to an append-only JSONL *manifest* (one record per line,
+//! written and flushed as the cell finishes). A campaign killed mid-run
+//! can then be restarted with [`CampaignOptions::resume`]: cells whose
+//! key is already recorded are skipped, only the missing cells run, and
+//! the merged manifest is bit-identical to the manifest of an
+//! uninterrupted run (a property the test suite enforces).
+//!
+//! Records carry a *digest* of each result — the cycle count, the CPI
+//! bit pattern, and an FNV-1a hash over the full per-instruction record
+//! vector — rather than the result itself, which keeps manifests small
+//! while still detecting any divergence between a resumed and a fresh
+//! evaluation.
+//!
+//! The manifest format is hand-rolled: records are flat and the
+//! workspace deliberately carries no JSON dependency (the vendored
+//! `serde` is an offline stub). Loading tolerates a torn final line —
+//! the expected artifact of killing a campaign mid-write — by treating
+//! it as "not recorded".
+
+use crate::error::CcsError;
+use crate::grid::{evaluate_cell, run_cells, CellResult, CellSpec, CellStatus, Resilience};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+/// 64-bit FNV-1a over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A stable identity for a cell within a campaign: the readable axes
+/// (benchmark, seed, length, layout, policy) plus an FNV-1a fingerprint
+/// of the full spec (machine config, policy config, run options), so
+/// ablation cells differing only in configuration get distinct keys.
+pub fn cell_key(spec: &CellSpec) -> String {
+    let fingerprint = fnv1a(format!("{spec:?}").as_bytes());
+    format!(
+        "{}/s{}/n{}/{}/{:?}/{fingerprint:016x}",
+        spec.benchmark.name(),
+        spec.sample_seed,
+        spec.len,
+        spec.config.layout,
+        spec.policy,
+    )
+}
+
+/// One manifest line: the identity and result digest of a finished cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRecord {
+    /// The cell's [`cell_key`].
+    pub key: String,
+    /// `ok`, `FAILED`, or `TIMEOUT` (see [`CellStatus::label`]).
+    pub status: String,
+    /// Attempts spent on the cell.
+    pub attempts: u32,
+    /// Measured-epoch cycle count (0 for failed cells).
+    pub cycles: u64,
+    /// Bit pattern of the measured CPI (0 for failed cells) — exact
+    /// equality without float-formatting round trips.
+    pub cpi_bits: u64,
+    /// FNV-1a over the debug rendering of the full simulation result
+    /// (0 for failed cells). Bit-identical runs digest identically.
+    pub digest: u64,
+    /// The error rendering for failed/timed-out cells.
+    pub error: Option<String>,
+}
+
+impl CheckpointRecord {
+    /// Digests a finished cell.
+    pub fn from_result(result: &CellResult) -> CheckpointRecord {
+        let key = cell_key(&result.spec);
+        match &result.status {
+            CellStatus::Completed(o) => CheckpointRecord {
+                key,
+                status: result.status.label().to_string(),
+                attempts: result.status.attempts(),
+                cycles: o.result.cycles,
+                cpi_bits: o.cpi().to_bits(),
+                digest: fnv1a(format!("{:?}", o.result).as_bytes()),
+                error: None,
+            },
+            CellStatus::Failed { error, attempts } | CellStatus::TimedOut { error, attempts } => {
+                CheckpointRecord {
+                    key,
+                    status: result.status.label().to_string(),
+                    attempts: *attempts,
+                    cycles: 0,
+                    cpi_bits: 0,
+                    digest: 0,
+                    error: Some(error.to_string()),
+                }
+            }
+        }
+    }
+
+    /// Whether this record is a successful completion.
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"key\":\"");
+        escape_into(&self.key, &mut s);
+        let _ = write!(
+            s,
+            "\",\"status\":\"{}\",\"attempts\":{},\"cycles\":{},\"cpi_bits\":{},\"digest\":{}",
+            self.status, self.attempts, self.cycles, self.cpi_bits, self.digest
+        );
+        match &self.error {
+            None => s.push_str(",\"error\":null}"),
+            Some(e) => {
+                s.push_str(",\"error\":\"");
+                escape_into(e, &mut s);
+                s.push_str("\"}");
+            }
+        }
+        s
+    }
+
+    /// Parses one manifest line; `None` for torn or foreign lines.
+    pub fn from_json_line(line: &str) -> Option<CheckpointRecord> {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.ends_with('}') {
+            return None;
+        }
+        Some(CheckpointRecord {
+            key: parse_str_field(line, "key")?,
+            status: parse_str_field(line, "status")?,
+            attempts: parse_u64_field(line, "attempts")? as u32,
+            cycles: parse_u64_field(line, "cycles")?,
+            cpi_bits: parse_u64_field(line, "cpi_bits")?,
+            digest: parse_u64_field(line, "digest")?,
+            error: parse_opt_str_field(line, "error")?,
+        })
+    }
+}
+
+/// Minimal JSON string escaping for the characters our renderings can
+/// contain.
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// The raw (still escaped) contents of `"name":"..."`, or `None`.
+fn raw_str_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    // Closing quote: first '"' not preceded by an odd run of backslashes.
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return Some(&rest[..i]),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+fn parse_str_field(line: &str, name: &str) -> Option<String> {
+    raw_str_field(line, name).map(unescape)
+}
+
+fn parse_opt_str_field(line: &str, name: &str) -> Option<Option<String>> {
+    if line.contains(&format!("\"{name}\":null")) {
+        return Some(None);
+    }
+    parse_str_field(line, name).map(Some)
+}
+
+fn parse_u64_field(line: &str, name: &str) -> Option<u64> {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag)? + tag.len();
+    let digits: &str = &line[start..];
+    let end = digits
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(digits.len());
+    digits[..end].parse().ok()
+}
+
+/// Loads a manifest into a key-indexed map. A later record for a key
+/// supersedes an earlier one (a retry after resume); torn or foreign
+/// lines are skipped.
+///
+/// # Errors
+///
+/// [`CcsError::Checkpoint`] if the file exists but cannot be read. A
+/// missing file loads as an empty map.
+pub fn load_manifest(path: &Path) -> Result<HashMap<String, CheckpointRecord>, CcsError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(HashMap::new()),
+        Err(e) => {
+            return Err(CcsError::Checkpoint {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })
+        }
+    };
+    let mut map = HashMap::new();
+    for line in text.lines() {
+        if let Some(rec) = CheckpointRecord::from_json_line(line) {
+            map.insert(rec.key.clone(), rec);
+        }
+    }
+    Ok(map)
+}
+
+/// How a campaign checkpoints and (optionally) resumes.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// The JSONL manifest path, conventionally under
+    /// `results/checkpoints/`.
+    pub manifest: PathBuf,
+    /// Resume: skip cells already recorded in the manifest and append
+    /// to it. Off: truncate any existing manifest and run everything.
+    pub resume: bool,
+    /// Stop scheduling new cells after this many have run — a
+    /// deterministic stand-in for a mid-campaign kill, used by the
+    /// kill-and-resume tests. `None` runs the full grid.
+    pub max_cells: Option<usize>,
+}
+
+impl CampaignOptions {
+    /// A campaign writing to `manifest`, not resuming, unbounded.
+    pub fn new(manifest: impl Into<PathBuf>) -> Self {
+        CampaignOptions {
+            manifest: manifest.into(),
+            resume: false,
+            max_cells: None,
+        }
+    }
+
+    /// The same options with resume on or off.
+    #[must_use]
+    pub fn with_resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// The same options stopping after `max_cells` cells.
+    #[must_use]
+    pub fn with_max_cells(mut self, max_cells: usize) -> Self {
+        self.max_cells = Some(max_cells);
+        self
+    }
+}
+
+/// What a (possibly resumed, possibly truncated) campaign produced.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Per input spec: the in-memory result if the cell ran in *this*
+    /// process, `None` if it was skipped on resume or cut by
+    /// [`CampaignOptions::max_cells`].
+    pub results: Vec<Option<CellResult>>,
+    /// Per input spec: the manifest record after the run — present for
+    /// every cell that has ever finished (this run or a resumed one).
+    pub records: Vec<Option<CheckpointRecord>>,
+    /// Cells skipped because the manifest already recorded them.
+    pub skipped: usize,
+}
+
+impl CampaignReport {
+    /// Cells recorded as completed.
+    pub fn completed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.as_ref().is_some_and(CheckpointRecord::is_ok))
+            .count()
+    }
+
+    /// Cells recorded as failed or timed out.
+    pub fn failed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.as_ref().is_some_and(|r| !r.is_ok()))
+            .count()
+    }
+
+    /// Cells with no record yet (cut by `max_cells`).
+    pub fn unfinished(&self) -> usize {
+        self.records.iter().filter(|r| r.is_none()).count()
+    }
+
+    /// `0` when every cell completed, `1` when any failed or timed
+    /// out, `2` when the campaign is incomplete.
+    pub fn exit_code(&self) -> i32 {
+        if self.unfinished() > 0 {
+            2
+        } else if self.failed() > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// A one-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} ok, {} failed/timed-out, {} unfinished, {} resumed-skipped of {} cells",
+            self.completed(),
+            self.failed(),
+            self.unfinished(),
+            self.skipped,
+            self.records.len()
+        )
+    }
+}
+
+/// Runs `specs` as a checkpointed campaign: every finished cell is
+/// appended (and flushed) to the manifest as it completes, and with
+/// [`CampaignOptions::resume`] cells already recorded are skipped.
+///
+/// # Errors
+///
+/// [`CcsError::Checkpoint`] if the manifest cannot be created, read, or
+/// appended. Cell-level failures do **not** error the campaign — they
+/// are recorded per cell, reflected in
+/// [`CampaignReport::exit_code`].
+pub fn run_campaign(
+    specs: &[CellSpec],
+    threads: usize,
+    res: &Resilience,
+    opts: &CampaignOptions,
+) -> Result<CampaignReport, CcsError> {
+    let io_err = |e: std::io::Error| CcsError::Checkpoint {
+        path: opts.manifest.display().to_string(),
+        message: e.to_string(),
+    };
+    if let Some(dir) = opts.manifest.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(io_err)?;
+        }
+    }
+    let recorded = if opts.resume {
+        load_manifest(&opts.manifest)?
+    } else {
+        HashMap::new()
+    };
+    let file = OpenOptions::new()
+        .create(true)
+        .append(opts.resume)
+        .truncate(!opts.resume)
+        .write(true)
+        .open(&opts.manifest)
+        .map_err(io_err)?;
+    let writer = Mutex::new(BufWriter::new(file));
+
+    let keys: Vec<String> = specs.iter().map(cell_key).collect();
+    let mut pending: Vec<(usize, CellSpec)> = specs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !recorded.contains_key(&keys[*i]))
+        .map(|(i, s)| (i, *s))
+        .collect();
+    let skipped = specs.len() - pending.len();
+    if let Some(max) = opts.max_cells {
+        pending.truncate(max);
+    }
+
+    let pending_specs: Vec<CellSpec> = pending.iter().map(|(_, s)| *s).collect();
+    let ran = run_cells(
+        &pending_specs,
+        threads,
+        res,
+        |_, spec, cancel| evaluate_cell(spec, cancel),
+        |_, result: &CellResult| {
+            let line = CheckpointRecord::from_result(result).to_json_line();
+            let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+            // A write/flush failure here must not take down the other
+            // worker threads; the campaign still holds its results in
+            // memory, so losing a checkpoint line only costs a re-run
+            // of that cell after a resume.
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        },
+    );
+    drop(
+        writer
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner),
+    );
+
+    let mut results: Vec<Option<CellResult>> = vec![None; specs.len()];
+    for ((input_idx, _), result) in pending.iter().zip(ran) {
+        results[*input_idx] = Some(result);
+    }
+    let records: Vec<Option<CheckpointRecord>> = results
+        .iter()
+        .zip(&keys)
+        .map(|(result, key)| match result {
+            Some(r) => Some(CheckpointRecord::from_result(r)),
+            None => recorded.get(key).cloned(),
+        })
+        .collect();
+    Ok(CampaignReport {
+        results,
+        records,
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridRequest;
+    use crate::policy::PolicyKind;
+    use crate::RunOptions;
+    use ccs_isa::{ClusterLayout, MachineConfig};
+    use ccs_trace::Benchmark;
+
+    #[test]
+    fn records_round_trip_through_json_lines() {
+        let rec = CheckpointRecord {
+            key: "vpr/s1/n1000/4x2/Focused/00ff".into(),
+            status: "ok".into(),
+            attempts: 1,
+            cycles: 1234,
+            cpi_bits: 0x3ff0_0000_0000_0000,
+            digest: 0xdead_beef,
+            error: None,
+        };
+        let line = rec.to_json_line();
+        assert_eq!(CheckpointRecord::from_json_line(&line), Some(rec));
+
+        let failed = CheckpointRecord {
+            key: "gzip/s2/n500/8x1/FocusedLoc/0001".into(),
+            status: "FAILED".into(),
+            attempts: 2,
+            cycles: 0,
+            cpi_bits: 0,
+            digest: 0,
+            error: Some("cell panicked: \"quoted\"\nand newline \\ slash".into()),
+        };
+        let line = failed.to_json_line();
+        assert_eq!(CheckpointRecord::from_json_line(&line), Some(failed));
+    }
+
+    #[test]
+    fn torn_lines_parse_as_none() {
+        assert_eq!(CheckpointRecord::from_json_line(""), None);
+        assert_eq!(
+            CheckpointRecord::from_json_line("{\"key\":\"a/b\",\"status\":\"ok\",\"atte"),
+            None
+        );
+        assert_eq!(CheckpointRecord::from_json_line("not json at all"), None);
+    }
+
+    #[test]
+    fn cell_keys_distinguish_config_variants() {
+        let opts = RunOptions::default();
+        let base = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+        let a = CellSpec::new(base, Benchmark::Vpr, 1, 1_000, PolicyKind::Focused, opts);
+        let b = CellSpec::new(
+            base,
+            Benchmark::Vpr,
+            1,
+            1_000,
+            PolicyKind::Focused,
+            opts.with_epochs(3),
+        );
+        assert_ne!(cell_key(&a), cell_key(&b), "options feed the fingerprint");
+        assert_eq!(cell_key(&a), cell_key(&a.clone()), "keys are stable");
+    }
+
+    #[test]
+    fn campaign_checkpoints_and_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("ccs-ckpt-{}", std::process::id()));
+        let specs = GridRequest::new(MachineConfig::micro05_baseline(), 800)
+            .benchmarks([Benchmark::Vpr, Benchmark::Gzip])
+            .layouts([ClusterLayout::C2x4w])
+            .policies([PolicyKind::Focused, PolicyKind::FocusedLoc])
+            .options(RunOptions::default().with_epochs(1))
+            .build();
+        assert_eq!(specs.len(), 4);
+
+        // Uninterrupted reference campaign.
+        let clean_opts = CampaignOptions::new(dir.join("clean.jsonl"));
+        let clean = run_campaign(&specs, 2, &Resilience::default(), &clean_opts).unwrap();
+        assert_eq!(clean.exit_code(), 0, "{}", clean.summary());
+
+        // Killed after 2 cells, then resumed.
+        let killed_opts = CampaignOptions::new(dir.join("resumed.jsonl")).with_max_cells(2);
+        let killed = run_campaign(&specs, 1, &Resilience::default(), &killed_opts).unwrap();
+        assert_eq!(killed.exit_code(), 2);
+        assert_eq!(killed.unfinished(), 2);
+
+        let resume_opts = CampaignOptions::new(dir.join("resumed.jsonl")).with_resume(true);
+        let resumed = run_campaign(&specs, 1, &Resilience::default(), &resume_opts).unwrap();
+        assert_eq!(resumed.exit_code(), 0, "{}", resumed.summary());
+        assert_eq!(resumed.skipped, 2, "completed cells must not re-run");
+        assert_eq!(
+            resumed.results.iter().flatten().count(),
+            2,
+            "only the missing cells ran"
+        );
+
+        // The resumed manifest's records must match the clean run's
+        // digests exactly, cell for cell.
+        for (i, (clean_rec, resumed_rec)) in
+            clean.records.iter().zip(&resumed.records).enumerate()
+        {
+            assert_eq!(clean_rec, resumed_rec, "cell {i} digest");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

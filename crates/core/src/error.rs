@@ -1,0 +1,204 @@
+//! The workspace-wide error taxonomy.
+//!
+//! Every way a grid cell can fail maps onto one [`CcsError`] variant, so
+//! campaign infrastructure (the resilient executor in [`grid`](crate::grid),
+//! the checkpoint layer, the figure harness) can classify failures
+//! without string matching:
+//!
+//! * [`CcsError::Trace`] — malformed trace or bad workload parameter
+//!   (wraps [`ccs_trace::TraceError`]).
+//! * [`CcsError::Config`] — invalid machine configuration (wraps
+//!   [`ccs_isa::ConfigError`]).
+//! * [`CcsError::Sim`] — the engine failed: deadlock, exhausted cycle
+//!   budget, cooperative cancellation, or a structural invariant
+//!   violation in checked mode (wraps [`ccs_sim::SimError`]).
+//! * [`CcsError::OracleDivergence`] — the differential oracle disagreed
+//!   with the engine (constructed by `ccs-verify`).
+//! * [`CcsError::CellPanicked`] — a cell panicked and was isolated by
+//!   the executor's `catch_unwind` barrier.
+//! * [`CcsError::EmptyInput`] — an aggregation was asked to summarize
+//!   nothing.
+//! * [`CcsError::Checkpoint`] — the checkpoint manifest could not be
+//!   read, parsed, or appended.
+//!
+//! Lower-layer crates keep their own error types (`ccs-trace` and
+//! `ccs-isa` sit below this crate in the dependency graph); `From`
+//! impls lift them into the taxonomy at the `ccs-core` boundary.
+
+use ccs_isa::ConfigError;
+use ccs_sim::SimError;
+use ccs_trace::TraceError;
+use std::fmt;
+
+/// Any failure the experiment stack can produce, classified by layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CcsError {
+    /// Trace validation or workload-parameter failure.
+    Trace(TraceError),
+    /// Machine-configuration validation failure.
+    Config(ConfigError),
+    /// Simulation failure: deadlock, budget, cancellation, or invariant
+    /// violation.
+    Sim(SimError),
+    /// The reference oracle computed a different schedule than the
+    /// engine.
+    OracleDivergence {
+        /// How many fields/records disagreed.
+        mismatches: usize,
+        /// A short, human-readable account of the first disagreements.
+        summary: String,
+    },
+    /// A cell panicked; the panic was caught at the executor's
+    /// isolation barrier.
+    CellPanicked {
+        /// The panic payload, if it was a string (the common case).
+        message: String,
+    },
+    /// An aggregation (mean, normalization) received no data.
+    EmptyInput {
+        /// What was being aggregated.
+        what: &'static str,
+    },
+    /// The checkpoint manifest could not be read, parsed, or written.
+    Checkpoint {
+        /// The manifest path involved.
+        path: String,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl CcsError {
+    /// Whether this failure is a watchdog timeout (cycle budget
+    /// exhausted or cooperative cancellation) rather than a defect.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, CcsError::Sim(e) if e.is_timeout())
+    }
+
+    /// Builds [`CcsError::CellPanicked`] from a `catch_unwind` payload,
+    /// extracting the message when the panic carried one.
+    pub fn from_panic(payload: &(dyn std::any::Any + Send)) -> CcsError {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        CcsError::CellPanicked { message }
+    }
+}
+
+impl fmt::Display for CcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcsError::Trace(e) => write!(f, "trace: {e}"),
+            CcsError::Config(e) => write!(f, "config: {e}"),
+            CcsError::Sim(e) => write!(f, "sim: {e}"),
+            CcsError::OracleDivergence { mismatches, summary } => {
+                write!(f, "oracle divergence ({mismatches} mismatches): {summary}")
+            }
+            CcsError::CellPanicked { message } => write!(f, "cell panicked: {message}"),
+            CcsError::EmptyInput { what } => write!(f, "empty input: no {what}"),
+            CcsError::Checkpoint { path, message } => {
+                write!(f, "checkpoint {path}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CcsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CcsError::Trace(e) => Some(e),
+            CcsError::Config(e) => Some(e),
+            CcsError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for CcsError {
+    fn from(e: TraceError) -> Self {
+        CcsError::Trace(e)
+    }
+}
+
+impl From<ConfigError> for CcsError {
+    fn from(e: ConfigError) -> Self {
+        CcsError::Config(e)
+    }
+}
+
+impl From<SimError> for CcsError {
+    fn from(e: SimError) -> Self {
+        CcsError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layers_lift_into_the_taxonomy() {
+        let t: CcsError = TraceError::BadWorkloadParam {
+            param: "min_len",
+            message: "must be at least 1".into(),
+        }
+        .into();
+        assert!(matches!(t, CcsError::Trace(_)));
+        assert!(t.to_string().starts_with("trace: "));
+
+        let s: CcsError = SimError::BudgetExhausted {
+            budget: 10,
+            committed: 0,
+            total: 5,
+        }
+        .into();
+        assert!(s.is_timeout());
+        assert!(!t.is_timeout());
+    }
+
+    #[test]
+    fn panic_payloads_extract_their_message() {
+        let from_str = std::panic::catch_unwind(|| panic!("boom")).unwrap_err();
+        let e = CcsError::from_panic(from_str.as_ref());
+        assert_eq!(
+            e,
+            CcsError::CellPanicked {
+                message: "boom".into()
+            }
+        );
+
+        let from_string =
+            std::panic::catch_unwind(|| panic!("cell {} failed", 7)).unwrap_err();
+        let e = CcsError::from_panic(from_string.as_ref());
+        assert_eq!(
+            e,
+            CcsError::CellPanicked {
+                message: "cell 7 failed".into()
+            }
+        );
+
+        let from_other = std::panic::catch_unwind(|| std::panic::panic_any(42_i32)).unwrap_err();
+        let e = CcsError::from_panic(from_other.as_ref());
+        assert!(matches!(e, CcsError::CellPanicked { message } if message.contains("non-string")));
+    }
+
+    #[test]
+    fn errors_render_with_layer_prefixes() {
+        let e = CcsError::EmptyInput { what: "series" };
+        assert_eq!(e.to_string(), "empty input: no series");
+        let e = CcsError::Checkpoint {
+            path: "results/checkpoints/x.jsonl".into(),
+            message: "truncated record".into(),
+        };
+        assert!(e.to_string().contains("results/checkpoints/x.jsonl"));
+        let e = CcsError::OracleDivergence {
+            mismatches: 3,
+            summary: "cycles 10 vs 11".into(),
+        };
+        assert!(e.to_string().contains("3 mismatches"));
+    }
+}

@@ -1,12 +1,15 @@
 //! The two-phase experiment driver.
 
 use crate::bank::{LocMode, PredictorBank};
+use crate::error::CcsError;
 use crate::policy::{PaperPolicy, PolicyKind};
 use ccs_critpath::{analyze, CritPathAnalysis};
 use ccs_isa::MachineConfig;
 use ccs_predictors::TokenDetector;
-use ccs_sim::{simulate, SimError, SimResult};
+use ccs_sim::{simulate_budgeted, Cycle, SimBudget, SimError, SimResult};
 use ccs_trace::Trace;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Where criticality training samples come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +43,11 @@ pub struct RunOptions {
     /// any violation surfaced as [`SimError::InvariantViolated`]. Adds
     /// one audit pass per epoch (~2× cost); off by default.
     pub checked: bool,
+    /// Deterministic watchdog: give up any single epoch once its cycle
+    /// counter passes this value, surfacing
+    /// [`SimError::BudgetExhausted`] (a timeout, not a defect). `None`
+    /// (the default) leaves only the engine's internal deadlock limit.
+    pub cycle_budget: Option<Cycle>,
 }
 
 impl Default for RunOptions {
@@ -50,6 +58,7 @@ impl Default for RunOptions {
             seed: 0xC1A5,
             training: TrainingSource::ExactGraph,
             checked: false,
+            cycle_budget: None,
         }
     }
 }
@@ -82,6 +91,13 @@ impl RunOptions {
     #[must_use]
     pub fn with_checked(mut self, checked: bool) -> Self {
         self.checked = checked;
+        self
+    }
+
+    /// Convenience: the same options with a per-epoch cycle budget.
+    #[must_use]
+    pub fn with_cycle_budget(mut self, cycle_budget: Cycle) -> Self {
+        self.cycle_budget = Some(cycle_budget);
         self
     }
 }
@@ -121,13 +137,14 @@ impl CellOutcome {
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] from the simulator (cycle-limit exhaustion).
+/// Returns [`CcsError::Sim`] for simulator failures (deadlock, exhausted
+/// [`RunOptions::cycle_budget`], checked-mode invariant violations).
 pub fn run_cell(
     config: &MachineConfig,
     trace: &Trace,
     kind: PolicyKind,
     options: &RunOptions,
-) -> Result<CellOutcome, SimError> {
+) -> Result<CellOutcome, CcsError> {
     run_custom(config, trace, kind.config(), kind, options)
 }
 
@@ -138,27 +155,50 @@ pub fn run_cell(
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] from the simulator.
+/// As for [`run_cell`].
 pub fn run_custom(
     config: &MachineConfig,
     trace: &Trace,
     policy_config: crate::PolicyConfig,
     kind: PolicyKind,
     options: &RunOptions,
-) -> Result<CellOutcome, SimError> {
+) -> Result<CellOutcome, CcsError> {
+    run_custom_cancellable(config, trace, policy_config, kind, options, None)
+}
+
+/// Like [`run_custom`], with an optional cooperative cancel flag that a
+/// watchdog can raise mid-epoch — the entry point the resilient grid
+/// executor uses to enforce wall-clock deadlines.
+///
+/// # Errors
+///
+/// As for [`run_cell`], plus [`SimError::Cancelled`] (as
+/// [`CcsError::Sim`]) when `cancel` is observed raised.
+pub fn run_custom_cancellable(
+    config: &MachineConfig,
+    trace: &Trace,
+    policy_config: crate::PolicyConfig,
+    kind: PolicyKind,
+    options: &RunOptions,
+    cancel: Option<Arc<AtomicBool>>,
+) -> Result<CellOutcome, CcsError> {
+    let budget = SimBudget {
+        max_cycles: options.cycle_budget,
+        cancel,
+    };
     let mut bank = PredictorBank::new(options.loc_mode, options.seed);
     let epochs = options.epochs.max(1);
     let mut last: Option<(SimResult, CritPathAnalysis)> = None;
     for _ in 0..epochs {
         let mut policy = PaperPolicy::from_config(policy_config, bank, kind.name());
         let result = if options.checked {
-            ccs_sim::simulate_checked(config, trace, &mut policy)?
+            ccs_sim::simulate_checked_budgeted(config, trace, &mut policy, &budget)?
         } else {
-            simulate(config, trace, &mut policy)?
+            simulate_budgeted(config, trace, &mut policy, &budget)?
         };
         let analysis = analyze(trace, &result);
         if options.checked && analysis.breakdown.total() != result.cycles {
-            return Err(SimError::InvariantViolated {
+            return Err(CcsError::Sim(SimError::InvariantViolated {
                 first: ccs_sim::Violation {
                     cycle: result.cycles,
                     inst: None,
@@ -169,7 +209,7 @@ pub fn run_custom(
                     ),
                 },
                 count: 1,
-            });
+            }));
         }
         bank = policy.into_bank();
         match options.training {
@@ -183,6 +223,8 @@ pub fn run_custom(
         }
         last = Some((result, analysis));
     }
+    // Invariant: the loop above runs `options.epochs.max(1)` >= 1
+    // iterations, and every iteration either sets `last` or returns Err.
     let (result, analysis) = last.expect("at least one epoch ran");
     Ok(CellOutcome {
         kind,

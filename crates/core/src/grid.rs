@@ -16,12 +16,15 @@
 //! grid-shaped work that is not a [`run_cell`] evaluation (e.g. the
 //! idealized list-scheduling study of Figure 2).
 
-use crate::experiment::{run_custom, CellOutcome, RunOptions};
+use crate::error::CcsError;
+use crate::experiment::{run_custom_cancellable, CellOutcome, RunOptions};
 use crate::policy::{PolicyConfig, PolicyKind};
 use ccs_isa::{ClusterLayout, MachineConfig};
-use ccs_sim::SimError;
 use ccs_trace::{Benchmark, TraceStore};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
 
 /// One cell of an experiment grid: everything needed to evaluate one
 /// `(machine, workload, policy)` point with [`run_cell`].
@@ -76,22 +79,103 @@ impl CellSpec {
     }
 
     /// Evaluates this cell serially (the unit of work [`run_grid`]
-    /// distributes). The trace comes from the global
-    /// [`TraceStore`](ccs_trace::TraceStore).
+    /// distributes), with panic isolation and default [`Resilience`].
     pub fn run(&self) -> CellResult {
-        let trace = TraceStore::global().get(self.benchmark, self.sample_seed, self.len);
-        let policy_config = self.policy_config.unwrap_or_else(|| self.policy.config());
-        let outcome = run_custom(
-            &self.config,
-            &trace,
-            policy_config,
-            self.policy,
-            &self.options,
-        );
-        CELLS_RUN.fetch_add(1, Ordering::Relaxed);
-        CellResult {
-            spec: *self,
-            outcome,
+        run_cell_resilient(self, &Resilience::default(), &evaluate_cell)
+    }
+}
+
+/// Evaluates one cell's experiment, without isolation or retries — the
+/// work function [`run_grid`] wraps in its resilience machinery. The
+/// trace comes from the global [`TraceStore`](ccs_trace::TraceStore);
+/// the optional `cancel` flag is threaded into the engine's cooperative
+/// budget so a watchdog can stop the cell mid-epoch.
+///
+/// # Errors
+///
+/// As for [`run_custom_cancellable`].
+pub fn evaluate_cell(
+    spec: &CellSpec,
+    cancel: Option<Arc<AtomicBool>>,
+) -> Result<CellOutcome, CcsError> {
+    let trace = TraceStore::global().get(spec.benchmark, spec.sample_seed, spec.len);
+    let policy_config = spec.policy_config.unwrap_or_else(|| spec.policy.config());
+    run_custom_cancellable(
+        &spec.config,
+        &trace,
+        policy_config,
+        spec.policy,
+        &spec.options,
+        cancel,
+    )
+}
+
+/// How one grid cell ended.
+#[derive(Debug, Clone)]
+pub enum CellStatus {
+    /// The cell evaluated successfully. Boxed: a `CellOutcome` carries
+    /// full per-instruction records and dwarfs the error variants.
+    Completed(Box<CellOutcome>),
+    /// Every attempt failed; the final error and the attempt count.
+    Failed {
+        /// The error of the last attempt.
+        error: CcsError,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+    /// Every attempt hit a watchdog (cycle budget or wall-clock
+    /// deadline); the final timeout and the attempt count.
+    TimedOut {
+        /// The timeout error of the last attempt.
+        error: CcsError,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+}
+
+impl CellStatus {
+    /// The successful outcome, if the cell completed.
+    pub fn outcome(&self) -> Option<&CellOutcome> {
+        match self {
+            CellStatus::Completed(o) => Some(o.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// The error, if the cell failed or timed out.
+    pub fn error(&self) -> Option<&CcsError> {
+        match self {
+            CellStatus::Completed(_) => None,
+            CellStatus::Failed { error, .. } | CellStatus::TimedOut { error, .. } => Some(error),
+        }
+    }
+
+    /// Attempts spent on this cell.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            CellStatus::Completed(_) => 1,
+            CellStatus::Failed { attempts, .. } | CellStatus::TimedOut { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+
+    /// Whether the cell completed successfully.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, CellStatus::Completed(_))
+    }
+
+    /// Whether the cell timed out (watchdog outcome).
+    pub fn is_timed_out(&self) -> bool {
+        matches!(self, CellStatus::TimedOut { .. })
+    }
+
+    /// A short annotation for reports: `ok`, `FAILED`, or `TIMEOUT`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellStatus::Completed(_) => "ok",
+            CellStatus::Failed { .. } => "FAILED",
+            CellStatus::TimedOut { .. } => "TIMEOUT",
         }
     }
 }
@@ -101,20 +185,20 @@ impl CellSpec {
 pub struct CellResult {
     /// The evaluated cell.
     pub spec: CellSpec,
-    /// The evaluation outcome ([`SimError`] only from deadlocking
-    /// policies, which the paper policies never are).
-    pub outcome: Result<CellOutcome, SimError>,
+    /// How the cell ended: completed, failed (with the isolating
+    /// error), or timed out.
+    pub status: CellStatus,
 }
 
 impl CellResult {
     /// The successful outcome, panicking with the cell's identity on a
-    /// simulator error — grid cells built from the paper's policies
-    /// cannot deadlock, so figure code treats errors as fatal.
+    /// failed or timed-out cell — grid cells built from the paper's
+    /// policies cannot fail, so figure code treats errors as fatal.
     pub fn expect_outcome(&self) -> &CellOutcome {
-        match &self.outcome {
-            Ok(o) => o,
-            Err(e) => panic!(
-                "grid cell failed: {:?} {} seed {} len {}: {e}",
+        match &self.status {
+            CellStatus::Completed(o) => o.as_ref(),
+            CellStatus::Failed { error, .. } | CellStatus::TimedOut { error, .. } => panic!(
+                "grid cell failed: {:?} {} seed {} len {}: {error}",
                 self.spec.policy,
                 self.spec.benchmark.name(),
                 self.spec.sample_seed,
@@ -126,6 +210,115 @@ impl CellResult {
     /// Cycles per instruction of the measured epoch.
     pub fn cpi(&self) -> f64 {
         self.expect_outcome().cpi()
+    }
+}
+
+/// Failure-handling policy for a grid run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resilience {
+    /// Attempts per cell before recording it as failed (≥ 1). Retries
+    /// make sense for nondeterministic failures — wall-clock timeouts
+    /// on a loaded machine, transient environmental panics; a
+    /// deterministic failure simply fails `max_attempts` times.
+    pub max_attempts: u32,
+    /// Wall-clock deadline per attempt, enforced by a watchdog thread
+    /// raising the cell's cooperative cancel flag. `None` disables the
+    /// watchdog. This is inherently nondeterministic — prefer
+    /// [`RunOptions::cycle_budget`] where determinism matters, and use
+    /// the deadline as a backstop for cells that hang outside the
+    /// engine's cycle loop.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Resilience {
+            max_attempts: 1,
+            deadline: None,
+        }
+    }
+}
+
+impl Resilience {
+    /// The same policy with a different attempt budget.
+    #[must_use]
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// The same policy with a per-attempt wall-clock deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Runs `body` with a cancel flag that a watchdog thread raises after
+/// `deadline`; without a deadline the body runs with no flag and no
+/// watchdog. The watchdog is woken (and joined) as soon as the body
+/// finishes, so well-behaved cells never wait on it.
+fn with_watchdog<R>(
+    deadline: Option<Duration>,
+    body: impl FnOnce(Option<Arc<AtomicBool>>) -> R,
+) -> R {
+    let Some(deadline) = deadline else {
+        return body(None);
+    };
+    let cancel = Arc::new(AtomicBool::new(false));
+    let done = Arc::new((Mutex::new(false), Condvar::new()));
+    let watchdog = {
+        let cancel = Arc::clone(&cancel);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let (finished, cv) = &*done;
+            let guard = finished.lock().unwrap_or_else(PoisonError::into_inner);
+            let (guard, timeout) = cv
+                .wait_timeout_while(guard, deadline, |finished| !*finished)
+                .unwrap_or_else(PoisonError::into_inner);
+            if timeout.timed_out() && !*guard {
+                cancel.store(true, Ordering::Relaxed);
+            }
+        })
+    };
+    let result = body(Some(cancel));
+    let (finished, cv) = &*done;
+    *finished.lock().unwrap_or_else(PoisonError::into_inner) = true;
+    cv.notify_all();
+    watchdog.join().expect("watchdog thread panicked");
+    result
+}
+
+/// Evaluates one cell under `res`: each attempt runs `cell_fn` behind a
+/// `catch_unwind` isolation barrier (panics become
+/// [`CcsError::CellPanicked`]) and an optional wall-clock watchdog;
+/// failed attempts are retried up to [`Resilience::max_attempts`].
+fn run_cell_resilient<F>(spec: &CellSpec, res: &Resilience, cell_fn: &F) -> CellResult
+where
+    F: Fn(&CellSpec, Option<Arc<AtomicBool>>) -> Result<CellOutcome, CcsError>,
+{
+    let max_attempts = res.max_attempts.max(1);
+    let mut attempts = 0;
+    let status = loop {
+        attempts += 1;
+        let attempt = with_watchdog(res.deadline, |cancel| {
+            catch_unwind(AssertUnwindSafe(|| cell_fn(spec, cancel)))
+                .unwrap_or_else(|panic| Err(CcsError::from_panic(panic.as_ref())))
+        });
+        CELLS_RUN.fetch_add(1, Ordering::Relaxed);
+        match attempt {
+            Ok(outcome) => break CellStatus::Completed(Box::new(outcome)),
+            Err(error) if attempts < max_attempts => {
+                let _ = error; // retry; only the final attempt's error is kept
+            }
+            Err(error) if error.is_timeout() => break CellStatus::TimedOut { error, attempts },
+            Err(error) => break CellStatus::Failed { error, attempts },
+        }
+    };
+    CellResult {
+        spec: *spec,
+        status,
     }
 }
 
@@ -145,8 +338,45 @@ pub fn cells_run() -> u64 {
 /// is **bit-identical** for every `threads` value; parallelism only
 /// changes wall-clock time. `threads == 0` or `1` runs inline without
 /// spawning.
+///
+/// Every cell is evaluated behind a panic-isolation barrier: a
+/// panicking cell becomes [`CellStatus::Failed`] with
+/// [`CcsError::CellPanicked`] while every other cell completes
+/// normally. Use [`run_grid_resilient`] to add retries and a wall-clock
+/// watchdog.
 pub fn run_grid(specs: &[CellSpec], threads: usize) -> Vec<CellResult> {
-    parallel_map(specs, threads, CellSpec::run)
+    run_grid_resilient(specs, threads, &Resilience::default())
+}
+
+/// [`run_grid`] with an explicit failure-handling policy: per-cell
+/// retry budget and wall-clock watchdog deadline.
+pub fn run_grid_resilient(specs: &[CellSpec], threads: usize, res: &Resilience) -> Vec<CellResult> {
+    run_cells(specs, threads, res, |_, spec, cancel| evaluate_cell(spec, cancel), |_, _| {})
+}
+
+/// The fully general resilient executor: evaluates `specs` through
+/// `cell_fn` (normally [`evaluate_cell`] ignoring the index; the
+/// fault-injection harness keys seeded faults off it) under `res`,
+/// calling `observe` with each `(input index, result)` as it finishes —
+/// **in completion order**, from worker threads — before returning all
+/// results in input order. The checkpoint layer uses `observe` to
+/// stream completed cells to the manifest.
+pub fn run_cells<F, O>(
+    specs: &[CellSpec],
+    threads: usize,
+    res: &Resilience,
+    cell_fn: F,
+    observe: O,
+) -> Vec<CellResult>
+where
+    F: Fn(usize, &CellSpec, Option<Arc<AtomicBool>>) -> Result<CellOutcome, CcsError> + Sync,
+    O: Fn(usize, &CellResult) + Sync,
+{
+    parallel_map_indexed(specs, threads, |i, spec| {
+        let result = run_cell_resilient(spec, res, &|spec, cancel| cell_fn(i, spec, cancel));
+        observe(i, &result);
+        result
+    })
 }
 
 /// Applies `f` to every item of `items` on up to `threads` worker
@@ -162,9 +392,21 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    parallel_map_indexed(items, threads, |_, item| f(item))
+}
+
+/// [`parallel_map`] whose work function also receives the item's input
+/// index — for callers that label or stream per-item results (the
+/// resilient executor's observer).
+pub fn parallel_map_indexed<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let threads = threads.clamp(1, items.len().max(1));
     if threads == 1 {
-        return items.iter().map(f).collect();
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
@@ -184,7 +426,7 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        out.push((i, f(&items[i])));
+                        out.push((i, f(i, &items[i])));
                     }
                     out
                 })
@@ -361,6 +603,119 @@ mod tests {
         assert_eq!(out, vec![2, 3]);
         let empty: Vec<u32> = parallel_map(&[], 4, |&x: &u32| x);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn panicking_cells_are_isolated_from_the_rest() {
+        let specs = small_specs();
+        let results = run_cells(
+            &specs,
+            4,
+            &Resilience::default(),
+            |_, spec, cancel| {
+                if spec.benchmark == Benchmark::Gzip && spec.policy == PolicyKind::Focused {
+                    panic!("injected fault in {}", spec.benchmark.name());
+                }
+                evaluate_cell(spec, cancel)
+            },
+            |_, _| {},
+        );
+        let clean = run_grid(&specs, 1);
+        let mut failed = 0;
+        for (r, c) in results.iter().zip(&clean) {
+            if r.spec.benchmark == Benchmark::Gzip && r.spec.policy == PolicyKind::Focused {
+                failed += 1;
+                let err = r.status.error().expect("seeded cell must fail");
+                assert!(
+                    matches!(err, CcsError::CellPanicked { message } if message.contains("injected fault")),
+                    "got {err}"
+                );
+            } else {
+                assert_eq!(
+                    r.expect_outcome().result.cycles,
+                    c.expect_outcome().result.cycles,
+                    "unseeded cells are unaffected"
+                );
+            }
+        }
+        assert_eq!(failed, 2, "both gzip/Focused layout cells fail");
+    }
+
+    #[test]
+    fn failed_cells_spend_their_whole_attempt_budget() {
+        let specs = &small_specs()[..1];
+        let res = Resilience::default().with_max_attempts(3);
+        let results = run_cells(
+            specs,
+            1,
+            &res,
+            |_, _, _| -> Result<CellOutcome, CcsError> { panic!("always fails") },
+            |_, _| {},
+        );
+        match &results[0].status {
+            CellStatus::Failed { attempts, .. } => assert_eq!(*attempts, 3),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        assert_eq!(results[0].status.label(), "FAILED");
+    }
+
+    #[test]
+    fn exhausted_cycle_budgets_surface_as_timeouts() {
+        let mut spec = small_specs()[0];
+        spec.options = spec.options.with_cycle_budget(10);
+        let result = spec.run();
+        assert!(result.status.is_timed_out());
+        assert_eq!(result.status.label(), "TIMEOUT");
+        assert!(result.status.error().unwrap().is_timeout());
+    }
+
+    #[test]
+    fn wall_clock_watchdog_cancels_spinning_cells() {
+        use std::time::Duration;
+        let specs = &small_specs()[..1];
+        let res = Resilience::default().with_deadline(Duration::from_millis(30));
+        let results = run_cells(
+            specs,
+            1,
+            &res,
+            |_, _, cancel| -> Result<CellOutcome, CcsError> {
+                // A cooperative hang: spin until the watchdog raises the
+                // flag, as the engine's cycle loop would.
+                let cancel = cancel.expect("deadline implies a cancel flag");
+                while !cancel.load(Ordering::Relaxed) {
+                    std::hint::spin_loop();
+                }
+                Err(CcsError::Sim(ccs_sim::SimError::Cancelled {
+                    cycle: 0,
+                    committed: 0,
+                    total: 1,
+                }))
+            },
+            |_, _| {},
+        );
+        assert!(results[0].status.is_timed_out());
+    }
+
+    #[test]
+    fn observer_sees_every_cell_with_its_input_index() {
+        let specs = small_specs();
+        let seen = Mutex::new(Vec::new());
+        let results = run_cells(
+            &specs,
+            4,
+            &Resilience::default(),
+            |_, spec, cancel| evaluate_cell(spec, cancel),
+            |i, r: &CellResult| {
+                seen.lock().unwrap().push((i, r.spec.benchmark));
+            },
+        );
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable_by_key(|(i, _)| *i);
+        assert_eq!(seen.len(), results.len());
+        for ((i, bench), r) in seen.iter().zip(&results) {
+            assert_eq!(specs[*i].benchmark, *bench);
+            assert_eq!(r.spec.benchmark, *bench);
+        }
     }
 
     #[test]

@@ -48,12 +48,20 @@
 
 mod bank;
 mod baselines;
+pub mod checkpoint;
+pub mod error;
 mod experiment;
 pub mod grid;
 mod policy;
 
 pub use bank::{LocMode, PredictorBank};
 pub use baselines::{FirstConsumer, ModN};
-pub use experiment::{run_cell, run_custom, CellOutcome, RunOptions, TrainingSource};
-pub use grid::{cells_run, parallel_map, run_grid, CellResult, CellSpec, GridRequest};
+pub use error::CcsError;
+pub use experiment::{
+    run_cell, run_custom, run_custom_cancellable, CellOutcome, RunOptions, TrainingSource,
+};
+pub use grid::{
+    cells_run, parallel_map, run_grid, run_grid_resilient, CellResult, CellSpec, CellStatus,
+    GridRequest, Resilience,
+};
 pub use policy::{PaperPolicy, PolicyConfig, PolicyKind, ProactiveConfig};

@@ -123,6 +123,7 @@ pub fn analyze_consumers(
         let mcc = *cons
             .iter()
             .min_by_key(|c| (!e_critical[c.index()], slack_of(c), c.raw()))
+            // Invariant: producers with no consumers were skipped above.
             .expect("non-empty consumer list");
         if cons.len() >= 2 {
             multi += 1;

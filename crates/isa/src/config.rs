@@ -390,6 +390,9 @@ impl MachineConfig {
             self.forward_latency,
             self.memory,
         )
+        // Invariant: `self` was already validated by `build`, and
+        // re-dividing validated aggregate resources over any of the four
+        // paper layouts (1/2/4/8 clusters) cannot fail.
         .expect("window divides among the paper's layouts");
         cfg.forward_bandwidth = self.forward_bandwidth;
         cfg

@@ -327,6 +327,9 @@ fn schedule_region(
                 let mut est: u64 = 0;
                 let mut has_producer = false;
                 for d in insts[i].producers().filter_map(local_dep) {
+                    // Invariant: candidates are only considered once every
+                    // producer is scheduled (the ready-set construction
+                    // filters on finished deps).
                     let f = finish[d].expect("deps scheduled");
                     let fwd = machine.forwarding_between(placed[d], c) as u64;
                     est = est.max(f + fwd);

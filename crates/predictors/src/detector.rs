@@ -176,6 +176,8 @@ impl TokenDetector {
             window.push_back(masks);
             // Expire nodes that can no longer be referenced.
             while window.len() > span {
+                // Invariant: the loop condition `window.len() > span`
+                // (span >= 1) guarantees a front element.
                 let old = window.pop_front().expect("non-empty window");
                 window_base += 1;
                 for k in 0..self.tokens {

@@ -16,7 +16,7 @@
 //! windows, and the predictor is replayed fresh. An optimization bug in
 //! the engine therefore cannot hide itself from the checker.
 
-use crate::engine::{simulate, SimError};
+use crate::engine::{simulate, simulate_budgeted, SimBudget, SimError};
 use crate::policy::SteeringPolicy;
 use crate::record::{Cycle, ReadyBound};
 use crate::result::SimResult;
@@ -110,6 +110,38 @@ pub fn simulate_checked(
     policy: &mut dyn SteeringPolicy,
 ) -> Result<SimResult, SimError> {
     let result = simulate(config, trace, policy)?;
+    verify(config, trace, result)
+}
+
+/// Runs `trace` like [`simulate_checked`], under the cooperative bounds
+/// in `budget` (see [`simulate_budgeted`]).
+///
+/// # Errors
+///
+/// [`simulate_checked`]'s errors, plus the budget outcomes
+/// [`SimError::BudgetExhausted`] and [`SimError::Cancelled`].
+pub fn simulate_checked_budgeted(
+    config: &MachineConfig,
+    trace: &Trace,
+    policy: &mut dyn SteeringPolicy,
+    budget: &SimBudget,
+) -> Result<SimResult, SimError> {
+    let result = simulate_budgeted(config, trace, policy, budget)?;
+    verify(config, trace, result)
+}
+
+/// Gates `result` on [`check_invariants`]: passes a clean result
+/// through, converts any violation into [`SimError::InvariantViolated`].
+///
+/// # Errors
+///
+/// Returns [`SimError::InvariantViolated`] carrying the first violation
+/// in (cycle, instruction) order and the total count.
+pub fn verify(
+    config: &MachineConfig,
+    trace: &Trace,
+    result: SimResult,
+) -> Result<SimResult, SimError> {
     let violations = check_invariants(config, trace, &result);
     let count = violations.len();
     match violations.into_iter().next() {
@@ -203,7 +235,9 @@ impl Checker<'_> {
                         "{} completed after {} cycles; the op class plus memory penalty \
                          takes {expected_latency}",
                         inst.op(),
-                        r.complete - r.issue
+                        // Saturate: a corrupt schedule can complete "before"
+                        // issuing, and the checker must stay total on garbage.
+                        r.complete.saturating_sub(r.issue)
                     ),
                 );
             }
@@ -430,6 +464,8 @@ impl Checker<'_> {
                 }
                 continue;
             }
+            // Invariant: `is_cond` above required `inst.branch` to be a
+            // Some(Conditional).
             let br = inst.branch.expect("conditional branch has an outcome");
             conditional += 1;
             let pred = bp.predict(inst.pc());
@@ -471,6 +507,8 @@ impl Checker<'_> {
 
     fn check_totals(&mut self) {
         let records = &self.result.records;
+        // Invariant: `check_all` returns early for empty traces before
+        // calling this.
         let last_commit = records.last().expect("non-empty trace").commit;
         if self.result.cycles != last_commit + 1 {
             self.fail(

@@ -13,14 +13,38 @@ use ccs_trace::{DynIdx, Trace};
 use ccs_uarch::{BranchPredictor, Gshare, SetAssocCache};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Errors a simulation run can produce.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
-    /// The simulation exceeded its cycle budget — indicates a deadlocked
-    /// policy (e.g. one that stalls forever).
+    /// The simulation exceeded its internal progress limit — indicates a
+    /// deadlocked policy (e.g. one that stalls forever).
     CycleLimitExceeded {
         /// The cycle at which the simulation gave up.
+        cycle: Cycle,
+        /// Instructions committed by then.
+        committed: usize,
+        /// Instructions in the trace.
+        total: usize,
+    },
+    /// The caller-imposed [`SimBudget::max_cycles`] ran out before the
+    /// trace committed. Unlike [`CycleLimitExceeded`](Self::CycleLimitExceeded)
+    /// this is a *watchdog* outcome: the run may have been healthy but
+    /// slow, and the grid executor reports it as a deterministic timeout.
+    BudgetExhausted {
+        /// The budget that ran out.
+        budget: Cycle,
+        /// Instructions committed by then.
+        committed: usize,
+        /// Instructions in the trace.
+        total: usize,
+    },
+    /// The run observed its [`SimBudget::cancel`] flag and stopped
+    /// cooperatively — the executor's wall-clock watchdog fired.
+    Cancelled {
+        /// The cycle at which cancellation was observed.
         cycle: Cycle,
         /// Instructions committed by then.
         committed: usize,
@@ -37,6 +61,17 @@ pub enum SimError {
     },
 }
 
+impl SimError {
+    /// Whether this error is a watchdog outcome (budget or cancellation)
+    /// rather than a genuine simulation defect.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            SimError::BudgetExhausted { .. } | SimError::Cancelled { .. }
+        )
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -49,6 +84,22 @@ impl fmt::Display for SimError {
                 "cycle limit exceeded at cycle {cycle} with {committed}/{total} committed \
                  (deadlocked steering policy?)"
             ),
+            SimError::BudgetExhausted {
+                budget,
+                committed,
+                total,
+            } => write!(
+                f,
+                "cycle budget of {budget} exhausted with {committed}/{total} committed"
+            ),
+            SimError::Cancelled {
+                cycle,
+                committed,
+                total,
+            } => write!(
+                f,
+                "cancelled at cycle {cycle} with {committed}/{total} committed"
+            ),
             SimError::InvariantViolated { first, count } => {
                 write!(f, "{count} structural invariant violation(s); first: {first}")
             }
@@ -57,6 +108,48 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
+
+/// Cooperative execution bounds for a simulation run.
+///
+/// The engine's cycle loop checks these at every iteration head: a run
+/// that exceeds `max_cycles` returns [`SimError::BudgetExhausted`], and
+/// one whose `cancel` flag is raised (polled every
+/// [`CANCEL_POLL_CYCLES`](SimBudget::CANCEL_POLL_CYCLES) cycles to keep
+/// the hot loop cheap) returns [`SimError::Cancelled`]. The default
+/// budget is unbounded, reproducing plain [`simulate`] behaviour.
+///
+/// `max_cycles` gives *deterministic* timeouts — the same configuration
+/// always gives up at the same cycle — while `cancel` is the hook for
+/// the grid executor's nondeterministic wall-clock watchdog.
+#[derive(Debug, Clone, Default)]
+pub struct SimBudget {
+    /// Give up once the cycle counter passes this value.
+    pub max_cycles: Option<Cycle>,
+    /// Shared flag a watchdog can raise to stop the run cooperatively.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl SimBudget {
+    /// How often (in simulated cycles) the cancel flag is polled.
+    pub const CANCEL_POLL_CYCLES: Cycle = 1024;
+
+    /// An unbounded budget (the default).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A budget that gives up after `max_cycles` simulated cycles.
+    pub fn with_max_cycles(mut self, max_cycles: Cycle) -> Self {
+        self.max_cycles = Some(max_cycles);
+        self
+    }
+
+    /// A budget that watches `cancel` and stops when it is raised.
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+}
 
 const NOT_YET: Cycle = Cycle::MAX;
 
@@ -115,6 +208,24 @@ pub fn simulate(
     config: &MachineConfig,
     trace: &Trace,
     policy: &mut dyn SteeringPolicy,
+) -> Result<SimResult, SimError> {
+    simulate_budgeted(config, trace, policy, &SimBudget::unbounded())
+}
+
+/// Runs `trace` like [`simulate`], under the cooperative bounds in
+/// `budget`.
+///
+/// # Errors
+///
+/// In addition to [`simulate`]'s errors, returns
+/// [`SimError::BudgetExhausted`] when [`SimBudget::max_cycles`] runs out
+/// and [`SimError::Cancelled`] when [`SimBudget::cancel`] is observed
+/// raised.
+pub fn simulate_budgeted(
+    config: &MachineConfig,
+    trace: &Trace,
+    policy: &mut dyn SteeringPolicy,
+    budget: &SimBudget,
 ) -> Result<SimResult, SimError> {
     let n = trace.len();
     let clusters = config.cluster_count();
@@ -183,6 +294,24 @@ pub fn simulate(
                 committed: next_commit,
                 total: n,
             });
+        }
+        if let Some(max) = budget.max_cycles {
+            if t >= max {
+                return Err(SimError::BudgetExhausted {
+                    budget: max,
+                    committed: next_commit,
+                    total: n,
+                });
+            }
+        }
+        if let Some(cancel) = &budget.cancel {
+            if t.is_multiple_of(SimBudget::CANCEL_POLL_CYCLES) && cancel.load(Ordering::Relaxed) {
+                return Err(SimError::Cancelled {
+                    cycle: t,
+                    committed: next_commit,
+                    total: n,
+                });
+            }
         }
 
         // ---- Commit ------------------------------------------------------
@@ -561,4 +690,80 @@ pub fn simulate(
         ilp,
         steer_stall_cycles,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::LeastLoaded;
+    use ccs_isa::ClusterLayout;
+    use ccs_trace::Benchmark;
+
+    fn setup() -> (MachineConfig, Trace) {
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C2x4w);
+        let trace = Benchmark::Gzip.generate(3, 1_000);
+        (cfg, trace)
+    }
+
+    #[test]
+    fn unbounded_budget_matches_plain_simulate() {
+        let (cfg, trace) = setup();
+        let plain = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let budgeted =
+            simulate_budgeted(&cfg, &trace, &mut LeastLoaded, &SimBudget::unbounded()).unwrap();
+        assert_eq!(plain.cycles, budgeted.cycles);
+        assert_eq!(plain.records, budgeted.records);
+    }
+
+    #[test]
+    fn exhausted_budget_reports_deterministically() {
+        let (cfg, trace) = setup();
+        let budget = SimBudget::unbounded().with_max_cycles(50);
+        let a = simulate_budgeted(&cfg, &trace, &mut LeastLoaded, &budget).unwrap_err();
+        let b = simulate_budgeted(&cfg, &trace, &mut LeastLoaded, &budget).unwrap_err();
+        assert_eq!(a, b, "budget exhaustion must be deterministic");
+        assert!(a.is_timeout());
+        match a {
+            SimError::BudgetExhausted {
+                budget: max,
+                committed,
+                total,
+            } => {
+                assert_eq!(max, 50);
+                assert!(committed < total);
+                assert_eq!(total, trace.len());
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ample_budget_changes_nothing() {
+        let (cfg, trace) = setup();
+        let plain = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let budget = SimBudget::unbounded().with_max_cycles(plain.cycles + 1);
+        let bounded = simulate_budgeted(&cfg, &trace, &mut LeastLoaded, &budget).unwrap();
+        assert_eq!(plain.cycles, bounded.cycles);
+    }
+
+    #[test]
+    fn raised_cancel_flag_stops_the_run() {
+        let (cfg, trace) = setup();
+        let flag = Arc::new(AtomicBool::new(true));
+        let budget = SimBudget::unbounded().with_cancel(Arc::clone(&flag));
+        let err = simulate_budgeted(&cfg, &trace, &mut LeastLoaded, &budget).unwrap_err();
+        assert!(err.is_timeout());
+        assert!(matches!(err, SimError::Cancelled { cycle: 0, .. }));
+    }
+
+    #[test]
+    fn lowered_cancel_flag_changes_nothing() {
+        let (cfg, trace) = setup();
+        let plain = simulate(&cfg, &trace, &mut LeastLoaded).unwrap();
+        let flag = Arc::new(AtomicBool::new(false));
+        let budget = SimBudget::unbounded().with_cancel(flag);
+        let free = simulate_budgeted(&cfg, &trace, &mut LeastLoaded, &budget).unwrap();
+        assert_eq!(plain.cycles, free.cycles);
+        assert_eq!(plain.records, free.records);
+    }
 }

@@ -44,8 +44,8 @@ mod record;
 mod result;
 pub mod viz;
 
-pub use check::{check_invariants, simulate_checked, Violation};
-pub use engine::{simulate, SimError};
+pub use check::{check_invariants, simulate_checked, simulate_checked_budgeted, verify, Violation};
+pub use engine::{simulate, simulate_budgeted, SimBudget, SimError};
 pub use policy::{
     ProducerInfo, SteerCause, SteerDecision, SteerOutcome, SteerView, SteeringPolicy,
 };

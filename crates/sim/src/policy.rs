@@ -71,6 +71,8 @@ impl SteerView<'_> {
             .enumerate()
             .min_by_key(|&(i, &o)| (o, i))
             .map(|(i, _)| i)
+            // Invariant: config validation rejects zero-cluster layouts,
+            // so the occupancy vector is never empty.
             .expect("at least one cluster")
     }
 

@@ -1,6 +1,7 @@
 //! Trace container and dependence-resolving builder.
 
 use crate::dynamic::{DynIdx, DynInst};
+use crate::error::TraceError;
 use crate::stats::TraceStats;
 use ccs_isa::{BranchInfo, RegFile, StaticInst};
 use serde::{Deserialize, Serialize};
@@ -68,30 +69,51 @@ impl Trace {
 
     /// Verifies internal consistency: every dependence points backwards, at
     /// a value-producing instruction, and positionally matches a source
-    /// register of the consumer. Used by tests and the property suite.
-    pub fn validate(&self) -> Result<(), String> {
+    /// register of the consumer. Used by tests, the property suite, and
+    /// the fault-injection harness (which corrupts traces and asserts
+    /// this rejects them).
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let malformed = |i: DynIdx, message: String| TraceError::Malformed {
+            inst: i.raw(),
+            message,
+        };
         for (i, inst) in self.iter() {
             for (k, dep) in inst.deps.iter().enumerate() {
                 let Some(dep) = dep else { continue };
                 if dep.index() >= i.index() {
-                    return Err(format!("{i}: dep {k} points forward to {dep}"));
+                    return Err(malformed(i, format!("dep {k} points forward to {dep}")));
                 }
                 let producer = &self.insts[dep.index()];
                 let Some(dst) = producer.inst.dst else {
-                    return Err(format!("{i}: dep {k} names non-producing {dep}"));
+                    return Err(malformed(i, format!("dep {k} names non-producing {dep}")));
                 };
                 match inst.inst.srcs[k] {
                     Some(src) if src == dst => {}
                     Some(src) => {
-                        return Err(format!(
-                            "{i}: dep {k} register mismatch: src {src} vs producer dst {dst}"
+                        return Err(malformed(
+                            i,
+                            format!("dep {k} register mismatch: src {src} vs producer dst {dst}"),
                         ));
                     }
-                    None => return Err(format!("{i}: dep {k} present but source {k} absent")),
+                    None => {
+                        return Err(malformed(i, format!("dep {k} present but source {k} absent")))
+                    }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Assembles a trace directly from raw dynamic instructions,
+    /// **bypassing** the builder's rename-table dependence resolution.
+    ///
+    /// This exists for the fault-injection harness, which needs to
+    /// construct deliberately *malformed* traces (forward dependences,
+    /// register mismatches) to prove that [`validate`](Self::validate)
+    /// and the downstream checkers reject them. Production code should
+    /// always go through [`TraceBuilder`].
+    pub fn from_insts(insts: Vec<DynInst>) -> Trace {
+        Trace { insts }
     }
 }
 

@@ -1,0 +1,67 @@
+//! Typed errors for trace construction, validation and workload
+//! parameters.
+//!
+//! Historically the fallible trace entry points either panicked
+//! (`Benchmark::generate` with a zero length, `phased` with no phases)
+//! or returned bare `String`s (`Trace::validate`). Campaign
+//! infrastructure that isolates failing grid cells needs to tell a
+//! malformed input apart from a simulator bug, so these paths now
+//! return [`TraceError`] — which the `ccs-core` error taxonomy wraps as
+//! `CcsError::Trace`.
+
+use std::fmt;
+
+/// An error in a trace or in the parameters used to generate one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A structural defect found by [`Trace::validate`](crate::Trace::validate):
+    /// a dependence pointing forward or at a non-producer, or a
+    /// positional register mismatch.
+    Malformed {
+        /// The dynamic instruction the defect was found at.
+        inst: u32,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// A workload-generation parameter outside its valid range.
+    BadWorkloadParam {
+        /// The offending parameter.
+        param: &'static str,
+        /// Why it was rejected.
+        message: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Malformed { inst, message } => {
+                write!(f, "malformed trace at inst {inst}: {message}")
+            }
+            TraceError::BadWorkloadParam { param, message } => {
+                write!(f, "bad workload parameter `{param}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_readably() {
+        let e = TraceError::Malformed {
+            inst: 7,
+            message: "dep 0 points forward".into(),
+        };
+        assert_eq!(e.to_string(), "malformed trace at inst 7: dep 0 points forward");
+        let e = TraceError::BadWorkloadParam {
+            param: "min_len",
+            message: "must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("min_len"));
+    }
+}

@@ -38,6 +38,7 @@
 mod behavior;
 mod builder;
 mod dynamic;
+mod error;
 pub mod patterns;
 pub mod program;
 mod stats;
@@ -47,6 +48,7 @@ mod workloads;
 pub use behavior::{AddrStream, BranchBehavior};
 pub use builder::{Trace, TraceBuilder};
 pub use dynamic::{DynIdx, DynInst};
+pub use error::TraceError;
 pub use stats::TraceStats;
 pub use store::{TraceKey, TraceStore};
-pub use workloads::{phased, Benchmark};
+pub use workloads::{phased, try_phased, Benchmark};

@@ -329,6 +329,9 @@ impl Program {
                         builder.push_simple(*inst);
                     }
                     Slot::Mem(inst, _) => {
+                        // Invariant: the state vectors are built from the
+                        // same slot list, with a generator at every Mem
+                        // slot index.
                         let addr = addr_states[bi][k]
                             .as_mut()
                             .expect("address state present")
@@ -336,6 +339,8 @@ impl Program {
                         builder.push_mem(*inst, addr);
                     }
                     Slot::Branch(inst, _, taken_blk, fall_blk) => {
+                        // Invariant: as for Mem — every Branch slot index
+                        // carries an outcome generator.
                         let taken = branch_states[bi][k]
                             .as_mut()
                             .expect("branch state present")

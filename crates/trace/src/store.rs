@@ -12,8 +12,9 @@
 use crate::builder::Trace;
 use crate::workloads::Benchmark;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// The memoization key: which trace, which sample seed, which length.
 pub type TraceKey = (Benchmark, u64, usize);
@@ -51,6 +52,18 @@ impl TraceStore {
         GLOBAL.get_or_init(TraceStore::new)
     }
 
+    /// Locks the key table, recovering from poisoning.
+    ///
+    /// The table only holds `HashMap` bookkeeping — a panic while it is
+    /// held cannot leave a half-built *trace* visible, because traces
+    /// are published through their `OnceLock` slots outside this lock.
+    /// Treating poison as fatal (the pre-resilience behaviour) turned
+    /// one panicking grid cell into a process-wide cache outage, so we
+    /// take the guard regardless.
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<TraceKey, Arc<OnceLock<Arc<Trace>>>>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The trace for `(bench, seed, len)`, generating it on first
     /// request and returning a shared handle afterwards.
     ///
@@ -61,7 +74,7 @@ impl TraceStore {
     pub fn get(&self, bench: Benchmark, seed: u64, len: usize) -> Arc<Trace> {
         let key = (bench, seed, len);
         let (slot, creator) = {
-            let mut map = self.map.lock().expect("trace store poisoned");
+            let mut map = self.lock_map();
             match map.get(&key) {
                 Some(slot) => (Arc::clone(slot), false),
                 None => {
@@ -79,12 +92,37 @@ impl TraceStore {
         // Generation happens outside the table lock; `get_or_init` makes
         // the slot's creator (or whichever racer arrives first) run it
         // once while any other caller for this key blocks until done.
-        Arc::clone(slot.get_or_init(|| Arc::new(bench.generate(seed, len))))
+        //
+        // If generation itself panics, the panic is re-raised to the
+        // caller (it is that cell's failure to report), but only after
+        // evicting this slot from the table: a slot whose initializer
+        // panicked must not be left installed, or a later retry of the
+        // same key would find the dead slot instead of regenerating.
+        let init = catch_unwind(AssertUnwindSafe(|| {
+            Arc::clone(slot.get_or_init(|| Arc::new(bench.generate(seed, len))))
+        }));
+        match init {
+            Ok(trace) => trace,
+            Err(panic) => {
+                let mut map = self.lock_map();
+                // Evict only our own still-uninitialized slot: a racer
+                // may have already replaced it (and possibly completed a
+                // fresh generation) after an earlier eviction.
+                if map
+                    .get(&key)
+                    .is_some_and(|s| Arc::ptr_eq(s, &slot) && s.get().is_none())
+                {
+                    map.remove(&key);
+                }
+                drop(map);
+                resume_unwind(panic)
+            }
+        }
     }
 
     /// Number of distinct traces currently cached.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("trace store poisoned").len()
+        self.lock_map().len()
     }
 
     /// Whether the store holds no traces.
@@ -105,7 +143,7 @@ impl TraceStore {
 
     /// Drops all cached traces and resets the hit/miss counters.
     pub fn clear(&self) {
-        self.map.lock().expect("trace store poisoned").clear();
+        self.lock_map().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -188,6 +226,50 @@ mod tests {
         assert_eq!(store.misses(), 1, "one generation despite {threads} racers");
         assert_eq!(store.hits(), threads as u64 - 1);
         assert_eq!(traces[0].len(), 1_200);
+    }
+
+    #[test]
+    fn panicked_generation_is_evicted_and_a_retry_regenerates() {
+        // A zero length fails workload validation, so generation panics
+        // inside `get_or_init`. The store must evict the dead slot and
+        // re-raise; a retry at a good length must then generate fresh.
+        let store = TraceStore::new();
+        let attempt = catch_unwind(AssertUnwindSafe(|| store.get(Benchmark::Vpr, 1, 0)));
+        assert!(attempt.is_err(), "zero-length generation must panic");
+        assert_eq!(store.len(), 0, "failed slot must not stay installed");
+
+        let t = store.get(Benchmark::Vpr, 1, 1_000);
+        assert!(t.len() >= 1_000);
+        assert_eq!(store.len(), 1);
+        // Both calls were cold: the failed one and the successful retry.
+        assert_eq!(store.misses(), 2);
+        assert_eq!(store.hits(), 0);
+    }
+
+    #[test]
+    fn store_survives_a_poisoned_table_lock() {
+        // Poison the table mutex deliberately (panic while holding the
+        // guard on another thread) and check every entry point still
+        // works instead of propagating the poison.
+        let store = TraceStore::new();
+        store.get(Benchmark::Gap, 9, 300);
+        let poisoner = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = store.map.lock().unwrap();
+                    panic!("poison the trace store");
+                })
+                .join()
+        });
+        assert!(poisoner.is_err());
+        assert!(store.map.lock().is_err(), "lock must actually be poisoned");
+
+        assert_eq!(store.len(), 1);
+        let a = store.get(Benchmark::Gap, 9, 300);
+        let b = store.get(Benchmark::Gap, 9, 300);
+        assert!(Arc::ptr_eq(&a, &b));
+        store.clear();
+        assert!(store.is_empty());
     }
 
     #[test]

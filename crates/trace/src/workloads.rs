@@ -19,6 +19,7 @@
 
 use crate::behavior::{AddrStream, BranchBehavior};
 use crate::builder::{Trace, TraceBuilder};
+use crate::error::TraceError;
 use crate::patterns::{
     BranchyBlock, ConvergentHammock, DepChain, DivergentLoop, DivergentLoopConfig, HammockConfig,
     ParallelChains, PointerChase, ReductionTree, RegAlloc, SpineRibs, SpineRibsConfig,
@@ -106,10 +107,34 @@ impl Benchmark {
     ///
     /// The actual length slightly exceeds `min_len` because generation
     /// stops at the end of a pattern iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a rejected workload parameter; campaign code that must
+    /// survive malformed inputs uses [`try_generate`](Self::try_generate)
+    /// instead.
     pub fn generate(self, seed: u64, min_len: usize) -> Trace {
+        // Invariant: every in-tree caller passes a hard-coded or
+        // env-clamped positive length, so this only fires on a
+        // programming error.
+        self.try_generate(seed, min_len)
+            .expect("workload parameters are validated by try_generate")
+    }
+
+    /// Fallible form of [`generate`](Self::generate): validates the
+    /// workload parameters and returns a typed error instead of
+    /// panicking, so a malformed grid cell degrades into a structured
+    /// failure rather than killing the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadWorkloadParam`] if `min_len` is zero or
+    /// would overflow the trace's `u32` instruction indices.
+    pub fn try_generate(self, seed: u64, min_len: usize) -> Result<Trace, TraceError> {
+        validate_min_len(min_len)?;
         let mut b = TraceBuilder::new();
         self.emit_into(&mut b, seed, min_len);
-        b.finish()
+        Ok(b.finish())
     }
 
     /// Emits this model's instructions into an existing builder until the
@@ -152,16 +177,66 @@ impl Benchmark {
 ///
 /// # Panics
 ///
-/// Panics if `phases` is empty.
+/// Panics on a rejected parameter; see [`try_phased`] for the fallible
+/// form.
 pub fn phased(phases: &[Benchmark], seed: u64, phase_len: usize) -> Trace {
-    assert!(!phases.is_empty(), "need at least one phase");
+    // Invariant: in-tree callers pass literal phase lists and positive
+    // lengths; only a programming error reaches the expect.
+    try_phased(phases, seed, phase_len).expect("phased parameters are validated by try_phased")
+}
+
+/// Fallible form of [`phased`]: validates the parameters and returns a
+/// typed error instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`TraceError::BadWorkloadParam`] if `phases` is empty or
+/// `phase_len` is out of range.
+pub fn try_phased(phases: &[Benchmark], seed: u64, phase_len: usize) -> Result<Trace, TraceError> {
+    if phases.is_empty() {
+        return Err(TraceError::BadWorkloadParam {
+            param: "phases",
+            message: "need at least one phase".into(),
+        });
+    }
+    validate_min_len(phase_len)?;
+    if phase_len.checked_mul(phases.len()).is_none_or(|total| total > MAX_TRACE_LEN) {
+        return Err(TraceError::BadWorkloadParam {
+            param: "phase_len",
+            message: format!(
+                "{} phases of {phase_len} instructions exceed the {MAX_TRACE_LEN}-instruction cap",
+                phases.len()
+            ),
+        });
+    }
     let mut b = TraceBuilder::new();
     for (k, bench) in phases.iter().enumerate() {
         let target = b.len() + phase_len;
         bench.emit_into(&mut b, seed + k as u64, target);
         b.barrier();
     }
-    b.finish()
+    Ok(b.finish())
+}
+
+/// Hard cap on requested trace lengths: dynamic indices are `u32`, and
+/// generation may overshoot a pattern iteration, so reject anything close
+/// to the representable limit up front.
+const MAX_TRACE_LEN: usize = (u32::MAX / 2) as usize;
+
+fn validate_min_len(min_len: usize) -> Result<(), TraceError> {
+    if min_len == 0 {
+        return Err(TraceError::BadWorkloadParam {
+            param: "min_len",
+            message: "must be at least 1".into(),
+        });
+    }
+    if min_len > MAX_TRACE_LEN {
+        return Err(TraceError::BadWorkloadParam {
+            param: "min_len",
+            message: format!("{min_len} exceeds the {MAX_TRACE_LEN}-instruction cap"),
+        });
+    }
+    Ok(())
 }
 
 impl fmt::Display for Benchmark {

@@ -1,0 +1,788 @@
+//! Deterministic fault injection for the resilience machinery.
+//!
+//! The grid executor promises that a panicking, diverging or hanging
+//! cell never takes the campaign down with it — but that promise is
+//! only worth something if it is *exercised*. This module injects
+//! failures on purpose, in three places:
+//!
+//! * **Cell faults** ([`FaultPlan`], [`run_grid_with_faults`]): a seeded,
+//!   reproducible selection of grid cells is made to panic, exhaust a
+//!   tiny cycle budget (a deterministic stand-in for a hang) or spin
+//!   until the wall-clock watchdog cancels it. The surrounding cells
+//!   must complete bit-identically to a clean run.
+//! * **Trace corruption** ([`corrupt_trace`]): structurally invalid
+//!   traces (forward dependences, dangling register links) that
+//!   [`Trace::validate`] must reject — proving the validation layer is
+//!   not vacuous.
+//! * **Schedule mutations** ([`ALL_MUTATIONS`]): targeted perturbations
+//!   of a finished [`SimResult`], one per invariant-checker rule, each
+//!   of which must trip its rule. A checker rule that no mutation can
+//!   trigger is a rule that silently checks nothing.
+//!
+//! Everything here is deterministic: a fault plan is a pure function of
+//! its seed, corruption picks the first eligible site, and mutations are
+//! fixed transformations. A CI failure reproduces locally by seed.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ccs_core::grid::{evaluate_cell, run_cells, CellResult, CellSpec, Resilience};
+use ccs_core::CcsError;
+use ccs_sim::{Cycle, ReadyBound, SimError, SimResult};
+use ccs_trace::{DynIdx, Trace};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+// ---------------------------------------------------------------------------
+// Cell faults
+// ---------------------------------------------------------------------------
+
+/// A failure mode injected into one grid cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellFault {
+    /// The cell panics on every attempt. The executor must isolate the
+    /// unwind and report the cell as `Failed`.
+    Panic,
+    /// The cell runs with this tiny cycle budget, so the engine bails
+    /// out with [`SimError::BudgetExhausted`] — a *deterministic* hang
+    /// that the executor must classify as `TimedOut`.
+    CycleBomb {
+        /// The sabotaged cycle budget (pick well under the trace's
+        /// natural cycle count).
+        budget: Cycle,
+    },
+    /// The cell spins until the wall-clock watchdog raises its cancel
+    /// flag. Only meaningful under a [`Resilience`] with a deadline;
+    /// without one the cell panics instead of hanging the test suite.
+    Hang,
+}
+
+/// A deterministic assignment of [`CellFault`]s to grid-cell indices.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: BTreeMap<usize, CellFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no cell is sabotaged).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one fault at a fixed cell index.
+    pub fn with_fault(mut self, cell: usize, fault: CellFault) -> Self {
+        self.faults.insert(cell, fault);
+        self
+    }
+
+    /// Seeds a plan over a grid of `n_cells`: `panics` distinct cells
+    /// panic and `bombs` further distinct cells get a [`CellFault::CycleBomb`]
+    /// with a budget of 10 cycles. The selection is a pure function of
+    /// `seed`, so a failing campaign reproduces exactly.
+    pub fn seeded(seed: u64, n_cells: usize, panics: usize, bombs: usize) -> Self {
+        assert!(
+            panics + bombs <= n_cells,
+            "cannot fault {} cells of {n_cells}",
+            panics + bombs
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faults = BTreeMap::new();
+        let mut pick = |faults: &BTreeMap<usize, CellFault>| loop {
+            let i = rng.random_range(0..n_cells as u64) as usize;
+            if !faults.contains_key(&i) {
+                return i;
+            }
+        };
+        for _ in 0..panics {
+            let i = pick(&faults);
+            faults.insert(i, CellFault::Panic);
+        }
+        for _ in 0..bombs {
+            let i = pick(&faults);
+            faults.insert(i, CellFault::CycleBomb { budget: 10 });
+        }
+        FaultPlan { faults }
+    }
+
+    /// The fault assigned to `cell`, if any.
+    pub fn fault_for(&self, cell: usize) -> Option<CellFault> {
+        self.faults.get(&cell).copied()
+    }
+
+    /// Iterates the sabotaged cell indices in increasing order.
+    pub fn faulted_cells(&self) -> impl Iterator<Item = usize> + '_ {
+        self.faults.keys().copied()
+    }
+
+    /// Number of sabotaged cells.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan faults no cell at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Runs a grid like [`ccs_core::run_grid_resilient`], but with the
+/// cells named by `plan` sabotaged per their [`CellFault`]. Cells not
+/// in the plan evaluate normally and must produce results bit-identical
+/// to a clean run — the executor's isolation guarantee under test.
+pub fn run_grid_with_faults(
+    specs: &[CellSpec],
+    threads: usize,
+    res: &Resilience,
+    plan: &FaultPlan,
+) -> Vec<CellResult> {
+    run_cells(
+        specs,
+        threads,
+        res,
+        |i, spec, cancel| match plan.fault_for(i) {
+            Some(CellFault::Panic) => panic!("injected fault: cell {i} panics"),
+            Some(CellFault::CycleBomb { budget }) => {
+                let mut sabotaged = *spec;
+                sabotaged.options = sabotaged.options.with_cycle_budget(budget);
+                evaluate_cell(&sabotaged, cancel)
+            }
+            Some(CellFault::Hang) => hang_until_cancelled(i, spec, cancel),
+            None => evaluate_cell(spec, cancel),
+        },
+        |_, _| {},
+    )
+}
+
+/// Spins (sleeping in 1 ms slices) until the watchdog cancels the cell,
+/// then reports the cancellation the way the engine would.
+fn hang_until_cancelled(
+    cell: usize,
+    spec: &CellSpec,
+    cancel: Option<Arc<AtomicBool>>,
+) -> Result<ccs_core::CellOutcome, CcsError> {
+    let Some(cancel) = cancel else {
+        // A real hang with no watchdog would wedge the test suite;
+        // surface the misconfiguration loudly instead.
+        panic!("injected fault: cell {cell} would hang but no deadline is configured");
+    };
+    while !cancel.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    Err(CcsError::Sim(SimError::Cancelled {
+        cycle: 0,
+        committed: 0,
+        total: spec.len,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Trace corruption
+// ---------------------------------------------------------------------------
+
+/// A structural defect injected into a trace, targeting one rule of
+/// [`Trace::validate`] each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceCorruption {
+    /// A dependence pointing at the instruction itself (forward/self
+    /// reference).
+    ForwardDep,
+    /// A dependence pointing at an earlier instruction that produces no
+    /// register value.
+    NonProducerDep,
+    /// A dependence pointing at a producer whose destination register
+    /// differs from the consumer's source.
+    RegisterMismatch,
+    /// A dependence present in a slot whose source register is absent.
+    MissingSource,
+}
+
+/// Every corruption kind, for exhaustive negative tests.
+pub const ALL_CORRUPTIONS: [TraceCorruption; 4] = [
+    TraceCorruption::ForwardDep,
+    TraceCorruption::NonProducerDep,
+    TraceCorruption::RegisterMismatch,
+    TraceCorruption::MissingSource,
+];
+
+/// Returns a copy of `trace` with `kind` injected at the first eligible
+/// site, or `None` if the trace has no such site (tiny or degenerate
+/// traces). The result must fail [`Trace::validate`].
+pub fn corrupt_trace(trace: &Trace, kind: TraceCorruption) -> Option<Trace> {
+    let mut insts = trace.as_slice().to_vec();
+    match kind {
+        TraceCorruption::ForwardDep => {
+            let (i, k) = first_dep_slot(&insts)?;
+            insts[i].deps[k] = Some(DynIdx::new(i as u32));
+        }
+        TraceCorruption::NonProducerDep => {
+            let j = insts.iter().position(|inst| inst.inst.dst.is_none())?;
+            let (i, k) = insts
+                .iter()
+                .enumerate()
+                .skip(j + 1)
+                .find_map(|(i, inst)| Some((i, dep_slot(inst)?)))?;
+            insts[i].deps[k] = Some(DynIdx::new(j as u32));
+        }
+        TraceCorruption::RegisterMismatch => {
+            let (i, k, j) = insts.iter().enumerate().find_map(|(i, inst)| {
+                let k = dep_slot(inst)?;
+                let src = inst.inst.srcs[k]?;
+                let j = insts[..i]
+                    .iter()
+                    .position(|p| p.inst.dst.is_some_and(|d| d != src))?;
+                Some((i, k, j))
+            })?;
+            insts[i].deps[k] = Some(DynIdx::new(j as u32));
+        }
+        TraceCorruption::MissingSource => {
+            let (i, k) = first_dep_slot(&insts)?;
+            insts[i].inst.srcs[k] = None;
+        }
+    }
+    Some(Trace::from_insts(insts))
+}
+
+fn dep_slot(inst: &ccs_trace::DynInst) -> Option<usize> {
+    inst.deps.iter().position(Option::is_some)
+}
+
+fn first_dep_slot(insts: &[ccs_trace::DynInst]) -> Option<(usize, usize)> {
+    insts
+        .iter()
+        .enumerate()
+        .find_map(|(i, inst)| Some((i, dep_slot(inst)?)))
+}
+
+// ---------------------------------------------------------------------------
+// Schedule mutations
+// ---------------------------------------------------------------------------
+
+/// A targeted perturbation of a finished schedule, designed to trip one
+/// specific [`ccs_sim::check_invariants`] rule.
+///
+/// `apply` mutates the result in place and returns `false` when the
+/// baseline schedule has no eligible site (the exhaustiveness test
+/// treats that as a failure — the baseline workload is chosen so every
+/// mutation applies). Mutations may incidentally trip *other* rules
+/// too; the contract is only that a violation containing `expect`
+/// appears.
+pub struct ScheduleMutation {
+    /// Short kebab-case name, for test diagnostics.
+    pub name: &'static str,
+    /// A substring that must appear in at least one violation message.
+    pub expect: &'static str,
+    /// Applies the perturbation; `false` if no eligible site exists.
+    pub apply: fn(&mut SimResult, &Trace) -> bool,
+}
+
+/// One mutation per checker rule. The negative-test suite iterates this
+/// table and asserts every entry applies and fires — no rule is
+/// vacuous.
+pub const ALL_MUTATIONS: &[ScheduleMutation] = &[
+    ScheduleMutation {
+        name: "out-of-range-cluster",
+        expect: "steered to cluster",
+        apply: |res, _| {
+            res.records[0].cluster = 250;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "dispatch-inside-front-end",
+        expect: "before clearing the",
+        apply: |res, _| {
+            let r = &mut res.records[0];
+            if res.config.front_end.depth_to_dispatch == 0 {
+                return false;
+            }
+            r.dispatch = r.fetch;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "ready-under-dispatch-floor",
+        expect: "under the dispatch floor",
+        apply: |res, _| {
+            let r = &mut res.records[0];
+            r.ready = r.dispatch;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "issue-before-ready",
+        expect: "before ready at",
+        apply: |res, _| {
+            let r = &mut res.records[0];
+            r.issue = r.ready - 1;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "wrong-execution-latency",
+        expect: "completed after",
+        apply: |res, _| {
+            res.records[0].complete += 1;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "phantom-memory-penalty",
+        expect: "extra memory cycles without an L1 miss",
+        apply: |res, _| {
+            let Some(r) = res.records.iter_mut().find(|r| !r.l1_miss) else {
+                return false;
+            };
+            r.mem_extra += 5;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "commit-before-complete",
+        expect: "but completed at",
+        apply: |res, _| {
+            let r = &mut res.records[0];
+            r.commit = r.complete;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "fetch-out-of-program-order",
+        expect: "precedes the previous instruction's",
+        apply: |res, _| {
+            let Some(i) = (1..res.records.len()).find(|&i| res.records[i - 1].fetch > 0) else {
+                return false;
+            };
+            res.records[i].fetch = res.records[i - 1].fetch - 1;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "ready-before-operand-visible",
+        expect: "before operand from inst",
+        apply: |res, trace| {
+            // Find a consumer whose binding operand becomes visible
+            // strictly after the dispatch floor, then claim readiness at
+            // the floor anyway.
+            let insts = trace.as_slice();
+            for (i, inst) in insts.iter().enumerate() {
+                let r = res.records[i];
+                let floor = r.dispatch + 1;
+                let late = inst.deps.iter().flatten().any(|p| {
+                    let pr = &res.records[p.index()];
+                    let fwd = res
+                        .config
+                        .forwarding_between(pr.cluster as usize, r.cluster as usize)
+                        as Cycle;
+                    pr.complete + fwd > floor
+                });
+                if late {
+                    res.records[i].ready = floor;
+                    return true;
+                }
+            }
+            false
+        },
+    },
+    ScheduleMutation {
+        name: "ready-off-analytic-bound",
+        expect: "imply exactly",
+        apply: |res, _| {
+            if res.config.forward_bandwidth.is_some() {
+                return false; // the exact-readiness rule only holds with unlimited bypass
+            }
+            res.records[0].ready += 1;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "ready-bound-names-non-dependence",
+        expect: "not a dependence",
+        apply: |res, trace| {
+            // An instruction with no register deps and no memory operand
+            // cannot legitimately blame producer 0 for its readiness.
+            let insts = trace.as_slice();
+            let Some(i) = (1..insts.len()).find(|&i| {
+                insts[i].deps.iter().all(Option::is_none) && insts[i].mem_addr.is_none()
+            }) else {
+                return false;
+            };
+            res.records[i].ready_bound = ReadyBound::Operand {
+                slot: 0,
+                producer: DynIdx::new(0),
+                fwd: 0,
+            };
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "issue-bandwidth-overflow",
+        expect: "against its",
+        apply: |res, _| {
+            // Issue bandwidth is per (cycle, cluster): pile the overflow
+            // onto a single cluster.
+            let cap = res.config.cluster.issue_width;
+            let t = res.cycles + 1_000;
+            let picked = pick_in_cluster(res, 0, cap + 1);
+            if picked.len() < cap + 1 {
+                return false;
+            }
+            for i in picked {
+                res.records[i].issue = t;
+            }
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "commit-bandwidth-overflow",
+        expect: "against a commit width",
+        apply: |res, _| {
+            let cap = res.config.commit_width;
+            move_times_to_common_cycle(res, cap + 1, |r| &mut r.commit)
+        },
+    },
+    ScheduleMutation {
+        name: "fetch-bandwidth-overflow",
+        expect: "against a fetch width",
+        apply: |res, _| {
+            let cap = res.config.front_end.fetch_width;
+            move_times_to_common_cycle(res, cap + 1, |r| &mut r.fetch)
+        },
+    },
+    ScheduleMutation {
+        name: "window-occupancy-overflow",
+        expect: "window holds",
+        apply: |res, _| {
+            // Make window_entries + 1 cluster-0 instructions co-resident
+            // far past the end of the schedule.
+            let cap = res.config.cluster.window_entries;
+            let t = res.cycles + 1_000;
+            let picked = pick_in_cluster(res, 0, cap + 1);
+            if picked.len() < cap + 1 {
+                return false;
+            }
+            for i in picked {
+                res.records[i].dispatch = t;
+                res.records[i].issue = t + 5;
+            }
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "rob-occupancy-overflow",
+        expect: "ROB holds",
+        apply: |res, _| {
+            let cap = res.config.rob_entries;
+            if res.records.len() <= cap {
+                return false;
+            }
+            let t = res.cycles + 1_000;
+            for r in res.records.iter_mut().take(cap + 1) {
+                r.dispatch = t;
+                r.commit = t + 100;
+            }
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "predictor-outcome-flipped",
+        expect: "gshare replay says",
+        apply: |res, trace| {
+            let insts = trace.as_slice();
+            let Some(i) = (0..insts.len()).find(|&i| is_conditional(&insts[i])) else {
+                return false;
+            };
+            res.records[i].mispredicted = !res.records[i].mispredicted;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "mispredict-on-non-conditional",
+        expect: "non-conditional",
+        apply: |res, trace| {
+            let insts = trace.as_slice();
+            let Some(i) = (0..insts.len()).find(|&i| !is_conditional(&insts[i])) else {
+                return false;
+            };
+            res.records[i].mispredicted = true;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "cycle-total-drift",
+        expect: "but the last commit is at",
+        apply: |res, _| {
+            res.cycles += 1;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "l1-access-count-drift",
+        expect: "L1 accesses counted",
+        apply: |res, _| {
+            res.l1_accesses += 1;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "l1-miss-count-drift",
+        expect: "records carry the miss flag",
+        apply: |res, _| {
+            res.l1_misses += 1;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "conditional-count-drift",
+        expect: "conditional branches in the trace",
+        apply: |res, _| {
+            res.conditional_branches += 1;
+            true
+        },
+    },
+    ScheduleMutation {
+        name: "mispredict-count-drift",
+        expect: "result counts",
+        apply: |res, _| {
+            res.mispredicts += 1;
+            true
+        },
+    },
+];
+
+fn is_conditional(inst: &ccs_trace::DynInst) -> bool {
+    inst.branch
+        .is_some_and(|b| b.class == ccs_isa::BranchClass::Conditional)
+}
+
+/// Sets the event time selected by `field` to one common cycle on `n`
+/// instructions, so the per-cycle bandwidth replay overflows. Returns
+/// `false` if the schedule has fewer than `n` instructions.
+fn move_times_to_common_cycle(
+    res: &mut SimResult,
+    n: usize,
+    field: fn(&mut ccs_sim::InstRecord) -> &mut Cycle,
+) -> bool {
+    if res.records.len() < n {
+        return false;
+    }
+    let t = res.cycles + 1_000;
+    for r in res.records.iter_mut().take(n) {
+        *field(r) = t;
+    }
+    true
+}
+
+/// The first `n` record indices steered to `cluster`.
+fn pick_in_cluster(res: &SimResult, cluster: u8, n: usize) -> Vec<usize> {
+    res.records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.cluster == cluster)
+        .map(|(i, _)| i)
+        .take(n)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff_results;
+    use ccs_core::grid::CellStatus;
+    use ccs_core::{PolicyKind, RunOptions};
+    use ccs_isa::{ClusterLayout, MachineConfig};
+    use ccs_sim::policies::LeastLoaded;
+    use ccs_sim::{check_invariants, simulate, IlpCensus};
+    use ccs_trace::Benchmark;
+
+    fn baseline() -> (MachineConfig, Trace, SimResult) {
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C2x4w);
+        let trace = Benchmark::Gcc.generate(7, 2_000);
+        let result = simulate(&cfg, &trace, &mut LeastLoaded).expect("baseline simulates");
+        (cfg, trace, result)
+    }
+
+    fn small_specs(n: usize) -> Vec<CellSpec> {
+        let cfg = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C2x4w);
+        (0..n)
+            .map(|i| {
+                CellSpec::new(
+                    cfg,
+                    Benchmark::Gzip,
+                    40 + i as u64,
+                    300,
+                    PolicyKind::Dependence,
+                    RunOptions::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn the_baseline_schedule_is_clean() {
+        let (cfg, trace, result) = baseline();
+        let violations = check_invariants(&cfg, &trace, &result);
+        assert!(violations.is_empty(), "baseline violates: {:?}", violations);
+    }
+
+    #[test]
+    fn every_mutation_applies_and_trips_its_rule() {
+        let (cfg, trace, clean) = baseline();
+        for m in ALL_MUTATIONS {
+            let mut mutated = clean.clone();
+            assert!(
+                (m.apply)(&mut mutated, &trace),
+                "mutation `{}` found no eligible site in the baseline schedule",
+                m.name
+            );
+            let violations = check_invariants(&cfg, &trace, &mutated);
+            assert!(
+                violations.iter().any(|v| v.message.contains(m.expect)),
+                "mutation `{}` expected a violation containing {:?}, got: {:?}",
+                m.name,
+                m.expect,
+                violations
+            );
+        }
+    }
+
+    #[test]
+    fn mutation_names_and_rules_are_distinct() {
+        let mut names: Vec<_> = ALL_MUTATIONS.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_MUTATIONS.len(), "duplicate mutation names");
+    }
+
+    #[test]
+    fn an_empty_trace_must_take_zero_cycles() {
+        let cfg = MachineConfig::micro05_baseline();
+        let trace = Trace::from_insts(Vec::new());
+        let result = SimResult {
+            config: cfg,
+            cycles: 1,
+            records: Vec::new(),
+            mispredicts: 0,
+            conditional_branches: 0,
+            l1_misses: 0,
+            l1_accesses: 0,
+            global_values: 0,
+            ilp: IlpCensus::default(),
+            steer_stall_cycles: 0,
+        };
+        let violations = check_invariants(&cfg, &trace, &result);
+        assert!(violations
+            .iter()
+            .any(|v| v.message.contains("empty trace must take zero cycles")));
+    }
+
+    #[test]
+    fn every_corruption_kind_is_rejected_by_validate() {
+        let trace = Benchmark::Gcc.generate(3, 500);
+        trace.validate().expect("generator output validates");
+        for kind in ALL_CORRUPTIONS {
+            let corrupted = corrupt_trace(&trace, kind)
+                .unwrap_or_else(|| panic!("{kind:?} found no site in a 500-inst trace"));
+            let err = corrupted
+                .validate()
+                .expect_err(&format!("{kind:?} slipped past validation"));
+            let rendered = err.to_string();
+            assert!(
+                rendered.contains("malformed trace"),
+                "{kind:?} rendered oddly: {rendered}"
+            );
+        }
+    }
+
+    #[test]
+    fn diff_results_detects_every_perturbation_class() {
+        let (_, _, clean) = baseline();
+        assert!(diff_results(&clean, &clean).is_empty());
+        type Perturbation = (&'static str, fn(&mut SimResult));
+        let perturbations: &[Perturbation] = &[
+            ("cycles", |r| r.cycles += 1),
+            ("mispredicts", |r| r.mispredicts += 1),
+            ("conditional_branches", |r| r.conditional_branches += 1),
+            ("l1_misses", |r| r.l1_misses += 1),
+            ("l1_accesses", |r| r.l1_accesses += 1),
+            ("global_values", |r| r.global_values += 1),
+            ("steer_stall_cycles", |r| r.steer_stall_cycles += 1),
+            ("ilp", |r| r.ilp.record(63, 1)),
+            ("record issue", |r| r.records[0].issue += 1),
+            ("record cluster", |r| r.records[0].cluster ^= 1),
+            ("record l1_miss", |r| r.records[0].l1_miss = !r.records[0].l1_miss),
+            ("record count", |r| {
+                r.records.truncate(r.records.len() - 1)
+            }),
+        ];
+        for (what, perturb) in perturbations {
+            let mut engine = clean.clone();
+            perturb(&mut engine);
+            assert!(
+                !diff_results(&engine, &clean).is_empty(),
+                "diff_results missed a {what} perturbation"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_plans_are_pure_functions_of_their_seed() {
+        let a = FaultPlan::seeded(42, 100, 10, 2);
+        let b = FaultPlan::seeded(42, 100, 10, 2);
+        assert_eq!(a.len(), 12);
+        assert!(a.faulted_cells().eq(b.faulted_cells()));
+        assert!(a.faulted_cells().all(|i| i < 100));
+        let panics = a
+            .faulted_cells()
+            .filter(|&i| a.fault_for(i) == Some(CellFault::Panic))
+            .count();
+        assert_eq!(panics, 10);
+        let c = FaultPlan::seeded(43, 100, 10, 2);
+        assert!(
+            !a.faulted_cells().eq(c.faulted_cells()),
+            "different seeds chose identical cells"
+        );
+    }
+
+    #[test]
+    fn faulted_cells_are_isolated_and_the_rest_match_a_clean_run() {
+        let specs = small_specs(5);
+        let plan = FaultPlan::new()
+            .with_fault(1, CellFault::Panic)
+            .with_fault(3, CellFault::CycleBomb { budget: 5 });
+        let clean = ccs_core::run_grid_resilient(&specs, 2, &Resilience::default());
+        let faulted = run_grid_with_faults(&specs, 2, &Resilience::default(), &plan);
+        assert_eq!(faulted.len(), 5);
+        for (i, (c, f)) in clean.iter().zip(&faulted).enumerate() {
+            match i {
+                1 => {
+                    assert!(matches!(f.status, CellStatus::Failed { .. }), "cell 1: {:?}", f.status);
+                    let msg = f.status.error().expect("failed cell has an error").to_string();
+                    assert!(msg.contains("injected fault"), "unexpected error: {msg}");
+                }
+                3 => assert!(f.status.is_timed_out(), "cell 3: {:?}", f.status),
+                _ => {
+                    let (co, fo) = (c.expect_outcome(), f.expect_outcome());
+                    assert_eq!(
+                        format!("{:?}", co.result),
+                        format!("{:?}", fo.result),
+                        "clean cell {i} diverged from the unfaulted run"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_hanging_cell_is_cancelled_by_the_watchdog() {
+        let specs = small_specs(1);
+        let plan = FaultPlan::new().with_fault(0, CellFault::Hang);
+        let res = Resilience::default().with_deadline(Duration::from_millis(40));
+        let results = run_grid_with_faults(&specs, 1, &res, &plan);
+        assert!(
+            results[0].status.is_timed_out(),
+            "hang was not cancelled: {:?}",
+            results[0].status
+        );
+    }
+}

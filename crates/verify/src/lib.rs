@@ -4,7 +4,7 @@
 //! in window entries, resolves memory dependences through an
 //! open-addressed table, reuses scratch buffers, and encodes "not yet"
 //! as a sentinel cycle. Each of those optimizations is a place for a
-//! subtle scheduling bug to hide. This crate provides three independent
+//! subtle scheduling bug to hide. This crate provides four independent
 //! lines of defence:
 //!
 //! 1. **A reference oracle** ([`reference_simulate`]) — a naive
@@ -21,6 +21,11 @@
 //!    benchmark × layout × policy grid, regenerated with the
 //!    `regen_golden` binary and compared by snapshot tests with readable
 //!    diffs.
+//! 4. **A fault-injection harness** ([`faultinject`]) — seeded cell
+//!    faults (panics, cycle bombs, hangs) that exercise the grid
+//!    executor's isolation and watchdog machinery, plus corrupted traces
+//!    and mutated schedules proving the validator and every invariant
+//!    rule actually fire.
 //!
 //! See `DESIGN.md` ("Verification subsystem") for the methodology.
 
@@ -29,9 +34,14 @@
 
 pub mod campaign;
 pub mod diff;
+pub mod faultinject;
 pub mod golden;
 pub mod oracle;
 
 pub use campaign::{run_case, standard_campaign, CaseOutcome, DiffCase, TraceSource};
 pub use diff::diff_results;
+pub use faultinject::{
+    corrupt_trace, run_grid_with_faults, CellFault, FaultPlan, ScheduleMutation, TraceCorruption,
+    ALL_CORRUPTIONS, ALL_MUTATIONS,
+};
 pub use oracle::reference_simulate;

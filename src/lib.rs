@@ -33,7 +33,7 @@
 //! let machine = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
 //! let cell = run_cell(&machine, &trace, PolicyKind::Proactive, &RunOptions::default())?;
 //! println!("CPI {:.3}", cell.cpi());
-//! # Ok::<(), clustercrit::sim::SimError>(())
+//! # Ok::<(), clustercrit::core::CcsError>(())
 //! ```
 
 #![forbid(unsafe_code)]

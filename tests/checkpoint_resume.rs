@@ -1,0 +1,82 @@
+//! Acceptance test for checkpoint/resume: a campaign killed partway
+//! through (simulated by `max_cells`) and resumed reproduces the full
+//! result set bit-identically — same manifest digests as an
+//! uninterrupted run — without re-running the cells that already
+//! finished.
+
+use clustercrit::core::checkpoint::{run_campaign, CampaignOptions};
+use clustercrit::core::{cells_run, GridRequest, PolicyKind, Resilience, RunOptions};
+use clustercrit::isa::{ClusterLayout, MachineConfig};
+use clustercrit::trace::Benchmark;
+use std::path::PathBuf;
+
+fn grid() -> Vec<clustercrit::core::CellSpec> {
+    GridRequest::new(MachineConfig::micro05_baseline(), 800)
+        .benchmarks([Benchmark::Gzip, Benchmark::Twolf, Benchmark::Bzip2])
+        .layouts([ClusterLayout::C2x4w, ClusterLayout::C8x1w])
+        .policies([PolicyKind::Dependence, PolicyKind::Focused, PolicyKind::Proactive])
+        .options(RunOptions::default().with_epochs(1))
+        .build()
+}
+
+fn temp_root() -> PathBuf {
+    std::env::temp_dir().join(format!("ccs-resume-{}", std::process::id()))
+}
+
+fn temp_manifest(name: &str) -> PathBuf {
+    temp_root().join(name)
+}
+
+#[test]
+fn a_killed_campaign_resumes_bit_identically() {
+    let specs = grid();
+    let total = specs.len();
+    assert_eq!(total, 18);
+    let res = Resilience::default();
+    let kill_at = 7; // "kill" the first run after 7 of 18 cells
+
+    // Uninterrupted reference run.
+    let fresh_path = temp_manifest("fresh.jsonl");
+    let fresh = run_campaign(&specs, 2, &res, &CampaignOptions::new(&fresh_path))
+        .expect("fresh campaign runs");
+    assert_eq!(fresh.exit_code(), 0, "{}", fresh.summary());
+
+    // Interrupted run: only `kill_at` cells land in the manifest.
+    let resumed_path = temp_manifest("resumed.jsonl");
+    let opts = CampaignOptions::new(&resumed_path).with_max_cells(kill_at);
+    let before = cells_run();
+    let partial = run_campaign(&specs, 2, &res, &opts).expect("partial campaign runs");
+    let ran_first = cells_run() - before;
+    assert_eq!(partial.exit_code(), 2, "a truncated campaign is incomplete");
+    assert_eq!(partial.unfinished(), total - kill_at);
+    assert_eq!(ran_first as usize, kill_at);
+
+    // Resume: the recorded cells are skipped, the remainder runs.
+    let opts = CampaignOptions::new(&resumed_path).with_resume(true);
+    let before = cells_run();
+    let resumed = run_campaign(&specs, 2, &res, &opts).expect("resumed campaign runs");
+    let ran_second = cells_run() - before;
+    assert_eq!(resumed.exit_code(), 0, "{}", resumed.summary());
+    assert_eq!(resumed.skipped, kill_at);
+    assert_eq!(
+        ran_first + ran_second,
+        total as u64,
+        "no cell may run twice across the interrupted and resumed runs"
+    );
+
+    // The stitched-together manifest must carry the same digests as the
+    // uninterrupted one, cell for cell.
+    assert_eq!(fresh.records.len(), resumed.records.len());
+    for (i, (a, b)) in fresh.records.iter().zip(&resumed.records).enumerate() {
+        let a = a.as_ref().expect("fresh record present");
+        let b = b.as_ref().expect("resumed record present");
+        assert_eq!(a.key, b.key, "cell {i} keyed differently");
+        assert_eq!(a.digest, b.digest, "cell {i} result digest diverged");
+        assert_eq!(a.cpi_bits, b.cpi_bits, "cell {i} CPI diverged");
+        assert_eq!(a.cycles, b.cycles, "cell {i} cycle count diverged");
+    }
+
+    // Remove exactly this test's scratch directory — never its parent
+    // (an earlier version walked up to the system temp dir itself).
+    let _ = std::fs::remove_dir_all(temp_root());
+}

@@ -1,0 +1,106 @@
+//! Acceptance test for the resilience machinery: a 100-cell campaign
+//! with 10 seeded panics and 2 seeded deterministic hangs (cycle bombs)
+//! completes, reports exactly those 12 cells as failed/timed-out, and
+//! leaves the other 88 bit-identical to a clean run.
+//!
+//! `CCS_FAULT_CASES` bounds the grid for smoke runs (the fault counts
+//! scale down proportionally); unset, the full 100-cell grid runs.
+
+use clustercrit::core::grid::CellStatus;
+use clustercrit::core::{run_grid_resilient, GridRequest, PolicyKind, Resilience, RunOptions};
+use clustercrit::isa::{ClusterLayout, MachineConfig};
+use clustercrit::trace::Benchmark;
+use clustercrit::verify::{run_grid_with_faults, FaultPlan};
+
+fn hundred_cell_grid() -> Vec<clustercrit::core::CellSpec> {
+    // 5 benchmarks × 4 layouts × 5 policies = 100 cells.
+    GridRequest::new(MachineConfig::micro05_baseline(), 1_000)
+        .benchmarks([
+            Benchmark::Gzip,
+            Benchmark::Vpr,
+            Benchmark::Gcc,
+            Benchmark::Mcf,
+            Benchmark::Parser,
+        ])
+        .layouts([
+            ClusterLayout::C1x8w,
+            ClusterLayout::C2x4w,
+            ClusterLayout::C4x2w,
+            ClusterLayout::C8x1w,
+        ])
+        .policies([
+            PolicyKind::Dependence,
+            PolicyKind::Focused,
+            PolicyKind::FocusedLoc,
+            PolicyKind::StallOverSteer,
+            PolicyKind::Proactive,
+        ])
+        .options(RunOptions::default().with_epochs(1))
+        .build()
+}
+
+#[test]
+fn seeded_faults_are_contained_and_the_survivors_are_bit_identical() {
+    let mut specs = hundred_cell_grid();
+    assert_eq!(specs.len(), 100);
+    let mut panics = 10;
+    let mut bombs = 2;
+    if let Some(cases) = std::env::var("CCS_FAULT_CASES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        specs.truncate(cases.max(3));
+        panics = (specs.len() / 10).max(1);
+        bombs = (specs.len() / 50).max(1);
+    }
+    let plan = FaultPlan::seeded(0xFA17, specs.len(), panics, bombs);
+    let res = Resilience::default().with_max_attempts(2);
+
+    let clean = run_grid_resilient(&specs, 4, &res);
+    let faulted = run_grid_with_faults(&specs, 4, &res, &plan);
+    assert_eq!(faulted.len(), specs.len());
+
+    let mut failed = 0;
+    let mut timed_out = 0;
+    for (i, (c, f)) in clean.iter().zip(&faulted).enumerate() {
+        match plan.fault_for(i) {
+            Some(clustercrit::verify::CellFault::Panic) => {
+                let CellStatus::Failed { error, attempts } = &f.status else {
+                    panic!("panicking cell {i} reported {:?}", f.status);
+                };
+                assert_eq!(*attempts, 2, "cell {i} must spend its retry budget");
+                assert!(
+                    error.to_string().contains("injected fault"),
+                    "cell {i}: {error}"
+                );
+                failed += 1;
+            }
+            Some(clustercrit::verify::CellFault::CycleBomb { .. }) => {
+                assert!(
+                    f.status.is_timed_out(),
+                    "cycle-bombed cell {i} reported {:?}",
+                    f.status
+                );
+                assert_eq!(f.status.attempts(), 2);
+                timed_out += 1;
+            }
+            Some(clustercrit::verify::CellFault::Hang) | None => {
+                // Unfaulted cells must be bit-identical to the clean run.
+                let (co, fo) = (c.expect_outcome(), f.expect_outcome());
+                assert_eq!(
+                    format!("{:?}", co.result),
+                    format!("{:?}", fo.result),
+                    "cell {i} diverged from the clean run"
+                );
+                assert_eq!(co.cpi().to_bits(), fo.cpi().to_bits(), "cell {i} CPI drift");
+            }
+        }
+    }
+    assert_eq!(failed, panics, "every seeded panic must surface as Failed");
+    assert_eq!(timed_out, bombs, "every cycle bomb must surface as TimedOut");
+    let healthy = faulted
+        .iter()
+        .filter(|r| r.status.is_completed())
+        .count();
+    assert_eq!(healthy, specs.len() - panics - bombs);
+}
