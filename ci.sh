@@ -29,6 +29,13 @@ CCS_FAULT_CASES="${CCS_FAULT_CASES:-30}" \
 echo "==> checkpoint kill-and-resume"
 cargo test --release --test checkpoint_resume -q
 
+# Metrics smoke: run a checked grid with metrics on and require the
+# counters' CPI stack to reconcile exactly with the critical-path
+# breakdown, metrics-on runs to be bit-identical to metrics-off, and
+# aggregation to be independent of thread count.
+echo "==> metrics observability smoke"
+cargo test --release --test metrics_observability -q
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -6,7 +6,7 @@
 //! trace-store pair quantifies what memoizing workload generation saves
 //! every figure after the first.
 
-use ccs_core::{run_grid, GridRequest, PolicyKind};
+use ccs_core::{run_grid, GridRequest, PolicyKind, RunOptions};
 use ccs_isa::{ClusterLayout, MachineConfig};
 use ccs_trace::{Benchmark, TraceStore};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
@@ -14,7 +14,7 @@ use std::hint::black_box;
 
 const N: usize = 4_000;
 
-fn grid_specs() -> Vec<ccs_core::CellSpec> {
+fn grid_specs(metrics: bool) -> Vec<ccs_core::CellSpec> {
     GridRequest::new(MachineConfig::micro05_baseline(), N)
         .benchmarks([
             Benchmark::Vpr,
@@ -28,12 +28,14 @@ fn grid_specs() -> Vec<ccs_core::CellSpec> {
             ClusterLayout::C8x1w,
         ])
         .policies([PolicyKind::Focused])
+        .options(RunOptions::default().with_metrics(metrics))
         .build()
 }
 
 fn bench_grid_throughput(c: &mut Criterion) {
-    let specs = grid_specs();
-    // Warm the global trace store so both variants measure pure
+    let specs = grid_specs(false);
+    let metered = grid_specs(true);
+    // Warm the global trace store so every variant measures pure
     // simulation throughput, not first-touch generation.
     for spec in &specs {
         TraceStore::global().get(spec.benchmark, spec.sample_seed, spec.len);
@@ -49,6 +51,14 @@ fn bench_grid_throughput(c: &mut Criterion) {
     });
     g.bench_function(format!("parallel-{threads}t"), |b| {
         b.iter(|| run_grid(black_box(&specs), threads));
+    });
+    // The observability acceptance gate: metrics-on must stay within a
+    // few percent of metrics-off on the same grid.
+    g.bench_function("serial-metrics", |b| {
+        b.iter(|| run_grid(black_box(&metered), 1));
+    });
+    g.bench_function(format!("parallel-{threads}t-metrics"), |b| {
+        b.iter(|| run_grid(black_box(&metered), threads));
     });
     g.finish();
 }

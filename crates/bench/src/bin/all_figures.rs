@@ -3,8 +3,11 @@
 //! Each exhibit runs isolated: a panic inside one figure is caught,
 //! annotated, and the remaining figures still render. The process exits
 //! nonzero if any exhibit failed, so CI notices partial output.
-use ccs_bench::{figures, HarnessOptions};
-use ccs_trace::TraceStore;
+use ccs_bench::{cpi_stack_report, figures, HarnessOptions};
+use ccs_core::{GridRequest, PolicyKind};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_obs::StageTimers;
+use ccs_trace::{Benchmark, TraceStore};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
@@ -16,6 +19,7 @@ fn main() {
     );
     let start = Instant::now();
     let cells_before = ccs_core::cells_run();
+    let mut timers = StageTimers::new();
     let sep = "=".repeat(78);
     let mut failed: Vec<&'static str> = Vec::new();
     let mut show = |name: &'static str, render: &dyn Fn() -> String| {
@@ -32,6 +36,16 @@ fn main() {
             }
         }
     };
+    // Warm the shared trace cache up front so trace generation is
+    // charged to its own stage instead of the first figure to miss.
+    timers.time("trace-gen", || {
+        for bench in Benchmark::ALL {
+            for seed in opts.sample_seeds() {
+                TraceStore::global().get(bench, seed, opts.len);
+            }
+        }
+    });
+    let figures_start = Instant::now();
     show("tab1", &|| figures::tab1().to_string());
     show("fig2", &|| figures::fig2(&opts).to_string());
     show("fig2_latency_sweep", &|| {
@@ -66,6 +80,28 @@ fn main() {
         figures::ablate_proactive(&opts).to_string()
     });
     show("ablate_window", &|| figures::ablate_window(&opts).to_string());
+    timers.add("simulate+analysis", figures_start.elapsed());
+
+    // With --metrics, run one metered reference grid (the Figure 4 core:
+    // every benchmark on each clustered layout under focused steering)
+    // and print the reconciled CPI stack it implies.
+    if opts.metrics {
+        let report = timers.time("metrics-grid", || {
+            let specs = GridRequest::new(MachineConfig::micro05_baseline(), opts.len)
+                .benchmarks(Benchmark::ALL)
+                .layouts(ClusterLayout::CLUSTERED)
+                .policies([PolicyKind::Focused])
+                .options(opts.run_options())
+                .build();
+            let results =
+                ccs_core::run_grid_resilient(&specs, opts.effective_threads(), &opts.resilience());
+            cpi_stack_report(&results)
+        });
+        println!("{sep}\n{report}");
+        if report.contains("FAILED") {
+            failed.push("metrics_cpi_stack");
+        }
+    }
 
     let elapsed = start.elapsed();
     let cells = ccs_core::cells_run() - cells_before;
@@ -82,6 +118,7 @@ fn main() {
         store.hits(),
         store.misses(),
     );
+    println!("stage timings:\n{timers}");
     if !failed.is_empty() {
         eprintln!("{} exhibit(s) failed: {}", failed.len(), failed.join(", "));
         std::process::exit(1);

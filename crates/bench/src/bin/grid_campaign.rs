@@ -7,17 +7,19 @@
 //! Exit code: `0` when every cell completed, `1` when any cell failed
 //! or timed out, `2` when the campaign is still incomplete.
 
-use ccs_bench::{HarnessOptions, TextTable};
+use ccs_bench::{cpi_stack_report, HarnessOptions, TextTable};
 use ccs_core::checkpoint::{run_campaign, CampaignOptions, CheckpointRecord};
 use ccs_core::{CellSpec, PolicyKind};
 use ccs_isa::{ClusterLayout, MachineConfig};
-use ccs_trace::Benchmark;
+use ccs_obs::StageTimers;
+use ccs_trace::{Benchmark, TraceStore};
 
 fn main() {
     let opts = HarnessOptions::from_env_and_args();
     let manifest = std::env::var("CCS_MANIFEST")
         .unwrap_or_else(|_| "results/checkpoints/grid_campaign.jsonl".to_string());
 
+    let mut timers = StageTimers::new();
     let base = MachineConfig::micro05_baseline();
     let run_opts = opts.run_options();
     let seeds = opts.sample_seeds();
@@ -49,9 +51,20 @@ fn main() {
         specs.len(),
         if opts.resume { " (resuming)" } else { "" }
     );
+    // Warm the shared trace cache so trace generation is charged to its
+    // own stage rather than the first cells to touch each benchmark.
+    timers.time("trace-gen", || {
+        for bench in Benchmark::ALL {
+            for &seed in &seeds {
+                TraceStore::global().get(bench, seed, opts.len);
+            }
+        }
+    });
     let campaign = CampaignOptions::new(&manifest).with_resume(opts.resume);
-    let report = match run_campaign(&specs, opts.effective_threads(), &opts.resilience(), &campaign)
-    {
+    let report = timers.time("simulate", || {
+        run_campaign(&specs, opts.effective_threads(), &opts.resilience(), &campaign)
+    });
+    let report = match report {
         Ok(report) => report,
         Err(e) => {
             eprintln!("campaign aborted: {e}");
@@ -80,7 +93,19 @@ fn main() {
         ]);
     }
     println!("{table}");
+
+    // With --metrics, aggregate the in-process cells' counters into a
+    // reconciled CPI stack. Cells skipped on resume contribute no
+    // metrics (the manifest records only their digest), so the stack
+    // covers the cells this invocation ran.
+    if opts.metrics {
+        let ran: Vec<_> = report.results.iter().flatten().cloned().collect();
+        let stack_report = timers.time("analysis", || cpi_stack_report(&ran));
+        println!("{stack_report}");
+    }
+
     println!("{}", report.summary());
+    println!("stage timings:\n{timers}");
     std::process::exit(report.exit_code());
 }
 

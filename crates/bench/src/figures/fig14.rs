@@ -1,7 +1,7 @@
 //! Figure 14: the policy ladder — focused, +LoC, +stall-over-steer,
 //! +proactive.
 
-use super::mean;
+use super::{csv_num, mean, ratio};
 use crate::{HarnessOptions, TextTable};
 use ccs_core::{run_grid, CellSpec, PolicyKind};
 use ccs_critpath::CostCategory;
@@ -127,7 +127,8 @@ pub fn fig14(opts: &HarnessOptions) -> Fig14 {
                     let cell = results.next().expect("ladder cell");
                     let outcome = cell.expect_outcome();
                     let insts = outcome.result.instructions();
-                    bar.normalized_cpi += outcome.cpi() / mono_cpi / samples;
+                    bar.normalized_cpi +=
+                        ratio(outcome.cpi(), mono_cpi, "fig14 monolithic CPI") / samples;
                     bar.fwd += outcome
                         .analysis
                         .breakdown
@@ -155,13 +156,13 @@ impl Fig14 {
         let mut out = String::from("bench,layout,policy,normalized_cpi,fwd,contention\n");
         for b in &self.bars {
             out.push_str(&format!(
-                "{},{},{},{:.4},{:.4},{:.4}\n",
+                "{},{},{},{},{},{}\n",
                 b.bench,
                 b.layout,
                 b.policy.bar_label(),
-                b.normalized_cpi,
-                b.fwd,
-                b.contention
+                csv_num(b.normalized_cpi),
+                csv_num(b.fwd),
+                csv_num(b.contention)
             ));
         }
         out

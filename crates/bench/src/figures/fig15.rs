@@ -1,6 +1,6 @@
 //! Figure 15: achieved vs available ILP on the 8x1w machine.
 
-use super::trace_for;
+use super::{csv_num, trace_for};
 use crate::{HarnessOptions, TextTable};
 use ccs_core::{run_cell, PolicyKind};
 use ccs_isa::{ClusterLayout, MachineConfig};
@@ -35,7 +35,7 @@ impl Fig15 {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("available,cycles,achieved\n");
         for (a, cycles, achieved) in self.census.series() {
-            out.push_str(&format!("{a},{cycles},{achieved:.4}\n"));
+            out.push_str(&format!("{a},{cycles},{}\n", csv_num(achieved)));
         }
         out
     }

@@ -1,6 +1,6 @@
 //! Figure 2: idealized list scheduling across cluster configurations.
 
-use super::{mean, mono_result, trace_for};
+use super::{csv_num, mean, mono_result, ratio, trace_for};
 use crate::{HarnessOptions, TextTable};
 use ccs_core::parallel_map;
 use ccs_isa::{ClusterLayout, MachineConfig};
@@ -38,7 +38,11 @@ pub fn fig2(opts: &HarnessOptions) -> Fig2 {
         for (k, layout) in ClusterLayout::CLUSTERED.into_iter().enumerate() {
             let machine = base_cfg.with_layout(layout);
             let ideal = list_schedule(&trace, &mono, &ListScheduleConfig::new(machine));
-            norms[k] = ideal.cycles as f64 / ideal_mono.cycles as f64;
+            norms[k] = ratio(
+                ideal.cycles as f64,
+                ideal_mono.cycles as f64,
+                "fig2 idealized 1x8w cycles",
+            );
         }
         norms
     });
@@ -65,11 +69,18 @@ impl Fig2 {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("bench,2x4w,4x2w,8x1w\n");
         for (bench, n) in &self.rows {
-            out.push_str(&format!("{bench},{:.4},{:.4},{:.4}\n", n[0], n[1], n[2]));
+            out.push_str(&format!(
+                "{bench},{},{},{}\n",
+                csv_num(n[0]),
+                csv_num(n[1]),
+                csv_num(n[2])
+            ));
         }
         out.push_str(&format!(
-            "AVE,{:.4},{:.4},{:.4}\n",
-            self.average[0], self.average[1], self.average[2]
+            "AVE,{},{},{}\n",
+            csv_num(self.average[0]),
+            csv_num(self.average[1]),
+            csv_num(self.average[2])
         ));
         out
     }
@@ -137,7 +148,11 @@ pub fn fig2_latency_sweep(opts: &HarnessOptions) -> Fig2LatencySweep {
                 let ideal_mono =
                     list_schedule(trace, mono, &ListScheduleConfig::new(base_cfg));
                 let ideal = list_schedule(trace, mono, &ListScheduleConfig::new(machine));
-                ideal.cycles as f64 / ideal_mono.cycles as f64
+                ratio(
+                    ideal.cycles as f64,
+                    ideal_mono.cycles as f64,
+                    "fig2 latency-sweep 1x8w cycles",
+                )
             }));
         }
         rows.push((latency, norms));

@@ -1,5 +1,6 @@
 //! Figure 3: convergent dataflow's cost on each cluster width.
 
+use super::ratio;
 use crate::{HarnessOptions, TextTable};
 use ccs_isa::{ClusterLayout, MachineConfig, Pc};
 use ccs_listsched::{list_schedule, ListScheduleConfig};
@@ -49,7 +50,11 @@ pub fn fig3(opts: &HarnessOptions) -> Fig3 {
             let ideal = list_schedule(&trace, &mono, &ListScheduleConfig::new(machine));
             (
                 layout,
-                ideal.cycles as f64 / base.cycles as f64,
+                ratio(
+                    ideal.cycles as f64,
+                    base.cycles as f64,
+                    "fig3 idealized monolithic cycles",
+                ),
                 ideal.cross_cluster_values as f64 / instances as f64,
             )
         })

@@ -1,6 +1,6 @@
 //! Figure 4: focused steering and scheduling on the timing simulator.
 
-use super::mean;
+use super::{csv_num, mean, ratio};
 use crate::{HarnessOptions, TextTable};
 use ccs_core::{GridRequest, PolicyKind};
 use ccs_isa::{ClusterLayout, MachineConfig};
@@ -41,7 +41,8 @@ pub fn fig4(opts: &HarnessOptions) -> Fig4 {
             let mono_cpi = mono.cpi();
             for norm in norms.iter_mut() {
                 let cell = results.next().expect("clustered focused run");
-                *norm += cell.cpi() / mono_cpi / seeds.len() as f64;
+                *norm += ratio(cell.cpi(), mono_cpi, "fig4 monolithic CPI")
+                    / seeds.len() as f64;
             }
         }
         rows.push((bench, norms));
@@ -59,11 +60,18 @@ impl Fig4 {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("bench,2x4w,4x2w,8x1w\n");
         for (bench, n) in &self.rows {
-            out.push_str(&format!("{bench},{:.4},{:.4},{:.4}\n", n[0], n[1], n[2]));
+            out.push_str(&format!(
+                "{bench},{},{},{}\n",
+                csv_num(n[0]),
+                csv_num(n[1]),
+                csv_num(n[2])
+            ));
         }
         out.push_str(&format!(
-            "AVE,{:.4},{:.4},{:.4}\n",
-            self.average[0], self.average[1], self.average[2]
+            "AVE,{},{},{}\n",
+            csv_num(self.average[0]),
+            csv_num(self.average[1]),
+            csv_num(self.average[2])
         ));
         out
     }

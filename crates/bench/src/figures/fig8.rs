@@ -1,6 +1,6 @@
 //! Figure 8: the distribution of likelihood-of-criticality values.
 
-use super::trace_for;
+use super::{csv_num, trace_for};
 use crate::{HarnessOptions, TextTable};
 use ccs_critpath::analyze;
 use ccs_predictors::{ExactLoc, LocDistribution, LocEstimator};
@@ -39,7 +39,7 @@ impl Fig8 {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("loc_percent,dynamic_percent\n");
         for (lo, pct) in self.distribution.series() {
-            out.push_str(&format!("{lo},{pct:.4}\n"));
+            out.push_str(&format!("{lo},{}\n", csv_num(pct)));
         }
         out
     }

@@ -82,6 +82,46 @@ pub(crate) fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
     try_mean(values).expect("mean of an empty figure series")
 }
 
+/// `numerator / baseline`, rejecting a zero or non-finite baseline with
+/// a typed error. Figure normalizations divide by a baseline's cycle or
+/// CPI measurement; if that baseline degenerated (a zero-length cell, a
+/// propagated NaN), a silent division would print NaN/inf into the
+/// exhibit instead of failing at the source.
+pub(crate) fn try_ratio(
+    numerator: f64,
+    baseline: f64,
+    what: &'static str,
+) -> Result<f64, CcsError> {
+    if baseline == 0.0 || !baseline.is_finite() {
+        return Err(CcsError::DegenerateBaseline {
+            what,
+            value: baseline,
+        });
+    }
+    let r = numerator / baseline;
+    if !r.is_finite() {
+        return Err(CcsError::DegenerateBaseline { what, value: r });
+    }
+    Ok(r)
+}
+
+/// [`try_ratio`] for series the caller guarantees non-degenerate (fixed
+/// enumerations over successful cells). The panic is isolated per
+/// exhibit by the `all_figures` driver.
+pub(crate) fn ratio(numerator: f64, baseline: f64, what: &'static str) -> f64 {
+    try_ratio(numerator, baseline, what).expect("degenerate figure baseline")
+}
+
+/// Formats one numeric CSV cell to four decimals, refusing non-finite
+/// values. `{:.4}` happily prints `NaN` or `inf` into an artifact that
+/// downstream plotting would then parse; a non-finite value reaching a
+/// renderer is an upstream harness bug and must fail here, at the last
+/// gate before the artifact.
+pub(crate) fn csv_num(v: f64) -> String {
+    assert!(v.is_finite(), "non-finite value in CSV output: {v}");
+    format!("{v:.4}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +144,35 @@ mod tests {
         let err = try_mean([]).unwrap_err();
         assert!(matches!(err, CcsError::EmptyInput { .. }));
         assert!(err.to_string().contains("figure series"));
+    }
+
+    #[test]
+    fn try_ratio_rejects_degenerate_baselines() {
+        assert_eq!(try_ratio(3.0, 2.0, "test").unwrap(), 1.5);
+        for bad in [0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = try_ratio(1.0, bad, "test").unwrap_err();
+            assert!(matches!(err, CcsError::DegenerateBaseline { .. }), "{bad}");
+        }
+        // A NaN numerator over a finite baseline is also caught.
+        assert!(try_ratio(f64::NAN, 2.0, "test").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate figure baseline")]
+    fn ratio_panics_on_zero_baseline() {
+        let _ = ratio(1.0, 0.0, "test");
+    }
+
+    #[test]
+    fn csv_num_formats_finite_values() {
+        assert_eq!(csv_num(1.0), "1.0000");
+        assert_eq!(csv_num(0.12345), "0.1235");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite value in CSV output")]
+    fn csv_num_refuses_nan() {
+        let _ = csv_num(f64::NAN);
     }
 
     #[test]

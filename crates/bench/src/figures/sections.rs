@@ -1,7 +1,7 @@
 //! Text-section results: §2.1 global communication, §4 list-scheduler
 //! knowledge ablation, §6 consumer statistics.
 
-use super::{mean, mono_result, trace_for};
+use super::{mean, mono_result, ratio, trace_for};
 use crate::{HarnessOptions, TextTable};
 use ccs_core::{run_cell, PolicyKind};
 use ccs_critpath::{analyze, analyze_consumers};
@@ -133,7 +133,11 @@ pub fn sec4_listsched(opts: &HarnessOptions) -> Sec4 {
                     &p.mono,
                     &ListScheduleConfig::new(machine).with_priority(mode),
                 );
-                norms[k].push(r.cycles as f64 / base.cycles as f64);
+                norms[k].push(ratio(
+                    r.cycles as f64,
+                    base.cycles as f64,
+                    "sec4 idealized 1x8w cycles",
+                ));
             }
         }
         rows.push((

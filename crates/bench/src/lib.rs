@@ -27,10 +27,12 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+mod obsreport;
 mod options;
 mod report;
 mod table;
 
+pub use obsreport::cpi_stack_report;
 pub use options::HarnessOptions;
 pub use report::{grid_benchmark_json, make_report};
 pub use table::TextTable;

@@ -1,0 +1,97 @@
+//! Observability reporting: aggregated CPI stacks from metered grids.
+//!
+//! When the harness runs with `--metrics` / `CCS_METRICS=1`, every grid
+//! cell carries a [`ccs_sim::SimMetrics`] from its measured epoch. This
+//! module folds those into one campaign-wide CPI stack and reconciles
+//! it, category by category, against the aggregated critical-path
+//! breakdown — two independently derived accountings of the same cycles
+//! that must agree exactly.
+
+use ccs_core::{aggregate_breakdown, aggregate_metrics, CellResult};
+use ccs_critpath::{cpi_stack, observed_cpi_stack};
+
+/// Renders the campaign-wide CPI stack for `results`, reconciled
+/// against the aggregated critical-path breakdown.
+///
+/// With metered cells present, the stack is cross-checked against their
+/// merged [`ccs_sim::SimMetrics`] (cycle and commit counters must agree
+/// with the breakdown) and the report says so; without any, the stack
+/// is derived from the breakdown alone and labeled accordingly. A
+/// reconciliation failure is reported in the text, not panicked, so a
+/// campaign summary still prints — CI greps for `FAILED`.
+pub fn cpi_stack_report(results: &[CellResult]) -> String {
+    let (breakdown, cycles, instructions) = aggregate_breakdown(results);
+    if cycles == 0 {
+        return "CPI stack: no completed cells to aggregate".to_string();
+    }
+    let metered = results
+        .iter()
+        .filter(|r| r.status.outcome().is_some_and(|o| o.metrics.is_some()))
+        .count();
+    let completed = results
+        .iter()
+        .filter(|r| r.status.outcome().is_some())
+        .count();
+    let mut out = String::new();
+    match aggregate_metrics(results) {
+        Some(metrics) => match observed_cpi_stack(&metrics, &breakdown) {
+            Ok(stack) => {
+                out.push_str(&format!(
+                    "CPI stack — {metered} metered of {completed} completed cells, \
+                     {cycles} cycles / {instructions} instructions\n{stack}\n\
+                     reconciled: metrics counters and critical-path breakdown agree \
+                     in every category\n"
+                ));
+            }
+            Err(e) => {
+                out.push_str(&format!("CPI-stack reconciliation FAILED: {e}\n"));
+            }
+        },
+        None => {
+            let stack = cpi_stack(&breakdown, instructions);
+            out.push_str(&format!(
+                "CPI stack — no metered cells (run with --metrics); derived from \
+                 the critical-path breakdown of {completed} completed cells\n{stack}\n"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::{GridRequest, PolicyKind, RunOptions};
+    use ccs_isa::{ClusterLayout, MachineConfig};
+    use ccs_trace::Benchmark;
+
+    fn smoke_results(metrics: bool) -> Vec<CellResult> {
+        let specs = GridRequest::new(MachineConfig::micro05_baseline(), 1_500)
+            .benchmarks([Benchmark::Vpr, Benchmark::Gzip])
+            .layouts([ClusterLayout::C4x2w])
+            .policies([PolicyKind::Focused])
+            .options(RunOptions::default().with_epochs(1).with_metrics(metrics))
+            .build();
+        ccs_core::run_grid_resilient(&specs, 2, &Default::default())
+    }
+
+    #[test]
+    fn metered_grid_reconciles() {
+        let report = cpi_stack_report(&smoke_results(true));
+        assert!(report.contains("reconciled"), "{report}");
+        assert!(!report.contains("FAILED"), "{report}");
+        assert!(report.contains("2 metered of 2"), "{report}");
+    }
+
+    #[test]
+    fn unmetered_grid_reports_breakdown_only() {
+        let report = cpi_stack_report(&smoke_results(false));
+        assert!(report.contains("no metered cells"), "{report}");
+        assert!(!report.contains("FAILED"), "{report}");
+    }
+
+    #[test]
+    fn empty_grid_is_not_a_stack() {
+        assert!(cpi_stack_report(&[]).contains("no completed cells"));
+    }
+}

@@ -33,6 +33,10 @@ pub struct HarnessOptions {
     /// Cycle budget per simulation (`0` = unbounded); exceeding it
     /// reports the cell as timed out.
     pub cycle_budget: u64,
+    /// Collect observability metrics on each cell's measured epoch and
+    /// report per-stage timings plus a CPI stack. Schedules and results
+    /// are bit-identical with metrics on or off.
+    pub metrics: bool,
 }
 
 impl HarnessOptions {
@@ -44,6 +48,8 @@ impl HarnessOptions {
     /// resumes a checkpointed campaign, `CCS_MAX_ATTEMPTS` retries
     /// failing cells, `CCS_DEADLINE_MS` arms the per-cell wall-clock
     /// watchdog and `CCS_CYCLE_BUDGET` bounds each simulation.
+    /// `CCS_METRICS=1` collects observability metrics and prints stage
+    /// timings and a CPI stack.
     pub fn from_env() -> Self {
         let parse = |name: &str, default: u64| -> u64 {
             std::env::var(name)
@@ -62,12 +68,13 @@ impl HarnessOptions {
             max_attempts: parse("CCS_MAX_ATTEMPTS", 1).max(1) as u32,
             deadline_ms: parse("CCS_DEADLINE_MS", 0),
             cycle_budget: parse("CCS_CYCLE_BUDGET", 0),
+            metrics: parse("CCS_METRICS", 0) != 0,
         }
     }
 
     /// [`from_env`](Self::from_env), then applies `--threads N` /
-    /// `--threads=N` and `--resume` from the binary's command line on
-    /// top.
+    /// `--threads=N`, `--resume` and `--metrics` from the binary's
+    /// command line on top.
     pub fn from_env_and_args() -> Self {
         let mut opts = Self::from_env();
         let mut args = std::env::args().skip(1);
@@ -82,6 +89,8 @@ impl HarnessOptions {
                 }
             } else if arg == "--resume" {
                 opts.resume = true;
+            } else if arg == "--metrics" {
+                opts.metrics = true;
             }
         }
         opts
@@ -119,6 +128,7 @@ impl HarnessOptions {
             max_attempts: 1,
             deadline_ms: 0,
             cycle_budget: 0,
+            metrics: false,
         }
     }
 
@@ -126,7 +136,8 @@ impl HarnessOptions {
     pub fn run_options(&self) -> RunOptions {
         let mut opts = RunOptions::default()
             .with_epochs(self.epochs)
-            .with_checked(self.checked);
+            .with_checked(self.checked)
+            .with_metrics(self.metrics);
         if self.cycle_budget > 0 {
             opts = opts.with_cycle_budget(self.cycle_budget);
         }
@@ -183,6 +194,14 @@ mod tests {
         assert_eq!(res.max_attempts, 3);
         assert_eq!(res.deadline, Some(Duration::from_millis(250)));
         assert_eq!(o.run_options().cycle_budget, Some(1_000));
+    }
+
+    #[test]
+    fn metrics_knob_maps_through() {
+        let mut o = HarnessOptions::smoke();
+        assert!(!o.run_options().metrics);
+        o.metrics = true;
+        assert!(o.run_options().metrics);
     }
 
     #[test]

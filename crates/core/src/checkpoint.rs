@@ -16,9 +16,13 @@
 //!
 //! The manifest format is hand-rolled: records are flat and the
 //! workspace deliberately carries no JSON dependency (the vendored
-//! `serde` is an offline stub). Loading tolerates a torn final line —
-//! the expected artifact of killing a campaign mid-write — by treating
-//! it as "not recorded".
+//! `serde` is an offline stub). Every manifest opens with a header line
+//! naming the format and its [`MANIFEST_SCHEMA`] version; a manifest
+//! with a missing or mismatched header fails loudly instead of being
+//! silently treated as empty (which would wrongly re-run — or worse,
+//! wrongly skip — every cell). Loading still tolerates a torn *final*
+//! line — the expected artifact of killing a campaign mid-write — by
+//! treating it as "not recorded".
 
 use crate::error::CcsError;
 use crate::grid::{evaluate_cell, run_cells, CellResult, CellSpec, CellStatus, Resilience};
@@ -28,6 +32,21 @@ use std::fs::OpenOptions;
 use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, PoisonError};
+
+/// Version of the manifest's key fingerprint and record layout.
+///
+/// Schema 1 was the pre-header format whose keys hashed the spec's
+/// `Debug` rendering. Schema 2 hashes explicitly serialized fields (see
+/// [`cell_key`]) and records an optional metrics digest. Bump this
+/// whenever either changes incompatibly; [`load_manifest`] refuses
+/// manifests whose header does not match, so stale checkpoints surface
+/// as a hard error instead of a silently wrong resume.
+pub const MANIFEST_SCHEMA: u32 = 2;
+
+/// The manifest's first line: format marker plus schema version.
+fn manifest_header() -> String {
+    format!("{{\"manifest\":\"ccs-grid-manifest\",\"schema\":{MANIFEST_SCHEMA}}}")
+}
 
 /// 64-bit FNV-1a over `bytes`.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -39,12 +58,195 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// An FNV-1a accumulator over *explicitly serialized*, type-tagged
+/// fields.
+///
+/// Every push prepends a type tag byte, so adjacent fields of different
+/// types can never alias (e.g. `Some(0)` vs `None` followed by `0`). This
+/// is the identity layer under [`cell_key`]: it hashes field values, never
+/// `Debug` output, so a derive or float-formatting change cannot silently
+/// reshuffle manifest keys.
+#[derive(Debug)]
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&[1]);
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.bytes(&[2, v as u8]);
+    }
+
+    /// Floats are hashed by bit pattern — exact, no formatting round trip.
+    fn f64(&mut self, v: f64) {
+        self.bytes(&[3]);
+        self.bytes(&v.to_bits().to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.bytes(&[4]);
+        self.bytes(&(s.len() as u64).to_le_bytes());
+        self.bytes(s.as_bytes());
+    }
+
+    fn none(&mut self) {
+        self.bytes(&[5]);
+    }
+
+    fn some(&mut self) {
+        self.bytes(&[6]);
+    }
+
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.none(),
+            Some(v) => {
+                self.some();
+                self.u64(v);
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hashes every semantic field of `spec` — workload axes, machine
+/// configuration, policy and its configuration, and the run options —
+/// in a fixed, documented order.
+///
+/// Deliberately excluded: [`RunOptions::metrics`]. Metrics collection is
+/// a write-only observer (schedules and results are bit-identical with it
+/// on or off), so it must not change a cell's identity — a campaign can
+/// be resumed with metrics toggled and still skip its finished cells.
+fn spec_fingerprint(spec: &CellSpec) -> u64 {
+    let mut fp = Fingerprint::new();
+    // Workload axes.
+    fp.str(spec.benchmark.name());
+    fp.u64(spec.sample_seed);
+    fp.u64(spec.len as u64);
+    // Machine configuration.
+    let c = &spec.config;
+    fp.str(c.layout.name());
+    fp.u64(c.front_end.fetch_width as u64);
+    fp.u64(c.front_end.depth_to_dispatch as u64);
+    fp.u64(c.front_end.gshare_history_bits as u64);
+    fp.u64(c.front_end.skid_buffer as u64);
+    fp.bool(c.front_end.break_on_taken);
+    fp.u64(c.window_total as u64);
+    fp.u64(c.rob_entries as u64);
+    fp.u64(c.commit_width as u64);
+    fp.u64(c.int_total as u64);
+    fp.u64(c.fp_total as u64);
+    fp.u64(c.mem_total as u64);
+    fp.u64(c.forward_latency as u64);
+    fp.opt_u64(c.forward_bandwidth.map(u64::from));
+    fp.u64(c.memory.l1_bytes as u64);
+    fp.u64(c.memory.l1_ways as u64);
+    fp.u64(c.memory.l1_line_bytes as u64);
+    fp.u64(c.memory.l2_latency as u64);
+    match c.memory.l2 {
+        None => fp.none(),
+        Some(l2) => {
+            fp.some();
+            fp.u64(l2.bytes as u64);
+            fp.u64(l2.ways as u64);
+            fp.u64(l2.line_bytes as u64);
+            fp.u64(l2.memory_latency as u64);
+        }
+    }
+    // Per-cluster shape. Derived from the totals and layout today, but a
+    // resumed campaign must not silently survive a change to that
+    // derivation.
+    fp.u64(c.cluster.window_entries as u64);
+    fp.u64(c.cluster.issue_width as u64);
+    fp.u64(c.cluster.int_ports as u64);
+    fp.u64(c.cluster.fp_ports as u64);
+    fp.u64(c.cluster.mem_ports as u64);
+    // Policy identity and configuration.
+    fp.str(spec.policy.name());
+    match &spec.policy_config {
+        None => fp.none(),
+        Some(pc) => {
+            fp.some();
+            fingerprint_policy_config(&mut fp, pc);
+        }
+    }
+    // Run options (minus `metrics`; see above).
+    let o = &spec.options;
+    fp.u64(o.epochs as u64);
+    match o.loc_mode {
+        crate::bank::LocMode::Exact => fp.str("exact"),
+        crate::bank::LocMode::Quantized16 => fp.str("q16"),
+        crate::bank::LocMode::QuantizedBits(bits) => {
+            fp.str("qbits");
+            fp.u64(bits as u64);
+        }
+    }
+    fp.u64(o.seed);
+    match o.training {
+        crate::experiment::TrainingSource::ExactGraph => fp.str("exact-graph"),
+        crate::experiment::TrainingSource::TokenDetector(det) => {
+            fp.str("token-detector");
+            fp.u64(det.horizon as u64);
+            fp.u64(det.tokens as u64);
+        }
+    }
+    fp.bool(o.checked);
+    fp.opt_u64(o.cycle_budget);
+    fp.finish()
+}
+
+fn fingerprint_policy_config(fp: &mut Fingerprint, pc: &crate::policy::PolicyConfig) {
+    fp.bool(pc.criticality_steer);
+    fp.bool(pc.loc_steer);
+    fp.bool(pc.binary_priority);
+    fp.bool(pc.loc_priority);
+    match pc.stall_threshold {
+        None => fp.none(),
+        Some(v) => {
+            fp.some();
+            fp.f64(v);
+        }
+    }
+    match pc.proactive {
+        None => fp.none(),
+        Some(p) => {
+            fp.some();
+            fp.f64(p.min_loc_override);
+            fp.f64(p.producer_fraction);
+        }
+    }
+}
+
 /// A stable identity for a cell within a campaign: the readable axes
 /// (benchmark, seed, length, layout, policy) plus an FNV-1a fingerprint
-/// of the full spec (machine config, policy config, run options), so
-/// ablation cells differing only in configuration get distinct keys.
+/// over every *explicitly serialized* field of the spec (machine config,
+/// policy config, run options), so ablation cells differing only in
+/// configuration get distinct keys.
+///
+/// The fingerprint hashes field values in a fixed order — never `Debug`
+/// output — so keys survive derive and formatting changes. Field-set
+/// changes are versioned by the manifest header instead
+/// ([`MANIFEST_SCHEMA`]): extending the fingerprint means bumping the
+/// schema, which makes stale manifests fail loudly rather than silently
+/// re-running (or wrongly skipping) every cell.
 pub fn cell_key(spec: &CellSpec) -> String {
-    let fingerprint = fnv1a(format!("{spec:?}").as_bytes());
+    let fingerprint = spec_fingerprint(spec);
     format!(
         "{}/s{}/n{}/{}/{:?}/{fingerprint:016x}",
         spec.benchmark.name(),
@@ -72,6 +274,12 @@ pub struct CheckpointRecord {
     /// FNV-1a over the debug rendering of the full simulation result
     /// (0 for failed cells). Bit-identical runs digest identically.
     pub digest: u64,
+    /// [`SimMetrics::digest`](ccs_sim::SimMetrics::digest) of the cell's
+    /// observability counters, when the cell ran with
+    /// [`RunOptions::metrics`](crate::RunOptions) on. `None` when metrics
+    /// were off (metrics never feed [`cell_key`], so a campaign can be
+    /// resumed with the flag toggled).
+    pub metrics_digest: Option<u64>,
     /// The error rendering for failed/timed-out cells.
     pub error: Option<String>,
 }
@@ -88,6 +296,7 @@ impl CheckpointRecord {
                 cycles: o.result.cycles,
                 cpi_bits: o.cpi().to_bits(),
                 digest: fnv1a(format!("{:?}", o.result).as_bytes()),
+                metrics_digest: o.metrics.as_ref().map(|m| m.digest()),
                 error: None,
             },
             CellStatus::Failed { error, attempts } | CellStatus::TimedOut { error, attempts } => {
@@ -98,6 +307,7 @@ impl CheckpointRecord {
                     cycles: 0,
                     cpi_bits: 0,
                     digest: 0,
+                    metrics_digest: None,
                     error: Some(error.to_string()),
                 }
             }
@@ -119,6 +329,12 @@ impl CheckpointRecord {
             "\",\"status\":\"{}\",\"attempts\":{},\"cycles\":{},\"cpi_bits\":{},\"digest\":{}",
             self.status, self.attempts, self.cycles, self.cpi_bits, self.digest
         );
+        match self.metrics_digest {
+            None => s.push_str(",\"metrics_digest\":null"),
+            Some(d) => {
+                let _ = write!(s, ",\"metrics_digest\":{d}");
+            }
+        }
         match &self.error {
             None => s.push_str(",\"error\":null}"),
             Some(e) => {
@@ -143,6 +359,12 @@ impl CheckpointRecord {
             cycles: parse_u64_field(line, "cycles")?,
             cpi_bits: parse_u64_field(line, "cpi_bits")?,
             digest: parse_u64_field(line, "digest")?,
+            // Tolerant: `null` or an absent field both read as `None`.
+            metrics_digest: if line.contains("\"metrics_digest\":null") {
+                None
+            } else {
+                parse_u64_field(line, "metrics_digest")
+            },
             error: parse_opt_str_field(line, "error")?,
         })
     }
@@ -232,12 +454,16 @@ fn parse_u64_field(line: &str, name: &str) -> Option<u64> {
 
 /// Loads a manifest into a key-indexed map. A later record for a key
 /// supersedes an earlier one (a retry after resume); torn or foreign
-/// lines are skipped.
+/// lines after the header are skipped.
 ///
 /// # Errors
 ///
-/// [`CcsError::Checkpoint`] if the file exists but cannot be read. A
-/// missing file loads as an empty map.
+/// [`CcsError::Checkpoint`] if the file exists but cannot be read, or
+/// if a non-empty file does not open with a `ccs-grid-manifest` header
+/// carrying the current [`MANIFEST_SCHEMA`] — the keys of an
+/// incompatible manifest cannot be trusted, so resuming over one must
+/// fail loudly rather than silently re-run (or wrongly skip) cells. A
+/// missing or empty file loads as an empty map.
 pub fn load_manifest(path: &Path) -> Result<HashMap<String, CheckpointRecord>, CcsError> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
@@ -249,8 +475,38 @@ pub fn load_manifest(path: &Path) -> Result<HashMap<String, CheckpointRecord>, C
             })
         }
     };
+    if text.trim().is_empty() {
+        return Ok(HashMap::new());
+    }
+    let mut lines = text.lines();
+    let first = lines.next().unwrap_or_default();
+    let marker = parse_str_field(first, "manifest");
+    let schema = parse_u64_field(first, "schema");
+    match (marker.as_deref(), schema) {
+        (Some("ccs-grid-manifest"), Some(s)) if s == MANIFEST_SCHEMA as u64 => {}
+        (Some("ccs-grid-manifest"), Some(s)) => {
+            return Err(CcsError::Checkpoint {
+                path: path.display().to_string(),
+                message: format!(
+                    "manifest schema {s} is incompatible with this build \
+                     (expected {MANIFEST_SCHEMA}); its cell keys cannot be \
+                     trusted — delete it or run without --resume"
+                ),
+            });
+        }
+        _ => {
+            return Err(CcsError::Checkpoint {
+                path: path.display().to_string(),
+                message: format!(
+                    "not a ccs-grid-manifest (missing or malformed header \
+                     line; expected schema {MANIFEST_SCHEMA}); refusing to \
+                     resume over it — delete it or run without --resume"
+                ),
+            });
+        }
+    }
     let mut map = HashMap::new();
-    for line in text.lines() {
+    for line in lines {
         if let Some(rec) = CheckpointRecord::from_json_line(line) {
             map.insert(rec.key.clone(), rec);
         }
@@ -389,6 +645,12 @@ pub fn run_campaign(
     } else {
         HashMap::new()
     };
+    // A truncated manifest needs its header; so does resuming into a
+    // missing or empty file (an empty file validates as an empty map).
+    let needs_header = !opts.resume
+        || std::fs::metadata(&opts.manifest)
+            .map(|m| m.len() == 0)
+            .unwrap_or(true);
     let file = OpenOptions::new()
         .create(true)
         .append(opts.resume)
@@ -396,7 +658,12 @@ pub fn run_campaign(
         .write(true)
         .open(&opts.manifest)
         .map_err(io_err)?;
-    let writer = Mutex::new(BufWriter::new(file));
+    let mut buf = BufWriter::new(file);
+    if needs_header {
+        writeln!(buf, "{}", manifest_header()).map_err(io_err)?;
+        buf.flush().map_err(io_err)?;
+    }
+    let writer = Mutex::new(buf);
 
     let keys: Vec<String> = specs.iter().map(cell_key).collect();
     let mut pending: Vec<(usize, CellSpec)> = specs
@@ -470,6 +737,7 @@ mod tests {
             cycles: 1234,
             cpi_bits: 0x3ff0_0000_0000_0000,
             digest: 0xdead_beef,
+            metrics_digest: Some(0x0123_4567_89ab_cdef),
             error: None,
         };
         let line = rec.to_json_line();
@@ -482,6 +750,7 @@ mod tests {
             cycles: 0,
             cpi_bits: 0,
             digest: 0,
+            metrics_digest: None,
             error: Some("cell panicked: \"quoted\"\nand newline \\ slash".into()),
         };
         let line = failed.to_json_line();
@@ -513,6 +782,97 @@ mod tests {
         );
         assert_ne!(cell_key(&a), cell_key(&b), "options feed the fingerprint");
         assert_eq!(cell_key(&a), cell_key(&a.clone()), "keys are stable");
+    }
+
+    #[test]
+    fn metrics_flag_does_not_change_cell_key() {
+        let base = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+        let off = CellSpec::new(
+            base,
+            Benchmark::Vpr,
+            1,
+            1_000,
+            PolicyKind::Focused,
+            RunOptions::default(),
+        );
+        let on = CellSpec::new(
+            base,
+            Benchmark::Vpr,
+            1,
+            1_000,
+            PolicyKind::Focused,
+            RunOptions::default().with_metrics(true),
+        );
+        assert_eq!(
+            cell_key(&off),
+            cell_key(&on),
+            "metrics is a write-only observer: toggling it must not invalidate a resume"
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_adjacent_option_fields() {
+        // `Some(0)` for one field must not alias `None` followed by a
+        // zero in the next — the tag bytes keep them apart.
+        let base = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C2x4w);
+        let spec = |opts: RunOptions| {
+            CellSpec::new(base, Benchmark::Gzip, 7, 500, PolicyKind::Focused, opts)
+        };
+        let none = spec(RunOptions::default());
+        let some_zero = spec(RunOptions::default().with_cycle_budget(0));
+        assert_ne!(cell_key(&none), cell_key(&some_zero));
+    }
+
+    #[test]
+    fn manifest_without_valid_header_fails_loudly() {
+        let dir = std::env::temp_dir().join(format!("ccs-ckpt-hdr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Legacy (headerless) manifest: first line is a record.
+        let legacy = dir.join("legacy.jsonl");
+        std::fs::write(
+            &legacy,
+            "{\"key\":\"a/b\",\"status\":\"ok\",\"attempts\":1,\"cycles\":1,\
+             \"cpi_bits\":1,\"digest\":1,\"metrics_digest\":null,\"error\":null}\n",
+        )
+        .unwrap();
+        let err = load_manifest(&legacy).unwrap_err();
+        assert!(
+            err.to_string().contains("ccs-grid-manifest"),
+            "unexpected error: {err}"
+        );
+
+        // Wrong schema version.
+        let stale = dir.join("stale.jsonl");
+        std::fs::write(&stale, "{\"manifest\":\"ccs-grid-manifest\",\"schema\":1}\n").unwrap();
+        let err = load_manifest(&stale).unwrap_err();
+        assert!(err.to_string().contains("schema 1"), "unexpected error: {err}");
+
+        // Missing or empty files still load as empty maps.
+        assert!(load_manifest(&dir.join("missing.jsonl")).unwrap().is_empty());
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        assert!(load_manifest(&empty).unwrap().is_empty());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn campaign_manifests_open_with_the_schema_header() {
+        let dir = std::env::temp_dir().join(format!("ccs-ckpt-hdr2-{}", std::process::id()));
+        let specs = GridRequest::new(MachineConfig::micro05_baseline(), 500)
+            .benchmarks([Benchmark::Vpr])
+            .layouts([ClusterLayout::C2x4w])
+            .policies([PolicyKind::Focused])
+            .options(RunOptions::default().with_epochs(1))
+            .build();
+        let opts = CampaignOptions::new(dir.join("hdr.jsonl"));
+        run_campaign(&specs, 1, &Resilience::default(), &opts).unwrap();
+        let text = std::fs::read_to_string(dir.join("hdr.jsonl")).unwrap();
+        assert_eq!(text.lines().next(), Some(manifest_header().as_str()));
+        // And the file it wrote round-trips through load_manifest.
+        assert_eq!(load_manifest(&dir.join("hdr.jsonl")).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

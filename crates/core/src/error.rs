@@ -18,6 +18,9 @@
 //!   the executor's `catch_unwind` barrier.
 //! * [`CcsError::EmptyInput`] — an aggregation was asked to summarize
 //!   nothing.
+//! * [`CcsError::DegenerateBaseline`] — a normalization's denominator
+//!   was zero or non-finite; dividing by it would print NaN or ±inf
+//!   into a figure.
 //! * [`CcsError::Checkpoint`] — the checkpoint manifest could not be
 //!   read, parsed, or appended.
 //!
@@ -58,6 +61,15 @@ pub enum CcsError {
     EmptyInput {
         /// What was being aggregated.
         what: &'static str,
+    },
+    /// A normalization's baseline denominator was zero or non-finite.
+    /// Dividing by it would propagate NaN or ±inf into a rendered
+    /// figure; the typed error keeps the defect at its source.
+    DegenerateBaseline {
+        /// What ratio was being formed.
+        what: &'static str,
+        /// The offending denominator.
+        value: f64,
     },
     /// The checkpoint manifest could not be read, parsed, or written.
     Checkpoint {
@@ -100,6 +112,9 @@ impl fmt::Display for CcsError {
             }
             CcsError::CellPanicked { message } => write!(f, "cell panicked: {message}"),
             CcsError::EmptyInput { what } => write!(f, "empty input: no {what}"),
+            CcsError::DegenerateBaseline { what, value } => {
+                write!(f, "degenerate baseline for {what}: {value}")
+            }
             CcsError::Checkpoint { path, message } => {
                 write!(f, "checkpoint {path}: {message}")
             }

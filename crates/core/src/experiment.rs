@@ -6,7 +6,7 @@ use crate::policy::{PaperPolicy, PolicyKind};
 use ccs_critpath::{analyze, CritPathAnalysis};
 use ccs_isa::MachineConfig;
 use ccs_predictors::TokenDetector;
-use ccs_sim::{simulate_budgeted, Cycle, SimBudget, SimError, SimResult};
+use ccs_sim::{simulate_budgeted, Cycle, RunObserver, SimBudget, SimError, SimMetrics, SimResult};
 use ccs_trace::Trace;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -48,6 +48,11 @@ pub struct RunOptions {
     /// [`SimError::BudgetExhausted`] (a timeout, not a defect). `None`
     /// (the default) leaves only the engine's internal deadlock limit.
     pub cycle_budget: Option<Cycle>,
+    /// Collect observability metrics ([`SimMetrics`]) on the measured
+    /// (final) epoch. Metrics are write-only observers — the schedule and
+    /// result are bit-identical with metrics on or off — but gathering
+    /// them costs a little time, so this is off by default.
+    pub metrics: bool,
 }
 
 impl Default for RunOptions {
@@ -59,6 +64,7 @@ impl Default for RunOptions {
             training: TrainingSource::ExactGraph,
             checked: false,
             cycle_budget: None,
+            metrics: false,
         }
     }
 }
@@ -100,6 +106,13 @@ impl RunOptions {
         self.cycle_budget = Some(cycle_budget);
         self
     }
+
+    /// Convenience: the same options with metrics collection on or off.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
+        self
+    }
 }
 
 /// The outcome of evaluating one (machine, workload, policy) cell.
@@ -113,6 +126,9 @@ pub struct CellOutcome {
     pub analysis: CritPathAnalysis,
     /// The trained predictor state after the measured epoch.
     pub bank: PredictorBank,
+    /// Observability metrics of the measured epoch, when
+    /// [`RunOptions::metrics`] was set.
+    pub metrics: Option<SimMetrics>,
 }
 
 impl CellOutcome {
@@ -189,12 +205,34 @@ pub fn run_custom_cancellable(
     let mut bank = PredictorBank::new(options.loc_mode, options.seed);
     let epochs = options.epochs.max(1);
     let mut last: Option<(SimResult, CritPathAnalysis)> = None;
-    for _ in 0..epochs {
+    let mut metrics: Option<SimMetrics> = None;
+    for epoch in 0..epochs {
+        let measured = epoch + 1 == epochs;
         let mut policy = PaperPolicy::from_config(policy_config, bank, kind.name());
-        let result = if options.checked {
-            ccs_sim::simulate_checked_budgeted(config, trace, &mut policy, &budget)?
-        } else {
-            simulate_budgeted(config, trace, &mut policy, &budget)?
+        // Metrics are gathered only on the measured epoch (training epochs
+        // exist to converge the predictors, not to be reported on), through
+        // the same engine body as the unobserved path.
+        let result = match (options.metrics && measured, options.checked) {
+            (false, false) => simulate_budgeted(config, trace, &mut policy, &budget)?,
+            (false, true) => {
+                ccs_sim::simulate_checked_budgeted(config, trace, &mut policy, &budget)?
+            }
+            (true, checked) => {
+                let mut observer = RunObserver::for_machine(config.cluster_count());
+                let result = if checked {
+                    ccs_sim::simulate_checked_observed(
+                        config,
+                        trace,
+                        &mut policy,
+                        &budget,
+                        &mut observer,
+                    )?
+                } else {
+                    ccs_sim::simulate_observed(config, trace, &mut policy, &budget, &mut observer)?
+                };
+                metrics = Some(observer.into_metrics());
+                result
+            }
         };
         let analysis = analyze(trace, &result);
         if options.checked && analysis.breakdown.total() != result.cycles {
@@ -231,6 +269,7 @@ pub fn run_custom_cancellable(
         result,
         analysis,
         bank,
+        metrics,
     })
 }
 

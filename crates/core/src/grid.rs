@@ -322,6 +322,47 @@ where
     }
 }
 
+/// Deterministically folds the observability metrics of every completed
+/// cell in `results`, in input order.
+///
+/// Returns `None` when no completed cell carried metrics (metrics-off
+/// runs). Because [`run_cells`] returns results in input order regardless
+/// of worker thread count, the fold — and therefore the aggregated
+/// [`SimMetrics`](ccs_sim::SimMetrics) and its digest — is bit-identical
+/// for every thread count.
+pub fn aggregate_metrics(results: &[CellResult]) -> Option<ccs_sim::SimMetrics> {
+    let mut agg: Option<ccs_sim::SimMetrics> = None;
+    for r in results {
+        let Some(m) = r.status.outcome().and_then(|o| o.metrics.as_ref()) else {
+            continue;
+        };
+        match &mut agg {
+            None => agg = Some(m.clone()),
+            Some(a) => a.merge(m),
+        }
+    }
+    agg
+}
+
+/// Folds the critical-path breakdowns of every completed cell in
+/// `results`, returning `(breakdown, cycles, instructions)` totals.
+///
+/// The breakdown's exact attribution is preserved by summation:
+/// `breakdown.total() == cycles` holds for the aggregate exactly as it
+/// does per cell, which is what lets a grid-level CPI stack reconcile.
+pub fn aggregate_breakdown(results: &[CellResult]) -> (ccs_critpath::Breakdown, u64, u64) {
+    let mut breakdown = ccs_critpath::Breakdown::new();
+    let mut cycles = 0u64;
+    let mut instructions = 0u64;
+    for r in results {
+        let Some(o) = r.status.outcome() else { continue };
+        breakdown += o.analysis.breakdown;
+        cycles += o.result.cycles;
+        instructions += o.result.records.len() as u64;
+    }
+    (breakdown, cycles, instructions)
+}
+
 /// Total cells evaluated by this process (for throughput reporting).
 static CELLS_RUN: AtomicU64 = AtomicU64::new(0);
 

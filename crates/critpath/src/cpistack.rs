@@ -1,0 +1,168 @@
+//! Bridge between the observability layer's [`CpiStack`] and the
+//! critical-path [`Breakdown`].
+//!
+//! `ccs-obs` is a leaf crate and cannot see [`CostCategory`], so the code
+//! that derives a CPI stack from a breakdown — and the reconciliation check
+//! that the two accountings agree *category by category* — lives here.
+
+use crate::category::{Breakdown, CostCategory};
+use ccs_obs::{CpiStack, ObsError, SimMetrics};
+
+/// Builds a [`CpiStack`] from a critical-path [`Breakdown`], one category
+/// per [`CostCategory`] in display order.
+///
+/// The stack's cycle total is the breakdown's total, so a stack built this
+/// way always satisfies `CpiStack::validate` (the breakdown's exact
+/// attribution carries over).
+pub fn cpi_stack(breakdown: &Breakdown, instructions: u64) -> CpiStack {
+    let mut stack = CpiStack::new(breakdown.total(), instructions);
+    for cat in CostCategory::ALL {
+        stack.push(cat.label(), breakdown.get(cat));
+    }
+    stack
+}
+
+/// Reconciles `stack` against `breakdown` and the engine's measured cycle
+/// count: every category must match exactly, the stack's categories must
+/// sum exactly to `measured_cycles`, and the breakdown must account for
+/// the same total.
+///
+/// # Errors
+///
+/// The first [`ObsError`] describing which category or total failed.
+pub fn reconcile_cpi_stack(
+    stack: &CpiStack,
+    breakdown: &Breakdown,
+    measured_cycles: u64,
+) -> Result<(), ObsError> {
+    for cat in CostCategory::ALL {
+        let in_stack = stack.get(cat.label()).unwrap_or(0);
+        let in_breakdown = breakdown.get(cat);
+        if in_stack != in_breakdown {
+            return Err(ObsError::CategoryMismatch {
+                category: cat.label().to_string(),
+                stack: in_stack,
+                reference: in_breakdown,
+            });
+        }
+    }
+    stack.validate()?;
+    if stack.cycles != measured_cycles {
+        return Err(ObsError::CycleMismatch {
+            stack_total: stack.cycles,
+            measured: measured_cycles,
+        });
+    }
+    if breakdown.total() != measured_cycles {
+        return Err(ObsError::CycleMismatch {
+            stack_total: breakdown.total(),
+            measured: measured_cycles,
+        });
+    }
+    Ok(())
+}
+
+/// Builds the CPI stack for a metrics-on run and cross-checks it against
+/// the critical-path breakdown: the sink's cycle counter, the breakdown
+/// total, and the stack must all agree, and the sink's commit counter must
+/// cover every instruction.
+///
+/// This is the observability layer's end-to-end accounting identity — the
+/// counters gathered live in the engine hot loop and the post-hoc
+/// graph walk describe the same execution.
+///
+/// # Errors
+///
+/// An [`ObsError`] naming the first counter or category that failed to
+/// reconcile.
+pub fn observed_cpi_stack(
+    metrics: &SimMetrics,
+    breakdown: &Breakdown,
+) -> Result<CpiStack, ObsError> {
+    if metrics.cycles != breakdown.total() {
+        return Err(ObsError::CounterMismatch {
+            what: "cycles",
+            observed: metrics.cycles,
+            expected: breakdown.total(),
+        });
+    }
+    if metrics.committed != metrics.instructions {
+        return Err(ObsError::CounterMismatch {
+            what: "committed instructions",
+            observed: metrics.committed,
+            expected: metrics.instructions,
+        });
+    }
+    let stack = cpi_stack(breakdown, metrics.committed);
+    reconcile_cpi_stack(&stack, breakdown, metrics.cycles)?;
+    Ok(stack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_breakdown() -> Breakdown {
+        let mut b = Breakdown::new();
+        b.charge(CostCategory::Execute, 60);
+        b.charge(CostCategory::Window, 25);
+        b.charge(CostCategory::FwdDelay, 10);
+        b.charge(CostCategory::Commit, 5);
+        b
+    }
+
+    #[test]
+    fn stack_mirrors_breakdown_exactly() {
+        let b = sample_breakdown();
+        let stack = cpi_stack(&b, 50);
+        assert_eq!(stack.total(), b.total());
+        assert_eq!(stack.get("execute"), Some(60));
+        assert_eq!(stack.get("fwd. delay"), Some(10));
+        assert_eq!(stack.get("contention"), Some(0));
+        assert!(stack.validate().is_ok());
+        assert!(reconcile_cpi_stack(&stack, &b, 100).is_ok());
+        assert!((stack.cpi() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconcile_catches_category_drift() {
+        let b = sample_breakdown();
+        // Build the stack from a perturbed breakdown to force a category
+        // mismatch against the original.
+        let mut b2 = b;
+        b2.charge(CostCategory::Execute, 1);
+        let stack = cpi_stack(&b2, 50);
+        let err = reconcile_cpi_stack(&stack, &b, 100).unwrap_err();
+        assert!(matches!(err, ObsError::CategoryMismatch { ref category, .. } if category == "execute"));
+    }
+
+    #[test]
+    fn reconcile_catches_cycle_drift() {
+        let b = sample_breakdown();
+        let stack = cpi_stack(&b, 50);
+        let err = reconcile_cpi_stack(&stack, &b, 99).unwrap_err();
+        assert!(matches!(err, ObsError::CycleMismatch { .. }));
+    }
+
+    #[test]
+    fn observed_stack_requires_matching_counters() {
+        let b = sample_breakdown();
+        let mut m = SimMetrics::for_machine(2);
+        m.cycles = b.total();
+        m.committed = 50;
+        m.instructions = 50;
+        let stack = observed_cpi_stack(&m, &b).unwrap();
+        assert_eq!(stack.cycles, b.total());
+
+        m.cycles += 1;
+        let err = observed_cpi_stack(&m, &b).unwrap_err();
+        assert!(matches!(err, ObsError::CounterMismatch { what: "cycles", .. }));
+
+        m.cycles = b.total();
+        m.committed = 49;
+        let err = observed_cpi_stack(&m, &b).unwrap_err();
+        assert!(
+            matches!(err, ObsError::CounterMismatch { what: "committed instructions", .. })
+        );
+    }
+}

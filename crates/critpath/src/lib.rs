@@ -44,11 +44,13 @@
 
 mod category;
 mod consumers;
+mod cpistack;
 mod events;
 mod slack;
 mod walk;
 
 pub use category::{Breakdown, CostCategory};
+pub use cpistack::{cpi_stack, observed_cpi_stack, reconcile_cpi_stack};
 pub use consumers::{analyze_consumers, ConsumerAnalysis};
 pub use events::{ContentionEvent, EventTotals, ForwardingCause, ForwardingEvent};
 pub use slack::{analyze_slack, SlackAnalysis};

@@ -1,0 +1,202 @@
+//! CPI-stack report and reconciliation errors.
+
+use std::fmt;
+
+/// A cycles-per-instruction stack: labelled cycle categories that must sum
+/// exactly to the measured cycle count.
+///
+/// The categories mirror the critical-path `Breakdown`; the bridge that
+/// builds a stack from a `Breakdown` and reconciles the two lives in
+/// `ccs-critpath` (this crate is a leaf and cannot depend on it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpiStack {
+    categories: Vec<(String, u64)>,
+    /// Measured cycles the stack must account for.
+    pub cycles: u64,
+    /// Committed instruction count the per-instruction view divides by.
+    pub instructions: u64,
+}
+
+impl CpiStack {
+    /// Empty stack accounting for `cycles` over `instructions`.
+    pub fn new(cycles: u64, instructions: u64) -> Self {
+        CpiStack { categories: Vec::new(), cycles, instructions }
+    }
+
+    /// Append a category with its cycle charge.
+    pub fn push(&mut self, label: &str, cycles: u64) {
+        self.categories.push((label.to_string(), cycles));
+    }
+
+    /// Labelled categories in insertion order.
+    pub fn categories(&self) -> &[(String, u64)] {
+        &self.categories
+    }
+
+    /// Cycle charge for `label`, or `None` if absent.
+    pub fn get(&self, label: &str) -> Option<u64> {
+        self.categories
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|&(_, c)| c)
+    }
+
+    /// Sum of all category charges.
+    pub fn total(&self) -> u64 {
+        self.categories.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Overall cycles per instruction (0.0 when no instructions committed —
+    /// a degenerate stack must not produce NaN).
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Per-instruction contribution of `label`, 0.0 if absent or degenerate.
+    pub fn component_cpi(&self, label: &str) -> f64 {
+        match (self.get(label), self.instructions) {
+            (Some(c), n) if n > 0 => c as f64 / n as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Verify the accounting identity: categories sum exactly to the
+    /// measured cycles.
+    pub fn validate(&self) -> Result<(), ObsError> {
+        let total = self.total();
+        if total != self.cycles {
+            return Err(ObsError::CycleMismatch { stack_total: total, measured: self.cycles });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for CpiStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "CPI stack: {} cycles / {} instructions = {:.4} CPI",
+            self.cycles,
+            self.instructions,
+            self.cpi()
+        )?;
+        let width = self
+            .categories
+            .iter()
+            .map(|(l, _)| l.len())
+            .max()
+            .unwrap_or(0);
+        for (label, cycles) in &self.categories {
+            let share = if self.cycles == 0 {
+                0.0
+            } else {
+                100.0 * *cycles as f64 / self.cycles as f64
+            };
+            writeln!(
+                f,
+                "  {label:<width$}  {cycles:>12}  {:>8.4}  {share:>5.1}%",
+                self.component_cpi(label),
+            )?;
+        }
+        write!(f, "  {:-<width$}  {:>12}", "", self.total())
+    }
+}
+
+/// Errors from observability cross-checks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsError {
+    /// The stack's category total does not equal the measured cycles.
+    CycleMismatch {
+        /// Sum of the stack's categories.
+        stack_total: u64,
+        /// Cycles the run actually took.
+        measured: u64,
+    },
+    /// A category disagrees with the reference breakdown.
+    CategoryMismatch {
+        /// Category label that failed to reconcile.
+        category: String,
+        /// Charge in the CPI stack.
+        stack: u64,
+        /// Charge in the reference breakdown.
+        reference: u64,
+    },
+    /// An observed counter disagrees with its recount from the schedule.
+    CounterMismatch {
+        /// Which counter failed.
+        what: &'static str,
+        /// Value the metrics sink observed.
+        observed: u64,
+        /// Value recomputed from the simulation result.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::CycleMismatch { stack_total, measured } => write!(
+                f,
+                "CPI stack does not reconcile: categories sum to {stack_total} but the run took {measured} cycles"
+            ),
+            ObsError::CategoryMismatch { category, stack, reference } => write!(
+                f,
+                "CPI stack category '{category}' does not reconcile: stack charges {stack}, breakdown charges {reference}"
+            ),
+            ObsError::CounterMismatch { what, observed, expected } => write!(
+                f,
+                "metrics counter '{what}' does not reconcile: observed {observed}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_validates_exact_total() {
+        let mut s = CpiStack::new(10, 5);
+        s.push("execute", 6);
+        s.push("window", 4);
+        assert_eq!(s.total(), 10);
+        assert!(s.validate().is_ok());
+        assert!((s.cpi() - 2.0).abs() < 1e-12);
+        assert!((s.component_cpi("execute") - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stack_detects_missing_cycles() {
+        let mut s = CpiStack::new(10, 5);
+        s.push("execute", 6);
+        let err = s.validate().unwrap_err();
+        assert_eq!(err, ObsError::CycleMismatch { stack_total: 6, measured: 10 });
+        assert!(err.to_string().contains("does not reconcile"));
+    }
+
+    #[test]
+    fn degenerate_stack_has_no_nan() {
+        let s = CpiStack::new(0, 0);
+        assert_eq!(s.cpi(), 0.0);
+        assert_eq!(s.component_cpi("anything"), 0.0);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn display_renders_every_category() {
+        let mut s = CpiStack::new(10, 5);
+        s.push("execute", 6);
+        s.push("window", 4);
+        let text = s.to_string();
+        assert!(text.contains("execute"));
+        assert!(text.contains("window"));
+        assert!(text.contains("2.0000 CPI"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Cycle-accounting observability for the clustercrit workspace.
+//!
+//! This crate is a *leaf*: it depends on nothing else in the workspace so
+//! that every layer (sim engine, grid executor, harness binaries) can share
+//! one vocabulary of counters without dependency cycles.
+//!
+//! The pieces:
+//!
+//! - [`MetricsSink`] — the trait the simulation engine reports through. Its
+//!   associated `ENABLED` const lets the no-op [`NullSink`] compile to zero
+//!   work: every hook in the engine hot loop is guarded by
+//!   `if S::ENABLED { .. }`, which monomorphizes away entirely.
+//! - [`SimMetrics`] — the typed registry of counters and bounded
+//!   [`Histogram`]s a metrics-on run accumulates: per-cluster occupancy,
+//!   issue-port utilization, steering-decision reasons, cross-cluster
+//!   bypass/broadcast traffic, and dispatch stall-cause attribution.
+//! - [`CycleTraceRing`] — a bounded, seeded-sampling ring buffer of per-cycle
+//!   occupancy snapshots, exportable as JSONL for pipeline visualization.
+//! - [`CpiStack`] — a cycles-per-instruction breakdown report that must
+//!   reconcile exactly, category by category, with the critical-path
+//!   `Breakdown` (the bridge lives in `ccs-critpath` to keep this crate a
+//!   leaf).
+//! - [`StageTimers`] — named wall-clock accumulators for harness stages
+//!   (trace-gen vs simulate vs analysis).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpistack;
+mod metrics;
+mod ring;
+mod sink;
+mod timer;
+
+pub use cpistack::{CpiStack, ObsError};
+pub use metrics::{Histogram, SimMetrics, DISPATCH_STALL_KINDS, PORT_KINDS, STEER_CAUSE_KINDS};
+pub use ring::{CycleSample, CycleTraceRing};
+pub use sink::{DispatchStall, MetricsSink, NullSink, RunObserver};
+pub use timer::StageTimers;

@@ -1,0 +1,432 @@
+//! Typed metrics registry: plain structs, no global state.
+
+/// Number of distinct issue-port kinds (int / fp / mem).
+pub const PORT_KINDS: usize = 3;
+
+/// Number of distinct steering causes, in the same order as
+/// `SimResult::steer_cause_counts`: Only, Dependence, LoadBalance, NoDeps,
+/// Proactive.
+pub const STEER_CAUSE_KINDS: usize = 5;
+
+/// Number of distinct dispatch stall causes (see `DispatchStall`).
+pub const DISPATCH_STALL_KINDS: usize = 4;
+
+/// A bounded histogram over small non-negative integer values.
+///
+/// Values at or above the bound saturate into the final bucket, so memory is
+/// bounded regardless of input. Buckets are allocated lazily up to the bound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bound: usize,
+    buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// New histogram with buckets for `0..=bound`; larger values saturate
+    /// into the `bound` bucket.
+    ///
+    /// Buckets are allocated eagerly so [`Histogram::record`] is a single
+    /// saturating index on the hot path, never a resize.
+    pub fn new(bound: usize) -> Self {
+        Histogram { bound, buckets: vec![0; bound + 1] }
+    }
+
+    /// Saturating bound of this histogram.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Record one observation of `value`.
+    #[inline]
+    pub fn record(&mut self, value: usize) {
+        // `new` sizes buckets to `bound + 1`, so the saturated index is
+        // always in range.
+        self.buckets[value.min(self.bound)] += 1;
+    }
+
+    /// Count recorded in bucket `value` (saturated values land in the last
+    /// bucket).
+    pub fn count(&self, value: usize) -> u64 {
+        let idx = value.min(self.bound);
+        self.buckets.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn samples(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Sum of all observed values, weighting each bucket by its index.
+    /// Saturated observations contribute the bound, not their true value.
+    pub fn weighted_sum(&self) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(v, &n)| (v as u64) * n)
+            .sum()
+    }
+
+    /// Mean observed value, or 0.0 with no samples.
+    pub fn mean(&self) -> f64 {
+        let n = self.samples();
+        if n == 0 {
+            0.0
+        } else {
+            self.weighted_sum() as f64 / n as f64
+        }
+    }
+
+    /// Iterate `(value, count)` over non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(v, &n)| (v, n))
+    }
+
+    /// Elementwise merge of another histogram into this one. The bound
+    /// widens to the larger of the two so no counts are lost.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.bound = self.bound.max(other.bound);
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, &src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+    }
+}
+
+/// The full set of counters a metrics-on simulation run accumulates.
+///
+/// Plain data: construct with [`SimMetrics::for_machine`], fold across runs
+/// with [`SimMetrics::merge`], and fingerprint with [`SimMetrics::digest`].
+/// All per-cluster vectors are indexed by cluster id; the bypass matrix is
+/// row-major `from_cluster * clusters + to_cluster`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMetrics {
+    /// Number of clusters the per-cluster vectors are sized for.
+    pub clusters: usize,
+    /// Simulated cycles observed (one `on_cycle` call each).
+    pub cycles: u64,
+    /// Instructions committed (sum of per-cycle commit counts).
+    pub committed: u64,
+    /// Instruction count reported by the engine at end of run.
+    pub instructions: u64,
+    /// Per-cluster window-occupancy histogram, sampled every cycle.
+    pub occupancy: Vec<Histogram>,
+    /// Per-cluster issue counts by port kind `[int, fp, mem]`.
+    pub issued_ports: Vec<[u64; PORT_KINDS]>,
+    /// Steering decisions by cause, ordered as
+    /// `SimResult::steer_cause_counts`.
+    pub steer_causes: [u64; STEER_CAUSE_KINDS],
+    /// Steering decisions by destination cluster.
+    pub steer_placements: Vec<u64>,
+    /// Cycles in which dispatch stalled waiting on a steering decision.
+    pub steer_stall_cycles: u64,
+    /// Dispatch-stage stall cycles attributed by cause, indexed by
+    /// `DispatchStall as usize`.
+    pub dispatch_stalls: [u64; DISPATCH_STALL_KINDS],
+    /// Cross-cluster operand deliveries, row-major `from * clusters + to`.
+    pub bypass: Vec<u64>,
+    /// Histogram of extra cycles results waited for a broadcast slot under
+    /// limited forward bandwidth.
+    pub broadcast_waits: Histogram,
+    /// Histogram of instructions committed per cycle.
+    pub commit_per_cycle: Histogram,
+}
+
+/// Saturating bound for the occupancy histograms: window partitions in this
+/// workspace are far below this, and the bound keeps memory fixed even for
+/// pathological configs.
+const OCCUPANCY_BOUND: usize = 512;
+
+/// Saturating bound for the broadcast-wait histogram.
+const BROADCAST_WAIT_BOUND: usize = 64;
+
+/// Saturating bound for the commit-width histogram.
+const COMMIT_BOUND: usize = 64;
+
+impl SimMetrics {
+    /// Metrics registry sized for a machine with `clusters` clusters.
+    pub fn for_machine(clusters: usize) -> Self {
+        SimMetrics {
+            clusters,
+            cycles: 0,
+            committed: 0,
+            instructions: 0,
+            occupancy: vec![Histogram::new(OCCUPANCY_BOUND); clusters],
+            issued_ports: vec![[0; PORT_KINDS]; clusters],
+            steer_causes: [0; STEER_CAUSE_KINDS],
+            steer_placements: vec![0; clusters],
+            steer_stall_cycles: 0,
+            dispatch_stalls: [0; DISPATCH_STALL_KINDS],
+            bypass: vec![0; clusters * clusters],
+            broadcast_waits: Histogram::new(BROADCAST_WAIT_BOUND),
+            commit_per_cycle: Histogram::new(COMMIT_BOUND),
+        }
+    }
+
+    /// Grow the per-cluster vectors to hold at least `clusters` clusters.
+    /// The bypass matrix is re-laid-out to preserve `(from, to)` cells.
+    fn grow_clusters(&mut self, clusters: usize) {
+        if clusters <= self.clusters {
+            return;
+        }
+        self.occupancy
+            .resize(clusters, Histogram::new(OCCUPANCY_BOUND));
+        self.issued_ports.resize(clusters, [0; PORT_KINDS]);
+        self.steer_placements.resize(clusters, 0);
+        let mut bypass = vec![0u64; clusters * clusters];
+        for from in 0..self.clusters {
+            for to in 0..self.clusters {
+                bypass[from * clusters + to] = self.bypass[from * self.clusters + to];
+            }
+        }
+        self.bypass = bypass;
+        self.clusters = clusters;
+    }
+
+    /// Record a per-cycle occupancy sample (one entry per cluster).
+    #[inline]
+    pub fn record_cycle(&mut self, occupancy: &[u32]) {
+        if occupancy.len() > self.clusters {
+            self.grow_clusters(occupancy.len());
+        }
+        self.cycles += 1;
+        for (hist, &occ) in self.occupancy.iter_mut().zip(occupancy) {
+            hist.record(occ as usize);
+        }
+    }
+
+    /// Record `committed` instructions retiring this cycle.
+    #[inline]
+    pub fn record_commit(&mut self, committed: usize) {
+        self.committed += committed as u64;
+        self.commit_per_cycle.record(committed);
+    }
+
+    /// Record an issue grant on `cluster` for port kind `port`
+    /// (0 = int, 1 = fp, 2 = mem).
+    #[inline]
+    pub fn record_issue(&mut self, cluster: usize, port: usize) {
+        self.grow_clusters(cluster + 1);
+        self.issued_ports[cluster][port.min(PORT_KINDS - 1)] += 1;
+    }
+
+    /// Record a cross-cluster operand delivery.
+    #[inline]
+    pub fn record_bypass(&mut self, from: usize, to: usize) {
+        self.grow_clusters(from.max(to) + 1);
+        self.bypass[from * self.clusters + to] += 1;
+    }
+
+    /// Record a broadcast-slot wait of `wait` cycles on `cluster`.
+    #[inline]
+    pub fn record_broadcast_wait(&mut self, cluster: usize, wait: u64) {
+        self.grow_clusters(cluster + 1);
+        self.broadcast_waits.record(wait as usize);
+    }
+
+    /// Record a steering decision placing an instruction on `cluster` for
+    /// cause index `cause` (ordered as `SimResult::steer_cause_counts`).
+    #[inline]
+    pub fn record_steer(&mut self, cluster: usize, cause: usize) {
+        self.grow_clusters(cluster + 1);
+        self.steer_causes[cause.min(STEER_CAUSE_KINDS - 1)] += 1;
+        self.steer_placements[cluster] += 1;
+    }
+
+    /// Total cross-cluster deliveries (sum of the bypass matrix).
+    pub fn bypass_total(&self) -> u64 {
+        self.bypass.iter().sum()
+    }
+
+    /// Total issue grants on `cluster` across all port kinds.
+    pub fn issued_on_cluster(&self, cluster: usize) -> u64 {
+        self.issued_ports
+            .get(cluster)
+            .map(|p| p.iter().sum())
+            .unwrap_or(0)
+    }
+
+    /// Elementwise merge of another run's metrics into this accumulator.
+    ///
+    /// Merging is commutative on the counter values but is always performed
+    /// in deterministic input order by the grid aggregator, so the merged
+    /// struct is bit-identical regardless of worker thread count.
+    pub fn merge(&mut self, other: &SimMetrics) {
+        self.grow_clusters(other.clusters);
+        self.cycles += other.cycles;
+        self.committed += other.committed;
+        self.instructions += other.instructions;
+        for (c, h) in other.occupancy.iter().enumerate() {
+            self.occupancy[c].merge(h);
+        }
+        for (c, ports) in other.issued_ports.iter().enumerate() {
+            for (k, &n) in ports.iter().enumerate() {
+                self.issued_ports[c][k] += n;
+            }
+        }
+        for (k, &n) in other.steer_causes.iter().enumerate() {
+            self.steer_causes[k] += n;
+        }
+        for (c, &n) in other.steer_placements.iter().enumerate() {
+            self.steer_placements[c] += n;
+        }
+        self.steer_stall_cycles += other.steer_stall_cycles;
+        for (k, &n) in other.dispatch_stalls.iter().enumerate() {
+            self.dispatch_stalls[k] += n;
+        }
+        for from in 0..other.clusters {
+            for to in 0..other.clusters {
+                self.bypass[from * self.clusters + to] +=
+                    other.bypass[from * other.clusters + to];
+            }
+        }
+        self.broadcast_waits.merge(&other.broadcast_waits);
+        self.commit_per_cycle.merge(&other.commit_per_cycle);
+    }
+
+    /// Stable FNV-1a digest over every counter, for checkpoint manifests.
+    ///
+    /// The digest hashes explicitly serialized fields in a fixed order (never
+    /// `Debug` output), so it only changes when the counters themselves do.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.push_u64(self.clusters as u64);
+        h.push_u64(self.cycles);
+        h.push_u64(self.committed);
+        h.push_u64(self.instructions);
+        for hist in &self.occupancy {
+            digest_histogram(&mut h, hist);
+        }
+        for ports in &self.issued_ports {
+            for &n in ports {
+                h.push_u64(n);
+            }
+        }
+        for &n in &self.steer_causes {
+            h.push_u64(n);
+        }
+        for &n in &self.steer_placements {
+            h.push_u64(n);
+        }
+        h.push_u64(self.steer_stall_cycles);
+        for &n in &self.dispatch_stalls {
+            h.push_u64(n);
+        }
+        for &n in &self.bypass {
+            h.push_u64(n);
+        }
+        digest_histogram(&mut h, &self.broadcast_waits);
+        digest_histogram(&mut h, &self.commit_per_cycle);
+        h.finish()
+    }
+}
+
+fn digest_histogram(h: &mut Fnv, hist: &Histogram) {
+    h.push_u64(hist.bound() as u64);
+    h.push_u64(hist.samples());
+    for (value, count) in hist.iter() {
+        h.push_u64(value as u64);
+        h.push_u64(count);
+    }
+}
+
+/// Minimal FNV-1a accumulator (same constants as `ccs-core`'s manifest
+/// hashing; duplicated here because `ccs-obs` is a leaf crate).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_saturates_at_bound() {
+        let mut h = Histogram::new(4);
+        h.record(2);
+        h.record(4);
+        h.record(100);
+        assert_eq!(h.count(2), 1);
+        assert_eq!(h.count(4), 2); // the 100 saturated into bucket 4
+        assert_eq!(h.samples(), 3);
+        assert_eq!(h.weighted_sum(), 2 + 4 + 4);
+    }
+
+    #[test]
+    fn histogram_merge_widens_and_sums() {
+        let mut a = Histogram::new(2);
+        a.record(1);
+        let mut b = Histogram::new(8);
+        b.record(1);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.bound(), 8);
+        assert_eq!(a.count(1), 2);
+        assert_eq!(a.count(7), 1);
+    }
+
+    #[test]
+    fn merge_is_elementwise_and_digest_is_order_sensitive_only_on_values() {
+        let mut a = SimMetrics::for_machine(2);
+        a.record_cycle(&[3, 1]);
+        a.record_issue(0, 0);
+        a.record_bypass(0, 1);
+        let mut b = SimMetrics::for_machine(2);
+        b.record_cycle(&[2, 2]);
+        b.record_issue(1, 2);
+        b.record_bypass(1, 0);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // Counter merging is commutative.
+        assert_eq!(ab, ba);
+        assert_eq!(ab.digest(), ba.digest());
+        assert_eq!(ab.cycles, 2);
+        assert_eq!(ab.bypass_total(), 2);
+    }
+
+    #[test]
+    fn digest_distinguishes_counters() {
+        let mut a = SimMetrics::for_machine(2);
+        a.record_cycle(&[1, 1]);
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        b.record_steer(0, 1);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn grow_preserves_bypass_cells() {
+        let mut m = SimMetrics::for_machine(2);
+        m.record_bypass(0, 1);
+        m.record_bypass(1, 0);
+        m.record_bypass(3, 2); // forces growth to 4 clusters
+        assert_eq!(m.clusters, 4);
+        assert_eq!(m.bypass[1], 1); // (0,1)
+        assert_eq!(m.bypass[4], 1); // (1,0)
+        assert_eq!(m.bypass[3 * 4 + 2], 1);
+        assert_eq!(m.bypass_total(), 3);
+    }
+}

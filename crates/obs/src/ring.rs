@@ -1,0 +1,173 @@
+//! Sampled cycle-trace ring buffer.
+
+/// One sampled cycle: the cycle index and per-cluster window occupancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleSample {
+    /// Simulated cycle the sample was taken at.
+    pub cycle: u64,
+    /// Window occupancy per cluster at the start of that cycle.
+    pub occupancy: Vec<u32>,
+}
+
+/// A bounded ring buffer of sampled per-cycle snapshots.
+///
+/// Sampling is seeded and deterministic: a xorshift64* stream picks the gap
+/// to the next sampled cycle (uniform in `1..=2*mean_interval - 1`, so the
+/// mean gap is `mean_interval`). When the buffer is full the oldest sample
+/// is evicted, so memory stays bounded by `capacity` regardless of run
+/// length, and the buffer ends holding the most recent samples.
+#[derive(Debug, Clone)]
+pub struct CycleTraceRing {
+    capacity: usize,
+    mean_interval: u64,
+    rng: u64,
+    next_sample: u64,
+    samples: std::collections::VecDeque<CycleSample>,
+    evicted: u64,
+}
+
+impl CycleTraceRing {
+    /// Ring holding at most `capacity` samples, sampling on average every
+    /// `mean_interval` cycles, deterministically from `seed`.
+    pub fn new(capacity: usize, mean_interval: u64, seed: u64) -> Self {
+        let mut ring = CycleTraceRing {
+            capacity: capacity.max(1),
+            mean_interval: mean_interval.max(1),
+            // xorshift64* cannot hold state 0; fold the seed away from it.
+            rng: seed ^ 0x9e37_79b9_7f4a_7c15,
+            next_sample: 0,
+            samples: std::collections::VecDeque::new(),
+            evicted: 0,
+        };
+        if ring.rng == 0 {
+            ring.rng = 0x9e37_79b9_7f4a_7c15;
+        }
+        ring.next_sample = ring.gap();
+        ring
+    }
+
+    fn next_rng(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Deterministic gap to the next sampled cycle: uniform in
+    /// `1..=2*mean_interval - 1`.
+    fn gap(&mut self) -> u64 {
+        let span = 2 * self.mean_interval - 1;
+        1 + self.next_rng() % span
+    }
+
+    /// Offer a cycle to the sampler. Cheap when the cycle is not sampled:
+    /// one compare.
+    pub fn observe_cycle(&mut self, cycle: u64, occupancy: &[u32]) {
+        if cycle < self.next_sample {
+            return;
+        }
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.evicted += 1;
+        }
+        self.samples.push_back(CycleSample { cycle, occupancy: occupancy.to_vec() });
+        let gap = self.gap();
+        self.next_sample = cycle + gap;
+    }
+
+    /// Samples currently held, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &CycleSample> {
+        self.samples.iter()
+    }
+
+    /// Number of samples currently held (at most `capacity`).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no cycles have been sampled yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of samples evicted to keep memory bounded.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Export held samples as JSON Lines, one object per sampled cycle:
+    /// `{"cycle":123,"occupancy":[4,0,2,1]}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            out.push_str(&format!("{{\"cycle\":{}", s.cycle));
+            out.push_str(",\"occupancy\":[");
+            for (i, occ) in s.occupancy.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&occ.to_string());
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(ring: &mut CycleTraceRing, cycles: u64) {
+        for t in 0..cycles {
+            ring.observe_cycle(t, &[(t % 7) as u32, (t % 3) as u32]);
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_latest() {
+        let mut ring = CycleTraceRing::new(8, 10, 42);
+        drive(&mut ring, 10_000);
+        assert_eq!(ring.len(), 8);
+        assert!(ring.evicted() > 0);
+        let cycles: Vec<u64> = ring.samples().map(|s| s.cycle).collect();
+        // Strictly increasing and all near the end of the run.
+        assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+        assert!(cycles[0] > 5_000);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let mut a = CycleTraceRing::new(16, 25, 7);
+        let mut b = CycleTraceRing::new(16, 25, 7);
+        drive(&mut a, 4_000);
+        drive(&mut b, 4_000);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+
+        let mut c = CycleTraceRing::new(16, 25, 8);
+        drive(&mut c, 4_000);
+        assert_ne!(a.to_jsonl(), c.to_jsonl());
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed() {
+        let mut ring = CycleTraceRing::new(4, 5, 1);
+        drive(&mut ring, 200);
+        let text = ring.to_jsonl();
+        assert_eq!(text.lines().count(), ring.len());
+        for line in text.lines() {
+            assert!(line.starts_with("{\"cycle\":"));
+            assert!(line.ends_with("]}"));
+            assert!(line.contains("\"occupancy\":["));
+        }
+    }
+
+    #[test]
+    fn zero_seed_still_samples() {
+        let mut ring = CycleTraceRing::new(4, 5, 0);
+        drive(&mut ring, 1_000);
+        assert!(!ring.is_empty());
+    }
+}

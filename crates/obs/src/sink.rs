@@ -1,0 +1,241 @@
+//! The `MetricsSink` trait the simulation engine reports through.
+
+use crate::metrics::SimMetrics;
+use crate::ring::CycleTraceRing;
+
+/// Cause attributed to a dispatch-stage stall cycle.
+///
+/// At most one cause is recorded per cycle: the reason the dispatch loop
+/// stopped advancing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchStall {
+    /// The fetch queue was empty (front-end starvation).
+    FetchEmpty = 0,
+    /// The head instruction was still in the front-end pipe.
+    FrontEndPipe = 1,
+    /// The reorder buffer was full.
+    RobFull = 2,
+    /// The steering policy stalled the head instruction.
+    Steer = 3,
+}
+
+/// Receiver for engine observability events.
+///
+/// Every hook has an empty default body and every call site in the engine is
+/// guarded by `if S::ENABLED { .. }`, so a sink with `ENABLED = false`
+/// ([`NullSink`]) monomorphizes to literally zero work in the hot loop —
+/// metrics-off runs are bit-identical to and as fast as the unobserved
+/// engine.
+///
+/// Hooks must never influence simulation: they receive read-only facts and
+/// the engine ignores any state they keep.
+pub trait MetricsSink {
+    /// Whether this sink wants events at all. Call sites compile away when
+    /// this is `false`.
+    const ENABLED: bool = true;
+
+    /// Start of a simulated cycle; `occupancy[c]` is the instruction count
+    /// resident in cluster `c`'s window.
+    fn on_cycle(&mut self, _occupancy: &[u32]) {}
+
+    /// `committed` instructions retired this cycle (may be 0).
+    fn on_commit(&mut self, _committed: usize) {}
+
+    /// An instruction issued on `cluster` using port kind `port`
+    /// (0 = int, 1 = fp, 2 = mem).
+    fn on_issue(&mut self, _cluster: usize, _port: usize) {}
+
+    /// A result on `cluster` waited `wait` extra cycles for a broadcast slot
+    /// under limited forward bandwidth.
+    fn on_broadcast_wait(&mut self, _cluster: usize, _wait: u64) {}
+
+    /// An operand value crossed from `from_cluster` to `to_cluster` for the
+    /// first time (one event per distinct value/consumer-cluster pair,
+    /// matching `SimResult::global_values`).
+    fn on_bypass(&mut self, _from_cluster: usize, _to_cluster: usize) {}
+
+    /// A steering decision placed an instruction on `cluster`; `cause` is
+    /// the `SteerCause` index in `SimResult::steer_cause_counts` order.
+    fn on_steer(&mut self, _cluster: usize, _cause: usize) {}
+
+    /// The steering policy stalled dispatch for this cycle.
+    fn on_steer_stall(&mut self) {}
+
+    /// Dispatch stopped advancing this cycle for `cause`.
+    fn on_dispatch_stall(&mut self, _cause: DispatchStall) {}
+
+    /// The run finished after `cycles` cycles over `instructions`
+    /// instructions.
+    fn on_run_end(&mut self, _cycles: u64, _instructions: u64) {}
+}
+
+/// The metrics-off sink: `ENABLED = false`, so every engine hook guarded by
+/// `if S::ENABLED` compiles to nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {
+    const ENABLED: bool = false;
+}
+
+impl MetricsSink for SimMetrics {
+    #[inline]
+    fn on_cycle(&mut self, occupancy: &[u32]) {
+        self.record_cycle(occupancy);
+    }
+
+    #[inline]
+    fn on_commit(&mut self, committed: usize) {
+        self.record_commit(committed);
+    }
+
+    #[inline]
+    fn on_issue(&mut self, cluster: usize, port: usize) {
+        self.record_issue(cluster, port);
+    }
+
+    #[inline]
+    fn on_broadcast_wait(&mut self, cluster: usize, wait: u64) {
+        self.record_broadcast_wait(cluster, wait);
+    }
+
+    #[inline]
+    fn on_bypass(&mut self, from_cluster: usize, to_cluster: usize) {
+        self.record_bypass(from_cluster, to_cluster);
+    }
+
+    #[inline]
+    fn on_steer(&mut self, cluster: usize, cause: usize) {
+        self.record_steer(cluster, cause);
+    }
+
+    #[inline]
+    fn on_steer_stall(&mut self) {
+        self.steer_stall_cycles += 1;
+    }
+
+    #[inline]
+    fn on_dispatch_stall(&mut self, cause: DispatchStall) {
+        self.dispatch_stalls[cause as usize] += 1;
+    }
+
+    #[inline]
+    fn on_run_end(&mut self, cycles: u64, instructions: u64) {
+        debug_assert_eq!(self.cycles, cycles, "on_cycle count drifted from engine cycles");
+        self.instructions = instructions;
+    }
+}
+
+/// A full-run observer: a [`SimMetrics`] registry plus an optional sampled
+/// [`CycleTraceRing`].
+#[derive(Debug, Clone)]
+pub struct RunObserver {
+    /// Accumulated counters for the run.
+    pub metrics: SimMetrics,
+    /// Optional sampled cycle trace (bounded memory).
+    pub ring: Option<CycleTraceRing>,
+}
+
+impl RunObserver {
+    /// Observer for a machine with `clusters` clusters, with no cycle-trace
+    /// sampling.
+    pub fn for_machine(clusters: usize) -> Self {
+        RunObserver { metrics: SimMetrics::for_machine(clusters), ring: None }
+    }
+
+    /// Attach a sampled cycle-trace ring buffer.
+    pub fn with_ring(mut self, ring: CycleTraceRing) -> Self {
+        self.ring = Some(ring);
+        self
+    }
+
+    /// Consume the observer, yielding the accumulated metrics.
+    pub fn into_metrics(self) -> SimMetrics {
+        self.metrics
+    }
+}
+
+impl MetricsSink for RunObserver {
+    #[inline]
+    fn on_cycle(&mut self, occupancy: &[u32]) {
+        // `cycles` counts this sample after record_cycle, so the sampled
+        // cycle index is cycles - 1.
+        self.metrics.record_cycle(occupancy);
+        if let Some(ring) = &mut self.ring {
+            ring.observe_cycle(self.metrics.cycles - 1, occupancy);
+        }
+    }
+
+    #[inline]
+    fn on_commit(&mut self, committed: usize) {
+        self.metrics.record_commit(committed);
+    }
+
+    #[inline]
+    fn on_issue(&mut self, cluster: usize, port: usize) {
+        self.metrics.record_issue(cluster, port);
+    }
+
+    #[inline]
+    fn on_broadcast_wait(&mut self, cluster: usize, wait: u64) {
+        self.metrics.record_broadcast_wait(cluster, wait);
+    }
+
+    #[inline]
+    fn on_bypass(&mut self, from_cluster: usize, to_cluster: usize) {
+        self.metrics.record_bypass(from_cluster, to_cluster);
+    }
+
+    #[inline]
+    fn on_steer(&mut self, cluster: usize, cause: usize) {
+        self.metrics.record_steer(cluster, cause);
+    }
+
+    #[inline]
+    fn on_steer_stall(&mut self) {
+        self.metrics.steer_stall_cycles += 1;
+    }
+
+    #[inline]
+    fn on_dispatch_stall(&mut self, cause: DispatchStall) {
+        self.metrics.dispatch_stalls[cause as usize] += 1;
+    }
+
+    #[inline]
+    fn on_run_end(&mut self, cycles: u64, instructions: u64) {
+        self.metrics.on_run_end(cycles, instructions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        const { assert!(!NullSink::ENABLED) };
+        const { assert!(<SimMetrics as MetricsSink>::ENABLED) };
+        const { assert!(RunObserver::ENABLED) };
+    }
+
+    #[test]
+    fn sim_metrics_sink_routes_events() {
+        let mut m = SimMetrics::for_machine(2);
+        m.on_cycle(&[4, 0]);
+        m.on_commit(3);
+        m.on_issue(1, 2);
+        m.on_bypass(0, 1);
+        m.on_steer(1, 0);
+        m.on_steer_stall();
+        m.on_dispatch_stall(DispatchStall::RobFull);
+        m.on_run_end(1, 10);
+        assert_eq!(m.cycles, 1);
+        assert_eq!(m.committed, 3);
+        assert_eq!(m.issued_on_cluster(1), 1);
+        assert_eq!(m.bypass_total(), 1);
+        assert_eq!(m.steer_placements[1], 1);
+        assert_eq!(m.steer_stall_cycles, 1);
+        assert_eq!(m.dispatch_stalls[DispatchStall::RobFull as usize], 1);
+        assert_eq!(m.instructions, 10);
+    }
+}

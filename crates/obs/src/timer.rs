@@ -1,0 +1,109 @@
+//! Named wall-clock accumulators for harness stages.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Accumulates wall-clock time per named stage (trace-gen, simulate,
+/// analysis, ...). Stages keep first-use order; timing the same name again
+/// accumulates into the existing entry.
+#[derive(Debug, Default, Clone)]
+pub struct StageTimers {
+    stages: Vec<(String, Duration)>,
+}
+
+impl StageTimers {
+    /// Empty timer set.
+    pub fn new() -> Self {
+        StageTimers::default()
+    }
+
+    /// Run `f`, charging its wall-clock time to `stage`.
+    pub fn time<R>(&mut self, stage: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        self.add(stage, start.elapsed());
+        out
+    }
+
+    /// Charge `elapsed` to `stage` directly.
+    pub fn add(&mut self, stage: &str, elapsed: Duration) {
+        if let Some((_, d)) = self.stages.iter_mut().find(|(s, _)| s == stage) {
+            *d += elapsed;
+        } else {
+            self.stages.push((stage.to_string(), elapsed));
+        }
+    }
+
+    /// Accumulated time for `stage` (zero if never timed).
+    pub fn get(&self, stage: &str) -> Duration {
+        self.stages
+            .iter()
+            .find(|(s, _)| s == stage)
+            .map(|&(_, d)| d)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Total across all stages.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// `(stage, duration)` pairs in first-use order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.stages.iter().map(|(s, d)| (s.as_str(), *d))
+    }
+}
+
+impl fmt::Display for StageTimers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total().as_secs_f64();
+        let width = self.stages.iter().map(|(s, _)| s.len()).max().unwrap_or(0);
+        for (i, (stage, d)) in self.stages.iter().enumerate() {
+            let secs = d.as_secs_f64();
+            let share = if total > 0.0 { 100.0 * secs / total } else { 0.0 };
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "  {stage:<width$}  {secs:>8.2}s  {share:>5.1}%")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_accumulate_by_name() {
+        let mut t = StageTimers::new();
+        t.add("simulate", Duration::from_millis(30));
+        t.add("trace-gen", Duration::from_millis(10));
+        t.add("simulate", Duration::from_millis(20));
+        assert_eq!(t.get("simulate"), Duration::from_millis(50));
+        assert_eq!(t.get("trace-gen"), Duration::from_millis(10));
+        assert_eq!(t.get("missing"), Duration::ZERO);
+        assert_eq!(t.total(), Duration::from_millis(60));
+        // First-use order is preserved.
+        let order: Vec<&str> = t.iter().map(|(s, _)| s).collect();
+        assert_eq!(order, ["simulate", "trace-gen"]);
+    }
+
+    #[test]
+    fn time_returns_the_closure_result() {
+        let mut t = StageTimers::new();
+        let v = t.time("work", || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t.get("work") >= Duration::ZERO);
+    }
+
+    #[test]
+    fn display_lists_stages() {
+        let mut t = StageTimers::new();
+        t.add("a", Duration::from_millis(750));
+        t.add("b", Duration::from_millis(250));
+        let text = t.to_string();
+        assert!(text.contains('a'));
+        assert!(text.contains("75.0%"));
+    }
+}

@@ -130,6 +130,24 @@ pub fn simulate_checked_budgeted(
     verify(config, trace, result)
 }
 
+/// Runs `trace` like [`simulate_checked_budgeted`], reporting
+/// observability events to `sink` (see
+/// [`simulate_observed`](crate::simulate_observed)).
+///
+/// # Errors
+///
+/// Exactly [`simulate_checked_budgeted`]'s errors.
+pub fn simulate_checked_observed<S: ccs_obs::MetricsSink>(
+    config: &MachineConfig,
+    trace: &Trace,
+    policy: &mut dyn SteeringPolicy,
+    budget: &SimBudget,
+    sink: &mut S,
+) -> Result<SimResult, SimError> {
+    let result = crate::engine::simulate_observed(config, trace, policy, budget, sink)?;
+    verify(config, trace, result)
+}
+
 /// Gates `result` on [`check_invariants`]: passes a clean result
 /// through, converts any violation into [`SimError::InvariantViolated`].
 ///

@@ -9,6 +9,7 @@ use crate::policy::{ProducerInfo, SteerDecision, SteerView, SteeringPolicy};
 use crate::record::{CommitBound, Cycle, DispatchBound, InstRecord, ReadyBound};
 use crate::result::{IlpCensus, SimResult};
 use ccs_isa::{BranchClass, MachineConfig, PortKind};
+use ccs_obs::{DispatchStall, MetricsSink, NullSink};
 use ccs_trace::{DynIdx, Trace};
 use ccs_uarch::{BranchPredictor, Gshare, SetAssocCache};
 use std::collections::VecDeque;
@@ -227,6 +228,32 @@ pub fn simulate_budgeted(
     policy: &mut dyn SteeringPolicy,
     budget: &SimBudget,
 ) -> Result<SimResult, SimError> {
+    // `NullSink::ENABLED` is `false`, so every observability hook in the
+    // monomorphized body compiles to nothing: this path is the unobserved
+    // engine, bit for bit.
+    simulate_observed(config, trace, policy, budget, &mut NullSink)
+}
+
+/// Runs `trace` like [`simulate_budgeted`], reporting observability events
+/// to `sink`.
+///
+/// The sink receives per-cycle cluster occupancy, issue-port grants,
+/// steering decisions and stalls, cross-cluster bypass deliveries,
+/// broadcast-slot waits, and dispatch stall causes — see
+/// [`MetricsSink`] for the event vocabulary. Sinks are write-only
+/// observers: the schedule and [`SimResult`] are bit-identical whichever
+/// sink is supplied (enforced by `tests/metrics_observability.rs`).
+///
+/// # Errors
+///
+/// Exactly [`simulate_budgeted`]'s errors.
+pub fn simulate_observed<S: MetricsSink>(
+    config: &MachineConfig,
+    trace: &Trace,
+    policy: &mut dyn SteeringPolicy,
+    budget: &SimBudget,
+    sink: &mut S,
+) -> Result<SimResult, SimError> {
     let n = trace.len();
     let clusters = config.cluster_count();
     let win_cap = config.cluster.window_entries;
@@ -284,6 +311,11 @@ pub fn simulate_budgeted(
         occupancy: vec![0; clusters],
     };
 
+    // Occupancy snapshot handed to the metrics sink; only touched when the
+    // sink is enabled, so the metrics-off path never allocates it beyond
+    // this one empty Vec.
+    let mut obs_occupancy: Vec<u32> = Vec::new();
+
     let limit: Cycle = 64 * n as Cycle + 100_000;
     let mut t: Cycle = 0;
 
@@ -314,6 +346,12 @@ pub fn simulate_budgeted(
             }
         }
 
+        if S::ENABLED {
+            obs_occupancy.clear();
+            obs_occupancy.extend(windows.iter().map(|w| w.len() as u32));
+            sink.on_cycle(&obs_occupancy);
+        }
+
         // ---- Commit ------------------------------------------------------
         let mut committed_this_cycle = 0;
         while next_commit < dispatched
@@ -341,6 +379,9 @@ pub fn simulate_budgeted(
             policy.on_commit(DynIdx::new(i as u32), &trace.as_slice()[i], &rec);
             next_commit += 1;
             committed_this_cycle += 1;
+        }
+        if S::ENABLED {
+            sink.on_commit(committed_this_cycle);
         }
 
         // ---- Issue -------------------------------------------------------
@@ -451,10 +492,10 @@ pub fn simulate_budgeted(
                 let e = windows[c][pos];
                 let i = e.idx as usize;
                 let inst = &trace.as_slice()[i];
-                let (used, cap) = match inst.op().port() {
-                    PortKind::Int => (&mut int_used, config.cluster.int_ports),
-                    PortKind::Fp => (&mut fp_used, config.cluster.fp_ports),
-                    PortKind::Mem => (&mut mem_used, config.cluster.mem_ports),
+                let (used, cap, port_idx) = match inst.op().port() {
+                    PortKind::Int => (&mut int_used, config.cluster.int_ports, 0),
+                    PortKind::Fp => (&mut fp_used, config.cluster.fp_ports, 1),
+                    PortKind::Mem => (&mut mem_used, config.cluster.mem_ports, 2),
                 };
                 if *used >= cap {
                     continue;
@@ -462,6 +503,9 @@ pub fn simulate_budgeted(
                 *used += 1;
                 width_used += 1;
                 scratch.taken.push(pos);
+                if S::ENABLED {
+                    sink.on_issue(c, port_idx);
+                }
 
                 // Execute.
                 let mut latency = inst.op().latency() as Cycle;
@@ -492,10 +536,14 @@ pub fn simulate_budgeted(
                             let used = bcast_used[c].entry(slot).or_insert(0);
                             if *used < b {
                                 *used += 1;
-                                break slot;
+                                break;
                             }
                             slot += 1;
                         }
+                        if S::ENABLED {
+                            sink.on_broadcast_wait(c, slot - (t + latency));
+                        }
+                        slot
                     }
                 };
                 last_issue[c] = Some(DynIdx::new(e.idx));
@@ -509,6 +557,9 @@ pub fn simulate_budgeted(
                         if delivered[dep.index()] & bit == 0 {
                             delivered[dep.index()] |= bit;
                             global_values += 1;
+                            if S::ENABLED {
+                                sink.on_bypass(pcluster, c);
+                            }
                         }
                     }
                 }
@@ -527,12 +578,23 @@ pub fn simulate_budgeted(
         // ---- Dispatch / steer ---------------------------------------------
         let mut dispatched_this_cycle = 0;
         while dispatched_this_cycle < fw {
-            let Some(&head) = fe_queue.front() else { break };
+            let Some(&head) = fe_queue.front() else {
+                if S::ENABLED {
+                    sink.on_dispatch_stall(DispatchStall::FetchEmpty);
+                }
+                break;
+            };
             let i = head as usize;
             if records[i].fetch + depth > t {
+                if S::ENABLED {
+                    sink.on_dispatch_stall(DispatchStall::FrontEndPipe);
+                }
                 break; // still in the front-end pipe
             }
             if dispatched - next_commit >= config.rob_entries {
+                if S::ENABLED {
+                    sink.on_dispatch_stall(DispatchStall::RobFull);
+                }
                 break; // ROB full
             }
             let inst = &trace.as_slice()[i];
@@ -569,9 +631,16 @@ pub fn simulate_budgeted(
                 _ => {
                     steer_stall_cycles += 1;
                     head_steer_stalled = true;
+                    if S::ENABLED {
+                        sink.on_steer_stall();
+                        sink.on_dispatch_stall(DispatchStall::Steer);
+                    }
                     break;
                 }
             };
+            if S::ENABLED {
+                sink.on_steer(cluster, cause.index());
+            }
 
             // Binding constraint for the dispatch time.
             let fe_time = records[i].fetch + depth;
@@ -677,6 +746,10 @@ pub fn simulate_budgeted(
 
     debug_assert!(windows.iter().all(Vec::is_empty));
     debug_assert!(fe_queue.is_empty());
+
+    if S::ENABLED {
+        sink.on_run_end(t, n as u64);
+    }
 
     Ok(SimResult {
         config: *config,

@@ -112,6 +112,21 @@ pub enum SteerCause {
     Proactive,
 }
 
+impl SteerCause {
+    /// Stable dense index for counting, in the order of
+    /// [`SimResult::steer_cause_counts`](crate::SimResult::steer_cause_counts)
+    /// and `ccs_obs::SimMetrics::steer_causes`.
+    pub const fn index(self) -> usize {
+        match self {
+            SteerCause::Only => 0,
+            SteerCause::Dependence => 1,
+            SteerCause::LoadBalance => 2,
+            SteerCause::NoDeps => 3,
+            SteerCause::Proactive => 4,
+        }
+    }
+}
+
 /// A steering decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SteerDecision {

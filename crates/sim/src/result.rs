@@ -164,14 +164,7 @@ impl SimResult {
     pub fn steer_cause_counts(&self) -> [u64; 5] {
         let mut counts = [0u64; 5];
         for r in &self.records {
-            let k = match r.steer_cause {
-                crate::SteerCause::Only => 0,
-                crate::SteerCause::Dependence => 1,
-                crate::SteerCause::LoadBalance => 2,
-                crate::SteerCause::NoDeps => 3,
-                crate::SteerCause::Proactive => 4,
-            };
-            counts[k] += 1;
+            counts[r.steer_cause.index()] += 1;
         }
         counts
     }

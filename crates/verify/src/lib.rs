@@ -4,7 +4,7 @@
 //! in window entries, resolves memory dependences through an
 //! open-addressed table, reuses scratch buffers, and encodes "not yet"
 //! as a sentinel cycle. Each of those optimizations is a place for a
-//! subtle scheduling bug to hide. This crate provides four independent
+//! subtle scheduling bug to hide. This crate provides five independent
 //! lines of defence:
 //!
 //! 1. **A reference oracle** ([`reference_simulate`]) — a naive
@@ -26,6 +26,10 @@
 //!    executor's isolation and watchdog machinery, plus corrupted traces
 //!    and mutated schedules proving the validator and every invariant
 //!    rule actually fire.
+//! 5. **A metrics cross-check** ([`check_metrics`]) — recounts the
+//!    observability counters (`ccs-obs` sinks threaded through the
+//!    engine) from the per-instruction records and requires exact
+//!    agreement, so a mis-placed metrics hook cannot drift silently.
 //!
 //! See `DESIGN.md` ("Verification subsystem") for the methodology.
 
@@ -36,6 +40,7 @@ pub mod campaign;
 pub mod diff;
 pub mod faultinject;
 pub mod golden;
+pub mod metricscheck;
 pub mod oracle;
 
 pub use campaign::{run_case, standard_campaign, CaseOutcome, DiffCase, TraceSource};
@@ -44,4 +49,5 @@ pub use faultinject::{
     corrupt_trace, run_grid_with_faults, CellFault, FaultPlan, ScheduleMutation, TraceCorruption,
     ALL_CORRUPTIONS, ALL_MUTATIONS,
 };
+pub use metricscheck::check_metrics;
 pub use oracle::reference_simulate;

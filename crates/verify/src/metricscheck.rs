@@ -1,0 +1,153 @@
+//! Cross-checks observability counters against the simulation result.
+//!
+//! The metrics sink ([`ccs_sim::SimMetrics`]) counts events *as the
+//! engine emits them*; the result ([`SimResult`]) carries the same facts
+//! as per-instruction records written by the scheduling logic itself.
+//! The two paths share no code, so recounting the records and demanding
+//! exact agreement catches a mis-placed hook (an `on_steer` outside the
+//! success arm, an `on_issue` fired twice) the same way the reference
+//! oracle catches a scheduling bug: by independent derivation.
+
+use ccs_obs::ObsError;
+use ccs_sim::{SimMetrics, SimResult};
+
+/// Requires every recountable metrics counter to agree exactly with the
+/// per-instruction records in `result`.
+///
+/// Checks, in order: cycle count, instruction count, committed count,
+/// per-cause steering tallies against
+/// [`SimResult::steer_cause_counts`], per-cluster steering placements
+/// and per-cluster issue totals against
+/// [`SimResult::per_cluster_counts`], cross-cluster bypass traffic
+/// against [`SimResult::global_values`](SimResult), steering stall
+/// cycles, occupancy sample counts (one per cluster per cycle), and the
+/// commit histogram (one sample per cycle, weighted sum = instructions).
+///
+/// # Errors
+///
+/// The first disagreement as [`ObsError::CounterMismatch`].
+pub fn check_metrics(metrics: &SimMetrics, result: &SimResult) -> Result<(), ObsError> {
+    let expect = |what: &'static str, observed: u64, expected: u64| {
+        if observed == expected {
+            Ok(())
+        } else {
+            Err(ObsError::CounterMismatch {
+                what,
+                observed,
+                expected,
+            })
+        }
+    };
+    let n = result.records.len() as u64;
+
+    expect("cycles", metrics.cycles, result.cycles)?;
+    expect("instructions", metrics.instructions, n)?;
+    expect("committed", metrics.committed, n)?;
+
+    const CAUSE_NAMES: [&str; 5] = [
+        "steer cause: only",
+        "steer cause: dependence",
+        "steer cause: load-balance",
+        "steer cause: no-deps",
+        "steer cause: proactive",
+    ];
+    let causes = result.steer_cause_counts();
+    for (i, name) in CAUSE_NAMES.iter().enumerate() {
+        // Leak-free &'static str: the names above are literals.
+        expect(name, metrics.steer_causes[i], causes[i])?;
+    }
+
+    let per_cluster = result.per_cluster_counts();
+    expect(
+        "cluster count",
+        metrics.clusters as u64,
+        per_cluster.len() as u64,
+    )?;
+    for (c, &count) in per_cluster.iter().enumerate() {
+        expect("per-cluster steering placements", metrics.steer_placements[c], count)?;
+        expect("per-cluster issue total", metrics.issued_on_cluster(c), count)?;
+    }
+
+    expect("cross-cluster bypasses", metrics.bypass_total(), result.global_values)?;
+    expect(
+        "steering stall cycles",
+        metrics.steer_stall_cycles,
+        result.steer_stall_cycles,
+    )?;
+
+    for occ in &metrics.occupancy {
+        expect("occupancy samples per cluster", occ.samples(), result.cycles)?;
+    }
+    expect(
+        "commit histogram samples",
+        metrics.commit_per_cycle.samples(),
+        result.cycles,
+    )?;
+    expect(
+        "commit histogram weighted sum",
+        metrics.commit_per_cycle.weighted_sum(),
+        n,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_core::{LocMode, PaperPolicy, PolicyKind, PredictorBank};
+    use ccs_isa::{ClusterLayout, MachineConfig};
+    use ccs_sim::{simulate_observed, RunObserver, SimBudget};
+    use ccs_trace::Benchmark;
+
+    fn observed_run() -> (SimMetrics, SimResult) {
+        let config = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+        let trace = Benchmark::Vpr.generate(11, 3_000);
+        let bank = PredictorBank::new(LocMode::Quantized16, 7);
+        let mut policy = PaperPolicy::new(PolicyKind::Focused, bank);
+        let mut observer = RunObserver::for_machine(config.cluster_count());
+        let result = simulate_observed(
+            &config,
+            &trace,
+            &mut policy,
+            &SimBudget::default(),
+            &mut observer,
+        )
+        .expect("observed run succeeds");
+        (observer.into_metrics(), result)
+    }
+
+    #[test]
+    fn counters_reconcile_with_the_result_records() {
+        let (metrics, result) = observed_run();
+        check_metrics(&metrics, &result).expect("all counters agree");
+    }
+
+    type Mutation = Box<dyn Fn(&mut SimMetrics)>;
+
+    #[test]
+    fn perturbing_any_counter_is_caught() {
+        let (metrics, result) = observed_run();
+        let mutations: Vec<Mutation> = vec![
+            Box::new(|m| m.cycles += 1),
+            Box::new(|m| m.committed -= 1),
+            Box::new(|m| m.steer_causes[1] += 1),
+            Box::new(|m| m.steer_placements[0] += 1),
+            Box::new(|m| m.issued_ports[2][0] += 1),
+            Box::new(|m| m.steer_stall_cycles += 1),
+            Box::new(|m| {
+                let total = m.bypass_total();
+                // Move one bypass into thin air: bump a matrix cell.
+                m.bypass[1] += 1;
+                assert_eq!(m.bypass_total(), total + 1);
+            }),
+        ];
+        for (i, mutate) in mutations.iter().enumerate() {
+            let mut bad = metrics.clone();
+            mutate(&mut bad);
+            assert!(
+                check_metrics(&bad, &result).is_err(),
+                "mutation {i} slipped through the cross-check"
+            );
+        }
+    }
+}

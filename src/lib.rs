@@ -18,9 +18,11 @@
 //!   ([`uarch`]),
 //! * the paper's policy ladder — focused steering, LoC scheduling,
 //!   stall-over-steer, proactive load balancing ([`core`]),
-//! * the §2.2 idealized list scheduler ([`listsched`]), and
+//! * the §2.2 idealized list scheduler ([`listsched`]),
 //! * a differential verification subsystem — reference oracle, engine
-//!   invariant checker, golden regression corpus ([`verify`]).
+//!   invariant checker, golden regression corpus ([`verify`]), and
+//! * a zero-cost-by-default observability layer — metrics sinks, sampled
+//!   cycle traces, CPI stacks, stage timers ([`obs`]).
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@ pub use ccs_core as core;
 pub use ccs_critpath as critpath;
 pub use ccs_isa as isa;
 pub use ccs_listsched as listsched;
+pub use ccs_obs as obs;
 pub use ccs_predictors as predictors;
 pub use ccs_sim as sim;
 pub use ccs_trace as trace;

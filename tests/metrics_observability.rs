@@ -1,0 +1,157 @@
+//! Acceptance tests for the observability layer:
+//!
+//! * metrics collection is a pure observer — schedules and results are
+//!   bit-identical with metrics on or off, at the engine level and at
+//!   the experiment (`run_cell`) level;
+//! * per-cell metrics aggregate deterministically — the folded
+//!   `SimMetrics` (and its digest) are bit-identical between 1 and 8
+//!   grid threads;
+//! * the CPI stack derived from the counters reconciles exactly, per
+//!   category, with the critical-path breakdown on a checked smoke grid;
+//! * the sampled cycle-trace ring stays bounded and deterministic when
+//!   fed by a real run.
+
+use clustercrit::core::{
+    aggregate_breakdown, aggregate_metrics, run_cell, GridRequest, LocMode, PaperPolicy,
+    PolicyKind, PredictorBank, Resilience, RunOptions,
+};
+use clustercrit::critpath::observed_cpi_stack;
+use clustercrit::isa::{ClusterLayout, MachineConfig};
+use clustercrit::obs::{CycleTraceRing, RunObserver};
+use clustercrit::sim::{simulate_budgeted, simulate_observed, SimBudget};
+use clustercrit::trace::Benchmark;
+
+fn machine() -> MachineConfig {
+    MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w)
+}
+
+#[test]
+fn engine_schedule_is_bit_identical_with_metrics_on() {
+    let config = machine();
+    let trace = Benchmark::Vpr.generate(3, 3_000);
+    let budget = SimBudget::default();
+
+    let mut plain_policy = PaperPolicy::new(PolicyKind::Focused, PredictorBank::new(LocMode::Quantized16, 7));
+    let plain = simulate_budgeted(&config, &trace, &mut plain_policy, &budget).unwrap();
+
+    let mut observed_policy = PaperPolicy::new(PolicyKind::Focused, PredictorBank::new(LocMode::Quantized16, 7));
+    let mut observer = RunObserver::for_machine(config.cluster_count());
+    let observed =
+        simulate_observed(&config, &trace, &mut observed_policy, &budget, &mut observer).unwrap();
+
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{observed:?}"),
+        "observing a run must not change its schedule"
+    );
+    let metrics = observer.into_metrics();
+    assert_eq!(metrics.cycles, observed.cycles);
+    assert_eq!(metrics.instructions, observed.records.len() as u64);
+}
+
+#[test]
+fn run_cell_results_are_bit_identical_with_metrics_on() {
+    let config = machine();
+    let trace = Benchmark::Gzip.generate(1, 3_000);
+    let base = RunOptions::default().with_epochs(2);
+
+    let off = run_cell(&config, &trace, PolicyKind::FocusedLoc, &base).unwrap();
+    let on = run_cell(&config, &trace, PolicyKind::FocusedLoc, &base.with_metrics(true)).unwrap();
+
+    assert!(off.metrics.is_none(), "metrics off leaves no payload");
+    let metrics = on.metrics.as_ref().expect("metrics on yields a payload");
+    assert_eq!(
+        format!("{:?}", off.result),
+        format!("{:?}", on.result),
+        "metrics must be a write-only observer"
+    );
+    assert_eq!(off.cpi().to_bits(), on.cpi().to_bits());
+    assert_eq!(metrics.cycles, on.result.cycles);
+}
+
+#[test]
+fn metrics_aggregate_identically_across_thread_counts() {
+    let specs = GridRequest::new(MachineConfig::micro05_baseline(), 2_000)
+        .benchmarks([Benchmark::Vpr, Benchmark::Gzip, Benchmark::Mcf])
+        .layouts([ClusterLayout::C2x4w, ClusterLayout::C8x1w])
+        .policies([PolicyKind::Focused])
+        .options(RunOptions::default().with_epochs(1).with_metrics(true))
+        .build();
+    let res = Resilience::default();
+    let serial = clustercrit::core::run_grid_resilient(&specs, 1, &res);
+    let parallel = clustercrit::core::run_grid_resilient(&specs, 8, &res);
+
+    let a = aggregate_metrics(&serial).expect("serial grid has metrics");
+    let b = aggregate_metrics(&parallel).expect("parallel grid has metrics");
+    assert_eq!(a, b, "aggregation must be independent of thread count");
+    assert_eq!(a.digest(), b.digest());
+}
+
+#[test]
+fn cpi_stack_reconciles_with_critpath_on_a_checked_grid() {
+    let specs = GridRequest::new(MachineConfig::micro05_baseline(), 2_000)
+        .benchmarks([Benchmark::Vpr, Benchmark::Gzip, Benchmark::Twolf])
+        .layouts(ClusterLayout::CLUSTERED)
+        .policies([PolicyKind::Focused])
+        .options(
+            RunOptions::default()
+                .with_epochs(1)
+                .with_checked(true)
+                .with_metrics(true),
+        )
+        .build();
+    let results = clustercrit::core::run_grid_resilient(&specs, 4, &Resilience::default());
+
+    // Per cell: the counters' CPI stack must match the cell's own
+    // critical-path breakdown category by category.
+    for r in &results {
+        let outcome = r.status.outcome().expect("checked smoke cell completes");
+        let metrics = outcome.metrics.as_ref().expect("metered cell");
+        let stack = observed_cpi_stack(metrics, &outcome.analysis.breakdown)
+            .expect("per-cell CPI stack reconciles");
+        assert_eq!(stack.total(), outcome.result.cycles);
+    }
+
+    // And in aggregate, across the whole grid.
+    let metrics = aggregate_metrics(&results).expect("metered grid");
+    let (breakdown, cycles, _) = aggregate_breakdown(&results);
+    let stack = observed_cpi_stack(&metrics, &breakdown).expect("aggregate CPI stack reconciles");
+    assert_eq!(stack.total(), cycles);
+
+    // The harness-level report agrees.
+    let report = ccs_bench::cpi_stack_report(&results);
+    assert!(report.contains("reconciled"), "{report}");
+}
+
+#[test]
+fn cycle_trace_ring_is_bounded_and_deterministic_on_a_real_run() {
+    let config = machine();
+    let trace = Benchmark::Vpr.generate(5, 3_000);
+    let budget = SimBudget::default();
+    let run = |seed: u64| {
+        let mut policy =
+            PaperPolicy::new(PolicyKind::Focused, PredictorBank::new(LocMode::Quantized16, 7));
+        let mut observer = RunObserver::for_machine(config.cluster_count())
+            .with_ring(CycleTraceRing::new(64, 16, seed));
+        simulate_observed(&config, &trace, &mut policy, &budget, &mut observer).unwrap();
+        observer
+    };
+    let a = run(42);
+    let b = run(42);
+    let c = run(43);
+
+    let ring_a = a.ring.as_ref().expect("ring attached");
+    let ring_b = b.ring.as_ref().expect("ring attached");
+    assert!(ring_a.len() <= 64, "ring stays bounded");
+    assert!(!ring_a.is_empty(), "a multi-thousand-cycle run gets sampled");
+    let samples_a: Vec<_> = ring_a.samples().collect();
+    let samples_b: Vec<_> = ring_b.samples().collect();
+    assert_eq!(samples_a, samples_b, "same seed, same samples");
+    let samples_c: Vec<_> = c.ring.as_ref().expect("ring attached").samples().collect();
+    assert_ne!(samples_c, samples_a, "different seed, different sample cycles");
+    let jsonl = ring_a.to_jsonl();
+    assert_eq!(jsonl.lines().count(), ring_a.len());
+    for line in jsonl.lines() {
+        assert!(line.starts_with("{\"cycle\":") && line.ends_with("]}"), "{line}");
+    }
+}
