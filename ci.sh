@@ -3,8 +3,8 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
 # The workspace test run includes the verification suites: the
 # differential engine-vs-oracle campaign (bounded by CCS_DIFF_CASES,
@@ -35,6 +35,36 @@ cargo test --release --test checkpoint_resume -q
 # aggregation to be independent of thread count.
 echo "==> metrics observability smoke"
 cargo test --release --test metrics_observability -q
+
+# Serve smoke: boot the daemon on an ephemeral loopback port, run a
+# small grid through the client CLI and a bounded loadgen against it,
+# then drain and require a clean exit 0. The roundtrip/protocol test
+# suites above prove bit-identity and fault tolerance; this stage proves
+# the *shipped binaries* wire together.
+echo "==> ccs-serve smoke (daemon + client grid + loadgen + drain)"
+cargo build --release --example loadgen
+SERVE_LOG="$(mktemp)"
+target/release/ccs-serve --addr 127.0.0.1:0 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    SERVE_ADDR="$(sed -n 's/^listening on //p' "$SERVE_LOG")"
+    [ -n "$SERVE_ADDR" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { cat "$SERVE_LOG"; exit 1; }
+    sleep 0.1
+done
+[ -n "$SERVE_ADDR" ] || { echo "daemon never reported its address"; cat "$SERVE_LOG"; exit 1; }
+CCS_LEN=1000 CCS_EPOCHS=1 CCS_SAMPLES=1 \
+    target/release/grid_campaign --server "$SERVE_ADDR" >/dev/null
+target/release/ccs-client --server "$SERVE_ADDR" status >/dev/null
+target/release/examples/loadgen --server "$SERVE_ADDR" \
+    --clients 2 --requests 2 --batch 2 --len 1000 \
+    --out "$(mktemp -u)" >/dev/null
+target/release/ccs-client --server "$SERVE_ADDR" drain >/dev/null
+SERVE_EXIT=0
+wait "$SERVE_PID" || SERVE_EXIT=$?
+[ "$SERVE_EXIT" -eq 0 ] || { echo "daemon exited $SERVE_EXIT"; cat "$SERVE_LOG"; exit 1; }
+rm -f "$SERVE_LOG"
+echo "    daemon drained cleanly (exit 0)"
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

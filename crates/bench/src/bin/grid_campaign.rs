@@ -6,13 +6,86 @@
 //!
 //! Exit code: `0` when every cell completed, `1` when any cell failed
 //! or timed out, `2` when the campaign is still incomplete.
+//!
+//! With `--server HOST:PORT` (or `CCS_SERVER`) the same grid is
+//! submitted to a running `ccs-serve` daemon instead of being evaluated
+//! in-process; results stream back per cell and the exit codes are
+//! unchanged. Checkpointing and `--resume` are the daemon's business in
+//! that mode (it caches and journals server-side), so the manifest is
+//! not written.
 
-use ccs_bench::{cpi_stack_report, HarnessOptions, TextTable};
+use ccs_bench::{cpi_stack_report, server_target, HarnessOptions, TextTable};
+use ccs_client::Client;
 use ccs_core::checkpoint::{run_campaign, CampaignOptions, CheckpointRecord};
 use ccs_core::{CellSpec, PolicyKind};
 use ccs_isa::{ClusterLayout, MachineConfig};
 use ccs_obs::StageTimers;
+use ccs_serve::WireCellSpec;
 use ccs_trace::{Benchmark, TraceStore};
+
+/// Submits the specs to a serve daemon and renders the same table the
+/// in-process path prints. Exit codes mirror the local campaign.
+fn run_against_server(server: &str, specs: &[CellSpec]) -> i32 {
+    let mut cells = Vec::with_capacity(specs.len());
+    for spec in specs {
+        match WireCellSpec::from_cell(spec) {
+            Ok(cell) => cells.push(cell),
+            Err(e) => {
+                eprintln!("cell not wire-addressable: {e}");
+                return 3;
+            }
+        }
+    }
+    let mut client = match Client::connect(server) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("grid_campaign: {e}");
+            return 3;
+        }
+    };
+    println!("grid campaign: {} cells via server {server}", cells.len());
+    let outcome = match client.submit_grid_with_retry(&cells, 10, |_| {}) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("grid_campaign: {e}");
+            return 3;
+        }
+    };
+    let mut table = TextTable::new(
+        ["bench", "layout", "policy", "seed", "status", "att", "CPI / error"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (spec, record) in specs.iter().zip(&outcome.records) {
+        let (status, attempts, detail) = match record {
+            Some(r) => (
+                r.status.clone(),
+                r.attempts.to_string(),
+                if r.is_ok() {
+                    format!("{:.4}{}", r.cpi(), if r.cached { " (cached)" } else { "" })
+                } else {
+                    r.error.clone().unwrap_or_default()
+                },
+            ),
+            None => ("UNFINISHED".to_string(), "-".to_string(), String::new()),
+        };
+        table.row(vec![
+            format!("{:?}", spec.benchmark),
+            format!("{:?}", spec.config.layout),
+            format!("{:?}", spec.policy),
+            spec.sample_seed.to_string(),
+            status,
+            attempts,
+            detail,
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "server grid done: {} ok, {} failed, {} timed out, {} cached",
+        outcome.ok, outcome.failed, outcome.timed_out, outcome.cached
+    );
+    outcome.exit_code()
+}
 
 fn main() {
     let opts = HarnessOptions::from_env_and_args();
@@ -44,6 +117,10 @@ fn main() {
                 }
             }
         }
+    }
+
+    if let Some(server) = server_target() {
+        std::process::exit(run_against_server(&server, &specs));
     }
 
     println!(

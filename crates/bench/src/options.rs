@@ -160,6 +160,24 @@ impl Default for HarnessOptions {
     }
 }
 
+/// The serve-daemon address the harness should submit to instead of
+/// evaluating in-process: `--server HOST:PORT` / `--server=HOST:PORT`
+/// on the command line, else the `CCS_SERVER` environment variable,
+/// else `None` (run locally). Kept outside [`HarnessOptions`] so that
+/// struct stays `Copy`.
+pub fn server_target() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(v) = arg.strip_prefix("--server=") {
+            return Some(v.to_string());
+        }
+        if arg == "--server" {
+            return args.next();
+        }
+    }
+    std::env::var("CCS_SERVER").ok().filter(|s| !s.is_empty())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

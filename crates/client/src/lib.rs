@@ -1,0 +1,301 @@
+//! Client library for the `ccs-serve` daemon.
+//!
+//! [`Client`] wraps one TCP connection: it frames requests, streams
+//! per-cell replies in completion order, and reassembles them into
+//! input order. Backpressure is surfaced, not hidden —
+//! [`Client::submit_grid`] returns the server's typed busy reply as
+//! [`CcsError::Rejected`] with the retry hint, and
+//! [`Client::submit_grid_with_retry`] layers bounded honor-the-hint
+//! retries on top for callers that just want the grid done.
+//!
+//! [`GridOutcome::exit_code`] mirrors the batch `grid_campaign` binary:
+//! `0` all cells ok, `1` any cell failed or timed out, `2` incomplete
+//! (the connection died mid-grid).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ccs_core::CcsError;
+use ccs_serve::{FrameReader, Request, Response, ServeError, StatusReply, WireCellRecord, WireCellSpec};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One connection to a serve daemon.
+pub struct Client {
+    stream: TcpStream,
+    reader: FrameReader,
+    next_id: u64,
+}
+
+/// What a grid submission produced, reassembled into input order.
+#[derive(Debug, Clone)]
+pub struct GridOutcome {
+    /// Per-cell records in submission order; `None` where the daemon
+    /// never answered (connection lost mid-grid).
+    pub records: Vec<Option<WireCellRecord>>,
+    /// Cells that completed (`ok`).
+    pub ok: usize,
+    /// Cells that failed.
+    pub failed: usize,
+    /// Cells that timed out.
+    pub timed_out: usize,
+    /// Cells answered from the daemon's result cache.
+    pub cached: usize,
+}
+
+impl GridOutcome {
+    /// Whether every cell was answered.
+    pub fn is_complete(&self) -> bool {
+        self.records.iter().all(Option::is_some)
+    }
+
+    /// `grid_campaign`-compatible exit code: `0` every cell ok, `1` any
+    /// cell failed or timed out, `2` incomplete.
+    pub fn exit_code(&self) -> i32 {
+        if !self.is_complete() {
+            2
+        } else if self.failed > 0 || self.timed_out > 0 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (e.g. `127.0.0.1:7405`).
+    ///
+    /// # Errors
+    ///
+    /// [`CcsError::Protocol`] when the connection cannot be made.
+    pub fn connect(addr: &str) -> Result<Client, CcsError> {
+        let stream = TcpStream::connect(addr).map_err(|e| CcsError::Protocol {
+            message: format!("connect {addr}: {e}"),
+        })?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            reader: FrameReader::new(),
+            next_id: 1,
+        })
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), ServeError> {
+        ccs_serve::write_frame(&mut self.stream, &request.encode())
+    }
+
+    fn recv(&mut self) -> Result<Response, ServeError> {
+        let payload = self.reader.read_frame(&mut self.stream)?;
+        Response::decode(&payload)
+    }
+
+    /// Lifts server-side reject/busy/error replies into the error
+    /// taxonomy so submission loops can match on one shape.
+    fn refusal(response: Response) -> CcsError {
+        match response {
+            Response::Busy { retry_after_ms } => CcsError::Rejected {
+                reason: "server busy".into(),
+                retry_after_ms: Some(retry_after_ms),
+            },
+            Response::Rejected { reason } => CcsError::Rejected {
+                reason,
+                retry_after_ms: None,
+            },
+            Response::Error { message } => CcsError::Protocol { message },
+            other => CcsError::Protocol {
+                message: format!("unexpected reply: {other:?}"),
+            },
+        }
+    }
+
+    /// Submits one cell and waits for its record.
+    ///
+    /// # Errors
+    ///
+    /// [`CcsError::Rejected`] on busy/draining replies,
+    /// [`CcsError::Protocol`] on transport or protocol failures.
+    pub fn submit_cell(&mut self, cell: &WireCellSpec) -> Result<WireCellRecord, CcsError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request::SubmitCell {
+            id,
+            cell: cell.clone(),
+        })
+        .map_err(CcsError::from)?;
+        match self.recv().map_err(CcsError::from)? {
+            Response::Cell { record, .. } => Ok(record),
+            other => Err(Self::refusal(other)),
+        }
+    }
+
+    /// Submits a grid and streams per-cell records through `on_cell` in
+    /// completion order (cache hits arrive first) until the daemon's
+    /// `grid_done`.
+    ///
+    /// # Errors
+    ///
+    /// [`CcsError::Rejected`] when the daemon refused the whole
+    /// submission (backpressure or draining — nothing ran);
+    /// [`CcsError::Protocol`] on transport or protocol failures.
+    pub fn submit_grid(
+        &mut self,
+        cells: &[WireCellSpec],
+        mut on_cell: impl FnMut(&WireCellRecord),
+    ) -> Result<GridOutcome, CcsError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request::SubmitGrid {
+            id,
+            cells: cells.to_vec(),
+        })
+        .map_err(CcsError::from)?;
+        let mut outcome = GridOutcome {
+            records: vec![None; cells.len()],
+            ok: 0,
+            failed: 0,
+            timed_out: 0,
+            cached: 0,
+        };
+        loop {
+            match self.recv().map_err(CcsError::from)? {
+                Response::Cell { id: rid, record } if rid == id => {
+                    on_cell(&record);
+                    match record.status.as_str() {
+                        "ok" => outcome.ok += 1,
+                        "TIMEOUT" => outcome.timed_out += 1,
+                        _ => outcome.failed += 1,
+                    }
+                    if record.cached {
+                        outcome.cached += 1;
+                    }
+                    if let Some(slot) = outcome.records.get_mut(record.index) {
+                        *slot = Some(record);
+                    }
+                }
+                Response::GridDone { id: rid, .. } if rid == id => return Ok(outcome),
+                other => return Err(Self::refusal(other)),
+            }
+        }
+    }
+
+    /// [`submit_grid`](Self::submit_grid) with bounded backoff: busy
+    /// replies are retried up to `max_attempts` times, sleeping the
+    /// server's hint (capped at one second) between attempts. Draining
+    /// rejects are returned immediately — the daemon is going away, and
+    /// retrying into it only delays the caller's own failure handling.
+    ///
+    /// # Errors
+    ///
+    /// As for [`submit_grid`](Self::submit_grid); a final busy reply
+    /// after `max_attempts` is returned as-is.
+    pub fn submit_grid_with_retry(
+        &mut self,
+        cells: &[WireCellSpec],
+        max_attempts: u32,
+        mut on_cell: impl FnMut(&WireCellRecord),
+    ) -> Result<GridOutcome, CcsError> {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.submit_grid(cells, &mut on_cell) {
+                Err(CcsError::Rejected {
+                    reason,
+                    retry_after_ms: Some(hint),
+                }) if attempt < max_attempts.max(1) => {
+                    let _ = reason;
+                    std::thread::sleep(Duration::from_millis(hint.clamp(1, 1_000)));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Fetches the daemon's status.
+    ///
+    /// # Errors
+    ///
+    /// [`CcsError::Protocol`] on transport/protocol failures.
+    pub fn status(&mut self) -> Result<StatusReply, CcsError> {
+        self.send(&Request::Status).map_err(CcsError::from)?;
+        match self.recv().map_err(CcsError::from)? {
+            Response::Status(s) => Ok(s),
+            other => Err(Self::refusal(other)),
+        }
+    }
+
+    /// Fetches the daemon's full metrics as rendered JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`CcsError::Protocol`] on transport/protocol failures.
+    pub fn metrics_json(&mut self) -> Result<String, CcsError> {
+        self.send(&Request::Metrics).map_err(CcsError::from)?;
+        match self.recv().map_err(CcsError::from)? {
+            Response::Metrics { json } => Ok(json),
+            other => Err(Self::refusal(other)),
+        }
+    }
+
+    /// Asks the daemon to drain: finish in-flight cells, refuse new
+    /// submissions, then exit. Returns the number of cells that were
+    /// still pending at the request.
+    ///
+    /// # Errors
+    ///
+    /// [`CcsError::Protocol`] on transport/protocol failures.
+    pub fn drain(&mut self) -> Result<u64, CcsError> {
+        self.send(&Request::Drain).map_err(CcsError::from)?;
+        match self.recv().map_err(CcsError::from)? {
+            Response::Draining { pending } => Ok(pending),
+            other => Err(Self::refusal(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(index: usize, status: &str, cached: bool) -> WireCellRecord {
+        WireCellRecord {
+            index,
+            key: format!("k{index}"),
+            status: status.into(),
+            attempts: 1,
+            cycles: 100,
+            cpi_bits: 0,
+            digest: 0,
+            cached,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn exit_codes_mirror_grid_campaign() {
+        let complete_ok = GridOutcome {
+            records: vec![Some(record(0, "ok", false))],
+            ok: 1,
+            failed: 0,
+            timed_out: 0,
+            cached: 0,
+        };
+        assert_eq!(complete_ok.exit_code(), 0);
+        let with_failure = GridOutcome {
+            records: vec![Some(record(0, "FAILED", false))],
+            ok: 0,
+            failed: 1,
+            timed_out: 0,
+            cached: 0,
+        };
+        assert_eq!(with_failure.exit_code(), 1);
+        let incomplete = GridOutcome {
+            records: vec![None],
+            ok: 0,
+            failed: 0,
+            timed_out: 0,
+            cached: 0,
+        };
+        assert_eq!(incomplete.exit_code(), 2);
+        assert!(!incomplete.is_complete());
+    }
+}

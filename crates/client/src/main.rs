@@ -1,0 +1,235 @@
+//! The `ccs-client` CLI.
+//!
+//! ```text
+//! ccs-client [--server HOST:PORT] grid [--bench NAME]... [--len N]
+//!            [--samples N] [--seed N] [--epochs N] [--retries N]
+//! ccs-client [--server HOST:PORT] status
+//! ccs-client [--server HOST:PORT] metrics
+//! ccs-client [--server HOST:PORT] drain
+//! ```
+//!
+//! The server address defaults to `$CCS_SERVER`, then
+//! `127.0.0.1:7405`. `grid` submits the same benchmark × clustered
+//! layout × policy-ladder grid the batch `grid_campaign` binary runs,
+//! streams per-cell results as they finish, and exits with the same
+//! codes: `0` all ok, `1` any failure/timeout, `2` incomplete.
+
+use ccs_client::Client;
+use ccs_core::PolicyKind;
+use ccs_isa::ClusterLayout;
+use ccs_serve::WireCellSpec;
+use ccs_trace::Benchmark;
+
+const DEFAULT_SERVER: &str = "127.0.0.1:7405";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ccs-client [--server HOST:PORT] <grid|status|metrics|drain> [grid flags]\n\
+         \x20 grid flags: [--bench NAME]... [--len N] [--samples N] [--seed N] [--epochs N] [--retries N]"
+    );
+    std::process::exit(2)
+}
+
+struct GridFlags {
+    benches: Vec<Benchmark>,
+    len: usize,
+    samples: u64,
+    seed: u64,
+    epochs: u32,
+    retries: u32,
+}
+
+impl Default for GridFlags {
+    fn default() -> Self {
+        GridFlags {
+            benches: Benchmark::ALL.to_vec(),
+            len: 20_000,
+            samples: 1,
+            seed: 1,
+            epochs: 2,
+            retries: 5,
+        }
+    }
+}
+
+/// The same grid the batch `grid_campaign` binary builds: every
+/// benchmark × clustered layout × policy ladder, with the proactive bar
+/// only on the 8-cluster machine (paper Figure 14).
+fn build_grid(flags: &GridFlags) -> Vec<WireCellSpec> {
+    let mut cells = Vec::new();
+    for &bench in &flags.benches {
+        for layout in ClusterLayout::CLUSTERED {
+            for policy in PolicyKind::LADDER {
+                if policy == PolicyKind::Proactive && layout != ClusterLayout::C8x1w {
+                    continue;
+                }
+                for k in 0..flags.samples.max(1) {
+                    let seed = flags.seed + 1_000 * k;
+                    cells.push(
+                        WireCellSpec::new(bench, seed, flags.len, layout, policy)
+                            .with_epochs(flags.epochs),
+                    );
+                }
+            }
+        }
+    }
+    cells
+}
+
+fn parse_bench(name: &str) -> Benchmark {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {name:?}");
+            usage()
+        })
+}
+
+fn main() {
+    let mut server = std::env::var("CCS_SERVER").unwrap_or_else(|_| DEFAULT_SERVER.to_string());
+    let mut command: Option<String> = None;
+    let mut flags = GridFlags::default();
+    let mut benches_given = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{arg} needs a {what}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--server" => server = value("HOST:PORT"),
+            "--bench" => {
+                if !benches_given {
+                    flags.benches.clear();
+                    benches_given = true;
+                }
+                let bench = parse_bench(&value("NAME"));
+                flags.benches.push(bench);
+            }
+            "--len" => flags.len = parse_num(&arg, &value("count")) as usize,
+            "--samples" => flags.samples = parse_num(&arg, &value("count")),
+            "--seed" => flags.seed = parse_num(&arg, &value("seed")),
+            "--epochs" => flags.epochs = parse_num(&arg, &value("count")) as u32,
+            "--retries" => flags.retries = parse_num(&arg, &value("count")) as u32,
+            "--help" | "-h" => usage(),
+            "grid" | "status" | "metrics" | "drain" if command.is_none() => {
+                command = Some(arg.clone())
+            }
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                usage()
+            }
+        }
+    }
+    let Some(command) = command else { usage() };
+
+    let mut client = match Client::connect(&server) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ccs-client: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let code = match command.as_str() {
+        "grid" => run_grid(&mut client, &flags),
+        "status" => run_status(&mut client),
+        "metrics" => run_metrics(&mut client),
+        "drain" => run_drain(&mut client),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}
+
+fn parse_num(flag: &str, value: &str) -> u64 {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: not a number: {value:?}");
+        usage()
+    })
+}
+
+fn run_grid(client: &mut Client, flags: &GridFlags) -> i32 {
+    let cells = build_grid(flags);
+    println!("submitting {} cells", cells.len());
+    let outcome = client.submit_grid_with_retry(&cells, flags.retries, |record| {
+        let detail = if record.is_ok() {
+            format!("CPI {:.4}{}", record.cpi(), if record.cached { " (cached)" } else { "" })
+        } else {
+            record.error.clone().unwrap_or_default()
+        };
+        println!("cell {:>4}  {:7}  {}  {detail}", record.index, record.status, record.key);
+    });
+    match outcome {
+        Ok(outcome) => {
+            println!(
+                "grid done: {} ok, {} failed, {} timed out, {} cached",
+                outcome.ok, outcome.failed, outcome.timed_out, outcome.cached
+            );
+            outcome.exit_code()
+        }
+        Err(e) => {
+            eprintln!("ccs-client: {e}");
+            2
+        }
+    }
+}
+
+fn run_status(client: &mut Client) -> i32 {
+    match client.status() {
+        Ok(s) => {
+            println!(
+                "protocol v{} draining={} queue {}/{} workers {}\n\
+                 cache {}/{} (hits {} misses {})\n\
+                 admitted {} evaluated {} busy-rejects {} protocol-errors {}",
+                s.protocol,
+                s.draining,
+                s.queue_depth,
+                s.queue_capacity,
+                s.workers,
+                s.cache_len,
+                s.cache_capacity,
+                s.cache_hits,
+                s.cache_misses,
+                s.cells_admitted,
+                s.cells_evaluated,
+                s.admission_rejects,
+                s.protocol_errors,
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("ccs-client: {e}");
+            2
+        }
+    }
+}
+
+fn run_metrics(client: &mut Client) -> i32 {
+    match client.metrics_json() {
+        Ok(json) => {
+            println!("{json}");
+            0
+        }
+        Err(e) => {
+            eprintln!("ccs-client: {e}");
+            2
+        }
+    }
+}
+
+fn run_drain(client: &mut Client) -> i32 {
+    match client.drain() {
+        Ok(pending) => {
+            println!("draining ({pending} cells pending)");
+            0
+        }
+        Err(e) => {
+            eprintln!("ccs-client: {e}");
+            2
+        }
+    }
+}

@@ -245,6 +245,15 @@ fn fingerprint_policy_config(fp: &mut Fingerprint, pc: &crate::policy::PolicyCon
 /// ([`MANIFEST_SCHEMA`]): extending the fingerprint means bumping the
 /// schema, which makes stale manifests fail loudly rather than silently
 /// re-running (or wrongly skipping) every cell.
+///
+/// This key is the workspace's **single cell-identity API**: the
+/// checkpoint manifest keys its records by it, and the `ccs-serve`
+/// daemon uses it as the dedup/cache key of its bounded result cache —
+/// two submissions map to the same cache entry exactly when their specs
+/// fingerprint identically. Anything that can change a cell's schedule
+/// must feed the fingerprint; anything that cannot (today: only the
+/// write-only `metrics` flag) must not, or equal work would miss the
+/// cache. Re-exported as `ccs_core::cell_key`.
 pub fn cell_key(spec: &CellSpec) -> String {
     let fingerprint = spec_fingerprint(spec);
     format!(
@@ -821,6 +830,26 @@ mod tests {
         let none = spec(RunOptions::default());
         let some_zero = spec(RunOptions::default().with_cycle_budget(0));
         assert_ne!(cell_key(&none), cell_key(&some_zero));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_adjacent_machine_fields() {
+        // The serve-cache twin of the options test above: an optional
+        // *machine* field set to `Some(0)` must not alias `None` with a
+        // zero in the following field, or the daemon's result cache
+        // would serve one machine's schedule for the other.
+        let mut unbounded = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+        unbounded.forward_bandwidth = None;
+        let mut zero = unbounded;
+        zero.forward_bandwidth = Some(0);
+        let opts = RunOptions::default();
+        let a = CellSpec::new(unbounded, Benchmark::Vpr, 1, 1_000, PolicyKind::Focused, opts);
+        let b = CellSpec::new(zero, Benchmark::Vpr, 1, 1_000, PolicyKind::Focused, opts);
+        assert_ne!(
+            cell_key(&a),
+            cell_key(&b),
+            "forward_bandwidth None vs Some(0) must key distinctly"
+        );
     }
 
     #[test]

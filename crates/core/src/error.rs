@@ -23,6 +23,11 @@
 //!   into a figure.
 //! * [`CcsError::Checkpoint`] — the checkpoint manifest could not be
 //!   read, parsed, or appended.
+//! * [`CcsError::Protocol`] — a service-layer frame was malformed,
+//!   oversized, or truncated (constructed by `ccs-serve`/`ccs-client`).
+//! * [`CcsError::Rejected`] — a service submission was refused by
+//!   admission control (bounded-queue backpressure or a draining
+//!   daemon) rather than failing.
 //!
 //! Lower-layer crates keep their own error types (`ccs-trace` and
 //! `ccs-isa` sit below this crate in the dependency graph); `From`
@@ -78,6 +83,22 @@ pub enum CcsError {
         /// What went wrong.
         message: String,
     },
+    /// A service-layer protocol violation: malformed, truncated, or
+    /// oversized frame, unknown frame type, or a version mismatch.
+    Protocol {
+        /// What was wrong with the frame.
+        message: String,
+    },
+    /// A service submission was refused without being attempted —
+    /// bounded-queue backpressure or a draining daemon. Not a defect:
+    /// the caller may retry after the hint.
+    Rejected {
+        /// Why admission refused the submission.
+        reason: String,
+        /// Advisory backoff in milliseconds before retrying, when the
+        /// server provided one.
+        retry_after_ms: Option<u64>,
+    },
 }
 
 impl CcsError {
@@ -118,6 +139,14 @@ impl fmt::Display for CcsError {
             CcsError::Checkpoint { path, message } => {
                 write!(f, "checkpoint {path}: {message}")
             }
+            CcsError::Protocol { message } => write!(f, "protocol: {message}"),
+            CcsError::Rejected {
+                reason,
+                retry_after_ms,
+            } => match retry_after_ms {
+                Some(ms) => write!(f, "rejected: {reason} (retry after {ms} ms)"),
+                None => write!(f, "rejected: {reason}"),
+            },
         }
     }
 }
@@ -199,6 +228,25 @@ mod tests {
         let from_other = std::panic::catch_unwind(|| std::panic::panic_any(42_i32)).unwrap_err();
         let e = CcsError::from_panic(from_other.as_ref());
         assert!(matches!(e, CcsError::CellPanicked { message } if message.contains("non-string")));
+    }
+
+    #[test]
+    fn service_errors_render_their_context() {
+        let e = CcsError::Protocol {
+            message: "frame length 9000000 exceeds limit 1048576".into(),
+        };
+        assert!(e.to_string().starts_with("protocol: "));
+        assert!(!e.is_timeout());
+        let e = CcsError::Rejected {
+            reason: "queue full".into(),
+            retry_after_ms: Some(40),
+        };
+        assert_eq!(e.to_string(), "rejected: queue full (retry after 40 ms)");
+        let e = CcsError::Rejected {
+            reason: "draining".into(),
+            retry_after_ms: None,
+        };
+        assert_eq!(e.to_string(), "rejected: draining");
     }
 
     #[test]

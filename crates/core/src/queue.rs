@@ -1,0 +1,317 @@
+//! Bounded admission queues with explicit backpressure.
+//!
+//! The service layer (`ccs-serve`) admits work through a
+//! [`BoundedQueue`] rather than buffering without bound: when a
+//! submission does not fit, admission *fails fast* with a typed
+//! [`Admission::Busy`] carrying a retry hint, and the client decides
+//! whether to back off or give up. The queue lives here — not in the
+//! serve crate — because admission is a property of the experiment
+//! grid's execution model (how many cells may be pending at once), not
+//! of any particular transport.
+//!
+//! Semantics:
+//!
+//! * Admission is **all-or-nothing** per submission
+//!   ([`BoundedQueue::admit`]): a grid either fits entirely or is
+//!   rejected entirely, so a client never has to track a half-admitted
+//!   request.
+//! * Consumers block on [`BoundedQueue::pop`] (or poll with
+//!   [`BoundedQueue::pop_timeout`]) and observe [`None`] only once the
+//!   queue is [`close`](BoundedQueue::close)d *and* drained — the
+//!   graceful-shutdown handshake.
+//! * The busy hint scales linearly with the current depth
+//!   ([`BoundedQueue::with_hint_per_item`]), so a client retrying
+//!   against a deep queue waits proportionally longer.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// The outcome of offering a submission to a [`BoundedQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Every item of the submission was enqueued.
+    Admitted {
+        /// Queue depth immediately after the submission was enqueued
+        /// (includes the submission itself).
+        depth: usize,
+    },
+    /// Nothing was enqueued: the submission did not fit under the
+    /// capacity bound.
+    Busy {
+        /// Advisory backoff before retrying, derived from the queue
+        /// depth at rejection time. Clients may ignore it, but honoring
+        /// it keeps a saturated server from burning cycles on rejects.
+        retry_after_hint: Duration,
+    },
+}
+
+impl Admission {
+    /// Whether the submission was admitted.
+    pub fn is_admitted(&self) -> bool {
+        matches!(self, Admission::Admitted { .. })
+    }
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A capacity-bounded MPMC queue with all-or-nothing admission.
+///
+/// Built on `Mutex<VecDeque>` + `Condvar` — no dependencies, no unsafe
+/// — because the serve workloads enqueue *cells* (milliseconds to
+/// seconds of simulation each); queue overhead is noise.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+    capacity: usize,
+    hint_per_item: Duration,
+}
+
+impl<T> std::fmt::Debug for BoundedQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (≥ 1) at a time, with
+    /// a 5 ms-per-pending-item busy hint.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+            hint_per_item: Duration::from_millis(5),
+        }
+    }
+
+    /// The same queue with a different per-pending-item busy hint.
+    #[must_use]
+    pub fn with_hint_per_item(mut self, hint: Duration) -> Self {
+        self.hint_per_item = hint;
+        self
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Offers one item; on rejection the item is handed back.
+    ///
+    /// # Errors
+    ///
+    /// The item, when the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        match self.admit_iter(std::iter::once(item)) {
+            Ok(_) => Ok(()),
+            Err(mut items) => Err(items.pop().expect("rejected item handed back")),
+        }
+    }
+
+    /// Offers a whole submission atomically; on rejection every item is
+    /// handed back and the queue is untouched.
+    ///
+    /// # Errors
+    ///
+    /// The submission, when it does not fit or the queue is closed.
+    pub fn try_push_all(&self, items: Vec<T>) -> Result<usize, Vec<T>> {
+        self.admit_iter(items)
+    }
+
+    fn admit_iter(&self, items: impl IntoIterator<Item = T>) -> Result<usize, Vec<T>> {
+        let items: Vec<T> = items.into_iter().collect();
+        let mut inner = self.lock();
+        if inner.closed || inner.items.len() + items.len() > self.capacity {
+            return Err(items);
+        }
+        inner.items.extend(items);
+        let depth = inner.items.len();
+        drop(inner);
+        self.cv.notify_all();
+        Ok(depth)
+    }
+
+    /// All-or-nothing admission with a typed backpressure reply: the
+    /// submission is either fully enqueued or fully rejected with a
+    /// depth-proportional retry hint. An empty submission is trivially
+    /// admitted.
+    pub fn admit(&self, items: Vec<T>) -> Admission {
+        match self.try_push_all(items) {
+            Ok(depth) => Admission::Admitted { depth },
+            Err(_) => Admission::Busy {
+                retry_after_hint: self.busy_hint(),
+            },
+        }
+    }
+
+    /// The advisory backoff a busy reply would carry right now.
+    pub fn busy_hint(&self) -> Duration {
+        let depth = self.len() as u32 + 1;
+        self.hint_per_item.saturating_mul(depth)
+    }
+
+    /// Pops the oldest item, blocking while the queue is empty and open.
+    /// Returns [`None`] once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .cv
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// [`pop`](Self::pop) bounded by `timeout`: `Ok(None)` means closed
+    /// and drained, `Err(())` means the wait timed out with the queue
+    /// still open (poll again — used by workers that also watch a drain
+    /// flag).
+    #[allow(clippy::result_unit_err)]
+    pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, ()> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Ok(Some(item));
+            }
+            if inner.closed {
+                return Ok(None);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(());
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            inner = guard;
+        }
+    }
+
+    /// Closes the queue: further admissions are rejected, and consumers
+    /// see [`None`] once the remaining items drain.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// Items currently pending.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether no items are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn admission_is_all_or_nothing() {
+        let q = BoundedQueue::new(3);
+        assert!(q.admit(vec![1, 2]).is_admitted());
+        // Two more do not fit next to the two pending; nothing of the
+        // submission may land.
+        let rejected = q.admit(vec![3, 4]);
+        assert!(!rejected.is_admitted());
+        assert_eq!(q.len(), 2);
+        // One more fits exactly.
+        assert!(q.admit(vec![5]).is_admitted());
+        assert_eq!(q.len(), 3);
+        assert!(q.try_push(6).is_err());
+    }
+
+    #[test]
+    fn busy_hint_scales_with_depth() {
+        let q = BoundedQueue::new(4).with_hint_per_item(Duration::from_millis(10));
+        let shallow = q.busy_hint();
+        q.admit(vec![1, 2, 3]);
+        let deep = q.busy_hint();
+        assert!(deep > shallow, "{deep:?} vs {shallow:?}");
+        match q.admit(vec![9, 9]) {
+            Admission::Busy { retry_after_hint } => {
+                assert_eq!(retry_after_hint, Duration::from_millis(40))
+            }
+            other => panic!("expected Busy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pop_drains_fifo_and_observes_close() {
+        let q = BoundedQueue::new(8);
+        q.admit(vec![1, 2, 3]);
+        q.close();
+        assert!(q.try_push(4).is_err(), "closed queues admit nothing");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn pop_timeout_distinguishes_empty_from_closed() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Err(()));
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), Ok(None));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = BoundedQueue::new(16);
+        let consumed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while q.pop().is_some() {
+                        consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                let mut sent = 0;
+                while sent < 100 {
+                    if q.try_push(sent).is_ok() {
+                        sent += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                q.close();
+            });
+        });
+        assert_eq!(consumed.load(Ordering::Relaxed), 100);
+    }
+}

@@ -22,6 +22,9 @@
 //!   leaf).
 //! - [`StageTimers`] — named wall-clock accumulators for harness stages
 //!   (trace-gen vs simulate vs analysis).
+//! - [`ServeMetrics`] — shared atomic counters for the `ccs-serve`
+//!   daemon: queue depth, admission rejects, cache hits, and per-frame
+//!   latency histograms, snapshotted for status/metrics replies.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,11 +32,13 @@
 mod cpistack;
 mod metrics;
 mod ring;
+mod servemetrics;
 mod sink;
 mod timer;
 
 pub use cpistack::{CpiStack, ObsError};
 pub use metrics::{Histogram, SimMetrics, DISPATCH_STALL_KINDS, PORT_KINDS, STEER_CAUSE_KINDS};
 pub use ring::{CycleSample, CycleTraceRing};
+pub use servemetrics::{ServeMetrics, ServeSnapshot, SERVE_FRAME_KINDS, SERVE_LATENCY_BOUND_MS};
 pub use sink::{DispatchStall, MetricsSink, NullSink, RunObserver};
 pub use timer::StageTimers;

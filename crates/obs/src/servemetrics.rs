@@ -1,0 +1,297 @@
+//! Server-side counters for the simulation-as-a-service daemon.
+//!
+//! Unlike [`SimMetrics`](crate::SimMetrics), which one engine thread
+//! fills through `&mut` hooks, these counters are shared by every
+//! connection handler and worker thread of a live daemon, so they are
+//! lock-free atomics (plus one mutex-guarded latency [`Histogram`] per
+//! frame kind — latency is recorded once per request, far off any hot
+//! path). The daemon snapshots them for `Status`/`Metrics` replies and
+//! the load generator derives its report from the same snapshot, so
+//! there is exactly one source of truth for queue depth, admission
+//! rejects, cache hits, and per-frame latency.
+
+use crate::metrics::Histogram;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// The request-frame kinds a serve daemon distinguishes, in wire order.
+pub const SERVE_FRAME_KINDS: [&str; 5] =
+    ["submit_cell", "submit_grid", "status", "metrics", "drain"];
+
+/// Saturating bound (in milliseconds) of the per-frame latency
+/// histograms: latencies at or above 1 s land in the final bucket.
+pub const SERVE_LATENCY_BOUND_MS: usize = 1_000;
+
+/// Shared counters of a running serve daemon.
+///
+/// All methods take `&self`; the struct is meant to live in an `Arc`
+/// shared by the acceptor, every connection handler, and every worker.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    /// Request frames successfully decoded, by kind.
+    frames: [AtomicU64; SERVE_FRAME_KINDS.len()],
+    /// Frames rejected at the protocol layer (bad magic, oversized
+    /// length prefix, malformed JSON, unknown type, version mismatch).
+    protocol_errors: AtomicU64,
+    /// Submissions rejected with a typed busy reply (backpressure).
+    admission_rejects: AtomicU64,
+    /// Submissions rejected because the daemon was draining.
+    drain_rejects: AtomicU64,
+    /// Cells admitted into the work queue.
+    cells_admitted: AtomicU64,
+    /// Cells evaluated by the worker pool (cache misses that ran).
+    cells_evaluated: AtomicU64,
+    /// Cells answered straight from the result cache.
+    cache_hits: AtomicU64,
+    /// Cells that missed the result cache.
+    cache_misses: AtomicU64,
+    /// Current work-queue depth (gauge, maintained by the admission and
+    /// worker paths).
+    queue_depth: AtomicU64,
+    /// High-water mark of the queue depth.
+    queue_depth_peak: AtomicU64,
+    /// Wall-clock latency from frame decode to final reply, in
+    /// milliseconds, one histogram per frame kind.
+    latency_ms: [Mutex<Histogram>; SERVE_FRAME_KINDS.len()],
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        ServeMetrics {
+            frames: std::array::from_fn(|_| AtomicU64::new(0)),
+            protocol_errors: AtomicU64::new(0),
+            admission_rejects: AtomicU64::new(0),
+            drain_rejects: AtomicU64::new(0),
+            cells_admitted: AtomicU64::new(0),
+            cells_evaluated: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_depth_peak: AtomicU64::new(0),
+            latency_ms: std::array::from_fn(|_| {
+                Mutex::new(Histogram::new(SERVE_LATENCY_BOUND_MS))
+            }),
+        }
+    }
+
+    /// Records a successfully decoded request frame of `kind` (an index
+    /// into [`SERVE_FRAME_KINDS`]; out-of-range indices are ignored).
+    pub fn record_frame(&self, kind: usize) {
+        if let Some(c) = self.frames.get(kind) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the end-to-end latency of a `kind` frame in milliseconds.
+    pub fn record_latency_ms(&self, kind: usize, ms: u64) {
+        if let Some(h) = self.latency_ms.get(kind) {
+            h.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .record(ms as usize);
+        }
+    }
+
+    /// Records a protocol-layer reject.
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a backpressure (busy) reject.
+    pub fn record_admission_reject(&self) {
+        self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a submission refused because the daemon is draining.
+    pub fn record_drain_reject(&self) {
+        self.drain_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `cells` admitted into the work queue and updates the
+    /// depth gauge (and its peak).
+    pub fn record_admitted(&self, cells: u64) {
+        self.cells_admitted.fetch_add(cells, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(cells, Ordering::Relaxed) + cells;
+        self.queue_depth_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records one cell leaving the queue after evaluation.
+    pub fn record_evaluated(&self) {
+        self.cells_evaluated.fetch_add(1, Ordering::Relaxed);
+        // The gauge saturates at zero rather than wrapping if an
+        // accounting bug ever double-counts a departure.
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
+
+    /// Records a result-cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a result-cache miss.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of every counter for a status or
+    /// metrics reply. (Counters are read individually; the snapshot is
+    /// not atomic across fields, which status reporting does not need.)
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            frames: std::array::from_fn(|i| self.frames[i].load(Ordering::Relaxed)),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            admission_rejects: self.admission_rejects.load(Ordering::Relaxed),
+            drain_rejects: self.drain_rejects.load(Ordering::Relaxed),
+            cells_admitted: self.cells_admitted.load(Ordering::Relaxed),
+            cells_evaluated: self.cells_evaluated.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            latency_ms: std::array::from_fn(|i| {
+                self.latency_ms[i]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone()
+            }),
+        }
+    }
+}
+
+/// A point-in-time copy of a daemon's [`ServeMetrics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSnapshot {
+    /// Decoded request frames by kind ([`SERVE_FRAME_KINDS`] order).
+    pub frames: [u64; SERVE_FRAME_KINDS.len()],
+    /// Protocol-layer rejects.
+    pub protocol_errors: u64,
+    /// Backpressure (busy) rejects.
+    pub admission_rejects: u64,
+    /// Draining rejects.
+    pub drain_rejects: u64,
+    /// Cells admitted into the work queue.
+    pub cells_admitted: u64,
+    /// Cells evaluated by the worker pool.
+    pub cells_evaluated: u64,
+    /// Cells answered from the result cache.
+    pub cache_hits: u64,
+    /// Cells that missed the result cache.
+    pub cache_misses: u64,
+    /// Work-queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// High-water mark of the queue depth.
+    pub queue_depth_peak: u64,
+    /// Per-frame-kind latency histograms (milliseconds, saturating at
+    /// [`SERVE_LATENCY_BOUND_MS`]).
+    pub latency_ms: [Histogram; SERVE_FRAME_KINDS.len()],
+}
+
+impl ServeSnapshot {
+    /// Cache hit rate in `[0, 1]`, or 0.0 before any lookup.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the latency histogram for
+    /// frame `kind`, in milliseconds; `None` with no samples or an
+    /// out-of-range kind.
+    pub fn latency_quantile_ms(&self, kind: usize, q: f64) -> Option<u64> {
+        let hist = self.latency_ms.get(kind)?;
+        let samples = hist.samples();
+        if samples == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; ceil(q * n) like common
+        // nearest-rank definitions, with rank 0 promoted to 1.
+        let rank = ((q * samples as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (value, count) in hist.iter() {
+            seen += count;
+            if seen >= rank {
+                return Some(value as u64);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = ServeMetrics::new();
+        m.record_frame(1);
+        m.record_frame(1);
+        m.record_frame(4);
+        m.record_admitted(3);
+        m.record_cache_miss();
+        m.record_cache_miss();
+        m.record_cache_miss();
+        m.record_evaluated();
+        m.record_cache_hit();
+        m.record_admission_reject();
+        m.record_protocol_error();
+        let s = m.snapshot();
+        assert_eq!(s.frames[1], 2);
+        assert_eq!(s.frames[4], 1);
+        assert_eq!(s.cells_admitted, 3);
+        assert_eq!(s.cells_evaluated, 1);
+        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.queue_depth_peak, 3);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.cache_misses, 3);
+        assert_eq!(s.admission_rejects, 1);
+        assert_eq!(s.protocol_errors, 1);
+        assert!((s.cache_hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_gauge_saturates_at_zero() {
+        let m = ServeMetrics::new();
+        m.record_evaluated();
+        assert_eq!(m.snapshot().queue_depth, 0);
+    }
+
+    #[test]
+    fn latency_quantiles_use_nearest_rank() {
+        let m = ServeMetrics::new();
+        for ms in [1u64, 2, 3, 4, 100] {
+            m.record_latency_ms(1, ms);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.latency_quantile_ms(1, 0.5), Some(3));
+        assert_eq!(s.latency_quantile_ms(1, 0.99), Some(100));
+        assert_eq!(s.latency_quantile_ms(1, 0.0), Some(1));
+        assert_eq!(s.latency_quantile_ms(0, 0.5), None, "no samples");
+        assert_eq!(s.latency_quantile_ms(99, 0.5), None, "bad kind");
+    }
+
+    #[test]
+    fn oversized_latencies_saturate_into_the_bound_bucket() {
+        let m = ServeMetrics::new();
+        m.record_latency_ms(2, 10_000_000);
+        let s = m.snapshot();
+        assert_eq!(
+            s.latency_quantile_ms(2, 1.0),
+            Some(SERVE_LATENCY_BOUND_MS as u64)
+        );
+    }
+}

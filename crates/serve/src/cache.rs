@@ -1,0 +1,164 @@
+//! Bounded LRU cache of finished cell results.
+//!
+//! Keyed by [`cell_key`](ccs_core::cell_key) — the same type-tagged
+//! fingerprint the checkpoint manifest uses — so two submissions naming
+//! the same cell share one evaluation no matter which client sent them.
+//! Only `"ok"` results are cached: a timeout is a wall-clock accident
+//! and a failure may be environmental, and replaying either from cache
+//! would turn a transient into a permanent answer.
+
+use ccs_core::checkpoint::CheckpointRecord;
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+
+struct Entry {
+    record: CheckpointRecord,
+    last_used: u64,
+}
+
+/// A thread-safe bounded LRU map from cell key to checkpoint record.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    map: HashMap<String, Entry>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                capacity: capacity.max(1),
+                clock: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.lock().capacity
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<CheckpointRecord> {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let now = inner.clock;
+        let entry = inner.map.get_mut(key)?;
+        entry.last_used = now;
+        Some(entry.record.clone())
+    }
+
+    /// Inserts an `"ok"` record, evicting the least recently used entry
+    /// if full. Non-ok records are ignored (see the module docs).
+    pub fn put(&self, record: &CheckpointRecord) {
+        if record.status != "ok" {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some(entry) = inner.map.get_mut(&record.key) {
+            entry.last_used = now;
+            return; // same key ⇒ same deterministic result
+        }
+        while inner.map.len() >= inner.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match victim {
+                Some(k) => {
+                    inner.map.remove(&k);
+                }
+                None => break,
+            }
+        }
+        inner.map.insert(
+            record.key.clone(),
+            Entry {
+                record: record.clone(),
+                last_used: now,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(key: &str, status: &str, cycles: u64) -> CheckpointRecord {
+        CheckpointRecord {
+            key: key.into(),
+            status: status.into(),
+            attempts: 1,
+            cycles,
+            cpi_bits: cycles.wrapping_mul(3),
+            digest: cycles.wrapping_mul(7),
+            metrics_digest: None,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn hits_return_the_stored_record() {
+        let cache = ResultCache::new(4);
+        cache.put(&rec("a", "ok", 10));
+        assert_eq!(cache.get("a").unwrap().cycles, 10);
+        assert!(cache.get("b").is_none());
+    }
+
+    #[test]
+    fn non_ok_records_are_not_cached() {
+        let cache = ResultCache::new(4);
+        cache.put(&rec("t", "TIMEOUT", 0));
+        cache.put(&rec("f", "FAILED", 0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn eviction_removes_the_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.put(&rec("a", "ok", 1));
+        cache.put(&rec("b", "ok", 2));
+        assert!(cache.get("a").is_some()); // refresh a ⇒ b is LRU
+        cache.put(&rec("c", "ok", 3));
+        assert!(cache.get("b").is_none(), "b was evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_a_key_refreshes_instead_of_duplicating() {
+        let cache = ResultCache::new(2);
+        cache.put(&rec("a", "ok", 1));
+        cache.put(&rec("b", "ok", 2));
+        cache.put(&rec("a", "ok", 1)); // refresh ⇒ b becomes LRU
+        cache.put(&rec("c", "ok", 3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none());
+    }
+}

@@ -1,0 +1,353 @@
+//! Append-only request journal.
+//!
+//! One JSONL line per event, flushed line-by-line so a killed daemon
+//! leaves at most one torn trailing line — which the loader skips by
+//! construction (every parse is per-line and a torn line simply fails
+//! to parse). The journal answers "what did the daemon admit and
+//! finish" after the fact; it is written outside any hot path (one line
+//! per submission and one per finished cell, not per cycle).
+
+use crate::json;
+use ccs_core::CcsError;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+/// Journal format version, recorded in the header line.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// One journal event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalEvent {
+    /// The daemon started (always the first line).
+    Started {
+        /// Listen address.
+        addr: String,
+        /// Worker threads.
+        workers: u64,
+        /// Admission-queue capacity.
+        queue_capacity: u64,
+    },
+    /// A submission was admitted.
+    Admitted {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// Client-chosen submission id.
+        id: u64,
+        /// Cells in the submission.
+        cells: u64,
+        /// Of which answered straight from cache.
+        cached: u64,
+    },
+    /// A submission was rejected (busy or draining).
+    RejectedEvent {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// Client-chosen submission id.
+        id: u64,
+        /// Why (`busy` or `draining`).
+        reason: String,
+    },
+    /// A cell finished evaluating.
+    CellDone {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// The cell's key.
+        key: String,
+        /// `ok`, `FAILED`, or `TIMEOUT`.
+        status: String,
+    },
+    /// Drain was requested.
+    DrainRequested {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// Cells still in flight at the request.
+        pending: u64,
+    },
+    /// The daemon finished draining and is exiting.
+    Drained {
+        /// Monotonic sequence number.
+        seq: u64,
+    },
+}
+
+impl JournalEvent {
+    fn encode(&self) -> String {
+        let mut out = String::with_capacity(64);
+        match self {
+            JournalEvent::Started {
+                addr,
+                workers,
+                queue_capacity,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"started\",\"journal\":{JOURNAL_VERSION},\"addr\":{},\
+                     \"workers\":{workers},\"queue_capacity\":{queue_capacity}}}",
+                    json::quoted(addr),
+                );
+            }
+            JournalEvent::Admitted {
+                seq,
+                id,
+                cells,
+                cached,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"admitted\",\"seq\":{seq},\"id\":{id},\
+                     \"cells\":{cells},\"cached\":{cached}}}",
+                );
+            }
+            JournalEvent::RejectedEvent { seq, id, reason } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"rejected\",\"seq\":{seq},\"id\":{id},\"reason\":{}}}",
+                    json::quoted(reason),
+                );
+            }
+            JournalEvent::CellDone { seq, key, status } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"cell_done\",\"seq\":{seq},\"key\":{},\"status\":{}}}",
+                    json::quoted(key),
+                    json::quoted(status),
+                );
+            }
+            JournalEvent::DrainRequested { seq, pending } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"drain_requested\",\"seq\":{seq},\"pending\":{pending}}}",
+                );
+            }
+            JournalEvent::Drained { seq } => {
+                let _ = write!(out, "{{\"event\":\"drained\",\"seq\":{seq}}}");
+            }
+        }
+        out
+    }
+
+    /// Parses one journal line.
+    ///
+    /// # Errors
+    ///
+    /// [`CcsError::Protocol`] for unknown or incomplete lines (a torn
+    /// trailing line from a killed daemon lands here).
+    pub fn decode(line: &str) -> Result<JournalEvent, CcsError> {
+        let bad = |what: &str| CcsError::Protocol {
+            message: format!("journal line {what}: {line:?}"),
+        };
+        let event = json::str_field(line, "event").ok_or_else(|| bad("missing event"))?;
+        let num = |name: &str| json::u64_field(line, name).ok_or_else(|| bad("missing field"));
+        match event.as_str() {
+            "started" => Ok(JournalEvent::Started {
+                addr: json::str_field(line, "addr").ok_or_else(|| bad("missing addr"))?,
+                workers: num("workers")?,
+                queue_capacity: num("queue_capacity")?,
+            }),
+            "admitted" => Ok(JournalEvent::Admitted {
+                seq: num("seq")?,
+                id: num("id")?,
+                cells: num("cells")?,
+                cached: num("cached")?,
+            }),
+            "rejected" => Ok(JournalEvent::RejectedEvent {
+                seq: num("seq")?,
+                id: num("id")?,
+                reason: json::str_field(line, "reason").ok_or_else(|| bad("missing reason"))?,
+            }),
+            "cell_done" => Ok(JournalEvent::CellDone {
+                seq: num("seq")?,
+                key: json::str_field(line, "key").ok_or_else(|| bad("missing key"))?,
+                status: json::str_field(line, "status").ok_or_else(|| bad("missing status"))?,
+            }),
+            "drain_requested" => Ok(JournalEvent::DrainRequested {
+                seq: num("seq")?,
+                pending: num("pending")?,
+            }),
+            "drained" => Ok(JournalEvent::Drained { seq: num("seq")? }),
+            _ => Err(bad("unknown event")),
+        }
+    }
+}
+
+/// The daemon's append-only journal writer.
+pub struct Journal {
+    inner: Mutex<JournalInner>,
+    path: PathBuf,
+}
+
+struct JournalInner {
+    file: File,
+    seq: u64,
+}
+
+impl Journal {
+    /// Creates (truncating) the journal at `path` and writes the header
+    /// line.
+    ///
+    /// # Errors
+    ///
+    /// [`CcsError::Checkpoint`] when the file cannot be created or
+    /// written.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        addr: &str,
+        workers: usize,
+        queue_capacity: usize,
+    ) -> Result<Journal, CcsError> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| CcsError::Checkpoint {
+                    path: parent.display().to_string(),
+                    message: e.to_string(),
+                })?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| CcsError::Checkpoint {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+        let journal = Journal {
+            inner: Mutex::new(JournalInner { file, seq: 0 }),
+            path,
+        };
+        journal.append(JournalEvent::Started {
+            addr: addr.to_string(),
+            workers: workers as u64,
+            queue_capacity: queue_capacity as u64,
+        });
+        Ok(journal)
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The next sequence number (what the next event will carry).
+    pub fn next_seq(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).seq
+    }
+
+    /// Appends one event, stamping its sequence number, and flushes the
+    /// line. Write failures are swallowed: the journal is an audit
+    /// trail, and a full disk must not take the daemon down with it.
+    pub fn append(&self, mut event: JournalEvent) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let seq = inner.seq;
+        inner.seq += 1;
+        match &mut event {
+            JournalEvent::Started { .. } => {}
+            JournalEvent::Admitted { seq: s, .. }
+            | JournalEvent::RejectedEvent { seq: s, .. }
+            | JournalEvent::CellDone { seq: s, .. }
+            | JournalEvent::DrainRequested { seq: s, .. }
+            | JournalEvent::Drained { seq: s } => *s = seq,
+        }
+        let mut line = event.encode();
+        line.push('\n');
+        let _ = inner.file.write_all(line.as_bytes());
+        let _ = inner.file.flush();
+    }
+}
+
+/// Loads every parseable event from a journal file, skipping (and
+/// counting) torn or foreign lines.
+///
+/// # Errors
+///
+/// [`CcsError::Checkpoint`] when the file cannot be read at all.
+pub fn load_journal(path: &Path) -> Result<(Vec<JournalEvent>, usize), CcsError> {
+    let file = File::open(path).map_err(|e| CcsError::Checkpoint {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let mut events = Vec::new();
+    let mut skipped = 0usize;
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|e| CcsError::Checkpoint {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match JournalEvent::decode(&line) {
+            Ok(ev) => events.push(ev),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((events, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ccs-serve-journal-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn events_round_trip_through_the_file() {
+        let path = tmp("roundtrip");
+        let journal = Journal::create(&path, "127.0.0.1:0", 4, 256).unwrap();
+        journal.append(JournalEvent::Admitted {
+            seq: 0,
+            id: 7,
+            cells: 3,
+            cached: 1,
+        });
+        journal.append(JournalEvent::CellDone {
+            seq: 0,
+            key: "vpr/s1/n2000/4x2w/Focused/abc".into(),
+            status: "ok".into(),
+        });
+        journal.append(JournalEvent::DrainRequested { seq: 0, pending: 2 });
+        journal.append(JournalEvent::Drained { seq: 0 });
+        let (events, skipped) = load_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(skipped, 0);
+        assert_eq!(events.len(), 5);
+        assert!(matches!(
+            events[0],
+            JournalEvent::Started { workers: 4, queue_capacity: 256, .. }
+        ));
+        // Sequence numbers are stamped by the journal, in order.
+        assert!(matches!(events[1], JournalEvent::Admitted { seq: 1, id: 7, cells: 3, cached: 1 }));
+        assert!(matches!(events[4], JournalEvent::Drained { seq: 4 }));
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped_not_fatal() {
+        let path = tmp("torn");
+        {
+            let journal = Journal::create(&path, "addr", 1, 8).unwrap();
+            journal.append(JournalEvent::Admitted {
+                seq: 0,
+                id: 1,
+                cells: 1,
+                cached: 0,
+            });
+        }
+        // Simulate a kill mid-write: append half a line.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"event\":\"cell_done\",\"seq\":2,\"ke").unwrap();
+        drop(f);
+        let (events, skipped) = load_journal(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(events.len(), 2);
+        assert_eq!(skipped, 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! The `ccs-serve` daemon binary.
+//!
+//! ```text
+//! ccs-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!           [--cache-cap N] [--trace-cap N] [--journal PATH]
+//!           [--max-attempts N] [--deadline-ms MS]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (scripts wait
+//! for that line), serves until a client sends `drain`, then exits 0.
+
+use ccs_core::Resilience;
+use ccs_serve::{ServeConfig, Server};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ccs-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]\n\
+         \x20                [--trace-cap N] [--journal PATH] [--max-attempts N] [--deadline-ms MS]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> ServeConfig {
+    let mut config = ServeConfig::default();
+    if let Ok(addr) = std::env::var("CCS_SERVE_ADDR") {
+        config.addr = addr;
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a {what}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("HOST:PORT"),
+            "--workers" => config.workers = parse_num(&flag, &value("count")),
+            "--queue-cap" => config.queue_capacity = parse_num(&flag, &value("count")),
+            "--cache-cap" => config.cache_capacity = parse_num(&flag, &value("count")),
+            "--trace-cap" => config.trace_capacity = Some(parse_num(&flag, &value("count"))),
+            "--journal" => config.journal = Some(value("PATH").into()),
+            "--max-attempts" => {
+                config.resilience =
+                    Resilience::default().with_max_attempts(parse_num(&flag, &value("count")) as u32)
+            }
+            "--deadline-ms" => {
+                config.resilience.deadline = Some(Duration::from_millis(
+                    parse_num(&flag, &value("millis")) as u64,
+                ))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    config
+}
+
+fn parse_num(flag: &str, value: &str) -> usize {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: not a number: {value:?}");
+        usage()
+    })
+}
+
+fn main() {
+    let config = parse_args();
+    let server = match Server::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ccs-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    if let Err(e) = server.run() {
+        eprintln!("ccs-serve: {e}");
+        std::process::exit(1);
+    }
+}

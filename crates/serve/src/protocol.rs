@@ -1,0 +1,987 @@
+//! The versioned request/response vocabulary of the serve protocol.
+//!
+//! Every frame is a flat JSON object (see [`crate::wire`] for the
+//! length-prefixed framing). Requests carry the protocol version in a
+//! `"v"` field; the daemon rejects mismatched versions with a typed
+//! error instead of guessing. Field names are unique across nesting
+//! levels within each payload shape — a requirement of the scanner-style
+//! JSON helpers in [`crate::json`].
+//!
+//! The cell vocabulary ([`WireCellSpec`]) deliberately covers the
+//! *paper-grid surface*: the MICRO-05 baseline machine under any
+//! [`ClusterLayout`], any named [`PolicyKind`], and the run options that
+//! feed the checkpoint fingerprint (epochs, run seed, checked mode,
+//! cycle budget). Ablation cells with custom policy configurations are
+//! batch-binary territory and are refused at encode time rather than
+//! silently mis-keyed.
+
+use crate::json;
+use ccs_core::checkpoint::CheckpointRecord;
+use ccs_core::{CcsError, CellSpec, PolicyKind, RunOptions};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_trace::Benchmark;
+use std::fmt::Write as _;
+
+/// Version of the frame vocabulary. Bump on any incompatible change;
+/// the daemon refuses other versions with a typed error.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on a frame's payload length. A length prefix above this
+/// is rejected *before* any payload allocation, so a hostile or
+/// corrupted 4-byte prefix cannot make the daemon reserve gigabytes.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Frame-kind indices into
+/// [`ccs_obs::SERVE_FRAME_KINDS`](ccs_obs::SERVE_FRAME_KINDS).
+pub mod frame_kind {
+    /// `submit_cell` request.
+    pub const SUBMIT_CELL: usize = 0;
+    /// `submit_grid` request.
+    pub const SUBMIT_GRID: usize = 1;
+    /// `status` request.
+    pub const STATUS: usize = 2;
+    /// `metrics` request.
+    pub const METRICS: usize = 3;
+    /// `drain` request.
+    pub const DRAIN: usize = 4;
+}
+
+/// Everything that can go wrong at the protocol layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The byte stream is not a valid frame (bad magic, truncated
+    /// header or payload). The stream cannot be resynchronized.
+    Frame {
+        /// What was wrong.
+        message: String,
+    },
+    /// A frame's length prefix exceeded [`MAX_FRAME_LEN`]; rejected
+    /// before allocation.
+    Oversized {
+        /// The declared payload length.
+        declared: u64,
+        /// The enforced limit.
+        limit: usize,
+    },
+    /// A well-framed payload failed to parse (malformed JSON, unknown
+    /// type, missing field, version mismatch). The stream itself is
+    /// still framed; the connection can continue.
+    Malformed {
+        /// What was wrong.
+        message: String,
+    },
+    /// The server replied `busy` (admission backpressure).
+    Busy {
+        /// The server's advisory backoff.
+        retry_after_ms: u64,
+    },
+    /// The server refused the request (draining, or a server-side
+    /// parse failure).
+    Rejected {
+        /// The server's reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io: {e}"),
+            ServeError::Closed => write!(f, "connection closed"),
+            ServeError::Frame { message } => write!(f, "bad frame: {message}"),
+            ServeError::Oversized { declared, limit } => {
+                write!(f, "frame length {declared} exceeds limit {limit}")
+            }
+            ServeError::Malformed { message } => write!(f, "malformed payload: {message}"),
+            ServeError::Busy { retry_after_ms } => {
+                write!(f, "server busy (retry after {retry_after_ms} ms)")
+            }
+            ServeError::Rejected { reason } => write!(f, "rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ServeError> for CcsError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Busy { retry_after_ms } => CcsError::Rejected {
+                reason: "server busy".into(),
+                retry_after_ms: Some(retry_after_ms),
+            },
+            ServeError::Rejected { reason } => CcsError::Rejected {
+                reason,
+                retry_after_ms: None,
+            },
+            other => CcsError::Protocol {
+                message: other.to_string(),
+            },
+        }
+    }
+}
+
+impl ServeError {
+    /// Whether the framing of the stream survived this error (the
+    /// connection may keep serving further frames).
+    pub fn is_recoverable(&self) -> bool {
+        matches!(self, ServeError::Malformed { .. })
+    }
+}
+
+/// The named policies reachable over the wire, in ladder order.
+pub const WIRE_POLICIES: [PolicyKind; 5] = [
+    PolicyKind::Dependence,
+    PolicyKind::Focused,
+    PolicyKind::FocusedLoc,
+    PolicyKind::StallOverSteer,
+    PolicyKind::Proactive,
+];
+
+fn parse_benchmark(name: &str) -> Result<Benchmark, ServeError> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| ServeError::Malformed {
+            message: format!("unknown benchmark {name:?}"),
+        })
+}
+
+fn parse_layout(name: &str) -> Result<ClusterLayout, ServeError> {
+    ClusterLayout::ALL
+        .into_iter()
+        .find(|l| l.name() == name)
+        .ok_or_else(|| ServeError::Malformed {
+            message: format!("unknown layout {name:?}"),
+        })
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, ServeError> {
+    WIRE_POLICIES
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| ServeError::Malformed {
+            message: format!("unknown policy {name:?}"),
+        })
+}
+
+/// One experiment cell as named over the wire.
+///
+/// Deliberately *names* axes instead of serializing the full
+/// [`MachineConfig`]: the server reconstructs
+/// `MachineConfig::micro05_baseline().with_layout(layout)` exactly as
+/// the batch harness does, so a wire submission and an in-process
+/// [`run_grid`](ccs_core::run_grid) of the same axes build identical
+/// [`CellSpec`]s — which is what makes the round-trip determinism test
+/// possible at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireCellSpec {
+    /// Benchmark name ([`Benchmark::name`]).
+    pub bench: String,
+    /// Workload sample seed.
+    pub sample_seed: u64,
+    /// Dynamic instructions in the trace.
+    pub len: usize,
+    /// Cluster layout name ([`ClusterLayout::name`]).
+    pub layout: String,
+    /// Policy name ([`PolicyKind::name`]).
+    pub policy: String,
+    /// Training + measurement epochs.
+    pub epochs: u32,
+    /// Probabilistic-counter seed ([`RunOptions::seed`]).
+    pub run_seed: u64,
+    /// Checked (invariant-audited) simulation.
+    pub checked: bool,
+    /// Deterministic per-epoch cycle budget.
+    pub cycle_budget: Option<u64>,
+}
+
+impl WireCellSpec {
+    /// Names a paper-grid cell with default run options.
+    pub fn new(
+        bench: Benchmark,
+        sample_seed: u64,
+        len: usize,
+        layout: ClusterLayout,
+        policy: PolicyKind,
+    ) -> Self {
+        let defaults = RunOptions::default();
+        WireCellSpec {
+            bench: bench.name().to_string(),
+            sample_seed,
+            len,
+            layout: layout.name().to_string(),
+            policy: policy.name().to_string(),
+            epochs: defaults.epochs,
+            run_seed: defaults.seed,
+            checked: defaults.checked,
+            cycle_budget: defaults.cycle_budget,
+        }
+    }
+
+    /// The same cell with a different epoch count.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: u32) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// The same cell with a cycle budget.
+    #[must_use]
+    pub fn with_cycle_budget(mut self, budget: u64) -> Self {
+        self.cycle_budget = Some(budget);
+        self
+    }
+
+    /// Projects an in-process [`CellSpec`] onto the wire vocabulary.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Malformed`] when the spec is off the wire surface:
+    /// a custom policy configuration, a non-default LoC mode or
+    /// training source, or a machine that is not the MICRO-05 baseline
+    /// under its layout. Refusing is deliberate — a lossy projection
+    /// would collide cache keys.
+    pub fn from_cell(spec: &CellSpec) -> Result<Self, ServeError> {
+        if spec.policy_config.is_some() {
+            return Err(ServeError::Malformed {
+                message: "custom policy configurations are not wire-addressable".into(),
+            });
+        }
+        let defaults = RunOptions::default();
+        if spec.options.loc_mode != defaults.loc_mode || spec.options.training != defaults.training
+        {
+            return Err(ServeError::Malformed {
+                message: "non-default loc_mode/training are not wire-addressable".into(),
+            });
+        }
+        let canonical = MachineConfig::micro05_baseline().with_layout(spec.config.layout);
+        if spec.config != canonical {
+            return Err(ServeError::Malformed {
+                message: "only micro05_baseline machines are wire-addressable".into(),
+            });
+        }
+        Ok(WireCellSpec {
+            bench: spec.benchmark.name().to_string(),
+            sample_seed: spec.sample_seed,
+            len: spec.len,
+            layout: spec.config.layout.name().to_string(),
+            policy: spec.policy.name().to_string(),
+            epochs: spec.options.epochs,
+            run_seed: spec.options.seed,
+            checked: spec.options.checked,
+            cycle_budget: spec.options.cycle_budget,
+        })
+    }
+
+    /// Reconstructs the [`CellSpec`] this wire cell names. Metrics are
+    /// always off server-side (they are write-only observers excluded
+    /// from [`cell_key`](ccs_core::cell_key), so a client could not
+    /// observe them anyway).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Malformed`] for unknown benchmark/layout/policy
+    /// names.
+    pub fn to_cell(&self) -> Result<CellSpec, ServeError> {
+        let bench = parse_benchmark(&self.bench)?;
+        let layout = parse_layout(&self.layout)?;
+        let policy = parse_policy(&self.policy)?;
+        let mut options = RunOptions::default()
+            .with_epochs(self.epochs)
+            .with_checked(self.checked);
+        options.seed = self.run_seed;
+        if let Some(budget) = self.cycle_budget {
+            options = options.with_cycle_budget(budget);
+        }
+        Ok(CellSpec::new(
+            MachineConfig::micro05_baseline().with_layout(layout),
+            bench,
+            self.sample_seed,
+            self.len,
+            policy,
+            options,
+        ))
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"bench\":{},\"sample_seed\":{},\"len\":{},\"layout\":{},\"policy\":{},\
+             \"epochs\":{},\"run_seed\":{},\"checked\":{}",
+            json::quoted(&self.bench),
+            self.sample_seed,
+            self.len,
+            json::quoted(&self.layout),
+            json::quoted(&self.policy),
+            self.epochs,
+            self.run_seed,
+            self.checked,
+        );
+        match self.cycle_budget {
+            None => out.push_str(",\"cycle_budget\":null}"),
+            Some(b) => {
+                let _ = write!(out, ",\"cycle_budget\":{b}}}");
+            }
+        }
+    }
+
+    fn decode(obj: &str) -> Result<Self, ServeError> {
+        let field = |name: &str| {
+            json::str_field(obj, name).ok_or_else(|| ServeError::Malformed {
+                message: format!("cell missing string field {name:?}"),
+            })
+        };
+        let num = |name: &str| {
+            json::u64_field(obj, name).ok_or_else(|| ServeError::Malformed {
+                message: format!("cell missing numeric field {name:?}"),
+            })
+        };
+        Ok(WireCellSpec {
+            bench: field("bench")?,
+            sample_seed: num("sample_seed")?,
+            len: num("len")? as usize,
+            layout: field("layout")?,
+            policy: field("policy")?,
+            epochs: num("epochs")? as u32,
+            run_seed: num("run_seed")?,
+            checked: json::bool_field(obj, "checked").ok_or_else(|| ServeError::Malformed {
+                message: "cell missing bool field \"checked\"".into(),
+            })?,
+            cycle_budget: json::opt_u64_field(obj, "cycle_budget").ok_or_else(|| {
+                ServeError::Malformed {
+                    message: "cell missing field \"cycle_budget\"".into(),
+                }
+            })?,
+        })
+    }
+}
+
+/// A request frame, client → server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Evaluate one cell.
+    SubmitCell {
+        /// Client-chosen submission id, echoed in every reply.
+        id: u64,
+        /// The cell.
+        cell: WireCellSpec,
+    },
+    /// Evaluate a grid of cells.
+    SubmitGrid {
+        /// Client-chosen submission id, echoed in every reply.
+        id: u64,
+        /// The cells, in client index order.
+        cells: Vec<WireCellSpec>,
+    },
+    /// Queue/cache/drain state.
+    Status,
+    /// Full server-side counters.
+    Metrics,
+    /// Stop admitting, finish in-flight work, then exit cleanly.
+    Drain,
+}
+
+impl Request {
+    /// The frame-kind index for metrics attribution.
+    pub fn kind(&self) -> usize {
+        match self {
+            Request::SubmitCell { .. } => frame_kind::SUBMIT_CELL,
+            Request::SubmitGrid { .. } => frame_kind::SUBMIT_GRID,
+            Request::Status => frame_kind::STATUS,
+            Request::Metrics => frame_kind::METRICS,
+            Request::Drain => frame_kind::DRAIN,
+        }
+    }
+
+    /// Renders the request as a frame payload.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(64);
+        let _ = write!(out, "{{\"v\":{PROTOCOL_VERSION},\"type\":");
+        match self {
+            Request::SubmitCell { id, cell } => {
+                let _ = write!(out, "\"submit_cell\",\"id\":{id},\"cell\":");
+                cell.encode_into(&mut out);
+                out.push('}');
+            }
+            Request::SubmitGrid { id, cells } => {
+                let _ = write!(out, "\"submit_grid\",\"id\":{id},\"cells\":[");
+                for (i, cell) in cells.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    cell.encode_into(&mut out);
+                }
+                out.push_str("]}");
+            }
+            Request::Status => out.push_str("\"status\"}"),
+            Request::Metrics => out.push_str("\"metrics\"}"),
+            Request::Drain => out.push_str("\"drain\"}"),
+        }
+        out
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Malformed`] for anything that is not a versioned,
+    /// known request object.
+    pub fn decode(payload: &str) -> Result<Request, ServeError> {
+        let payload = payload.trim();
+        if !payload.starts_with('{') || !payload.ends_with('}') {
+            return Err(ServeError::Malformed {
+                message: "payload is not a JSON object".into(),
+            });
+        }
+        let v = json::u64_field(payload, "v").ok_or_else(|| ServeError::Malformed {
+            message: "missing protocol version field \"v\"".into(),
+        })?;
+        if v != PROTOCOL_VERSION {
+            return Err(ServeError::Malformed {
+                message: format!("protocol version {v} unsupported (this build speaks {PROTOCOL_VERSION})"),
+            });
+        }
+        let ty = json::str_field(payload, "type").ok_or_else(|| ServeError::Malformed {
+            message: "missing field \"type\"".into(),
+        })?;
+        match ty.as_str() {
+            "submit_cell" => {
+                let id = json::u64_field(payload, "id").ok_or_else(|| ServeError::Malformed {
+                    message: "submit_cell missing \"id\"".into(),
+                })?;
+                // Reuse the array splitter on the single nested object
+                // by scanning from the "cell" tag to the payload end.
+                let tag = "\"cell\":{";
+                let start = payload.find(tag).ok_or_else(|| ServeError::Malformed {
+                    message: "submit_cell missing \"cell\" object".into(),
+                })?;
+                let cell = WireCellSpec::decode(&payload[start + tag.len() - 1..])?;
+                Ok(Request::SubmitCell { id, cell })
+            }
+            "submit_grid" => {
+                let id = json::u64_field(payload, "id").ok_or_else(|| ServeError::Malformed {
+                    message: "submit_grid missing \"id\"".into(),
+                })?;
+                let elements =
+                    json::array_field(payload, "cells").ok_or_else(|| ServeError::Malformed {
+                        message: "submit_grid missing or unbalanced \"cells\" array".into(),
+                    })?;
+                let cells = elements
+                    .iter()
+                    .map(|e| WireCellSpec::decode(e))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::SubmitGrid { id, cells })
+            }
+            "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
+            "drain" => Ok(Request::Drain),
+            other => Err(ServeError::Malformed {
+                message: format!("unknown request type {other:?}"),
+            }),
+        }
+    }
+}
+
+/// One finished cell as reported over the wire: the same digest fields
+/// the checkpoint manifest records, plus cache attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireCellRecord {
+    /// Position of this cell in the submission.
+    pub index: usize,
+    /// The cell's [`cell_key`](ccs_core::cell_key).
+    pub key: String,
+    /// `ok`, `FAILED`, or `TIMEOUT`.
+    pub status: String,
+    /// Attempts spent on the cell.
+    pub attempts: u32,
+    /// Measured-epoch cycle count (0 for failed cells).
+    pub cycles: u64,
+    /// Bit pattern of the measured CPI (0 for failed cells).
+    pub cpi_bits: u64,
+    /// FNV-1a schedule digest (0 for failed cells).
+    pub digest: u64,
+    /// Whether the result came from the daemon's result cache.
+    pub cached: bool,
+    /// The error rendering for failed/timed-out cells.
+    pub error: Option<String>,
+}
+
+impl WireCellRecord {
+    /// Builds the wire record from a checkpoint digest.
+    pub fn from_checkpoint(index: usize, rec: &CheckpointRecord, cached: bool) -> Self {
+        WireCellRecord {
+            index,
+            key: rec.key.clone(),
+            status: rec.status.clone(),
+            attempts: rec.attempts,
+            cycles: rec.cycles,
+            cpi_bits: rec.cpi_bits,
+            digest: rec.digest,
+            cached,
+            error: rec.error.clone(),
+        }
+    }
+
+    /// Whether the cell completed successfully.
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+
+    /// The measured CPI.
+    pub fn cpi(&self) -> f64 {
+        f64::from_bits(self.cpi_bits)
+    }
+}
+
+/// A response frame, server → client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// One finished cell of a submission (streamed in completion
+    /// order).
+    Cell {
+        /// The submission id this cell belongs to.
+        id: u64,
+        /// The finished cell.
+        record: WireCellRecord,
+    },
+    /// A submission finished; tallies over its cells.
+    GridDone {
+        /// The submission id.
+        id: u64,
+        /// Cells in the submission.
+        cells: usize,
+        /// Cells that completed.
+        ok: usize,
+        /// Cells that failed.
+        failed: usize,
+        /// Cells that timed out.
+        timed_out: usize,
+        /// Cells served from the result cache.
+        cached: usize,
+    },
+    /// Typed backpressure: nothing was admitted; retry after the hint.
+    Busy {
+        /// Advisory backoff in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The request was refused (draining daemon, unparseable cell).
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+    /// Queue/cache/drain state.
+    Status(StatusReply),
+    /// Full server-side counters as a rendered JSON object.
+    Metrics {
+        /// The metrics object (JSON text).
+        json: String,
+    },
+    /// Drain acknowledged; the daemon exits once `pending` reaches 0.
+    Draining {
+        /// Cells admitted but not yet finished.
+        pending: u64,
+    },
+    /// A protocol-level error the server noticed in the request.
+    Error {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+/// The payload of a [`Response::Status`] reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatusReply {
+    /// Protocol version the server speaks.
+    pub protocol: u64,
+    /// Whether the daemon is draining.
+    pub draining: bool,
+    /// Cells pending in the admission queue.
+    pub queue_depth: u64,
+    /// Admission-queue capacity.
+    pub queue_capacity: u64,
+    /// Worker threads.
+    pub workers: u64,
+    /// Entries in the result cache.
+    pub cache_len: u64,
+    /// Result-cache capacity.
+    pub cache_capacity: u64,
+    /// Result-cache hits since start.
+    pub cache_hits: u64,
+    /// Result-cache misses since start.
+    pub cache_misses: u64,
+    /// Cells admitted since start.
+    pub cells_admitted: u64,
+    /// Cells evaluated since start.
+    pub cells_evaluated: u64,
+    /// Busy rejects since start.
+    pub admission_rejects: u64,
+    /// Protocol errors since start.
+    pub protocol_errors: u64,
+}
+
+impl Response {
+    /// Renders the response as a frame payload.
+    pub fn encode(&self) -> String {
+        let mut out = String::with_capacity(96);
+        match self {
+            Response::Cell { id, record } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"cell\",\"id\":{id},\"index\":{},\"key\":{},\"status\":{},\
+                     \"attempts\":{},\"cycles\":{},\"cpi_bits\":{},\"digest\":{},\"cached\":{}",
+                    record.index,
+                    json::quoted(&record.key),
+                    json::quoted(&record.status),
+                    record.attempts,
+                    record.cycles,
+                    record.cpi_bits,
+                    record.digest,
+                    record.cached,
+                );
+                match &record.error {
+                    None => out.push_str(",\"error\":null}"),
+                    Some(e) => {
+                        let _ = write!(out, ",\"error\":{}}}", json::quoted(e));
+                    }
+                }
+            }
+            Response::GridDone {
+                id,
+                cells,
+                ok,
+                failed,
+                timed_out,
+                cached,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"grid_done\",\"id\":{id},\"cells\":{cells},\"ok\":{ok},\
+                     \"failed\":{failed},\"timed_out\":{timed_out},\"cached\":{cached}}}",
+                );
+            }
+            Response::Busy { retry_after_ms } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"busy\",\"retry_after_ms\":{retry_after_ms}}}"
+                );
+            }
+            Response::Rejected { reason } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"rejected\",\"reason\":{}}}",
+                    json::quoted(reason)
+                );
+            }
+            Response::Status(s) => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"status\",\"protocol\":{},\"draining\":{},\"queue_depth\":{},\
+                     \"queue_capacity\":{},\"workers\":{},\"cache_len\":{},\"cache_capacity\":{},\
+                     \"cache_hits\":{},\"cache_misses\":{},\"cells_admitted\":{},\
+                     \"cells_evaluated\":{},\"admission_rejects\":{},\"protocol_errors\":{}}}",
+                    s.protocol,
+                    s.draining,
+                    s.queue_depth,
+                    s.queue_capacity,
+                    s.workers,
+                    s.cache_len,
+                    s.cache_capacity,
+                    s.cache_hits,
+                    s.cache_misses,
+                    s.cells_admitted,
+                    s.cells_evaluated,
+                    s.admission_rejects,
+                    s.protocol_errors,
+                );
+            }
+            Response::Metrics { json: body } => {
+                let _ = write!(out, "{{\"type\":\"metrics\",\"metrics\":{body}}}");
+            }
+            Response::Draining { pending } => {
+                let _ = write!(out, "{{\"type\":\"draining\",\"pending\":{pending}}}");
+            }
+            Response::Error { message } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"error\",\"message\":{}}}",
+                    json::quoted(message)
+                );
+            }
+        }
+        out
+    }
+
+    /// Parses a response frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Malformed`] for anything that is not a known
+    /// response object.
+    pub fn decode(payload: &str) -> Result<Response, ServeError> {
+        let missing = |name: &str| ServeError::Malformed {
+            message: format!("response missing field {name:?}"),
+        };
+        let num =
+            |name: &str| json::u64_field(payload, name).ok_or_else(|| missing(name));
+        let ty = json::str_field(payload, "type").ok_or_else(|| missing("type"))?;
+        match ty.as_str() {
+            "cell" => Ok(Response::Cell {
+                id: num("id")?,
+                record: WireCellRecord {
+                    index: num("index")? as usize,
+                    key: json::str_field(payload, "key").ok_or_else(|| missing("key"))?,
+                    status: json::str_field(payload, "status")
+                        .ok_or_else(|| missing("status"))?,
+                    attempts: num("attempts")? as u32,
+                    cycles: num("cycles")?,
+                    cpi_bits: num("cpi_bits")?,
+                    digest: num("digest")?,
+                    cached: json::bool_field(payload, "cached")
+                        .ok_or_else(|| missing("cached"))?,
+                    error: json::opt_str_field(payload, "error")
+                        .ok_or_else(|| missing("error"))?,
+                },
+            }),
+            "grid_done" => Ok(Response::GridDone {
+                id: num("id")?,
+                cells: num("cells")? as usize,
+                ok: num("ok")? as usize,
+                failed: num("failed")? as usize,
+                timed_out: num("timed_out")? as usize,
+                cached: num("cached")? as usize,
+            }),
+            "busy" => Ok(Response::Busy {
+                retry_after_ms: num("retry_after_ms")?,
+            }),
+            "rejected" => Ok(Response::Rejected {
+                reason: json::str_field(payload, "reason").ok_or_else(|| missing("reason"))?,
+            }),
+            "status" => Ok(Response::Status(StatusReply {
+                protocol: num("protocol")?,
+                draining: json::bool_field(payload, "draining")
+                    .ok_or_else(|| missing("draining"))?,
+                queue_depth: num("queue_depth")?,
+                queue_capacity: num("queue_capacity")?,
+                workers: num("workers")?,
+                cache_len: num("cache_len")?,
+                cache_capacity: num("cache_capacity")?,
+                cache_hits: num("cache_hits")?,
+                cache_misses: num("cache_misses")?,
+                cells_admitted: num("cells_admitted")?,
+                cells_evaluated: num("cells_evaluated")?,
+                admission_rejects: num("admission_rejects")?,
+                protocol_errors: num("protocol_errors")?,
+            })),
+            "metrics" => {
+                let tag = "\"metrics\":";
+                let start = payload.find(tag).ok_or_else(|| missing("metrics"))? + tag.len();
+                // The metrics object runs to the payload's closing brace.
+                let body = payload[start..payload.len() - 1].trim().to_string();
+                Ok(Response::Metrics { json: body })
+            }
+            "draining" => Ok(Response::Draining {
+                pending: num("pending")?,
+            }),
+            "error" => Ok(Response::Error {
+                message: json::str_field(payload, "message")
+                    .ok_or_else(|| missing("message"))?,
+            }),
+            other => Err(ServeError::Malformed {
+                message: format!("unknown response type {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cells() -> Vec<WireCellSpec> {
+        vec![
+            WireCellSpec::new(
+                Benchmark::Vpr,
+                1,
+                2_000,
+                ClusterLayout::C4x2w,
+                PolicyKind::Focused,
+            ),
+            WireCellSpec::new(
+                Benchmark::Gzip,
+                2,
+                1_500,
+                ClusterLayout::C8x1w,
+                PolicyKind::Proactive,
+            )
+            .with_epochs(3)
+            .with_cycle_budget(500_000),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::SubmitCell {
+                id: 9,
+                cell: sample_cells()[0].clone(),
+            },
+            Request::SubmitGrid {
+                id: 7,
+                cells: sample_cells(),
+            },
+            Request::SubmitGrid {
+                id: 8,
+                cells: Vec::new(),
+            },
+            Request::Status,
+            Request::Metrics,
+            Request::Drain,
+        ];
+        for req in reqs {
+            let payload = req.encode();
+            let back = Request::decode(&payload).unwrap_or_else(|e| panic!("{payload}: {e}"));
+            assert_eq!(back, req, "{payload}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Cell {
+                id: 3,
+                record: WireCellRecord {
+                    index: 5,
+                    key: "vpr/s1/n2000/4x2w/Focused/00ff".into(),
+                    status: "ok".into(),
+                    attempts: 1,
+                    cycles: 1234,
+                    cpi_bits: 0x3ff0_0000_0000_0000,
+                    digest: 0xdead_beef,
+                    cached: true,
+                    error: None,
+                },
+            },
+            Response::Cell {
+                id: 3,
+                record: WireCellRecord {
+                    index: 0,
+                    key: "k".into(),
+                    status: "FAILED".into(),
+                    attempts: 2,
+                    cycles: 0,
+                    cpi_bits: 0,
+                    digest: 0,
+                    cached: false,
+                    error: Some("cell panicked: \"quoted\"\nnewline".into()),
+                },
+            },
+            Response::GridDone {
+                id: 3,
+                cells: 6,
+                ok: 5,
+                failed: 1,
+                timed_out: 0,
+                cached: 2,
+            },
+            Response::Busy { retry_after_ms: 40 },
+            Response::Rejected {
+                reason: "draining".into(),
+            },
+            Response::Status(StatusReply {
+                protocol: PROTOCOL_VERSION,
+                draining: false,
+                queue_depth: 3,
+                queue_capacity: 256,
+                workers: 4,
+                cache_len: 10,
+                cache_capacity: 4096,
+                cache_hits: 7,
+                cache_misses: 13,
+                cells_admitted: 20,
+                cells_evaluated: 17,
+                admission_rejects: 1,
+                protocol_errors: 2,
+            }),
+            Response::Metrics {
+                json: "{\"queue_depth\":0}".into(),
+            },
+            Response::Draining { pending: 4 },
+            Response::Error {
+                message: "malformed payload: missing field \"type\"".into(),
+            },
+        ];
+        for resp in resps {
+            let payload = resp.encode();
+            let back = Response::decode(&payload).unwrap_or_else(|e| panic!("{payload}: {e}"));
+            assert_eq!(back, resp, "{payload}");
+        }
+    }
+
+    #[test]
+    fn wire_cells_round_trip_through_cell_specs() {
+        for wire in sample_cells() {
+            let spec = wire.to_cell().unwrap();
+            let back = WireCellSpec::from_cell(&spec).unwrap();
+            assert_eq!(back, wire);
+        }
+    }
+
+    #[test]
+    fn off_surface_specs_are_refused() {
+        let spec = sample_cells()[0].clone().to_cell().unwrap();
+        let custom = spec.with_policy_config(PolicyKind::Focused.config());
+        assert!(WireCellSpec::from_cell(&custom).is_err());
+    }
+
+    #[test]
+    fn unknown_names_are_malformed() {
+        let mut cell = sample_cells()[0].clone();
+        cell.bench = "quake".into();
+        assert!(matches!(
+            cell.to_cell(),
+            Err(ServeError::Malformed { .. })
+        ));
+        let mut cell = sample_cells()[0].clone();
+        cell.layout = "3x3w".into();
+        assert!(cell.to_cell().is_err());
+        let mut cell = sample_cells()[0].clone();
+        cell.policy = "oracle".into();
+        assert!(cell.to_cell().is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let payload = Request::Status.encode().replace("\"v\":1", "\"v\":2");
+        let err = Request::decode(&payload).unwrap_err();
+        assert!(matches!(err, ServeError::Malformed { .. }), "{err}");
+        assert!(err.is_recoverable());
+    }
+
+    #[test]
+    fn garbage_payloads_error_without_panicking() {
+        for payload in [
+            "",
+            "null",
+            "[]",
+            "{}",
+            "{\"v\":1}",
+            "{\"v\":1,\"type\":\"submit_grid\"}",
+            "{\"v\":1,\"type\":\"submit_grid\",\"id\":1,\"cells\":[{\"bench\":\"vpr\"}]}",
+            "{\"v\":1,\"type\":\"warp\"}",
+            "{\"v\":1,\"type\":\"submit_grid\",\"id\":1,\"cells\":[{",
+        ] {
+            assert!(Request::decode(payload).is_err(), "{payload:?}");
+        }
+    }
+}

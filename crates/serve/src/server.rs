@@ -1,0 +1,620 @@
+//! The daemon: accept loop, connection handlers, worker pool, and the
+//! graceful drain handshake.
+//!
+//! Threading model (all scoped — no detached threads, so shutdown is a
+//! join, not a prayer):
+//!
+//! ```text
+//! acceptor ──spawns──► connection handler (one per client)
+//!                        │ decode frame → admit / reject / answer
+//!                        │ admitted jobs ──► BoundedQueue
+//!                        ◄── per-submission mpsc ── worker pool (N)
+//! ```
+//!
+//! A connection handler serves one submission at a time: it admits the
+//! whole grid (all-or-nothing), streams each cell reply as workers
+//! finish (completion order), then a `grid_done` tally. Workers reuse
+//! the same resilient executor as the batch harness —
+//! [`run_cells`] with panic isolation and watchdog — so a poisoned cell
+//! becomes a `FAILED` record, never a dead daemon.
+//!
+//! Drain: the `drain` frame sets a flag; new submissions are refused
+//! with a typed reject while in-flight cells finish. When the
+//! outstanding count reaches zero the acceptor closes the queue (worker
+//! pop sees `None`), raises the stop flag (handlers exit at their next
+//! read-timeout poll), journals `drained`, and [`Server::run`] returns.
+
+use crate::cache::ResultCache;
+use crate::journal::{Journal, JournalEvent};
+use crate::protocol::{Request, Response, StatusReply, WireCellRecord, PROTOCOL_VERSION};
+use crate::wire::{write_frame, FrameReader, Poll};
+use ccs_core::checkpoint::{cell_key, CheckpointRecord};
+use ccs_core::grid::run_cells;
+use ccs_core::{run_custom_cancellable, CcsError, CellSpec, Resilience};
+use ccs_core::{Admission, BoundedQueue};
+use ccs_obs::{ServeMetrics, ServeSnapshot, SERVE_FRAME_KINDS};
+use ccs_trace::TraceStore;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Everything a daemon needs to know at bind time.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (use port 0 to let the OS pick).
+    pub addr: String,
+    /// Worker threads evaluating cells.
+    pub workers: usize,
+    /// Admission-queue capacity (cells, not submissions).
+    pub queue_capacity: usize,
+    /// Result-cache capacity (finished cells).
+    pub cache_capacity: usize,
+    /// Trace-store LRU bound; `None` keeps every generated trace.
+    pub trace_capacity: Option<usize>,
+    /// Request-journal path; `None` disables journaling.
+    pub journal: Option<PathBuf>,
+    /// Retry/watchdog policy for cell evaluation.
+    pub resilience: Resilience,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 256,
+            cache_capacity: 4096,
+            trace_capacity: None,
+            journal: None,
+            resilience: Resilience::default(),
+        }
+    }
+}
+
+/// One unit of worker work: a unique cell plus every submission index
+/// that asked for it (within-submission dedup fans one evaluation back
+/// out to all of them).
+struct Job {
+    spec: CellSpec,
+    key: String,
+    indices: Vec<usize>,
+    reply: mpsc::Sender<(Vec<usize>, CheckpointRecord, bool)>,
+}
+
+/// State shared by the acceptor, every connection handler, and every
+/// worker.
+struct Shared {
+    queue: BoundedQueue<Job>,
+    cache: ResultCache,
+    traces: TraceStore,
+    metrics: ServeMetrics,
+    journal: Option<Journal>,
+    resilience: Resilience,
+    workers: usize,
+    /// Cells admitted but not yet answered. The drain handshake waits
+    /// on this reaching zero.
+    outstanding: AtomicU64,
+    /// Set by a `drain` frame: refuse new submissions.
+    draining: AtomicBool,
+    /// Set by the acceptor once drained: handlers exit at their next
+    /// poll.
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn status(&self) -> StatusReply {
+        let snap = self.metrics.snapshot();
+        StatusReply {
+            protocol: PROTOCOL_VERSION,
+            draining: self.draining.load(Ordering::SeqCst),
+            queue_depth: snap.queue_depth,
+            queue_capacity: self.queue.capacity() as u64,
+            workers: self.workers as u64,
+            cache_len: self.cache.len() as u64,
+            cache_capacity: self.cache.capacity() as u64,
+            cache_hits: snap.cache_hits,
+            cache_misses: snap.cache_misses,
+            cells_admitted: snap.cells_admitted,
+            cells_evaluated: snap.cells_evaluated,
+            admission_rejects: snap.admission_rejects,
+            protocol_errors: snap.protocol_errors,
+        }
+    }
+}
+
+/// Renders a [`ServeSnapshot`] as the JSON body of a `metrics` reply.
+pub fn render_metrics(snap: &ServeSnapshot) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"frames\":{");
+    for (i, kind) in SERVE_FRAME_KINDS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{kind}\":{}", snap.frames[i]);
+    }
+    let _ = write!(
+        out,
+        "}},\"protocol_errors\":{},\"admission_rejects\":{},\"drain_rejects\":{},\
+         \"cells_admitted\":{},\"cells_evaluated\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"cache_hit_rate\":{:.6},\"queue_depth\":{},\"queue_depth_peak\":{},\"latency\":{{",
+        snap.protocol_errors,
+        snap.admission_rejects,
+        snap.drain_rejects,
+        snap.cells_admitted,
+        snap.cells_evaluated,
+        snap.cache_hits,
+        snap.cache_misses,
+        snap.cache_hit_rate(),
+        snap.queue_depth,
+        snap.queue_depth_peak,
+    );
+    for (i, kind) in SERVE_FRAME_KINDS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let p50 = snap.latency_quantile_ms(i, 0.5);
+        let p99 = snap.latency_quantile_ms(i, 0.99);
+        let _ = write!(
+            out,
+            "\"{kind}\":{{\"samples\":{},\"p50_ms\":{},\"p99_ms\":{}}}",
+            snap.latency_ms[i].samples(),
+            p50.map_or("null".to_string(), |v| v.to_string()),
+            p99.map_or("null".to_string(), |v| v.to_string()),
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+/// A bound daemon, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Binds the listen socket (resolving port 0 to a concrete port).
+    ///
+    /// # Errors
+    ///
+    /// [`CcsError::Protocol`] when the address cannot be bound.
+    pub fn bind(config: ServeConfig) -> Result<Server, CcsError> {
+        let listener = TcpListener::bind(&config.addr).map_err(|e| CcsError::Protocol {
+            message: format!("bind {}: {e}", config.addr),
+        })?;
+        let local_addr = listener.local_addr().map_err(|e| CcsError::Protocol {
+            message: format!("local_addr: {e}"),
+        })?;
+        Ok(Server {
+            listener,
+            local_addr,
+            config,
+        })
+    }
+
+    /// The bound address (concrete even when the config said port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until a `drain` frame completes: accepts connections,
+    /// evaluates admitted cells, then drains and returns.
+    ///
+    /// # Errors
+    ///
+    /// [`CcsError::Checkpoint`] when the journal cannot be created;
+    /// [`CcsError::Protocol`] when the listener breaks.
+    pub fn run(self) -> Result<(), CcsError> {
+        let Server {
+            listener,
+            local_addr,
+            config,
+        } = self;
+        let journal = match &config.journal {
+            Some(path) => Some(Journal::create(
+                path,
+                &local_addr.to_string(),
+                config.workers,
+                config.queue_capacity,
+            )?),
+            None => None,
+        };
+        let shared = Shared {
+            queue: BoundedQueue::new(config.queue_capacity.max(1)),
+            cache: ResultCache::new(config.cache_capacity),
+            traces: match config.trace_capacity {
+                Some(cap) => TraceStore::bounded(cap),
+                None => TraceStore::new(),
+            },
+            metrics: ServeMetrics::new(),
+            journal,
+            resilience: config.resilience,
+            workers: config.workers.max(1),
+            outstanding: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        };
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| CcsError::Protocol {
+                message: format!("set_nonblocking: {e}"),
+            })?;
+
+        std::thread::scope(|scope| {
+            for _ in 0..shared.workers {
+                scope.spawn(|| worker_loop(&shared));
+            }
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let shared = &shared;
+                        scope.spawn(move || handle_connection(shared, stream));
+                    }
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock
+                            || e.kind() == ErrorKind::TimedOut =>
+                    {
+                        if shared.draining.load(Ordering::SeqCst)
+                            && shared.outstanding.load(Ordering::SeqCst) == 0
+                        {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        // A broken listener is fatal; stop everything.
+                        shared.draining.store(true, Ordering::SeqCst);
+                        shared.queue.close();
+                        shared.stop.store(true, Ordering::SeqCst);
+                        panic!("accept failed: {e}");
+                    }
+                }
+            }
+            // Drained: stop workers (pop → None) and handlers (next
+            // read-timeout poll observes the stop flag).
+            shared.queue.close();
+            shared.stop.store(true, Ordering::SeqCst);
+            if let Some(j) = &shared.journal {
+                j.append(JournalEvent::Drained { seq: 0 });
+            }
+        });
+        Ok(())
+    }
+}
+
+/// One worker: pop a job, resolve it (cache or evaluation), fan the
+/// record out to the submission that asked, and retire the cell.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        // A racing submission may have filled the cache while this job
+        // sat queued; reuse its result rather than re-simulating. This
+        // second consultation counts as a hit so the daemon's hit tally
+        // agrees with the number of `cached` records clients receive.
+        let (record, cached) = match shared.cache.get(&job.key) {
+            Some(record) => {
+                shared.metrics.record_cache_hit();
+                (record, true)
+            }
+            None => {
+                let results = run_cells(
+                    std::slice::from_ref(&job.spec),
+                    1,
+                    &shared.resilience,
+                    |_, spec, cancel| {
+                        let trace =
+                            shared
+                                .traces
+                                .get(spec.benchmark, spec.sample_seed, spec.len);
+                        let policy_config =
+                            spec.policy_config.unwrap_or_else(|| spec.policy.config());
+                        run_custom_cancellable(
+                            &spec.config,
+                            &trace,
+                            policy_config,
+                            spec.policy,
+                            &spec.options,
+                            cancel,
+                        )
+                    },
+                    |_, _| {},
+                );
+                let record = CheckpointRecord::from_result(&results[0]);
+                shared.cache.put(&record);
+                (record, false)
+            }
+        };
+        if let Some(j) = &shared.journal {
+            j.append(JournalEvent::CellDone {
+                seq: 0,
+                key: record.key.clone(),
+                status: record.status.clone(),
+            });
+        }
+        // Account the evaluation before replying, so a client that sees
+        // its grid finish also sees the daemon's counters agree.
+        shared.metrics.record_evaluated();
+        // The handler may have died with its client; a failed send must
+        // not kill the worker (the cell is still journaled and cached).
+        let _ = job.reply.send((job.indices, record, cached));
+        shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Tallies for a `grid_done` reply.
+#[derive(Default)]
+struct GridTally {
+    ok: usize,
+    failed: usize,
+    timed_out: usize,
+    cached: usize,
+}
+
+impl GridTally {
+    fn add(&mut self, record: &WireCellRecord) {
+        match record.status.as_str() {
+            "ok" => self.ok += 1,
+            "TIMEOUT" => self.timed_out += 1,
+            _ => self.failed += 1,
+        }
+        if record.cached {
+            self.cached += 1;
+        }
+    }
+}
+
+/// Serves one client connection until it closes, desynchronizes, or the
+/// daemon stops.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    // The read timeout doubles as the stop-flag poll interval; the
+    // FrameReader preserves partial frames across timeouts.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.poll(&mut stream) {
+            Ok(Poll::Frame(payload)) => {
+                if !handle_frame(shared, &mut stream, &payload) {
+                    break;
+                }
+            }
+            Ok(Poll::Pending) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Ok(Poll::Closed) => break,
+            Err(err) => {
+                // Framing is lost (bad magic, oversized prefix, hard IO
+                // error): tell the peer what happened if the socket
+                // still works, then hang up.
+                shared.metrics.record_protocol_error();
+                let reply = Response::Error {
+                    message: err.to_string(),
+                };
+                let _ = write_frame(&mut stream, &reply.encode());
+                break;
+            }
+        }
+    }
+}
+
+/// Decodes and answers one frame. Returns `false` when the connection
+/// should close.
+fn handle_frame(shared: &Shared, stream: &mut TcpStream, payload: &str) -> bool {
+    let started = Instant::now();
+    let request = match Request::decode(payload) {
+        Ok(req) => req,
+        Err(err) => {
+            // Framing survived; the payload did not. Answer the error
+            // and keep the connection.
+            shared.metrics.record_protocol_error();
+            let reply = Response::Error {
+                message: err.to_string(),
+            };
+            return write_frame(stream, &reply.encode()).is_ok();
+        }
+    };
+    let kind = request.kind();
+    shared.metrics.record_frame(kind);
+    let keep = match request {
+        Request::SubmitCell { id, cell } => {
+            handle_submission(shared, stream, id, vec![cell], false)
+        }
+        Request::SubmitGrid { id, cells } => handle_submission(shared, stream, id, cells, true),
+        Request::Status => {
+            let reply = Response::Status(shared.status());
+            write_frame(stream, &reply.encode()).is_ok()
+        }
+        Request::Metrics => {
+            let reply = Response::Metrics {
+                json: render_metrics(&shared.metrics.snapshot()),
+            };
+            write_frame(stream, &reply.encode()).is_ok()
+        }
+        Request::Drain => {
+            let pending = shared.outstanding.load(Ordering::SeqCst);
+            shared.draining.store(true, Ordering::SeqCst);
+            if let Some(j) = &shared.journal {
+                j.append(JournalEvent::DrainRequested { seq: 0, pending });
+            }
+            let reply = Response::Draining { pending };
+            write_frame(stream, &reply.encode()).is_ok()
+        }
+    };
+    shared
+        .metrics
+        .record_latency_ms(kind, started.elapsed().as_millis() as u64);
+    keep
+}
+
+/// Admits and answers one submission (a single cell or a grid).
+///
+/// Reply sequence on admission: one `cell` frame per submitted index in
+/// completion order (cache hits first), then — for grids — a
+/// `grid_done` tally. On rejection: exactly one `busy` or `rejected`
+/// frame and nothing else (admission is all-or-nothing, so the client
+/// never untangles a half-answered grid).
+fn handle_submission(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    id: u64,
+    cells: Vec<crate::protocol::WireCellSpec>,
+    grid: bool,
+) -> bool {
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.metrics.record_drain_reject();
+        if let Some(j) = &shared.journal {
+            j.append(JournalEvent::RejectedEvent {
+                seq: 0,
+                id,
+                reason: "draining".into(),
+            });
+        }
+        let reply = Response::Rejected {
+            reason: "draining".into(),
+        };
+        return write_frame(stream, &reply.encode()).is_ok();
+    }
+
+    // Resolve the wire cells to specs before touching any shared state;
+    // an unparseable cell rejects the whole submission.
+    let mut specs = Vec::with_capacity(cells.len());
+    for (index, wire) in cells.iter().enumerate() {
+        match wire.to_cell() {
+            Ok(spec) => specs.push(spec),
+            Err(err) => {
+                shared.metrics.record_protocol_error();
+                let reply = Response::Rejected {
+                    reason: format!("cell {index}: {err}"),
+                };
+                return write_frame(stream, &reply.encode()).is_ok();
+            }
+        }
+    }
+
+    // Partition into cache hits (answered immediately) and unique-key
+    // jobs (queued once per key, fanned out to every index).
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let mut hits: Vec<(usize, CheckpointRecord)> = Vec::new();
+    let mut pending: HashMap<String, (CellSpec, Vec<usize>)> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for (index, spec) in specs.iter().enumerate() {
+        let key = cell_key(spec);
+        if let Some(record) = shared.cache.get(&key) {
+            shared.metrics.record_cache_hit();
+            hits.push((index, record));
+            continue;
+        }
+        shared.metrics.record_cache_miss();
+        match pending.get_mut(&key) {
+            Some((_, indices)) => indices.push(index),
+            None => {
+                order.push(key.clone());
+                pending.insert(key, (*spec, vec![index]));
+            }
+        }
+    }
+    let jobs: Vec<Job> = order
+        .into_iter()
+        .map(|key| {
+            let (spec, indices) = pending.remove(&key).expect("ordered key is pending");
+            Job {
+                spec,
+                key,
+                indices,
+                reply: reply_tx.clone(),
+            }
+        })
+        .collect();
+    drop(reply_tx);
+
+    let job_count = jobs.len();
+    // Publish the outstanding count *before* admission so the drain
+    // handshake can never observe admitted-but-uncounted cells.
+    shared
+        .outstanding
+        .fetch_add(job_count as u64, Ordering::SeqCst);
+    match shared.queue.admit(jobs) {
+        Admission::Admitted { .. } => {}
+        Admission::Busy { retry_after_hint } => {
+            shared
+                .outstanding
+                .fetch_sub(job_count as u64, Ordering::SeqCst);
+            shared.metrics.record_admission_reject();
+            if let Some(j) = &shared.journal {
+                j.append(JournalEvent::RejectedEvent {
+                    seq: 0,
+                    id,
+                    reason: "busy".into(),
+                });
+            }
+            let reply = Response::Busy {
+                retry_after_ms: retry_after_hint.as_millis() as u64,
+            };
+            return write_frame(stream, &reply.encode()).is_ok();
+        }
+    }
+    shared.metrics.record_admitted(job_count as u64);
+    if let Some(j) = &shared.journal {
+        j.append(JournalEvent::Admitted {
+            seq: 0,
+            id,
+            cells: cells.len() as u64,
+            cached: hits.len() as u64,
+        });
+    }
+
+    // Stream the answers. A write failure means the client is gone; the
+    // admitted jobs still run (workers ignore the dead channel), so the
+    // daemon's accounting stays intact either way.
+    let mut tally = GridTally::default();
+    let mut write_ok = true;
+    for (index, record) in &hits {
+        let wire = WireCellRecord::from_checkpoint(*index, record, true);
+        tally.add(&wire);
+        if write_ok {
+            let reply = Response::Cell {
+                id,
+                record: wire,
+            };
+            write_ok = write_frame(stream, &reply.encode()).is_ok();
+        }
+    }
+    for _ in 0..job_count {
+        let Ok((indices, record, cached)) = reply_rx.recv() else {
+            // Workers died (queue closed mid-flight); nothing more
+            // will arrive for this submission.
+            break;
+        };
+        for index in indices {
+            let wire = WireCellRecord::from_checkpoint(index, &record, cached);
+            tally.add(&wire);
+            if write_ok {
+                let reply = Response::Cell {
+                    id,
+                    record: wire,
+                };
+                write_ok = write_frame(stream, &reply.encode()).is_ok();
+            }
+        }
+    }
+    if grid && write_ok {
+        let reply = Response::GridDone {
+            id,
+            cells: cells.len(),
+            ok: tally.ok,
+            failed: tally.failed,
+            timed_out: tally.timed_out,
+            cached: tally.cached,
+        };
+        write_ok = write_frame(stream, &reply.encode()).is_ok();
+    }
+    write_ok
+}

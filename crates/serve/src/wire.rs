@@ -1,0 +1,323 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every frame is `b"CCS1"` (4 magic bytes) + a `u32` little-endian
+//! payload length + that many bytes of UTF-8 JSON. The magic catches
+//! peers speaking the wrong protocol (or a desynchronized stream)
+//! immediately instead of interpreting garbage as a length; the length
+//! is validated against [`MAX_FRAME_LEN`] *before* any payload
+//! allocation, so a hostile prefix cannot make the process reserve
+//! gigabytes.
+//!
+//! [`FrameReader`] accumulates bytes across reads: a frame split over
+//! many TCP segments — or interrupted by a read timeout — is resumed,
+//! not dropped. That matters for the daemon's drain loop, which polls
+//! with short read timeouts and must not lose a client's half-arrived
+//! request.
+
+use crate::protocol::{ServeError, MAX_FRAME_LEN};
+use std::io::{ErrorKind, Read, Write};
+
+/// The 4-byte frame magic.
+pub const MAGIC: [u8; 4] = *b"CCS1";
+
+/// Header size: magic + length prefix.
+const HEADER_LEN: usize = 8;
+
+/// Renders `payload` as one frame.
+pub fn frame_bytes(payload: &str) -> Vec<u8> {
+    let body = payload.as_bytes();
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Writes one frame to `w` and flushes it.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] on transport failure.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> Result<(), ServeError> {
+    w.write_all(&frame_bytes(payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// What one [`FrameReader::poll`] call produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Poll {
+    /// A complete frame's payload.
+    Frame(String),
+    /// No complete frame yet; call again (the read hit a timeout /
+    /// would-block, or the frame is still arriving).
+    Pending,
+    /// The peer shut down cleanly on a frame boundary.
+    Closed,
+}
+
+/// An incremental frame decoder over any [`Read`].
+///
+/// Owns a buffer that survives short reads, timeouts, and frames that
+/// arrive one byte at a time. Errors about the *stream* (bad magic,
+/// oversized length, mid-frame EOF) are unrecoverable — the framing is
+/// lost; errors about the *payload* are the protocol layer's business.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Bytes buffered but not yet consumed (for tests and diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Validates whatever header bytes have arrived so far, and returns
+    /// the declared payload length once the full header is present.
+    fn header_check(&self) -> Result<Option<usize>, ServeError> {
+        let have = self.buf.len().min(MAGIC.len());
+        if self.buf[..have] != MAGIC[..have] {
+            return Err(ServeError::Frame {
+                message: format!(
+                    "bad magic {:02x?} (expected {:02x?})",
+                    &self.buf[..have],
+                    &MAGIC[..have]
+                ),
+            });
+        }
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
+        if len as usize > MAX_FRAME_LEN {
+            return Err(ServeError::Oversized {
+                declared: u64::from(len),
+                limit: MAX_FRAME_LEN,
+            });
+        }
+        Ok(Some(len as usize))
+    }
+
+    /// Extracts a complete frame from the buffer, if one has fully
+    /// arrived.
+    fn take_frame(&mut self) -> Result<Option<String>, ServeError> {
+        let Some(len) = self.header_check()? else {
+            return Ok(None);
+        };
+        if self.buf.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let rest = self.buf.split_off(HEADER_LEN + len);
+        let frame = std::mem::replace(&mut self.buf, rest);
+        match String::from_utf8(frame[HEADER_LEN..].to_vec()) {
+            Ok(s) => Ok(Some(s)),
+            Err(_) => Err(ServeError::Frame {
+                message: "payload is not UTF-8".into(),
+            }),
+        }
+    }
+
+    /// Feeds bytes by hand (for tests and fuzzing, where there is no
+    /// socket) and returns every frame completed by them.
+    ///
+    /// # Errors
+    ///
+    /// As for [`poll`](Self::poll), minus transport errors.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<String>, ServeError> {
+        self.buf.extend_from_slice(bytes);
+        let mut frames = Vec::new();
+        while let Some(f) = self.take_frame()? {
+            frames.push(f);
+        }
+        Ok(frames)
+    }
+
+    /// Reads from `r` until a full frame is available, the read would
+    /// block, or the stream ends.
+    ///
+    /// A `WouldBlock`/`TimedOut` read error is *not* an error here — it
+    /// yields [`Poll::Pending`] with all partial bytes retained, which
+    /// is what lets the daemon poll sockets with read timeouts during
+    /// drain without corrupting half-read frames.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Frame`] / [`ServeError::Oversized`] when the
+    /// stream desynchronizes, [`ServeError::Io`] on hard transport
+    /// errors.
+    pub fn poll<R: Read>(&mut self, r: &mut R) -> Result<Poll, ServeError> {
+        loop {
+            if let Some(frame) = self.take_frame()? {
+                return Ok(Poll::Frame(frame));
+            }
+            let mut chunk = [0u8; 4096];
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(Poll::Closed)
+                    } else {
+                        Err(ServeError::Frame {
+                            message: format!("eof mid-frame with {} bytes buffered", self.buf.len()),
+                        })
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(Poll::Pending);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(ServeError::Io(e)),
+            }
+        }
+    }
+
+    /// Blocks until a full frame arrives or the stream ends cleanly.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] on a clean close; otherwise as for
+    /// [`poll`](Self::poll). `Pending` polls simply loop, so with a
+    /// read timeout configured this still blocks (use `poll` directly
+    /// when the timeout matters).
+    pub fn read_frame<R: Read>(&mut self, r: &mut R) -> Result<String, ServeError> {
+        loop {
+            match self.poll(r)? {
+                Poll::Frame(f) => return Ok(f),
+                Poll::Pending => continue,
+                Poll::Closed => return Err(ServeError::Closed),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader that yields its script one slice at a time, then
+    /// `WouldBlock` once, then the rest.
+    struct Dribble {
+        chunks: Vec<Vec<u8>>,
+        blocked: bool,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.chunks.is_empty() {
+                return Ok(0);
+            }
+            if !self.blocked {
+                self.blocked = true;
+                return Err(std::io::Error::new(ErrorKind::WouldBlock, "not yet"));
+            }
+            self.blocked = false;
+            let chunk = self.chunks.remove(0);
+            buf[..chunk.len()].copy_from_slice(&chunk);
+            Ok(chunk.len())
+        }
+    }
+
+    #[test]
+    fn frames_survive_byte_at_a_time_arrival_with_timeouts() {
+        let bytes = frame_bytes("{\"v\":1}");
+        let mut src = Dribble {
+            chunks: bytes.iter().map(|b| vec![*b]).collect(),
+            blocked: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut pendings = 0;
+        let frame = loop {
+            match reader.poll(&mut src).unwrap() {
+                Poll::Frame(f) => break f,
+                Poll::Pending => pendings += 1,
+                Poll::Closed => panic!("closed early"),
+            }
+        };
+        assert_eq!(frame, "{\"v\":1}");
+        assert!(pendings >= bytes.len(), "every byte cost one WouldBlock");
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn back_to_back_frames_split_correctly() {
+        let mut bytes = frame_bytes("first");
+        bytes.extend_from_slice(&frame_bytes("second"));
+        let mut reader = FrameReader::new();
+        let frames = reader.feed(&bytes).unwrap();
+        assert_eq!(frames, vec!["first".to_string(), "second".to_string()]);
+    }
+
+    #[test]
+    fn bad_magic_is_detected_from_the_first_wrong_byte() {
+        let mut reader = FrameReader::new();
+        let err = reader.feed(b"HTTP/1.1 200 OK").unwrap_err();
+        assert!(matches!(err, ServeError::Frame { .. }), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_any_payload() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut reader = FrameReader::new();
+        let err = reader.feed(&bytes).unwrap_err();
+        match err {
+            ServeError::Oversized { declared, limit } => {
+                assert_eq!(declared, u64::from(u32::MAX));
+                assert_eq!(limit, MAX_FRAME_LEN);
+            }
+            other => panic!("expected Oversized, got {other}"),
+        }
+    }
+
+    #[test]
+    fn limit_sized_frame_is_accepted() {
+        let payload = "x".repeat(MAX_FRAME_LEN);
+        let mut reader = FrameReader::new();
+        let frames = reader.feed(&frame_bytes(&payload)).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].len(), MAX_FRAME_LEN);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_a_frame_error() {
+        let bytes = frame_bytes("truncated payload");
+        let mut src = &bytes[..bytes.len() - 3];
+        let mut reader = FrameReader::new();
+        // feed() won't error (more bytes could come); a stream EOF does.
+        assert_eq!(reader.feed(&bytes[..5]).unwrap(), Vec::<String>::new());
+        let mut reader = FrameReader::new();
+        let err = loop {
+            match reader.poll(&mut src) {
+                Ok(Poll::Frame(_)) => panic!("frame from truncated bytes"),
+                Ok(Poll::Pending) => continue,
+                Ok(Poll::Closed) => panic!("clean close mid-frame"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, ServeError::Frame { .. }), "{err}");
+    }
+
+    #[test]
+    fn clean_close_between_frames_is_closed() {
+        let bytes = frame_bytes("only");
+        let mut src = &bytes[..];
+        let mut reader = FrameReader::new();
+        assert_eq!(reader.poll(&mut src).unwrap(), Poll::Frame("only".into()));
+        assert_eq!(reader.poll(&mut src).unwrap(), Poll::Closed);
+    }
+
+    #[test]
+    fn non_utf8_payload_is_a_frame_error() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        let mut reader = FrameReader::new();
+        assert!(reader.feed(&bytes).is_err());
+    }
+}

@@ -8,6 +8,15 @@
 //! generated exactly once per process — including under the parallel
 //! grid executor, where many worker threads request the same trace
 //! concurrently.
+//!
+//! Batch binaries use the **unbounded** default: a figure sweep touches
+//! a fixed set of keys and exits. A *resident* process — the `ccs-serve`
+//! daemon, which accepts arbitrary client grids for days — instead uses
+//! [`TraceStore::bounded`]: a capacity-limited store that evicts the
+//! least-recently-used generated trace when a new key would exceed the
+//! bound. Eviction only drops the store's own reference; callers holding
+//! an `Arc<Trace>` keep using it, and while an entry remains cached every
+//! `get` returns the same pointer-identical allocation.
 
 use crate::builder::Trace;
 use crate::workloads::Benchmark;
@@ -19,11 +28,22 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 /// The memoization key: which trace, which sample seed, which length.
 pub type TraceKey = (Benchmark, u64, usize);
 
+/// One cache entry: the generation slot plus its recency stamp.
+#[derive(Debug)]
+struct Entry {
+    slot: Arc<OnceLock<Arc<Trace>>>,
+    /// Logical clock value of the most recent `get` for this key; the
+    /// eviction victim is the initialized entry with the smallest stamp.
+    last_used: u64,
+}
+
 /// A thread-safe memo table of generated traces.
 ///
 /// Use [`TraceStore::global`] for the process-wide instance shared by
 /// the figure harness and the grid executor; independent instances are
-/// only useful for tests that need cold-cache behaviour.
+/// only useful for tests that need cold-cache behaviour, or for
+/// long-running daemons that need the bounded ([`TraceStore::bounded`])
+/// eviction mode.
 ///
 /// The table maps each key to a [`OnceLock`] slot rather than directly
 /// to a trace: the slot is created (and the miss counted) under the
@@ -35,21 +55,54 @@ pub type TraceKey = (Benchmark, u64, usize);
 /// one pointer-identical `Arc<Trace>`.
 #[derive(Debug, Default)]
 pub struct TraceStore {
-    map: Mutex<HashMap<TraceKey, Arc<OnceLock<Arc<Trace>>>>>,
+    map: Mutex<HashMap<TraceKey, Entry>>,
+    /// LRU bound on cached entries; `None` never evicts.
+    capacity: Option<usize>,
+    /// Logical recency clock, advanced by every `get`.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl TraceStore {
-    /// A new, empty store.
+    /// A new, empty, **unbounded** store (the batch-binary default).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The process-wide shared store.
+    /// A new, empty store that holds at most `capacity` traces (≥ 1),
+    /// evicting the least-recently-used *generated* entry when a new key
+    /// would exceed the bound.
+    ///
+    /// Two deliberate softenings of strict LRU keep the concurrency
+    /// story of the unbounded store intact:
+    ///
+    /// * Entries still mid-generation are never evicted — evicting one
+    ///   would let a racer re-generate a key that already has a
+    ///   generation in flight, breaking the one-generation-per-live-key
+    ///   guarantee. If every entry is mid-generation the table may
+    ///   transiently exceed `capacity` by the number of in-flight
+    ///   generations.
+    /// * Eviction drops only the store's reference. `Arc<Trace>` handles
+    ///   already given out stay valid; a later `get` of an evicted key
+    ///   regenerates an equal trace in a fresh allocation.
+    pub fn bounded(capacity: usize) -> Self {
+        TraceStore {
+            capacity: Some(capacity.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// The process-wide shared store (unbounded).
     pub fn global() -> &'static TraceStore {
         static GLOBAL: OnceLock<TraceStore> = OnceLock::new();
         GLOBAL.get_or_init(TraceStore::new)
+    }
+
+    /// The LRU bound, `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Locks the key table, recovering from poisoning.
@@ -60,8 +113,30 @@ impl TraceStore {
     /// Treating poison as fatal (the pre-resilience behaviour) turned
     /// one panicking grid cell into a process-wide cache outage, so we
     /// take the guard regardless.
-    fn lock_map(&self) -> MutexGuard<'_, HashMap<TraceKey, Arc<OnceLock<Arc<Trace>>>>> {
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<TraceKey, Entry>> {
         self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Evicts initialized least-recently-used entries (never `keep`)
+    /// until the table fits the capacity bound. Caller holds the lock.
+    fn evict_to_capacity(&self, map: &mut HashMap<TraceKey, Entry>, keep: &TraceKey) {
+        let Some(cap) = self.capacity else { return };
+        while map.len() > cap {
+            let victim = map
+                .iter()
+                .filter(|(k, e)| *k != keep && e.slot.get().is_some())
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                // Everything else is mid-generation: exceed the bound
+                // transiently rather than evict an in-flight slot.
+                None => break,
+            }
+        }
     }
 
     /// The trace for `(bench, seed, len)`, generating it on first
@@ -70,16 +145,29 @@ impl TraceStore {
     /// Exactly one caller generates each distinct key (counted as the
     /// miss); everyone else — including threads that raced on the cold
     /// key and waited for generation to finish — counts a hit and gets a
-    /// clone of the same `Arc`.
+    /// clone of the same `Arc`. In a bounded store a `get` also
+    /// refreshes the key's recency, and inserting a new key may evict
+    /// the least-recently-used generated entry.
     pub fn get(&self, bench: Benchmark, seed: u64, len: usize) -> Arc<Trace> {
         let key = (bench, seed, len);
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let (slot, creator) = {
             let mut map = self.lock_map();
-            match map.get(&key) {
-                Some(slot) => (Arc::clone(slot), false),
+            match map.get_mut(&key) {
+                Some(entry) => {
+                    entry.last_used = stamp;
+                    (Arc::clone(&entry.slot), false)
+                }
                 None => {
                     let slot = Arc::new(OnceLock::new());
-                    map.insert(key, Arc::clone(&slot));
+                    map.insert(
+                        key,
+                        Entry {
+                            slot: Arc::clone(&slot),
+                            last_used: stamp,
+                        },
+                    );
+                    self.evict_to_capacity(&mut map, &key);
                     (slot, true)
                 }
             }
@@ -110,7 +198,7 @@ impl TraceStore {
                 // fresh generation) after an earlier eviction.
                 if map
                     .get(&key)
-                    .is_some_and(|s| Arc::ptr_eq(s, &slot) && s.get().is_none())
+                    .is_some_and(|e| Arc::ptr_eq(&e.slot, &slot) && e.slot.get().is_none())
                 {
                     map.remove(&key);
                 }
@@ -118,6 +206,12 @@ impl TraceStore {
                 resume_unwind(panic)
             }
         }
+    }
+
+    /// Whether `(bench, seed, len)` is currently cached (generated or
+    /// mid-generation), without touching its recency.
+    pub fn contains(&self, bench: Benchmark, seed: u64, len: usize) -> bool {
+        self.lock_map().contains_key(&(bench, seed, len))
     }
 
     /// Number of distinct traces currently cached.
@@ -141,11 +235,18 @@ impl TraceStore {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Drops all cached traces and resets the hit/miss counters.
+    /// Entries evicted by the LRU bound since construction (or the last
+    /// [`clear`](Self::clear)). Always 0 for unbounded stores.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Drops all cached traces and resets the hit/miss/eviction counters.
     pub fn clear(&self) {
         self.lock_map().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -179,6 +280,57 @@ mod tests {
             assert_eq!(a.pc(), b.pc(), "inst {ai}");
             assert_eq!(a.deps, b.deps, "inst {ai}");
         }
+    }
+
+    #[test]
+    fn unbounded_stores_never_evict() {
+        let store = TraceStore::new();
+        assert_eq!(store.capacity(), None);
+        for seed in 0..6 {
+            store.get(Benchmark::Gap, seed, 300);
+        }
+        assert_eq!(store.len(), 6);
+        assert_eq!(store.evictions(), 0);
+    }
+
+    #[test]
+    fn bounded_store_evicts_least_recently_used() {
+        let store = TraceStore::bounded(2);
+        assert_eq!(store.capacity(), Some(2));
+        let a = store.get(Benchmark::Gap, 1, 300);
+        let _b = store.get(Benchmark::Gap, 2, 300);
+        // Touch `a` so seed 2 is now the least recently used.
+        let a2 = store.get(Benchmark::Gap, 1, 300);
+        assert!(Arc::ptr_eq(&a, &a2), "live entries stay pointer-identical");
+        // A third key must evict seed 2, not seed 1.
+        store.get(Benchmark::Gap, 3, 300);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evictions(), 1);
+        assert!(store.contains(Benchmark::Gap, 1, 300));
+        assert!(!store.contains(Benchmark::Gap, 2, 300));
+        assert!(store.contains(Benchmark::Gap, 3, 300));
+        // The survivor is still the same allocation...
+        let a3 = store.get(Benchmark::Gap, 1, 300);
+        assert!(Arc::ptr_eq(&a, &a3));
+        // ...while the evicted key regenerates equal content in a fresh
+        // allocation (4 distinct generations total: seeds 1, 2, 3, 2).
+        let b2 = store.get(Benchmark::Gap, 2, 300);
+        assert_eq!(store.misses(), 4);
+        let direct = Benchmark::Gap.generate(2, 300);
+        assert_eq!(b2.len(), direct.len());
+    }
+
+    #[test]
+    fn evicted_handles_remain_usable() {
+        let store = TraceStore::bounded(1);
+        let a = store.get(Benchmark::Mcf, 1, 400);
+        let len_before = a.len();
+        store.get(Benchmark::Mcf, 2, 400); // evicts seed 1
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.evictions(), 1);
+        // Our Arc outlives the eviction.
+        assert_eq!(a.len(), len_before);
+        assert!(a.iter().count() > 0);
     }
 
     #[test]
@@ -229,6 +381,29 @@ mod tests {
     }
 
     #[test]
+    fn bounded_racers_share_generations_for_live_keys() {
+        // A bounded store under contention must still hand racing
+        // threads on a live key one pointer-identical allocation.
+        let store = TraceStore::bounded(2);
+        let threads = 8;
+        let barrier = Barrier::new(threads);
+        let traces: Vec<Arc<Trace>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let (store, barrier) = (&store, &barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        store.get(Benchmark::Twolf, 5, 600)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(traces.iter().all(|t| Arc::ptr_eq(t, &traces[0])));
+        assert_eq!(store.misses(), 1);
+    }
+
+    #[test]
     fn panicked_generation_is_evicted_and_a_retry_regenerates() {
         // A zero length fails workload validation, so generation panics
         // inside `get_or_init`. The store must evict the dead slot and
@@ -274,12 +449,13 @@ mod tests {
 
     #[test]
     fn clear_resets_everything() {
-        let store = TraceStore::new();
+        let store = TraceStore::bounded(1);
         store.get(Benchmark::Gap, 1, 400);
-        store.get(Benchmark::Gap, 1, 400);
+        store.get(Benchmark::Gap, 2, 400);
         store.clear();
         assert!(store.is_empty());
         assert_eq!(store.hits(), 0);
         assert_eq!(store.misses(), 0);
+        assert_eq!(store.evictions(), 0);
     }
 }

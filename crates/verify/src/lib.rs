@@ -4,7 +4,7 @@
 //! in window entries, resolves memory dependences through an
 //! open-addressed table, reuses scratch buffers, and encodes "not yet"
 //! as a sentinel cycle. Each of those optimizations is a place for a
-//! subtle scheduling bug to hide. This crate provides five independent
+//! subtle scheduling bug to hide. This crate provides six independent
 //! lines of defence:
 //!
 //! 1. **A reference oracle** ([`reference_simulate`]) — a naive
@@ -30,6 +30,11 @@
 //!    observability counters (`ccs-obs` sinks threaded through the
 //!    engine) from the per-instruction records and requires exact
 //!    agreement, so a mis-placed metrics hook cannot drift silently.
+//! 6. **Protocol fuzzing** ([`protocol`]) — seeded byte-level mutations
+//!    of serve wire frames (truncation, corrupted magic, hostile length
+//!    prefixes, flipped payload bits) that the service integration
+//!    suite feeds to a live `ccs-serve` daemon, asserting typed errors
+//!    and a surviving process.
 //!
 //! See `DESIGN.md` ("Verification subsystem") for the methodology.
 
@@ -42,6 +47,7 @@ pub mod faultinject;
 pub mod golden;
 pub mod metricscheck;
 pub mod oracle;
+pub mod protocol;
 
 pub use campaign::{run_case, standard_campaign, CaseOutcome, DiffCase, TraceSource};
 pub use diff::diff_results;
@@ -51,3 +57,4 @@ pub use faultinject::{
 };
 pub use metricscheck::check_metrics;
 pub use oracle::reference_simulate;
+pub use protocol::{mutate_frame, FrameMutation, ALL_FRAME_MUTATIONS, FRAME_HEADER_LEN};

@@ -1,0 +1,190 @@
+//! Byte-level fuzzing of the serve wire protocol.
+//!
+//! The `ccs-serve` daemon frames every message as 4 magic bytes +
+//! little-endian `u32` payload length + UTF-8 JSON. This module mutates
+//! *well-formed frame bytes* into the shapes a hostile or broken client
+//! produces — truncations, corrupted magic, hostile length prefixes,
+//! flipped payload bytes, garbage JSON — so the protocol integration
+//! suite can assert the daemon answers each with a typed error (or a
+//! clean hangup) and keeps serving.
+//!
+//! Deliberately **byte-level with no `ccs-serve` dependency**: the
+//! mutations encode only the published framing contract (magic at
+//! offset 0, length at offset 4). If the serve crate's framing drifts
+//! from that contract, the fuzz suite breaks loudly instead of
+//! mutating stale shapes.
+//!
+//! Everything is seeded: [`mutate_frame`] is a pure function of
+//! `(frame, mutation, seed)`, so a CI failure reproduces locally by
+//! naming its seed, matching the fault-injection harness's discipline.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Size of the frame header the mutations assume: 4 magic bytes + a
+/// little-endian `u32` payload length.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// One way to break a well-formed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameMutation {
+    /// Drop bytes from the end: a client killed mid-write. The seed
+    /// picks how much survives (always at least one byte, never all).
+    Truncate,
+    /// Overwrite one magic byte: a peer speaking another protocol.
+    CorruptMagic,
+    /// Replace the length prefix with a value far above any sane frame
+    /// (`u32::MAX` minus a seeded offset): a hostile allocation probe.
+    OversizeLength,
+    /// Declare a length *shorter* than the actual payload, making the
+    /// remainder parse as the (garbage) start of a next frame.
+    UnderdeclareLength,
+    /// Flip one bit of one payload byte: line noise inside valid
+    /// framing. Usually yields malformed JSON the payload parser must
+    /// reject without panicking.
+    FlipPayloadBit,
+    /// Keep the framing valid but replace the payload with seeded
+    /// printable garbage of the same length.
+    GarbagePayload,
+    /// Prepend half of another copy of the frame: a desynchronized
+    /// stream resuming mid-conversation.
+    PrependPartialFrame,
+}
+
+/// Every mutation, for corpus loops.
+pub const ALL_FRAME_MUTATIONS: [FrameMutation; 7] = [
+    FrameMutation::Truncate,
+    FrameMutation::CorruptMagic,
+    FrameMutation::OversizeLength,
+    FrameMutation::UnderdeclareLength,
+    FrameMutation::FlipPayloadBit,
+    FrameMutation::GarbagePayload,
+    FrameMutation::PrependPartialFrame,
+];
+
+/// Applies `mutation` to a copy of `frame` (well-formed frame bytes,
+/// header included), deterministically in `seed`.
+///
+/// Frames shorter than the header are returned unchanged for mutations
+/// that need one — the caller is fuzzing framing, not this function.
+pub fn mutate_frame(frame: &[u8], mutation: FrameMutation, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bytes = frame.to_vec();
+    match mutation {
+        FrameMutation::Truncate => {
+            if bytes.len() > 1 {
+                let keep = 1 + rng.random_range(0..bytes.len() as u64 - 1) as usize;
+                bytes.truncate(keep);
+            }
+        }
+        FrameMutation::CorruptMagic => {
+            if !bytes.is_empty() {
+                let i = rng.random_range(0..4.min(bytes.len() as u64)) as usize;
+                bytes[i] ^= 0x20 | (rng.random_range(1..256) as u8 & 0x5f) | 1;
+            }
+        }
+        FrameMutation::OversizeLength => {
+            if bytes.len() >= FRAME_HEADER_LEN {
+                let declared = u32::MAX - rng.random_range(0..1_000) as u32;
+                bytes[4..8].copy_from_slice(&declared.to_le_bytes());
+            }
+        }
+        FrameMutation::UnderdeclareLength => {
+            if bytes.len() > FRAME_HEADER_LEN {
+                let payload = (bytes.len() - FRAME_HEADER_LEN) as u64;
+                let declared = rng.random_range(0..payload) as u32;
+                bytes[4..8].copy_from_slice(&declared.to_le_bytes());
+            }
+        }
+        FrameMutation::FlipPayloadBit => {
+            if bytes.len() > FRAME_HEADER_LEN {
+                let span = (bytes.len() - FRAME_HEADER_LEN) as u64;
+                let i = FRAME_HEADER_LEN + rng.random_range(0..span) as usize;
+                bytes[i] ^= 1 << rng.random_range(0..8);
+            }
+        }
+        FrameMutation::GarbagePayload => {
+            for b in bytes.iter_mut().skip(FRAME_HEADER_LEN) {
+                // Printable, brace-free garbage: never valid JSON, never
+                // invalid UTF-8, so it must fail in the payload parser
+                // rather than the framing layer.
+                *b = b'a' + rng.random_range(0..26) as u8;
+            }
+        }
+        FrameMutation::PrependPartialFrame => {
+            let half = frame.len() / 2;
+            let mut prefixed = frame[..half].to_vec();
+            prefixed.extend_from_slice(&bytes);
+            bytes = prefixed;
+        }
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Vec<u8> {
+        let payload = br#"{"v":1,"type":"status"}"#;
+        let mut f = b"CCS1".to_vec();
+        f.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        f.extend_from_slice(payload);
+        f
+    }
+
+    #[test]
+    fn mutations_are_pure_functions_of_their_seed() {
+        let frame = sample_frame();
+        for mutation in ALL_FRAME_MUTATIONS {
+            let a = mutate_frame(&frame, mutation, 7);
+            let b = mutate_frame(&frame, mutation, 7);
+            assert_eq!(a, b, "{mutation:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn every_mutation_changes_the_bytes() {
+        let frame = sample_frame();
+        for mutation in ALL_FRAME_MUTATIONS {
+            let mutated = mutate_frame(&frame, mutation, 3);
+            assert_ne!(mutated, frame, "{mutation:?} was a no-op");
+        }
+    }
+
+    #[test]
+    fn truncate_always_leaves_a_proper_prefix() {
+        let frame = sample_frame();
+        for seed in 0..50 {
+            let t = mutate_frame(&frame, FrameMutation::Truncate, seed);
+            assert!(!t.is_empty() && t.len() < frame.len());
+            assert_eq!(&frame[..t.len()], &t[..]);
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_touches_only_the_magic() {
+        let frame = sample_frame();
+        for seed in 0..20 {
+            let m = mutate_frame(&frame, FrameMutation::CorruptMagic, seed);
+            assert_eq!(m.len(), frame.len());
+            assert_ne!(&m[..4], b"CCS1", "seed {seed} left the magic intact");
+            assert_eq!(&m[4..], &frame[4..]);
+        }
+    }
+
+    #[test]
+    fn oversize_length_declares_beyond_any_real_limit() {
+        let frame = sample_frame();
+        let m = mutate_frame(&frame, FrameMutation::OversizeLength, 11);
+        let declared = u32::from_le_bytes([m[4], m[5], m[6], m[7]]);
+        assert!(declared as usize > 1 << 20);
+    }
+
+    #[test]
+    fn garbage_payload_preserves_framing() {
+        let frame = sample_frame();
+        let m = mutate_frame(&frame, FrameMutation::GarbagePayload, 5);
+        assert_eq!(&m[..FRAME_HEADER_LEN], &frame[..FRAME_HEADER_LEN]);
+        assert!(m[FRAME_HEADER_LEN..].iter().all(u8::is_ascii_lowercase));
+    }
+}

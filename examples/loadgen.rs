@@ -1,0 +1,244 @@
+//! Deterministic closed-loop load generator for `ccs-serve`.
+//!
+//! Spawns an in-process daemon on a loopback port (or connects to
+//! `--server HOST:PORT` / `CCS_SERVER`), drives it with a seeded mix of
+//! grid submissions from several concurrent clients, and reports
+//! throughput (cells/sec), client-observed submission latency (p50 and
+//! p99), and the daemon's cache hit rate. The request mix is a pure
+//! function of `--seed`, so two runs against a fresh daemon issue the
+//! identical cell sequence.
+//!
+//! The report is printed and written to `results/BENCH_serve.json`:
+//!
+//! ```text
+//! cargo run --release --example loadgen
+//! cargo run --release --example loadgen -- --clients 8 --requests 16
+//! ```
+
+use ccs_client::Client;
+use ccs_core::PolicyKind;
+use ccs_isa::ClusterLayout;
+use ccs_serve::{ServeConfig, Server, WireCellSpec};
+use ccs_trace::Benchmark;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::{Duration, Instant};
+
+struct Args {
+    server: Option<String>,
+    clients: usize,
+    requests: usize,
+    batch: usize,
+    seed: u64,
+    len: usize,
+    seed_pool: u64,
+    out: String,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            server: std::env::var("CCS_SERVER").ok().filter(|s| !s.is_empty()),
+            clients: 4,
+            requests: 6,
+            batch: 4,
+            seed: 7,
+            len: 1_500,
+            seed_pool: 6,
+            out: "results/BENCH_serve.json".to_string(),
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--server" => args.server = Some(value("--server")),
+                "--clients" => args.clients = value("--clients").parse().expect("--clients"),
+                "--requests" => args.requests = value("--requests").parse().expect("--requests"),
+                "--batch" => args.batch = value("--batch").parse().expect("--batch"),
+                "--seed" => args.seed = value("--seed").parse().expect("--seed"),
+                "--len" => args.len = value("--len").parse().expect("--len"),
+                "--seed-pool" => args.seed_pool = value("--seed-pool").parse().expect("--seed-pool"),
+                "--out" => args.out = value("--out"),
+                other => {
+                    eprintln!("unknown flag {other}");
+                    eprintln!(
+                        "usage: loadgen [--server HOST:PORT] [--clients N] [--requests N] \
+                         [--batch N] [--seed N] [--len N] [--seed-pool N] [--out PATH]"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+}
+
+/// One cell from the seeded mix: a small pool of sample seeds crossed
+/// with the clustered layouts and two cheap policies, so reuse (and
+/// therefore cache hits) is part of the workload by construction.
+fn pick_cell(rng: &mut StdRng, len: usize, pool: u64) -> WireCellSpec {
+    const LAYOUTS: [ClusterLayout; 3] =
+        [ClusterLayout::C2x4w, ClusterLayout::C4x2w, ClusterLayout::C8x1w];
+    const POLICIES: [PolicyKind; 2] = [PolicyKind::Focused, PolicyKind::FocusedLoc];
+    let bench = Benchmark::ALL[rng.random_range(0..Benchmark::ALL.len())];
+    let layout = LAYOUTS[rng.random_range(0..LAYOUTS.len())];
+    let policy = POLICIES[rng.random_range(0..POLICIES.len())];
+    let seed = 1 + rng.random_range(0..pool.max(1));
+    WireCellSpec::new(bench, seed, len, layout, policy)
+}
+
+struct ClientReport {
+    latencies: Vec<Duration>,
+    cells: u64,
+    cached: u64,
+    failed: u64,
+}
+
+fn drive_client(addr: &str, client_seed: u64, args: &Args) -> ClientReport {
+    let mut rng = StdRng::seed_from_u64(client_seed);
+    let mut client = Client::connect(addr).expect("loadgen client connects");
+    let mut report = ClientReport {
+        latencies: Vec::with_capacity(args.requests),
+        cells: 0,
+        cached: 0,
+        failed: 0,
+    };
+    for _ in 0..args.requests {
+        let cells: Vec<WireCellSpec> = (0..args.batch)
+            .map(|_| pick_cell(&mut rng, args.len, args.seed_pool))
+            .collect();
+        let start = Instant::now();
+        match client.submit_grid_with_retry(&cells, 50, |_| {}) {
+            Ok(outcome) => {
+                report.latencies.push(start.elapsed());
+                report.cells += (outcome.ok + outcome.failed + outcome.timed_out) as u64;
+                report.cached += outcome.cached as u64;
+                report.failed += (outcome.failed + outcome.timed_out) as u64;
+            }
+            Err(e) => panic!("loadgen submission failed: {e}"),
+        }
+    }
+    report
+}
+
+fn percentile_ms(sorted: &[Duration], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args = Args::parse();
+
+    // Either connect to a daemon the caller started, or spawn our own.
+    let (addr, local) = match &args.server {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server = Server::bind(ServeConfig::default()).expect("bind loopback");
+            let addr = server.local_addr().to_string();
+            let handle = std::thread::spawn(move || server.run().expect("daemon runs"));
+            (addr, Some(handle))
+        }
+    };
+    println!(
+        "loadgen: {} clients x {} requests x {} cells against {addr} (seed {})",
+        args.clients, args.requests, args.batch, args.seed
+    );
+
+    let started = Instant::now();
+    let reports: Vec<ClientReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.clients)
+            .map(|k| {
+                let args = &args;
+                let addr = addr.clone();
+                scope.spawn(move || drive_client(&addr, args.seed + 1_000 * k as u64, args))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<Duration> = reports.iter().flat_map(|r| r.latencies.clone()).collect();
+    latencies.sort_unstable();
+    let cells: u64 = reports.iter().map(|r| r.cells).sum();
+    let cached: u64 = reports.iter().map(|r| r.cached).sum();
+    let failed: u64 = reports.iter().map(|r| r.failed).sum();
+    let submissions = latencies.len();
+    let cells_per_sec = cells as f64 / elapsed.as_secs_f64().max(1e-9);
+    let p50 = percentile_ms(&latencies, 50.0);
+    let p99 = percentile_ms(&latencies, 99.0);
+
+    // The daemon's own view of the run: hit rate over every lookup it
+    // performed (this run plus whatever ran before on a shared daemon).
+    let mut tail = Client::connect(&addr).expect("status connection");
+    let status = tail.status().expect("status");
+    let lookups = status.cache_hits + status.cache_misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        status.cache_hits as f64 / lookups as f64
+    };
+
+    if local.is_some() {
+        tail.drain().expect("drain");
+    }
+    if let Some(handle) = local {
+        handle.join().expect("daemon exits cleanly");
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve_loadgen\",\n",
+            "  \"seed\": {},\n",
+            "  \"clients\": {},\n",
+            "  \"requests_per_client\": {},\n",
+            "  \"batch\": {},\n",
+            "  \"trace_len\": {},\n",
+            "  \"submissions\": {},\n",
+            "  \"cells\": {},\n",
+            "  \"cells_failed\": {},\n",
+            "  \"cells_cached\": {},\n",
+            "  \"elapsed_s\": {:.6},\n",
+            "  \"cells_per_sec\": {:.3},\n",
+            "  \"latency_p50_ms\": {:.3},\n",
+            "  \"latency_p99_ms\": {:.3},\n",
+            "  \"cache_hits\": {},\n",
+            "  \"cache_misses\": {},\n",
+            "  \"cache_hit_rate\": {:.6},\n",
+            "  \"cells_evaluated\": {},\n",
+            "  \"admission_rejects\": {}\n",
+            "}}\n"
+        ),
+        args.seed,
+        args.clients,
+        args.requests,
+        args.batch,
+        args.len,
+        submissions,
+        cells,
+        failed,
+        cached,
+        elapsed.as_secs_f64(),
+        cells_per_sec,
+        p50,
+        p99,
+        status.cache_hits,
+        status.cache_misses,
+        hit_rate,
+        status.cells_evaluated,
+        status.admission_rejects,
+    );
+    print!("{json}");
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&args.out, &json).expect("write report");
+    println!("wrote {}", args.out);
+    assert_eq!(failed, 0, "loadgen cells must all complete ok");
+}

@@ -1,0 +1,177 @@
+//! Round-trip determinism of the service layer: a grid submitted to a
+//! live `ccs-serve` daemon over TCP must be **bit-identical** to the
+//! same grid evaluated in-process with [`run_grid`] — same schedule
+//! digests, same CPI bit patterns, same cycle counts — including when
+//! half the answers come from the daemon's result cache.
+
+use ccs_client::Client;
+use ccs_core::checkpoint::{cell_key, CheckpointRecord};
+use ccs_core::{run_grid, CellSpec, PolicyKind, RunOptions};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_serve::{ServeConfig, Server, WireCellSpec};
+use ccs_trace::Benchmark;
+
+const LEN: usize = 1_500;
+
+fn grid_specs() -> Vec<CellSpec> {
+    let base = MachineConfig::micro05_baseline();
+    let options = RunOptions::default().with_epochs(2);
+    let mut specs = Vec::new();
+    for bench in [Benchmark::Gzip, Benchmark::Vpr] {
+        for layout in [ClusterLayout::C2x4w, ClusterLayout::C4x2w] {
+            for policy in [PolicyKind::Focused, PolicyKind::FocusedLoc] {
+                specs.push(CellSpec::new(
+                    base.with_layout(layout),
+                    bench,
+                    1,
+                    LEN,
+                    policy,
+                    options,
+                ));
+            }
+        }
+    }
+    specs
+}
+
+fn start_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        cache_capacity: 64,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("serve until drain"));
+    (addr, handle)
+}
+
+#[test]
+fn server_grid_is_bit_identical_to_in_process_run_grid() {
+    let specs = grid_specs();
+
+    // Ground truth: the batch path.
+    let local: Vec<CheckpointRecord> = run_grid(&specs, 2)
+        .iter()
+        .map(CheckpointRecord::from_result)
+        .collect();
+    assert!(
+        local.iter().all(|r| r.status == "ok"),
+        "baseline grid must complete"
+    );
+
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+
+    let cells: Vec<WireCellSpec> = specs
+        .iter()
+        .map(|s| WireCellSpec::from_cell(s).expect("paper-grid cell is wire-addressable"))
+        .collect();
+
+    // First submission: every cell is a miss.
+    let first = client.submit_grid(&cells, |_| {}).expect("grid");
+    assert_eq!(first.exit_code(), 0, "first grid all ok");
+    assert_eq!(first.cached, 0, "cold cache: nothing cached");
+    for (i, (spec, record)) in specs.iter().zip(&first.records).enumerate() {
+        let record = record.as_ref().expect("complete");
+        let expect = &local[i];
+        assert_eq!(record.key, cell_key(spec), "cell {i} key");
+        assert_eq!(record.key, expect.key, "cell {i} key vs local");
+        assert_eq!(record.status, expect.status, "cell {i} status");
+        assert_eq!(record.cycles, expect.cycles, "cell {i} cycles");
+        assert_eq!(record.cpi_bits, expect.cpi_bits, "cell {i} CPI bits");
+        assert_eq!(record.digest, expect.digest, "cell {i} schedule digest");
+    }
+
+    // Second submission: half the cells repeat (cache hits), half are
+    // new seeds (misses). The repeats must be bit-identical *and*
+    // flagged cached; the fresh cells must match a fresh local run.
+    let mut second_specs: Vec<CellSpec> = specs[..4].to_vec();
+    let mut fresh: Vec<CellSpec> = specs[4..]
+        .iter()
+        .map(|s| {
+            let mut s = *s;
+            s.sample_seed = 2;
+            s
+        })
+        .collect();
+    second_specs.append(&mut fresh);
+    let second_cells: Vec<WireCellSpec> = second_specs
+        .iter()
+        .map(|s| WireCellSpec::from_cell(s).unwrap())
+        .collect();
+    let local_second: Vec<CheckpointRecord> = run_grid(&second_specs, 2)
+        .iter()
+        .map(CheckpointRecord::from_result)
+        .collect();
+
+    let second = client.submit_grid(&second_cells, |_| {}).expect("grid 2");
+    assert_eq!(second.exit_code(), 0);
+    assert_eq!(second.cached, 4, "the four repeated cells hit the cache");
+    for (i, (spec, record)) in second_specs.iter().zip(&second.records).enumerate() {
+        let record = record.as_ref().expect("complete");
+        let expect = &local_second[i];
+        assert_eq!(record.key, cell_key(spec), "cell {i} key");
+        assert_eq!(record.cached, i < 4, "cell {i} cache attribution");
+        assert_eq!(record.cycles, expect.cycles, "cell {i} cycles");
+        assert_eq!(record.cpi_bits, expect.cpi_bits, "cell {i} CPI bits");
+        assert_eq!(record.digest, expect.digest, "cell {i} schedule digest");
+    }
+
+    // Single-cell submission goes through the same cache.
+    let one = client.submit_cell(&cells[0]).expect("single cell");
+    assert!(one.cached, "already evaluated");
+    assert_eq!(one.digest, local[0].digest);
+
+    // The daemon's own accounting agrees with what we observed.
+    let status = client.status().expect("status");
+    assert_eq!(status.cache_hits, 5, "4 grid hits + 1 single-cell hit");
+    assert_eq!(status.cells_evaluated, 12, "8 + 4 fresh evaluations");
+
+    client.drain().expect("drain");
+    handle.join().expect("daemon exits cleanly after drain");
+}
+
+#[test]
+fn backpressure_rejects_whole_submission_with_hint() {
+    let server = Server::bind(ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+
+    // Three unique cells cannot fit a capacity-2 queue no matter how
+    // fast the worker drains: admission is all-or-nothing.
+    let cells: Vec<WireCellSpec> = (0..3)
+        .map(|k| {
+            WireCellSpec::new(
+                Benchmark::Gzip,
+                100 + k,
+                LEN,
+                ClusterLayout::C2x4w,
+                PolicyKind::Focused,
+            )
+        })
+        .collect();
+    let err = client.submit_grid(&cells, |_| {}).expect_err("must reject");
+    match err {
+        ccs_core::CcsError::Rejected {
+            retry_after_ms, ..
+        } => {
+            assert!(retry_after_ms.is_some(), "busy replies carry a hint");
+        }
+        other => panic!("expected Rejected, got {other}"),
+    }
+
+    // A submission that fits still works afterwards.
+    let outcome = client.submit_grid(&cells[..2], |_| {}).expect("fits");
+    assert_eq!(outcome.exit_code(), 0);
+
+    client.drain().expect("drain");
+    handle.join().expect("clean exit");
+}
