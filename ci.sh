@@ -66,6 +66,26 @@ wait "$SERVE_PID" || SERVE_EXIT=$?
 rm -f "$SERVE_LOG"
 echo "    daemon drained cleanly (exit 0)"
 
+# Perf smoke: regenerate the grid-throughput measurement at a small
+# scale (default trace length, best-of-2) into a scratch file and fail
+# if the parallel executor regresses against serial. On a single-core
+# host the parallel path degenerates to the serial one, so speedup is
+# 1.0 +/- timer noise; multi-core hosts must actually go faster.
+echo "==> grid perf smoke (bench_grid, best-of-${CCS_BENCH_REPS:-2})"
+PERF_JSON="$(mktemp)"
+CCS_BENCH_REPS="${CCS_BENCH_REPS:-2}" CCS_THREADS=auto CCS_BENCH_OUT="$PERF_JSON" \
+    target/release/bench_grid >/dev/null
+MIN_SPEEDUP=1.0
+[ "$(nproc)" -le 1 ] && MIN_SPEEDUP=0.9
+grep -o '"speedup": [0-9.]*' "$PERF_JSON" | awk -v min="$MIN_SPEEDUP" '
+    { n += 1
+      if ($2 + 0 < min + 0) { printf "    parallel speedup %s < %s\n", $2, min; bad = 1 }
+      else { printf "    parallel speedup %s ok (>= %s)\n", $2, min } }
+    END { if (n == 0) { print "    no speedup rows in bench output"; exit 1 }
+          exit bad }' \
+    || { echo "parallel grid executor regressed"; exit 1; }
+rm -f "$PERF_JSON"
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -32,6 +32,28 @@ fn grid_specs(metrics: bool) -> Vec<ccs_core::CellSpec> {
         .build()
 }
 
+/// A 108-cell grid (12 benchmarks × 3 layouts × 3 seeds) of short
+/// traces: scheduling overhead — spawn/join, chunk claims, result
+/// placement — is proportionally largest here.
+fn wide_grid_specs() -> Vec<ccs_core::CellSpec> {
+    GridRequest::new(MachineConfig::micro05_baseline(), N)
+        .benchmarks(Benchmark::ALL)
+        .layouts(ClusterLayout::CLUSTERED)
+        .policies([PolicyKind::Focused])
+        .sample_seeds([1, 1_001, 2_001])
+        .build()
+}
+
+/// A small grid of long traces: per-cell engine throughput dominates,
+/// which is what the 100k/1M rows of `results/BENCH_grid.json` track.
+fn long_grid_specs(len: usize) -> Vec<ccs_core::CellSpec> {
+    GridRequest::new(MachineConfig::micro05_baseline(), len)
+        .benchmarks([Benchmark::Vpr, Benchmark::Gcc])
+        .layouts([ClusterLayout::C4x2w])
+        .policies([PolicyKind::Focused])
+        .build()
+}
+
 fn bench_grid_throughput(c: &mut Criterion) {
     let specs = grid_specs(false);
     let metered = grid_specs(true);
@@ -63,6 +85,55 @@ fn bench_grid_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// The wide (108-cell) and long-trace (100k / 1M instruction) grids
+/// behind `results/BENCH_grid.json`. The 1M group is gated behind
+/// `CCS_BENCH_1M=1` — a single sample simulates 4M instructions.
+fn bench_grid_scaling(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    let wide = wide_grid_specs();
+    for spec in &wide {
+        let _ = TraceStore::global()
+            .get(spec.benchmark, spec.sample_seed, spec.len)
+            .memory_deps();
+    }
+    let mut g = c.benchmark_group("grid-wide-108c");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(wide.len() as u64));
+    g.bench_function("serial", |b| {
+        b.iter(|| run_grid(black_box(&wide), 1));
+    });
+    g.bench_function(format!("parallel-{threads}t"), |b| {
+        b.iter(|| run_grid(black_box(&wide), threads));
+    });
+    g.finish();
+
+    let mut lens = vec![100_000usize];
+    if std::env::var("CCS_BENCH_1M").is_ok_and(|v| v != "0") {
+        lens.push(1_000_000);
+    }
+    for len in lens {
+        let specs = long_grid_specs(len);
+        for spec in &specs {
+            let _ = TraceStore::global()
+                .get(spec.benchmark, spec.sample_seed, spec.len)
+                .memory_deps();
+        }
+        let mut g = c.benchmark_group(format!("grid-long-{}k", len / 1_000));
+        g.sample_size(10);
+        // Report instruction throughput: cells × len × 2 epochs.
+        g.throughput(Throughput::Elements(2 * (specs.len() * len) as u64));
+        g.bench_function("serial", |b| {
+            b.iter(|| run_grid(black_box(&specs), 1));
+        });
+        g.bench_function(format!("parallel-{threads}t"), |b| {
+            b.iter(|| run_grid(black_box(&specs), threads));
+        });
+        g.finish();
+    }
+}
+
 fn bench_trace_store(c: &mut Criterion) {
     let mut g = c.benchmark_group("trace-store");
     g.throughput(Throughput::Elements(1));
@@ -82,5 +153,5 @@ fn bench_trace_store(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_grid_throughput, bench_trace_store);
+criterion_group!(benches, bench_grid_throughput, bench_grid_scaling, bench_trace_store);
 criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Measures grid-executor throughput (one row per trace length, serial
+//! vs parallel) and writes `results/BENCH_grid.json`, printing the JSON
+//! to stdout.
+//!
+//! The same measurement rides along with `make_report`; this binary
+//! exists so CI's perf-smoke stage — and anyone re-checking the
+//! executor's scaling — can regenerate the artifact without paying for
+//! the full figure suite. Row selection and repetitions come from
+//! `CCS_BENCH_LENS` / `CCS_BENCH_REPS` (see
+//! [`grid_benchmark_json`](ccs_bench::grid_benchmark_json)); the output
+//! path via `CCS_BENCH_OUT` (CI points it at a scratch file so a smoke
+//! run never clobbers the committed artifact).
+use ccs_bench::{grid_benchmark_json, HarnessOptions};
+
+fn main() {
+    let opts = HarnessOptions::from_env_and_args();
+    let json = grid_benchmark_json(&opts);
+    print!("{json}");
+
+    let path = std::env::var("CCS_BENCH_OUT").map_or_else(
+        |_| std::path::Path::new("results").join("BENCH_grid.json"),
+        std::path::PathBuf::from,
+    );
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("note: could not write {}: {e}", path.display()),
+    }
+}

@@ -138,8 +138,9 @@ fn main() {
         }
     });
     let campaign = CampaignOptions::new(&manifest).with_resume(opts.resume);
+    let threads = opts.threads_for(specs.len());
     let report = timers.time("simulate", || {
-        run_campaign(&specs, opts.effective_threads(), &opts.resilience(), &campaign)
+        run_campaign(&specs, threads, &opts.resilience(), &campaign)
     });
     let report = match report {
         Ok(report) => report,

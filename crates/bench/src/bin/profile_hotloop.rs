@@ -1,0 +1,59 @@
+//! Quick hot-loop profiling: engine vs critical-path analysis cost at
+//! large trace lengths (`CCS_LEN`), for perf work. Not part of CI.
+//!
+//! Reports best-of-`CCS_REPS` (default 5) wall times — the minimum is
+//! the robust estimator on a shared/noisy host.
+
+use ccs_core::{run_cell, PolicyKind, RunOptions};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_sim::simulate;
+use ccs_trace::Benchmark;
+use std::time::Instant;
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(v);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn main() {
+    let len: usize = std::env::var("CCS_LEN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let reps: usize = std::env::var("CCS_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let trace = Benchmark::Gcc.generate(1, len);
+    for layout in [ClusterLayout::C2x4w, ClusterLayout::C4x2w, ClusterLayout::C8x1w] {
+        let cfg = MachineConfig::micro05_baseline().with_layout(layout);
+        let (sim_secs, result) = best_of(reps, || {
+            let mut policy = ccs_core::PaperPolicy::from_config(
+                PolicyKind::Focused.config(),
+                ccs_core::PredictorBank::new(ccs_core::LocMode::Quantized16, 0xC1A5),
+                "focused",
+            );
+            simulate(&cfg, &trace, &mut policy).unwrap()
+        });
+        let (ll_secs, _) = best_of(reps, || {
+            simulate(&cfg, &trace, &mut ccs_sim::policies::LeastLoaded).unwrap()
+        });
+        let (an_secs, analysis) = best_of(reps, || ccs_critpath::analyze(&trace, &result));
+        let (cell_secs, _) = best_of(reps, || {
+            run_cell(&cfg, &trace, PolicyKind::Focused, &RunOptions::default()).unwrap()
+        });
+        println!(
+            "{layout}: len={len} cycles={} sim={sim_secs:.3}s ({:.1} Minst/s) ll={ll_secs:.3}s analyze={an_secs:.3}s cell(2ep)={cell_secs:.3}s bd={}",
+            result.cycles,
+            len as f64 / sim_secs / 1e6,
+            analysis.breakdown.total() == result.cycles,
+        );
+    }
+}

@@ -19,6 +19,11 @@ pub struct HarnessOptions {
     /// core). Results are bit-identical for every value; only
     /// wall-clock time changes.
     pub threads: usize,
+    /// Pick the worker count per grid from its size
+    /// ([`ccs_core::auto_threads`]): serial for grids too small to
+    /// amortize spawn/join, one worker per core otherwise. Set by
+    /// `--threads auto` / `CCS_THREADS=auto`; overrides `threads`.
+    pub threads_auto: bool,
     /// Run every cell in checked mode (structural invariant audits on
     /// each epoch's schedule); roughly doubles per-cell cost.
     pub checked: bool,
@@ -43,7 +48,8 @@ impl HarnessOptions {
     /// Defaults: 20 000 instructions, seed 1, 2 epochs, one grid worker
     /// per core — overridable via the `CCS_LEN`, `CCS_SEED`,
     /// `CCS_EPOCHS`, `CCS_SAMPLES` and `CCS_THREADS` environment
-    /// variables. `CCS_CHECKED=1` turns on checked (invariant-audited)
+    /// variables (`CCS_THREADS=auto` sizes the pool per grid via
+    /// [`ccs_core::auto_threads`]). `CCS_CHECKED=1` turns on checked (invariant-audited)
     /// simulation for every cell. Resilience knobs: `CCS_RESUME=1`
     /// resumes a checkpointed campaign, `CCS_MAX_ATTEMPTS` retries
     /// failing cells, `CCS_DEADLINE_MS` arms the per-cell wall-clock
@@ -57,12 +63,14 @@ impl HarnessOptions {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(default)
         };
+        let threads_auto = std::env::var("CCS_THREADS").is_ok_and(|v| v == "auto");
         HarnessOptions {
             len: parse("CCS_LEN", 20_000) as usize,
             seed: parse("CCS_SEED", 1),
             epochs: parse("CCS_EPOCHS", 2) as u32,
             samples: parse("CCS_SAMPLES", 1) as u32,
             threads: parse("CCS_THREADS", 0) as usize,
+            threads_auto,
             checked: parse("CCS_CHECKED", 0) != 0,
             resume: parse("CCS_RESUME", 0) != 0,
             max_attempts: parse("CCS_MAX_ATTEMPTS", 1).max(1) as u32,
@@ -73,19 +81,29 @@ impl HarnessOptions {
     }
 
     /// [`from_env`](Self::from_env), then applies `--threads N` /
-    /// `--threads=N`, `--resume` and `--metrics` from the binary's
-    /// command line on top.
+    /// `--threads=N` (`N` a count or `auto`), `--resume` and
+    /// `--metrics` from the binary's command line on top.
     pub fn from_env_and_args() -> Self {
         let mut opts = Self::from_env();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             if let Some(v) = arg.strip_prefix("--threads=") {
-                if let Ok(n) = v.parse() {
+                if v == "auto" {
+                    opts.threads_auto = true;
+                } else if let Ok(n) = v.parse() {
                     opts.threads = n;
+                    opts.threads_auto = false;
                 }
             } else if arg == "--threads" {
-                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
-                    opts.threads = n;
+                match args.next().as_deref() {
+                    Some("auto") => opts.threads_auto = true,
+                    Some(v) => {
+                        if let Ok(n) = v.parse() {
+                            opts.threads = n;
+                            opts.threads_auto = false;
+                        }
+                    }
+                    None => {}
                 }
             } else if arg == "--resume" {
                 opts.resume = true;
@@ -108,6 +126,18 @@ impl HarnessOptions {
         }
     }
 
+    /// The worker count for a grid of `cells` cells over this
+    /// configuration's trace length: [`ccs_core::auto_threads`] in
+    /// `--threads auto` mode (tiny grids stay serial), otherwise
+    /// [`effective_threads`](Self::effective_threads).
+    pub fn threads_for(&self, cells: usize) -> usize {
+        if self.threads_auto {
+            ccs_core::auto_threads(cells, self.len)
+        } else {
+            self.effective_threads()
+        }
+    }
+
     /// The seeds of the individual samples.
     pub fn sample_seeds(&self) -> Vec<u64> {
         (0..self.samples.max(1) as u64)
@@ -123,6 +153,7 @@ impl HarnessOptions {
             epochs: 2,
             samples: 1,
             threads: 2,
+            threads_auto: false,
             checked: false,
             resume: false,
             max_attempts: 1,
@@ -229,5 +260,22 @@ mod tests {
         assert!(o.effective_threads() >= 1);
         o.threads = 3;
         assert_eq!(o.effective_threads(), 3);
+    }
+
+    #[test]
+    fn threads_auto_keeps_tiny_grids_serial() {
+        let mut o = HarnessOptions::smoke();
+        o.threads_auto = true;
+        // 12 cells x 2 000 instructions is below the parallel-worthwhile
+        // threshold: auto mode must not spawn workers for it.
+        assert_eq!(o.threads_for(12), 1);
+        assert_eq!(o.threads_for(1), 1);
+        // Without auto mode the explicit count wins regardless of size.
+        o.threads_auto = false;
+        assert_eq!(o.threads_for(12), o.effective_threads());
+        // Big grids in auto mode follow the machine.
+        o.threads_auto = true;
+        o.len = 100_000;
+        assert_eq!(o.threads_for(200), ccs_core::auto_threads(200, 100_000));
     }
 }

@@ -4,13 +4,17 @@
 //! `(benchmark, machine, policy, sample)` cells; [`run_cell`] is
 //! deterministic per cell, so the grid is embarrassingly parallel.
 //! [`run_grid`] fans a slice of [`CellSpec`]s out over a scoped thread
-//! pool with an atomic work-stealing index — no thread pool dependency,
-//! no unsafe — and returns results **in input order**, bit-identical to
-//! a serial evaluation of the same specs.
+//! pool with chunked self-scheduling over an atomic index — no thread
+//! pool dependency, no unsafe — and returns results **in input order**,
+//! bit-identical to a serial evaluation of the same specs.
+//! [`auto_threads`] picks serial vs parallel from the grid's total work
+//! so tiny grids never pay spawn/join overhead.
 //!
 //! Traces are fetched through the process-wide
 //! [`TraceStore`](ccs_trace::TraceStore), so the 12 workloads × sample
-//! seeds are generated once per process no matter how many grids run.
+//! seeds are generated once per process no matter how many grids run;
+//! a parallel grid pre-warms its distinct traces (generation plus
+//! memory disambiguation) serially before spawning workers.
 //!
 //! [`parallel_map`] exposes the same ordered work-stealing scheduler for
 //! grid-shaped work that is not a [`run_cell`] evaluation (e.g. the
@@ -413,6 +417,9 @@ where
     F: Fn(usize, &CellSpec, Option<Arc<AtomicBool>>) -> Result<CellOutcome, CcsError> + Sync,
     O: Fn(usize, &CellResult) + Sync,
 {
+    if threads.clamp(1, specs.len().max(1)) > 1 {
+        prewarm_traces(specs);
+    }
     parallel_map_indexed(specs, threads, |i, spec| {
         let result = run_cell_resilient(spec, res, &|spec, cancel| cell_fn(i, spec, cancel));
         observe(i, &result);
@@ -420,13 +427,63 @@ where
     })
 }
 
+/// Generates (and memory-disambiguates) every distinct trace of `specs`
+/// serially, before workers spawn.
+///
+/// A grid typically reuses a handful of `(benchmark, seed, len)` traces
+/// across dozens of cells. Without pre-warming, the first wave of
+/// workers races on the [`TraceStore`](ccs_trace::TraceStore) lock and
+/// on [`Trace::memory_deps`](ccs_trace::Trace::memory_deps) for the
+/// *same* keys — duplicated generation work exactly when the pool is
+/// trying to ramp up. Warming serially makes the parallel region pure
+/// simulation.
+fn prewarm_traces(specs: &[CellSpec]) {
+    let mut seen: Vec<(Benchmark, u64, usize)> = Vec::new();
+    for spec in specs {
+        let key = (spec.benchmark, spec.sample_seed, spec.len);
+        if !seen.contains(&key) {
+            seen.push(key);
+            let trace = TraceStore::global().get(spec.benchmark, spec.sample_seed, spec.len);
+            let _ = trace.memory_deps();
+        }
+    }
+}
+
+/// Picks a worker count for a grid of `cells` cells over traces of
+/// `trace_len` instructions: serial when the grid is too small to
+/// amortize thread spawn/join, otherwise one worker per available core,
+/// clamped to the cell count.
+///
+/// The threshold is total simulated instructions (`cells × trace_len`):
+/// a grid under ~32k instructions finishes in low single-digit
+/// milliseconds serially, which is the same order as spawning and
+/// joining a handful of OS threads — parallelism there is pure
+/// overhead (the 0.86× "speedup" a naive always-parallel policy
+/// records on small grids). Results are bit-identical either way; only
+/// wall-clock time changes.
+pub fn auto_threads(cells: usize, trace_len: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1);
+    if cells < 2 || available < 2 {
+        return 1;
+    }
+    let total_insts = cells.saturating_mul(trace_len.max(1));
+    if total_insts < 32_000 {
+        return 1;
+    }
+    available.min(cells)
+}
+
 /// Applies `f` to every item of `items` on up to `threads` worker
 /// threads, returning outputs in input order.
 ///
-/// Scheduling is work-stealing over an atomic index: threads grab the
-/// next unclaimed item, so a slow cell never stalls the queue behind it.
-/// `f` must be pure per item for the output to be thread-count
-/// invariant (all harness workloads are).
+/// Scheduling is chunked self-scheduling over an atomic index: threads
+/// claim geometrically shrinking ranges of unclaimed items (large while
+/// plenty remains, single items near the tail), so index contention is
+/// amortized and a slow cell never stalls the queue behind it. `f` must
+/// be pure per item for the output to be thread-count invariant (all
+/// harness workloads are).
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -462,12 +519,31 @@ where
                 let f = &f;
                 scope.spawn(move || {
                     let mut out = Vec::new();
+                    // Guided self-scheduling: claim a *range* of items per
+                    // fetch_add, sized to a fraction of what remains. Early
+                    // claims are large (one cache-line bump covers many
+                    // items, so contention on `next` stays negligible no
+                    // matter how cheap the items are); late claims shrink
+                    // to single items, so a slow cell near the end never
+                    // strands a big chunk behind it. The remaining-work
+                    // estimate reads `next` racily — that only perturbs
+                    // chunk *sizes*, never coverage, which the fetch_add
+                    // alone guarantees.
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
+                        let claimed = next.load(Ordering::Relaxed);
+                        if claimed >= items.len() {
                             break;
                         }
-                        out.push((i, f(i, &items[i])));
+                        let remaining = items.len() - claimed;
+                        let chunk = (remaining / (threads * 4)).clamp(1, 64);
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                            out.push((i, f(i, item)));
+                        }
                     }
                     out
                 })
@@ -634,6 +710,50 @@ mod tests {
         assert_eq!(out.len(), items.len());
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn chunked_scheduler_covers_uneven_work() {
+        // Items whose cost varies by orders of magnitude, at a count
+        // that exercises shrinking chunk sizes (64 → … → 1). Coverage
+        // and order must hold regardless of which worker claims what.
+        let items: Vec<u32> = (0..1_023).collect();
+        let out = parallel_map(&items, 7, |&x| {
+            if x % 97 == 0 {
+                std::thread::yield_now();
+            }
+            u64::from(x) * 7 + 1
+        });
+        assert_eq!(out.len(), items.len());
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 7 + 1);
+        }
+    }
+
+    #[test]
+    fn auto_threads_keeps_tiny_grids_serial() {
+        // A handful of short-trace cells must never spawn workers: the
+        // spawn/join cost is the 0.86x anti-speedup this fixes.
+        assert_eq!(auto_threads(0, 4_000), 1);
+        assert_eq!(auto_threads(1, 1_000_000), 1);
+        assert_eq!(auto_threads(4, 2_000), 1);
+        assert_eq!(auto_threads(12, 1_500), 1);
+    }
+
+    #[test]
+    fn auto_threads_caps_at_cells_and_cores() {
+        let available = std::thread::available_parallelism()
+            .map(usize::from)
+            .unwrap_or(1);
+        let t = auto_threads(2, 100_000);
+        assert!((1..=2).contains(&t));
+        let t = auto_threads(1_000, 100_000);
+        assert!((1..=available).contains(&t));
+        if available >= 2 {
+            assert!(t >= 2, "big grids parallelize when cores exist");
+        } else {
+            assert_eq!(t, 1, "single-core hosts stay serial");
         }
     }
 

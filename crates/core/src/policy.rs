@@ -3,7 +3,7 @@
 use crate::bank::PredictorBank;
 use ccs_isa::RegFile;
 use ccs_sim::{
-    InstRecord, SteerCause, SteerOutcome, SteerView, SteeringPolicy,
+    InstRecord, ProducerInfo, SteerCause, SteerOutcome, SteerView, SteeringPolicy,
 };
 use ccs_trace::{DynIdx, DynInst};
 use std::collections::HashSet;
@@ -256,7 +256,20 @@ impl SteeringPolicy for PaperPolicy {
             };
         }
 
-        let pending: Vec<_> = view.pending_producers().collect();
+        // At most one producer per source-operand slot; a fixed buffer
+        // keeps the per-dispatch hot path allocation-free.
+        let mut pending_buf = [ProducerInfo {
+            idx: view.idx,
+            pc,
+            cluster: 0,
+            completed: true,
+        }; 2];
+        let mut pending_len = 0;
+        for p in view.pending_producers() {
+            pending_buf[pending_len] = p;
+            pending_len += 1;
+        }
+        let pending = &pending_buf[..pending_len];
 
         // Preferred producer: by LoC, by binary criticality, or first.
         let preferred = if pending.is_empty() {
@@ -337,10 +350,12 @@ impl SteeringPolicy for PaperPolicy {
     }
 
     fn on_commit(&mut self, idx: DynIdx, inst: &DynInst, record: &InstRecord) {
-        self.followed.remove(&idx.raw());
         if self.cfg.proactive.is_none() {
+            // Only the proactive balancer populates `followed`; skip the
+            // per-commit hash probe for the rest of the ladder.
             return;
         }
+        self.followed.remove(&idx.raw());
         // Compare the retiring consumer's LoC against the most critical
         // consumer recorded for its operand registers; train its
         // load-balance candidacy (§7's implementation).

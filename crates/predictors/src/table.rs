@@ -1,7 +1,9 @@
 //! A generic PC-indexed table.
 
 use ccs_isa::Pc;
-use std::collections::HashMap;
+
+/// Fibonacci multiplier for spreading word-aligned PCs across buckets.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A map from static instruction PCs to per-instruction predictor state.
 ///
@@ -10,6 +12,13 @@ use std::collections::HashMap;
 /// the table is modelled as unaliased (equivalent to a sufficiently large
 /// tagged table). The static footprints of the workload models are tiny,
 /// making aliasing moot.
+///
+/// Internally an open-addressed, linearly-probed table with fibonacci
+/// hashing: predictor lookups sit on the engine's per-instruction hot
+/// path (steering, scheduling priority, training), where a SipHash
+/// `HashMap` probe is several times the cost of the surrounding work.
+/// There is no per-key removal — predictors only insert, update and
+/// [`clear`](PcTable::clear) — so probing needs no tombstones.
 ///
 /// ```
 /// use ccs_predictors::PcTable;
@@ -21,7 +30,10 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct PcTable<T> {
-    entries: HashMap<u64, T>,
+    /// Power-of-two slot array; `None` marks an empty (never-occupied)
+    /// slot, so a probe can stop at the first hole.
+    slots: Vec<Option<(u64, T)>>,
+    len: usize,
 }
 
 impl<T> Default for PcTable<T> {
@@ -34,42 +46,88 @@ impl<T> PcTable<T> {
     /// Creates an empty table.
     pub fn new() -> Self {
         PcTable {
-            entries: HashMap::new(),
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// The slot index where `key` lives, or the first empty slot on its
+    /// probe path. Requires a non-empty slot array.
+    #[inline]
+    fn probe(&self, key: u64) -> usize {
+        debug_assert!(self.slots.len().is_power_of_two());
+        let mask = self.slots.len() - 1;
+        let mut i = (key.wrapping_mul(HASH_MUL) >> 32) as usize & mask;
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k != key => i = (i + 1) & mask,
+                _ => return i,
+            }
         }
     }
 
     /// The state for `pc`, if any instance has trained it.
     #[inline]
     pub fn get(&self, pc: Pc) -> Option<&T> {
-        self.entries.get(&pc.raw())
+        if self.len == 0 {
+            return None;
+        }
+        let i = self.probe(pc.raw());
+        self.slots[i].as_ref().map(|(_, v)| v)
     }
 
     /// Mutable state for `pc`, if present.
     #[inline]
     pub fn get_mut(&mut self, pc: Pc) -> Option<&mut T> {
-        self.entries.get_mut(&pc.raw())
+        if self.len == 0 {
+            return None;
+        }
+        let i = self.probe(pc.raw());
+        self.slots[i].as_mut().map(|(_, v)| v)
     }
 
     /// Number of PCs with state.
     #[inline]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether no PC has state.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Clears all state.
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.len = 0;
     }
 
     /// Iterates over `(pc, state)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (Pc, &T)> {
-        self.entries.iter().map(|(&pc, v)| (Pc::new(pc), v))
+        self.slots
+            .iter()
+            .filter_map(|s| s.as_ref().map(|(pc, v)| (Pc::new(*pc), v)))
+    }
+
+    /// Doubles the slot array when the load factor reaches 7/8, keeping
+    /// probe sequences short.
+    fn grow_if_needed(&mut self) {
+        if self.slots.is_empty() {
+            self.slots.resize_with(16, || None);
+            return;
+        }
+        if (self.len + 1) * 8 <= self.slots.len() * 7 {
+            return;
+        }
+        let old = std::mem::take(&mut self.slots);
+        self.slots.resize_with(old.len() * 2, || None);
+        for slot in old.into_iter().flatten() {
+            let i = self.probe(slot.0);
+            debug_assert!(self.slots[i].is_none());
+            self.slots[i] = Some(slot);
+        }
     }
 }
 
@@ -77,7 +135,7 @@ impl<T: Default> PcTable<T> {
     /// The state for `pc`, inserting a default entry if absent.
     #[inline]
     pub fn entry(&mut self, pc: Pc) -> &mut T {
-        self.entries.entry(pc.raw()).or_default()
+        self.entry_with(pc, T::default)
     }
 }
 
@@ -86,7 +144,17 @@ impl<T> PcTable<T> {
     /// whose power-on state is not `Default` (e.g. configured counters).
     #[inline]
     pub fn entry_with(&mut self, pc: Pc, init: impl FnOnce() -> T) -> &mut T {
-        self.entries.entry(pc.raw()).or_insert_with(init)
+        self.grow_if_needed();
+        let i = self.probe(pc.raw());
+        if self.slots[i].is_none() {
+            self.slots[i] = Some((pc.raw(), init()));
+            self.len += 1;
+        }
+        match &mut self.slots[i] {
+            Some((_, v)) => v,
+            // Invariant: the slot was just filled above if it was empty.
+            None => unreachable!(),
+        }
     }
 }
 
@@ -116,6 +184,7 @@ mod tests {
         assert_eq!(t.get(Pc::new(0)).unwrap(), "ab");
         t.clear();
         assert!(t.is_empty());
+        assert_eq!(t.get(Pc::new(0)), None);
     }
 
     #[test]
@@ -124,5 +193,20 @@ mod tests {
         t.entry(Pc::new(0));
         t.entry(Pc::new(4));
         assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn survives_growth_and_colliding_keys() {
+        let mut t: PcTable<u64> = PcTable::new();
+        // Far past several growth thresholds, with keys that collide in
+        // small tables (aligned PCs are the common case).
+        for k in 0..1000u64 {
+            *t.entry(Pc::new(4 * k)) = k;
+        }
+        assert_eq!(t.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(t.get(Pc::new(4 * k)), Some(&k), "key {k}");
+            assert_eq!(t.get(Pc::new(4 * k + 1)), None);
+        }
     }
 }

@@ -11,7 +11,7 @@
 //!
 //! The checker deliberately shares no code with the engine's hot path:
 //! memory dependences are re-resolved with a plain `HashMap` sweep (not
-//! the open-addressed [`LastStoreTable`](crate::memdep::LastStoreTable)),
+//! the open-addressed [`LastStoreTable`](ccs_trace::Trace::memory_deps)),
 //! occupancy is re-derived by event replay rather than by tracking live
 //! windows, and the predictor is replayed fresh. An optimization bug in
 //! the engine therefore cannot hide itself from the checker.

@@ -154,32 +154,176 @@ impl SimBudget {
 
 const NOT_YET: Cycle = Cycle::MAX;
 
-/// A window entry: a dispatched, not-yet-issued instruction.
-#[derive(Debug, Clone, Copy)]
-struct WinEntry {
-    idx: u32,
-    priority: i64,
-    /// Determined ready cycle, or `NOT_YET` while some producer has not
-    /// issued.
-    ready: Cycle,
-}
+/// Sentinel for "no instruction" in the intrusive waiter lists.
+const NO_INST: u32 = u32::MAX;
 
-/// Reusable per-run scratch buffers for the cycle loop.
+/// Size of the wakeup calendar ring, in cycles (power of two). Covers
+/// every op latency plus the worst L1+L2 miss path with room to spare;
+/// the rare events farther out (broadcast-bandwidth backlog) spill into
+/// the overflow heap.
+const WAKEUP_HORIZON: usize = 512;
+
+/// Reusable structure-of-arrays state for the cycle loop.
 ///
-/// The issue and dispatch stages previously allocated these vectors
-/// fresh every cluster-cycle (issue candidates, issued positions) and
-/// every dispatched instruction (window occupancy snapshot); hoisting
-/// them here makes the steady-state cycle loop allocation-free.
+/// The engine used to keep a `Vec<WinEntry>` per cluster and rescan
+/// every in-window instruction every cycle to recompute readiness —
+/// O(cycles × window × deps). This scratch flattens all per-entry state
+/// into flat arrays indexed by dynamic instruction and drives readiness
+/// *event-driven*: an instruction is examined only when its last
+/// outstanding operand's producer issues (see `try_determine_ready`),
+/// and surfaces for selection exactly at its ready cycle via the wakeup
+/// calendar. The steady-state cycle loop is allocation-free: every
+/// buffer here is reused across cycles.
 #[derive(Debug, Default)]
 struct SimScratch {
-    /// Window positions whose ready time has arrived, sorted by
-    /// scheduling priority each cycle.
-    issuable: Vec<usize>,
-    /// Window positions actually granted an issue slot this cycle.
-    taken: Vec<usize>,
-    /// Per-cluster window occupancy snapshot handed to the steering
-    /// policy.
+    /// Instructions whose determined ready time has arrived and that
+    /// have not issued yet, one list per cluster. Kept permanently in
+    /// selection order — descending priority, ascending index — by
+    /// binary insertion at wakeup: the key is fixed at dispatch, issue
+    /// removes entries in place, so no per-cycle sort is ever needed.
+    ready_lists: Vec<Vec<u32>>,
+    /// Compaction buffer for the per-cluster ready list during issue.
+    keep: Vec<u32>,
+    /// Wakeup calendar: ring of `WAKEUP_HORIZON` buckets indexed by
+    /// `ready_cycle % WAKEUP_HORIZON`. Determined-but-future entries sit
+    /// here until their ready cycle fires.
+    wheel: Vec<Vec<u32>>,
+    /// Determined entries whose ready cycle is `WAKEUP_HORIZON`-or-more
+    /// cycles out (deep broadcast-bandwidth backlog); drained as the
+    /// clock reaches them. Ordered pops keep firing deterministic.
+    overflow: std::collections::BinaryHeap<std::cmp::Reverse<(Cycle, u32)>>,
+    /// Head of the intrusive list of dispatched instructions parked on
+    /// this producer (waiting for it to issue), per instruction.
+    waiter_head: Vec<u32>,
+    /// Next pointer of the intrusive waiter list, per instruction. Each
+    /// parked instruction waits on exactly one unissued producer at a
+    /// time, so one pointer suffices.
+    waiter_next: Vec<u32>,
+    /// Scheduling priority assigned at dispatch, per instruction.
+    priority: Vec<i64>,
+    /// Per-cluster window occupancy, maintained incrementally (+1 at
+    /// dispatch, −1 at issue) and handed to the steering policy.
     occupancy: Vec<usize>,
+    /// The same occupancy as `u32`, maintained only when the metrics
+    /// sink is enabled, so `on_cycle` needs no per-cycle rebuild.
+    occupancy_u32: Vec<u32>,
+}
+
+impl SimScratch {
+    fn for_run(n: usize, clusters: usize, win_cap: usize, metrics: bool) -> Self {
+        SimScratch {
+            ready_lists: vec![Vec::with_capacity(win_cap); clusters],
+            keep: Vec::with_capacity(win_cap),
+            wheel: vec![Vec::new(); WAKEUP_HORIZON],
+            overflow: std::collections::BinaryHeap::new(),
+            waiter_head: vec![NO_INST; n],
+            waiter_next: vec![NO_INST; n],
+            priority: vec![0; n],
+            occupancy: vec![0; clusters],
+            occupancy_u32: if metrics { vec![0; clusters] } else { Vec::new() },
+        }
+    }
+
+    /// Schedules instruction `idx` to surface for selection at cycle
+    /// `ready` (strictly in the future relative to `now`).
+    #[inline]
+    fn schedule_wakeup(&mut self, idx: u32, ready: Cycle, now: Cycle) {
+        debug_assert!(ready > now, "wakeups are always strictly future");
+        if (ready - now) < WAKEUP_HORIZON as Cycle {
+            self.wheel[(ready as usize) & (WAKEUP_HORIZON - 1)].push(idx);
+        } else {
+            self.overflow.push(std::cmp::Reverse((ready, idx)));
+        }
+    }
+
+    /// Parks `consumer` on `producer` until the producer issues.
+    #[inline]
+    fn park(&mut self, consumer: u32, producer: u32) {
+        self.waiter_next[consumer as usize] = self.waiter_head[producer as usize];
+        self.waiter_head[producer as usize] = consumer;
+    }
+
+    /// Examines dispatched instruction `idx`: if every producer (register
+    /// operands plus the true memory dependence) has issued, computes the
+    /// ready time and binding constraint — the same pure function of the
+    /// producers' completion/broadcast times the old per-cycle rescan
+    /// evaluated — stamps the record, and schedules the wakeup; otherwise
+    /// parks the instruction on the first unissued producer in operand
+    /// order, exactly where the rescan's early-exit stopped.
+    ///
+    /// Ready times are strictly future at determination (an operand
+    /// becomes visible no earlier than the cycle after its producer
+    /// issues, and the dispatch floor is `dispatch + 1`), so scheduling
+    /// into the calendar never loses a same-cycle wakeup.
+    #[allow(clippy::too_many_arguments)]
+    fn try_determine_ready(
+        &mut self,
+        idx: u32,
+        now: Cycle,
+        trace: &Trace,
+        mem_dep: &[Option<u32>],
+        completes: &[Cycle],
+        broadcast: &[Cycle],
+        records: &mut [InstRecord],
+        config: &MachineConfig,
+    ) {
+        let i = idx as usize;
+        let inst = &trace.as_slice()[i];
+        let c = records[i].cluster as usize;
+        let mut best: Option<(Cycle, u8, DynIdx, u32)> = None;
+        let mem_operand = mem_dep[i].map(|s| (2usize, DynIdx::new(s)));
+        for (slot, dep) in inst
+            .deps
+            .iter()
+            .enumerate()
+            .map(|(k, d)| (k, *d))
+            .chain(mem_operand.map(|(k, d)| (k, Some(d))))
+        {
+            let Some(p) = &dep else { continue };
+            let pc_complete = completes[p.index()];
+            if pc_complete == NOT_YET {
+                self.park(idx, p.index() as u32);
+                return;
+            }
+            let pcluster = records[p.index()].cluster as usize;
+            let fwd = config.forwarding_between(pcluster, c);
+            // Remote consumers see the value after it has been broadcast
+            // and traversed the network; local consumers bypass directly.
+            let visible = if fwd == 0 {
+                pc_complete
+            } else {
+                broadcast[p.index()] + fwd as Cycle
+            };
+            let eff_fwd = (visible - pc_complete) as u32;
+            if best.is_none_or(|(v, ..)| visible > v) {
+                best = Some((visible, slot as u8, *p, eff_fwd));
+            }
+        }
+        let dispatch_floor = records[i].dispatch + 1;
+        // Tie-breaking: when the operand arrives exactly at the dispatch
+        // floor, prefer the dataflow edge (Fields' model follows E→E
+        // edges) unless it would charge forwarding cycles that the
+        // dispatch constraint already covers.
+        let ready = match best {
+            Some((visible, slot, producer, fwd))
+                if visible > dispatch_floor || (visible == dispatch_floor && fwd == 0) =>
+            {
+                records[i].ready = visible;
+                records[i].ready_bound = ReadyBound::Operand {
+                    slot,
+                    producer,
+                    fwd,
+                };
+                visible
+            }
+            _ => {
+                records[i].ready = dispatch_floor;
+                records[i].ready_bound = ReadyBound::Dispatch;
+                dispatch_floor
+            }
+        };
+        self.schedule_wakeup(idx, ready, now);
+    }
 }
 
 /// Runs `trace` through the machine described by `config` under `policy`.
@@ -264,15 +408,23 @@ pub fn simulate_observed<S: MetricsSink>(
     let mut completes = vec![NOT_YET; n];
     // Perfect memory disambiguation (Table 1): a load depends on the
     // latest older store to the same 8-byte word — and *only* on true
-    // conflicts (no false dependences). Resolved exactly from the trace.
-    let mem_dep: Vec<Option<u32>> = crate::memdep::resolve_memory_deps(trace);
+    // conflicts (no false dependences). Resolved exactly from the trace,
+    // once per trace (cached across epochs and grid cells).
+    let mem_dep: &[Option<u32>] = trace.memory_deps();
     // Which mispredicted branch redirected this instruction's fetch.
     let mut redirect_of: Vec<Option<DynIdx>> = vec![None; n];
     // Bitmask of clusters a producer's value has been delivered to.
     let mut delivered: Vec<u8> = vec![0; n];
 
-    let mut windows: Vec<Vec<WinEntry>> = vec![Vec::with_capacity(win_cap); clusters];
     let mut fe_queue: VecDeque<u32> = VecDeque::with_capacity(config.front_end.skid_buffer);
+    // Incremental count of `fe_queue` entries that have cleared the
+    // front-end pipe (`fetch + depth <= t`). Fetch times are
+    // non-decreasing along the queue, so cleared entries form a prefix;
+    // a maturity ring (slot `tf % ring` = instructions fetched at cycle
+    // `tf`, still inside the pipe) replaces the per-cycle prefix scan.
+    let pipe_ring = depth as usize + 1;
+    let mut maturing: Vec<usize> = vec![0; pipe_ring];
+    let mut waiting: usize = 0;
 
     let mut bp = Gshare::new(config.front_end.gshare_history_bits);
     let mut l1 = SetAssocCache::from_config(&config.memory);
@@ -305,19 +457,11 @@ pub fn simulate_observed<S: MetricsSink>(
     let mut global_values: u64 = 0;
     let mut steer_stall_cycles: u64 = 0;
     let mut ilp = IlpCensus::default();
-    let mut scratch = SimScratch {
-        issuable: Vec::with_capacity(win_cap),
-        taken: Vec::with_capacity(config.cluster.issue_width),
-        occupancy: vec![0; clusters],
-    };
-
-    // Occupancy snapshot handed to the metrics sink; only touched when the
-    // sink is enabled, so the metrics-off path never allocates it beyond
-    // this one empty Vec.
-    let mut obs_occupancy: Vec<u32> = Vec::new();
+    let mut scratch = SimScratch::for_run(n, clusters, win_cap, S::ENABLED);
 
     let limit: Cycle = 64 * n as Cycle + 100_000;
     let mut t: Cycle = 0;
+
 
     while next_commit < n {
         if t > limit {
@@ -347,9 +491,17 @@ pub fn simulate_observed<S: MetricsSink>(
         }
 
         if S::ENABLED {
-            obs_occupancy.clear();
-            obs_occupancy.extend(windows.iter().map(|w| w.len() as u32));
-            sink.on_cycle(&obs_occupancy);
+            // Maintained incrementally at dispatch/issue; no per-cycle
+            // rebuild from the window state.
+            sink.on_cycle(&scratch.occupancy_u32);
+        }
+
+        // Instructions fetched at `t - depth` exit the front-end pipe now
+        // and start occupying skid-buffer entries.
+        if t >= depth {
+            let slot = ((t - depth) as usize) % pipe_ring;
+            waiting += maturing[slot];
+            maturing[slot] = 0;
         }
 
         // ---- Commit ------------------------------------------------------
@@ -383,114 +535,71 @@ pub fn simulate_observed<S: MetricsSink>(
         if S::ENABLED {
             sink.on_commit(committed_this_cycle);
         }
-
         // ---- Issue -------------------------------------------------------
+        // Fire the wakeups scheduled for this cycle: entries whose
+        // determined ready time is `t` move from the calendar into their
+        // cluster's ready list. Everything else stays untouched — no
+        // per-cycle rescan of window contents.
+        {
+            let SimScratch {
+                wheel,
+                overflow,
+                ready_lists,
+                priority,
+                ..
+            } = &mut scratch;
+            // Insert in selection order (descending priority, ascending
+            // index): the same total order the old per-cycle sort
+            // produced, so selection is bit-identical without sorting.
+            let insert_ready = |lists: &mut Vec<Vec<u32>>, priority: &[i64], idx: u32| {
+                let list = &mut lists[records[idx as usize].cluster as usize];
+                let p = priority[idx as usize];
+                let pos = list.partition_point(|&x| {
+                    let px = priority[x as usize];
+                    px > p || (px == p && x < idx)
+                });
+                list.insert(pos, idx);
+            };
+            for idx in wheel[(t as usize) & (WAKEUP_HORIZON - 1)].drain(..) {
+                debug_assert_eq!(records[idx as usize].ready, t);
+                insert_ready(ready_lists, priority, idx);
+            }
+            while let Some(&std::cmp::Reverse((r, idx))) = overflow.peek() {
+                if r > t {
+                    break;
+                }
+                debug_assert_eq!(r, t);
+                overflow.pop();
+                insert_ready(ready_lists, priority, idx);
+            }
+        }
+
         let mut available_total = 0usize;
         let mut issued_total = 0usize;
         let mut any_in_window = false;
         for c in 0..clusters {
-            if windows[c].is_empty() {
+            if scratch.occupancy[c] == 0 {
                 continue;
             }
             any_in_window = true;
-            // Refresh ready times.
-            for e in windows[c].iter_mut() {
-                if e.ready != NOT_YET {
-                    continue;
-                }
-                let i = e.idx as usize;
-                let inst = &trace.as_slice()[i];
-                let mut all_known = true;
-                let mut best: Option<(Cycle, u8, DynIdx, u32)> = None;
-                let mem_operand = mem_dep[i].map(|s| (2usize, DynIdx::new(s)));
-                for (slot, dep) in inst
-                    .deps
-                    .iter()
-                    .enumerate()
-                    .map(|(k, d)| (k, *d))
-                    .chain(mem_operand.map(|(k, d)| (k, Some(d))))
-                {
-                    let Some(p) = &dep else { continue };
-                    let pc_complete = completes[p.index()];
-                    if pc_complete == NOT_YET {
-                        all_known = false;
-                        break;
-                    }
-                    let pcluster = records[p.index()].cluster as usize;
-                    let fwd = config.forwarding_between(pcluster, c);
-                    // Remote consumers see the value after it has been
-                    // broadcast and traversed the network; local consumers
-                    // bypass directly.
-                    let visible = if fwd == 0 {
-                        pc_complete
-                    } else {
-                        broadcast[p.index()] + fwd as Cycle
-                    };
-                    let eff_fwd = (visible - pc_complete) as u32;
-                    if best.is_none_or(|(v, ..)| visible > v) {
-                        best = Some((visible, slot as u8, *p, eff_fwd));
-                    }
-                }
-                if !all_known {
-                    continue;
-                }
-                let dispatch_floor = records[i].dispatch + 1;
-                // Tie-breaking: when the operand arrives exactly at the
-                // dispatch floor, prefer the dataflow edge (Fields' model
-                // follows E→E edges) unless it would charge forwarding
-                // cycles that the dispatch constraint already covers.
-                match best {
-                    Some((visible, slot, producer, fwd))
-                        if visible > dispatch_floor
-                            || (visible == dispatch_floor && fwd == 0) =>
-                    {
-                        e.ready = visible;
-                        records[i].ready = visible;
-                        records[i].ready_bound = ReadyBound::Operand {
-                            slot,
-                            producer,
-                            fwd,
-                        };
-                    }
-                    _ => {
-                        e.ready = dispatch_floor;
-                        records[i].ready = dispatch_floor;
-                        records[i].ready_bound = ReadyBound::Dispatch;
-                    }
-                }
-            }
-
-            // Collect issuable entries into the reused scratch buffer.
-            scratch.issuable.clear();
-            scratch
-                .issuable
-                .extend(windows[c].iter().enumerate().filter_map(|(pos, e)| {
-                    if e.ready <= t {
-                        Some(pos)
-                    } else {
-                        None
-                    }
-                }));
-            available_total += scratch.issuable.len();
-            if scratch.issuable.is_empty() {
+            available_total += scratch.ready_lists[c].len();
+            if scratch.ready_lists[c].is_empty() {
                 continue;
             }
-            scratch.issuable.sort_by_key(|&pos| {
-                let e = &windows[c][pos];
-                (std::cmp::Reverse(e.priority), e.idx)
-            });
+            // Already in selection order (maintained at insertion).
+            let ready = std::mem::take(&mut scratch.ready_lists[c]);
 
             let mut int_used = 0;
             let mut fp_used = 0;
             let mut mem_used = 0;
             let mut width_used = 0;
-            scratch.taken.clear();
-            for &pos in &scratch.issuable {
+            scratch.keep.clear();
+            for &idx in &ready {
+                let i = idx as usize;
                 if width_used >= config.cluster.issue_width {
-                    break;
+                    scratch.keep.push(idx);
+                    continue;
                 }
-                let e = windows[c][pos];
-                let i = e.idx as usize;
                 let inst = &trace.as_slice()[i];
                 let (used, cap, port_idx) = match inst.op().port() {
                     PortKind::Int => (&mut int_used, config.cluster.int_ports, 0),
@@ -498,11 +607,12 @@ pub fn simulate_observed<S: MetricsSink>(
                     PortKind::Mem => (&mut mem_used, config.cluster.mem_ports, 2),
                 };
                 if *used >= cap {
+                    scratch.keep.push(idx);
                     continue;
                 }
                 *used += 1;
                 width_used += 1;
-                scratch.taken.push(pos);
+                issued_total += 1;
                 if S::ENABLED {
                     sink.on_issue(c, port_idx);
                 }
@@ -546,7 +656,11 @@ pub fn simulate_observed<S: MetricsSink>(
                         slot
                     }
                 };
-                last_issue[c] = Some(DynIdx::new(e.idx));
+                last_issue[c] = Some(DynIdx::new(idx));
+                scratch.occupancy[c] -= 1;
+                if S::ENABLED {
+                    scratch.occupancy_u32[c] -= 1;
+                }
 
                 // Global-value accounting: one delivery per (producer,
                 // consumer-cluster) pair.
@@ -563,18 +677,37 @@ pub fn simulate_observed<S: MetricsSink>(
                         }
                     }
                 }
+
+                // Event-driven wakeup: this issue fixed `completes[i]` and
+                // `broadcast[i]`, so every consumer parked on `i` can now be
+                // re-examined. Determined consumers land in the calendar
+                // (their ready time is strictly future); the rest re-park on
+                // their next unissued producer.
+                let mut w = scratch.waiter_head[i];
+                scratch.waiter_head[i] = NO_INST;
+                while w != NO_INST {
+                    let next = scratch.waiter_next[w as usize];
+                    scratch.waiter_next[w as usize] = NO_INST;
+                    scratch.try_determine_ready(
+                        w,
+                        t,
+                        trace,
+                        mem_dep,
+                        &completes,
+                        &broadcast,
+                        &mut records,
+                        config,
+                    );
+                    w = next;
+                }
             }
-            issued_total += scratch.taken.len();
-            // Remove issued entries (descending positions to keep indices valid).
-            scratch.taken.sort_unstable_by(|a, b| b.cmp(a));
-            for &pos in &scratch.taken {
-                windows[c].swap_remove(pos);
-            }
+            // The unissued ready entries stay ready for the next cycle;
+            // `ready`'s buffer becomes the next compaction scratch.
+            scratch.ready_lists[c] = std::mem::replace(&mut scratch.keep, ready);
         }
         if any_in_window {
             ilp.record(available_total, issued_total);
         }
-
         // ---- Dispatch / steer ---------------------------------------------
         let mut dispatched_this_cycle = 0;
         while dispatched_this_cycle < fw {
@@ -613,8 +746,6 @@ pub fn simulate_observed<S: MetricsSink>(
                     });
                 }
             }
-            scratch.occupancy.clear();
-            scratch.occupancy.extend(windows.iter().map(Vec::len));
             let view = SteerView {
                 inst,
                 idx: DynIdx::new(head),
@@ -668,17 +799,31 @@ pub fn simulate_observed<S: MetricsSink>(
             rec.loc = outcome.loc;
             rec.dispatch_bound = bound;
 
-            let priority = policy.priority(DynIdx::new(head), inst);
-            windows[cluster].push(WinEntry {
-                idx: head,
-                priority,
-                ready: NOT_YET,
-            });
+            scratch.priority[i] = policy.priority(DynIdx::new(head), inst);
+            scratch.occupancy[cluster] += 1;
+            if S::ENABLED {
+                scratch.occupancy_u32[cluster] += 1;
+            }
+            // Determine the entry's ready time now if every producer has
+            // already issued; otherwise park it on the first unissued one.
+            // Either way it surfaces for selection exactly at its ready
+            // cycle — the window is never rescanned.
+            scratch.try_determine_ready(
+                head,
+                t,
+                trace,
+                mem_dep,
+                &completes,
+                &broadcast,
+                &mut records,
+                config,
+            );
             fe_queue.pop_front();
+            // Only instructions that cleared the pipe reach dispatch.
+            waiting -= 1;
             dispatched += 1;
             dispatched_this_cycle += 1;
         }
-
         // ---- Fetch ---------------------------------------------------------
         if let Some(b) = fetch_blocked_on {
             if completes[b.index()] != NOT_YET {
@@ -692,10 +837,13 @@ pub fn simulate_observed<S: MetricsSink>(
             // front-end pipe but not dispatched; instructions still in
             // flight inside the pipe (fetched within the last `depth`
             // cycles) do not occupy buffer entries.
-            let waiting = fe_queue
-                .iter()
-                .take_while(|&&i| records[i as usize].fetch + depth <= t)
-                .count();
+            debug_assert_eq!(
+                waiting,
+                fe_queue
+                    .iter()
+                    .take_while(|&&i| records[i as usize].fetch + depth <= t)
+                    .count()
+            );
             let in_pipe = fe_queue.len() - waiting;
             let mut fetched_this_cycle = 0;
             while fetched_this_cycle < fw
@@ -711,6 +859,7 @@ pub fn simulate_observed<S: MetricsSink>(
                     redirect_of[i] = Some(r);
                 }
                 fe_queue.push_back(i as u32);
+                maturing[(t as usize) % pipe_ring] += 1;
                 next_fetch += 1;
                 fetched_this_cycle += 1;
 
@@ -744,8 +893,13 @@ pub fn simulate_observed<S: MetricsSink>(
         t += 1;
     }
 
-    debug_assert!(windows.iter().all(Vec::is_empty));
+    debug_assert!(scratch.occupancy.iter().all(|&o| o == 0));
+    debug_assert!(scratch.ready_lists.iter().all(Vec::is_empty));
+    debug_assert!(scratch.wheel.iter().all(Vec::is_empty));
+    debug_assert!(scratch.overflow.is_empty());
+    debug_assert!(scratch.waiter_head.iter().all(|&w| w == NO_INST));
     debug_assert!(fe_queue.is_empty());
+    debug_assert_eq!(waiting, 0);
 
     if S::ENABLED {
         sink.on_run_end(t, n as u64);

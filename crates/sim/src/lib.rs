@@ -37,7 +37,6 @@
 
 pub mod check;
 mod engine;
-mod memdep;
 pub mod policies;
 mod policy;
 mod record;

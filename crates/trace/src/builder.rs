@@ -14,6 +14,11 @@ use std::ops::Index;
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Trace {
     insts: Vec<DynInst>,
+    /// Lazily resolved true memory dependences (see
+    /// [`memory_deps`](Trace::memory_deps)). Derived state: never
+    /// serialized, recomputed on demand after deserialization.
+    #[serde(skip)]
+    mem_deps: std::sync::OnceLock<Vec<Option<u32>>>,
 }
 
 impl Trace {
@@ -52,6 +57,20 @@ impl Trace {
     /// Computes aggregate statistics over the trace.
     pub fn stats(&self) -> TraceStats {
         TraceStats::from_trace(self)
+    }
+
+    /// The true memory dependence of every instruction: for a load, the
+    /// index of the latest older store to the same 8-byte word (perfect
+    /// disambiguation); `None` elsewhere.
+    ///
+    /// Resolved on first use and cached for the trace's lifetime, so the
+    /// many simulations that share one trace (grid campaigns, training
+    /// epochs, differential runs) pay for the sweep once. Thread-safe:
+    /// concurrent first callers race benignly on the same deterministic
+    /// result.
+    pub fn memory_deps(&self) -> &[Option<u32>] {
+        self.mem_deps
+            .get_or_init(|| crate::memdep::resolve_memory_deps(self))
     }
 
     /// Builds, for every instruction, the list of in-trace consumers of its
@@ -113,7 +132,10 @@ impl Trace {
     /// and the downstream checkers reject them. Production code should
     /// always go through [`TraceBuilder`].
     pub fn from_insts(insts: Vec<DynInst>) -> Trace {
-        Trace { insts }
+        Trace {
+            insts,
+            mem_deps: std::sync::OnceLock::new(),
+        }
     }
 }
 
@@ -228,7 +250,10 @@ impl TraceBuilder {
 
     /// Finalizes the trace.
     pub fn finish(self) -> Trace {
-        Trace { insts: self.insts }
+        Trace {
+            insts: self.insts,
+            mem_deps: std::sync::OnceLock::new(),
+        }
     }
 }
 

@@ -39,6 +39,7 @@ mod behavior;
 mod builder;
 mod dynamic;
 mod error;
+mod memdep;
 pub mod patterns;
 pub mod program;
 mod stats;

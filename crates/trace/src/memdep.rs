@@ -1,15 +1,18 @@
 //! Perfect memory disambiguation support.
 //!
-//! The simulator resolves load→store dependences exactly from the trace
+//! Consumers resolve load→store dependences exactly from the trace
 //! (Table 1's perfect disambiguation): a load depends on the latest
 //! older store to the same 8-byte word. The resolution pass is a single
 //! sweep with a last-store-per-word map; profiling showed the previous
 //! `HashMap<u64, u32>` (SipHash, amortized growth) dominating the
 //! per-run setup cost, so [`LastStoreTable`] replaces it with a
 //! pre-sized open-addressed table using Fibonacci hashing and linear
-//! probing — no hasher state, no growth, cache-friendly probes.
+//! probing — no hasher state, no growth, cache-friendly probes. The
+//! resolution runs at most once per trace: [`Trace::memory_deps`]
+//! caches the result, so repeated simulations of a shared trace (grid
+//! campaigns, multi-epoch cells) pay for the sweep once.
 
-use ccs_trace::Trace;
+use crate::builder::Trace;
 
 /// Key slot marker for an empty bucket. Word keys are `addr >> 3`, so
 /// the top three bits are always clear and `u64::MAX` cannot collide
@@ -78,7 +81,7 @@ impl LastStoreTable {
 
 /// Resolves, for every instruction, the index of the store it truly
 /// depends on (loads only; `None` elsewhere).
-pub(crate) fn resolve_memory_deps(trace: &Trace) -> Vec<Option<u32>> {
+pub(super) fn resolve_memory_deps(trace: &Trace) -> Vec<Option<u32>> {
     let insts = trace.as_slice();
     let stores = insts
         .iter()
@@ -103,7 +106,7 @@ pub(crate) fn resolve_memory_deps(trace: &Trace) -> Vec<Option<u32>> {
 mod tests {
     use super::*;
     use ccs_isa::{ArchReg, OpClass, Pc, StaticInst};
-    use ccs_trace::{Benchmark, TraceBuilder};
+    use crate::{Benchmark, TraceBuilder};
     use std::collections::HashMap;
 
     #[test]

@@ -15,8 +15,13 @@ use ccs_isa::MemoryConfig;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    /// `sets[s]` holds up to `ways` tags, most recently used first.
-    sets: Vec<Vec<u64>>,
+    /// Flat tag store: set `s` occupies `tags[s*ways .. (s+1)*ways]`,
+    /// most recently used first. One contiguous allocation keeps the
+    /// per-access probe to a single indexed slice — the engine calls
+    /// [`access`](Self::access) for every load and store.
+    tags: Vec<u64>,
+    /// Number of valid tags per set (leading entries of its slice).
+    lens: Vec<u8>,
     ways: usize,
     line_shift: u32,
     set_mask: u64,
@@ -38,8 +43,10 @@ impl SetAssocCache {
         assert_eq!(size_bytes % (ways * line_bytes), 0, "inconsistent geometry");
         let n_sets = size_bytes / (ways * line_bytes);
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways <= u8::MAX as usize, "associativity beyond tracking width");
         SetAssocCache {
-            sets: vec![Vec::with_capacity(ways); n_sets],
+            tags: vec![0; n_sets * ways],
+            lens: vec![0; n_sets],
             ways,
             line_shift: line_bytes.trailing_zeros(),
             set_mask: (n_sets - 1) as u64,
@@ -60,18 +67,21 @@ impl SetAssocCache {
         self.accesses += 1;
         let line = addr >> self.line_shift;
         let set = (line & self.set_mask) as usize;
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&t| t == line) {
-            // Move to MRU position.
-            let t = ways.remove(pos);
-            ways.insert(0, t);
+        let len = self.lens[set] as usize;
+        let ways = &mut self.tags[set * self.ways..(set + 1) * self.ways];
+        if let Some(pos) = ways[..len].iter().position(|&t| t == line) {
+            // Move to MRU position (slide the younger tags down one).
+            ways.copy_within(..pos, 1);
+            ways[0] = line;
             true
         } else {
             self.misses += 1;
-            if ways.len() == self.ways {
-                ways.pop();
+            if len < self.ways {
+                self.lens[set] = (len + 1) as u8;
             }
-            ways.insert(0, line);
+            // Allocate at MRU; the LRU tag (if the set was full) falls off.
+            ways.copy_within(..self.ways - 1, 1);
+            ways[0] = line;
             false
         }
     }
@@ -81,7 +91,8 @@ impl SetAssocCache {
     pub fn would_hit(&self, addr: u64) -> bool {
         let line = addr >> self.line_shift;
         let set = (line & self.set_mask) as usize;
-        self.sets[set].contains(&line)
+        let len = self.lens[set] as usize;
+        self.tags[set * self.ways..set * self.ways + len].contains(&line)
     }
 
     /// Total accesses so far.
@@ -107,9 +118,7 @@ impl SetAssocCache {
 
     /// Empties the cache and clears statistics.
     pub fn reset(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.lens.iter_mut().for_each(|l| *l = 0);
         self.accesses = 0;
         self.misses = 0;
     }
@@ -201,6 +210,7 @@ mod tests {
     #[test]
     fn l1_from_config_has_128_sets() {
         let c = SetAssocCache::from_config(&MemoryConfig::default());
-        assert_eq!(c.sets.len(), 128);
+        assert_eq!(c.lens.len(), 128);
+        assert_eq!(c.tags.len(), 128 * c.ways);
     }
 }

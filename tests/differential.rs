@@ -10,7 +10,7 @@
 use ccs_core::parallel_map;
 use ccs_isa::ClusterLayout;
 use ccs_verify::campaign::ALL_POLICIES;
-use ccs_verify::{run_case, standard_campaign, CaseOutcome};
+use ccs_verify::{run_case, standard_campaign, CaseOutcome, DiffCase, TraceSource};
 
 fn case_budget() -> usize {
     std::env::var("CCS_DIFF_CASES")
@@ -50,4 +50,52 @@ fn engine_agrees_with_reference_oracle() {
         cases.len(),
         failures.join("\n")
     );
+}
+
+/// Long-trace differential cases: 100 000 instructions wrap the wakeup
+/// wheel (horizon 512) hundreds of times, fill the parked-producer
+/// lists at realistic window occupancy, and stress the broadcast
+/// backlog — regimes the short campaign traces never reach. Bounded to
+/// two hand-picked cases (one workload trace, one random trace with
+/// bandwidth-1 broadcast) so the CI cost stays in seconds;
+/// `CCS_DIFF_LONG=0` skips loudly.
+#[test]
+fn long_trace_cases_agree_end_to_end() {
+    if std::env::var("CCS_DIFF_LONG").is_ok_and(|v| v == "0") {
+        eprintln!("SKIPPED: long-trace differential cases disabled by CCS_DIFF_LONG=0");
+        return;
+    }
+    let cases = [
+        DiffCase {
+            id: 100_000,
+            layout: ClusterLayout::C4x2w,
+            policy: ccs_core::PolicyKind::Focused,
+            source: TraceSource::Bench {
+                bench: ccs_trace::Benchmark::Gcc,
+                seed: 1,
+                len: 100_000,
+            },
+            forward_latency: 2,
+            forward_bandwidth: None,
+            epochs: 2,
+        },
+        DiffCase {
+            id: 100_001,
+            layout: ClusterLayout::C8x1w,
+            policy: ccs_core::PolicyKind::Proactive,
+            source: TraceSource::Random {
+                seed: 0x00D1_FF10_0000,
+                len: 100_000,
+            },
+            forward_latency: 1,
+            forward_bandwidth: Some(1),
+            epochs: 1,
+        },
+    ];
+    for case in &cases {
+        match run_case(case).unwrap() {
+            CaseOutcome::Agreed => {}
+            CaseOutcome::Diverged(lines) => panic!("{}", lines.join("\n  ")),
+        }
+    }
 }
