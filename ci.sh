@@ -36,6 +36,20 @@ cargo test --release --test checkpoint_resume -q
 echo "==> metrics observability smoke"
 cargo test --release --test metrics_observability -q
 
+# Prediction-tier smoke: a bounded slice of the analytic-bounds suite
+# (every case must land inside its predicted cycle/IPC envelope; the
+# full 200-case run plus the whole golden corpus happens in the plain
+# `cargo test` above) and the bound-mutation tests proving each
+# check_bounds rule is non-vacuous. Then the approx-vs-full loadgen
+# comparison, which asserts the envelope tier is measurably cheaper
+# than simulation.
+echo "==> predict bounds smoke (CCS_PREDICT_CASES=${CCS_PREDICT_CASES:-40})"
+CCS_PREDICT_CASES="${CCS_PREDICT_CASES:-40}" \
+    cargo test --release --test predict_bounds -q
+cargo test --release -p ccs-verify bound -q
+cargo run --release --example loadgen -- --approx --out "$(mktemp -u)" >/dev/null
+echo "    envelope tier measurably cheaper than simulation"
+
 # Serve smoke: boot the daemon on an ephemeral loopback port, run a
 # small grid through the client CLI and a bounded loadgen against it,
 # then drain and require a clean exit 0. The roundtrip/protocol test

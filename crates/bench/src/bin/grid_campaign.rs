@@ -7,6 +7,14 @@
 //! Exit code: `0` when every cell completed, `1` when any cell failed
 //! or timed out, `2` when the campaign is still incomplete.
 //!
+//! `--predict-order` (or `CCS_PREDICT_ORDER=1`) orders the pending
+//! cells best-first by their `ccs-predict` analytic cycle bound —
+//! longest predicted cells start first, which tightens the parallel
+//! tail and makes a truncated/killed campaign finish the expensive
+//! cells earliest — and records each cell's predicted envelope in its
+//! manifest record. Ordering is metadata-only: every simulated bit is
+//! identical with it on or off.
+//!
 //! With `--server HOST:PORT` (or `CCS_SERVER`) the same grid is
 //! submitted to a running `ccs-serve` daemon instead of being evaluated
 //! in-process; results stream back per cell and the exit codes are
@@ -124,9 +132,14 @@ fn main() {
     }
 
     println!(
-        "grid campaign: {} cells, manifest {manifest}{}",
+        "grid campaign: {} cells, manifest {manifest}{}{}",
         specs.len(),
-        if opts.resume { " (resuming)" } else { "" }
+        if opts.resume { " (resuming)" } else { "" },
+        if opts.predict_order {
+            " (predict-ordered)"
+        } else {
+            ""
+        }
     );
     // Warm the shared trace cache so trace generation is charged to its
     // own stage rather than the first cells to touch each benchmark.
@@ -137,7 +150,9 @@ fn main() {
             }
         }
     });
-    let campaign = CampaignOptions::new(&manifest).with_resume(opts.resume);
+    let campaign = CampaignOptions::new(&manifest)
+        .with_resume(opts.resume)
+        .with_predict_order(opts.predict_order);
     let threads = opts.threads_for(specs.len());
     let report = timers.time("simulate", || {
         run_campaign(&specs, threads, &opts.resilience(), &campaign)

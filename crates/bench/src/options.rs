@@ -30,6 +30,10 @@ pub struct HarnessOptions {
     /// Resume a checkpointed campaign: skip cells already recorded in
     /// the manifest instead of truncating it.
     pub resume: bool,
+    /// Order campaign cells best-first by their analytic cycle bound
+    /// (`ccs-predict`) and record the predicted envelope in the
+    /// manifest. Metadata-only: results stay bit-identical.
+    pub predict_order: bool,
     /// Attempts per grid cell before it is reported as failed.
     pub max_attempts: u32,
     /// Wall-clock deadline per cell attempt in milliseconds (`0` = no
@@ -55,7 +59,8 @@ impl HarnessOptions {
     /// failing cells, `CCS_DEADLINE_MS` arms the per-cell wall-clock
     /// watchdog and `CCS_CYCLE_BUDGET` bounds each simulation.
     /// `CCS_METRICS=1` collects observability metrics and prints stage
-    /// timings and a CPI stack.
+    /// timings and a CPI stack. `CCS_PREDICT_ORDER=1` orders campaign
+    /// cells best-first by their analytic cycle bound.
     pub fn from_env() -> Self {
         let parse = |name: &str, default: u64| -> u64 {
             std::env::var(name)
@@ -73,6 +78,7 @@ impl HarnessOptions {
             threads_auto,
             checked: parse("CCS_CHECKED", 0) != 0,
             resume: parse("CCS_RESUME", 0) != 0,
+            predict_order: parse("CCS_PREDICT_ORDER", 0) != 0,
             max_attempts: parse("CCS_MAX_ATTEMPTS", 1).max(1) as u32,
             deadline_ms: parse("CCS_DEADLINE_MS", 0),
             cycle_budget: parse("CCS_CYCLE_BUDGET", 0),
@@ -81,8 +87,9 @@ impl HarnessOptions {
     }
 
     /// [`from_env`](Self::from_env), then applies `--threads N` /
-    /// `--threads=N` (`N` a count or `auto`), `--resume` and
-    /// `--metrics` from the binary's command line on top.
+    /// `--threads=N` (`N` a count or `auto`), `--resume`,
+    /// `--predict-order` and `--metrics` from the binary's command
+    /// line on top.
     pub fn from_env_and_args() -> Self {
         let mut opts = Self::from_env();
         let mut args = std::env::args().skip(1);
@@ -107,6 +114,8 @@ impl HarnessOptions {
                 }
             } else if arg == "--resume" {
                 opts.resume = true;
+            } else if arg == "--predict-order" {
+                opts.predict_order = true;
             } else if arg == "--metrics" {
                 opts.metrics = true;
             }
@@ -156,6 +165,7 @@ impl HarnessOptions {
             threads_auto: false,
             checked: false,
             resume: false,
+            predict_order: false,
             max_attempts: 1,
             deadline_ms: 0,
             cycle_budget: 0,

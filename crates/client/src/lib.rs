@@ -27,6 +27,32 @@ pub struct Client {
     next_id: u64,
 }
 
+/// What an approximate submission came back with.
+///
+/// A cache hit on the daemon still answers exactly — an analytic
+/// envelope is never a downgrade from a simulated result already in
+/// hand — so callers must be ready for either shape.
+#[derive(Debug, Clone)]
+pub enum ApproxAnswer {
+    /// The daemon had the simulated result cached and returned it.
+    Exact(WireCellRecord),
+    /// The daemon answered with `ccs-predict`'s analytic envelope
+    /// without simulating. Escalate by re-submitting via
+    /// [`Client::submit_cell`].
+    Envelope {
+        /// The cell's checkpoint key.
+        key: String,
+        /// Sound lower bound on simulated cycles.
+        cycles_lo: u64,
+        /// Sound upper bound on simulated cycles.
+        cycles_hi: u64,
+        /// Sound upper bound on achieved IPC.
+        ipc_hi: f64,
+        /// Envelope confidence grade (`high`/`medium`/`low`).
+        confidence: String,
+    },
+}
+
 /// What a grid submission produced, reassembled into input order.
 #[derive(Debug, Clone)]
 pub struct GridOutcome {
@@ -120,10 +146,49 @@ impl Client {
         self.send(&Request::SubmitCell {
             id,
             cell: cell.clone(),
+            approx: false,
         })
         .map_err(CcsError::from)?;
         match self.recv().map_err(CcsError::from)? {
             Response::Cell { record, .. } => Ok(record),
+            other => Err(Self::refusal(other)),
+        }
+    }
+
+    /// Submits one cell with the `approx` flag: the daemon answers from
+    /// its cache when it can (exact), and with the analytic
+    /// `[cycles_lo, cycles_hi]` / IPC-ceiling envelope otherwise —
+    /// without ever queueing a simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`CcsError::Rejected`] on busy/draining replies,
+    /// [`CcsError::Protocol`] on transport or protocol failures.
+    pub fn submit_cell_approx(&mut self, cell: &WireCellSpec) -> Result<ApproxAnswer, CcsError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.send(&Request::SubmitCell {
+            id,
+            cell: cell.clone(),
+            approx: true,
+        })
+        .map_err(CcsError::from)?;
+        match self.recv().map_err(CcsError::from)? {
+            Response::Cell { record, .. } => Ok(ApproxAnswer::Exact(record)),
+            Response::Approx {
+                key,
+                cycles_lo,
+                cycles_hi,
+                ipc_hi_bits,
+                confidence,
+                ..
+            } => Ok(ApproxAnswer::Envelope {
+                key,
+                cycles_lo,
+                cycles_hi,
+                ipc_hi: f64::from_bits(ipc_hi_bits),
+                confidence,
+            }),
             other => Err(Self::refusal(other)),
         }
     }

@@ -184,7 +184,8 @@ fn run_status(client: &mut Client) -> i32 {
             println!(
                 "protocol v{} draining={} queue {}/{} workers {}\n\
                  cache {}/{} (hits {} misses {})\n\
-                 admitted {} evaluated {} busy-rejects {} protocol-errors {}",
+                 admitted {} evaluated {} busy-rejects {} protocol-errors {}\n\
+                 approx-answered {}",
                 s.protocol,
                 s.draining,
                 s.queue_depth,
@@ -198,6 +199,7 @@ fn run_status(client: &mut Client) -> i32 {
                 s.cells_evaluated,
                 s.admission_rejects,
                 s.protocol_errors,
+                s.approx_answered,
             );
             0
         }

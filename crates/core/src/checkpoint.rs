@@ -291,6 +291,15 @@ pub struct CheckpointRecord {
     pub metrics_digest: Option<u64>,
     /// The error rendering for failed/timed-out cells.
     pub error: Option<String>,
+    /// Analytic lower bound on the cell's cycle count
+    /// ([`ccs_predict::predict`]), recorded when the campaign ran with
+    /// [`CampaignOptions::predict_order`]. Predictions are pure
+    /// metadata: they never feed [`cell_key`] or the result digest, and
+    /// both fields are omitted from the JSON line when absent, so
+    /// manifests written without prediction stay byte-identical.
+    pub predicted_lo: Option<u64>,
+    /// Analytic upper bound companion to `predicted_lo`.
+    pub predicted_hi: Option<u64>,
 }
 
 impl CheckpointRecord {
@@ -307,6 +316,8 @@ impl CheckpointRecord {
                 digest: fnv1a(format!("{:?}", o.result).as_bytes()),
                 metrics_digest: o.metrics.as_ref().map(|m| m.digest()),
                 error: None,
+                predicted_lo: None,
+                predicted_hi: None,
             },
             CellStatus::Failed { error, attempts } | CellStatus::TimedOut { error, attempts } => {
                 CheckpointRecord {
@@ -318,6 +329,8 @@ impl CheckpointRecord {
                     digest: 0,
                     metrics_digest: None,
                     error: Some(error.to_string()),
+                    predicted_lo: None,
+                    predicted_hi: None,
                 }
             }
         }
@@ -343,6 +356,15 @@ impl CheckpointRecord {
             Some(d) => {
                 let _ = write!(s, ",\"metrics_digest\":{d}");
             }
+        }
+        // Prediction metadata is omitted entirely (not `null`) when
+        // absent: manifests from prediction-free campaigns stay
+        // byte-identical to what earlier builds wrote.
+        if let Some(lo) = self.predicted_lo {
+            let _ = write!(s, ",\"predicted_lo\":{lo}");
+        }
+        if let Some(hi) = self.predicted_hi {
+            let _ = write!(s, ",\"predicted_hi\":{hi}");
         }
         match &self.error {
             None => s.push_str(",\"error\":null}"),
@@ -375,6 +397,9 @@ impl CheckpointRecord {
                 parse_u64_field(line, "metrics_digest")
             },
             error: parse_opt_str_field(line, "error")?,
+            // Tolerant: absent in prediction-free manifests.
+            predicted_lo: parse_u64_field(line, "predicted_lo"),
+            predicted_hi: parse_u64_field(line, "predicted_hi"),
         })
     }
 }
@@ -536,6 +561,15 @@ pub struct CampaignOptions {
     /// deterministic stand-in for a mid-campaign kill, used by the
     /// kill-and-resume tests. `None` runs the full grid.
     pub max_cells: Option<usize>,
+    /// Order pending cells best-first (longest-predicted-first) by the
+    /// analytic cycle bound from [`ccs_predict::predict`], and record
+    /// each cell's predicted envelope in its manifest line. Pure
+    /// metadata: ordering changes which cell runs *when* (better
+    /// tail-latency under `max_cells`/kills, classic LPT scheduling)
+    /// but never what any cell computes — results are re-placed by
+    /// input index and keys/digests are unaffected, a property
+    /// `tests/predict_order_determinism.rs` enforces.
+    pub predict_order: bool,
 }
 
 impl CampaignOptions {
@@ -545,6 +579,7 @@ impl CampaignOptions {
             manifest: manifest.into(),
             resume: false,
             max_cells: None,
+            predict_order: false,
         }
     }
 
@@ -559,6 +594,13 @@ impl CampaignOptions {
     #[must_use]
     pub fn with_max_cells(mut self, max_cells: usize) -> Self {
         self.max_cells = Some(max_cells);
+        self
+    }
+
+    /// The same options with best-first predicted ordering on or off.
+    #[must_use]
+    pub fn with_predict_order(mut self, predict_order: bool) -> Self {
+        self.predict_order = predict_order;
         self
     }
 }
@@ -682,9 +724,41 @@ pub fn run_campaign(
         .map(|(i, s)| (i, *s))
         .collect();
     let skipped = specs.len() - pending.len();
+    // Best-first (LPT) ordering: sort the still-pending cells by
+    // descending predicted cycle lower bound before any `max_cells`
+    // truncation, so the longest cells start (and survive a truncated
+    // run) first. Strictly metadata: only the evaluation *order*
+    // changes — results are re-placed by input index below, and the
+    // predicted envelope rides along on each cell's manifest record.
+    let predictions: HashMap<String, (u64, u64)> = if opts.predict_order {
+        let map: HashMap<String, (u64, u64)> = pending
+            .iter()
+            .map(|(i, spec)| {
+                let trace =
+                    ccs_trace::TraceStore::global().get(spec.benchmark, spec.sample_seed, spec.len);
+                let p = ccs_predict::predict(&spec.config, &trace)
+                    .with_cycle_budget(spec.options.cycle_budget);
+                (keys[*i].clone(), (p.cycles_lo, p.cycles_hi))
+            })
+            .collect();
+        pending.sort_by(|(a, _), (b, _)| {
+            let lo = |i: &usize| map.get(&keys[*i]).map(|p| p.0).unwrap_or(0);
+            lo(b).cmp(&lo(a)).then(a.cmp(b))
+        });
+        map
+    } else {
+        HashMap::new()
+    };
     if let Some(max) = opts.max_cells {
         pending.truncate(max);
     }
+    let attach = |mut rec: CheckpointRecord| {
+        if let Some(&(lo, hi)) = predictions.get(&rec.key) {
+            rec.predicted_lo = Some(lo);
+            rec.predicted_hi = Some(hi);
+        }
+        rec
+    };
 
     let pending_specs: Vec<CellSpec> = pending.iter().map(|(_, s)| *s).collect();
     let ran = run_cells(
@@ -693,7 +767,7 @@ pub fn run_campaign(
         res,
         |_, spec, cancel| evaluate_cell(spec, cancel),
         |_, result: &CellResult| {
-            let line = CheckpointRecord::from_result(result).to_json_line();
+            let line = attach(CheckpointRecord::from_result(result)).to_json_line();
             let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
             // A write/flush failure here must not take down the other
             // worker threads; the campaign still holds its results in
@@ -717,7 +791,7 @@ pub fn run_campaign(
         .iter()
         .zip(&keys)
         .map(|(result, key)| match result {
-            Some(r) => Some(CheckpointRecord::from_result(r)),
+            Some(r) => Some(attach(CheckpointRecord::from_result(r))),
             None => recorded.get(key).cloned(),
         })
         .collect();
@@ -748,6 +822,8 @@ mod tests {
             digest: 0xdead_beef,
             metrics_digest: Some(0x0123_4567_89ab_cdef),
             error: None,
+            predicted_lo: Some(1_100),
+            predicted_hi: Some(164_001),
         };
         let line = rec.to_json_line();
         assert_eq!(CheckpointRecord::from_json_line(&line), Some(rec));
@@ -761,6 +837,8 @@ mod tests {
             digest: 0,
             metrics_digest: None,
             error: Some("cell panicked: \"quoted\"\nand newline \\ slash".into()),
+            predicted_lo: None,
+            predicted_hi: None,
         };
         let line = failed.to_json_line();
         assert_eq!(CheckpointRecord::from_json_line(&line), Some(failed));

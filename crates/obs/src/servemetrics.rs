@@ -45,6 +45,9 @@ pub struct ServeMetrics {
     cache_hits: AtomicU64,
     /// Cells that missed the result cache.
     cache_misses: AtomicU64,
+    /// Approximate (analytic-envelope) answers served without
+    /// simulating.
+    approx_answered: AtomicU64,
     /// Current work-queue depth (gauge, maintained by the admission and
     /// worker paths).
     queue_depth: AtomicU64,
@@ -73,6 +76,7 @@ impl ServeMetrics {
             cells_evaluated: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            approx_answered: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             queue_depth_peak: AtomicU64::new(0),
             latency_ms: std::array::from_fn(|_| {
@@ -143,6 +147,12 @@ impl ServeMetrics {
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records an approximate (envelope-only) answer served without
+    /// simulating.
+    pub fn record_approx(&self) {
+        self.approx_answered.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent-enough copy of every counter for a status or
     /// metrics reply. (Counters are read individually; the snapshot is
     /// not atomic across fields, which status reporting does not need.)
@@ -156,6 +166,7 @@ impl ServeMetrics {
             cells_evaluated: self.cells_evaluated.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            approx_answered: self.approx_answered.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
             latency_ms: std::array::from_fn(|i| {
@@ -187,6 +198,8 @@ pub struct ServeSnapshot {
     pub cache_hits: u64,
     /// Cells that missed the result cache.
     pub cache_misses: u64,
+    /// Approximate (envelope-only) answers served without simulating.
+    pub approx_answered: u64,
     /// Work-queue depth at snapshot time.
     pub queue_depth: u64,
     /// High-water mark of the queue depth.
@@ -249,6 +262,7 @@ mod tests {
         m.record_cache_hit();
         m.record_admission_reject();
         m.record_protocol_error();
+        m.record_approx();
         let s = m.snapshot();
         assert_eq!(s.frames[1], 2);
         assert_eq!(s.frames[4], 1);
@@ -260,6 +274,7 @@ mod tests {
         assert_eq!(s.cache_misses, 3);
         assert_eq!(s.admission_rejects, 1);
         assert_eq!(s.protocol_errors, 1);
+        assert_eq!(s.approx_answered, 1);
         assert!((s.cache_hit_rate() - 0.25).abs() < 1e-12);
     }
 

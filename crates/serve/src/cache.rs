@@ -117,6 +117,8 @@ mod tests {
             cpi_bits: cycles.wrapping_mul(3),
             digest: cycles.wrapping_mul(7),
             metrics_digest: None,
+            predicted_lo: None,
+            predicted_hi: None,
             error: None,
         }
     }

@@ -50,6 +50,14 @@ pub enum JournalEvent {
         /// Why (`busy` or `draining`).
         reason: String,
     },
+    /// An approximate submission was answered with an analytic envelope
+    /// (cache miss on an `approx` request; no evaluation happened).
+    ApproxServed {
+        /// Monotonic sequence number.
+        seq: u64,
+        /// The cell's key.
+        key: String,
+    },
     /// A cell finished evaluating.
     CellDone {
         /// Monotonic sequence number.
@@ -108,6 +116,13 @@ impl JournalEvent {
                     json::quoted(reason),
                 );
             }
+            JournalEvent::ApproxServed { seq, key } => {
+                let _ = write!(
+                    out,
+                    "{{\"event\":\"approx\",\"seq\":{seq},\"key\":{}}}",
+                    json::quoted(key),
+                );
+            }
             JournalEvent::CellDone { seq, key, status } => {
                 let _ = write!(
                     out,
@@ -157,6 +172,10 @@ impl JournalEvent {
                 seq: num("seq")?,
                 id: num("id")?,
                 reason: json::str_field(line, "reason").ok_or_else(|| bad("missing reason"))?,
+            }),
+            "approx" => Ok(JournalEvent::ApproxServed {
+                seq: num("seq")?,
+                key: json::str_field(line, "key").ok_or_else(|| bad("missing key"))?,
             }),
             "cell_done" => Ok(JournalEvent::CellDone {
                 seq: num("seq")?,
@@ -249,6 +268,7 @@ impl Journal {
             JournalEvent::Started { .. } => {}
             JournalEvent::Admitted { seq: s, .. }
             | JournalEvent::RejectedEvent { seq: s, .. }
+            | JournalEvent::ApproxServed { seq: s, .. }
             | JournalEvent::CellDone { seq: s, .. }
             | JournalEvent::DrainRequested { seq: s, .. }
             | JournalEvent::Drained { seq: s } => *s = seq,
@@ -314,19 +334,24 @@ mod tests {
             key: "vpr/s1/n2000/4x2w/Focused/abc".into(),
             status: "ok".into(),
         });
+        journal.append(JournalEvent::ApproxServed {
+            seq: 0,
+            key: "vpr/s1/n2000/4x2w/Focused/def".into(),
+        });
         journal.append(JournalEvent::DrainRequested { seq: 0, pending: 2 });
         journal.append(JournalEvent::Drained { seq: 0 });
         let (events, skipped) = load_journal(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(skipped, 0);
-        assert_eq!(events.len(), 5);
+        assert_eq!(events.len(), 6);
         assert!(matches!(
             events[0],
             JournalEvent::Started { workers: 4, queue_capacity: 256, .. }
         ));
         // Sequence numbers are stamped by the journal, in order.
         assert!(matches!(events[1], JournalEvent::Admitted { seq: 1, id: 7, cells: 3, cached: 1 }));
-        assert!(matches!(events[4], JournalEvent::Drained { seq: 4 }));
+        assert!(matches!(events[3], JournalEvent::ApproxServed { seq: 3, .. }));
+        assert!(matches!(events[5], JournalEvent::Drained { seq: 5 }));
     }
 
     #[test]

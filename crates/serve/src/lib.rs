@@ -6,7 +6,11 @@
 //! executor the batch harness uses, answers duplicates from a bounded
 //! LRU result cache keyed by the checkpoint
 //! [`cell_key`](ccs_core::cell_key), and pushes back with typed `busy`
-//! replies when its bounded admission queue is full. Results are
+//! replies when its bounded admission queue is full. Opt-in `approx`
+//! submissions skip the queue entirely: cache hits answer exactly and
+//! everything else gets `ccs-predict`'s analytic cycle/IPC envelope,
+//! which the client escalates to a full simulation by re-submitting
+//! without the flag. Results are
 //! *bit-identical* to an in-process [`run_grid`](ccs_core::run_grid) of
 //! the same cells — same schedule digests, same CPI bit patterns —
 //! because both paths run the same deterministic evaluation; the

@@ -374,6 +374,14 @@ pub enum Request {
     SubmitCell {
         /// Client-chosen submission id, echoed in every reply.
         id: u64,
+        /// Opt in to an approximate answer: on a cache miss the daemon
+        /// replies immediately with the cell's analytic
+        /// [`Response::Approx`] envelope instead of simulating. A cache
+        /// *hit* still returns the exact [`Response::Cell`] record — an
+        /// exact answer is strictly better and costs nothing. Decoded
+        /// tolerantly (absent reads as `false`), so version-1 clients
+        /// that never send the field are unaffected.
+        approx: bool,
         /// The cell.
         cell: WireCellSpec,
     },
@@ -409,8 +417,10 @@ impl Request {
         let mut out = String::with_capacity(64);
         let _ = write!(out, "{{\"v\":{PROTOCOL_VERSION},\"type\":");
         match self {
-            Request::SubmitCell { id, cell } => {
-                let _ = write!(out, "\"submit_cell\",\"id\":{id},\"cell\":");
+            Request::SubmitCell { id, approx, cell } => {
+                // `approx` is written before the "cell" tag so the
+                // tag-scan decode of the nested object stays valid.
+                let _ = write!(out, "\"submit_cell\",\"id\":{id},\"approx\":{approx},\"cell\":");
                 cell.encode_into(&mut out);
                 out.push('}');
             }
@@ -467,7 +477,10 @@ impl Request {
                     message: "submit_cell missing \"cell\" object".into(),
                 })?;
                 let cell = WireCellSpec::decode(&payload[start + tag.len() - 1..])?;
-                Ok(Request::SubmitCell { id, cell })
+                // Tolerant: clients predating the approximate tier
+                // never send the field; absent means exact.
+                let approx = json::bool_field(&payload[..start], "approx").unwrap_or(false);
+                Ok(Request::SubmitCell { id, approx, cell })
             }
             "submit_grid" => {
                 let id = json::u64_field(payload, "id").ok_or_else(|| ServeError::Malformed {
@@ -555,6 +568,28 @@ pub enum Response {
         /// The finished cell.
         record: WireCellRecord,
     },
+    /// An approximate answer to an opt-in [`Request::SubmitCell`]: the
+    /// cell's analytic `[cycles_lo, cycles_hi]` envelope and IPC
+    /// ceiling (`ccs-predict`), computed from the trace and machine
+    /// config without simulating. Never cached as a result — a later
+    /// exact submission of the same cell simulates (and caches)
+    /// normally.
+    Approx {
+        /// The submission id.
+        id: u64,
+        /// The cell's [`cell_key`](ccs_core::cell_key) — identical to
+        /// the key an exact evaluation would record.
+        key: String,
+        /// Sound lower bound on the measured-epoch cycle count.
+        cycles_lo: u64,
+        /// Ceiling a successful run cannot exceed.
+        cycles_hi: u64,
+        /// Bit pattern of the IPC ceiling (exact float transport, like
+        /// `cpi_bits`).
+        ipc_hi_bits: u64,
+        /// Confidence tag (`high` / `medium` / `low`).
+        confidence: String,
+    },
     /// A submission finished; tallies over its cells.
     GridDone {
         /// The submission id.
@@ -628,6 +663,8 @@ pub struct StatusReply {
     pub admission_rejects: u64,
     /// Protocol errors since start.
     pub protocol_errors: u64,
+    /// Approximate (envelope-only) answers served since start.
+    pub approx_answered: u64,
 }
 
 impl Response {
@@ -655,6 +692,22 @@ impl Response {
                         let _ = write!(out, ",\"error\":{}}}", json::quoted(e));
                     }
                 }
+            }
+            Response::Approx {
+                id,
+                key,
+                cycles_lo,
+                cycles_hi,
+                ipc_hi_bits,
+                confidence,
+            } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"approx\",\"id\":{id},\"key\":{},\"cycles_lo\":{cycles_lo},\
+                     \"cycles_hi\":{cycles_hi},\"ipc_hi_bits\":{ipc_hi_bits},\"confidence\":{}}}",
+                    json::quoted(key),
+                    json::quoted(confidence),
+                );
             }
             Response::GridDone {
                 id,
@@ -689,7 +742,8 @@ impl Response {
                     "{{\"type\":\"status\",\"protocol\":{},\"draining\":{},\"queue_depth\":{},\
                      \"queue_capacity\":{},\"workers\":{},\"cache_len\":{},\"cache_capacity\":{},\
                      \"cache_hits\":{},\"cache_misses\":{},\"cells_admitted\":{},\
-                     \"cells_evaluated\":{},\"admission_rejects\":{},\"protocol_errors\":{}}}",
+                     \"cells_evaluated\":{},\"admission_rejects\":{},\"protocol_errors\":{},\
+                     \"approx_answered\":{}}}",
                     s.protocol,
                     s.draining,
                     s.queue_depth,
@@ -703,6 +757,7 @@ impl Response {
                     s.cells_evaluated,
                     s.admission_rejects,
                     s.protocol_errors,
+                    s.approx_answered,
                 );
             }
             Response::Metrics { json: body } => {
@@ -753,6 +808,15 @@ impl Response {
                         .ok_or_else(|| missing("error"))?,
                 },
             }),
+            "approx" => Ok(Response::Approx {
+                id: num("id")?,
+                key: json::str_field(payload, "key").ok_or_else(|| missing("key"))?,
+                cycles_lo: num("cycles_lo")?,
+                cycles_hi: num("cycles_hi")?,
+                ipc_hi_bits: num("ipc_hi_bits")?,
+                confidence: json::str_field(payload, "confidence")
+                    .ok_or_else(|| missing("confidence"))?,
+            }),
             "grid_done" => Ok(Response::GridDone {
                 id: num("id")?,
                 cells: num("cells")? as usize,
@@ -782,6 +846,7 @@ impl Response {
                 cells_evaluated: num("cells_evaluated")?,
                 admission_rejects: num("admission_rejects")?,
                 protocol_errors: num("protocol_errors")?,
+                approx_answered: num("approx_answered")?,
             })),
             "metrics" => {
                 let tag = "\"metrics\":";
@@ -834,7 +899,13 @@ mod tests {
         let reqs = [
             Request::SubmitCell {
                 id: 9,
+                approx: false,
                 cell: sample_cells()[0].clone(),
+            },
+            Request::SubmitCell {
+                id: 10,
+                approx: true,
+                cell: sample_cells()[1].clone(),
             },
             Request::SubmitGrid {
                 id: 7,
@@ -852,6 +923,23 @@ mod tests {
             let payload = req.encode();
             let back = Request::decode(&payload).unwrap_or_else(|e| panic!("{payload}: {e}"));
             assert_eq!(back, req, "{payload}");
+        }
+    }
+
+    #[test]
+    fn submit_cell_without_approx_field_decodes_as_exact() {
+        // A client predating the approximate tier omits the field
+        // entirely; the daemon must read that as an exact submission.
+        let payload = Request::SubmitCell {
+            id: 1,
+            approx: false,
+            cell: sample_cells()[0].clone(),
+        }
+        .encode()
+        .replace("\"approx\":false,", "");
+        match Request::decode(&payload).unwrap() {
+            Request::SubmitCell { approx, .. } => assert!(!approx),
+            other => panic!("unexpected decode: {other:?}"),
         }
     }
 
@@ -886,6 +974,14 @@ mod tests {
                     error: Some("cell panicked: \"quoted\"\nnewline".into()),
                 },
             },
+            Response::Approx {
+                id: 4,
+                key: "vpr/s1/n2000/4x2w/Focused/00ff".into(),
+                cycles_lo: 1_100,
+                cycles_hi: 228_001,
+                ipc_hi_bits: (1.8182_f64).to_bits(),
+                confidence: "medium".into(),
+            },
             Response::GridDone {
                 id: 3,
                 cells: 6,
@@ -912,6 +1008,7 @@ mod tests {
                 cells_evaluated: 17,
                 admission_rejects: 1,
                 protocol_errors: 2,
+                approx_answered: 6,
             }),
             Response::Metrics {
                 json: "{\"queue_depth\":0}".into(),

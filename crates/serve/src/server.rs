@@ -123,6 +123,7 @@ impl Shared {
             cells_evaluated: snap.cells_evaluated,
             admission_rejects: snap.admission_rejects,
             protocol_errors: snap.protocol_errors,
+            approx_answered: snap.approx_answered,
         }
     }
 }
@@ -141,7 +142,8 @@ pub fn render_metrics(snap: &ServeSnapshot) -> String {
         out,
         "}},\"protocol_errors\":{},\"admission_rejects\":{},\"drain_rejects\":{},\
          \"cells_admitted\":{},\"cells_evaluated\":{},\"cache_hits\":{},\"cache_misses\":{},\
-         \"cache_hit_rate\":{:.6},\"queue_depth\":{},\"queue_depth_peak\":{},\"latency\":{{",
+         \"cache_hit_rate\":{:.6},\"approx_answered\":{},\"queue_depth\":{},\
+         \"queue_depth_peak\":{},\"latency\":{{",
         snap.protocol_errors,
         snap.admission_rejects,
         snap.drain_rejects,
@@ -150,6 +152,7 @@ pub fn render_metrics(snap: &ServeSnapshot) -> String {
         snap.cache_hits,
         snap.cache_misses,
         snap.cache_hit_rate(),
+        snap.approx_answered,
         snap.queue_depth,
         snap.queue_depth_peak,
     );
@@ -424,10 +427,12 @@ fn handle_frame(shared: &Shared, stream: &mut TcpStream, payload: &str) -> bool 
     let kind = request.kind();
     shared.metrics.record_frame(kind);
     let keep = match request {
-        Request::SubmitCell { id, cell } => {
-            handle_submission(shared, stream, id, vec![cell], false)
+        Request::SubmitCell { id, cell, approx } => {
+            handle_submission(shared, stream, id, vec![cell], false, approx)
         }
-        Request::SubmitGrid { id, cells } => handle_submission(shared, stream, id, cells, true),
+        Request::SubmitGrid { id, cells } => {
+            handle_submission(shared, stream, id, cells, true, false)
+        }
         Request::Status => {
             let reply = Response::Status(shared.status());
             write_frame(stream, &reply.encode()).is_ok()
@@ -461,12 +466,19 @@ fn handle_frame(shared: &Shared, stream: &mut TcpStream, payload: &str) -> bool 
 /// `grid_done` tally. On rejection: exactly one `busy` or `rejected`
 /// frame and nothing else (admission is all-or-nothing, so the client
 /// never untangles a half-answered grid).
+///
+/// With `approx` set the submission never reaches the queue: cached
+/// cells are answered exactly (an envelope is never a downgrade from a
+/// result already in hand), everything else gets an `approx` frame
+/// carrying `ccs-predict`'s analytic envelope. Envelopes are never
+/// cached — the cache holds only simulated results.
 fn handle_submission(
     shared: &Shared,
     stream: &mut TcpStream,
     id: u64,
     cells: Vec<crate::protocol::WireCellSpec>,
     grid: bool,
+    approx: bool,
 ) -> bool {
     if shared.draining.load(Ordering::SeqCst) {
         shared.metrics.record_drain_reject();
@@ -497,6 +509,10 @@ fn handle_submission(
                 return write_frame(stream, &reply.encode()).is_ok();
             }
         }
+    }
+
+    if approx {
+        return handle_approx(shared, stream, id, &specs);
     }
 
     // Partition into cache hits (answered immediately) and unique-key
@@ -615,6 +631,61 @@ fn handle_submission(
             cached: tally.cached,
         };
         write_ok = write_frame(stream, &reply.encode()).is_ok();
+    }
+    write_ok
+}
+
+/// Answers an approximate submission without touching the worker queue.
+///
+/// Cache hits still return the exact simulated record (marked
+/// `cached`); misses return the analytic envelope and count toward
+/// `approx_answered`. The client escalates by re-submitting without the
+/// `approx` flag — the envelope never enters the result cache, so the
+/// escalated run is a plain first-class evaluation.
+fn handle_approx(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    id: u64,
+    specs: &[CellSpec],
+) -> bool {
+    let mut write_ok = true;
+    for (index, spec) in specs.iter().enumerate() {
+        let key = cell_key(spec);
+        let reply = match shared.cache.get(&key) {
+            Some(record) => {
+                shared.metrics.record_cache_hit();
+                Response::Cell {
+                    id,
+                    record: WireCellRecord::from_checkpoint(index, &record, true),
+                }
+            }
+            None => {
+                shared.metrics.record_cache_miss();
+                let trace = shared
+                    .traces
+                    .get(spec.benchmark, spec.sample_seed, spec.len);
+                let p = ccs_predict::predict(&spec.config, &trace)
+                    .with_cycle_budget(spec.options.cycle_budget);
+                shared.metrics.record_approx();
+                if let Some(j) = &shared.journal {
+                    j.append(JournalEvent::ApproxServed {
+                        seq: 0,
+                        key: key.clone(),
+                    });
+                }
+                Response::Approx {
+                    id,
+                    key,
+                    cycles_lo: p.cycles_lo,
+                    cycles_hi: p.cycles_hi,
+                    ipc_hi_bits: p.ipc_hi.to_bits(),
+                    confidence: p.confidence.name().to_string(),
+                }
+            }
+        };
+        if write_ok {
+            write_ok = write_frame(stream, &reply.encode()).is_ok();
+        }
     }
     write_ok
 }

@@ -19,6 +19,11 @@ pub struct Trace {
     /// serialized, recomputed on demand after deserialization.
     #[serde(skip)]
     mem_deps: std::sync::OnceLock<Vec<Option<u32>>>,
+    /// Lazily computed dataflow critical path (see
+    /// [`dataflow_chain`](Trace::dataflow_chain)). Derived state, like
+    /// `mem_deps`: never serialized, recomputed on demand.
+    #[serde(skip)]
+    chain: std::sync::OnceLock<u64>,
 }
 
 impl Trace {
@@ -71,6 +76,41 @@ impl Trace {
     pub fn memory_deps(&self) -> &[Option<u32>] {
         self.mem_deps
             .get_or_init(|| crate::memdep::resolve_memory_deps(self))
+    }
+
+    /// The latency weight of the longest dependence chain through the
+    /// trace: the maximum, over all instructions, of the sum of
+    /// [`OpClass::latency`](ccs_isa::OpClass::latency) along any path of
+    /// register and true-memory dependences ending at that instruction.
+    ///
+    /// This is the trace's machine-independent dataflow critical path —
+    /// no schedule on any machine can complete the last instruction of
+    /// the chain earlier than the chain's latency after the first one
+    /// issues, so it lower-bounds the cycle count of every simulation of
+    /// this trace (the analytic predictor in `ccs-predict` builds its
+    /// envelope on top of it). Latencies are best-case (L1-hit) values,
+    /// which keeps the bound sound under cache misses.
+    ///
+    /// Computed on first use and cached for the trace's lifetime, like
+    /// [`memory_deps`](Self::memory_deps).
+    pub fn dataflow_chain(&self) -> u64 {
+        *self.chain.get_or_init(|| {
+            let mem_deps = self.memory_deps();
+            let mut depth = vec![0u64; self.insts.len()];
+            let mut best = 0u64;
+            for (i, inst) in self.insts.iter().enumerate() {
+                let mut from = 0u64;
+                for dep in inst.deps.iter().flatten() {
+                    from = from.max(depth[dep.index()]);
+                }
+                if let Some(store) = mem_deps[i] {
+                    from = from.max(depth[store as usize]);
+                }
+                depth[i] = from + u64::from(inst.op().latency());
+                best = best.max(depth[i]);
+            }
+            best
+        })
     }
 
     /// Builds, for every instruction, the list of in-trace consumers of its
@@ -135,6 +175,7 @@ impl Trace {
         Trace {
             insts,
             mem_deps: std::sync::OnceLock::new(),
+            chain: std::sync::OnceLock::new(),
         }
     }
 }
@@ -253,6 +294,7 @@ impl TraceBuilder {
         Trace {
             insts: self.insts,
             mem_deps: std::sync::OnceLock::new(),
+            chain: std::sync::OnceLock::new(),
         }
     }
 }
@@ -362,5 +404,42 @@ mod tests {
         let t = TraceBuilder::new().finish();
         assert!(t.is_empty());
         t.validate().unwrap();
+    }
+
+    #[test]
+    fn dataflow_chain_follows_the_longest_latency_path() {
+        // a -> c -> d is a 3-deep IntAlu chain (latency 1 each); the
+        // independent b contributes only its own latency.
+        let mut b = TraceBuilder::new();
+        b.push_simple(alu(0, None, None, 1));
+        b.push_simple(alu(4, None, None, 5));
+        b.push_simple(alu(8, Some(1), None, 2));
+        b.push_simple(alu(12, Some(2), None, 3));
+        let t = b.finish();
+        assert_eq!(t.dataflow_chain(), 3);
+        // Memoized: a second call returns the identical cached value.
+        assert_eq!(t.dataflow_chain(), 3);
+    }
+
+    #[test]
+    fn dataflow_chain_crosses_memory_dependences() {
+        // store(addr) -> load(addr) is a true memory dependence: the
+        // chain is store (1) + load (3) = 4, not just the load alone.
+        let mut b = TraceBuilder::new();
+        b.push_mem(
+            StaticInst::new(Pc::new(0), OpClass::Store).with_src(ArchReg::int(1)),
+            0x2000,
+        );
+        b.push_mem(
+            StaticInst::new(Pc::new(4), OpClass::Load).with_dst(ArchReg::int(2)),
+            0x2000,
+        );
+        let t = b.finish();
+        assert_eq!(t.dataflow_chain(), 1 + OpClass::Load.latency() as u64);
+    }
+
+    #[test]
+    fn dataflow_chain_of_empty_trace_is_zero() {
+        assert_eq!(TraceBuilder::new().finish().dataflow_chain(), 0);
     }
 }

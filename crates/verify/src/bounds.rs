@@ -1,0 +1,166 @@
+//! Bounds oracle: every simulated result must lie inside its analytic
+//! envelope.
+//!
+//! `ccs-predict` derives, from the trace and machine configuration
+//! alone, a sound `[cycles_lo, cycles_hi]` envelope and an IPC ceiling
+//! that hold for *every* legal schedule — independent of steering
+//! policy, training state, and epoch count. That makes each prediction
+//! a free oracle over the entire existing test surface: a simulated
+//! result outside its envelope is a bug in either the engine or the
+//! bound model, and both are worth a loud failure. [`check_bounds`]
+//! runs inside every differential-campaign case
+//! ([`crate::campaign::run_case`]) and across the golden corpus
+//! (`tests/predict_bounds.rs`), and the seeded perturbations in
+//! [`crate::faultinject`] (`ALL_BOUND_MUTATIONS`) prove each rule here
+//! is non-vacuous.
+
+use ccs_isa::MachineConfig;
+use ccs_predict::Prediction;
+use ccs_sim::SimResult;
+use ccs_trace::Trace;
+
+/// One violated bound rule, with a readable explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundViolation {
+    /// Stable rule name (`cycles-under-lo`, `cycles-over-hi`,
+    /// `ipc-over-hi`) — what the mutation tests key on.
+    pub rule: &'static str,
+    /// Human-readable account of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for BoundViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.rule, self.message)
+    }
+}
+
+/// Checks `result` against the analytic envelope freshly predicted for
+/// (`config`, `trace`). Empty means the result respects every bound.
+///
+/// No cycle budget is applied to the upper edge here: the result being
+/// checked already exists, so the engine's own progress limit is the
+/// honest ceiling.
+pub fn check_bounds(config: &MachineConfig, trace: &Trace, result: &SimResult) -> Vec<BoundViolation> {
+    check_bounds_against(&ccs_predict::predict(config, trace), result)
+}
+
+/// Checks `result` against an already-computed `prediction`.
+///
+/// Three rules, each independently useful and each proven non-vacuous
+/// by a seeded perturbation in [`crate::faultinject`]:
+///
+/// * `cycles-under-lo` — the run claims to beat a sound lower bound:
+///   a dependence chain or a width/port/fetch/commit counting argument
+///   says this cycle count is impossible.
+/// * `cycles-over-hi` — the run exceeds the progress-limit ceiling a
+///   successful simulation can never report.
+/// * `ipc-over-hi` — achieved IPC above `n / cycles_lo`. IEEE division
+///   is monotonic in the denominator, so this is exactly equivalent to
+///   the first rule for matching `n` — kept separate because IPC is the
+///   quantity the paper's figures (and the serve envelope) expose, and
+///   a perturbed prediction can violate it alone.
+pub fn check_bounds_against(prediction: &Prediction, result: &SimResult) -> Vec<BoundViolation> {
+    let mut violations = Vec::new();
+    if result.cycles < prediction.cycles_lo {
+        violations.push(BoundViolation {
+            rule: "cycles-under-lo",
+            message: format!(
+                "simulated {} cycles, below the analytic lower bound {} \
+                 (components: {:?})",
+                result.cycles, prediction.cycles_lo, prediction.components
+            ),
+        });
+    }
+    if result.cycles > prediction.cycles_hi {
+        violations.push(BoundViolation {
+            rule: "cycles-over-hi",
+            message: format!(
+                "simulated {} cycles, above the {}-cycle ceiling a successful run can report",
+                result.cycles, prediction.cycles_hi
+            ),
+        });
+    }
+    if result.cycles > 0 {
+        let achieved = result.records.len() as f64 / result.cycles as f64;
+        if achieved > prediction.ipc_hi {
+            violations.push(BoundViolation {
+                rule: "ipc-over-hi",
+                message: format!(
+                    "achieved IPC {achieved} exceeds the analytic ceiling {}",
+                    prediction.ipc_hi
+                ),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::random_trace;
+    use ccs_core::{LocMode, PaperPolicy, PolicyKind, PredictorBank};
+    use ccs_isa::ClusterLayout;
+    use ccs_trace::Benchmark;
+
+    fn simulate(config: &MachineConfig, trace: &Trace) -> SimResult {
+        let bank = PredictorBank::new(LocMode::Quantized16, 0xC1A5);
+        let mut policy =
+            PaperPolicy::from_config(PolicyKind::Focused.config(), bank, "Focused");
+        ccs_sim::simulate(config, trace, &mut policy).expect("simulation succeeds")
+    }
+
+    #[test]
+    fn engine_results_respect_their_envelopes() {
+        for (layout, trace) in [
+            (ClusterLayout::C1x8w, Benchmark::Gcc.generate(3, 1_200)),
+            (ClusterLayout::C4x2w, random_trace(11, 700)),
+            (ClusterLayout::C8x1w, Benchmark::Mcf.generate(5, 900)),
+        ] {
+            let config = MachineConfig::micro05_baseline().with_layout(layout);
+            let result = simulate(&config, &trace);
+            let violations = check_bounds(&config, &trace, &result);
+            assert!(
+                violations.is_empty(),
+                "{layout}: {}",
+                violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            );
+        }
+    }
+
+    #[test]
+    fn each_rule_fires_on_an_out_of_envelope_result() {
+        let trace = Benchmark::Gzip.generate(2, 600);
+        let config = MachineConfig::micro05_baseline();
+        let result = simulate(&config, &trace);
+        let p = ccs_predict::predict(&config, &trace);
+
+        let mut fast = result.clone();
+        fast.cycles = p.cycles_lo - 1;
+        let v = check_bounds_against(&p, &fast);
+        // An impossibly fast run trips the cycle floor and (same
+        // arithmetic through the division) the IPC ceiling.
+        assert!(v.iter().any(|v| v.rule == "cycles-under-lo"), "{v:?}");
+        assert!(v.iter().any(|v| v.rule == "ipc-over-hi"), "{v:?}");
+
+        let mut slow = result.clone();
+        slow.cycles = p.cycles_hi + 1;
+        let v = check_bounds_against(&p, &slow);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "cycles-over-hi");
+    }
+
+    #[test]
+    fn violations_render_readably() {
+        let v = BoundViolation {
+            rule: "cycles-under-lo",
+            message: "simulated 10 cycles, below 17".into(),
+        };
+        assert_eq!(format!("{v}"), "[cycles-under-lo] simulated 10 cycles, below 17");
+    }
+}

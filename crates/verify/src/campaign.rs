@@ -156,7 +156,9 @@ pub fn standard_campaign(cases: usize) -> Vec<DiffCase> {
 ///    clones of the trained bank;
 /// 3. compare everything with [`diff_results`];
 /// 4. audit the engine's schedule with [`ccs_sim::check_invariants`];
-/// 5. require the critical-path breakdown to conserve total cycles.
+/// 5. require the critical-path breakdown to conserve total cycles;
+/// 6. check the engine result against its analytic envelope
+///    ([`crate::bounds::check_bounds`]).
 ///
 /// # Errors
 ///
@@ -196,6 +198,11 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, String> {
             analysis.breakdown.total(),
             engine.cycles
         ));
+    }
+    // The analytic envelope holds for every legal schedule, so every
+    // differential case doubles as a bounds test for free.
+    for v in crate::bounds::check_bounds(&config, &trace, &engine) {
+        problems.push(format!("bounds: {v}"));
     }
 
     if problems.is_empty() {

@@ -18,6 +18,12 @@
 //!   of a finished [`SimResult`], one per invariant-checker rule, each
 //!   of which must trip its rule. A checker rule that no mutation can
 //!   trigger is a rule that silently checks nothing.
+//! * **Bound perturbations** ([`ALL_BOUND_MUTATIONS`]): targeted
+//!   corruptions of a `ccs-predict` analytic envelope (an inflated
+//!   dependence chain, a deflated width/IPC ceiling, a deflated
+//!   progress ceiling), each of which must trip exactly its intended
+//!   [`crate::bounds::check_bounds_against`] rule — proving the bounds
+//!   oracle is not vacuously satisfied.
 //!
 //! Everything here is deterministic: a fault plan is a pure function of
 //! its seed, corruption picks the first eligible site, and mutations are
@@ -550,6 +556,74 @@ pub const ALL_MUTATIONS: &[ScheduleMutation] = &[
     },
 ];
 
+// ---------------------------------------------------------------------------
+// Bound perturbations
+// ---------------------------------------------------------------------------
+
+/// A targeted corruption of an analytic envelope
+/// ([`ccs_predict::Prediction`]), designed to trip exactly one
+/// [`crate::bounds::check_bounds_against`] rule against a clean result.
+///
+/// Where [`ScheduleMutation`] corrupts the *result* to prove the
+/// invariant checker fires, these corrupt the *prediction* to prove the
+/// bounds oracle fires: a `check_bounds` pass that no perturbation can
+/// trip would be a pass that silently checks nothing.
+pub struct BoundMutation {
+    /// Short kebab-case name, for test diagnostics.
+    pub name: &'static str,
+    /// The exact rule name the perturbation must trip — and the only
+    /// one (stronger than the substring contract of
+    /// [`ScheduleMutation`]: these are surgical by construction).
+    pub expect: &'static str,
+    /// Corrupts the envelope relative to `result`; `false` if the
+    /// result offers no eligible site (e.g. a zero-cycle run).
+    pub apply: fn(&mut ccs_predict::Prediction, &SimResult) -> bool,
+}
+
+/// One perturbation per bounds rule. The negative-test suite asserts
+/// every entry applies to the baseline result and trips exactly its
+/// intended rule.
+pub const ALL_BOUND_MUTATIONS: &[BoundMutation] = &[
+    BoundMutation {
+        // An over-long dependence chain claims the run finished
+        // impossibly fast: only the cycle floor fires (the IPC ceiling
+        // is left untouched, keeping the perturbation surgical).
+        name: "inflated-latency-chain",
+        expect: "cycles-under-lo",
+        apply: |p, res| {
+            p.components.chain = res.cycles + 1;
+            p.cycles_lo = res.cycles + 1;
+            true
+        },
+    },
+    BoundMutation {
+        // A deflated width bound halves the IPC ceiling below what the
+        // run achieved — as if an issue/port width were under-counted.
+        name: "deflated-width-bound",
+        expect: "ipc-over-hi",
+        apply: |p, res| {
+            if res.cycles == 0 || res.records.is_empty() {
+                return false;
+            }
+            p.ipc_hi = res.records.len() as f64 / res.cycles as f64 / 2.0;
+            true
+        },
+    },
+    BoundMutation {
+        // A deflated progress ceiling claims the run overran the
+        // cycle budget a successful simulation can report.
+        name: "deflated-progress-ceiling",
+        expect: "cycles-over-hi",
+        apply: |p, res| {
+            if res.cycles == 0 {
+                return false;
+            }
+            p.cycles_hi = res.cycles - 1;
+            true
+        },
+    },
+];
+
 fn is_conditional(inst: &ccs_trace::DynInst) -> bool {
     inst.branch
         .is_some_and(|b| b.class == ccs_isa::BranchClass::Conditional)
@@ -644,6 +718,56 @@ mod tests {
                 violations
             );
         }
+    }
+
+    #[test]
+    fn every_bound_mutation_applies_and_trips_exactly_its_rule() {
+        let (cfg, trace, clean) = baseline();
+        let envelope = ccs_predict::predict(&cfg, &trace);
+        assert!(
+            crate::bounds::check_bounds_against(&envelope, &clean).is_empty(),
+            "baseline result must sit inside its clean envelope"
+        );
+        for m in ALL_BOUND_MUTATIONS {
+            let mut corrupted = envelope;
+            assert!(
+                (m.apply)(&mut corrupted, &clean),
+                "bound mutation `{}` found no eligible site",
+                m.name
+            );
+            let violations = crate::bounds::check_bounds_against(&corrupted, &clean);
+            assert_eq!(
+                violations.len(),
+                1,
+                "bound mutation `{}` must trip exactly one rule, got: {violations:?}",
+                m.name
+            );
+            assert_eq!(
+                violations[0].rule, m.expect,
+                "bound mutation `{}` tripped the wrong rule",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn bound_mutation_names_and_rules_are_distinct() {
+        let mut names: Vec<_> = ALL_BOUND_MUTATIONS.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            ALL_BOUND_MUTATIONS.len(),
+            "duplicate bound-mutation names"
+        );
+        let mut rules: Vec<_> = ALL_BOUND_MUTATIONS.iter().map(|m| m.expect).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        assert_eq!(
+            rules.len(),
+            ALL_BOUND_MUTATIONS.len(),
+            "every bounds rule needs its own perturbation"
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! in window entries, resolves memory dependences through an
 //! open-addressed table, reuses scratch buffers, and encodes "not yet"
 //! as a sentinel cycle. Each of those optimizations is a place for a
-//! subtle scheduling bug to hide. This crate provides six independent
+//! subtle scheduling bug to hide. This crate provides seven independent
 //! lines of defence:
 //!
 //! 1. **A reference oracle** ([`reference_simulate`]) — a naive
@@ -30,7 +30,12 @@
 //!    observability counters (`ccs-obs` sinks threaded through the
 //!    engine) from the per-instruction records and requires exact
 //!    agreement, so a mis-placed metrics hook cannot drift silently.
-//! 6. **Protocol fuzzing** ([`protocol`]) — seeded byte-level mutations
+//! 6. **A bounds oracle** ([`bounds`]) — `ccs-predict`'s analytic
+//!    `[cycles_lo, cycles_hi]` / IPC-ceiling envelopes, sound for every
+//!    legal schedule, checked against the engine inside every
+//!    differential case and across the golden corpus; seeded bound
+//!    perturbations in [`faultinject`] prove each rule non-vacuous.
+//! 7. **Protocol fuzzing** ([`protocol`]) — seeded byte-level mutations
 //!    of serve wire frames (truncation, corrupted magic, hostile length
 //!    prefixes, flipped payload bits) that the service integration
 //!    suite feeds to a live `ccs-serve` daemon, asserting typed errors
@@ -41,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounds;
 pub mod campaign;
 pub mod diff;
 pub mod faultinject;
@@ -49,11 +55,12 @@ pub mod metricscheck;
 pub mod oracle;
 pub mod protocol;
 
+pub use bounds::{check_bounds, check_bounds_against, BoundViolation};
 pub use campaign::{run_case, standard_campaign, CaseOutcome, DiffCase, TraceSource};
 pub use diff::diff_results;
 pub use faultinject::{
-    corrupt_trace, run_grid_with_faults, CellFault, FaultPlan, ScheduleMutation, TraceCorruption,
-    ALL_CORRUPTIONS, ALL_MUTATIONS,
+    corrupt_trace, run_grid_with_faults, BoundMutation, CellFault, FaultPlan, ScheduleMutation,
+    TraceCorruption, ALL_BOUND_MUTATIONS, ALL_CORRUPTIONS, ALL_MUTATIONS,
 };
 pub use metricscheck::check_metrics;
 pub use oracle::reference_simulate;

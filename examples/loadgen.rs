@@ -14,6 +14,16 @@
 //! cargo run --release --example loadgen
 //! cargo run --release --example loadgen -- --clients 8 --requests 16
 //! ```
+//!
+//! `--approx` switches to the prediction-tier comparison: the same
+//! seeded cell mix is driven twice against fresh local daemons — once
+//! as `approx` submissions (analytic envelopes, no simulation) and once
+//! as full submissions — and the elapsed times plus speedup are written
+//! to `results/BENCH_predict.json`:
+//!
+//! ```text
+//! cargo run --release --example loadgen -- --approx
+//! ```
 
 use ccs_client::Client;
 use ccs_core::PolicyKind;
@@ -32,7 +42,8 @@ struct Args {
     seed: u64,
     len: usize,
     seed_pool: u64,
-    out: String,
+    approx: bool,
+    out: Option<String>,
 }
 
 impl Args {
@@ -45,7 +56,8 @@ impl Args {
             seed: 7,
             len: 1_500,
             seed_pool: 6,
-            out: "results/BENCH_serve.json".to_string(),
+            approx: false,
+            out: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(arg) = it.next() {
@@ -61,12 +73,13 @@ impl Args {
                 "--seed" => args.seed = value("--seed").parse().expect("--seed"),
                 "--len" => args.len = value("--len").parse().expect("--len"),
                 "--seed-pool" => args.seed_pool = value("--seed-pool").parse().expect("--seed-pool"),
-                "--out" => args.out = value("--out"),
+                "--approx" => args.approx = true,
+                "--out" => args.out = Some(value("--out")),
                 other => {
                     eprintln!("unknown flag {other}");
                     eprintln!(
                         "usage: loadgen [--server HOST:PORT] [--clients N] [--requests N] \
-                         [--batch N] [--seed N] [--len N] [--seed-pool N] [--out PATH]"
+                         [--batch N] [--seed N] [--len N] [--seed-pool N] [--approx] [--out PATH]"
                     );
                     std::process::exit(2);
                 }
@@ -132,8 +145,124 @@ fn percentile_ms(sorted: &[Duration], pct: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1e3
 }
 
+/// Spawns a fresh local daemon; returns its address and join handle.
+fn fresh_daemon() -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServeConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("daemon runs"));
+    (addr, handle)
+}
+
+/// The `--approx` comparison: the identical seeded cell mix, once as
+/// approximate submissions and once as full simulations, each against
+/// its own fresh daemon (so neither phase warms the other's cache).
+fn run_approx_compare(args: &Args) {
+    assert!(
+        args.server.is_none(),
+        "--approx needs fresh local daemons for a fair comparison; drop --server"
+    );
+    let cells: Vec<WireCellSpec> = (0..args.clients)
+        .flat_map(|k| {
+            let mut rng = StdRng::seed_from_u64(args.seed + 1_000 * k as u64);
+            (0..args.requests * args.batch)
+                .map(|_| pick_cell(&mut rng, args.len, args.seed_pool))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    println!(
+        "loadgen --approx: {} cells, envelope tier vs full simulation (seed {})",
+        cells.len(),
+        args.seed
+    );
+
+    // Phase 1: every cell through the approximate tier.
+    let (addr, handle) = fresh_daemon();
+    let mut client = Client::connect(&addr).expect("approx client connects");
+    let started = Instant::now();
+    let mut envelopes = 0u64;
+    for cell in &cells {
+        match client.submit_cell_approx(cell).expect("approx submission") {
+            ccs_client::ApproxAnswer::Envelope { cycles_lo, cycles_hi, .. } => {
+                assert!(cycles_lo <= cycles_hi, "envelope must be ordered");
+                envelopes += 1;
+            }
+            ccs_client::ApproxAnswer::Exact(_) => {
+                panic!("fresh daemon cannot answer approx requests exactly")
+            }
+        }
+    }
+    let approx_elapsed = started.elapsed();
+    let approx_status = client.status().expect("approx status");
+    client.drain().expect("drain approx daemon");
+    handle.join().expect("approx daemon exits");
+    assert_eq!(envelopes, cells.len() as u64);
+    assert_eq!(approx_status.cells_evaluated, 0, "approx must not simulate");
+
+    // Phase 2: the same cells simulated for real.
+    let (addr, handle) = fresh_daemon();
+    let mut client = Client::connect(&addr).expect("full client connects");
+    let started = Instant::now();
+    for cell in &cells {
+        let record = client.submit_cell(cell).expect("full submission");
+        assert!(record.is_ok(), "full simulation must complete ok");
+    }
+    let full_elapsed = started.elapsed();
+    let full_status = client.status().expect("full status");
+    client.drain().expect("drain full daemon");
+    handle.join().expect("full daemon exits");
+
+    let speedup = full_elapsed.as_secs_f64() / approx_elapsed.as_secs_f64().max(1e-9);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve_approx_vs_full\",\n",
+            "  \"seed\": {},\n",
+            "  \"trace_len\": {},\n",
+            "  \"cells\": {},\n",
+            "  \"approx_elapsed_s\": {:.6},\n",
+            "  \"approx_cells_per_sec\": {:.3},\n",
+            "  \"approx_answered\": {},\n",
+            "  \"full_elapsed_s\": {:.6},\n",
+            "  \"full_cells_per_sec\": {:.3},\n",
+            "  \"full_cells_evaluated\": {},\n",
+            "  \"full_cache_hits\": {},\n",
+            "  \"speedup\": {:.3}\n",
+            "}}\n"
+        ),
+        args.seed,
+        args.len,
+        cells.len(),
+        approx_elapsed.as_secs_f64(),
+        cells.len() as f64 / approx_elapsed.as_secs_f64().max(1e-9),
+        approx_status.approx_answered,
+        full_elapsed.as_secs_f64(),
+        cells.len() as f64 / full_elapsed.as_secs_f64().max(1e-9),
+        full_status.cells_evaluated,
+        full_status.cache_hits,
+        speedup,
+    );
+    print!("{json}");
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "results/BENCH_predict.json".to_string());
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write report");
+    println!("wrote {out}");
+    assert!(
+        speedup > 1.0,
+        "the envelope tier must be measurably cheaper than simulation (speedup {speedup:.3})"
+    );
+}
+
 fn main() {
     let args = Args::parse();
+    if args.approx {
+        run_approx_compare(&args);
+        return;
+    }
 
     // Either connect to a daemon the caller started, or spawn our own.
     let (addr, local) = match &args.server {
@@ -235,10 +364,14 @@ fn main() {
         status.admission_rejects,
     );
     print!("{json}");
-    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "results/BENCH_serve.json".to_string());
+    if let Some(dir) = std::path::Path::new(&out).parent() {
         std::fs::create_dir_all(dir).expect("create results dir");
     }
-    std::fs::write(&args.out, &json).expect("write report");
-    println!("wrote {}", args.out);
+    std::fs::write(&out, &json).expect("write report");
+    println!("wrote {out}");
     assert_eq!(failed, 0, "loadgen cells must all complete ok");
 }

@@ -19,6 +19,8 @@
 //! * the paper's policy ladder — focused steering, LoC scheduling,
 //!   stall-over-steer, proactive load balancing ([`core`]),
 //! * the §2.2 idealized list scheduler ([`listsched`]),
+//! * an analytic prediction tier — sound per-cell cycle/IPC bound
+//!   envelopes from trace and machine shape alone ([`predict`]),
 //! * a differential verification subsystem — reference oracle, engine
 //!   invariant checker, golden regression corpus ([`verify`]), and
 //! * a zero-cost-by-default observability layer — metrics sinks, sampled
@@ -46,6 +48,7 @@ pub use ccs_critpath as critpath;
 pub use ccs_isa as isa;
 pub use ccs_listsched as listsched;
 pub use ccs_obs as obs;
+pub use ccs_predict as predict;
 pub use ccs_predictors as predictors;
 pub use ccs_sim as sim;
 pub use ccs_trace as trace;

@@ -1,0 +1,149 @@
+//! Soundness of the analytic prediction tier (`ccs-predict`): every
+//! simulated result must land inside its predicted
+//! `[cycles_lo, cycles_hi]` envelope, and achieved IPC must not exceed
+//! the predicted ceiling.
+//!
+//! Two populations pin this:
+//!
+//! 1. the randomized differential-campaign cases (same enumeration the
+//!    engine-vs-oracle campaign uses — every layout, every policy,
+//!    workload and unstructured traces, varied forwarding), budget
+//!    tunable via `CCS_PREDICT_CASES` (default 200, floor 20 for full
+//!    layout × policy coverage);
+//! 2. the entire golden corpus grid — all benchmark × layout × policy
+//!    cells at the committed seed/length/epochs.
+//!
+//! Cases are deterministic by id, so a reported violation reproduces
+//! exactly.
+
+use ccs_core::{parallel_map, GridRequest, LocMode, PaperPolicy, PredictorBank, RunOptions};
+use ccs_critpath::analyze;
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_trace::{Benchmark, TraceStore};
+use ccs_verify::campaign::ALL_POLICIES;
+use ccs_verify::golden::{GOLDEN_EPOCHS, GOLDEN_LEN, GOLDEN_POLICIES, GOLDEN_SEED};
+use ccs_verify::{check_bounds_against, standard_campaign, DiffCase};
+
+fn case_budget() -> usize {
+    std::env::var("CCS_PREDICT_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// Runs one campaign case through the engine only (trained exactly like
+/// the differential campaign trains) and checks it against its analytic
+/// envelope. `Err` carries the violation report.
+fn check_case(case: &DiffCase) -> Result<(), String> {
+    let trace = case.source.trace();
+    let config = case.config();
+    let cfg = case.policy.config();
+    let name = case.policy.name();
+
+    let mut bank = PredictorBank::new(LocMode::Quantized16, 0xC1A5);
+    for _ in 1..case.epochs.max(1) {
+        let mut policy = PaperPolicy::from_config(cfg, bank, name);
+        let result = ccs_sim::simulate(&config, &trace, &mut policy)
+            .map_err(|e| format!("{}: training run failed: {e}", case.describe()))?;
+        let analysis = analyze(&trace, &result);
+        bank = policy.into_bank();
+        bank.train_criticality(&trace, &analysis.e_critical);
+    }
+    let mut policy = PaperPolicy::from_config(cfg, bank, name);
+    let engine = ccs_sim::simulate(&config, &trace, &mut policy)
+        .map_err(|e| format!("{}: engine failed: {e}", case.describe()))?;
+
+    let p = ccs_predict::predict(&config, &trace);
+    // The envelope must be non-degenerate before it is sound: a
+    // trivial `[0, ∞)` bound would pass every check below vacuously.
+    if !trace.is_empty() && p.cycles_lo <= u64::from(config.front_end.depth_to_dispatch) {
+        return Err(format!(
+            "{}: degenerate lower bound {} (pipeline depth {})",
+            case.describe(),
+            p.cycles_lo,
+            config.front_end.depth_to_dispatch
+        ));
+    }
+    let violations = check_bounds_against(&p, &engine);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(std::iter::once(case.describe())
+            .chain(violations.iter().map(|v| format!("  {v}")))
+            .collect::<Vec<_>>()
+            .join("\n"))
+    }
+}
+
+#[test]
+fn differential_campaign_cases_land_inside_their_envelopes() {
+    // At least 20 cases guarantees full layout × policy coverage.
+    let cases = standard_campaign(case_budget().max(20));
+    for layout in ClusterLayout::ALL {
+        for policy in ALL_POLICIES {
+            assert!(
+                cases.iter().any(|c| c.layout == layout && c.policy == policy),
+                "campaign must cover {layout} × {}",
+                policy.name()
+            );
+        }
+    }
+
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let failures: Vec<String> = parallel_map(&cases, threads, check_case)
+        .into_iter()
+        .filter_map(Result::err)
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "{} of {} cases violated their analytic envelope:\n{}",
+        failures.len(),
+        cases.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn the_entire_golden_corpus_lands_inside_its_envelopes() {
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let results = GridRequest::new(MachineConfig::micro05_baseline(), GOLDEN_LEN)
+        .benchmarks(Benchmark::ALL)
+        .layouts(ClusterLayout::ALL)
+        .policies(GOLDEN_POLICIES)
+        .sample_seeds([GOLDEN_SEED])
+        .options(RunOptions::default().with_epochs(GOLDEN_EPOCHS))
+        .run(threads);
+    assert_eq!(
+        results.len(),
+        Benchmark::ALL.len() * ClusterLayout::ALL.len() * GOLDEN_POLICIES.len(),
+        "the full golden grid must be covered"
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    for cell in &results {
+        let outcome = cell.expect_outcome();
+        let trace =
+            TraceStore::global().get(cell.spec.benchmark, cell.spec.sample_seed, cell.spec.len);
+        let p = ccs_predict::predict(&cell.spec.config, &trace)
+            .with_cycle_budget(cell.spec.options.cycle_budget);
+        let ctx = format!(
+            "{} {} {}",
+            cell.spec.benchmark.name(),
+            cell.spec.config.layout,
+            cell.spec.policy.name()
+        );
+        assert!(
+            p.cycles_lo > u64::from(cell.spec.config.front_end.depth_to_dispatch),
+            "{ctx}: lower bound must exceed the bare pipeline depth"
+        );
+        for v in check_bounds_against(&p, &outcome.result) {
+            failures.push(format!("{ctx}: {v}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden cells violated their analytic envelope:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}

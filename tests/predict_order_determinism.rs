@@ -1,0 +1,141 @@
+//! Best-first (`--predict-order`) campaign ordering is pure metadata:
+//! sorting pending cells by predicted cost changes the evaluation
+//! *order* and annotates manifest records with the predicted envelope,
+//! but every simulated bit — cycle counts, CPI bit patterns, schedule
+//! digests, cell keys — must be identical to an unordered run of the
+//! same campaign. Mirrors `grid_determinism.rs` for the checkpointed
+//! campaign path.
+
+use ccs_core::checkpoint::{run_campaign, CampaignOptions, CheckpointRecord};
+use ccs_core::{CellSpec, PolicyKind, Resilience, RunOptions};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_trace::Benchmark;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("ccs-predict-order-{name}-{}", std::process::id()));
+    p
+}
+
+/// A small grid with deliberately ascending trace lengths, so LPT
+/// ordering (longest predicted first) must *reverse* the input order —
+/// the test would be vacuous if the sorted order happened to equal the
+/// input order.
+fn specs() -> Vec<CellSpec> {
+    let base = MachineConfig::micro05_baseline();
+    let options = RunOptions::default().with_epochs(1);
+    let mut specs = Vec::new();
+    for (i, (bench, policy)) in [
+        (Benchmark::Gzip, PolicyKind::Focused),
+        (Benchmark::Vpr, PolicyKind::Dependence),
+        (Benchmark::Mcf, PolicyKind::Focused),
+        (Benchmark::Gzip, PolicyKind::StallOverSteer),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        specs.push(CellSpec::new(
+            base.with_layout(ClusterLayout::C4x2w),
+            bench,
+            1,
+            600 + 400 * i,
+            policy,
+            options,
+        ));
+    }
+    specs
+}
+
+/// Reads the manifest's record lines back, in file order.
+fn manifest_records(path: &PathBuf) -> Vec<CheckpointRecord> {
+    let text = std::fs::read_to_string(path).expect("manifest readable");
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(CheckpointRecord::from_json_line)
+        .collect()
+}
+
+#[test]
+fn predict_ordering_changes_no_simulated_bits() {
+    let specs = specs();
+    let plain_path = tmp("plain");
+    let ordered_path = tmp("ordered");
+
+    // threads=1 makes manifest line order equal evaluation order, so
+    // the LPT reordering itself is observable below.
+    let plain = run_campaign(
+        &specs,
+        1,
+        &Resilience::default(),
+        &CampaignOptions::new(&plain_path),
+    )
+    .expect("plain campaign");
+    let ordered = run_campaign(
+        &specs,
+        1,
+        &Resilience::default(),
+        &CampaignOptions::new(&ordered_path).with_predict_order(true),
+    )
+    .expect("ordered campaign");
+    assert_eq!(plain.exit_code(), 0, "{}", plain.summary());
+    assert_eq!(ordered.exit_code(), 0, "{}", ordered.summary());
+
+    // Per input index: every simulated bit identical; predicted fields
+    // present only on the ordered run's records.
+    for (i, (p, o)) in plain.records.iter().zip(&ordered.records).enumerate() {
+        let p = p.as_ref().expect("plain record");
+        let o = o.as_ref().expect("ordered record");
+        assert_eq!(p.key, o.key, "cell {i}: key");
+        assert_eq!(p.status, o.status, "cell {i}: status");
+        assert_eq!(p.cycles, o.cycles, "cell {i}: cycles");
+        assert_eq!(p.cpi_bits, o.cpi_bits, "cell {i}: CPI bits");
+        assert_eq!(p.digest, o.digest, "cell {i}: schedule digest");
+        assert_eq!(p.metrics_digest, o.metrics_digest, "cell {i}: metrics digest");
+        assert!(
+            p.predicted_lo.is_none() && p.predicted_hi.is_none(),
+            "cell {i}: unordered runs carry no prediction metadata"
+        );
+        let lo = o.predicted_lo.expect("ordered record has predicted_lo");
+        let hi = o.predicted_hi.expect("ordered record has predicted_hi");
+        assert!(
+            lo <= o.cycles && o.cycles <= hi,
+            "cell {i}: manifest envelope [{lo}, {hi}] must contain {} cycles",
+            o.cycles
+        );
+    }
+
+    // The manifests agree record-for-record on simulated content (same
+    // key set, same bits), while their *line order* differs: ascending
+    // trace lengths in, therefore descending predicted cost reverses
+    // the evaluation order.
+    let plain_lines = manifest_records(&plain_path);
+    let ordered_lines = manifest_records(&ordered_path);
+    std::fs::remove_file(&plain_path).ok();
+    std::fs::remove_file(&ordered_path).ok();
+    assert_eq!(plain_lines.len(), specs.len());
+    assert_eq!(ordered_lines.len(), specs.len());
+    let plain_order: Vec<&str> = plain_lines.iter().map(|r| r.key.as_str()).collect();
+    let ordered_order: Vec<&str> = ordered_lines.iter().map(|r| r.key.as_str()).collect();
+    assert_ne!(
+        plain_order, ordered_order,
+        "LPT must actually reorder this ascending-cost grid"
+    );
+    let predicted: Vec<u64> = ordered_lines
+        .iter()
+        .map(|r| r.predicted_lo.expect("ordered manifest line has predicted_lo"))
+        .collect();
+    assert!(
+        predicted.windows(2).all(|w| w[0] >= w[1]),
+        "ordered manifest must be written longest-predicted-first: {predicted:?}"
+    );
+    for o in &ordered_lines {
+        let p = plain_lines
+            .iter()
+            .find(|p| p.key == o.key)
+            .expect("same key set in both manifests");
+        assert_eq!(p.cycles, o.cycles, "{}: manifest cycles", o.key);
+        assert_eq!(p.cpi_bits, o.cpi_bits, "{}: manifest CPI bits", o.key);
+        assert_eq!(p.digest, o.digest, "{}: manifest digest", o.key);
+    }
+}
