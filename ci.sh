@@ -80,6 +80,73 @@ wait "$SERVE_PID" || SERVE_EXIT=$?
 rm -f "$SERVE_LOG"
 echo "    daemon drained cleanly (exit 0)"
 
+# Sharded-cluster smoke: two journaled shards, a campaign routed across
+# both with `--servers`, one shard killed -9 mid-run, and the victim
+# restarted from its journal. The campaign must exit 0 via ring
+# failover, its manifest digests must match the in-process batch run
+# bit for bit, and the reborn shard must report replayed cells.
+echo "==> sharded serve smoke (2 shards + kill -9 failover + journal recovery)"
+SHARD_DIR="$(mktemp -d)"
+SHARD_LEN="${CCS_SHARD_LEN:-2000}"
+CCS_LEN="$SHARD_LEN" CCS_EPOCHS=1 CCS_SAMPLES=1 CCS_MANIFEST="$SHARD_DIR/local.jsonl" \
+    target/release/grid_campaign >/dev/null
+boot_shard() { # log journal [peers]
+    target/release/ccs-serve --addr 127.0.0.1:0 --journal "$2" \
+        ${3:+--peers "$3"} ${4:+--recover} >"$1" 2>&1 &
+}
+shard_addr() { # log pid
+    local addr=
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening on //p' "$1")"
+        [ -n "$addr" ] && break
+        kill -0 "$2" 2>/dev/null || { cat "$1"; return 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "shard never reported its address"; cat "$1"; return 1; }
+    echo "$addr"
+}
+boot_shard "$SHARD_DIR/shard1.log" "$SHARD_DIR/shard1.jsonl"
+SHARD1_PID=$!
+SHARD1_ADDR="$(shard_addr "$SHARD_DIR/shard1.log" "$SHARD1_PID")"
+boot_shard "$SHARD_DIR/shard2.log" "$SHARD_DIR/shard2.jsonl" "$SHARD1_ADDR"
+SHARD2_PID=$!
+SHARD2_ADDR="$(shard_addr "$SHARD_DIR/shard2.log" "$SHARD2_PID")"
+CCS_LEN="$SHARD_LEN" CCS_EPOCHS=1 CCS_SAMPLES=1 \
+    CCS_MANIFEST="$SHARD_DIR/cluster.jsonl" \
+    target/release/grid_campaign --servers "$SHARD1_ADDR,$SHARD2_ADDR" \
+    >"$SHARD_DIR/campaign.log" 2>&1 &
+CAMPAIGN_PID=$!
+sleep 1
+kill -9 "$SHARD2_PID" 2>/dev/null || true
+CAMPAIGN_EXIT=0
+wait "$CAMPAIGN_PID" || CAMPAIGN_EXIT=$?
+[ "$CAMPAIGN_EXIT" -eq 0 ] || {
+    echo "sharded campaign exited $CAMPAIGN_EXIT despite failover"
+    cat "$SHARD_DIR/campaign.log"; exit 1; }
+manifest_digests() { sed -n 's/.*"key":"\([^"]*\)".*"digest":"\([^"]*\)".*/\1 \2/p' "$1" | sort; }
+diff <(manifest_digests "$SHARD_DIR/local.jsonl") \
+     <(manifest_digests "$SHARD_DIR/cluster.jsonl") \
+    || { echo "sharded campaign digests diverge from the batch run"; exit 1; }
+echo "    campaign survived the kill; digests bit-identical to the batch run"
+boot_shard "$SHARD_DIR/shard3.log" "$SHARD_DIR/shard2.jsonl" "$SHARD1_ADDR" recover
+SHARD3_PID=$!
+SHARD3_ADDR="$(shard_addr "$SHARD_DIR/shard3.log" "$SHARD3_PID")"
+RECOVERED="$(target/release/ccs-client --server "$SHARD3_ADDR" status \
+    | grep -o 'recovered [0-9]*' | awk '{print $2}')"
+[ "${RECOVERED:-0}" -gt 0 ] || {
+    echo "reborn shard replayed nothing (recovered=${RECOVERED:-unset})"
+    cat "$SHARD_DIR/shard3.log"; exit 1; }
+echo "    reborn shard replayed $RECOVERED cells from its crash journal"
+for pair in "$SHARD1_ADDR $SHARD1_PID" "$SHARD3_ADDR $SHARD3_PID"; do
+    set -- $pair
+    target/release/ccs-client --server "$1" drain >/dev/null
+    SHARD_EXIT=0
+    wait "$2" || SHARD_EXIT=$?
+    [ "$SHARD_EXIT" -eq 0 ] || { echo "shard $1 exited $SHARD_EXIT"; exit 1; }
+done
+rm -rf "$SHARD_DIR"
+echo "    both shards drained cleanly (exit 0)"
+
 # Perf smoke: regenerate the grid-throughput measurement at a small
 # scale (default trace length, best-of-2) into a scratch file and fail
 # if the parallel executor regresses against serial. On a single-core

@@ -21,11 +21,19 @@
 //! unchanged. Checkpointing and `--resume` are the daemon's business in
 //! that mode (it caches and journals server-side), so the manifest is
 //! not written.
+//!
+//! With `--servers A,B,C` (or `CCS_SERVERS`) the grid is *sharded*:
+//! each cell routes to the daemon owning its key on a consistent-hash
+//! ring, and cells a shard fails to answer ride the ring to the next
+//! successor. Results are bit-identical wherever a cell lands. In this
+//! mode `CCS_MANIFEST` (when set) receives one checkpoint-record JSON
+//! line per answered cell, sorted by key, so scripts can diff a sharded
+//! campaign's digests against a local or single-daemon run.
 
-use ccs_bench::{cpi_stack_report, server_target, HarnessOptions, TextTable};
-use ccs_client::Client;
+use ccs_bench::{cpi_stack_report, server_target, servers_target, HarnessOptions, TextTable};
+use ccs_client::{Client, ClusterClient};
 use ccs_core::checkpoint::{run_campaign, CampaignOptions, CheckpointRecord};
-use ccs_core::{CellSpec, PolicyKind};
+use ccs_core::{CellSpec, PolicyKind, ShardMap};
 use ccs_isa::{ClusterLayout, MachineConfig};
 use ccs_obs::StageTimers;
 use ccs_serve::WireCellSpec;
@@ -95,6 +103,95 @@ fn run_against_server(server: &str, specs: &[CellSpec]) -> i32 {
     outcome.exit_code()
 }
 
+/// Shards the specs across a daemon cluster with ring failover and
+/// renders the same table. Exit codes mirror the local campaign.
+fn run_against_cluster(servers: &[String], specs: &[CellSpec], manifest: Option<&str>) -> i32 {
+    let mut cells = Vec::with_capacity(specs.len());
+    for spec in specs {
+        match WireCellSpec::from_cell(spec) {
+            Ok(cell) => cells.push(cell),
+            Err(e) => {
+                eprintln!("cell not wire-addressable: {e}");
+                return 3;
+            }
+        }
+    }
+    let map = match ShardMap::new(servers) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("grid_campaign: {e}");
+            return 3;
+        }
+    };
+    println!(
+        "grid campaign: {} cells via {} shards (ring v{:016x})",
+        cells.len(),
+        map.len(),
+        map.version()
+    );
+    let cluster = ClusterClient::new(map);
+    let outcome = match cluster.submit_grid(&cells, |_| {}) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("grid_campaign: {e}");
+            return 3;
+        }
+    };
+    let mut table = TextTable::new(
+        ["bench", "layout", "policy", "seed", "status", "shard", "CPI / error"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (i, (spec, record)) in specs.iter().zip(&outcome.records).enumerate() {
+        let shard = outcome.served_by[i].clone().unwrap_or_else(|| "-".into());
+        let (status, detail) = match record {
+            Some(r) => (
+                r.status.clone(),
+                if r.is_ok() {
+                    format!("{:.4}{}", r.cpi(), if r.cached { " (cached)" } else { "" })
+                } else {
+                    r.error.clone().unwrap_or_default()
+                },
+            ),
+            None => ("UNFINISHED".to_string(), String::new()),
+        };
+        table.row(vec![
+            format!("{:?}", spec.benchmark),
+            format!("{:?}", spec.config.layout),
+            format!("{:?}", spec.policy),
+            spec.sample_seed.to_string(),
+            status,
+            shard,
+            detail,
+        ]);
+    }
+    println!("{table}");
+    if let Some(path) = manifest {
+        let mut lines: Vec<String> = outcome
+            .records
+            .iter()
+            .flatten()
+            .map(|r| r.to_checkpoint().to_json_line())
+            .collect();
+        lines.sort_unstable();
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, lines.join("\n") + "\n") {
+            eprintln!("grid_campaign: manifest {path}: {e}");
+            return 3;
+        }
+        println!("wrote {} records to {path}", lines.len());
+    }
+    println!(
+        "cluster grid done: {} ok, {} failed, {} timed out, {} cached; \
+         {} failovers across {} waves",
+        outcome.ok, outcome.failed, outcome.timed_out, outcome.cached,
+        outcome.failovers, outcome.waves
+    );
+    outcome.exit_code()
+}
+
 fn main() {
     let opts = HarnessOptions::from_env_and_args();
     let manifest = std::env::var("CCS_MANIFEST")
@@ -127,6 +224,10 @@ fn main() {
         }
     }
 
+    if let Some(servers) = servers_target() {
+        let manifest = std::env::var("CCS_MANIFEST").ok();
+        std::process::exit(run_against_cluster(&servers, &specs, manifest.as_deref()));
+    }
     if let Some(server) = server_target() {
         std::process::exit(run_against_server(&server, &specs));
     }

@@ -219,6 +219,34 @@ pub fn server_target() -> Option<String> {
     std::env::var("CCS_SERVER").ok().filter(|s| !s.is_empty())
 }
 
+/// The shard addresses for a multi-daemon campaign: `--servers a,b,c` /
+/// `--servers=a,b,c` on the command line, else the comma-separated
+/// `CCS_SERVERS` environment variable, else `None`. Takes precedence
+/// over [`server_target`] when both are given — a list of one behaves
+/// like `--server` plus consistent-hash routing.
+pub fn servers_target() -> Option<Vec<String>> {
+    let parse = |list: &str| -> Vec<String> {
+        list.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(v) = arg.strip_prefix("--servers=") {
+            return Some(parse(v)).filter(|v| !v.is_empty());
+        }
+        if arg == "--servers" {
+            return args.next().map(|v| parse(&v)).filter(|v| !v.is_empty());
+        }
+    }
+    std::env::var("CCS_SERVERS")
+        .ok()
+        .map(|v| parse(&v))
+        .filter(|v| !v.is_empty())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

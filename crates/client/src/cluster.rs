@@ -1,0 +1,265 @@
+//! Multi-shard campaign submission with consistent-hash routing and
+//! ring failover.
+//!
+//! A [`ClusterClient`] holds a [`ShardMap`] over N daemon addresses and
+//! submits a grid in *waves*: wave 0 sends every cell to the shard that
+//! owns its [`cell_key`](ccs_core::cell_key); any cell left unanswered
+//! — the shard refused the connection, the connection died mid-grid,
+//! the reply timed out, or busy retries were exhausted — rides wave 1
+//! to its next ring successor, and so on for at most one wave per
+//! shard. Because every client computes the same ring, re-placement
+//! under failure is deterministic: two clients draining the same
+//! campaign against the same degraded cluster route identically.
+//!
+//! Results are bit-identical wherever they land — every shard runs the
+//! same deterministic evaluator — so failover changes *where* a cell is
+//! computed, never *what* it answers. [`ClusterOutcome`] records which
+//! shard served each cell and how many cells needed failover, so tests
+//! and campaign logs can assert on placement.
+
+use crate::{Client, GridOutcome, RetryPolicy};
+use ccs_core::{cell_key, CcsError, ShardMap};
+use ccs_serve::{WireCellRecord, WireCellSpec};
+use std::time::Duration;
+
+/// What a sharded grid submission produced.
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Per-cell records in submission order; `None` where no shard
+    /// answered within the wave budget.
+    pub records: Vec<Option<WireCellRecord>>,
+    /// The shard address that answered each cell.
+    pub served_by: Vec<Option<String>>,
+    /// Cells that completed (`ok`).
+    pub ok: usize,
+    /// Cells that failed.
+    pub failed: usize,
+    /// Cells that timed out (simulation deadline, not transport).
+    pub timed_out: usize,
+    /// Cells answered from a shard's result cache.
+    pub cached: usize,
+    /// Cells answered by a shard other than their ring owner.
+    pub failovers: usize,
+    /// Submission waves used (1 = no failover needed).
+    pub waves: usize,
+    /// The topology fingerprint the placement was computed under.
+    pub map_version: u64,
+}
+
+impl ClusterOutcome {
+    /// Whether every cell was answered by some shard.
+    pub fn is_complete(&self) -> bool {
+        self.records.iter().all(Option::is_some)
+    }
+
+    /// `grid_campaign`-compatible exit code: `0` every cell ok, `1` any
+    /// cell failed or timed out, `2` incomplete.
+    pub fn exit_code(&self) -> i32 {
+        if !self.is_complete() {
+            2
+        } else if self.failed > 0 || self.timed_out > 0 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// A sharded submission client: one [`ShardMap`], one connection per
+/// shard per wave.
+#[derive(Debug, Clone)]
+pub struct ClusterClient {
+    map: ShardMap,
+    connect_timeout: Duration,
+    reply_timeout: Duration,
+    retry: RetryPolicy,
+}
+
+impl ClusterClient {
+    /// A cluster client over `map` with defaults suited to local
+    /// shards: 1 s connects, 60 s replies (cells are whole
+    /// simulations), default busy retries.
+    pub fn new(map: ShardMap) -> Self {
+        ClusterClient {
+            map,
+            connect_timeout: Duration::from_secs(1),
+            reply_timeout: Duration::from_secs(60),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Overrides the connection-establishment bound.
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Overrides the per-reply wait bound.
+    #[must_use]
+    pub fn with_reply_timeout(mut self, timeout: Duration) -> Self {
+        self.reply_timeout = timeout;
+        self
+    }
+
+    /// Overrides the busy-retry policy used inside each wave.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The routing table.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Submits `cells` across the cluster, streaming every answered
+    /// record through `on_cell` (with its *campaign* index) as it
+    /// arrives. Shards within a wave are driven concurrently, one
+    /// thread per shard.
+    ///
+    /// # Errors
+    ///
+    /// [`CcsError::Protocol`] when a cell names an unknown
+    /// benchmark/layout/policy (nothing was submitted). Shard failures
+    /// are *not* errors — they surface as `None` records in the
+    /// [`ClusterOutcome`] after failover is exhausted.
+    pub fn submit_grid(
+        &self,
+        cells: &[WireCellSpec],
+        on_cell: impl Fn(&WireCellRecord) + Sync,
+    ) -> Result<ClusterOutcome, CcsError> {
+        // Placement is computed once, up front, so a mid-campaign shard
+        // death cannot change where the surviving cells were routed.
+        let mut routes: Vec<Vec<String>> = Vec::with_capacity(cells.len());
+        for spec in cells {
+            let cell = spec.to_cell().map_err(CcsError::from)?;
+            let key = cell_key(&cell);
+            routes.push(
+                self.map
+                    .successors(&key)
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+            );
+        }
+
+        let mut records: Vec<Option<WireCellRecord>> = vec![None; cells.len()];
+        let mut served_by: Vec<Option<String>> = vec![None; cells.len()];
+        let mut pending: Vec<usize> = (0..cells.len()).collect();
+        let mut waves = 0usize;
+        let mut rng = self.retry.seed ^ self.map.version();
+
+        // `wave` is a failover round counter — it picks each pending
+        // cell's wave-th ring successor and scales the backoff — not an
+        // iteration over `routes`, so the iterator form doesn't fit.
+        #[allow(clippy::needless_range_loop)]
+        for wave in 0..self.map.len() {
+            if pending.is_empty() {
+                break;
+            }
+            waves += 1;
+            // Group this wave's pending cells by their wave-th ring
+            // choice.
+            let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+            for &idx in &pending {
+                let addr = routes[idx][wave].clone();
+                match groups.iter_mut().find(|(a, _)| *a == addr) {
+                    Some((_, indices)) => indices.push(idx),
+                    None => groups.push((addr, vec![idx])),
+                }
+            }
+
+            let answered: Vec<Vec<(usize, WireCellRecord)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .iter()
+                    .map(|(addr, indices)| {
+                        let on_cell = &on_cell;
+                        scope.spawn(move || {
+                            self.drive_shard(addr, indices, cells, on_cell)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_default())
+                    .collect()
+            });
+
+            for (group, got) in groups.iter().zip(answered) {
+                for (idx, record) in got {
+                    served_by[idx] = Some(group.0.clone());
+                    records[idx] = Some(record);
+                }
+            }
+            pending.retain(|&idx| records[idx].is_none());
+            if !pending.is_empty() && wave + 1 < self.map.len() {
+                // Brief jittered pause before re-placing, so a restarting
+                // shard's successors are not hit in the same instant the
+                // failure was detected.
+                std::thread::sleep(self.retry.backoff(&mut rng, wave as u32 + 1, 0));
+            }
+        }
+
+        let mut outcome = ClusterOutcome {
+            records,
+            served_by,
+            ok: 0,
+            failed: 0,
+            timed_out: 0,
+            cached: 0,
+            failovers: 0,
+            waves,
+            map_version: self.map.version(),
+        };
+        for (idx, record) in outcome.records.iter().enumerate() {
+            let Some(record) = record else { continue };
+            match record.status.as_str() {
+                "ok" => outcome.ok += 1,
+                "TIMEOUT" => outcome.timed_out += 1,
+                _ => outcome.failed += 1,
+            }
+            if record.cached {
+                outcome.cached += 1;
+            }
+            if outcome.served_by[idx].as_deref() != Some(routes[idx][0].as_str()) {
+                outcome.failovers += 1;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// One shard, one wave: connect, submit the sub-grid, stream
+    /// replies re-indexed to campaign positions. Any failure returns
+    /// whatever was answered before it; the caller re-places the rest.
+    fn drive_shard(
+        &self,
+        addr: &str,
+        indices: &[usize],
+        cells: &[WireCellSpec],
+        on_cell: &(impl Fn(&WireCellRecord) + Sync),
+    ) -> Vec<(usize, WireCellRecord)> {
+        let Ok(client) = Client::connect_with_timeout(addr, self.connect_timeout) else {
+            return Vec::new();
+        };
+        let mut client = client.with_reply_timeout(self.reply_timeout);
+        let specs: Vec<WireCellSpec> = indices.iter().map(|&i| cells[i].clone()).collect();
+        let mut got: Vec<(usize, WireCellRecord)> = Vec::with_capacity(indices.len());
+        let result: Result<GridOutcome, CcsError> =
+            client.submit_grid_with_policy(&specs, &self.retry, |record| {
+                if let Some(&global) = indices.get(record.index) {
+                    let mut record = record.clone();
+                    record.index = global;
+                    on_cell(&record);
+                    got.push((global, record));
+                }
+            });
+        // On a clean outcome the stream already delivered everything
+        // answerable; on any error (`Busy` exhaustion, transport death,
+        // reply timeout) the partial `got` is still valid — those cells
+        // were answered before the failure.
+        let _ = result;
+        got
+    }
+}

@@ -185,7 +185,7 @@ fn run_status(client: &mut Client) -> i32 {
                 "protocol v{} draining={} queue {}/{} workers {}\n\
                  cache {}/{} (hits {} misses {})\n\
                  admitted {} evaluated {} busy-rejects {} protocol-errors {}\n\
-                 approx-answered {}",
+                 approx-answered {} recovered {} peer-hits {}",
                 s.protocol,
                 s.draining,
                 s.queue_depth,
@@ -200,6 +200,8 @@ fn run_status(client: &mut Client) -> i32 {
                 s.admission_rejects,
                 s.protocol_errors,
                 s.approx_answered,
+                s.recovered,
+                s.peer_hits,
             );
             0
         }

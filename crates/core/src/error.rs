@@ -28,6 +28,10 @@
 //! * [`CcsError::Rejected`] — a service submission was refused by
 //!   admission control (bounded-queue backpressure or a draining
 //!   daemon) rather than failing.
+//! * [`CcsError::Timeout`] — a service-layer I/O deadline expired
+//!   (reply never arrived, connect hung, peer stalled mid-frame).
+//! * [`CcsError::RetriesExhausted`] — a retry loop ran out of attempts
+//!   or total deadline without a successful attempt.
 //!
 //! Lower-layer crates keep their own error types (`ccs-trace` and
 //! `ccs-isa` sit below this crate in the dependency graph); `From`
@@ -99,6 +103,24 @@ pub enum CcsError {
         /// server provided one.
         retry_after_ms: Option<u64>,
     },
+    /// A service-layer I/O deadline expired: a peer stopped sending
+    /// mid-frame, a reply never arrived, or a connect hung. Transient
+    /// by construction — the work may have happened; only the answer
+    /// is missing.
+    Timeout {
+        /// What was being waited for when the deadline expired.
+        what: String,
+    },
+    /// A retry loop gave up: every attempt was refused or timed out and
+    /// the attempt budget or total deadline ran out.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Wall-clock spent across all attempts, in milliseconds.
+        elapsed_ms: u64,
+        /// The last per-attempt failure, rendered.
+        last: String,
+    },
 }
 
 impl CcsError {
@@ -106,6 +128,7 @@ impl CcsError {
     /// exhausted or cooperative cancellation) rather than a defect.
     pub fn is_timeout(&self) -> bool {
         matches!(self, CcsError::Sim(e) if e.is_timeout())
+            || matches!(self, CcsError::Timeout { .. })
     }
 
     /// Builds [`CcsError::CellPanicked`] from a `catch_unwind` payload,
@@ -147,6 +170,15 @@ impl fmt::Display for CcsError {
                 Some(ms) => write!(f, "rejected: {reason} (retry after {ms} ms)"),
                 None => write!(f, "rejected: {reason}"),
             },
+            CcsError::Timeout { what } => write!(f, "timeout: {what}"),
+            CcsError::RetriesExhausted {
+                attempts,
+                elapsed_ms,
+                last,
+            } => write!(
+                f,
+                "retries exhausted after {attempts} attempts ({elapsed_ms} ms): {last}"
+            ),
         }
     }
 }
@@ -247,6 +279,21 @@ mod tests {
             retry_after_ms: None,
         };
         assert_eq!(e.to_string(), "rejected: draining");
+        let e = CcsError::Timeout {
+            what: "reply from 127.0.0.1:7405".into(),
+        };
+        assert!(e.is_timeout(), "I/O deadlines classify as timeouts");
+        assert_eq!(e.to_string(), "timeout: reply from 127.0.0.1:7405");
+        let e = CcsError::RetriesExhausted {
+            attempts: 5,
+            elapsed_ms: 1200,
+            last: "rejected: queue full".into(),
+        };
+        assert!(!e.is_timeout());
+        assert_eq!(
+            e.to_string(),
+            "retries exhausted after 5 attempts (1200 ms): rejected: queue full"
+        );
     }
 
     #[test]

@@ -54,12 +54,14 @@ mod experiment;
 pub mod grid;
 mod policy;
 pub mod queue;
+pub mod shard;
 
 pub use bank::{LocMode, PredictorBank};
 pub use baselines::{FirstConsumer, ModN};
 pub use checkpoint::cell_key;
 pub use error::CcsError;
 pub use queue::{Admission, BoundedQueue};
+pub use shard::ShardMap;
 pub use experiment::{
     run_cell, run_custom, run_custom_cancellable, CellOutcome, RunOptions, TrainingSource,
 };

@@ -212,6 +212,20 @@ impl<T> BoundedQueue<T> {
         self.cv.notify_all();
     }
 
+    /// Closes the queue *and discards everything still pending*,
+    /// returning how many items were dropped. Consumers unblock with
+    /// [`None`] immediately. This is the crash path — graceful shutdown
+    /// uses [`close`](Self::close) and lets the backlog drain.
+    pub fn close_now(&self) -> usize {
+        let mut inner = self.lock();
+        inner.closed = true;
+        let dropped = inner.items.len();
+        inner.items.clear();
+        drop(inner);
+        self.cv.notify_all();
+        dropped
+    }
+
     /// Whether [`close`](Self::close) has been called.
     pub fn is_closed(&self) -> bool {
         self.lock().closed
@@ -278,6 +292,16 @@ mod tests {
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));
         assert_eq!(q.pop(), None, "closed and drained");
+    }
+
+    #[test]
+    fn close_now_drops_the_backlog() {
+        let q = BoundedQueue::new(8);
+        q.admit(vec![1, 2, 3]);
+        assert_eq!(q.close_now(), 3);
+        assert_eq!(q.pop(), None, "pending items were discarded");
+        assert!(q.try_push(4).is_err());
+        assert_eq!(q.close_now(), 0, "idempotent once empty");
     }
 
     #[test]

@@ -15,8 +15,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 /// The request-frame kinds a serve daemon distinguishes, in wire order.
-pub const SERVE_FRAME_KINDS: [&str; 5] =
-    ["submit_cell", "submit_grid", "status", "metrics", "drain"];
+pub const SERVE_FRAME_KINDS: [&str; 6] = [
+    "submit_cell",
+    "submit_grid",
+    "status",
+    "metrics",
+    "drain",
+    "cache_lookup",
+];
 
 /// Saturating bound (in milliseconds) of the per-frame latency
 /// histograms: latencies at or above 1 s land in the final bucket.
@@ -48,6 +54,12 @@ pub struct ServeMetrics {
     /// Approximate (analytic-envelope) answers served without
     /// simulating.
     approx_answered: AtomicU64,
+    /// Local cache misses answered by a peer shard's cache.
+    peer_hits: AtomicU64,
+    /// Peer lookups that found nothing (or no peer was reachable).
+    peer_misses: AtomicU64,
+    /// Cache entries rebuilt from the journal at startup.
+    recovered: AtomicU64,
     /// Current work-queue depth (gauge, maintained by the admission and
     /// worker paths).
     queue_depth: AtomicU64,
@@ -77,6 +89,9 @@ impl ServeMetrics {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             approx_answered: AtomicU64::new(0),
+            peer_hits: AtomicU64::new(0),
+            peer_misses: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
             queue_depth: AtomicU64::new(0),
             queue_depth_peak: AtomicU64::new(0),
             latency_ms: std::array::from_fn(|_| {
@@ -153,6 +168,29 @@ impl ServeMetrics {
         self.approx_answered.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a local miss answered from a peer shard's cache: the
+    /// cell leaves the queue (depth gauge decrements) without counting
+    /// as locally evaluated.
+    pub fn record_peer_hit(&self) {
+        self.peer_hits.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .queue_depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
+    }
+
+    /// Records a peer lookup that came back empty or unreachable.
+    pub fn record_peer_miss(&self) {
+        self.peer_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `cells` cache entries rebuilt from the journal during
+    /// startup recovery.
+    pub fn record_recovered(&self, cells: u64) {
+        self.recovered.fetch_add(cells, Ordering::Relaxed);
+    }
+
     /// A consistent-enough copy of every counter for a status or
     /// metrics reply. (Counters are read individually; the snapshot is
     /// not atomic across fields, which status reporting does not need.)
@@ -167,6 +205,9 @@ impl ServeMetrics {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             approx_answered: self.approx_answered.load(Ordering::Relaxed),
+            peer_hits: self.peer_hits.load(Ordering::Relaxed),
+            peer_misses: self.peer_misses.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
             latency_ms: std::array::from_fn(|i| {
@@ -200,6 +241,12 @@ pub struct ServeSnapshot {
     pub cache_misses: u64,
     /// Approximate (envelope-only) answers served without simulating.
     pub approx_answered: u64,
+    /// Local cache misses answered by a peer shard's cache.
+    pub peer_hits: u64,
+    /// Peer lookups that found nothing (or no peer was reachable).
+    pub peer_misses: u64,
+    /// Cache entries rebuilt from the journal at startup.
+    pub recovered: u64,
     /// Work-queue depth at snapshot time.
     pub queue_depth: u64,
     /// High-water mark of the queue depth.
@@ -263,12 +310,18 @@ mod tests {
         m.record_admission_reject();
         m.record_protocol_error();
         m.record_approx();
+        m.record_peer_hit();
+        m.record_peer_miss();
+        m.record_recovered(7);
         let s = m.snapshot();
         assert_eq!(s.frames[1], 2);
         assert_eq!(s.frames[4], 1);
+        assert_eq!(s.peer_hits, 1);
+        assert_eq!(s.peer_misses, 1);
+        assert_eq!(s.recovered, 7);
         assert_eq!(s.cells_admitted, 3);
         assert_eq!(s.cells_evaluated, 1);
-        assert_eq!(s.queue_depth, 2);
+        assert_eq!(s.queue_depth, 1, "one evaluated + one peer-answered left the queue");
         assert_eq!(s.queue_depth_peak, 3);
         assert_eq!(s.cache_hits, 1);
         assert_eq!(s.cache_misses, 3);

@@ -3,6 +3,8 @@
 //! ```text
 //! ccs-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!           [--cache-cap N] [--trace-cap N] [--journal PATH]
+//!           [--recover] [--peers HOST:PORT,...]
+//!           [--frame-timeout-ms MS] [--peer-timeout-ms MS]
 //!           [--max-attempts N] [--deadline-ms MS]
 //! ```
 //!
@@ -16,7 +18,9 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: ccs-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]\n\
-         \x20                [--trace-cap N] [--journal PATH] [--max-attempts N] [--deadline-ms MS]"
+         \x20                [--trace-cap N] [--journal PATH] [--recover] [--peers HOST:PORT,...]\n\
+         \x20                [--frame-timeout-ms MS] [--peer-timeout-ms MS]\n\
+         \x20                [--max-attempts N] [--deadline-ms MS]"
     );
     std::process::exit(2)
 }
@@ -41,6 +45,23 @@ fn parse_args() -> ServeConfig {
             "--cache-cap" => config.cache_capacity = parse_num(&flag, &value("count")),
             "--trace-cap" => config.trace_capacity = Some(parse_num(&flag, &value("count"))),
             "--journal" => config.journal = Some(value("PATH").into()),
+            "--recover" => config.recover = true,
+            "--peers" => {
+                config.peers = value("HOST:PORT,...")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect()
+            }
+            "--frame-timeout-ms" => {
+                config.frame_timeout =
+                    Duration::from_millis(parse_num(&flag, &value("millis")) as u64)
+            }
+            "--peer-timeout-ms" => {
+                config.peer_timeout =
+                    Duration::from_millis(parse_num(&flag, &value("millis")) as u64)
+            }
             "--max-attempts" => {
                 config.resilience =
                     Resilience::default().with_max_attempts(parse_num(&flag, &value("count")) as u32)

@@ -44,6 +44,8 @@ pub mod frame_kind {
     pub const METRICS: usize = 3;
     /// `drain` request.
     pub const DRAIN: usize = 4;
+    /// `cache_lookup` request (shard-to-shard cache peering).
+    pub const CACHE_LOOKUP: usize = 5;
 }
 
 /// Everything that can go wrong at the protocol layer.
@@ -85,6 +87,12 @@ pub enum ServeError {
         /// The server's reason.
         reason: String,
     },
+    /// An I/O deadline expired: the peer stopped mid-frame, a reply
+    /// never arrived, or a connect hung.
+    Timeout {
+        /// What was being waited for.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -101,6 +109,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "server busy (retry after {retry_after_ms} ms)")
             }
             ServeError::Rejected { reason } => write!(f, "rejected: {reason}"),
+            ServeError::Timeout { what } => write!(f, "timeout: {what}"),
         }
     }
 }
@@ -124,6 +133,7 @@ impl From<ServeError> for CcsError {
                 reason,
                 retry_after_ms: None,
             },
+            ServeError::Timeout { what } => CcsError::Timeout { what },
             other => CcsError::Protocol {
                 message: other.to_string(),
             },
@@ -398,6 +408,14 @@ pub enum Request {
     Metrics,
     /// Stop admitting, finish in-flight work, then exit cleanly.
     Drain,
+    /// Shard-to-shard cache peering: answer from the *local* result
+    /// cache only — a hit is a [`Response::Cell`], a miss is a
+    /// [`Response::NotFound`]. Never enqueues work and never consults
+    /// the asking shard's own peers, so lookups cannot recurse.
+    CacheLookup {
+        /// The cell's [`cell_key`](ccs_core::cell_key).
+        key: String,
+    },
 }
 
 impl Request {
@@ -409,6 +427,7 @@ impl Request {
             Request::Status => frame_kind::STATUS,
             Request::Metrics => frame_kind::METRICS,
             Request::Drain => frame_kind::DRAIN,
+            Request::CacheLookup { .. } => frame_kind::CACHE_LOOKUP,
         }
     }
 
@@ -437,6 +456,9 @@ impl Request {
             Request::Status => out.push_str("\"status\"}"),
             Request::Metrics => out.push_str("\"metrics\"}"),
             Request::Drain => out.push_str("\"drain\"}"),
+            Request::CacheLookup { key } => {
+                let _ = write!(out, "\"cache_lookup\",\"key\":{}}}", json::quoted(key));
+            }
         }
         out
     }
@@ -499,6 +521,11 @@ impl Request {
             "status" => Ok(Request::Status),
             "metrics" => Ok(Request::Metrics),
             "drain" => Ok(Request::Drain),
+            "cache_lookup" => Ok(Request::CacheLookup {
+                key: json::str_field(payload, "key").ok_or_else(|| ServeError::Malformed {
+                    message: "cache_lookup missing \"key\"".into(),
+                })?,
+            }),
             other => Err(ServeError::Malformed {
                 message: format!("unknown request type {other:?}"),
             }),
@@ -543,6 +570,26 @@ impl WireCellRecord {
             digest: rec.digest,
             cached,
             error: rec.error.clone(),
+        }
+    }
+
+    /// Projects the wire record back onto a [`CheckpointRecord`] — the
+    /// inverse of [`from_checkpoint`](Self::from_checkpoint) for every
+    /// field that travels (`metrics_digest` and the predicted envelope
+    /// do not; they come back [`None`]). Cache peering uses this to
+    /// install a peer's answer into the local result cache.
+    pub fn to_checkpoint(&self) -> CheckpointRecord {
+        CheckpointRecord {
+            key: self.key.clone(),
+            status: self.status.clone(),
+            attempts: self.attempts,
+            cycles: self.cycles,
+            cpi_bits: self.cpi_bits,
+            digest: self.digest,
+            metrics_digest: None,
+            predicted_lo: None,
+            predicted_hi: None,
+            error: self.error.clone(),
         }
     }
 
@@ -632,6 +679,11 @@ pub enum Response {
         /// What was wrong.
         message: String,
     },
+    /// A [`Request::CacheLookup`] missed the local cache.
+    NotFound {
+        /// The key that was asked for, echoed back.
+        key: String,
+    },
 }
 
 /// The payload of a [`Response::Status`] reply.
@@ -665,6 +717,11 @@ pub struct StatusReply {
     pub protocol_errors: u64,
     /// Approximate (envelope-only) answers served since start.
     pub approx_answered: u64,
+    /// Cache entries rebuilt from the journal at startup (0 unless the
+    /// daemon recovered from a crash).
+    pub recovered: u64,
+    /// Local misses answered by a peer shard's cache since start.
+    pub peer_hits: u64,
 }
 
 impl Response {
@@ -743,7 +800,7 @@ impl Response {
                      \"queue_capacity\":{},\"workers\":{},\"cache_len\":{},\"cache_capacity\":{},\
                      \"cache_hits\":{},\"cache_misses\":{},\"cells_admitted\":{},\
                      \"cells_evaluated\":{},\"admission_rejects\":{},\"protocol_errors\":{},\
-                     \"approx_answered\":{}}}",
+                     \"approx_answered\":{},\"recovered\":{},\"peer_hits\":{}}}",
                     s.protocol,
                     s.draining,
                     s.queue_depth,
@@ -758,6 +815,8 @@ impl Response {
                     s.admission_rejects,
                     s.protocol_errors,
                     s.approx_answered,
+                    s.recovered,
+                    s.peer_hits,
                 );
             }
             Response::Metrics { json: body } => {
@@ -771,6 +830,13 @@ impl Response {
                     out,
                     "{{\"type\":\"error\",\"message\":{}}}",
                     json::quoted(message)
+                );
+            }
+            Response::NotFound { key } => {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"not_found\",\"key\":{}}}",
+                    json::quoted(key)
                 );
             }
         }
@@ -847,6 +913,8 @@ impl Response {
                 admission_rejects: num("admission_rejects")?,
                 protocol_errors: num("protocol_errors")?,
                 approx_answered: num("approx_answered")?,
+                recovered: num("recovered")?,
+                peer_hits: num("peer_hits")?,
             })),
             "metrics" => {
                 let tag = "\"metrics\":";
@@ -861,6 +929,9 @@ impl Response {
             "error" => Ok(Response::Error {
                 message: json::str_field(payload, "message")
                     .ok_or_else(|| missing("message"))?,
+            }),
+            "not_found" => Ok(Response::NotFound {
+                key: json::str_field(payload, "key").ok_or_else(|| missing("key"))?,
             }),
             other => Err(ServeError::Malformed {
                 message: format!("unknown response type {other:?}"),
@@ -918,6 +989,9 @@ mod tests {
             Request::Status,
             Request::Metrics,
             Request::Drain,
+            Request::CacheLookup {
+                key: "vpr/s1/n2000/4x2w/Focused/00ff".into(),
+            },
         ];
         for req in reqs {
             let payload = req.encode();
@@ -1009,6 +1083,8 @@ mod tests {
                 admission_rejects: 1,
                 protocol_errors: 2,
                 approx_answered: 6,
+                recovered: 11,
+                peer_hits: 3,
             }),
             Response::Metrics {
                 json: "{\"queue_depth\":0}".into(),
@@ -1017,12 +1093,33 @@ mod tests {
             Response::Error {
                 message: "malformed payload: missing field \"type\"".into(),
             },
+            Response::NotFound {
+                key: "gzip/s2/n1500/8x1w/Proactive/0abc".into(),
+            },
         ];
         for resp in resps {
             let payload = resp.encode();
             let back = Response::decode(&payload).unwrap_or_else(|e| panic!("{payload}: {e}"));
             assert_eq!(back, resp, "{payload}");
         }
+    }
+
+    #[test]
+    fn wire_records_round_trip_through_checkpoints() {
+        let rec = CheckpointRecord {
+            key: "vpr/s1/n2000/4x2w/Focused/00ff".into(),
+            status: "ok".into(),
+            attempts: 2,
+            cycles: 987,
+            cpi_bits: 0x3ff8_0000_0000_0000,
+            digest: 0xfeed,
+            metrics_digest: None,
+            predicted_lo: None,
+            predicted_hi: None,
+            error: None,
+        };
+        let wire = WireCellRecord::from_checkpoint(4, &rec, true);
+        assert_eq!(wire.to_checkpoint(), rec);
     }
 
     #[test]

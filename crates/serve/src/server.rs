@@ -40,8 +40,13 @@ use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// How long a peer that failed a cache lookup stays circuit-broken
+/// (skipped without connecting) before being probed again. Keeps a dead
+/// peer from adding a connect timeout to every cache miss.
+const PEER_DOWN_COOLDOWN: Duration = Duration::from_secs(2);
 
 /// Everything a daemon needs to know at bind time.
 #[derive(Debug, Clone)]
@@ -58,6 +63,22 @@ pub struct ServeConfig {
     pub trace_capacity: Option<usize>,
     /// Request-journal path; `None` disables journaling.
     pub journal: Option<PathBuf>,
+    /// Replay an existing journal at startup instead of truncating it:
+    /// finished cells become cache entries again (crash recovery).
+    /// Ignored when `journal` is `None`.
+    pub recover: bool,
+    /// Sibling shard addresses consulted (local cache only, via
+    /// `cache_lookup`) on a local cache miss before simulating. Empty
+    /// disables peering.
+    pub peers: Vec<String>,
+    /// Connect/read deadline for one peer cache lookup.
+    pub peer_timeout: Duration,
+    /// How long a connection may sit on a *partial* frame before the
+    /// daemon replies with a typed timeout and hangs up (slow-loris
+    /// defense). Also the per-write deadline on replies, so a half-dead
+    /// client cannot pin a handler in `write`. Idle connections with an
+    /// empty buffer are unaffected.
+    pub frame_timeout: Duration,
     /// Retry/watchdog policy for cell evaluation.
     pub resilience: Resilience,
 }
@@ -71,8 +92,36 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             trace_capacity: None,
             journal: None,
+            recover: false,
+            peers: Vec::new(),
+            peer_timeout: Duration::from_millis(250),
+            frame_timeout: Duration::from_secs(10),
             resilience: Resilience::default(),
         }
+    }
+}
+
+/// A clonable handle that makes a running [`Server`] die *abruptly*:
+/// pending queue entries are dropped, no `drained` marker is journaled,
+/// in-flight grids never receive their `grid_done`. This is the chaos
+/// harness's kill -9 equivalent for in-process shards — the journal is
+/// left exactly as a crash would leave it, so recovery paths get
+/// exercised against the real artifact.
+#[derive(Clone)]
+pub struct KillSwitch {
+    flag: Arc<AtomicBool>,
+}
+
+impl KillSwitch {
+    /// Trips the switch. Idempotent; takes effect at the acceptor's
+    /// next poll (≤ ~20 ms).
+    pub fn kill(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the switch has been tripped.
+    pub fn is_killed(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
     }
 }
 
@@ -96,6 +145,16 @@ struct Shared {
     journal: Option<Journal>,
     resilience: Resilience,
     workers: usize,
+    /// Sibling shards consulted on a local cache miss (empty: no
+    /// peering).
+    peers: Vec<String>,
+    /// Per-lookup connect/read deadline for peering.
+    peer_timeout: Duration,
+    /// Circuit breaker: peers that recently failed, with the instant
+    /// their cooldown expires.
+    peer_down: Mutex<HashMap<String, Instant>>,
+    /// Partial-frame / reply-write deadline.
+    frame_timeout: Duration,
     /// Cells admitted but not yet answered. The drain handshake waits
     /// on this reaching zero.
     outstanding: AtomicU64,
@@ -104,6 +163,8 @@ struct Shared {
     /// Set by the acceptor once drained: handlers exit at their next
     /// poll.
     stop: AtomicBool,
+    /// Tripped by a [`KillSwitch`]: die abruptly, crash semantics.
+    killed: Arc<AtomicBool>,
 }
 
 impl Shared {
@@ -124,7 +185,30 @@ impl Shared {
             admission_rejects: snap.admission_rejects,
             protocol_errors: snap.protocol_errors,
             approx_answered: snap.approx_answered,
+            recovered: snap.recovered,
+            peer_hits: snap.peer_hits,
         }
+    }
+
+    /// Whether a peer is currently circuit-broken. Expired cooldowns
+    /// are pruned on the way.
+    fn peer_is_down(&self, peer: &str) -> bool {
+        let mut down = self.peer_down.lock().unwrap_or_else(PoisonError::into_inner);
+        match down.get(peer) {
+            Some(&until) if Instant::now() < until => true,
+            Some(_) => {
+                down.remove(peer);
+                false
+            }
+            None => false,
+        }
+    }
+
+    fn mark_peer_down(&self, peer: &str) {
+        self.peer_down
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(peer.to_string(), Instant::now() + PEER_DOWN_COOLDOWN);
     }
 }
 
@@ -142,8 +226,8 @@ pub fn render_metrics(snap: &ServeSnapshot) -> String {
         out,
         "}},\"protocol_errors\":{},\"admission_rejects\":{},\"drain_rejects\":{},\
          \"cells_admitted\":{},\"cells_evaluated\":{},\"cache_hits\":{},\"cache_misses\":{},\
-         \"cache_hit_rate\":{:.6},\"approx_answered\":{},\"queue_depth\":{},\
-         \"queue_depth_peak\":{},\"latency\":{{",
+         \"cache_hit_rate\":{:.6},\"approx_answered\":{},\"peer_hits\":{},\"peer_misses\":{},\
+         \"recovered\":{},\"queue_depth\":{},\"queue_depth_peak\":{},\"latency\":{{",
         snap.protocol_errors,
         snap.admission_rejects,
         snap.drain_rejects,
@@ -153,6 +237,9 @@ pub fn render_metrics(snap: &ServeSnapshot) -> String {
         snap.cache_misses,
         snap.cache_hit_rate(),
         snap.approx_answered,
+        snap.peer_hits,
+        snap.peer_misses,
+        snap.recovered,
         snap.queue_depth,
         snap.queue_depth_peak,
     );
@@ -179,6 +266,7 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     config: ServeConfig,
+    killed: Arc<AtomicBool>,
 }
 
 impl Server {
@@ -198,12 +286,21 @@ impl Server {
             listener,
             local_addr,
             config,
+            killed: Arc::new(AtomicBool::new(false)),
         })
     }
 
     /// The bound address (concrete even when the config said port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// A handle that can crash this daemon from another thread (chaos
+    /// testing). Grab it before [`run`](Server::run) consumes `self`.
+    pub fn kill_switch(&self) -> KillSwitch {
+        KillSwitch {
+            flag: Arc::clone(&self.killed),
+        }
     }
 
     /// Serves until a `drain` frame completes: accepts connections,
@@ -218,8 +315,20 @@ impl Server {
             listener,
             local_addr,
             config,
+            killed,
         } = self;
+        let mut replayed: Vec<CheckpointRecord> = Vec::new();
         let journal = match &config.journal {
+            Some(path) if config.recover => {
+                let (journal, state) = Journal::recover(
+                    path,
+                    &local_addr.to_string(),
+                    config.workers,
+                    config.queue_capacity,
+                )?;
+                replayed = state.records;
+                Some(journal)
+            }
             Some(path) => Some(Journal::create(
                 path,
                 &local_addr.to_string(),
@@ -239,10 +348,29 @@ impl Server {
             journal,
             resilience: config.resilience,
             workers: config.workers.max(1),
+            peers: config.peers.clone(),
+            peer_timeout: config.peer_timeout,
+            peer_down: Mutex::new(HashMap::new()),
+            frame_timeout: config.frame_timeout,
             outstanding: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             stop: AtomicBool::new(false),
+            killed,
         };
+        // Replayed results become cache entries before the first accept,
+        // so the recovered shard answers its journaled cells as hits
+        // from the very first submission (the put ignores non-"ok"
+        // records, exactly like the live path).
+        let mut recovered = 0u64;
+        for record in &replayed {
+            if record.status == "ok" {
+                shared.cache.put(record);
+                recovered += 1;
+            }
+        }
+        if recovered > 0 {
+            shared.metrics.record_recovered(recovered);
+        }
         listener
             .set_nonblocking(true)
             .map_err(|e| CcsError::Protocol {
@@ -263,6 +391,9 @@ impl Server {
                         if e.kind() == ErrorKind::WouldBlock
                             || e.kind() == ErrorKind::TimedOut =>
                     {
+                        if shared.killed.load(Ordering::SeqCst) {
+                            break;
+                        }
                         if shared.draining.load(Ordering::SeqCst)
                             && shared.outstanding.load(Ordering::SeqCst) == 0
                         {
@@ -280,12 +411,22 @@ impl Server {
                     }
                 }
             }
-            // Drained: stop workers (pop → None) and handlers (next
-            // read-timeout poll observes the stop flag).
-            shared.queue.close();
-            shared.stop.store(true, Ordering::SeqCst);
-            if let Some(j) = &shared.journal {
-                j.append(JournalEvent::Drained { seq: 0 });
+            if shared.killed.load(Ordering::SeqCst) {
+                // Crash semantics: drop the backlog on the floor, no
+                // `drained` marker — the journal must look exactly as
+                // kill -9 would leave it, mid-sentence. (Dropping the
+                // queued jobs drops their reply senders, so handlers
+                // unblock; the stop flag then suppresses `grid_done`.)
+                shared.stop.store(true, Ordering::SeqCst);
+                shared.queue.close_now();
+            } else {
+                // Drained: stop workers (pop → None) and handlers (next
+                // read-timeout poll observes the stop flag).
+                shared.queue.close();
+                shared.stop.store(true, Ordering::SeqCst);
+                if let Some(j) = &shared.journal {
+                    j.append(JournalEvent::Drained { seq: 0 });
+                }
             }
         });
         Ok(())
@@ -300,11 +441,29 @@ fn worker_loop(shared: &Shared) {
         // sat queued; reuse its result rather than re-simulating. This
         // second consultation counts as a hit so the daemon's hit tally
         // agrees with the number of `cached` records clients receive.
-        let (record, cached) = match shared.cache.get(&job.key) {
+        let mut from_peer = false;
+        let peered = match shared.cache.get(&job.key) {
             Some(record) => {
                 shared.metrics.record_cache_hit();
-                (record, true)
+                Some(record)
             }
+            // A sibling shard may already hold this cell (it owned the
+            // key before a failover re-placed it, or recovered it from
+            // its journal). Results are deterministic, so a peer's
+            // record is bit-identical to what a local evaluation would
+            // produce — install it and answer as a cache hit.
+            None => match peer_lookup(shared, &job.key) {
+                Some(record) => {
+                    shared.cache.put(&record);
+                    shared.metrics.record_peer_hit();
+                    from_peer = true;
+                    Some(record)
+                }
+                None => None,
+            },
+        };
+        let (record, cached) = match peered {
+            Some(record) => (record, true),
             None => {
                 let results = run_cells(
                     std::slice::from_ref(&job.spec),
@@ -338,15 +497,98 @@ fn worker_loop(shared: &Shared) {
                 seq: 0,
                 key: record.key.clone(),
                 status: record.status.clone(),
+                attempts: record.attempts as u64,
+                cycles: record.cycles,
+                cpi_bits: record.cpi_bits,
+                digest: record.digest,
+                error: record.error.clone(),
             });
         }
         // Account the evaluation before replying, so a client that sees
-        // its grid finish also sees the daemon's counters agree.
-        shared.metrics.record_evaluated();
+        // its grid finish also sees the daemon's counters agree. A
+        // peer-answered cell already left the queue via
+        // `record_peer_hit`, and counting it as evaluated would claim
+        // work this shard never did.
+        if !from_peer {
+            shared.metrics.record_evaluated();
+        }
         // The handler may have died with its client; a failed send must
         // not kill the worker (the cell is still journaled and cached).
         let _ = job.reply.send((job.indices, record, cached));
         shared.outstanding.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Asks each configured peer shard (skipping circuit-broken ones) for
+/// `key` from its *local* cache. First hit wins. Every socket operation
+/// is bounded by `peer_timeout`, and a peer that fails transport-wise
+/// is circuit-broken for [`PEER_DOWN_COOLDOWN`] so a dead shard cannot
+/// tax every subsequent miss with a connect timeout.
+fn peer_lookup(shared: &Shared, key: &str) -> Option<CheckpointRecord> {
+    if shared.peers.is_empty() {
+        return None;
+    }
+    for peer in &shared.peers {
+        if shared.peer_is_down(peer) {
+            continue;
+        }
+        match peer_lookup_one(peer, key, shared.peer_timeout) {
+            Ok(Some(record)) => return Some(record),
+            Ok(None) => {}
+            Err(_) => shared.mark_peer_down(peer),
+        }
+    }
+    shared.metrics.record_peer_miss();
+    None
+}
+
+/// One bounded cache-lookup round trip against one peer.
+fn peer_lookup_one(
+    peer: &str,
+    key: &str,
+    timeout: Duration,
+) -> Result<Option<CheckpointRecord>, CcsError> {
+    use crate::protocol::ServeError;
+    let addr: SocketAddr = peer.parse().map_err(|_| CcsError::Protocol {
+        message: format!("peer address {peer:?} is not host:port"),
+    })?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout).map_err(ServeError::from)?;
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(timeout.min(Duration::from_millis(50)).max(Duration::from_millis(1))))
+        .map_err(ServeError::from)?;
+    stream.set_write_timeout(Some(timeout)).map_err(ServeError::from)?;
+    let request = Request::CacheLookup {
+        key: key.to_string(),
+    };
+    write_frame(&mut stream, &request.encode())?;
+    let deadline = Instant::now() + timeout;
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.poll(&mut stream) {
+            Ok(Poll::Frame(payload)) => {
+                return match Response::decode(&payload)? {
+                    Response::Cell { record, .. } => Ok(Some(record.to_checkpoint())),
+                    Response::NotFound { .. } => Ok(None),
+                    other => Err(CcsError::Protocol {
+                        message: format!("unexpected cache_lookup reply: {other:?}"),
+                    }),
+                };
+            }
+            Ok(Poll::Pending) => {
+                if Instant::now() >= deadline {
+                    return Err(CcsError::Timeout {
+                        what: format!("cache_lookup reply from {peer}"),
+                    });
+                }
+            }
+            Ok(Poll::Closed) => {
+                return Err(CcsError::Protocol {
+                    message: format!("peer {peer} closed during cache_lookup"),
+                })
+            }
+            Err(e) => return Err(e.into()),
+        }
     }
 }
 
@@ -376,13 +618,21 @@ impl GridTally {
 /// daemon stops.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     // The read timeout doubles as the stop-flag poll interval; the
-    // FrameReader preserves partial frames across timeouts.
+    // FrameReader preserves partial frames across timeouts. The write
+    // timeout bounds every reply, so a client that stops reading cannot
+    // pin this handler (or the drain path) in `write`.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(shared.frame_timeout));
     let _ = stream.set_nodelay(true);
     let mut reader = FrameReader::new();
+    // Slow-loris defense: the clock starts when a partial frame appears
+    // and resets when the buffer empties. An idle connection (empty
+    // buffer) may sit forever; a half-sent frame may not.
+    let mut partial_since: Option<Instant> = None;
     loop {
         match reader.poll(&mut stream) {
             Ok(Poll::Frame(payload)) => {
+                partial_since = None;
                 if !handle_frame(shared, &mut stream, &payload) {
                     break;
                 }
@@ -390,6 +640,22 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             Ok(Poll::Pending) => {
                 if shared.stop.load(Ordering::SeqCst) {
                     break;
+                }
+                if reader.buffered() == 0 {
+                    partial_since = None;
+                } else {
+                    let since = *partial_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= shared.frame_timeout {
+                        shared.metrics.record_protocol_error();
+                        let reply = Response::Error {
+                            message: format!(
+                                "timeout: partial frame stalled longer than {} ms",
+                                shared.frame_timeout.as_millis()
+                            ),
+                        };
+                        let _ = write_frame(&mut stream, &reply.encode());
+                        break;
+                    }
                 }
             }
             Ok(Poll::Closed) => break,
@@ -440,6 +706,19 @@ fn handle_frame(shared: &Shared, stream: &mut TcpStream, payload: &str) -> bool 
         Request::Metrics => {
             let reply = Response::Metrics {
                 json: render_metrics(&shared.metrics.snapshot()),
+            };
+            write_frame(stream, &reply.encode()).is_ok()
+        }
+        Request::CacheLookup { key } => {
+            // Answered from the *local* cache only — never queued, never
+            // forwarded — so peering lookups cannot recurse or generate
+            // work on the queried shard.
+            let reply = match shared.cache.get(&key) {
+                Some(record) => Response::Cell {
+                    id: 0,
+                    record: WireCellRecord::from_checkpoint(0, &record, true),
+                },
+                None => Response::NotFound { key },
             };
             write_frame(stream, &reply.encode()).is_ok()
         }
@@ -621,7 +900,10 @@ fn handle_submission(
             }
         }
     }
-    if grid && write_ok {
+    // A killed shard must look *crashed*, not finished: suppressing
+    // `grid_done` here means the client sees an incomplete grid and
+    // fails the unanswered cells over to the next ring successor.
+    if grid && write_ok && !shared.killed.load(Ordering::SeqCst) {
         let reply = Response::GridDone {
             id,
             cells: cells.len(),

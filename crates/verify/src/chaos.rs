@@ -1,0 +1,422 @@
+//! Service-level chaos: seeded connection faults for the serve layer.
+//!
+//! The protocol fuzzer ([`crate::protocol`]) breaks *frames*; this
+//! module breaks *service behavior* — the failure shapes a sharded
+//! campaign must survive: a shard that dies mid-grid, an accept loop
+//! that hangs without answering, a connection cut after a few bytes of
+//! reply, a reply that arrives late enough to probe client timeouts.
+//!
+//! Two pieces:
+//!
+//! * [`ServeFaultPlan`] — a seeded, pure function from
+//!   accepted-connection index to [`ServeFault`]. Every run with the
+//!   same seed injects the same faults at the same connections, so a CI
+//!   chaos failure reproduces locally by naming its seed — the same
+//!   discipline as [`crate::faultinject`].
+//! * [`ChaosProxy`] — a byte-level TCP proxy that sits between a client
+//!   and a live daemon and applies the plan per accepted connection.
+//!   Deliberately **no `ccs-serve` dependency**: it never parses
+//!   frames, so it cannot drift from the wire contract and it injects
+//!   exactly what a broken network injects — byte streams that stop,
+//!   stall, or lag.
+//!
+//! The remaining fault shape — a shard process dying mid-campaign with
+//! work admitted and journaled — cannot be staged from outside the
+//! socket. The serve crate exposes `KillSwitch` for that; integration
+//! tests combine it with this module (kill one shard of a cluster via
+//! the switch, degrade another's connections via the proxy) to prove
+//! failover and journal-replay recovery end to end.
+
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One way a connection through the proxy can misbehave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFault {
+    /// Pass bytes through untouched.
+    None,
+    /// Accept the connection, then never forward anything in either
+    /// direction: a daemon whose accept thread is alive but wedged.
+    /// Clients without a reply deadline hang forever on this.
+    HangAccept,
+    /// Forward the first `bytes` daemon→client bytes, then sever the
+    /// connection: a shard crashing mid-reply, after framing has
+    /// started. The client sees a torn stream, not a clean refusal.
+    DropAfterBytes {
+        /// Daemon→client bytes allowed through before the cut.
+        bytes: usize,
+    },
+    /// Stall each daemon→client read by `millis` before forwarding: a
+    /// saturated or GC-pausing shard. Probes reply-deadline handling
+    /// without killing anything.
+    DelayReply {
+        /// Added latency per forwarded chunk.
+        millis: u64,
+    },
+}
+
+/// A deterministic schedule of [`ServeFault`]s by accepted-connection
+/// index.
+#[derive(Debug, Clone)]
+pub struct ServeFaultPlan {
+    scripted: Vec<ServeFault>,
+    seed: u64,
+    /// Faults drawn (seeded) for connections past the script; `None`
+    /// in the menu makes seeded chaos intermittent rather than total.
+    menu: Vec<ServeFault>,
+}
+
+impl ServeFaultPlan {
+    /// A plan that injects nothing, ever — the control arm.
+    pub fn clean() -> Self {
+        ServeFaultPlan {
+            scripted: Vec::new(),
+            seed: 0,
+            menu: vec![ServeFault::None],
+        }
+    }
+
+    /// An explicit per-connection script; connections past the end are
+    /// clean. `scripted[i]` hits accepted connection `i`.
+    pub fn scripted(faults: Vec<ServeFault>) -> Self {
+        ServeFaultPlan {
+            scripted: faults,
+            seed: 0,
+            menu: vec![ServeFault::None],
+        }
+    }
+
+    /// Seeded chaos: every connection draws uniformly from `menu`
+    /// (deterministically in `seed` and the connection index).
+    pub fn seeded(seed: u64, menu: Vec<ServeFault>) -> Self {
+        let menu = if menu.is_empty() {
+            vec![ServeFault::None]
+        } else {
+            menu
+        };
+        ServeFaultPlan {
+            scripted: Vec::new(),
+            seed,
+            menu,
+        }
+    }
+
+    /// The fault for accepted connection `index` — a pure function, so
+    /// callers can predict (and tests can assert) the schedule without
+    /// running it.
+    pub fn fault_for(&self, index: usize) -> ServeFault {
+        if let Some(&fault) = self.scripted.get(index) {
+            return fault;
+        }
+        if self.menu.len() == 1 {
+            return self.menu[0];
+        }
+        // Mix the index into the seed so each connection draws an
+        // independent value while the whole schedule stays replayable.
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        self.menu[rng.random_range(0..self.menu.len() as u64) as usize]
+    }
+}
+
+/// A fault-injecting TCP proxy in front of one daemon.
+///
+/// Listens on an ephemeral local port; every accepted connection `i`
+/// opens its own upstream connection and pumps bytes both ways, shaped
+/// by `plan.fault_for(i)`. Dropping the proxy stops the accept loop
+/// and severs the connections it spawned.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accepted: Arc<AtomicUsize>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy for `upstream` (e.g. `"127.0.0.1:7405"`) on an
+    /// ephemeral `127.0.0.1` port.
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` when the listening socket cannot be bound.
+    pub fn start(upstream: &str, plan: ServeFaultPlan) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let upstream = upstream.to_string();
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let accepted = Arc::clone(&accepted);
+            std::thread::spawn(move || {
+                accept_loop(&listener, &upstream, &plan, &stop, &accepted);
+            })
+        };
+        Ok(ChaosProxy {
+            local,
+            stop,
+            accepted,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should connect to instead of the daemon's.
+    pub fn addr(&self) -> String {
+        self.local.to_string()
+    }
+
+    /// Connections accepted so far — `fault_for(accepted())` is the
+    /// fault the *next* connection will draw.
+    pub fn accepted(&self) -> usize {
+        self.accepted.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: &str,
+    plan: &ServeFaultPlan,
+    stop: &Arc<AtomicBool>,
+    accepted: &Arc<AtomicUsize>,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                let index = accepted.fetch_add(1, Ordering::SeqCst);
+                let fault = plan.fault_for(index);
+                let upstream = upstream.to_string();
+                let stop = Arc::clone(stop);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(client, &upstream, fault, &stop);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    // Handlers watch the same stop flag; sever their sockets by letting
+    // them observe it rather than leaking threads past drop.
+    for handle in handlers {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(client: TcpStream, upstream: &str, fault: ServeFault, stop: &Arc<AtomicBool>) {
+    if fault == ServeFault::HangAccept {
+        // Hold the socket open, forward nothing, and release it only
+        // when the proxy stops — the client's reply deadline is what
+        // breaks this stalemate.
+        while !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        return;
+    }
+    let Ok(server) = TcpStream::connect(upstream) else {
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let (c2s_limit, s2c_limit, delay) = match fault {
+        ServeFault::None => (usize::MAX, usize::MAX, Duration::ZERO),
+        // The request side flows; the fault shapes the reply side.
+        ServeFault::DropAfterBytes { bytes } => (usize::MAX, bytes, Duration::ZERO),
+        ServeFault::DelayReply { millis } => {
+            (usize::MAX, usize::MAX, Duration::from_millis(millis))
+        }
+        ServeFault::HangAccept => unreachable!("handled above"),
+    };
+    let c2s = {
+        let (client, server) = (client.try_clone(), server.try_clone());
+        let stop = Arc::clone(stop);
+        std::thread::spawn(move || {
+            if let (Ok(client), Ok(server)) = (client, server) {
+                pump(client, server, c2s_limit, Duration::ZERO, &stop);
+            }
+        })
+    };
+    pump(server, client, s2c_limit, delay, stop);
+    let _ = c2s.join();
+}
+
+/// Copies bytes `from` → `to` until EOF, error, the byte `limit`, or
+/// proxy stop; reaching the limit severs *both* directions by dropping
+/// the sockets.
+fn pump(mut from: TcpStream, mut to: TcpStream, limit: usize, delay: Duration, stop: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut remaining = limit;
+    let mut buf = [0u8; 4096];
+    while !stop.load(Ordering::SeqCst) && remaining > 0 {
+        match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if !delay.is_zero() {
+                    std::thread::sleep(delay);
+                }
+                let n = n.min(remaining);
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+                remaining -= n;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = from.shutdown(std::net::Shutdown::Both);
+    let _ = to.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single-connection echo upstream for proxy tests.
+    fn echo_upstream() -> (String, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            // Serve exactly one connection, then exit with the test
+            // (joining a multi-connection loop would block on accept).
+            let Ok((mut conn, _)) = listener.accept() else {
+                return;
+            };
+            let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+            let mut buf = [0u8; 1024];
+            while let Ok(n) = conn.read(&mut buf) {
+                if n == 0 || conn.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_scriptable() {
+        let script = ServeFaultPlan::scripted(vec![
+            ServeFault::HangAccept,
+            ServeFault::DropAfterBytes { bytes: 3 },
+        ]);
+        assert_eq!(script.fault_for(0), ServeFault::HangAccept);
+        assert_eq!(script.fault_for(1), ServeFault::DropAfterBytes { bytes: 3 });
+        assert_eq!(script.fault_for(2), ServeFault::None, "past the script: clean");
+
+        let menu = vec![
+            ServeFault::None,
+            ServeFault::HangAccept,
+            ServeFault::DelayReply { millis: 5 },
+        ];
+        let a = ServeFaultPlan::seeded(42, menu.clone());
+        let b = ServeFaultPlan::seeded(42, menu.clone());
+        let c = ServeFaultPlan::seeded(43, menu.clone());
+        let draw = |p: &ServeFaultPlan| (0..64).map(|i| p.fault_for(i)).collect::<Vec<_>>();
+        assert_eq!(draw(&a), draw(&b), "same seed, same schedule");
+        assert_ne!(draw(&a), draw(&c), "different seed, different schedule");
+        for fault in draw(&a) {
+            assert!(menu.contains(&fault), "draws come from the menu");
+        }
+    }
+
+    #[test]
+    fn clean_proxy_passes_bytes_through() {
+        let (upstream, server) = echo_upstream();
+        let proxy = ChaosProxy::start(&upstream, ServeFaultPlan::clean()).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        assert_eq!(proxy.accepted(), 1);
+        drop(conn);
+        drop(proxy);
+        let _ = server.join();
+    }
+
+    #[test]
+    fn drop_after_bytes_severs_the_reply_mid_stream() {
+        let (upstream, server) = echo_upstream();
+        let plan = ServeFaultPlan::scripted(vec![ServeFault::DropAfterBytes { bytes: 2 }]);
+        let proxy = ChaosProxy::start(&upstream, plan).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+        conn.write_all(b"ping").unwrap();
+        let mut got = Vec::new();
+        let mut buf = [0u8; 16];
+        loop {
+            match conn.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => got.extend_from_slice(&buf[..n]),
+            }
+        }
+        assert_eq!(got, b"pi", "exactly the allowed bytes, then a cut");
+        drop(conn);
+        drop(proxy);
+        let _ = server.join();
+    }
+
+    #[test]
+    fn hang_accept_answers_nothing() {
+        let (upstream, server) = echo_upstream();
+        let plan = ServeFaultPlan::scripted(vec![ServeFault::HangAccept]);
+        let proxy = ChaosProxy::start(&upstream, plan).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"ping").unwrap();
+        let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+        let mut buf = [0u8; 4];
+        let got = conn.read(&mut buf);
+        assert!(
+            matches!(got, Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut),
+            "a wedged accept never replies: {got:?}"
+        );
+        drop(conn);
+        drop(proxy);
+        drop(server); // the echo server never saw this connection
+    }
+
+    #[test]
+    fn delay_reply_adds_latency_but_loses_nothing() {
+        let (upstream, server) = echo_upstream();
+        let plan = ServeFaultPlan::scripted(vec![ServeFault::DelayReply { millis: 120 }]);
+        let proxy = ChaosProxy::start(&upstream, plan).unwrap();
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+        let started = std::time::Instant::now();
+        conn.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        assert!(
+            started.elapsed() >= Duration::from_millis(100),
+            "the injected stall is observable"
+        );
+        drop(conn);
+        drop(proxy);
+        let _ = server.join();
+    }
+}

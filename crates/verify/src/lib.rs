@@ -4,7 +4,7 @@
 //! in window entries, resolves memory dependences through an
 //! open-addressed table, reuses scratch buffers, and encodes "not yet"
 //! as a sentinel cycle. Each of those optimizations is a place for a
-//! subtle scheduling bug to hide. This crate provides seven independent
+//! subtle scheduling bug to hide. This crate provides eight independent
 //! lines of defence:
 //!
 //! 1. **A reference oracle** ([`reference_simulate`]) — a naive
@@ -40,6 +40,12 @@
 //!    prefixes, flipped payload bits) that the service integration
 //!    suite feeds to a live `ccs-serve` daemon, asserting typed errors
 //!    and a surviving process.
+//! 8. **Service-level chaos** ([`chaos`]) — a seeded fault plan
+//!    ([`ServeFaultPlan`]) and byte-level fault-injecting TCP proxy
+//!    ([`ChaosProxy`]) staging shard deaths, wedged accept loops, torn
+//!    replies, and injected latency, so the sharded-cluster integration
+//!    suite can prove failover and journal-replay recovery keep
+//!    campaign results bit-identical under failure.
 //!
 //! See `DESIGN.md` ("Verification subsystem") for the methodology.
 
@@ -48,6 +54,7 @@
 
 pub mod bounds;
 pub mod campaign;
+pub mod chaos;
 pub mod diff;
 pub mod faultinject;
 pub mod golden;
@@ -57,6 +64,7 @@ pub mod protocol;
 
 pub use bounds::{check_bounds, check_bounds_against, BoundViolation};
 pub use campaign::{run_case, standard_campaign, CaseOutcome, DiffCase, TraceSource};
+pub use chaos::{ChaosProxy, ServeFault, ServeFaultPlan};
 pub use diff::diff_results;
 pub use faultinject::{
     corrupt_trace, run_grid_with_faults, BoundMutation, CellFault, FaultPlan, ScheduleMutation,

@@ -24,14 +24,29 @@
 //! ```text
 //! cargo run --release --example loadgen -- --approx
 //! ```
+//!
+//! `--shard-sweep` switches to the *open-loop* cluster benchmark: the
+//! same seeded cell mix arrives on a seeded Poisson schedule (`--rate`
+//! cells/sec offered, independent of completions — so queueing delay is
+//! part of the measured latency) and is consistent-hash routed across
+//! 1, 2, and 4 fresh local shards in turn. Each sweep point reports
+//! achieved vs offered throughput and per-shard p50/p99 latency, and
+//! the sweep is written to `results/BENCH_shard.json`:
+//!
+//! ```text
+//! cargo run --release --example loadgen -- --shard-sweep --rate 200
+//! ```
 
 use ccs_client::Client;
-use ccs_core::PolicyKind;
+use ccs_core::checkpoint::cell_key;
+use ccs_core::{PolicyKind, ShardMap};
 use ccs_isa::ClusterLayout;
 use ccs_serve::{ServeConfig, Server, WireCellSpec};
 use ccs_trace::Benchmark;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, RngExt, SeedableRng};
+use std::sync::mpsc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -43,6 +58,9 @@ struct Args {
     len: usize,
     seed_pool: u64,
     approx: bool,
+    shard_sweep: bool,
+    rate: f64,
+    sweep_cells: usize,
     out: Option<String>,
 }
 
@@ -57,6 +75,9 @@ impl Args {
             len: 1_500,
             seed_pool: 6,
             approx: false,
+            shard_sweep: false,
+            rate: 200.0,
+            sweep_cells: 192,
             out: None,
         };
         let mut it = std::env::args().skip(1);
@@ -74,12 +95,18 @@ impl Args {
                 "--len" => args.len = value("--len").parse().expect("--len"),
                 "--seed-pool" => args.seed_pool = value("--seed-pool").parse().expect("--seed-pool"),
                 "--approx" => args.approx = true,
+                "--shard-sweep" => args.shard_sweep = true,
+                "--rate" => args.rate = value("--rate").parse().expect("--rate"),
+                "--sweep-cells" => {
+                    args.sweep_cells = value("--sweep-cells").parse().expect("--sweep-cells")
+                }
                 "--out" => args.out = Some(value("--out")),
                 other => {
                     eprintln!("unknown flag {other}");
                     eprintln!(
                         "usage: loadgen [--server HOST:PORT] [--clients N] [--requests N] \
-                         [--batch N] [--seed N] [--len N] [--seed-pool N] [--approx] [--out PATH]"
+                         [--batch N] [--seed N] [--len N] [--seed-pool N] [--approx] \
+                         [--shard-sweep] [--rate CELLS_PER_SEC] [--sweep-cells N] [--out PATH]"
                     );
                     std::process::exit(2);
                 }
@@ -257,10 +284,255 @@ fn run_approx_compare(args: &Args) {
     );
 }
 
+/// A seeded Poisson inter-arrival gap: `-ln(1-u)/rate` seconds with
+/// `u` uniform on `[0, 1)`, so the arrival schedule is a pure function
+/// of the seed and the offered rate.
+fn poisson_gap(rng: &mut StdRng, rate: f64) -> Duration {
+    let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    Duration::from_secs_f64(-(1.0 - u).ln() / rate.max(1e-9))
+}
+
+struct SweepShard {
+    addr: String,
+    cells: u64,
+    cached: u64,
+    latencies: Vec<Duration>,
+}
+
+struct SweepPoint {
+    shards: usize,
+    elapsed: Duration,
+    per_shard: Vec<SweepShard>,
+}
+
+/// Drives the seeded cell mix at the offered Poisson rate against `k`
+/// fresh shards. Arrivals are *open-loop*: the dispatcher pushes each
+/// cell onto its owner shard's queue at the scheduled instant whether
+/// or not earlier cells have finished, and latency is measured from
+/// that instant — so queueing delay under saturation is part of p99.
+fn run_sweep_point(k: usize, cells: &[WireCellSpec], args: &Args) -> SweepPoint {
+    const CONNECTIONS_PER_SHARD: usize = 3;
+    let daemons: Vec<(String, std::thread::JoinHandle<()>)> =
+        (0..k).map(|_| fresh_daemon()).collect();
+    let members: Vec<String> = daemons.iter().map(|(addr, _)| addr.clone()).collect();
+    let map = ShardMap::new(&members).expect("shard map");
+
+    // Route every cell to its ring owner up front; the dispatcher then
+    // only looks up a precomputed index on the hot path.
+    let routes: Vec<usize> = cells
+        .iter()
+        .map(|cell| {
+            let owner = map.shard_for(&cell_key(&cell.to_cell().expect("wire cell")));
+            members.iter().position(|m| m == owner).unwrap()
+        })
+        .collect();
+
+    let mut senders = Vec::with_capacity(k);
+    let mut receivers = Vec::with_capacity(k);
+    for _ in 0..k {
+        let (tx, rx) = mpsc::channel::<(usize, Instant)>();
+        senders.push(tx);
+        receivers.push(Mutex::new(rx));
+    }
+
+    let started = Instant::now();
+    let results: Vec<Vec<(u64, u64, Vec<Duration>)>> = std::thread::scope(|scope| {
+        let workers: Vec<Vec<_>> = (0..k)
+            .map(|s| {
+                (0..CONNECTIONS_PER_SHARD)
+                    .map(|_| {
+                        let addr = &members[s];
+                        let rx = &receivers[s];
+                        scope.spawn(move || {
+                            let mut client =
+                                Client::connect(addr).expect("sweep client connects");
+                            let mut latencies = Vec::new();
+                            let (mut done, mut cached) = (0u64, 0u64);
+                            loop {
+                                // The mutex is held only while *waiting*
+                                // for a job, so the shard's connections
+                                // still process cells concurrently.
+                                let job = rx.lock().unwrap().recv();
+                                let Ok((idx, born)) = job else { break };
+                                let one = std::slice::from_ref(&cells[idx]);
+                                let outcome = client
+                                    .submit_grid_with_retry(one, 50, |_| {})
+                                    .expect("sweep submission");
+                                latencies.push(born.elapsed());
+                                done += 1;
+                                cached += outcome.cached as u64;
+                            }
+                            (done, cached, latencies)
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // The dispatcher: walk the seeded Poisson schedule in real time.
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut at = started;
+        for (idx, &shard) in routes.iter().enumerate() {
+            at += poisson_gap(&mut rng, args.rate);
+            let now = Instant::now();
+            if at > now {
+                std::thread::sleep(at - now);
+            }
+            senders[shard].send((idx, at)).expect("sweep worker alive");
+        }
+        drop(senders);
+
+        workers
+            .into_iter()
+            .map(|handles| {
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sweep worker"))
+                    .collect()
+            })
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let per_shard: Vec<SweepShard> = results
+        .into_iter()
+        .enumerate()
+        .map(|(s, rows)| {
+            let mut shard = SweepShard {
+                addr: members[s].clone(),
+                cells: 0,
+                cached: 0,
+                latencies: Vec::new(),
+            };
+            for (done, cached, latencies) in rows {
+                shard.cells += done;
+                shard.cached += cached;
+                shard.latencies.extend(latencies);
+            }
+            shard.latencies.sort_unstable();
+            shard
+        })
+        .collect();
+    let answered: u64 = per_shard.iter().map(|s| s.cells).sum();
+    assert_eq!(answered, cells.len() as u64, "every arrival must complete");
+
+    for (addr, handle) in daemons {
+        let mut c = Client::connect(&addr).expect("drain connection");
+        c.drain().expect("drain shard");
+        handle.join().expect("shard exits cleanly");
+    }
+    SweepPoint { shards: k, elapsed, per_shard }
+}
+
+fn run_shard_sweep(args: &Args) {
+    assert!(
+        args.server.is_none(),
+        "--shard-sweep boots its own local shards; drop --server"
+    );
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let cells: Vec<WireCellSpec> = (0..args.sweep_cells)
+        .map(|_| pick_cell(&mut rng, args.len, args.seed_pool))
+        .collect();
+    println!(
+        "loadgen --shard-sweep: {} cells arriving at {:.0} cells/sec offered (seed {})",
+        cells.len(),
+        args.rate,
+        args.seed
+    );
+
+    let mut point_json = Vec::new();
+    for k in [1usize, 2, 4] {
+        let point = run_sweep_point(k, &cells, args);
+        let mut all: Vec<Duration> = point
+            .per_shard
+            .iter()
+            .flat_map(|s| s.latencies.iter().copied())
+            .collect();
+        all.sort_unstable();
+        let cached: u64 = point.per_shard.iter().map(|s| s.cached).sum();
+        let achieved = cells.len() as f64 / point.elapsed.as_secs_f64().max(1e-9);
+        let p50 = percentile_ms(&all, 50.0);
+        let p99 = percentile_ms(&all, 99.0);
+        println!(
+            "  {} shard(s): {achieved:.1} cells/sec achieved, p50 {p50:.1} ms, p99 {p99:.1} ms",
+            point.shards
+        );
+        let shards_json: Vec<String> = point
+            .per_shard
+            .iter()
+            .map(|s| {
+                format!(
+                    concat!(
+                        "        {{ \"addr\": \"{}\", \"cells\": {}, \"cached\": {}, ",
+                        "\"p50_ms\": {:.3}, \"p99_ms\": {:.3} }}"
+                    ),
+                    s.addr,
+                    s.cells,
+                    s.cached,
+                    percentile_ms(&s.latencies, 50.0),
+                    percentile_ms(&s.latencies, 99.0),
+                )
+            })
+            .collect();
+        point_json.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"shards\": {},\n",
+                "      \"elapsed_s\": {:.6},\n",
+                "      \"achieved_cells_per_sec\": {:.3},\n",
+                "      \"latency_p50_ms\": {:.3},\n",
+                "      \"latency_p99_ms\": {:.3},\n",
+                "      \"cells_cached\": {},\n",
+                "      \"per_shard\": [\n{}\n      ]\n",
+                "    }}"
+            ),
+            point.shards,
+            point.elapsed.as_secs_f64(),
+            achieved,
+            p50,
+            p99,
+            cached,
+            shards_json.join(",\n"),
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve_shard_sweep\",\n",
+            "  \"seed\": {},\n",
+            "  \"trace_len\": {},\n",
+            "  \"cells_per_point\": {},\n",
+            "  \"offered_cells_per_sec\": {:.3},\n",
+            "  \"points\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        args.seed,
+        args.len,
+        cells.len(),
+        args.rate,
+        point_json.join(",\n"),
+    );
+    print!("{json}");
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| "results/BENCH_shard.json".to_string());
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, &json).expect("write report");
+    println!("wrote {out}");
+}
+
 fn main() {
     let args = Args::parse();
     if args.approx {
         run_approx_compare(&args);
+        return;
+    }
+    if args.shard_sweep {
+        run_shard_sweep(&args);
         return;
     }
 

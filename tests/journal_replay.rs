@@ -1,0 +1,141 @@
+//! Journal recovery under crash artifacts, end to end: a daemon killed
+//! with a torn final journal record (the `kill -9` mid-`write(2)`
+//! shape) must restart cleanly, replay every intact record into its
+//! result cache, and answer those cells as cache hits — while a journal
+//! from a different schema version refuses to boot loudly rather than
+//! replaying garbage.
+//!
+//! Byte-level edge cases (torn tails, duplicate keys, headerless
+//! files) are pinned by unit tests in `ccs-serve::journal`; this suite
+//! proves the same machinery through a live daemon boot.
+
+use ccs_client::Client;
+use ccs_core::checkpoint::cell_key;
+use ccs_core::{CellSpec, PolicyKind, RunOptions};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_serve::{replay_journal, ServeConfig, Server, WireCellSpec};
+use ccs_trace::Benchmark;
+use std::path::{Path, PathBuf};
+
+const LEN: usize = 600;
+
+fn specs(n: usize) -> Vec<CellSpec> {
+    let base = MachineConfig::micro05_baseline();
+    let options = RunOptions::default().with_epochs(1);
+    let mut out = Vec::new();
+    'fill: for bench in Benchmark::ALL {
+        for policy in [PolicyKind::Focused, PolicyKind::FocusedLoc] {
+            if out.len() == n {
+                break 'fill;
+            }
+            out.push(CellSpec::new(
+                base.with_layout(ClusterLayout::C4x2w),
+                bench,
+                1,
+                LEN,
+                policy,
+                options,
+            ));
+        }
+    }
+    out
+}
+
+fn config(journal: PathBuf, recover: bool) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 64,
+        cache_capacity: 64,
+        journal: Some(journal),
+        recover,
+        ..ServeConfig::default()
+    }
+}
+
+/// Populates a journal by evaluating `n` cells on a live daemon, then
+/// crashing it via the kill switch (no `drained` marker, queue dropped).
+fn crashed_journal(dir: &Path, n: usize) -> (PathBuf, Vec<String>) {
+    let path = dir.join("crash.jsonl");
+    let server = Server::bind(config(path.clone(), false)).expect("bind");
+    let addr = server.local_addr().to_string();
+    let switch = server.kill_switch();
+    let handle = std::thread::spawn(move || server.run().expect("run"));
+    let cells: Vec<WireCellSpec> = specs(n)
+        .iter()
+        .map(|s| WireCellSpec::from_cell(s).unwrap())
+        .collect();
+    let mut client = Client::connect(&addr).expect("connect");
+    let outcome = client.submit_grid(&cells, |_| {}).expect("grid");
+    assert_eq!(outcome.exit_code(), 0);
+    switch.kill();
+    handle.join().expect("crash exit");
+    let keys = specs(n).iter().map(cell_key).collect();
+    (path, keys)
+}
+
+#[test]
+fn torn_tail_crash_restart_serves_intact_records_as_cache_hits() {
+    let dir = std::env::temp_dir().join(format!("ccs-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let (path, keys) = crashed_journal(&dir, 6);
+
+    // kill -9 mid-flush: the final record stops mid-byte.
+    let bytes = std::fs::read(&path).unwrap();
+    let torn_at = bytes.len() - 17;
+    std::fs::write(&path, &bytes[..torn_at]).unwrap();
+
+    let replay = replay_journal(&path).expect("torn journals still replay");
+    assert!(!replay.drained);
+    assert_eq!(
+        replay.records.len(),
+        5,
+        "the torn final record is skipped, the intact five survive"
+    );
+
+    // A recovering daemon serves exactly the intact records as hits.
+    let server = Server::bind(config(path.clone(), true)).expect("bind recovered");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("run recovered"));
+    let mut client = Client::connect(&addr).expect("connect");
+    assert_eq!(client.status().expect("status").recovered, 5);
+    let cells: Vec<WireCellSpec> = specs(6)
+        .iter()
+        .map(|s| WireCellSpec::from_cell(s).unwrap())
+        .collect();
+    let outcome = client.submit_grid(&cells, |_| {}).expect("grid");
+    assert_eq!(outcome.exit_code(), 0);
+    assert_eq!(outcome.cached, 5, "five hits, one re-simulated");
+    for record in outcome.records.iter().flatten() {
+        assert!(keys.contains(&record.key));
+        assert_eq!(record.status, "ok");
+    }
+    client.drain().expect("drain");
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_schema_journal_refuses_to_boot_loudly() {
+    let dir = std::env::temp_dir().join(format!("ccs-replay-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("legacy.jsonl");
+    std::fs::write(
+        &path,
+        "{\"event\":\"started\",\"seq\":0,\"journal\":1,\"addr\":\"x\",\"workers\":1,\"queue_capacity\":8}\n",
+    )
+    .unwrap();
+
+    let err = replay_journal(&path).expect_err("version 1 is not replayable");
+    assert!(
+        err.to_string().contains("not replayable"),
+        "the refusal names the problem: {err}"
+    );
+
+    // The daemon surfaces the same refusal instead of starting empty.
+    let server = Server::bind(config(path.clone(), true)).expect("bind");
+    let result = std::thread::spawn(move || server.run()).join().unwrap();
+    let boot_err = result.expect_err("recovery from a legacy journal must fail");
+    assert!(boot_err.to_string().contains("not replayable"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

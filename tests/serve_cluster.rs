@@ -1,0 +1,283 @@
+//! Sharded-cluster chaos: a ≥100-cell campaign against three
+//! `ccs-serve` shards, one of which is killed mid-grid and later
+//! restarted from its journal, must complete via ring failover and stay
+//! **bit-identical** to an in-process [`run_grid`] of the same cells —
+//! failover changes where a cell is computed, never what it answers.
+//!
+//! The kill is the `KillSwitch` (in-process `kill -9`: the queue is
+//! dropped on the floor and no `drained` journal marker is written), so
+//! the recovery path replays exactly the artifact a crash leaves. The
+//! restarted shard must answer its pre-crash cells as cache hits, and a
+//! *surviving* shard must be able to answer one of those cells through
+//! cross-shard cache peering without re-simulating it.
+
+use ccs_client::{Client, ClusterClient};
+use ccs_core::checkpoint::{cell_key, CheckpointRecord};
+use ccs_core::{run_grid, CellSpec, PolicyKind, RunOptions, ShardMap};
+use ccs_serve::{replay_journal, ServeConfig, Server, WireCellSpec};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_trace::Benchmark;
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+const LEN: usize = 600;
+/// Cluster-wide answered cells before the victim shard is killed.
+const KILL_AFTER_CELLS: usize = 30;
+
+/// 12 benchmarks × 3 clustered layouts × 3 ladder policies = 108 cells.
+fn grid_specs() -> Vec<CellSpec> {
+    let base = MachineConfig::micro05_baseline();
+    let options = RunOptions::default().with_epochs(1);
+    let mut specs = Vec::new();
+    for bench in Benchmark::ALL {
+        for layout in ClusterLayout::CLUSTERED {
+            for policy in [
+                PolicyKind::Focused,
+                PolicyKind::FocusedLoc,
+                PolicyKind::StallOverSteer,
+            ] {
+                specs.push(CellSpec::new(
+                    base.with_layout(layout),
+                    bench,
+                    1,
+                    LEN,
+                    policy,
+                    options,
+                ));
+            }
+        }
+    }
+    specs
+}
+
+/// Reserves `n` distinct loopback ports by binding and dropping
+/// listeners, so every shard's peer list (including the restart
+/// address) can be written into configs before anything boots.
+fn reserve_ports(n: usize) -> Vec<u16> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().port())
+        .collect()
+}
+
+fn shard_config(port: u16, journal: PathBuf, peers: Vec<String>, recover: bool) -> ServeConfig {
+    ServeConfig {
+        addr: format!("127.0.0.1:{port}"),
+        workers: 2,
+        queue_capacity: 256,
+        cache_capacity: 256,
+        journal: Some(journal),
+        recover,
+        peers,
+        ..ServeConfig::default()
+    }
+}
+
+fn boot(config: ServeConfig) -> (ccs_serve::KillSwitch, std::thread::JoinHandle<()>) {
+    let server = Server::bind(config).expect("bind shard");
+    let switch = server.kill_switch();
+    let handle = std::thread::spawn(move || {
+        server.run().expect("shard run");
+    });
+    (switch, handle)
+}
+
+#[test]
+fn sharded_campaign_survives_kill_failover_and_journal_replay() {
+    let specs = grid_specs();
+    assert!(specs.len() >= 100, "chaos campaign must span ≥100 cells");
+
+    // Ground truth: the batch path, bit for bit.
+    let local: Vec<CheckpointRecord> = run_grid(&specs, 4)
+        .iter()
+        .map(CheckpointRecord::from_result)
+        .collect();
+    assert!(local.iter().all(|r| r.status == "ok"));
+    let truth: HashMap<&str, &CheckpointRecord> =
+        local.iter().map(|r| (r.key.as_str(), r)).collect();
+
+    let dir = std::env::temp_dir().join(format!("ccs-cluster-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ports = reserve_ports(4);
+    let addr = |i: usize| format!("127.0.0.1:{}", ports[i]);
+    // ports[0..3] are the campaign shards; ports[3] is where the victim
+    // will be reborn, and the survivors list it as a peer from the
+    // start so post-recovery peering needs no reconfiguration.
+    let journal = |i: usize| dir.join(format!("shard{i}.jsonl"));
+    let (_s0, h0) = boot(shard_config(
+        ports[0],
+        journal(0),
+        vec![addr(1), addr(3)],
+        false,
+    ));
+    let (_s1, h1) = boot(shard_config(
+        ports[1],
+        journal(1),
+        vec![addr(0), addr(3)],
+        false,
+    ));
+    let (victim_switch, victim_handle) = boot(shard_config(
+        ports[2],
+        journal(2),
+        vec![addr(0), addr(1)],
+        false,
+    ));
+
+    let members = vec![addr(0), addr(1), addr(2)];
+    let map = ShardMap::new(&members).unwrap();
+    let victim_addr = addr(2);
+    assert!(
+        specs
+            .iter()
+            .any(|s| map.shard_for(&cell_key(s)) == victim_addr),
+        "the victim must own part of the keyspace"
+    );
+
+    let cells: Vec<WireCellSpec> = specs
+        .iter()
+        .map(|s| WireCellSpec::from_cell(s).expect("wire-addressable"))
+        .collect();
+
+    // Kill one shard mid-campaign, from the streaming callback: after
+    // KILL_AFTER_CELLS answers the victim dies with queued work and an
+    // un-drained journal.
+    let answered = AtomicUsize::new(0);
+    let cluster = ClusterClient::new(map.clone())
+        .with_connect_timeout(Duration::from_millis(500))
+        .with_reply_timeout(Duration::from_secs(120));
+    let outcome = cluster
+        .submit_grid(&cells, |_record| {
+            if answered.fetch_add(1, Ordering::SeqCst) + 1 == KILL_AFTER_CELLS {
+                victim_switch.kill();
+            }
+        })
+        .expect("cluster submission");
+    victim_handle.join().expect("killed shard exits its run loop");
+
+    // The campaign completed despite the crash…
+    assert_eq!(outcome.exit_code(), 0, "failover completes the campaign");
+    assert!(outcome.is_complete());
+    assert_eq!(outcome.ok, specs.len());
+    // …some cells were answered by a non-owner…
+    assert!(
+        outcome.failovers > 0,
+        "a killed shard's unanswered cells must fail over"
+    );
+    assert!(outcome.waves > 1, "failover takes at least a second wave");
+    // …and every record is bit-identical to the in-process run.
+    for (spec, record) in specs.iter().zip(&outcome.records) {
+        let record = record.as_ref().expect("complete");
+        let expect = truth[cell_key(spec).as_str()];
+        assert_eq!(record.key, expect.key);
+        assert_eq!(record.status, expect.status, "{}", record.key);
+        assert_eq!(record.cycles, expect.cycles, "{}", record.key);
+        assert_eq!(record.cpi_bits, expect.cpi_bits, "{}", record.key);
+        assert_eq!(record.digest, expect.digest, "{}", record.key);
+    }
+
+    // The victim answered some cells before dying; those are exactly
+    // what its journal replays.
+    let pre_crash: Vec<&str> = outcome
+        .served_by
+        .iter()
+        .zip(&specs)
+        .filter(|(shard, _)| shard.as_deref() == Some(victim_addr.as_str()))
+        .map(|(_, spec)| spec.benchmark.name())
+        .collect();
+    assert!(
+        !pre_crash.is_empty(),
+        "victim must have answered something before the kill"
+    );
+    let replay = replay_journal(&journal(2)).expect("crash journal replays");
+    assert!(!replay.drained, "a killed shard never wrote `drained`");
+    let replayed_ok: Vec<String> = replay
+        .records
+        .iter()
+        .filter(|r| r.status == "ok")
+        .map(|r| r.key.clone())
+        .collect();
+    assert!(!replayed_ok.is_empty(), "victim journaled completed cells");
+
+    // Rebirth on the reserved port, recovering from the crash journal.
+    let (_s3, h3) = boot(shard_config(
+        ports[3],
+        journal(2),
+        vec![addr(0), addr(1)],
+        true,
+    ));
+    let mut reborn = Client::connect(&addr(3)).expect("connect reborn shard");
+    let status = reborn.status().expect("status");
+    assert_eq!(
+        status.recovered,
+        replayed_ok.len() as u64,
+        "replay prefilled the cache with every journaled ok cell"
+    );
+
+    // Its pre-crash cells answer as cache hits, bit-identical.
+    let recovered_specs: Vec<WireCellSpec> = specs
+        .iter()
+        .filter(|s| replayed_ok.contains(&cell_key(s)))
+        .map(|s| WireCellSpec::from_cell(s).unwrap())
+        .collect();
+    assert_eq!(recovered_specs.len(), replayed_ok.len());
+    let hits = reborn
+        .submit_grid(&recovered_specs, |_| {})
+        .expect("recovered grid");
+    assert_eq!(hits.exit_code(), 0);
+    assert_eq!(
+        hits.cached,
+        recovered_specs.len(),
+        "every replayed cell is a cache hit — nothing re-simulates"
+    );
+    for record in hits.records.iter().flatten() {
+        let expect = truth[record.key.as_str()];
+        assert_eq!(record.cycles, expect.cycles, "{}", record.key);
+        assert_eq!(record.cpi_bits, expect.cpi_bits, "{}", record.key);
+        assert_eq!(record.digest, expect.digest, "{}", record.key);
+    }
+
+    // Cross-shard peering: a surviving shard that never computed one of
+    // those cells answers it from the reborn shard's recovered cache.
+    // The probe must be a cell the victim *answered* pre-crash (so no
+    // survivor recomputed it during failover), which the journal
+    // ordering guarantees was also journaled. (The survivor's breaker
+    // may still be cooling down from lookups that failed while the
+    // reborn port was dark; wait out the cooldown.)
+    std::thread::sleep(Duration::from_millis(2_100));
+    let peer_idx = specs
+        .iter()
+        .enumerate()
+        .find_map(|(i, s)| {
+            (outcome.served_by[i].as_deref() == Some(victim_addr.as_str())
+                && replayed_ok.contains(&cell_key(s)))
+            .then_some(i)
+        })
+        .expect("a victim-served, journaled cell exists");
+    let peer_cell = WireCellSpec::from_cell(&specs[peer_idx]).unwrap();
+    let mut survivor = Client::connect(&addr(0)).expect("connect survivor");
+    let before = survivor.status().expect("status").peer_hits;
+    let record = survivor.submit_cell(&peer_cell).expect("peered cell");
+    assert!(record.cached, "a peer answer surfaces as a cache hit");
+    let expect = truth[record.key.as_str()];
+    assert_eq!(record.cycles, expect.cycles);
+    assert_eq!(record.cpi_bits, expect.cpi_bits);
+    assert_eq!(record.digest, expect.digest);
+    let after = survivor.status().expect("status").peer_hits;
+    assert_eq!(after, before + 1, "the answer came through peering");
+
+    // Graceful shutdown for the survivors and the reborn shard.
+    for target in [addr(0), addr(1), addr(3)] {
+        let mut c = Client::connect(&target).expect("connect for drain");
+        c.drain().expect("drain");
+    }
+    h0.join().unwrap();
+    h1.join().unwrap();
+    h3.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -308,3 +308,119 @@ fn killed_client_leaves_daemon_alive_and_journal_parseable() {
         "admitted cells were evaluated despite the dead client (saw {done})"
     );
 }
+
+#[test]
+fn slow_loris_partial_frame_is_timed_out_with_a_typed_error() {
+    // A tight frame deadline so the test is quick; real configs default
+    // to 10 s.
+    let server = Server::bind(ServeConfig {
+        workers: 1,
+        queue_capacity: 8,
+        cache_capacity: 8,
+        frame_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("serve until drain"));
+
+    // Send half a frame and then just... hold the socket.
+    let frame = frame_bytes(&Request::Status.encode());
+    let mut stream = raw_connect(addr);
+    stream.write_all(&frame[..frame.len() / 2]).expect("write");
+    let mut reader = FrameReader::new();
+    match read_response(&mut reader, &mut stream) {
+        Response::Error { message } => {
+            assert!(message.contains("timeout"), "typed timeout, got {message:?}")
+        }
+        other => panic!("expected a timeout error, got {other:?}"),
+    }
+    // After the error the daemon hangs up on the stalled connection…
+    assert!(
+        reader.read_frame(&mut stream).is_err(),
+        "stalled connection is closed after the timeout reply"
+    );
+    // …but idle connections (no partial frame buffered) are NOT
+    // reaped, and the daemon itself keeps serving.
+    let idle = raw_connect(addr);
+    std::thread::sleep(Duration::from_millis(500));
+    assert_alive(addr);
+    drop(idle);
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    client.drain().expect("drain");
+    handle.join().expect("clean exit");
+}
+
+#[test]
+fn busy_retries_exhaust_into_a_typed_error() {
+    use ccs_client::RetryPolicy;
+
+    // A fake daemon that answers every frame with `busy`, forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let refuser = std::thread::spawn(move || {
+        let Ok((mut stream, _)) = listener.accept() else {
+            return;
+        };
+        let mut reader = FrameReader::new();
+        while reader.read_frame(&mut stream).is_ok() {
+            let reply = Response::Busy { retry_after_ms: 2 };
+            if ccs_serve::write_frame(&mut stream, &reply.encode()).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base: Duration::from_millis(2),
+        cap: Duration::from_millis(10),
+        deadline: Some(Duration::from_secs(5)),
+        seed: 7,
+    };
+    let started = std::time::Instant::now();
+    let err = client
+        .submit_grid_with_policy(&[sample_cell(1)], &policy, |_| {})
+        .expect_err("a permanently busy daemon exhausts retries");
+    match err {
+        ccs_core::CcsError::RetriesExhausted {
+            attempts,
+            elapsed_ms,
+            last,
+        } => {
+            assert_eq!(attempts, 4, "every allowed attempt was spent");
+            assert!(last.contains("busy"), "the final refusal is carried: {last:?}");
+            assert!(elapsed_ms <= 5_000, "the deadline bounds the episode");
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    // Three sleeps of ≥1 ms each happened between the four attempts.
+    assert!(started.elapsed() >= Duration::from_millis(3));
+    drop(client);
+    refuser.join().expect("fake daemon exits");
+}
+
+#[test]
+fn reply_deadline_turns_a_wedged_daemon_into_a_typed_timeout() {
+    use ccs_verify::{ChaosProxy, ServeFault, ServeFaultPlan};
+
+    let (addr, handle) = start_server(None);
+    // First connection through the proxy wedges; later ones pass.
+    let plan = ServeFaultPlan::scripted(vec![ServeFault::HangAccept]);
+    let proxy = ChaosProxy::start(&addr.to_string(), plan).expect("proxy");
+
+    let client = Client::connect(&proxy.addr()).expect("connect via proxy");
+    let mut client = client.with_reply_timeout(Duration::from_millis(250));
+    let err = client
+        .submit_cell(&sample_cell(1))
+        .expect_err("a wedged daemon must not hang the client");
+    assert!(err.is_timeout(), "typed timeout, got {err:?}");
+
+    // The daemon behind the proxy never saw that connection and is fine.
+    assert_alive(addr);
+    let mut direct = Client::connect(&addr.to_string()).expect("connect direct");
+    direct.drain().expect("drain");
+    drop(proxy);
+    handle.join().expect("clean exit");
+}
