@@ -167,6 +167,17 @@ grep -o '"speedup": [0-9.]*' "$PERF_JSON" | awk -v min="$MIN_SPEEDUP" '
     || { echo "parallel grid executor regressed"; exit 1; }
 rm -f "$PERF_JSON"
 
+# Adaptive-tier smoke: both dynamic policies (the online switcher and
+# ineffectuality steering) across the 12-benchmark grid in checked
+# mode — zero invariant violations, bit-identical rerun, 1-vs-8-thread
+# agreement, and proof the switcher/predictor actually fire. Then the
+# committed exhibit regenerates at smoke scale to keep the figure path
+# itself under test.
+echo "==> adaptive policy smoke (checked 12-benchmark grid + exhibit)"
+cargo test --release --test adaptive_policies -q
+CCS_LEN=2000 target/release/adaptive_policy --threads auto >/dev/null
+echo "    dynamic policies clean, deterministic, and non-vacuous"
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,12 @@
+//! Regenerates the adaptive-steering exhibit (online policy switching
+//! and ineffectuality steering vs every static rung, per benchmark).
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    let exhibit = ccs_bench::figures::adaptive_exhibit(&HarnessOptions::from_env_and_args());
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", exhibit.to_csv());
+    } else {
+        println!("{exhibit}");
+    }
+}

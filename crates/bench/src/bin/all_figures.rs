@@ -57,6 +57,9 @@ fn main() {
     show("fig6", &|| figures::fig6(&opts).to_string());
     show("fig8", &|| figures::fig8(&opts).to_string());
     show("fig14", &|| figures::fig14(&opts).to_string());
+    show("adaptive_policy", &|| {
+        figures::adaptive_exhibit(&opts).to_string()
+    });
     show("fig15", &|| figures::fig15(&opts).to_string());
     show("sec2_global_comm", &|| {
         figures::sec2_global_comm(&opts).to_string()

@@ -1,0 +1,289 @@
+//! The adaptive-steering exhibit: online policy switching and
+//! ineffectuality-aware steering against every static rung, reported
+//! per benchmark like Figure 14.
+//!
+//! The paper's Figure 14 fixes one policy per run; the natural
+//! follow-up question — answered here — is how close a policy that
+//! *re-picks its rung online* gets to the best static choice made with
+//! hindsight, per benchmark and layout. The exhibit therefore runs all
+//! five static rungs plus the two dynamic policies on every clustered
+//! layout, normalizes to the monolithic FocusedLoc machine exactly as
+//! Figure 14 does, and reports the adaptive switcher's gap to the
+//! per-cell best static rung (negative = adaptive beat every static
+//! policy on that cell).
+
+use super::{csv_num, mean, ratio};
+use crate::{HarnessOptions, TextTable};
+use ccs_core::{run_grid, CellSpec, PolicyKind};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_trace::Benchmark;
+use std::fmt;
+
+/// Every policy the exhibit compares, static ladder first, the two
+/// dynamic policies last.
+pub const EXHIBIT_POLICIES: [PolicyKind; 7] = [
+    PolicyKind::Dependence,
+    PolicyKind::Focused,
+    PolicyKind::FocusedLoc,
+    PolicyKind::StallOverSteer,
+    PolicyKind::Proactive,
+    PolicyKind::Adaptive,
+    PolicyKind::IneffSteer,
+];
+
+/// The static subset of [`EXHIBIT_POLICIES`] (the hindsight pool the
+/// adaptive switcher is graded against).
+pub const STATIC_POLICIES: [PolicyKind; 5] = [
+    PolicyKind::Dependence,
+    PolicyKind::Focused,
+    PolicyKind::FocusedLoc,
+    PolicyKind::StallOverSteer,
+    PolicyKind::Proactive,
+];
+
+/// One bar: a benchmark × layout × policy cell's CPI normalized to the
+/// monolithic FocusedLoc reference.
+#[derive(Debug, Clone)]
+pub struct AdaptiveBar {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// The machine layout.
+    pub layout: ClusterLayout,
+    /// The policy.
+    pub policy: PolicyKind,
+    /// CPI normalized to the monolithic machine with LoC scheduling.
+    pub normalized_cpi: f64,
+}
+
+/// The adaptive-vs-static comparison data.
+#[derive(Debug, Clone)]
+pub struct AdaptiveExhibit {
+    /// All bars, grouped by benchmark, layout, then
+    /// [`EXHIBIT_POLICIES`] order.
+    pub bars: Vec<AdaptiveBar>,
+}
+
+impl AdaptiveExhibit {
+    /// The normalized CPI of one cell.
+    pub fn cell(&self, bench: Benchmark, layout: ClusterLayout, policy: PolicyKind) -> f64 {
+        self.bars
+            .iter()
+            .find(|b| b.bench == bench && b.layout == layout && b.policy == policy)
+            .map(|b| b.normalized_cpi)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// The best (lowest-CPI) static rung for one benchmark × layout,
+    /// with its normalized CPI — the hindsight-optimal static choice.
+    pub fn best_static(&self, bench: Benchmark, layout: ClusterLayout) -> (PolicyKind, f64) {
+        STATIC_POLICIES
+            .into_iter()
+            .map(|p| (p, self.cell(bench, layout, p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("static policy pool is non-empty")
+    }
+
+    /// Average normalized CPI of one policy on one layout.
+    pub fn average(&self, layout: ClusterLayout, policy: PolicyKind) -> f64 {
+        mean(
+            self.bars
+                .iter()
+                .filter(|b| b.layout == layout && b.policy == policy)
+                .map(|b| b.normalized_cpi),
+        )
+    }
+
+    /// Average, over the benchmarks, of the adaptive switcher's gap to
+    /// each benchmark's *own* best static rung on `layout` (0 = matches
+    /// the hindsight-optimal static choice everywhere; negative =
+    /// beats it on average).
+    pub fn adaptive_gap(&self, layout: ClusterLayout) -> f64 {
+        mean(Benchmark::ALL.into_iter().map(|bench| {
+            self.cell(bench, layout, PolicyKind::Adaptive) - self.best_static(bench, layout).1
+        }))
+    }
+}
+
+/// Computes the exhibit on the parallel grid executor.
+pub fn adaptive_exhibit(opts: &HarnessOptions) -> AdaptiveExhibit {
+    let base_cfg = MachineConfig::micro05_baseline();
+    let run_opts = opts.run_options();
+    let seeds = opts.sample_seeds();
+    let samples = seeds.len() as f64;
+    // Enumerate like fig14: per benchmark the monolithic FocusedLoc
+    // normalization references, then every clustered layout × policy.
+    let mut specs = Vec::new();
+    for bench in Benchmark::ALL {
+        for &seed in &seeds {
+            specs.push(CellSpec::new(
+                base_cfg,
+                bench,
+                seed,
+                opts.len,
+                PolicyKind::FocusedLoc,
+                run_opts,
+            ));
+        }
+        for layout in ClusterLayout::CLUSTERED {
+            let machine = base_cfg.with_layout(layout);
+            for policy in EXHIBIT_POLICIES {
+                for &seed in &seeds {
+                    specs.push(CellSpec::new(
+                        machine, bench, seed, opts.len, policy, run_opts,
+                    ));
+                }
+            }
+        }
+    }
+    let mut results = run_grid(&specs, opts.effective_threads()).into_iter();
+
+    let mut bars = Vec::new();
+    for bench in Benchmark::ALL {
+        let mono_cpis: Vec<f64> = seeds
+            .iter()
+            .map(|_| results.next().expect("mono reference cell").cpi())
+            .collect();
+        for layout in ClusterLayout::CLUSTERED {
+            for policy in EXHIBIT_POLICIES {
+                let mut normalized = 0.0;
+                for &mono_cpi in &mono_cpis {
+                    let cell = results.next().expect("exhibit cell");
+                    normalized +=
+                        ratio(cell.cpi(), mono_cpi, "adaptive exhibit monolithic CPI") / samples;
+                }
+                bars.push(AdaptiveBar {
+                    bench,
+                    layout,
+                    policy,
+                    normalized_cpi: normalized,
+                });
+            }
+        }
+    }
+    AdaptiveExhibit { bars }
+}
+
+impl AdaptiveExhibit {
+    /// Renders the bars as CSV (`bench,layout,policy,normalized_cpi`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bench,layout,policy,normalized_cpi\n");
+        for b in &self.bars {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                b.bench,
+                b.layout,
+                b.policy.name(),
+                csv_num(b.normalized_cpi)
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for AdaptiveExhibit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Adaptive steering vs the static ladder (normalized CPI vs monolithic\n\
+             with LoC scheduling; d/f/l/s/p = the static rungs, a = adaptive\n\
+             switcher, i = ineffectuality steering, best = hindsight-best static\n\
+             rung per cell, a-best = adaptive's gap to it)\n"
+        )?;
+        let mut t = TextTable::new(vec![
+            "bench".into(),
+            "layout".into(),
+            "d".into(),
+            "f".into(),
+            "l".into(),
+            "s".into(),
+            "p".into(),
+            "a".into(),
+            "i".into(),
+            "best".into(),
+            "a-best".into(),
+        ]);
+        for bench in Benchmark::ALL {
+            for layout in ClusterLayout::CLUSTERED {
+                let (best_kind, best) = self.best_static(bench, layout);
+                let adaptive = self.cell(bench, layout, PolicyKind::Adaptive);
+                let mut row = vec![bench.to_string(), layout.to_string()];
+                for policy in EXHIBIT_POLICIES {
+                    row.push(format!("{:.3}", self.cell(bench, layout, policy)));
+                }
+                row.push(format!("{:.3}{}", best, best_kind.bar_label()));
+                row.push(format!("{:+.3}", adaptive - best));
+                t.row(row);
+            }
+        }
+        write!(f, "{t}")?;
+        writeln!(f)?;
+        let mut avg = TextTable::new(vec![
+            "layout".into(),
+            "best-static".into(),
+            "adaptive".into(),
+            "ineff".into(),
+            "a-best (avg)".into(),
+        ]);
+        for layout in ClusterLayout::CLUSTERED {
+            let best_avg = mean(
+                Benchmark::ALL
+                    .into_iter()
+                    .map(|bench| self.best_static(bench, layout).1),
+            );
+            avg.row(vec![
+                layout.to_string(),
+                format!("{best_avg:.3}"),
+                format!("{:.3}", self.average(layout, PolicyKind::Adaptive)),
+                format!("{:.3}", self.average(layout, PolicyKind::IneffSteer)),
+                format!("{:+.3}", self.adaptive_gap(layout)),
+            ]);
+        }
+        write!(f, "{avg}")?;
+        writeln!(
+            f,
+            "\nThe best-static column is a *hindsight* bound — it picks each\n\
+             benchmark's winning rung after seeing all five runs. The switcher\n\
+             has to find its rung online, within one run, from windowed steering\n\
+             signals alone."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhibit_has_every_cell_and_adaptive_tracks_the_ladder() {
+        let e = adaptive_exhibit(&HarnessOptions::smoke());
+        assert_eq!(
+            e.bars.len(),
+            Benchmark::ALL.len() * ClusterLayout::CLUSTERED.len() * EXHIBIT_POLICIES.len()
+        );
+        for b in &e.bars {
+            assert!(
+                b.normalized_cpi.is_finite() && b.normalized_cpi > 0.5,
+                "{} {} {}: degenerate normalized CPI {}",
+                b.bench,
+                b.layout,
+                b.policy.name(),
+                b.normalized_cpi
+            );
+        }
+        // The switcher must stay in the ladder's neighborhood: on every
+        // layout its average sits at or below the worst static rung's
+        // (it re-picks among exactly those rungs, so doing worse than
+        // all of them would mean the signals are misleading it).
+        for layout in ClusterLayout::CLUSTERED {
+            let worst = STATIC_POLICIES
+                .into_iter()
+                .map(|p| e.average(layout, p))
+                .fold(f64::MIN, f64::max);
+            let adaptive = e.average(layout, PolicyKind::Adaptive);
+            assert!(
+                adaptive <= worst + 0.02,
+                "{layout}: adaptive {adaptive} above the worst static rung {worst}"
+            );
+        }
+    }
+}

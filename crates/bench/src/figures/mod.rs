@@ -4,6 +4,7 @@
 //! returns a displayable report; the `src/bin` binaries are thin wrappers.
 
 mod ablate;
+mod adaptive;
 mod fig14;
 mod fig15;
 mod fig2;
@@ -21,6 +22,9 @@ pub use ablate::{
     ablate_interconnect, ablate_loc_levels, ablate_proactive, ablate_stall_threshold,
     ablate_window, InterconnectAblation, LocLevelsAblation, ProactiveAblation,
     StallThresholdAblation, WindowAblation,
+};
+pub use adaptive::{
+    adaptive_exhibit, AdaptiveBar, AdaptiveExhibit, EXHIBIT_POLICIES, STATIC_POLICIES,
 };
 pub use fig14::{fig14, Fig14};
 pub use fig15::{fig15, Fig15};

@@ -104,6 +104,31 @@ pub fn make_report(opts: &HarnessOptions) -> String {
          load balancing recover the bulk of the focused policy's penalty.\n"
     );
 
+    // Adaptive steering (beyond the paper).
+    let adaptive = figures::adaptive_exhibit(opts);
+    let _ = writeln!(
+        md,
+        "## Adaptive steering (beyond the paper)\n\n\
+         | layout | adaptive | ineff-steer | gap to hindsight-best static |\n\
+         |---|---|---|---|"
+    );
+    for layout in ClusterLayout::CLUSTERED {
+        let _ = writeln!(
+            md,
+            "| {layout} | {:.3} | {:.3} | {:+.3} |",
+            adaptive.average(layout, PolicyKind::Adaptive),
+            adaptive.average(layout, PolicyKind::IneffSteer),
+            adaptive.adaptive_gap(layout),
+        );
+    }
+    let _ = writeln!(
+        md,
+        "\nThe online switcher re-scores its static rung every 512 cycles\n\
+         from windowed steering signals; the gap column measures it\n\
+         against the per-benchmark best rung chosen *after* seeing all\n\
+         five static runs.\n"
+    );
+
     // §6 consumers.
     let s6 = figures::sec6_consumers(opts);
     let _ = writeln!(
@@ -263,6 +288,7 @@ mod tests {
             "## Lost-cycle classification",
             "## LoC spectrum",
             "## The policy ladder",
+            "## Adaptive steering (beyond the paper)",
             "## Consumer criticality",
         ] {
             assert!(md.contains(section), "missing section {section}");

@@ -87,7 +87,7 @@ impl RetryPolicy {
             .min(self.cap);
         // Upper-half jitter keeps a real backoff while decorrelating
         // concurrent clients.
-        let nanos = exp.as_nanos() as u64;
+        let nanos = ccs_serve::saturating_nanos(exp);
         let jittered = nanos / 2 + xorshift64star(rng) % (nanos / 2 + 1);
         Duration::from_nanos(jittered.max(1))
     }
@@ -461,7 +461,7 @@ impl Client {
                     if exhausted || over_deadline {
                         return Err(CcsError::RetriesExhausted {
                             attempts: attempt,
-                            elapsed_ms: started.elapsed().as_millis() as u64,
+                            elapsed_ms: ccs_serve::saturating_millis(started.elapsed()),
                             last: format!("server busy: {reason} (hint {hint} ms)"),
                         });
                     }

@@ -1,0 +1,952 @@
+//! The adaptive-steering tier: online policy switching and
+//! ineffectuality-aware steering.
+//!
+//! Both policies here are *dynamic*: they change steering behaviour
+//! during a run, from nothing but the call sequence every simulator
+//! drives a [`SteeringPolicy`] through (steer at dispatch, priority
+//! once per dispatch, on-commit in retirement order). That closure
+//! property is what keeps the differential oracle honest — the engine
+//! and the reference simulator hand the policy bit-identical views in
+//! the same order, so a policy that is a deterministic function of its
+//! observed call sequence agrees on both sides by construction, with no
+//! seed and no wall clock involved.
+//!
+//! * [`AdaptivePolicy`] re-evaluates, every [`AdaptivePolicy::WINDOW_CYCLES`]
+//!   cycles, which of the paper's five static rungs fits the current
+//!   phase, from three windowed signals: the share of committed
+//!   instructions whose readiness was bound by a *forwarded* remote
+//!   operand, the share of placements the policy had to load-balance
+//!   away from their producer, and the average occupancy spread across
+//!   clusters at steering time. Switches apply only after
+//!   [`AdaptivePolicy::SWITCH_AFTER`] consecutive windows agree
+//!   (hysteresis), so a single noisy window cannot thrash the rung.
+//! * [`IneffPolicy`] learns, at commit time, which static instructions
+//!   produce *dead values* — results overwritten before any consumer
+//!   reads them — in a per-PC saturating-counter table, and steers
+//!   predicted-ineffectual instructions to the least-loaded cluster:
+//!   they have no consumer worth staying close to, so they make ideal
+//!   load-balancing filler.
+//! * [`CellPolicy`] is the factory every evaluation path builds policies
+//!   through: static kinds get the classic [`PaperPolicy`], the two
+//!   dynamic kinds get their wrappers, and the predictor bank threads
+//!   through all of them identically across training epochs.
+
+use crate::bank::PredictorBank;
+use crate::policy::{PaperPolicy, PolicyConfig, PolicyKind};
+use ccs_isa::{Pc, RegFile};
+use ccs_sim::{
+    Cycle, InstRecord, SteerCause, SteerDecision, SteerOutcome, SteerView, SteeringPolicy,
+};
+use ccs_trace::{DynIdx, DynInst};
+use ccs_uarch::SaturatingCounter;
+
+/// Counters accumulated over one adaptive window, reset at each window
+/// boundary. All signals are exact integer counts; the derived shares
+/// are pure functions of them, so the decision rule is deterministic
+/// and seed-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowSignals {
+    /// Steer consultations observed (including repeated attempts for a
+    /// stalled head).
+    pub steer_calls: u64,
+    /// Sum over steer calls of `max(occupancy) - min(occupancy)`.
+    pub spread_sum: u64,
+    /// Window capacity per cluster at the last steer call (normalizes
+    /// the spread).
+    pub capacity: u64,
+    /// Placements actually made (steer calls that returned a cluster).
+    pub placements: u64,
+    /// Placements forced to the least-loaded cluster because the
+    /// desired producer cluster was full ([`SteerCause::LoadBalance`]).
+    pub lb_placements: u64,
+    /// Placements of instructions with no in-flight producers
+    /// ([`SteerCause::NoDeps`]).
+    pub nodeps_placements: u64,
+    /// Instructions committed in the window.
+    pub commits: u64,
+    /// Committed instructions whose ready time was bound by a remote
+    /// operand that paid forwarding latency
+    /// ([`InstRecord::forwarding_on_ready`] > 0).
+    pub fwd_commits: u64,
+}
+
+impl WindowSignals {
+    /// Share of committed instructions bound by inter-cluster
+    /// forwarding, in `[0, 1]`; 0.0 with no commits.
+    pub fn fwd_share(&self) -> f64 {
+        share(self.fwd_commits, self.commits)
+    }
+
+    /// Share of placements that were load-balance steers, in `[0, 1]`;
+    /// 0.0 with no placements.
+    pub fn lb_share(&self) -> f64 {
+        share(self.lb_placements, self.placements)
+    }
+
+    /// Share of placements with no in-flight producers, in `[0, 1]`;
+    /// 0.0 with no placements.
+    pub fn nodeps_share(&self) -> f64 {
+        share(self.nodeps_placements, self.placements)
+    }
+
+    /// Average occupancy spread at steer time, normalized by the window
+    /// capacity, in `[0, 1]`; 0.0 with no steer calls.
+    pub fn imbalance(&self) -> f64 {
+        if self.steer_calls == 0 || self.capacity == 0 {
+            0.0
+        } else {
+            share(self.spread_sum, self.steer_calls * self.capacity)
+        }
+    }
+}
+
+/// `num / den` with an explicit 0.0 (never NaN) for an empty window.
+fn share(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The online policy switcher: one [`PaperPolicy`] whose configuration
+/// is re-chosen among the paper's five static rungs at fixed cycle
+/// windows, from the windowed steering signals in [`WindowSignals`].
+#[derive(Debug, Clone)]
+pub struct AdaptivePolicy {
+    inner: PaperPolicy,
+    current: PolicyKind,
+    /// The rung the most recent window(s) asked for, when it differs
+    /// from `current`.
+    pending: PolicyKind,
+    /// Consecutive windows that agreed on `pending`.
+    agree: u32,
+    /// Exclusive end cycle of the window being accumulated.
+    window_end: Cycle,
+    signals: WindowSignals,
+    switches: u64,
+}
+
+impl AdaptivePolicy {
+    /// Cycles per decision window. Long enough that the signal shares
+    /// are not dominated by a handful of instructions, short enough to
+    /// catch phase changes inside the paper's small traces.
+    pub const WINDOW_CYCLES: Cycle = 512;
+
+    /// Consecutive windows that must agree on the same different rung
+    /// before the switcher moves (hysteresis against thrashing).
+    pub const SWITCH_AFTER: u32 = 2;
+
+    /// Forwarding-bound commit share at or above which the phase counts
+    /// as communication-bound.
+    pub const FWD_HEAVY: f64 = 0.08;
+
+    /// Load-balance placement share at or above which the phase counts
+    /// as steering-pressure-bound.
+    pub const LB_HEAVY: f64 = 0.15;
+
+    /// Normalized occupancy spread at or above which the phase counts
+    /// as imbalance-bound.
+    pub const IMBALANCE_HEAVY: f64 = 0.40;
+
+    /// No-producer placement share at or above which LoC stratification
+    /// stops mattering (mostly independent instructions).
+    pub const NODEPS_HEAVY: f64 = 0.60;
+
+    /// A fresh switcher over `bank`, starting on the focused+LoC rung
+    /// (the same starting configuration [`PolicyKind::Adaptive`]'s
+    /// `config()` reports).
+    pub fn new(bank: PredictorBank) -> Self {
+        let start = PolicyKind::FocusedLoc;
+        AdaptivePolicy {
+            inner: PaperPolicy::from_config(start.config(), bank, PolicyKind::Adaptive.name()),
+            current: start,
+            pending: start,
+            agree: 0,
+            window_end: Self::WINDOW_CYCLES,
+            signals: WindowSignals::default(),
+            switches: 0,
+        }
+    }
+
+    /// The deterministic window-to-rung decision rule, exposed as a
+    /// pure function so the mutation tests can prove every arm
+    /// reachable. `trained` is whether the predictor bank has completed
+    /// at least one training epoch — criticality-guided rungs are
+    /// pointless on an untrained bank.
+    pub fn desired_rung(signals: &WindowSignals, trained: bool) -> PolicyKind {
+        if !trained {
+            // No criticality signal yet: the criticality-blind baseline.
+            return PolicyKind::Dependence;
+        }
+        if signals.fwd_share() >= Self::FWD_HEAVY || signals.lb_share() >= Self::LB_HEAVY {
+            // Communication-bound phase: critical chains are paying
+            // forwarding latency (or being steered away from their
+            // producers); hold dispatch instead.
+            PolicyKind::StallOverSteer
+        } else if signals.imbalance() >= Self::IMBALANCE_HEAVY {
+            // One cluster saturated while others idle: push
+            // non-critical consumers away proactively.
+            PolicyKind::Proactive
+        } else if signals.nodeps_share() >= Self::NODEPS_HEAVY {
+            // Mostly independent instructions: binary criticality
+            // scheduling suffices, LoC stratification adds nothing.
+            PolicyKind::Focused
+        } else {
+            // Calm phase: focused steering with LoC scheduling.
+            PolicyKind::FocusedLoc
+        }
+    }
+
+    /// The rung currently steering.
+    pub fn current_kind(&self) -> PolicyKind {
+        self.current
+    }
+
+    /// Rung switches taken so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Releases the predictor state (to train between epochs).
+    pub fn into_bank(self) -> PredictorBank {
+        self.inner.into_bank()
+    }
+
+    /// The predictor state.
+    pub fn bank(&self) -> &PredictorBank {
+        self.inner.bank()
+    }
+
+    /// Closes the window that ended before `now`: evaluates the
+    /// decision rule over its signals, advances the hysteresis state,
+    /// and re-arms the accumulator for the window containing `now`.
+    fn roll_window(&mut self, now: Cycle) {
+        let trained = self.inner.bank().trained_epochs() > 0;
+        let desired = Self::desired_rung(&self.signals, trained);
+        if desired == self.current {
+            self.pending = self.current;
+            self.agree = 0;
+        } else if desired == self.pending {
+            self.agree += 1;
+        } else {
+            self.pending = desired;
+            self.agree = 1;
+        }
+        if self.pending != self.current && self.agree >= Self::SWITCH_AFTER {
+            self.current = self.pending;
+            self.inner.set_config(self.current.config());
+            self.agree = 0;
+            self.switches += 1;
+        }
+        self.signals = WindowSignals::default();
+        self.window_end = (now / Self::WINDOW_CYCLES + 1) * Self::WINDOW_CYCLES;
+    }
+}
+
+impl SteeringPolicy for AdaptivePolicy {
+    fn steer(&mut self, view: &SteerView<'_>) -> SteerOutcome {
+        if view.now >= self.window_end {
+            self.roll_window(view.now);
+        }
+        let (min, max) = view
+            .occupancy
+            .iter()
+            .fold((usize::MAX, 0), |(lo, hi), &o| (lo.min(o), hi.max(o)));
+        self.signals.steer_calls += 1;
+        self.signals.spread_sum += (max - min) as u64;
+        self.signals.capacity = view.capacity as u64;
+        let outcome = self.inner.steer(view);
+        if let SteerDecision::To { cause, .. } = outcome.decision {
+            self.signals.placements += 1;
+            match cause {
+                SteerCause::LoadBalance => self.signals.lb_placements += 1,
+                SteerCause::NoDeps => self.signals.nodeps_placements += 1,
+                _ => {}
+            }
+        }
+        outcome
+    }
+
+    fn priority(&mut self, idx: DynIdx, inst: &DynInst) -> i64 {
+        self.inner.priority(idx, inst)
+    }
+
+    fn on_commit(&mut self, idx: DynIdx, inst: &DynInst, record: &InstRecord) {
+        self.signals.commits += 1;
+        if record.forwarding_on_ready() > 0 {
+            self.signals.fwd_commits += 1;
+        }
+        self.inner.on_commit(idx, inst, record);
+    }
+
+    fn name(&self) -> &str {
+        PolicyKind::Adaptive.name()
+    }
+}
+
+/// The last architectural writer of a register, as seen by the
+/// in-order retiring stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LastWrite {
+    /// The writer's PC (the table index trained on redefinition).
+    pc: Pc,
+    /// Whether any later instruction read the value before it was
+    /// overwritten.
+    referenced: bool,
+}
+
+/// Ineffectuality-aware steering: focused steering plus an online
+/// dead-value detector.
+///
+/// Commit order is program order, so a last-writer table over the
+/// architectural register file detects dead values *exactly*: when a
+/// register is redefined, the previous writer was ineffectual iff no
+/// retired instruction read the register in between. Each redefinition
+/// trains a per-PC 2-bit saturating counter (the cheap table-based
+/// hardware analogue); once a PC's counter saturates, its future
+/// instances are predicted ineffectual and steered to the least-loaded
+/// cluster — they have no consumer worth staying close to — with their
+/// scheduling priority demoted below every effectual instruction.
+#[derive(Debug, Clone)]
+pub struct IneffPolicy {
+    inner: PaperPolicy,
+    last_writer: RegFile<LastWrite>,
+    ineff: PcTableCounters,
+    predicted: u64,
+}
+
+/// Alias kept local: the per-PC ineffectuality counters.
+type PcTableCounters = ccs_predictors::PcTable<SaturatingCounter>;
+
+impl IneffPolicy {
+    /// A fresh detector wrapping the given inner rung configuration
+    /// (normally [`PolicyKind::IneffSteer`]'s config, i.e. focused
+    /// steering) over `bank`.
+    pub fn new(cfg: PolicyConfig, bank: PredictorBank) -> Self {
+        IneffPolicy {
+            inner: PaperPolicy::from_config(cfg, bank, PolicyKind::IneffSteer.name()),
+            last_writer: RegFile::new(),
+            ineff: PcTableCounters::new(),
+            predicted: 0,
+        }
+    }
+
+    /// Whether the detector currently predicts the instruction at `pc`
+    /// to produce a dead value.
+    pub fn predicts_ineffectual(&self, pc: Pc) -> bool {
+        self.ineff.get(pc).is_some_and(SaturatingCounter::msb_set)
+    }
+
+    /// Instructions steered as predicted-ineffectual so far.
+    pub fn predicted_count(&self) -> u64 {
+        self.predicted
+    }
+
+    /// Releases the predictor state (to train between epochs).
+    pub fn into_bank(self) -> PredictorBank {
+        self.inner.into_bank()
+    }
+
+    /// The predictor state.
+    pub fn bank(&self) -> &PredictorBank {
+        self.inner.bank()
+    }
+}
+
+impl SteeringPolicy for IneffPolicy {
+    fn steer(&mut self, view: &SteerView<'_>) -> SteerOutcome {
+        let pc = view.inst.pc();
+        if view.clusters() > 1
+            && view.inst.inst.dst.is_some()
+            && self.predicts_ineffectual(pc)
+        {
+            if let Some(c) = view.least_loaded_with_space() {
+                self.predicted += 1;
+                let bank = self.inner.bank();
+                return SteerOutcome::to(c, SteerCause::Proactive)
+                    .with_criticality(bank.predicted_critical(pc), bank.loc(pc) as f32);
+            }
+            // Every window full: fall through to the inner rung, which
+            // stalls identically.
+        }
+        self.inner.steer(view)
+    }
+
+    fn priority(&mut self, idx: DynIdx, inst: &DynInst) -> i64 {
+        if inst.inst.dst.is_some() && self.predicts_ineffectual(inst.pc()) {
+            // Below every inner priority (those are all >= 0): dead
+            // values issue last.
+            return -1;
+        }
+        self.inner.priority(idx, inst)
+    }
+
+    fn on_commit(&mut self, idx: DynIdx, inst: &DynInst, record: &InstRecord) {
+        // Reads first: an instruction that reads and redefines the same
+        // register references the *previous* writer's value.
+        for src in inst.inst.sources() {
+            if let Some(w) = self.last_writer.get(src).copied() {
+                if !w.referenced {
+                    self.last_writer.set(
+                        src,
+                        LastWrite {
+                            referenced: true,
+                            ..w
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(dst) = inst.inst.dst {
+            if let Some(prev) = self.last_writer.get(dst).copied() {
+                let dead = !prev.referenced;
+                let c = self.ineff.entry_with(prev.pc, SaturatingCounter::bimodal2);
+                if dead {
+                    c.add(1);
+                } else {
+                    c.sub(1);
+                }
+            }
+            self.last_writer.set(
+                dst,
+                LastWrite {
+                    pc: inst.pc(),
+                    referenced: false,
+                },
+            );
+        }
+        self.inner.on_commit(idx, inst, record);
+    }
+
+    fn name(&self) -> &str {
+        PolicyKind::IneffSteer.name()
+    }
+}
+
+/// The policy factory every evaluation path (experiment driver,
+/// differential campaign, oracle) builds steering policies through.
+///
+/// Static kinds become a plain [`PaperPolicy`] with the given
+/// configuration; [`PolicyKind::Adaptive`] and
+/// [`PolicyKind::IneffSteer`] become their dynamic wrappers. Because
+/// the engine and the reference oracle construct the *same* variant
+/// from the same bank and drive it through the same call sequence, the
+/// dynamic policies differentially verify exactly like the static
+/// ones.
+#[derive(Debug, Clone)]
+pub enum CellPolicy {
+    /// A static rung of the paper's ladder (possibly with an ablation
+    /// configuration).
+    Paper(PaperPolicy),
+    /// The online policy switcher.
+    Adaptive(AdaptivePolicy),
+    /// Ineffectuality-aware steering.
+    Ineff(IneffPolicy),
+}
+
+impl CellPolicy {
+    /// Builds the policy object for `kind` over `bank`.
+    ///
+    /// `cfg` configures the static kinds and the inner rung of
+    /// [`PolicyKind::IneffSteer`]; the adaptive switcher ignores it
+    /// (its rung configurations come from the canonical
+    /// [`PolicyKind::config`] of whichever rung the decision rule
+    /// picks). `name` labels the static policy object (normally
+    /// `kind.name()`; ablations pass their own label).
+    pub fn build(
+        kind: PolicyKind,
+        cfg: PolicyConfig,
+        bank: PredictorBank,
+        name: &'static str,
+    ) -> CellPolicy {
+        match kind {
+            PolicyKind::Adaptive => CellPolicy::Adaptive(AdaptivePolicy::new(bank)),
+            PolicyKind::IneffSteer => CellPolicy::Ineff(IneffPolicy::new(cfg, bank)),
+            _ => CellPolicy::Paper(PaperPolicy::from_config(cfg, bank, name)),
+        }
+    }
+
+    /// Releases the predictor state (to train between epochs).
+    pub fn into_bank(self) -> PredictorBank {
+        match self {
+            CellPolicy::Paper(p) => p.into_bank(),
+            CellPolicy::Adaptive(p) => p.into_bank(),
+            CellPolicy::Ineff(p) => p.into_bank(),
+        }
+    }
+
+    /// The predictor state.
+    pub fn bank(&self) -> &PredictorBank {
+        match self {
+            CellPolicy::Paper(p) => p.bank(),
+            CellPolicy::Adaptive(p) => p.bank(),
+            CellPolicy::Ineff(p) => p.bank(),
+        }
+    }
+}
+
+impl SteeringPolicy for CellPolicy {
+    fn steer(&mut self, view: &SteerView<'_>) -> SteerOutcome {
+        match self {
+            CellPolicy::Paper(p) => p.steer(view),
+            CellPolicy::Adaptive(p) => p.steer(view),
+            CellPolicy::Ineff(p) => p.steer(view),
+        }
+    }
+
+    fn priority(&mut self, idx: DynIdx, inst: &DynInst) -> i64 {
+        match self {
+            CellPolicy::Paper(p) => p.priority(idx, inst),
+            CellPolicy::Adaptive(p) => p.priority(idx, inst),
+            CellPolicy::Ineff(p) => p.priority(idx, inst),
+        }
+    }
+
+    fn on_commit(&mut self, idx: DynIdx, inst: &DynInst, record: &InstRecord) {
+        match self {
+            CellPolicy::Paper(p) => p.on_commit(idx, inst, record),
+            CellPolicy::Adaptive(p) => p.on_commit(idx, inst, record),
+            CellPolicy::Ineff(p) => p.on_commit(idx, inst, record),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            CellPolicy::Paper(p) => p.name(),
+            CellPolicy::Adaptive(p) => p.name(),
+            CellPolicy::Ineff(p) => p.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::LocMode;
+    use ccs_isa::{ArchReg, OpClass, StaticInst};
+    use ccs_sim::ReadyBound;
+    use ccs_trace::TraceBuilder;
+
+    fn trained_bank() -> PredictorBank {
+        let mut b = TraceBuilder::new();
+        for _ in 0..32 {
+            b.push_simple(StaticInst::new(Pc::new(0x0), OpClass::IntAlu).with_dst(ArchReg::int(1)));
+            b.push_simple(StaticInst::new(Pc::new(0x4), OpClass::IntAlu).with_dst(ArchReg::int(2)));
+        }
+        let trace = b.finish();
+        let crit: Vec<bool> = (0..trace.len()).map(|i| i % 2 == 0).collect();
+        let mut bank = PredictorBank::new(LocMode::Exact, 0);
+        bank.train_criticality(&trace, &crit);
+        bank
+    }
+
+    fn dyn_inst(pc: u64, srcs: [Option<ArchReg>; 2], dst: Option<ArchReg>) -> DynInst {
+        let mut inst = StaticInst::new(Pc::new(pc), OpClass::IntAlu).with_srcs(srcs);
+        if let Some(d) = dst {
+            inst = inst.with_dst(d);
+        }
+        DynInst {
+            inst,
+            deps: [None, None],
+            mem_addr: None,
+            branch: None,
+        }
+    }
+
+    fn commit_record(fwd: u32) -> InstRecord {
+        InstRecord {
+            fetch: 0,
+            dispatch: 0,
+            ready: 0,
+            issue: 0,
+            complete: 0,
+            commit: 0,
+            cluster: 0,
+            mispredicted: false,
+            l1_miss: false,
+            mem_extra: 0,
+            dispatch_bound: ccs_sim::DispatchBound::FrontEnd,
+            ready_bound: if fwd > 0 {
+                ReadyBound::Operand {
+                    slot: 0,
+                    producer: DynIdx::new(0),
+                    fwd,
+                }
+            } else {
+                ReadyBound::Dispatch
+            },
+            commit_bound: ccs_sim::CommitBound::Complete,
+            steer_cause: SteerCause::Only,
+            predicted_critical: false,
+            loc: 0.0,
+        }
+    }
+
+    // ---- decision-rule mutation tests: every arm is reachable and ----
+    // ---- every threshold is load-bearing.                         ----
+
+    #[test]
+    fn untrained_bank_selects_dependence() {
+        let s = WindowSignals {
+            commits: 100,
+            fwd_commits: 100,
+            ..WindowSignals::default()
+        };
+        assert_eq!(
+            AdaptivePolicy::desired_rung(&s, false),
+            PolicyKind::Dependence
+        );
+    }
+
+    #[test]
+    fn forwarding_share_selects_stall_over_steer() {
+        let calm = WindowSignals {
+            commits: 100,
+            fwd_commits: 7,
+            ..WindowSignals::default()
+        };
+        assert_eq!(
+            AdaptivePolicy::desired_rung(&calm, true),
+            PolicyKind::FocusedLoc
+        );
+        let heavy = WindowSignals {
+            commits: 100,
+            fwd_commits: 8,
+            ..calm
+        };
+        assert_eq!(
+            AdaptivePolicy::desired_rung(&heavy, true),
+            PolicyKind::StallOverSteer
+        );
+    }
+
+    #[test]
+    fn load_balance_share_selects_stall_over_steer() {
+        let heavy = WindowSignals {
+            placements: 100,
+            lb_placements: 15,
+            ..WindowSignals::default()
+        };
+        assert_eq!(
+            AdaptivePolicy::desired_rung(&heavy, true),
+            PolicyKind::StallOverSteer
+        );
+        let calm = WindowSignals {
+            lb_placements: 14,
+            ..heavy
+        };
+        assert_eq!(
+            AdaptivePolicy::desired_rung(&calm, true),
+            PolicyKind::FocusedLoc
+        );
+    }
+
+    #[test]
+    fn occupancy_imbalance_selects_proactive() {
+        let s = WindowSignals {
+            steer_calls: 10,
+            spread_sum: 40,
+            capacity: 10,
+            ..WindowSignals::default()
+        };
+        assert_eq!(
+            AdaptivePolicy::desired_rung(&s, true),
+            PolicyKind::Proactive
+        );
+        let below = WindowSignals {
+            spread_sum: 39,
+            ..s
+        };
+        assert_eq!(
+            AdaptivePolicy::desired_rung(&below, true),
+            PolicyKind::FocusedLoc
+        );
+    }
+
+    #[test]
+    fn nodeps_share_selects_focused() {
+        let s = WindowSignals {
+            placements: 10,
+            nodeps_placements: 6,
+            ..WindowSignals::default()
+        };
+        assert_eq!(AdaptivePolicy::desired_rung(&s, true), PolicyKind::Focused);
+    }
+
+    #[test]
+    fn communication_outranks_imbalance() {
+        // Both signals heavy: the rule prefers collocation over
+        // balancing — forwarding pain is the paper's headline loss.
+        let s = WindowSignals {
+            commits: 100,
+            fwd_commits: 50,
+            steer_calls: 10,
+            spread_sum: 80,
+            capacity: 10,
+            ..WindowSignals::default()
+        };
+        assert_eq!(
+            AdaptivePolicy::desired_rung(&s, true),
+            PolicyKind::StallOverSteer
+        );
+    }
+
+    #[test]
+    fn empty_window_is_calm_not_nan() {
+        let s = WindowSignals::default();
+        assert_eq!(s.fwd_share(), 0.0);
+        assert_eq!(s.lb_share(), 0.0);
+        assert_eq!(s.imbalance(), 0.0);
+        assert_eq!(
+            AdaptivePolicy::desired_rung(&s, true),
+            PolicyKind::FocusedLoc
+        );
+    }
+
+    // ---- hysteresis: one heavy window must not switch; SWITCH_AFTER ----
+    // ---- agreeing windows must.                                     ----
+
+    #[test]
+    fn switcher_waits_for_consecutive_windows_then_moves() {
+        let mut p = AdaptivePolicy::new(trained_bank());
+        assert_eq!(p.current_kind(), PolicyKind::FocusedLoc);
+        let occupancy = vec![0usize, 0, 0, 0];
+        let inst = dyn_inst(0x0, [None, None], Some(ArchReg::int(3)));
+        let steer_at = |p: &mut AdaptivePolicy, now: Cycle| {
+            let view = SteerView {
+                inst: &inst,
+                idx: DynIdx::new(0),
+                now,
+                occupancy: &occupancy,
+                capacity: 8,
+                producers: [None, None],
+            };
+            p.steer(&view);
+        };
+        let heavy_window = |p: &mut AdaptivePolicy| {
+            for _ in 0..50 {
+                p.on_commit(
+                    DynIdx::new(0),
+                    &dyn_inst(0x0, [None, None], Some(ArchReg::int(3))),
+                    &commit_record(2),
+                );
+            }
+        };
+        // Window 0 is communication-heavy; its close at the first steer
+        // past the boundary asks for StallOverSteer but must not switch
+        // yet (hysteresis).
+        steer_at(&mut p, 0);
+        heavy_window(&mut p);
+        steer_at(&mut p, AdaptivePolicy::WINDOW_CYCLES);
+        assert_eq!(p.current_kind(), PolicyKind::FocusedLoc, "one window is not enough");
+        assert_eq!(p.switches(), 0);
+        // Window 1 agrees: the close of the second heavy window switches.
+        heavy_window(&mut p);
+        steer_at(&mut p, 2 * AdaptivePolicy::WINDOW_CYCLES);
+        assert_eq!(p.current_kind(), PolicyKind::StallOverSteer);
+        assert_eq!(p.switches(), 1);
+        // The inner configuration actually moved.
+        assert!(p.inner.config().stall_threshold.is_some());
+        // Calm windows walk it back after two more agreements. (The
+        // walk-back target is Focused: the only placement in these
+        // quiet windows is the probe instruction itself, which has no
+        // producers, so the no-deps share is 1.0.)
+        steer_at(&mut p, 3 * AdaptivePolicy::WINDOW_CYCLES);
+        assert_eq!(p.current_kind(), PolicyKind::StallOverSteer);
+        steer_at(&mut p, 4 * AdaptivePolicy::WINDOW_CYCLES);
+        assert_eq!(p.current_kind(), PolicyKind::Focused);
+        assert_eq!(p.switches(), 2);
+    }
+
+    #[test]
+    fn disagreeing_windows_reset_the_agreement_run() {
+        let mut p = AdaptivePolicy::new(trained_bank());
+        let occupancy = vec![0usize, 0, 0, 0];
+        let inst = dyn_inst(0x0, [None, None], Some(ArchReg::int(3)));
+        let steer_at = |p: &mut AdaptivePolicy, now: Cycle| {
+            let view = SteerView {
+                inst: &inst,
+                idx: DynIdx::new(0),
+                now,
+                occupancy: &occupancy,
+                capacity: 8,
+                producers: [None, None],
+            };
+            p.steer(&view);
+        };
+        // heavy, calm, heavy, heavy: the lone heavy window's vote is
+        // cancelled by the calm one; only the last two consecutive
+        // heavy windows switch.
+        for (w, heavy) in [(0u64, true), (1, false), (2, true), (3, true)] {
+            steer_at(&mut p, w * AdaptivePolicy::WINDOW_CYCLES);
+            if heavy {
+                for _ in 0..50 {
+                    p.on_commit(
+                        DynIdx::new(0),
+                        &dyn_inst(0x0, [None, None], Some(ArchReg::int(3))),
+                        &commit_record(2),
+                    );
+                }
+            }
+            if w < 3 {
+                assert_eq!(
+                    p.current_kind(),
+                    PolicyKind::FocusedLoc,
+                    "window {w}: must not have switched yet"
+                );
+            }
+        }
+        steer_at(&mut p, 4 * AdaptivePolicy::WINDOW_CYCLES);
+        assert_eq!(p.current_kind(), PolicyKind::StallOverSteer);
+    }
+
+    // ---- ineffectuality detection ----
+
+    #[test]
+    fn dead_values_train_and_steer_to_the_spare_cluster() {
+        let mut p = IneffPolicy::new(PolicyKind::IneffSteer.config(), trained_bank());
+        let r1 = ArchReg::int(1);
+        // PC 0x100 writes r1; PC 0x104 redefines r1 without anyone
+        // reading it: 0x100 is a dead-value producer.
+        for _ in 0..4 {
+            p.on_commit(
+                DynIdx::new(0),
+                &dyn_inst(0x100, [None, None], Some(r1)),
+                &commit_record(0),
+            );
+            p.on_commit(
+                DynIdx::new(1),
+                &dyn_inst(0x104, [None, None], Some(r1)),
+                &commit_record(0),
+            );
+        }
+        assert!(p.predicts_ineffectual(Pc::new(0x100)));
+        // Steering a predicted-dead instance ignores its producer and
+        // takes the least-loaded cluster.
+        let inst = dyn_inst(0x100, [Some(ArchReg::int(7)), None], Some(r1));
+        let occupancy = vec![5usize, 1, 4, 4];
+        let view = SteerView {
+            inst: &inst,
+            idx: DynIdx::new(9),
+            now: 0,
+            occupancy: &occupancy,
+            capacity: 8,
+            producers: [
+                Some(ccs_sim::ProducerInfo {
+                    idx: DynIdx::new(2),
+                    pc: Pc::new(0x0),
+                    cluster: 0,
+                    completed: false,
+                }),
+                None,
+            ],
+        };
+        let o = p.steer(&view);
+        assert_eq!(
+            o.decision,
+            SteerDecision::To {
+                cluster: 1,
+                cause: SteerCause::Proactive
+            }
+        );
+        assert_eq!(p.predicted_count(), 1);
+        // And its scheduling priority is demoted below everything.
+        assert_eq!(p.priority(DynIdx::new(9), &inst), -1);
+    }
+
+    #[test]
+    fn referenced_values_unlearn_ineffectuality() {
+        let mut p = IneffPolicy::new(PolicyKind::IneffSteer.config(), trained_bank());
+        let r1 = ArchReg::int(1);
+        // Writer, reader, redefinition: the value was used.
+        for _ in 0..4 {
+            p.on_commit(
+                DynIdx::new(0),
+                &dyn_inst(0x100, [None, None], Some(r1)),
+                &commit_record(0),
+            );
+            p.on_commit(
+                DynIdx::new(1),
+                &dyn_inst(0x108, [Some(r1), None], Some(ArchReg::int(2))),
+                &commit_record(0),
+            );
+            p.on_commit(
+                DynIdx::new(2),
+                &dyn_inst(0x104, [None, None], Some(r1)),
+                &commit_record(0),
+            );
+        }
+        assert!(!p.predicts_ineffectual(Pc::new(0x100)));
+        // An unpredicted instruction delegates to the inner rung.
+        let inst = dyn_inst(0x100, [None, None], Some(r1));
+        let occupancy = vec![2usize, 0, 0, 0];
+        let view = SteerView {
+            inst: &inst,
+            idx: DynIdx::new(9),
+            now: 0,
+            occupancy: &occupancy,
+            capacity: 8,
+            producers: [None, None],
+        };
+        let o = p.steer(&view);
+        assert!(matches!(
+            o.decision,
+            SteerDecision::To {
+                cause: SteerCause::NoDeps,
+                ..
+            }
+        ));
+        assert!(p.priority(DynIdx::new(9), &inst) >= 0);
+    }
+
+    #[test]
+    fn read_then_redefine_references_the_previous_writer() {
+        let mut p = IneffPolicy::new(PolicyKind::IneffSteer.config(), trained_bank());
+        let r1 = ArchReg::int(1);
+        // `r1 = f(r1)` chains: each instance reads the previous value,
+        // so none are dead.
+        for _ in 0..6 {
+            p.on_commit(
+                DynIdx::new(0),
+                &dyn_inst(0x100, [Some(r1), None], Some(r1)),
+                &commit_record(0),
+            );
+        }
+        assert!(!p.predicts_ineffectual(Pc::new(0x100)));
+    }
+
+    // ---- factory ----
+
+    #[test]
+    fn factory_builds_the_matching_variant() {
+        let bank = PredictorBank::new(LocMode::Exact, 0);
+        for kind in [
+            PolicyKind::Dependence,
+            PolicyKind::Focused,
+            PolicyKind::FocusedLoc,
+            PolicyKind::StallOverSteer,
+            PolicyKind::Proactive,
+        ] {
+            let p = CellPolicy::build(kind, kind.config(), bank.clone(), kind.name());
+            assert!(matches!(p, CellPolicy::Paper(_)), "{kind:?}");
+            assert_eq!(p.name(), kind.name());
+        }
+        let a = CellPolicy::build(
+            PolicyKind::Adaptive,
+            PolicyKind::Adaptive.config(),
+            bank.clone(),
+            PolicyKind::Adaptive.name(),
+        );
+        assert!(matches!(a, CellPolicy::Adaptive(_)));
+        assert_eq!(a.name(), "adaptive");
+        let i = CellPolicy::build(
+            PolicyKind::IneffSteer,
+            PolicyKind::IneffSteer.config(),
+            bank,
+            PolicyKind::IneffSteer.name(),
+        );
+        assert!(matches!(i, CellPolicy::Ineff(_)));
+        assert_eq!(i.name(), "ineff-steer");
+    }
+}

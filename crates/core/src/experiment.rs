@@ -2,7 +2,7 @@
 
 use crate::bank::{LocMode, PredictorBank};
 use crate::error::CcsError;
-use crate::policy::{PaperPolicy, PolicyKind};
+use crate::policy::PolicyKind;
 use ccs_critpath::{analyze, CritPathAnalysis};
 use ccs_isa::MachineConfig;
 use ccs_predictors::TokenDetector;
@@ -208,7 +208,7 @@ pub fn run_custom_cancellable(
     let mut metrics: Option<SimMetrics> = None;
     for epoch in 0..epochs {
         let measured = epoch + 1 == epochs;
-        let mut policy = PaperPolicy::from_config(policy_config, bank, kind.name());
+        let mut policy = crate::CellPolicy::build(kind, policy_config, bank, kind.name());
         // Metrics are gathered only on the measured epoch (training epochs
         // exist to converge the predictors, not to be reported on), through
         // the same engine body as the unobserved path.

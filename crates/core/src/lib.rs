@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod bank;
 mod baselines;
 pub mod checkpoint;
@@ -56,6 +57,7 @@ mod policy;
 pub mod queue;
 pub mod shard;
 
+pub use adaptive::{AdaptivePolicy, CellPolicy, IneffPolicy, WindowSignals};
 pub use bank::{LocMode, PredictorBank};
 pub use baselines::{FirstConsumer, ModN};
 pub use checkpoint::cell_key;

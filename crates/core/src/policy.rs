@@ -68,6 +68,16 @@ pub enum PolicyKind {
     StallOverSteer,
     /// Focused + LoC + stall + proactive load balancing (`p` bars).
     Proactive,
+    /// Online policy switching: re-picks a static rung among the five
+    /// paper policies at fixed cycle windows from windowed steering
+    /// signals (occupancy imbalance, forwarding-stall share, steer-cause
+    /// mix), with hysteresis. See [`AdaptivePolicy`](crate::AdaptivePolicy).
+    Adaptive,
+    /// Ineffectuality-aware steering: focused steering plus an online
+    /// dead-value table that routes predicted-ineffectual instructions
+    /// to the least-loaded spare cluster. See
+    /// [`IneffPolicy`](crate::IneffPolicy).
+    IneffSteer,
 }
 
 impl PolicyKind {
@@ -100,6 +110,8 @@ impl PolicyKind {
             PolicyKind::FocusedLoc => "l",
             PolicyKind::StallOverSteer => "s",
             PolicyKind::Proactive => "p",
+            PolicyKind::Adaptive => "a",
+            PolicyKind::IneffSteer => "i",
         }
     }
 
@@ -111,7 +123,17 @@ impl PolicyKind {
             PolicyKind::FocusedLoc => "focused+loc",
             PolicyKind::StallOverSteer => "focused+loc+stall",
             PolicyKind::Proactive => "focused+loc+stall+proactive",
+            PolicyKind::Adaptive => "adaptive",
+            PolicyKind::IneffSteer => "ineff-steer",
         }
+    }
+
+    /// Whether this kind changes its steering behaviour *during* a run
+    /// (window-driven policy switching or online dead-value learning).
+    /// Dynamic kinds make the analytic envelope's lower edge harder to
+    /// approach, so the predict tier demotes its confidence for them.
+    pub const fn is_dynamic(self) -> bool {
+        matches!(self, PolicyKind::Adaptive | PolicyKind::IneffSteer)
     }
 
     /// The policy's configuration.
@@ -152,6 +174,14 @@ impl PolicyKind {
                 proactive: Some(ProactiveConfig::default()),
                 ..base
             },
+            // The dynamic kinds report their *starting* rung here: the
+            // adaptive switcher begins on focused+loc before its first
+            // window closes, and ineffectuality steering wraps plain
+            // focused steering. The actual policy object is built by
+            // `CellPolicy::build`, which keys on the kind, not on this
+            // configuration.
+            PolicyKind::Adaptive => PolicyKind::FocusedLoc.config(),
+            PolicyKind::IneffSteer => PolicyKind::Focused.config(),
         }
     }
 }
@@ -200,6 +230,19 @@ impl PaperPolicy {
     /// The predictor state.
     pub fn bank(&self) -> &PredictorBank {
         &self.bank
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> PolicyConfig {
+        self.cfg
+    }
+
+    /// Swaps the active configuration in place, keeping all learned
+    /// state (predictor bank, followed producers, most-critical-consumer
+    /// tracker). This is the adaptive switcher's rung change: the policy
+    /// object survives, only its knobs move.
+    pub fn set_config(&mut self, cfg: PolicyConfig) {
+        self.cfg = cfg;
     }
 
     /// The least-loaded cluster with space, avoiding `avoid` when another
@@ -683,6 +726,8 @@ mod tests {
             PolicyKind::FocusedLoc,
             PolicyKind::StallOverSteer,
             PolicyKind::Proactive,
+            PolicyKind::Adaptive,
+            PolicyKind::IneffSteer,
         ] {
             assert!(labels.insert(k.bar_label()));
             assert!(!k.name().is_empty());
@@ -691,5 +736,27 @@ mod tests {
         assert!(PolicyKind::StallOverSteer.config().stall_threshold.is_some());
         assert!(PolicyKind::FocusedLoc.config().stall_threshold.is_none());
         assert!(PolicyKind::Proactive.config().proactive.is_some());
+        // Only the two online kinds are dynamic.
+        assert!(PolicyKind::Adaptive.is_dynamic());
+        assert!(PolicyKind::IneffSteer.is_dynamic());
+        for k in PolicyKind::LADDER {
+            assert!(!k.is_dynamic());
+        }
+        assert!(!PolicyKind::Dependence.is_dynamic());
+    }
+
+    #[test]
+    fn set_config_swaps_knobs_and_keeps_the_bank() {
+        let mut p = PaperPolicy::new(PolicyKind::FocusedLoc, trained_bank());
+        assert!(p.config().loc_priority);
+        let hi_before = p.priority(DynIdx::new(0), &dyn_inst(0x0, [None, None]));
+        p.set_config(PolicyKind::Dependence.config());
+        assert!(!p.config().loc_priority);
+        // Oldest-first scheduling under the dependence rung.
+        assert_eq!(p.priority(DynIdx::new(1), &dyn_inst(0x0, [None, None])), 0);
+        // The learned LoC state survives the swap.
+        p.set_config(PolicyKind::FocusedLoc.config());
+        let hi_after = p.priority(DynIdx::new(2), &dyn_inst(0x0, [None, None]));
+        assert_eq!(hi_before, hi_after);
     }
 }

@@ -49,19 +49,12 @@ impl CpiStack {
     /// Overall cycles per instruction (0.0 when no instructions committed —
     /// a degenerate stack must not produce NaN).
     pub fn cpi(&self) -> f64 {
-        if self.instructions == 0 {
-            0.0
-        } else {
-            self.cycles as f64 / self.instructions as f64
-        }
+        crate::counter_ratio(self.cycles, self.instructions)
     }
 
     /// Per-instruction contribution of `label`, 0.0 if absent or degenerate.
     pub fn component_cpi(&self, label: &str) -> f64 {
-        match (self.get(label), self.instructions) {
-            (Some(c), n) if n > 0 => c as f64 / n as f64,
-            _ => 0.0,
-        }
+        crate::counter_ratio(self.get(label).unwrap_or(0), self.instructions)
     }
 
     /// Verify the accounting identity: categories sum exactly to the
@@ -91,11 +84,7 @@ impl fmt::Display for CpiStack {
             .max()
             .unwrap_or(0);
         for (label, cycles) in &self.categories {
-            let share = if self.cycles == 0 {
-                0.0
-            } else {
-                100.0 * *cycles as f64 / self.cycles as f64
-            };
+            let share = 100.0 * crate::counter_ratio(*cycles, self.cycles);
             writeln!(
                 f,
                 "  {label:<width$}  {cycles:>12}  {:>8.4}  {share:>5.1}%",

@@ -31,6 +31,7 @@
 
 mod cpistack;
 mod metrics;
+mod ratio;
 mod ring;
 mod servemetrics;
 mod sink;
@@ -38,6 +39,7 @@ mod timer;
 
 pub use cpistack::{CpiStack, ObsError};
 pub use metrics::{Histogram, SimMetrics, DISPATCH_STALL_KINDS, PORT_KINDS, STEER_CAUSE_KINDS};
+pub use ratio::counter_ratio;
 pub use ring::{CycleSample, CycleTraceRing};
 pub use servemetrics::{ServeMetrics, ServeSnapshot, SERVE_FRAME_KINDS, SERVE_LATENCY_BOUND_MS};
 pub use sink::{DispatchStall, MetricsSink, NullSink, RunObserver};

@@ -68,12 +68,7 @@ impl Histogram {
 
     /// Mean observed value, or 0.0 with no samples.
     pub fn mean(&self) -> f64 {
-        let n = self.samples();
-        if n == 0 {
-            0.0
-        } else {
-            self.weighted_sum() as f64 / n as f64
-        }
+        crate::counter_ratio(self.weighted_sum(), self.samples())
     }
 
     /// Iterate `(value, count)` over non-empty buckets.

@@ -1,0 +1,50 @@
+//! The one division every exported counter ratio goes through.
+//!
+//! Observability counters are `u64`s, and most derived quantities are
+//! ratios of two of them (hit rates, CPI, shares, means). Each call
+//! site used to guard its own zero denominator inline; a site that
+//! forgot the guard exported `NaN` straight into JSON, where it either
+//! poisons downstream aggregation or fails to parse (JSON has no NaN).
+//! Routing every ratio through [`counter_ratio`] makes the degenerate
+//! case uniform — an explicit `0.0`, never NaN or infinity — and gives
+//! debug builds a single place to assert the result is finite.
+
+/// `num / den` as `f64`, with an explicit `0.0` when `den` is zero.
+///
+/// The result is always finite: `u64` inputs cannot produce NaN or
+/// infinity once the zero denominator is handled, and a debug assert
+/// pins that invariant where all exported ratios funnel through.
+#[inline]
+pub fn counter_ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        return 0.0;
+    }
+    let r = num as f64 / den as f64;
+    debug_assert!(r.is_finite(), "counter ratio {num}/{den} not finite");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_denominator_is_zero_not_nan() {
+        assert_eq!(counter_ratio(0, 0), 0.0);
+        assert_eq!(counter_ratio(17, 0), 0.0);
+    }
+
+    #[test]
+    fn ordinary_ratios_divide() {
+        assert_eq!(counter_ratio(1, 2), 0.5);
+        assert_eq!(counter_ratio(3, 3), 1.0);
+        assert_eq!(counter_ratio(0, 5), 0.0);
+    }
+
+    #[test]
+    fn extreme_counters_stay_finite() {
+        assert!(counter_ratio(u64::MAX, 1).is_finite());
+        assert!(counter_ratio(u64::MAX, u64::MAX).is_finite());
+        assert!(counter_ratio(1, u64::MAX).is_finite());
+    }
+}

@@ -259,12 +259,7 @@ pub struct ServeSnapshot {
 impl ServeSnapshot {
     /// Cache hit rate in `[0, 1]`, or 0.0 before any lookup.
     pub fn cache_hit_rate(&self) -> f64 {
-        let total = self.cache_hits + self.cache_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.cache_hits as f64 / total as f64
-        }
+        crate::counter_ratio(self.cache_hits, self.cache_hits + self.cache_misses)
     }
 
     /// The `q`-quantile (`0.0 ..= 1.0`) of the latency histogram for
@@ -278,8 +273,13 @@ impl ServeSnapshot {
         }
         let q = q.clamp(0.0, 1.0);
         // Rank of the target sample, 1-based; ceil(q * n) like common
-        // nearest-rank definitions, with rank 0 promoted to 1.
-        let rank = ((q * samples as f64).ceil() as u64).max(1);
+        // nearest-rank definitions, clamped into [1, n]. The epsilon
+        // guards exact-product ranks against f64 representation error:
+        // 0.99 * 100.0 is 99.000000000000014, whose bare ceil (100)
+        // would misrank p99 of 100 samples; and at q = 1.0 the
+        // unclamped rank could exceed n outright, falling off the end
+        // of the histogram and returning None despite having samples.
+        let rank = ((q * samples as f64 - 1e-9).ceil() as u64).clamp(1, samples);
         let mut seen = 0u64;
         for (value, count) in hist.iter() {
             seen += count;
@@ -350,6 +350,39 @@ mod tests {
         assert_eq!(s.latency_quantile_ms(1, 0.0), Some(1));
         assert_eq!(s.latency_quantile_ms(0, 0.5), None, "no samples");
         assert_eq!(s.latency_quantile_ms(99, 0.5), None, "bad kind");
+    }
+
+    #[test]
+    fn quantile_ranks_match_a_hand_computed_histogram() {
+        // One sample at each of 1..=100 ms: the q-quantile under
+        // nearest-rank is exactly ceil(q * 100), so every expectation
+        // below is computable by hand. The naive rank formula fails
+        // two of these: 0.99 * 100.0 rounds up to 99.000000000000014
+        // in f64, whose ceil (100) misreports p99 as 100; 0.7 * 100.0
+        // similarly lands on 70.000000000000014 and misreports p70.
+        let m = ServeMetrics::new();
+        for ms in 1u64..=100 {
+            m.record_latency_ms(3, ms);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.latency_quantile_ms(3, 0.0), Some(1));
+        assert_eq!(s.latency_quantile_ms(3, 0.01), Some(1));
+        assert_eq!(s.latency_quantile_ms(3, 0.5), Some(50));
+        assert_eq!(s.latency_quantile_ms(3, 0.7), Some(70));
+        assert_eq!(s.latency_quantile_ms(3, 0.90), Some(90));
+        assert_eq!(s.latency_quantile_ms(3, 0.99), Some(99));
+        assert_eq!(s.latency_quantile_ms(3, 1.0), Some(100));
+        // Between-rank quantiles round up to the next sample.
+        assert_eq!(s.latency_quantile_ms(3, 0.505), Some(51));
+        // Small sample counts hit the same representation hazard:
+        // 0.7 * 10 is 7.000000000000001, which must rank 7, not 8.
+        let m = ServeMetrics::new();
+        for ms in 1u64..=10 {
+            m.record_latency_ms(4, ms);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.latency_quantile_ms(4, 0.7), Some(7));
+        assert_eq!(s.latency_quantile_ms(4, 1.0), Some(10));
     }
 
     #[test]

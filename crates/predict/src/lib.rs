@@ -182,6 +182,22 @@ impl Prediction {
         }
         self
     }
+
+    /// Demotes the confidence one step (High → Medium → Low; Low
+    /// stays). The bounds themselves are policy-independent — they hold
+    /// for *every* legal schedule — but their expected tightness is
+    /// calibrated against the static ladder; a dynamic policy (the
+    /// adaptive switcher, ineffectuality steering) changes steering
+    /// behaviour mid-run in ways the tightness heuristic never saw, so
+    /// callers serving envelopes for those policies knock the tag down
+    /// a notch.
+    pub fn demoted(mut self) -> Prediction {
+        self.confidence = match self.confidence {
+            Confidence::High => Confidence::Medium,
+            Confidence::Medium | Confidence::Low => Confidence::Low,
+        };
+        self
+    }
 }
 
 /// Counting bound: `count` operations through an aggregate per-cycle
@@ -448,6 +464,21 @@ mod tests {
         assert_eq!(tightened.cycles_lo, p.cycles_lo);
         assert_eq!(tightened.cycles_hi, 10_000);
         assert_eq!(p.with_cycle_budget(None).cycles_hi, p.cycles_hi);
+    }
+
+    #[test]
+    fn demotion_steps_down_and_saturates_at_low() {
+        let trace = Benchmark::Gap.generate(1, 500);
+        let p = predict(&MachineConfig::micro05_baseline(), &trace);
+        assert_eq!(p.confidence, Confidence::High);
+        let d = p.demoted();
+        assert_eq!(d.confidence, Confidence::Medium);
+        assert_eq!(d.demoted().confidence, Confidence::Low);
+        assert_eq!(d.demoted().demoted().confidence, Confidence::Low);
+        // Only the tag moves; the envelope itself is untouched.
+        assert_eq!(d.cycles_lo, p.cycles_lo);
+        assert_eq!(d.cycles_hi, p.cycles_hi);
+        assert_eq!(d.ipc_hi, p.ipc_hi);
     }
 
     #[test]

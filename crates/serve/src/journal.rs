@@ -541,7 +541,7 @@ pub fn replay_journal(path: &Path) -> Result<ReplayState, CcsError> {
                         let record = CheckpointRecord {
                             key: key.clone(),
                             status: status.clone(),
-                            attempts: *attempts as u32,
+                            attempts: u32::try_from(*attempts).unwrap_or(u32::MAX),
                             cycles: *cycles,
                             cpi_bits: *cpi_bits,
                             digest: *digest,

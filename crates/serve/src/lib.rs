@@ -46,8 +46,8 @@ pub use journal::{
     load_journal, replay_journal, Journal, JournalEvent, ReplayState, JOURNAL_VERSION,
 };
 pub use protocol::{
-    Request, Response, ServeError, StatusReply, WireCellRecord, WireCellSpec, MAX_FRAME_LEN,
-    PROTOCOL_VERSION, WIRE_POLICIES,
+    saturating_millis, saturating_nanos, Request, Response, ServeError, StatusReply,
+    WireCellRecord, WireCellSpec, MAX_FRAME_LEN, PROTOCOL_VERSION, WIRE_POLICIES,
 };
 pub use server::{render_metrics, KillSwitch, ServeConfig, Server};
 pub use wire::{frame_bytes, write_frame, FrameReader, Poll, MAGIC};

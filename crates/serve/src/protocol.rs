@@ -149,13 +149,34 @@ impl ServeError {
     }
 }
 
-/// The named policies reachable over the wire, in ladder order.
-pub const WIRE_POLICIES: [PolicyKind; 5] = [
+/// A [`Duration`](std::time::Duration) in whole milliseconds, saturating
+/// at `u64::MAX` instead of silently truncating the `u128`.
+///
+/// `as_millis` returns `u128`; a bare `as u64` cast wraps for durations
+/// past ~585 million years. No sane latency gets there, but a
+/// `Duration::MAX` sentinel (or arithmetic on one) does, and a wrapped
+/// retry hint of 0 ms would turn a "back off forever" signal into a
+/// busy-loop invitation.
+pub fn saturating_millis(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+/// A [`Duration`](std::time::Duration) in whole nanoseconds, saturating
+/// at `u64::MAX` instead of silently truncating the `u128`.
+pub fn saturating_nanos(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The named policies reachable over the wire, in ladder order, with
+/// the two dynamic policies of the adaptive tier appended.
+pub const WIRE_POLICIES: [PolicyKind; 7] = [
     PolicyKind::Dependence,
     PolicyKind::Focused,
     PolicyKind::FocusedLoc,
     PolicyKind::StallOverSteer,
     PolicyKind::Proactive,
+    PolicyKind::Adaptive,
+    PolicyKind::IneffSteer,
 ];
 
 fn parse_benchmark(name: &str) -> Result<Benchmark, ServeError> {
@@ -363,7 +384,7 @@ impl WireCellSpec {
             len: num("len")? as usize,
             layout: field("layout")?,
             policy: field("policy")?,
-            epochs: num("epochs")? as u32,
+            epochs: u32::try_from(num("epochs")?).unwrap_or(u32::MAX),
             run_seed: num("run_seed")?,
             checked: json::bool_field(obj, "checked").ok_or_else(|| ServeError::Malformed {
                 message: "cell missing bool field \"checked\"".into(),
@@ -864,7 +885,7 @@ impl Response {
                     key: json::str_field(payload, "key").ok_or_else(|| missing("key"))?,
                     status: json::str_field(payload, "status")
                         .ok_or_else(|| missing("status"))?,
-                    attempts: num("attempts")? as u32,
+                    attempts: u32::try_from(num("attempts")?).unwrap_or(u32::MAX),
                     cycles: num("cycles")?,
                     cpi_bits: num("cpi_bits")?,
                     digest: num("digest")?,
@@ -1160,6 +1181,44 @@ mod tests {
         let err = Request::decode(&payload).unwrap_err();
         assert!(matches!(err, ServeError::Malformed { .. }), "{err}");
         assert!(err.is_recoverable());
+    }
+
+    #[test]
+    fn duration_casts_saturate_instead_of_truncating() {
+        use std::time::Duration;
+        // A bare `.as_millis() as u64` keeps only the low 64 bits of
+        // the u128: 2^60 seconds is 1000 * 2^60 ms, which truncates to
+        // 2^63 — a wrong-but-plausible number. The saturating helpers
+        // must pin out-of-range durations to u64::MAX instead; a
+        // wrapped Busy retry hint could tell clients to retry far too
+        // soon.
+        let huge = Duration::from_secs(1 << 60);
+        assert_eq!(huge.as_millis() as u64, 1u64 << 63, "premise: bare cast wraps");
+        assert_eq!(saturating_millis(huge), u64::MAX);
+        assert_eq!(saturating_millis(Duration::MAX), u64::MAX);
+        assert_eq!(saturating_nanos(huge), u64::MAX);
+        assert_eq!(saturating_nanos(Duration::MAX), u64::MAX);
+        // In-range durations pass through exactly.
+        assert_eq!(saturating_millis(Duration::from_millis(1500)), 1500);
+        assert_eq!(saturating_nanos(Duration::from_nanos(42)), 42);
+        assert_eq!(saturating_millis(Duration::ZERO), 0);
+    }
+
+    #[test]
+    fn oversized_wire_counts_saturate_to_u32() {
+        // epochs/attempts travel as u64 JSON numbers but live as u32;
+        // a value past u32::MAX must clamp, not silently wrap to its
+        // low 32 bits ((1 << 35) + 9 would otherwise decode as 9).
+        let json = Request::SubmitGrid {
+            id: 7,
+            cells: sample_cells(),
+        }
+        .encode()
+        .replace("\"epochs\":3", &format!("\"epochs\":{}", (1u64 << 35) + 9));
+        match Request::decode(&json).unwrap() {
+            Request::SubmitGrid { cells, .. } => assert_eq!(cells[1].epochs, u32::MAX),
+            other => panic!("wrong decode: {other:?}"),
+        }
     }
 
     #[test]

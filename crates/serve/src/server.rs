@@ -734,7 +734,7 @@ fn handle_frame(shared: &Shared, stream: &mut TcpStream, payload: &str) -> bool 
     };
     shared
         .metrics
-        .record_latency_ms(kind, started.elapsed().as_millis() as u64);
+        .record_latency_ms(kind, crate::saturating_millis(started.elapsed()));
     keep
 }
 
@@ -851,7 +851,7 @@ fn handle_submission(
                 });
             }
             let reply = Response::Busy {
-                retry_after_ms: retry_after_hint.as_millis() as u64,
+                retry_after_ms: crate::saturating_millis(retry_after_hint),
             };
             return write_frame(stream, &reply.encode()).is_ok();
         }
@@ -946,8 +946,14 @@ fn handle_approx(
                 let trace = shared
                     .traces
                     .get(spec.benchmark, spec.sample_seed, spec.len);
-                let p = ccs_predict::predict(&spec.config, &trace)
+                let mut p = ccs_predict::predict(&spec.config, &trace)
                     .with_cycle_budget(spec.options.cycle_budget);
+                // The envelope is sound for any policy, but its
+                // tightness tag is calibrated on the static ladder;
+                // dynamic policies get the tag demoted one step.
+                if spec.policy.is_dynamic() {
+                    p = p.demoted();
+                }
                 shared.metrics.record_approx();
                 if let Some(j) = &shared.journal {
                     j.append(JournalEvent::ApproxServed {

@@ -5,11 +5,12 @@
 //! A campaign is a pure function of its case count: case `i` always maps
 //! to the same trace, layout, policy, forwarding parameters and training
 //! depth, so a failure reported by CI reproduces locally by id. The
-//! enumeration round-robins layouts × the full policy ladder with period
-//! 20, so any campaign of at least 20 cases covers every pair.
+//! enumeration round-robins layouts × the full policy ladder (the five
+//! static rungs plus the two dynamic policies) with period 28, so any
+//! campaign of at least 28 cases covers every pair.
 
 use crate::{diff_results, reference_simulate};
-use ccs_core::{LocMode, PaperPolicy, PolicyKind, PredictorBank};
+use ccs_core::{CellPolicy, LocMode, PolicyKind, PredictorBank};
 use ccs_critpath::analyze;
 use ccs_isa::{
     ArchReg, BranchInfo, ClusterLayout, MachineConfig, OpClass, Pc, StaticInst,
@@ -17,14 +18,19 @@ use ccs_isa::{
 use ccs_trace::{Benchmark, Trace, TraceBuilder};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
-/// Every steering policy of the paper's ladder (the four LADDER rungs
-/// plus the plain dependence baseline).
-pub const ALL_POLICIES: [PolicyKind; 5] = [
+/// Every steering policy under verification: the paper's ladder (the
+/// four LADDER rungs plus the plain dependence baseline) and the two
+/// dynamic policies of the adaptive tier. Dynamic policies are pure
+/// functions of their observed call sequence, so they differentially
+/// verify exactly like the static ones — no oracle-side special-casing.
+pub const ALL_POLICIES: [PolicyKind; 7] = [
     PolicyKind::Dependence,
     PolicyKind::Focused,
     PolicyKind::FocusedLoc,
     PolicyKind::StallOverSteer,
     PolicyKind::Proactive,
+    PolicyKind::Adaptive,
+    PolicyKind::IneffSteer,
 ];
 
 /// Where a differential case's trace comes from.
@@ -116,7 +122,7 @@ pub enum CaseOutcome {
 /// Enumerates the first `cases` cases of the standard campaign.
 ///
 /// Layouts and policies round-robin with coprime strides so the full
-/// 4 × 5 product is covered every 20 cases; trace sources alternate
+/// 4 × 7 product is covered every 28 cases; trace sources alternate
 /// between the twelve workload models and unstructured random traces;
 /// forwarding latency, broadcast bandwidth and training depth cycle
 /// through their interesting values on their own periods.
@@ -138,7 +144,7 @@ pub fn standard_campaign(cases: usize) -> Vec<DiffCase> {
             DiffCase {
                 id,
                 layout: ClusterLayout::ALL[id % 4],
-                policy: ALL_POLICIES[(id / 4) % 5],
+                policy: ALL_POLICIES[(id / 4) % 7],
                 source,
                 forward_latency: [1, 2, 4][(id / 20) % 3],
                 forward_bandwidth: [None, None, Some(1), Some(2)][(id / 5) % 4],
@@ -172,7 +178,7 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, String> {
 
     let mut bank = PredictorBank::new(LocMode::Quantized16, 0xC1A5);
     for _ in 1..case.epochs.max(1) {
-        let mut policy = PaperPolicy::from_config(cfg, bank, name);
+        let mut policy = CellPolicy::build(case.policy, cfg, bank, name);
         let result = ccs_sim::simulate(&config, &trace, &mut policy)
             .map_err(|e| format!("{}: training run failed: {e}", case.describe()))?;
         let analysis = analyze(&trace, &result);
@@ -180,10 +186,10 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, String> {
         bank.train_criticality(&trace, &analysis.e_critical);
     }
 
-    let mut engine_policy = PaperPolicy::from_config(cfg, bank.clone(), name);
+    let mut engine_policy = CellPolicy::build(case.policy, cfg, bank.clone(), name);
     let engine = ccs_sim::simulate(&config, &trace, &mut engine_policy)
         .map_err(|e| format!("{}: engine failed: {e}", case.describe()))?;
-    let mut oracle_policy = PaperPolicy::from_config(cfg, bank, name);
+    let mut oracle_policy = CellPolicy::build(case.policy, cfg, bank, name);
     let oracle = reference_simulate(&config, &trace, &mut oracle_policy)
         .map_err(|e| format!("{}: oracle failed: {e}", case.describe()))?;
 

@@ -10,7 +10,7 @@
 //! as a diff of `results/golden/`.
 //!
 //! Every golden cell runs in *checked* mode, so regenerating or
-//! verifying the corpus also audits ~240 schedules against the
+//! verifying the corpus also audits ~340 schedules against the
 //! structural invariant checker.
 //!
 //! Regenerate after an intended behaviour change with:
@@ -36,8 +36,9 @@ pub const GOLDEN_SEED: u64 = 1;
 /// Training + measurement epochs per cell.
 pub const GOLDEN_EPOCHS: u32 = 2;
 
-/// The steering-policy ladder covered by the corpus (all five).
-pub const GOLDEN_POLICIES: [ccs_core::PolicyKind; 5] = crate::campaign::ALL_POLICIES;
+/// The steering policies covered by the corpus: the five-rung ladder
+/// plus the two dynamic policies of the adaptive tier.
+pub const GOLDEN_POLICIES: [ccs_core::PolicyKind; 7] = crate::campaign::ALL_POLICIES;
 
 /// The committed location of the corpus: `results/golden/` at the
 /// repository root.

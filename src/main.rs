@@ -42,8 +42,8 @@ fn usage() -> &'static str {
      OPTIONS:\n\
        --bench <name>        workload model (default vpr; see `list`)\n\
        --layout <name>       1x8w | 2x4w | 4x2w | 8x1w (default 4x2w)\n\
-       --policy <name>       dependence | focused | loc | stall | proactive\n\
-                             (default stall)\n\
+       --policy <name>       dependence | focused | loc | stall | proactive |\n\
+                             adaptive | ineff-steer (default stall)\n\
        --len <n>             dynamic instructions (default 20000)\n\
        --seed <n>            workload seed (default 1)\n\
        --epochs <n>          train/measure epochs (default 2)\n\
@@ -68,6 +68,8 @@ fn parse_policy(s: &str) -> Option<PolicyKind> {
         "loc" | "l" => Some(PolicyKind::FocusedLoc),
         "stall" | "s" => Some(PolicyKind::StallOverSteer),
         "proactive" | "p" => Some(PolicyKind::Proactive),
+        "adaptive" | "a" => Some(PolicyKind::Adaptive),
+        "ineff-steer" | "ineff" | "i" => Some(PolicyKind::IneffSteer),
         _ => None,
     }
 }
@@ -146,6 +148,8 @@ fn list() {
         ("loc", PolicyKind::FocusedLoc),
         ("stall", PolicyKind::StallOverSteer),
         ("proactive", PolicyKind::Proactive),
+        ("adaptive", PolicyKind::Adaptive),
+        ("ineff-steer", PolicyKind::IneffSteer),
     ] {
         println!("  {flag:<12} {}", kind.name());
     }

@@ -1,0 +1,117 @@
+//! The adaptive tier's acceptance gate: both dynamic policies run
+//! clean (checked mode) across the 12-benchmark smoke grid, reproduce
+//! bit-identically across reruns and thread counts, and are provably
+//! non-vacuous (the switcher actually switches, the ineffectuality
+//! predictor actually changes placements).
+
+use clustercrit::core::{
+    run_grid, AdaptivePolicy, GridRequest, LocMode, PolicyKind, PredictorBank, RunOptions,
+};
+use clustercrit::critpath::analyze;
+use clustercrit::isa::{ClusterLayout, MachineConfig};
+use clustercrit::trace::Benchmark;
+
+fn smoke_specs() -> Vec<clustercrit::core::CellSpec> {
+    GridRequest::new(MachineConfig::micro05_baseline(), 2_000)
+        .benchmarks(Benchmark::ALL)
+        .layouts([ClusterLayout::C4x2w])
+        .policies([PolicyKind::Adaptive, PolicyKind::IneffSteer])
+        .options(RunOptions::default().with_epochs(2).with_checked(true))
+        .build()
+}
+
+/// Checked mode turns any structural invariant violation into a cell
+/// error, so `expect_outcome` on every cell *is* the zero-violations
+/// assertion. The same grid rerun, and rerun with 8 threads, must be
+/// bit-identical — the adaptive tier adds no hidden nondeterminism.
+#[test]
+fn dynamic_policies_run_checked_and_bit_identical_across_threads() {
+    let specs = smoke_specs();
+    assert_eq!(specs.len(), Benchmark::ALL.len() * 2);
+
+    let serial = run_grid(&specs, 1);
+    let rerun = run_grid(&specs, 1);
+    let parallel = run_grid(&specs, 8);
+
+    for ((a, b), c) in serial.iter().zip(&rerun).zip(&parallel) {
+        let ctx = format!(
+            "{} {}",
+            a.spec.benchmark.name(),
+            a.spec.policy.name()
+        );
+        let ao = a.expect_outcome();
+        for (label, o) in [("rerun", b.expect_outcome()), ("8-thread", c.expect_outcome())] {
+            assert_eq!(ao.result.cycles, o.result.cycles, "{ctx}: {label} cycles");
+            assert_eq!(ao.result.records, o.result.records, "{ctx}: {label} records");
+            assert_eq!(
+                ao.analysis.breakdown, o.analysis.breakdown,
+                "{ctx}: {label} breakdown"
+            );
+        }
+        // Checked mode also verified the breakdown conserves cycles,
+        // but pin it here so this test stands alone.
+        assert_eq!(
+            ao.analysis.breakdown.total(),
+            ao.result.cycles,
+            "{ctx}: breakdown must conserve cycles"
+        );
+    }
+}
+
+/// The switcher must not be a renamed FocusedLoc: on at least one
+/// smoke-grid benchmark it has to take a rung switch, and switching
+/// has to show up as a schedule that differs from the static rung it
+/// started on. (Per-benchmark it may legitimately never switch — calm
+/// traces are supposed to stay put; the claim is existential across
+/// the grid, which keeps it robust to workload-model tuning.)
+#[test]
+fn the_switcher_switches_somewhere_on_the_smoke_grid() {
+    let config = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C8x1w);
+    let mut switched = 0u64;
+    for bench in Benchmark::ALL {
+        let trace = bench.generate(1, 2_000);
+        // Two-phase methodology by hand so the switch counter is
+        // observable: train one epoch, then measure with the switcher.
+        let mut bank = PredictorBank::new(LocMode::Quantized16, 0);
+        let mut train = AdaptivePolicy::new(bank);
+        let result = clustercrit::sim::simulate(&config, &trace, &mut train)
+            .expect("training epoch must not deadlock");
+        bank = train.into_bank();
+        bank.train_criticality(&trace, &analyze(&trace, &result).e_critical);
+
+        let mut policy = AdaptivePolicy::new(bank);
+        clustercrit::sim::simulate(&config, &trace, &mut policy)
+            .expect("measured epoch must not deadlock");
+        switched += policy.switches();
+    }
+    assert!(
+        switched > 0,
+        "no benchmark ever triggered a rung switch — the decision rule is vacuous"
+    );
+}
+
+/// Ineffectuality-aware steering must actually move instructions: on
+/// at least one clustered smoke cell its schedule differs from its
+/// inner focused rung's.
+#[test]
+fn ineffectuality_steering_changes_placements_somewhere() {
+    let specs = |policy| {
+        GridRequest::new(MachineConfig::micro05_baseline(), 2_000)
+            .benchmarks(Benchmark::ALL)
+            .layouts([ClusterLayout::C4x2w])
+            .policies([policy])
+            .options(RunOptions::default().with_epochs(2))
+            .build()
+    };
+    let ineff = run_grid(&specs(PolicyKind::IneffSteer), 4);
+    let focused = run_grid(&specs(PolicyKind::Focused), 4);
+    let diverged = ineff
+        .iter()
+        .zip(&focused)
+        .filter(|(i, f)| i.expect_outcome().result.records != f.expect_outcome().result.records)
+        .count();
+    assert!(
+        diverged > 0,
+        "ineff-steer reproduced focused steering on every smoke cell — the predictor never fired"
+    );
+}

@@ -15,9 +15,12 @@ use std::path::PathBuf;
 
 const LEN: usize = 1_500;
 
-fn tmp_journal() -> PathBuf {
+fn tmp_journal(tag: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
-    p.push(format!("ccs-serve-approx-journal-{}", std::process::id()));
+    p.push(format!(
+        "ccs-serve-approx-journal-{tag}-{}",
+        std::process::id()
+    ));
     p
 }
 
@@ -37,7 +40,7 @@ fn start_server(journal: PathBuf) -> (std::net::SocketAddr, std::thread::JoinHan
 
 #[test]
 fn approx_answers_envelope_then_escalates_to_exact() {
-    let journal_path = tmp_journal();
+    let journal_path = tmp_journal("ladder");
     let (addr, handle) = start_server(journal_path.clone());
     let mut client = Client::connect(&addr.to_string()).expect("connect");
 
@@ -140,4 +143,73 @@ fn approx_answers_envelope_then_escalates_to_exact() {
         matches!(events.last(), Some(JournalEvent::Drained { .. })),
         "journal ends with the drain"
     );
+}
+
+/// The dynamic policies are first-class wire citizens: an `approx`
+/// submission for an adaptive cell answers with the envelope demoted
+/// one confidence grade (the tightness tag is calibrated on the static
+/// ladder), the escalated exact run lands inside that envelope, and a
+/// resubmission is a bit-identical cache hit — for both dynamic kinds.
+#[test]
+fn dynamic_policies_ride_the_wire_with_demoted_confidence() {
+    let journal_path = tmp_journal("dynamic");
+    let (addr, handle) = start_server(journal_path.clone());
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+
+    let layout = ClusterLayout::C4x2w;
+    let cell = WireCellSpec::new(Benchmark::Vpr, 1, LEN, layout, PolicyKind::Adaptive)
+        .with_epochs(2);
+
+    // The daemon predicts from the same trace and machine the wire spec
+    // names, so the quoted grade must be exactly the local prediction's,
+    // demoted one step.
+    let machine = ccs_isa::MachineConfig::micro05_baseline().with_layout(layout);
+    let trace = ccs_trace::TraceStore::global().get(Benchmark::Vpr, 1, LEN);
+    let local = ccs_predict::predict(&machine, &trace);
+    let expected = local.demoted();
+
+    let answer = client.submit_cell_approx(&cell).expect("approx submit");
+    let (lo, hi, confidence) = match answer {
+        ApproxAnswer::Envelope {
+            cycles_lo,
+            cycles_hi,
+            confidence,
+            ..
+        } => (cycles_lo, cycles_hi, confidence),
+        ApproxAnswer::Exact(rec) => panic!("cold cell answered exactly: {rec:?}"),
+    };
+    assert_eq!(
+        confidence,
+        expected.confidence.name(),
+        "wire confidence must be the locally predicted grade, demoted"
+    );
+    assert_eq!((lo, hi), (expected.cycles_lo, expected.cycles_hi));
+
+    // Escalate both dynamic kinds to exact evaluations.
+    let exact = client.submit_cell(&cell).expect("exact adaptive submit");
+    assert!(exact.is_ok(), "adaptive cell must simulate cleanly");
+    assert!(
+        lo <= exact.cycles && exact.cycles <= hi,
+        "exact {} cycles must land inside the quoted envelope [{lo}, {hi}]",
+        exact.cycles
+    );
+    let ineff = WireCellSpec::new(Benchmark::Vpr, 1, LEN, layout, PolicyKind::IneffSteer)
+        .with_epochs(2);
+    let ineff_exact = client.submit_cell(&ineff).expect("exact ineff submit");
+    assert!(ineff_exact.is_ok(), "ineff-steer cell must simulate cleanly");
+    assert_ne!(
+        exact.key, ineff_exact.key,
+        "the two dynamic kinds must key distinct cells"
+    );
+
+    // Resubmissions are cache hits, bit for bit.
+    let again = client.submit_cell(&cell).expect("adaptive resubmit");
+    assert!(again.cached, "served from the result cache");
+    assert_eq!(again.cycles, exact.cycles, "bit-identical cycles");
+    assert_eq!(again.cpi_bits, exact.cpi_bits, "bit-identical CPI");
+    assert_eq!(again.digest, exact.digest, "bit-identical schedule digest");
+
+    client.drain().expect("drain");
+    handle.join().expect("daemon exits cleanly after drain");
+    std::fs::remove_file(&journal_path).ok();
 }
