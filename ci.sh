@@ -178,6 +178,22 @@ cargo test --release --test adaptive_policies -q
 CCS_LEN=2000 target/release/adaptive_policy --threads auto >/dev/null
 echo "    dynamic policies clean, deterministic, and non-vacuous"
 
+# Scenario smoke: the seeded manifest fuzzer at a bounded budget
+# (random valid scenarios -> manifest round-trip + trace validation +
+# the full engine-vs-oracle differential pipeline; deterministic per
+# case id, full 120-case run in the plain `cargo test` above), the
+# gallery tests (all 16 committed manifests parse, the 12 benchmark
+# equivalents generate bit-identical traces), and one gallery manifest
+# driven through the shipped campaign binary end to end.
+echo "==> scenario smoke (CCS_SCENARIO_CASES=${CCS_SCENARIO_CASES:-40})"
+CCS_SCENARIO_CASES="${CCS_SCENARIO_CASES:-40}" \
+    cargo test --release --test scenario_fuzz -q
+cargo test --release -p ccs-scenario -q >/dev/null
+CCS_LEN=1200 CCS_EPOCHS=1 CCS_SAMPLES=1 CCS_MANIFEST="$(mktemp -u)" \
+    target/release/grid_campaign \
+    --scenario examples/scenarios/phase_shift.toml >/dev/null
+echo "    fuzzer agreed, gallery pinned, campaign ran a manifest cell grid"
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

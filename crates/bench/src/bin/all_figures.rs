@@ -83,6 +83,9 @@ fn main() {
         figures::ablate_proactive(&opts).to_string()
     });
     show("ablate_window", &|| figures::ablate_window(&opts).to_string());
+    show("scenario_gallery", &|| {
+        figures::scenario_exhibit(&opts).to_string()
+    });
     timers.add("simulate+analysis", figures_start.elapsed());
 
     // With --metrics, run one metered reference grid (the Figure 4 core:

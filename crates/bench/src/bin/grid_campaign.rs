@@ -22,6 +22,14 @@
 //! that mode (it caches and journals server-side), so the manifest is
 //! not written.
 //!
+//! With `--scenario FILE` (or `CCS_SCENARIO`) the campaign runs one
+//! `ccs-scenario` manifest instead of the twelve benchmarks: the file
+//! is parsed, validated, and registered content-addressed, and the same
+//! layout × policy × seed sweep runs over the scenario workload. Works
+//! in-process, against `--server`, and sharded across `--servers` (the
+//! manifest travels in the wire cells, so remote daemons re-register
+//! the identical source).
+//!
 //! With `--servers A,B,C` (or `CCS_SERVERS`) the grid is *sharded*:
 //! each cell routes to the daemon owning its key on a consistent-hash
 //! ring, and cells a shard fails to answer ride the ring to the next
@@ -30,14 +38,26 @@
 //! line per answered cell, sorted by key, so scripts can diff a sharded
 //! campaign's digests against a local or single-daemon run.
 
-use ccs_bench::{cpi_stack_report, server_target, servers_target, HarnessOptions, TextTable};
+use ccs_bench::{
+    cpi_stack_report, scenario_target, server_target, servers_target, HarnessOptions, TextTable,
+};
 use ccs_client::{Client, ClusterClient};
 use ccs_core::checkpoint::{run_campaign, CampaignOptions, CheckpointRecord};
-use ccs_core::{CellSpec, PolicyKind, ShardMap};
+use ccs_core::{fetch_cell_trace, CellSpec, PolicyKind, ShardMap};
 use ccs_isa::{ClusterLayout, MachineConfig};
 use ccs_obs::StageTimers;
 use ccs_serve::WireCellSpec;
 use ccs_trace::{Benchmark, TraceStore};
+
+/// The workload column of the campaign tables: the scenario's
+/// registered name for scenario cells, the benchmark for the rest.
+fn workload_col(spec: &CellSpec) -> String {
+    if spec.scenario.is_some() {
+        spec.workload_label()
+    } else {
+        format!("{:?}", spec.benchmark)
+    }
+}
 
 /// Submits the specs to a serve daemon and renders the same table the
 /// in-process path prints. Exit codes mirror the local campaign.
@@ -86,7 +106,7 @@ fn run_against_server(server: &str, specs: &[CellSpec]) -> i32 {
             None => ("UNFINISHED".to_string(), "-".to_string(), String::new()),
         };
         table.row(vec![
-            format!("{:?}", spec.benchmark),
+            workload_col(spec),
             format!("{:?}", spec.config.layout),
             format!("{:?}", spec.policy),
             spec.sample_seed.to_string(),
@@ -156,7 +176,7 @@ fn run_against_cluster(servers: &[String], specs: &[CellSpec], manifest: Option<
             None => ("UNFINISHED".to_string(), String::new()),
         };
         table.row(vec![
-            format!("{:?}", spec.benchmark),
+            workload_col(spec),
             format!("{:?}", spec.config.layout),
             format!("{:?}", spec.policy),
             spec.sample_seed.to_string(),
@@ -201,24 +221,68 @@ fn main() {
     let base = MachineConfig::micro05_baseline();
     let run_opts = opts.run_options();
     let seeds = opts.sample_seeds();
+
+    // With --scenario FILE (or CCS_SCENARIO), the campaign sweeps the
+    // same layout × policy × seed axes over one registered scenario
+    // workload instead of the twelve benchmarks.
+    let scenario = scenario_target().map(|path| {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("grid_campaign: scenario {path}: {e}");
+                std::process::exit(3);
+            }
+        };
+        match ccs_scenario::register_manifest(&text) {
+            Ok((scenario, id)) => {
+                println!("scenario workload: {} ({id})", scenario.name);
+                id
+            }
+            Err(e) => {
+                eprintln!("grid_campaign: scenario {path}: {e}");
+                std::process::exit(3);
+            }
+        }
+    });
+
     let mut specs = Vec::new();
-    for bench in Benchmark::ALL {
+    if let Some(id) = scenario {
         for layout in ClusterLayout::CLUSTERED {
             for policy in PolicyKind::LADDER {
-                // Like the paper's Figure 14, the proactive bar exists
-                // only on the 8-cluster machine.
                 if policy == PolicyKind::Proactive && layout != ClusterLayout::C8x1w {
                     continue;
                 }
                 for &seed in &seeds {
-                    specs.push(CellSpec::new(
+                    specs.push(CellSpec::for_scenario(
                         base.with_layout(layout),
-                        bench,
+                        id,
                         seed,
                         opts.len,
                         policy,
                         run_opts,
                     ));
+                }
+            }
+        }
+    } else {
+        for bench in Benchmark::ALL {
+            for layout in ClusterLayout::CLUSTERED {
+                for policy in PolicyKind::LADDER {
+                    // Like the paper's Figure 14, the proactive bar exists
+                    // only on the 8-cluster machine.
+                    if policy == PolicyKind::Proactive && layout != ClusterLayout::C8x1w {
+                        continue;
+                    }
+                    for &seed in &seeds {
+                        specs.push(CellSpec::new(
+                            base.with_layout(layout),
+                            bench,
+                            seed,
+                            opts.len,
+                            policy,
+                            run_opts,
+                        ));
+                    }
                 }
             }
         }
@@ -243,11 +307,12 @@ fn main() {
         }
     );
     // Warm the shared trace cache so trace generation is charged to its
-    // own stage rather than the first cells to touch each benchmark.
+    // own stage rather than the first cells to touch each workload.
     timers.time("trace-gen", || {
-        for bench in Benchmark::ALL {
-            for &seed in &seeds {
-                TraceStore::global().get(bench, seed, opts.len);
+        let mut warmed = std::collections::HashSet::new();
+        for spec in &specs {
+            if warmed.insert((spec.scenario, spec.benchmark, spec.sample_seed, spec.len)) {
+                fetch_cell_trace(TraceStore::global(), spec);
             }
         }
     });
@@ -277,7 +342,7 @@ fn main() {
             None => ("UNFINISHED".to_string(), "-".to_string(), String::new()),
         };
         table.row(vec![
-            format!("{:?}", spec.benchmark),
+            workload_col(spec),
             format!("{:?}", spec.config.layout),
             format!("{:?}", spec.policy),
             spec.sample_seed.to_string(),

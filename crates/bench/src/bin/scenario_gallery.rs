@@ -1,0 +1,12 @@
+//! Regenerates the scenario-gallery exhibit (every committed manifest
+//! under the static steering ladder).
+use ccs_bench::HarnessOptions;
+
+fn main() {
+    let fig = ccs_bench::figures::scenario_exhibit(&HarnessOptions::from_env_and_args());
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", fig.to_csv());
+    } else {
+        println!("{fig}");
+    }
+}

@@ -14,6 +14,7 @@ mod fig5;
 mod fig6;
 mod fig8;
 mod memory;
+mod scenarios;
 mod sections;
 mod slackfig;
 mod tab1;
@@ -35,6 +36,7 @@ pub use fig5::{fig5, Fig5};
 pub use fig6::{fig6, Fig6};
 pub use fig8::{fig8, Fig8};
 pub use memory::{finite_l2_check, MemoryVerification, MemoryVerificationRow};
+pub use scenarios::{scenario_exhibit, ScenarioBar, ScenarioExhibit, SCENARIO_POLICIES};
 pub use sections::{sec2_global_comm, sec4_listsched, sec6_consumers, Sec2, Sec4, Sec6};
 pub use slackfig::{slack_distribution, SlackDistribution, SlackRow};
 pub use tab1::{tab1, Tab1};

@@ -1,0 +1,212 @@
+//! The scenario-gallery exhibit: every committed `examples/scenarios/`
+//! manifest evaluated on each clustered layout under the static steering
+//! ladder, with the hindsight-best static policy called out per cell.
+//!
+//! The paper's figures sweep twelve fixed benchmark models; the
+//! scenario DSL makes workloads *data*, and this exhibit answers the
+//! natural question for each gallery entry: which static rung wins on
+//! this dataflow shape, and by how much? Because the twelve
+//! benchmark-equivalent manifests generate bit-identical traces, their
+//! rows double as a cross-check against the benchmark figures; the four
+//! showcase scenarios (phase shifting, SMT interleaves, the ILP ladder)
+//! cover shapes the fixed models cannot express.
+
+use super::csv_num;
+use crate::{HarnessOptions, TextTable};
+use ccs_core::{run_grid, CellSpec, PolicyKind};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_scenario::gallery;
+use std::fmt;
+
+/// The static rungs the gallery is swept over — the ladder without the
+/// proactive rung, which the paper applies only to the 8-cluster
+/// machine and which would leave holes in a uniform table.
+pub const SCENARIO_POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Dependence,
+    PolicyKind::Focused,
+    PolicyKind::FocusedLoc,
+    PolicyKind::StallOverSteer,
+];
+
+/// One bar: a scenario × layout × policy cell's measured CPI.
+#[derive(Debug, Clone)]
+pub struct ScenarioBar {
+    /// The gallery scenario's name.
+    pub name: &'static str,
+    /// The machine layout.
+    pub layout: ClusterLayout,
+    /// The steering policy.
+    pub policy: PolicyKind,
+    /// Measured CPI of the cell.
+    pub cpi: f64,
+}
+
+/// The scenario-gallery comparison data.
+#[derive(Debug, Clone)]
+pub struct ScenarioExhibit {
+    /// All bars, grouped by gallery order, layout, then
+    /// [`SCENARIO_POLICIES`] order.
+    pub bars: Vec<ScenarioBar>,
+}
+
+impl ScenarioExhibit {
+    /// The CPI of one cell.
+    pub fn cell(&self, name: &str, layout: ClusterLayout, policy: PolicyKind) -> f64 {
+        self.bars
+            .iter()
+            .find(|b| b.name == name && b.layout == layout && b.policy == policy)
+            .map(|b| b.cpi)
+            .unwrap_or(f64::NAN)
+    }
+
+    /// The best (lowest-CPI) static rung for one scenario × layout.
+    pub fn best(&self, name: &str, layout: ClusterLayout) -> (PolicyKind, f64) {
+        SCENARIO_POLICIES
+            .into_iter()
+            .map(|p| (p, self.cell(name, layout, p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("static policy pool is non-empty")
+    }
+
+    /// Renders the bars as CSV (`scenario,layout,policy,cpi`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("scenario,layout,policy,cpi\n");
+        for b in &self.bars {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                b.name,
+                b.layout,
+                b.policy.name(),
+                csv_num(b.cpi)
+            ));
+        }
+        out
+    }
+}
+
+/// Computes the exhibit on the parallel grid executor: every gallery
+/// manifest is registered (content-addressed, so re-running is free)
+/// and swept over the clustered layouts under [`SCENARIO_POLICIES`].
+pub fn scenario_exhibit(opts: &HarnessOptions) -> ScenarioExhibit {
+    let base = MachineConfig::micro05_baseline();
+    let run_opts = opts.run_options();
+    let mut specs = Vec::new();
+    for entry in gallery::GALLERY {
+        let (_, id) = ccs_scenario::register_manifest(entry.text)
+            .unwrap_or_else(|e| panic!("{}: committed gallery manifest rejected: {e}", entry.name));
+        for layout in ClusterLayout::CLUSTERED {
+            for policy in SCENARIO_POLICIES {
+                specs.push(CellSpec::for_scenario(
+                    base.with_layout(layout),
+                    id,
+                    opts.seed,
+                    opts.len,
+                    policy,
+                    run_opts,
+                ));
+            }
+        }
+    }
+    let mut results = run_grid(&specs, opts.effective_threads()).into_iter();
+    let mut bars = Vec::new();
+    for entry in gallery::GALLERY {
+        for layout in ClusterLayout::CLUSTERED {
+            for policy in SCENARIO_POLICIES {
+                let cell = results.next().expect("scenario exhibit cell");
+                bars.push(ScenarioBar {
+                    name: entry.name,
+                    layout,
+                    policy,
+                    cpi: cell.cpi(),
+                });
+            }
+        }
+    }
+    ScenarioExhibit { bars }
+}
+
+impl fmt::Display for ScenarioExhibit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Scenario gallery under the static steering ladder (measured CPI;\n\
+             d/f/l/s = dependence, focused, focused+LoC, stall-over-steer;\n\
+             best = hindsight-best static rung per cell)\n"
+        )?;
+        let mut t = TextTable::new(vec![
+            "scenario".into(),
+            "layout".into(),
+            "d".into(),
+            "f".into(),
+            "l".into(),
+            "s".into(),
+            "best".into(),
+        ]);
+        for entry in gallery::GALLERY {
+            for layout in ClusterLayout::CLUSTERED {
+                let (best_kind, best) = self.best(entry.name, layout);
+                let mut row = vec![entry.name.to_string(), layout.to_string()];
+                for policy in SCENARIO_POLICIES {
+                    row.push(format!("{:.3}", self.cell(entry.name, layout, policy)));
+                }
+                row.push(format!("{best:.3}{}", best_kind.bar_label()));
+                t.row(row);
+            }
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "\nThe first twelve scenarios are the benchmark-equivalent manifests\n\
+             (bit-identical traces, pinned by test); the last four exercise\n\
+             shapes the fixed models cannot express:"
+        )?;
+        for entry in &gallery::GALLERY[12..] {
+            let first_line = gallery::intent(entry.name).lines().next().unwrap_or("");
+            writeln!(f, "  {:>14}: {first_line}", entry.name)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhibit_covers_the_gallery_and_matches_benchmark_cells() {
+        let opts = HarnessOptions::smoke();
+        let e = scenario_exhibit(&opts);
+        assert_eq!(
+            e.bars.len(),
+            gallery::GALLERY.len() * ClusterLayout::CLUSTERED.len() * SCENARIO_POLICIES.len()
+        );
+        for b in &e.bars {
+            assert!(
+                b.cpi.is_finite() && b.cpi > 0.0,
+                "{} {} {}: degenerate CPI {}",
+                b.name,
+                b.layout,
+                b.policy.name(),
+                b.cpi
+            );
+        }
+        // A benchmark-equivalent scenario cell must measure exactly what
+        // the benchmark cell measures — same trace, same machine, same
+        // policy, so the same bits.
+        let bench_spec = CellSpec::new(
+            MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w),
+            ccs_trace::Benchmark::Gzip,
+            opts.seed,
+            opts.len,
+            PolicyKind::Focused,
+            opts.run_options(),
+        );
+        let direct = bench_spec.run().cpi();
+        let via = e.cell("gzip", ClusterLayout::C4x2w, PolicyKind::Focused);
+        assert_eq!(
+            direct.to_bits(),
+            via.to_bits(),
+            "scenario-subsumption must hold through the exhibit"
+        );
+    }
+}

@@ -219,6 +219,25 @@ pub fn server_target() -> Option<String> {
     std::env::var("CCS_SERVER").ok().filter(|s| !s.is_empty())
 }
 
+/// The scenario manifest the campaign should run instead of the twelve
+/// benchmarks: `--scenario FILE` / `--scenario=FILE` on the command
+/// line, else the `CCS_SCENARIO` environment variable, else `None`
+/// (benchmark grid). The file holds a `ccs-scenario` manifest; the
+/// campaign registers it and sweeps the same layout × policy × seed
+/// axes over the scenario workload.
+pub fn scenario_target() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(v) = arg.strip_prefix("--scenario=") {
+            return Some(v.to_string());
+        }
+        if arg == "--scenario" {
+            return args.next();
+        }
+    }
+    std::env::var("CCS_SCENARIO").ok().filter(|s| !s.is_empty())
+}
+
 /// The shard addresses for a multi-daemon campaign: `--servers a,b,c` /
 /// `--servers=a,b,c` on the command line, else the comma-separated
 /// `CCS_SERVERS` environment variable, else `None`. Takes precedence

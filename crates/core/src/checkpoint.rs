@@ -135,8 +135,17 @@ impl Fingerprint {
 /// be resumed with metrics toggled and still skip its finished cells.
 fn spec_fingerprint(spec: &CellSpec) -> u64 {
     let mut fp = Fingerprint::new();
-    // Workload axes.
-    fp.str(spec.benchmark.name());
+    // Workload axes. A scenario cell hashes the content-addressed
+    // source fingerprint instead of the benchmark name; the `some`
+    // type tag keeps it from ever aliasing a benchmark cell (old
+    // benchmark fingerprints are unchanged, so schema 2 holds).
+    match spec.scenario {
+        None => fp.str(spec.benchmark.name()),
+        Some(id) => {
+            fp.some();
+            fp.u64(id.raw());
+        }
+    }
     fp.u64(spec.sample_seed);
     fp.u64(spec.len as u64);
     // Machine configuration.
@@ -256,9 +265,23 @@ fn fingerprint_policy_config(fp: &mut Fingerprint, pc: &crate::policy::PolicyCon
 /// cache. Re-exported as `ccs_core::cell_key`.
 pub fn cell_key(spec: &CellSpec) -> String {
     let fingerprint = spec_fingerprint(spec);
+    let workload = match spec.scenario {
+        None => spec.benchmark.name().to_string(),
+        // Prefer the registered scenario name (already restricted to
+        // `[a-z0-9_-]`, so it is key-safe); fall back to the
+        // content-addressed fingerprint when this process never
+        // registered the source. Either way the trailing spec
+        // fingerprint carries the scenario identity, so the two
+        // renderings of one cell cannot collide with *different* cells.
+        Some(id) => match ccs_trace::SourceRegistry::global().name(id) {
+            Some(name) if name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-') => {
+                format!("scn-{name}")
+            }
+            _ => format!("scn-{id}"),
+        },
+    };
     format!(
-        "{}/s{}/n{}/{}/{:?}/{fingerprint:016x}",
-        spec.benchmark.name(),
+        "{workload}/s{}/n{}/{}/{:?}/{fingerprint:016x}",
         spec.sample_seed,
         spec.len,
         spec.config.layout,
@@ -928,6 +951,80 @@ mod tests {
             cell_key(&b),
             "forward_bandwidth None vs Some(0) must key distinctly"
         );
+    }
+
+    #[test]
+    fn scenario_cells_never_collide_with_benchmark_cells() {
+        // A scenario cell whose generator *is* vpr, at identical
+        // (seed, len, layout, policy, options), must still key apart
+        // from the plain vpr benchmark cell: the fingerprint type-tags
+        // the workload axis (`some`+u64 vs str), so equal parameters
+        // cannot alias across the two workload kinds.
+        let scenario = ccs_scenario::Scenario::benchmark_equivalent(Benchmark::Vpr);
+        let id = scenario.register().expect("benchmark equivalent is valid");
+        let base = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+        let opts = RunOptions::default();
+        let bench = CellSpec::new(base, Benchmark::Vpr, 1, 1_000, PolicyKind::Focused, opts);
+        let scn = CellSpec::for_scenario(base, id, 1, 1_000, PolicyKind::Focused, opts);
+        assert_ne!(spec_fingerprint(&bench), spec_fingerprint(&scn));
+        assert_ne!(cell_key(&bench), cell_key(&scn));
+        assert!(
+            cell_key(&scn).starts_with("scn-vpr/"),
+            "scenario keys carry the scn- prefix: {}",
+            cell_key(&scn)
+        );
+    }
+
+    #[test]
+    fn manifest_field_reorder_does_not_change_cell_key() {
+        // The cell key hashes the scenario's content-addressed id,
+        // which fingerprints the *canonical* manifest rendering — so a
+        // hand-edited manifest with reordered fields maps to the same
+        // cell (cache hit, checkpoint skip, same shard) as the original.
+        let canonical = ccs_scenario::Scenario::benchmark_equivalent(Benchmark::Gzip).to_manifest();
+        let reordered = canonical.replace(
+            "id = \"chain\"\nkind = \"chain\"\npc = 0x6000\nlen = 6\n",
+            "len = 6\npc = 0x6000\nkind = \"chain\"\nid = \"chain\"\n",
+        );
+        assert_ne!(canonical, reordered, "test must actually reorder fields");
+        let (_, id_a) = ccs_scenario::register_manifest(&canonical).unwrap();
+        let (_, id_b) = ccs_scenario::register_manifest(&reordered).unwrap();
+        assert_eq!(id_a, id_b, "canonicalization makes registration order-blind");
+        let base = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+        let opts = RunOptions::default();
+        let a = CellSpec::for_scenario(base, id_a, 3, 800, PolicyKind::Dependence, opts);
+        let b = CellSpec::for_scenario(base, id_b, 3, 800, PolicyKind::Dependence, opts);
+        assert_eq!(cell_key(&a), cell_key(&b));
+    }
+
+    #[test]
+    fn unregistered_scenario_keys_fall_back_to_fingerprint() {
+        // Key rendering must not require the registry: a coordinator
+        // can compute keys for cells whose manifests only workers hold.
+        let base = MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w);
+        let spec = CellSpec::for_scenario(
+            base,
+            // An id no process registered: fabricate via a manifest
+            // that is never parsed — register under a unique name.
+            ccs_scenario::Scenario::new("never-again")
+                .with_mix(
+                    0xFEED,
+                    &[(ccs_scenario::EmitterKind::Chain { len: 9 }, 1)],
+                )
+                .register()
+                .unwrap(),
+            1,
+            100,
+            PolicyKind::Focused,
+            RunOptions::default(),
+        );
+        // Registered in this process, so the name renders…
+        assert!(cell_key(&spec).starts_with("scn-never-again/"));
+        // …and the registered-vs-unregistered renderings share the
+        // trailing fingerprint (identity lives in the hash, not the
+        // label).
+        let fp = format!("{:016x}", spec_fingerprint(&spec));
+        assert!(cell_key(&spec).ends_with(&fp));
     }
 
     #[test]

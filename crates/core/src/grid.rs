@@ -24,7 +24,7 @@ use crate::error::CcsError;
 use crate::experiment::{run_custom_cancellable, CellOutcome, RunOptions};
 use crate::policy::{PolicyConfig, PolicyKind};
 use ccs_isa::{ClusterLayout, MachineConfig};
-use ccs_trace::{Benchmark, TraceStore};
+use ccs_trace::{Benchmark, SourceId, SourceRegistry, Trace, TraceStore};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -52,6 +52,13 @@ pub struct CellSpec {
     pub policy_config: Option<PolicyConfig>,
     /// The two-phase evaluation options.
     pub options: RunOptions,
+    /// When set, the workload is a registered trace source (a scenario
+    /// manifest) instead of `benchmark`: the trace comes from the
+    /// [`SourceRegistry`](ccs_trace::SourceRegistry) under this
+    /// content-addressed id, and `benchmark` is a don't-care
+    /// placeholder. Cache keys, checkpoints, and shard routing all key
+    /// on the id's fingerprint.
+    pub scenario: Option<SourceId>,
 }
 
 impl CellSpec {
@@ -72,6 +79,36 @@ impl CellSpec {
             policy,
             policy_config: None,
             options,
+            scenario: None,
+        }
+    }
+
+    /// A cell whose workload is a registered scenario trace source. The
+    /// `benchmark` field is set to a fixed placeholder (`Bzip2`) that
+    /// downstream code must ignore when `scenario` is `Some`.
+    pub fn for_scenario(
+        config: MachineConfig,
+        scenario: SourceId,
+        sample_seed: u64,
+        len: usize,
+        policy: PolicyKind,
+        options: RunOptions,
+    ) -> Self {
+        let mut spec = CellSpec::new(config, Benchmark::Bzip2, sample_seed, len, policy, options);
+        spec.scenario = Some(scenario);
+        spec
+    }
+
+    /// Human-readable workload label: the scenario's registered name
+    /// (or fingerprint, if this process never registered it) for
+    /// scenario cells, the benchmark name otherwise.
+    pub fn workload_label(&self) -> String {
+        match self.scenario {
+            Some(id) => SourceRegistry::global()
+                .name(id)
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| format!("scenario-{id}")),
+            None => self.benchmark.name().to_string(),
         }
     }
 
@@ -89,6 +126,23 @@ impl CellSpec {
     }
 }
 
+/// Fetches (memoized) the trace a cell simulates: scenario cells route
+/// through the [`SourceRegistry`](ccs_trace::SourceRegistry) into
+/// `store`'s custom-key space, benchmark cells through the store's
+/// benchmark keys.
+///
+/// # Panics
+///
+/// Panics if the cell names a scenario source that was never registered
+/// in this process (the wire layer registers decoded manifests before
+/// cells reach evaluation).
+pub fn fetch_cell_trace(store: &TraceStore, spec: &CellSpec) -> Arc<Trace> {
+    match spec.scenario {
+        Some(id) => SourceRegistry::global().trace_in(store, id, spec.sample_seed, spec.len),
+        None => store.get(spec.benchmark, spec.sample_seed, spec.len),
+    }
+}
+
 /// Evaluates one cell's experiment, without isolation or retries — the
 /// work function [`run_grid`] wraps in its resilience machinery. The
 /// trace comes from the global [`TraceStore`](ccs_trace::TraceStore);
@@ -102,7 +156,7 @@ pub fn evaluate_cell(
     spec: &CellSpec,
     cancel: Option<Arc<AtomicBool>>,
 ) -> Result<CellOutcome, CcsError> {
-    let trace = TraceStore::global().get(spec.benchmark, spec.sample_seed, spec.len);
+    let trace = fetch_cell_trace(TraceStore::global(), spec);
     let policy_config = spec.policy_config.unwrap_or_else(|| spec.policy.config());
     run_custom_cancellable(
         &spec.config,
@@ -438,12 +492,12 @@ where
 /// trying to ramp up. Warming serially makes the parallel region pure
 /// simulation.
 fn prewarm_traces(specs: &[CellSpec]) {
-    let mut seen: Vec<(Benchmark, u64, usize)> = Vec::new();
+    let mut seen: Vec<(Option<SourceId>, Benchmark, u64, usize)> = Vec::new();
     for spec in specs {
-        let key = (spec.benchmark, spec.sample_seed, spec.len);
+        let key = (spec.scenario, spec.benchmark, spec.sample_seed, spec.len);
         if !seen.contains(&key) {
             seen.push(key);
-            let trace = TraceStore::global().get(spec.benchmark, spec.sample_seed, spec.len);
+            let trace = fetch_cell_trace(TraceStore::global(), spec);
             let _ = trace.memory_deps();
         }
     }

@@ -68,7 +68,8 @@ pub use experiment::{
     run_cell, run_custom, run_custom_cancellable, CellOutcome, RunOptions, TrainingSource,
 };
 pub use grid::{
-    aggregate_breakdown, aggregate_metrics, auto_threads, cells_run, parallel_map, run_grid,
-    run_grid_resilient, CellResult, CellSpec, CellStatus, GridRequest, Resilience,
+    aggregate_breakdown, aggregate_metrics, auto_threads, cells_run, fetch_cell_trace,
+    parallel_map, run_grid, run_grid_resilient, CellResult, CellSpec, CellStatus, GridRequest,
+    Resilience,
 };
 pub use policy::{PaperPolicy, PolicyConfig, PolicyKind, ProactiveConfig};

@@ -1,0 +1,478 @@
+//! Scenario execution: turns a validated [`Scenario`] into a dynamic
+//! trace, deterministically for a given seed.
+//!
+//! The engine reproduces the generation discipline of the hard-coded
+//! benchmark models in `ccs-trace` exactly: per phase, a fresh register
+//! allocator, emitters constructed in declaration order (fixing
+//! register assignment), and whole schedule passes until the phase's
+//! length target is met. Phase `k` draws from
+//! `StdRng::seed_from_u64(seed.wrapping_add(k) ^ salt ^ thread_tweak)`,
+//! so a single zero-thread phase whose salt equals a benchmark's seed
+//! perturbation generates that benchmark's trace **bit-identically**.
+//!
+//! Multi-thread scenarios build one trace per thread and then merge
+//! them SMT-style (round-robin or block interleaving), rebasing PCs by
+//! `thread << 32` and addresses by `thread << 40` so the merged trace
+//! keeps per-thread static footprints and address spaces disjoint.
+
+use crate::error::ScenarioError;
+use crate::spec::{EmitterKind, EmitterSpec, InterleaveMode, Phase, Scenario};
+use ccs_isa::{BranchInfo, OpClass, Pc, StaticInst};
+use ccs_trace::patterns::{
+    BranchyBlock, ConvergentHammock, DepChain, DivergentLoop, DivergentLoopConfig, HammockConfig,
+    ParallelChains, PointerChase, ReductionTree, RegAlloc, SpineRibs, SpineRibsConfig,
+};
+use ccs_trace::{
+    AddrState, BranchBehavior, BranchState, DynIdx, DynInst, Trace, TraceBuilder, MAX_TRACE_LEN,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mixed into thread `t > 0`'s phase seeds so sibling threads running
+/// the same phase composition draw distinct streams.
+const THREAD_TWEAK: u64 = 0xA076_1D64_78BD_642F;
+
+/// A constructed emitter instance: the spec's parameters bound to the
+/// pattern library's stateful objects.
+enum Built {
+    Chain(DepChain),
+    Hammock(ConvergentHammock),
+    SpineRibs(SpineRibs),
+    Divergent(DivergentLoop),
+    Chase(PointerChase),
+    Chains(ParallelChains, Option<AddrState>),
+    Tree(ReductionTree),
+    Branchy(BranchyBlock),
+    Store { inst: StaticInst, addrs: AddrState },
+    BackEdge { inst: StaticInst, state: BranchState },
+}
+
+fn build_emitter(spec: &EmitterSpec, regs: &mut RegAlloc) -> Built {
+    let pc = Pc::new(spec.pc);
+    match &spec.kind {
+        EmitterKind::Chain { len } => Built::Chain(DepChain::new(pc, regs, *len as usize)),
+        EmitterKind::Hammock { arm, branch, region } => Built::Hammock(ConvergentHammock::new(
+            pc,
+            regs,
+            HammockConfig {
+                arm_len: *arm as usize,
+                branch: branch.to_behavior(),
+                region: *region,
+            },
+        )),
+        EmitterKind::SpineRibs { spine, rib, branch, trip } => Built::SpineRibs(SpineRibs::new(
+            pc,
+            regs,
+            SpineRibsConfig {
+                spine_len: *spine as usize,
+                rib_len: *rib as usize,
+                rib_branch: branch.to_behavior(),
+                trip: *trip,
+            },
+        )),
+        EmitterKind::Divergent { exit_prob, trip, region } => Built::Divergent(DivergentLoop::new(
+            pc,
+            regs,
+            DivergentLoopConfig {
+                exit_prob: *exit_prob,
+                trip: *trip,
+                region: *region,
+            },
+        )),
+        EmitterKind::Chase { region, trip } => {
+            Built::Chase(PointerChase::new(pc, regs, *region, *trip))
+        }
+        EmitterKind::Chains { width, op, addrs } => Built::Chains(
+            ParallelChains::new(pc, regs, *width as usize, op.to_op_class()),
+            addrs.as_ref().map(|a| a.to_stream().into_state()),
+        ),
+        EmitterKind::Tree { width } => Built::Tree(ReductionTree::new(pc, regs, *width as usize)),
+        EmitterKind::Branchy { units, behaviors } => {
+            let behaviors: Vec<BranchBehavior> =
+                behaviors.iter().map(|b| b.to_behavior()).collect();
+            Built::Branchy(BranchyBlock::new(pc, regs, *units as usize, &behaviors))
+        }
+        EmitterKind::Store { addrs } => {
+            let r = regs.alloc();
+            Built::Store {
+                inst: StaticInst::new(pc, OpClass::Store).with_src(r),
+                addrs: addrs.to_stream().into_state(),
+            }
+        }
+        EmitterKind::BackEdge { trip } => {
+            let r = regs.alloc();
+            Built::BackEdge {
+                inst: StaticInst::new(pc, OpClass::Branch).with_src(r),
+                state: BranchBehavior::loop_exit(*trip).into_state(),
+            }
+        }
+    }
+}
+
+impl Built {
+    /// Emits one instance of the primitive (one chain link, one hammock,
+    /// one schedule unit …) into the builder.
+    fn emit_once(&mut self, b: &mut TraceBuilder, rng: &mut StdRng) {
+        match self {
+            Built::Chain(c) => {
+                c.emit(b, 1);
+            }
+            Built::Hammock(h) => {
+                h.emit(b, rng);
+            }
+            Built::SpineRibs(s) => {
+                s.emit(b, rng);
+            }
+            Built::Divergent(d) => {
+                d.emit(b, rng);
+            }
+            Built::Chase(p) => p.emit(b, rng),
+            Built::Chains(c, addrs) => c.emit(b, addrs.as_mut(), rng),
+            Built::Tree(t) => t.emit(b),
+            Built::Branchy(bb) => bb.emit(b, rng),
+            Built::Store { inst, addrs } => {
+                let a = addrs.next(rng);
+                b.push_mem(*inst, a);
+            }
+            Built::BackEdge { inst, state } => {
+                let taken = state.next(rng);
+                b.push_branch(*inst, BranchInfo::conditional(taken));
+            }
+        }
+    }
+}
+
+/// The RNG seed of global phase `k` on its thread.
+fn phase_seed(seed: u64, k: usize, phase: &Phase) -> u64 {
+    let mut s = seed.wrapping_add(k as u64) ^ phase.salt;
+    if phase.thread > 0 {
+        s ^= u64::from(phase.thread).wrapping_mul(THREAD_TWEAK);
+    }
+    s
+}
+
+/// Emits one phase into `b` until it has grown by at least `target`
+/// instructions, in whole schedule passes.
+fn emit_phase(b: &mut TraceBuilder, phase: &Phase, k: usize, seed: u64, target: usize) {
+    let mut rng = StdRng::seed_from_u64(phase_seed(seed, k, phase));
+    let mut regs = RegAlloc::new();
+    let mut built: Vec<Built> = phase
+        .emitters
+        .iter()
+        .map(|e| build_emitter(e, &mut regs))
+        .collect();
+    // Validation guarantees every step id resolves.
+    let steps: Vec<(usize, u32)> = phase
+        .schedule
+        .iter()
+        .map(|s| {
+            let pos = phase
+                .emitters
+                .iter()
+                .position(|e| e.id == s.id)
+                .expect("validated schedule ids resolve");
+            (pos, s.reps)
+        })
+        .collect();
+    let goal = b.len() + target;
+    while b.len() < goal {
+        for &(pos, reps) in &steps {
+            for _ in 0..reps {
+                built[pos].emit_once(b, &mut rng);
+            }
+        }
+    }
+}
+
+/// Splits `total` across `weights`, flooring each share and giving the
+/// remainder to the last phase; every share is at least 1 so no phase
+/// silently vanishes.
+fn split_by_weight(total: usize, weights: &[u32]) -> Vec<usize> {
+    let sum: u128 = weights.iter().map(|&w| u128::from(w)).sum();
+    let mut shares: Vec<usize> = weights
+        .iter()
+        .map(|&w| ((total as u128 * u128::from(w)) / sum) as usize)
+        .collect();
+    let assigned: usize = shares.iter().sum();
+    if let Some(last) = shares.last_mut() {
+        *last += total.saturating_sub(assigned);
+    }
+    for s in &mut shares {
+        *s = (*s).max(1);
+    }
+    shares
+}
+
+/// Merges per-thread instruction streams SMT-style, `quantum`
+/// instructions per thread per turn, rebasing PCs and addresses so the
+/// threads' static footprints and address spaces stay disjoint.
+fn interleave_lanes(lanes: Vec<Vec<DynInst>>, quantum: usize) -> Trace {
+    let total: usize = lanes.iter().map(Vec::len).sum();
+    let mut merged: Vec<DynInst> = Vec::with_capacity(total);
+    let mut maps: Vec<Vec<u32>> = lanes.iter().map(|l| vec![0u32; l.len()]).collect();
+    let mut cursors = vec![0usize; lanes.len()];
+    while merged.len() < total {
+        for (t, lane) in lanes.iter().enumerate() {
+            let take = quantum.min(lane.len() - cursors[t]);
+            for _ in 0..take {
+                let old = cursors[t];
+                cursors[t] += 1;
+                let mut inst = lane[old];
+                inst.inst.pc = Pc::new(inst.inst.pc.raw() | ((t as u64) << 32));
+                if let Some(a) = inst.mem_addr {
+                    inst.mem_addr = Some(a | ((t as u64) << 40));
+                }
+                for d in inst.deps.iter_mut() {
+                    // Per-thread deps point backward, so the map entry
+                    // was filled on an earlier turn.
+                    if let Some(dep) = *d {
+                        *d = Some(DynIdx::new(maps[t][dep.index()]));
+                    }
+                }
+                maps[t][old] = merged.len() as u32;
+                merged.push(inst);
+            }
+        }
+    }
+    // Thread-local register deps stay positionally consistent under the
+    // merge, so the result passes `Trace::validate`; memory deps are
+    // recomputed lazily on the merged order.
+    Trace::from_insts(merged)
+}
+
+impl Scenario {
+    /// Generates a dynamic trace of at least `min_len` instructions,
+    /// deterministically for a given `seed`, validating the scenario and
+    /// the length first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] from [`validate`]
+    /// (`Scenario::validate`), or an `Invalid` error if `min_len` is
+    /// zero or exceeds `ccs_trace::MAX_TRACE_LEN`.
+    pub fn try_generate(&self, seed: u64, min_len: usize) -> Result<Trace, ScenarioError> {
+        self.validate()?;
+        if min_len == 0 {
+            return Err(ScenarioError::invalid("min_len", "must be at least 1"));
+        }
+        if min_len > MAX_TRACE_LEN {
+            return Err(ScenarioError::invalid(
+                "min_len",
+                format!("{min_len} exceeds the {MAX_TRACE_LEN}-instruction cap"),
+            ));
+        }
+        let threads = self.thread_count();
+        if threads == 1 {
+            let weights: Vec<u32> = self.phases.iter().map(|p| p.weight).collect();
+            let targets = split_by_weight(min_len, &weights);
+            let mut b = TraceBuilder::new();
+            for (k, (phase, target)) in self.phases.iter().zip(targets).enumerate() {
+                if k > 0 {
+                    // A register barrier between phases: a context
+                    // change, exactly like `ccs_trace::phased`.
+                    b.barrier();
+                }
+                emit_phase(&mut b, phase, k, seed, target);
+            }
+            return Ok(b.finish());
+        }
+        let per_thread = min_len.div_ceil(threads);
+        let mut lanes: Vec<Vec<DynInst>> = Vec::with_capacity(threads);
+        for t in 0..threads as u32 {
+            let indices: Vec<usize> = self
+                .phases
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.thread == t)
+                .map(|(k, _)| k)
+                .collect();
+            let weights: Vec<u32> = indices.iter().map(|&k| self.phases[k].weight).collect();
+            let targets = split_by_weight(per_thread, &weights);
+            let mut b = TraceBuilder::new();
+            for (j, (&k, target)) in indices.iter().zip(targets).enumerate() {
+                if j > 0 {
+                    b.barrier();
+                }
+                emit_phase(&mut b, &self.phases[k], k, seed, target);
+            }
+            lanes.push(b.finish().as_slice().to_vec());
+        }
+        let quantum = match &self.interleave {
+            Some(il) if il.mode == InterleaveMode::Block => il.quantum as usize,
+            _ => 1,
+        };
+        Ok(interleave_lanes(lanes, quantum))
+    }
+
+    /// Panicking form of [`try_generate`](Self::try_generate), matching
+    /// the `SourceGenerator` signature the trace-source registry wants.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid scenario or length; registration validates
+    /// first, so only a programming error reaches this.
+    pub fn generate(&self, seed: u64, min_len: usize) -> Trace {
+        self.try_generate(seed, min_len)
+            .unwrap_or_else(|e| panic!("scenario '{}' failed to generate: {e}", self.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::BranchSpec;
+    use ccs_trace::Benchmark;
+
+    #[test]
+    fn benchmark_equivalents_are_bit_identical() {
+        for bench in Benchmark::ALL {
+            let scenario = Scenario::benchmark_equivalent(bench);
+            for seed in [1u64, 42] {
+                let direct = bench.generate(seed, 3_000);
+                let via = scenario.generate(seed, 3_000);
+                assert_eq!(
+                    direct.len(),
+                    via.len(),
+                    "{bench}: length mismatch at seed {seed}"
+                );
+                for (i, (x, y)) in direct.as_slice().iter().zip(via.as_slice()).enumerate() {
+                    assert_eq!(x, y, "{bench}: divergence at instruction {i}, seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let s = Scenario::new("det")
+            .with_mix(
+                7,
+                &[
+                    (EmitterKind::Chain { len: 4 }, 2),
+                    (
+                        EmitterKind::Hammock {
+                            arm: 2,
+                            branch: BranchSpec::Bernoulli(0.3),
+                            region: 1 << 14,
+                        },
+                        1,
+                    ),
+                ],
+            );
+        let a = s.generate(3, 2_000);
+        let b = s.generate(3, 2_000);
+        assert!(a.len() >= 2_000);
+        a.validate().unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn phases_are_weighted_and_barriered() {
+        let s = Scenario::new("weighted")
+            .with_phase(
+                Phase::new()
+                    .with_weight(3)
+                    .with_emitter("c", 0x1000, EmitterKind::Chain { len: 2 })
+                    .with_step("c", 1),
+            )
+            .with_phase(
+                Phase::new()
+                    .with_weight(1)
+                    .with_emitter("c", 0x2000, EmitterKind::Chain { len: 2 })
+                    .with_step("c", 1),
+            );
+        let t = s.generate(1, 4_000);
+        t.validate().unwrap();
+        let lo = t
+            .as_slice()
+            .iter()
+            .filter(|i| i.pc().raw() < 0x2000)
+            .count();
+        let hi = t.len() - lo;
+        assert!((2_900..=3_100).contains(&lo), "phase 0 got {lo} of {}", t.len());
+        assert!(hi >= 900, "phase 1 got {hi}");
+        // The barrier cleared bindings: phase 1's first chain link has
+        // no producer from phase 0.
+        let first_hi = t
+            .iter()
+            .find(|(_, i)| i.pc().raw() >= 0x2000)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(t[first_hi].producers().count(), 0);
+    }
+
+    #[test]
+    fn smt_merge_interleaves_and_validates() {
+        let chain = |pc: u64| {
+            Phase::new()
+                .with_emitter("c", pc, EmitterKind::Chain { len: 3 })
+                .with_step("c", 1)
+        };
+        let s = Scenario::new("smt")
+            .with_interleave(InterleaveMode::RoundRobin, 1)
+            .with_phase(chain(0x1000).with_thread(0))
+            .with_phase(chain(0x1000).with_thread(1));
+        let t = s.generate(5, 1_000);
+        t.validate().unwrap();
+        assert!(t.len() >= 1_000);
+        // Both threads' rebased PC spaces appear, strictly alternating
+        // at quantum 1 while both lanes drain.
+        let t0 = t.as_slice()[0].pc().raw();
+        let t1 = t.as_slice()[1].pc().raw();
+        assert_eq!(t0 >> 32, 0);
+        assert_eq!(t1 >> 32, 1);
+        // Sibling threads draw different RNG streams (thread tweak).
+        let s_single = Scenario::new("single").with_phase(chain(0x1000));
+        let lone = s_single.generate(5, 500);
+        assert!(lone.validate().is_ok());
+    }
+
+    #[test]
+    fn block_interleave_respects_quantum() {
+        let chain = |pc: u64, th: u32| {
+            Phase::new()
+                .with_thread(th)
+                .with_emitter("c", pc, EmitterKind::Chain { len: 1 })
+                .with_step("c", 1)
+        };
+        let s = Scenario::new("blocky")
+            .with_interleave(InterleaveMode::Block, 8)
+            .with_phase(chain(0x1000, 0))
+            .with_phase(chain(0x1000, 1));
+        let t = s.generate(9, 640);
+        t.validate().unwrap();
+        // The first 8 instructions come from thread 0, the next 8 from
+        // thread 1.
+        for i in 0..8 {
+            assert_eq!(t.as_slice()[i].pc().raw() >> 32, 0, "slot {i}");
+            assert_eq!(t.as_slice()[8 + i].pc().raw() >> 32, 1, "slot {}", 8 + i);
+        }
+    }
+
+    #[test]
+    fn generation_errors_are_typed() {
+        let s = Scenario::new("ok").with_mix(0, &[(EmitterKind::Chain { len: 1 }, 1)]);
+        assert!(matches!(
+            s.try_generate(1, 0),
+            Err(ScenarioError::Invalid { .. })
+        ));
+        assert!(matches!(
+            s.try_generate(1, MAX_TRACE_LEN + 1),
+            Err(ScenarioError::Invalid { .. })
+        ));
+        let bad = Scenario::new("bad");
+        assert!(bad.try_generate(1, 100).is_err());
+    }
+
+    #[test]
+    fn split_by_weight_conserves_and_floors() {
+        assert_eq!(split_by_weight(100, &[1]), vec![100]);
+        assert_eq!(split_by_weight(100, &[3, 1]), vec![75, 25]);
+        assert_eq!(split_by_weight(10, &[1, 1, 1]), vec![3, 3, 4]);
+        // Every phase gets at least one instruction.
+        assert_eq!(split_by_weight(1, &[1, 1000]), vec![1, 1]);
+    }
+}

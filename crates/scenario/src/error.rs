@@ -1,0 +1,91 @@
+//! Typed scenario errors: every malformed manifest or invalid
+//! parameter degrades into a structured, printable failure instead of a
+//! panic, so grid campaigns and the wire protocol can report it.
+
+use std::fmt;
+
+/// Everything that can go wrong parsing, validating, or generating a
+/// scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The manifest text is not syntactically well-formed.
+    Parse {
+        /// 1-based manifest line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A key that no section of the manifest format defines.
+    UnknownKey {
+        /// 1-based manifest line.
+        line: usize,
+        /// The section the key appeared in (`scenario`, `interleave`,
+        /// `phase`, or `phase.emit`).
+        section: &'static str,
+        /// The offending key.
+        key: String,
+    },
+    /// A known key whose value is the wrong type or shape.
+    BadValue {
+        /// 1-based manifest line.
+        line: usize,
+        /// The key being assigned.
+        key: String,
+        /// What was expected.
+        message: String,
+    },
+    /// A structurally well-formed scenario that violates a semantic
+    /// constraint (range, budget, reference, …).
+    Invalid {
+        /// Which part of the scenario is wrong.
+        what: String,
+        /// The violated constraint.
+        message: String,
+    },
+}
+
+impl ScenarioError {
+    /// A semantic-validation error.
+    pub fn invalid(what: impl Into<String>, message: impl Into<String>) -> Self {
+        ScenarioError::Invalid {
+            what: what.into(),
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+        ScenarioError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn bad_value(line: usize, key: &str, message: impl Into<String>) -> Self {
+        ScenarioError::BadValue {
+            line,
+            key: key.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Parse { line, message } => {
+                write!(f, "manifest line {line}: {message}")
+            }
+            ScenarioError::UnknownKey { line, section, key } => {
+                write!(f, "manifest line {line}: unknown key '{key}' in [{section}]")
+            }
+            ScenarioError::BadValue { line, key, message } => {
+                write!(f, "manifest line {line}: bad value for '{key}': {message}")
+            }
+            ScenarioError::Invalid { what, message } => {
+                write!(f, "invalid scenario: {what}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}

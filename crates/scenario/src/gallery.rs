@@ -1,0 +1,333 @@
+//! The committed manifest gallery under `examples/scenarios/`.
+//!
+//! Sixteen named manifests double as documentation and test corpus:
+//! the twelve benchmark-equivalents (each pinned bit-identical to its
+//! hard-coded model) plus four showcase scenarios — a phase-shifting
+//! composite, round-robin and block SMT interleaves, and an ILP ladder.
+//! Each file carries an intent header; the body is the canonical
+//! rendering, so `Scenario::from_manifest(text).to_manifest()`
+//! reproduces it byte-for-byte (minus comments).
+//!
+//! Regenerate after changing the data model with:
+//! `cargo test -p ccs-scenario regenerate_gallery_files -- --ignored`
+
+use crate::spec::{
+    AddrSpec, BranchSpec, EmitterKind, InterleaveMode, OpSpec, Phase, Scenario,
+};
+use ccs_trace::Benchmark;
+
+/// One named gallery manifest.
+#[derive(Debug, Clone, Copy)]
+pub struct GalleryEntry {
+    /// Scenario name (matches the manifest's `name` field).
+    pub name: &'static str,
+    /// Full manifest text as committed under `examples/scenarios/`.
+    pub text: &'static str,
+}
+
+macro_rules! entry {
+    ($name:literal) => {
+        GalleryEntry {
+            name: $name,
+            text: include_str!(concat!("../../../examples/scenarios/", $name, ".toml")),
+        }
+    };
+}
+
+/// Every committed gallery manifest, benchmark equivalents first.
+pub const GALLERY: &[GalleryEntry] = &[
+    entry!("bzip2"),
+    entry!("crafty"),
+    entry!("eon"),
+    entry!("gap"),
+    entry!("gcc"),
+    entry!("gzip"),
+    entry!("mcf"),
+    entry!("parser"),
+    entry!("perl"),
+    entry!("twolf"),
+    entry!("vortex"),
+    entry!("vpr"),
+    entry!("phase_shift"),
+    entry!("smt_roundrobin"),
+    entry!("smt_block"),
+    entry!("ilp_ladder"),
+];
+
+/// A three-phase composite that shifts character mid-trace:
+/// execute-critical chains, then memory-bound pointer chasing, then
+/// branchy control — predictor-retraining stress.
+fn phase_shift() -> Scenario {
+    Scenario::new("phase_shift")
+        .with_phase(
+            Phase::new()
+                .with_weight(2)
+                .with_emitter("chain", 0x1000, EmitterKind::Chain { len: 6 })
+                .with_emitter("back", 0x1100, EmitterKind::BackEdge { trip: 64 })
+                .with_step("chain", 12)
+                .with_step("back", 1),
+        )
+        .with_phase(
+            Phase::new()
+                .with_salt(0x51)
+                .with_emitter("chase", 0x2000, EmitterKind::Chase { region: 8 << 20, trip: 32 })
+                .with_emitter(
+                    "side",
+                    0x2100,
+                    EmitterKind::Chains { width: 2, op: OpSpec::IntAlu, addrs: None },
+                )
+                .with_step("chase", 1)
+                .with_step("side", 1),
+        )
+        .with_phase(
+            Phase::new()
+                .with_salt(0x52)
+                .with_emitter(
+                    "bb",
+                    0x3000,
+                    EmitterKind::Branchy {
+                        units: 4,
+                        behaviors: vec![
+                            BranchSpec::Bernoulli(0.35),
+                            BranchSpec::LoopExit(4),
+                            BranchSpec::Alternating,
+                            BranchSpec::Bernoulli(0.1),
+                        ],
+                    },
+                )
+                .with_emitter(
+                    "h",
+                    0x3100,
+                    EmitterKind::Hammock {
+                        arm: 1,
+                        branch: BranchSpec::Bernoulli(0.25),
+                        region: 1 << 16,
+                    },
+                )
+                .with_step("bb", 1)
+                .with_step("h", 1),
+        )
+}
+
+/// Two threads interleaved one instruction at a time: a serial chain
+/// against convergent work — per-thread criticality under SMT fetch.
+fn smt_roundrobin() -> Scenario {
+    Scenario::new("smt_roundrobin")
+        .with_interleave(InterleaveMode::RoundRobin, 1)
+        .with_phase(
+            Phase::new()
+                .with_thread(0)
+                .with_emitter("chain", 0x1000, EmitterKind::Chain { len: 5 })
+                .with_step("chain", 5),
+        )
+        .with_phase(
+            Phase::new()
+                .with_thread(1)
+                .with_salt(1)
+                .with_emitter("tree", 0x2000, EmitterKind::Tree { width: 8 })
+                .with_emitter(
+                    "h",
+                    0x2100,
+                    EmitterKind::Hammock {
+                        arm: 2,
+                        branch: BranchSpec::Bernoulli(0.15),
+                        region: 1 << 14,
+                    },
+                )
+                .with_step("tree", 1)
+                .with_step("h", 1),
+        )
+}
+
+/// Block multithreading, 32-instruction quanta: a memory-bound chaser
+/// sharing the pipeline with high-ILP integer work.
+fn smt_block() -> Scenario {
+    Scenario::new("smt_block")
+        .with_interleave(InterleaveMode::Block, 32)
+        .with_phase(
+            Phase::new()
+                .with_thread(0)
+                .with_emitter("chase", 0x1000, EmitterKind::Chase { region: 4 << 20, trip: 48 })
+                .with_step("chase", 1),
+        )
+        .with_phase(
+            Phase::new()
+                .with_thread(1)
+                .with_salt(2)
+                .with_emitter(
+                    "int",
+                    0x2000,
+                    EmitterKind::Chains { width: 6, op: OpSpec::IntAlu, addrs: None },
+                )
+                .with_emitter(
+                    "loads",
+                    0x2100,
+                    EmitterKind::Chains {
+                        width: 2,
+                        op: OpSpec::Load,
+                        addrs: Some(AddrSpec::Stream {
+                            base: 0x30_0000,
+                            stride: 8,
+                            len: 1 << 13,
+                        }),
+                    },
+                )
+                .with_step("int", 1)
+                .with_step("loads", 1),
+        )
+}
+
+/// Four equal phases stepping available ILP through 1, 2, 4, 8
+/// independent chains — sweeps the clustering cost from serial to wide.
+fn ilp_ladder() -> Scenario {
+    let mut s = Scenario::new("ilp_ladder");
+    for (k, width) in [1u32, 2, 4, 8].into_iter().enumerate() {
+        let base = 0x1000 + 0x1000 * k as u64;
+        s = s.with_phase(
+            Phase::new()
+                .with_salt(k as u64)
+                .with_emitter(
+                    "c",
+                    base,
+                    EmitterKind::Chains { width, op: OpSpec::IntAlu, addrs: None },
+                )
+                .with_emitter("back", base + 0x100, EmitterKind::BackEdge { trip: 32 })
+                .with_step("c", 1)
+                .with_step("back", 1),
+        );
+    }
+    s
+}
+
+/// The four showcase scenarios that are not benchmark equivalents.
+pub fn extras() -> Vec<Scenario> {
+    vec![phase_shift(), smt_roundrobin(), smt_block(), ilp_ladder()]
+}
+
+/// The scenario a gallery entry must parse to, by name.
+pub fn expected(name: &str) -> Option<Scenario> {
+    Benchmark::ALL
+        .iter()
+        .find(|b| b.name() == name)
+        .map(|&b| Scenario::benchmark_equivalent(b))
+        .or_else(|| extras().into_iter().find(|s| s.name == name))
+}
+
+/// The documented intent of a gallery scenario — the comment header
+/// committed atop its manifest file (empty for unknown names).
+pub fn intent(name: &str) -> &'static str {
+    match name {
+        "bzip2" => "Benchmark equivalent: convergent dyadic hammocks feeding branches (Figure 3).",
+        "crafty" => "Benchmark equivalent: convergent compares under dense, predictable control.",
+        "eon" => "Benchmark equivalent: high-ILP floating point, near-perfect prediction.",
+        "gap" => "Benchmark equivalent: arithmetic spines with moderate ribs.",
+        "gcc" => "Benchmark equivalent: dense irregular control, many mispredicts.",
+        "gzip" => "Benchmark equivalent: long serial chains; execute-critical (Figure 9).",
+        "mcf" => "Benchmark equivalent: pointer chasing, memory-latency bound.",
+        "parser" => "Benchmark equivalent: divergent early-exit scans (Figure 12).",
+        "perl" => "Benchmark equivalent: interpreter dispatch spine, hard rib branches.",
+        "twolf" => "Benchmark equivalent: spine-and-ribs with poor-locality loads.",
+        "vortex" => "Benchmark equivalent: high-ILP, store-heavy, predictable.",
+        "vpr" => "Benchmark equivalent: spine-and-ribs with criticality ties (Figure 7).",
+        "phase_shift" => {
+            "Character shifts mid-trace: serial chains, then pointer chasing, then branchy\ncontrol. Stresses predictor retraining across register barriers."
+        }
+        "smt_roundrobin" => {
+            "Two SMT threads merged one instruction per turn: a serial chain competing\nwith convergent reduction work for cluster issue slots."
+        }
+        "smt_block" => {
+            "Block multithreading with 32-instruction quanta: a memory-bound pointer\nchaser sharing the pipeline with wide, predictable integer ILP."
+        }
+        "ilp_ladder" => {
+            "Available ILP steps through 1, 2, 4, 8 independent chains across four equal\nphases — sweeps clustering cost from fully serial to wide."
+        }
+        _ => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_expected() -> Vec<Scenario> {
+        let mut v: Vec<Scenario> = Benchmark::ALL
+            .iter()
+            .map(|&b| Scenario::benchmark_equivalent(b))
+            .collect();
+        v.extend(extras());
+        v
+    }
+
+    #[test]
+    fn gallery_is_complete_and_canonical() {
+        assert!(GALLERY.len() >= 12, "gallery must hold at least 12 manifests");
+        for e in GALLERY {
+            let parsed = Scenario::from_manifest(e.text)
+                .unwrap_or_else(|err| panic!("{}: gallery manifest rejected: {err}", e.name));
+            assert_eq!(parsed.name, e.name, "file name and manifest name disagree");
+            let want = expected(e.name)
+                .unwrap_or_else(|| panic!("{}: no expected scenario", e.name));
+            assert_eq!(parsed, want, "{}: committed file drifted from source", e.name);
+            // The committed body is the canonical rendering.
+            assert!(
+                e.text.contains(&want.to_manifest()),
+                "{}: file body is not canonical; regenerate the gallery",
+                e.name
+            );
+        }
+        let mut names: Vec<&str> = GALLERY.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), GALLERY.len(), "duplicate gallery names");
+    }
+
+    #[test]
+    fn gallery_subsumes_benchmarks_bit_identically() {
+        // THE subsumption pin: the twelve committed manifests generate
+        // the same traces as the hard-coded models, instruction for
+        // instruction.
+        for bench in Benchmark::ALL {
+            let entry = GALLERY
+                .iter()
+                .find(|e| e.name == bench.name())
+                .unwrap_or_else(|| panic!("{bench}: missing gallery manifest"));
+            let scenario = Scenario::from_manifest(entry.text).unwrap();
+            let direct = bench.generate(11, 2_000);
+            let via = scenario.generate(11, 2_000);
+            assert_eq!(direct.len(), via.len(), "{bench}: length drift");
+            for (i, (x, y)) in direct.as_slice().iter().zip(via.as_slice()).enumerate() {
+                assert_eq!(x, y, "{bench}: divergence at instruction {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn gallery_extras_generate_valid_traces() {
+        for s in extras() {
+            let t = s
+                .try_generate(3, 2_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert!(t.len() >= 2_000, "{}: too short", s.name);
+            t.validate().unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    #[ignore = "writes the committed gallery files; run after data-model changes"]
+    fn regenerate_gallery_files() {
+        let dir =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/scenarios");
+        std::fs::create_dir_all(&dir).expect("create examples/scenarios");
+        for s in all_expected() {
+            let mut text = String::new();
+            for line in intent(&s.name).lines() {
+                text.push_str("# ");
+                text.push_str(line);
+                text.push('\n');
+            }
+            text.push('\n');
+            text.push_str(&s.to_manifest());
+            std::fs::write(dir.join(format!("{}.toml", s.name)), text).expect("write manifest");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Declarative workload scenarios for the clustering-criticality study.
+//!
+//! The twelve benchmark models in `ccs-trace` are hard-coded
+//! compositions of the pattern library's dataflow primitives. This
+//! crate makes that composition *data*: a [`Scenario`] names a sequence
+//! of phases, each mixing emitters (dependence chains, hammocks,
+//! spine-and-ribs loops, divergent scans, pointer chases, …) under a
+//! schedule, optionally spread across SMT-style threads and interleaved
+//! round-robin or in blocks. Scenarios are built programmatically
+//! (`Scenario::new(..).with_mix(..)`), or written as a small TOML-like
+//! manifest ([`Scenario::from_manifest`]) that round-trips through the
+//! canonical renderer ([`Scenario::to_manifest`]).
+//!
+//! Scenarios are first-class cell inputs: [`Scenario::register`] puts a
+//! generator into `ccs-trace`'s content-addressed [`SourceRegistry`]
+//! (`ccs_trace::SourceRegistry`) under the FNV-1a fingerprint of the
+//! canonical manifest, and grid cells carry that `SourceId` so the
+//! cache, checkpoint, and shard-routing layers key on scenario content.
+//!
+//! The hard-coded models remain the ground truth:
+//! [`Scenario::benchmark_equivalent`] re-expresses each of the twelve
+//! as a manifest that generates **bit-identical** traces, pinned by
+//! test.
+//!
+//! # Example
+//!
+//! ```
+//! use ccs_scenario::{EmitterKind, BranchSpec, Scenario};
+//!
+//! let s = Scenario::new("hot-chain")
+//!     .with_mix(0, &[
+//!         (EmitterKind::Chain { len: 6 }, 8),
+//!         (EmitterKind::Hammock {
+//!             arm: 2,
+//!             branch: BranchSpec::Bernoulli(0.2),
+//!             region: 1 << 14,
+//!         }, 1),
+//!     ]);
+//! let trace = s.try_generate(1, 2_000).unwrap();
+//! assert!(trace.len() >= 2_000);
+//!
+//! // Manifests round-trip through the canonical renderer.
+//! let text = s.to_manifest();
+//! assert_eq!(Scenario::from_manifest(&text).unwrap(), s);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+pub mod gallery;
+mod manifest;
+mod spec;
+
+pub use error::ScenarioError;
+pub use spec::{
+    AddrSpec, BranchSpec, EmitterKind, EmitterSpec, Interleave, InterleaveMode, OpSpec, Phase,
+    Scenario, Step, PHASE_REG_BUDGET,
+};
+
+use ccs_trace::{fnv1a, SourceId, SourceRegistry};
+
+impl Scenario {
+    /// Renders the canonical manifest text (fixed key order and number
+    /// formatting): equal scenarios render byte-identically, so this is
+    /// the fingerprinted form.
+    pub fn to_manifest(&self) -> String {
+        manifest::to_manifest(self)
+    }
+
+    /// Parses manifest text into a validated scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ScenarioError`] for syntax errors, unknown
+    /// keys, ill-typed values, and semantic violations.
+    pub fn from_manifest(text: &str) -> Result<Scenario, ScenarioError> {
+        manifest::from_manifest(text)
+    }
+
+    /// FNV-1a fingerprint of the canonical manifest — the raw value of
+    /// the [`SourceId`] this scenario registers under.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.to_manifest().as_bytes())
+    }
+
+    /// Validates the scenario and registers its generator in the
+    /// process-global trace-source registry, returning the
+    /// content-addressed [`SourceId`] grid cells carry. Registration is
+    /// idempotent: the same scenario always maps to the same id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error; nothing is registered then.
+    pub fn register(&self) -> Result<SourceId, ScenarioError> {
+        self.validate()?;
+        let text = self.to_manifest();
+        let generator = self.clone();
+        Ok(SourceRegistry::global().register(
+            &self.name,
+            &text,
+            Box::new(move |seed, len| generator.generate(seed, len)),
+        ))
+    }
+}
+
+/// Parses and registers a manifest in one step, returning the scenario
+/// and its [`SourceId`]. The convenience entry point for CLI flags and
+/// wire decoding.
+///
+/// # Errors
+///
+/// Returns a typed [`ScenarioError`] if the manifest fails to parse or
+/// validate.
+pub fn register_manifest(text: &str) -> Result<(Scenario, SourceId), ScenarioError> {
+    let scenario = Scenario::from_manifest(text)?;
+    let id = scenario.register()?;
+    Ok((scenario, id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccs_trace::Benchmark;
+
+    #[test]
+    fn manifest_round_trips_for_every_benchmark_equivalent() {
+        for bench in Benchmark::ALL {
+            let s = Scenario::benchmark_equivalent(bench);
+            let text = s.to_manifest();
+            let back = Scenario::from_manifest(&text).unwrap_or_else(|e| {
+                panic!("{bench}: canonical manifest failed to parse: {e}\n{text}")
+            });
+            assert_eq!(back, s, "{bench}: round-trip changed the scenario");
+            // Canonical rendering is a fixed point.
+            assert_eq!(back.to_manifest(), text);
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_field_order_independent() {
+        let canonical = Scenario::benchmark_equivalent(Benchmark::Gzip).to_manifest();
+        // Shuffle the emitter keys of one section: same scenario, same
+        // fingerprint, because the fingerprint hashes the *canonical*
+        // rendering, not the input text.
+        let reordered = canonical.replace(
+            "id = \"chain\"\nkind = \"chain\"\npc = 0x6000\nlen = 6\n",
+            "len = 6\npc = 0x6000\nkind = \"chain\"\nid = \"chain\"\n",
+        );
+        assert_ne!(canonical, reordered, "test must actually reorder fields");
+        let a = Scenario::from_manifest(&canonical).unwrap();
+        let b = Scenario::from_manifest(&reordered).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn registration_is_content_addressed_and_generates() {
+        let s = Scenario::new("reg-test").with_mix(0, &[(EmitterKind::Chain { len: 2 }, 1)]);
+        let id1 = s.register().unwrap();
+        let id2 = s.register().unwrap();
+        assert_eq!(id1, id2);
+        assert_eq!(id1.raw(), s.fingerprint());
+        let (s2, id3) = register_manifest(&s.to_manifest()).unwrap();
+        assert_eq!(s2, s);
+        assert_eq!(id3, id1);
+        let t = SourceRegistry::global().trace(id1, 9, 500);
+        assert!(t.len() >= 500);
+        t.validate().unwrap();
+        // The registry-produced trace matches in-process generation.
+        let direct = s.generate(9, 500);
+        assert_eq!(t.len(), direct.len());
+        for (x, y) in t.as_slice().iter().zip(direct.as_slice()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn malformed_manifests_yield_typed_errors() {
+        // Unknown key.
+        let text = "name = \"x\"\n\n[[phase]]\nschedule = \"c\"\nbogus = 3\n\n[[phase.emit]]\nid = \"c\"\nkind = \"chain\"\npc = 0x1000\nlen = 1\n";
+        match Scenario::from_manifest(text) {
+            Err(ScenarioError::UnknownKey { key, section, .. }) => {
+                assert_eq!(key, "bogus");
+                assert_eq!(section, "phase");
+            }
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+        // Out-of-range branch probability.
+        let text = "name = \"x\"\n\n[[phase]]\nschedule = \"h\"\n\n[[phase.emit]]\nid = \"h\"\nkind = \"hammock\"\npc = 0x1000\narm = 1\nbranch = \"bernoulli:1.5\"\nregion = 0x100\n";
+        match Scenario::from_manifest(text) {
+            Err(ScenarioError::Invalid { message, .. }) => {
+                assert!(message.contains("outside [0, 1]"), "{message}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        // Zero-width phase (no emitters / empty schedule).
+        let text = "name = \"x\"\n\n[[phase]]\nschedule = \"\"\n";
+        assert!(Scenario::from_manifest(text).is_err());
+        // Syntax error with a line number.
+        let text = "name = \"x\"\nnot a key value\n";
+        match Scenario::from_manifest(text) {
+            Err(ScenarioError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        // Bad value type.
+        let text = "name = \"x\"\n\n[[phase]]\nschedule = 7\n\n[[phase.emit]]\nid = \"c\"\nkind = \"chain\"\npc = 0x1000\nlen = 1\n";
+        assert!(matches!(
+            Scenario::from_manifest(text),
+            Err(ScenarioError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn smt_manifests_round_trip() {
+        let s = Scenario::new("smt-rr")
+            .with_interleave(InterleaveMode::Block, 16)
+            .with_phase(
+                Phase::new()
+                    .with_thread(0)
+                    .with_emitter("c", 0x1000, EmitterKind::Chain { len: 3 })
+                    .with_step("c", 2),
+            )
+            .with_phase(
+                Phase::new()
+                    .with_thread(1)
+                    .with_salt(0xDEAD_BEEF)
+                    .with_emitter(
+                        "t",
+                        0x2000,
+                        EmitterKind::Tree { width: 4 },
+                    )
+                    .with_step("t", 1),
+            );
+        let text = s.to_manifest();
+        assert_eq!(Scenario::from_manifest(&text).unwrap(), s);
+    }
+}

@@ -1,0 +1,763 @@
+//! The hand-rolled, std-only manifest format: a small TOML subset.
+//!
+//! One scenario per file:
+//!
+//! ```toml
+//! name = "example"
+//!
+//! [interleave]          # optional; only meaningful with threads > 1
+//! mode = "block"        # "roundrobin" | "block"
+//! quantum = 64
+//!
+//! [[phase]]
+//! salt = 0x0            # optional, default 0
+//! weight = 1            # optional, default 1
+//! thread = 0            # optional, default 0
+//! schedule = "h, chain*3"
+//!
+//! [[phase.emit]]
+//! id = "h"
+//! kind = "hammock"
+//! pc = 0x1000
+//! arm = 2
+//! branch = "bernoulli:0.18"
+//! region = 0x8000
+//!
+//! [[phase.emit]]
+//! id = "chain"
+//! kind = "chain"
+//! pc = 0x1200
+//! len = 3
+//! ```
+//!
+//! `#` starts a comment (outside quotes). Integers are decimal or
+//! `0x`-hex. Branch processes are strings (`"bernoulli:0.5"`,
+//! `"loop_exit:6"`, `"always"`, `"never"`, `"alternating"`,
+//! `"pattern:0x5:3"`), as are address streams
+//! (`"stream:base:stride:len"`, `"random_in:base:len"`,
+//! `"fixed:addr"`).
+//!
+//! [`to_manifest`] renders the **canonical** form: fixed key order,
+//! hex for addresses/salts, decimal for counts, shortest-round-trip
+//! floats. Canonical text is what gets FNV-fingerprinted into the cell
+//! key, so reordering fields in a hand-written file changes nothing
+//! downstream: parse → same [`Scenario`] → same canonical text → same
+//! fingerprint.
+
+use crate::error::ScenarioError;
+use crate::spec::{
+    AddrSpec, BranchSpec, EmitterKind, EmitterSpec, Interleave, InterleaveMode, OpSpec, Phase,
+    Scenario, Step,
+};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------
+
+fn render_branch(b: &BranchSpec) -> String {
+    match b {
+        BranchSpec::Bernoulli(p) => format!("bernoulli:{p:?}"),
+        BranchSpec::LoopExit(t) => format!("loop_exit:{t}"),
+        BranchSpec::Always => "always".to_string(),
+        BranchSpec::Never => "never".to_string(),
+        BranchSpec::Alternating => "alternating".to_string(),
+        BranchSpec::Pattern { bits, len } => format!("pattern:{bits:#x}:{len}"),
+    }
+}
+
+fn render_addrs(a: &AddrSpec) -> String {
+    match a {
+        AddrSpec::Stream { base, stride, len } => format!("stream:{base:#x}:{stride:#x}:{len:#x}"),
+        AddrSpec::RandomIn { base, len } => format!("random_in:{base:#x}:{len:#x}"),
+        AddrSpec::Fixed { addr } => format!("fixed:{addr:#x}"),
+    }
+}
+
+fn render_op(op: OpSpec) -> &'static str {
+    match op {
+        OpSpec::IntAlu => "int_alu",
+        OpSpec::IntMul => "int_mul",
+        OpSpec::FpAdd => "fp_add",
+        OpSpec::FpMul => "fp_mul",
+        OpSpec::FpDiv => "fp_div",
+        OpSpec::Load => "load",
+    }
+}
+
+fn render_schedule(schedule: &[Step]) -> String {
+    schedule
+        .iter()
+        .map(|s| {
+            if s.reps == 1 {
+                s.id.clone()
+            } else {
+                format!("{}*{}", s.id, s.reps)
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders the canonical manifest text of `scenario`. This is the form
+/// that is fingerprinted: equal scenarios render byte-identically.
+pub fn to_manifest(scenario: &Scenario) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "name = \"{}\"", scenario.name);
+    if let Some(Interleave { mode, quantum }) = &scenario.interleave {
+        let mode = match mode {
+            InterleaveMode::RoundRobin => "roundrobin",
+            InterleaveMode::Block => "block",
+        };
+        let _ = writeln!(out, "\n[interleave]\nmode = \"{mode}\"\nquantum = {quantum}");
+    }
+    for phase in &scenario.phases {
+        let _ = writeln!(
+            out,
+            "\n[[phase]]\nsalt = {:#x}\nweight = {}\nthread = {}\nschedule = \"{}\"",
+            phase.salt,
+            phase.weight,
+            phase.thread,
+            render_schedule(&phase.schedule)
+        );
+        for e in &phase.emitters {
+            let _ = writeln!(
+                out,
+                "\n[[phase.emit]]\nid = \"{}\"\nkind = \"{}\"\npc = {:#x}",
+                e.id,
+                e.kind.kind_name(),
+                e.pc
+            );
+            match &e.kind {
+                EmitterKind::Chain { len } => {
+                    let _ = writeln!(out, "len = {len}");
+                }
+                EmitterKind::Hammock { arm, branch, region } => {
+                    let _ = writeln!(
+                        out,
+                        "arm = {arm}\nbranch = \"{}\"\nregion = {region:#x}",
+                        render_branch(branch)
+                    );
+                }
+                EmitterKind::SpineRibs { spine, rib, branch, trip } => {
+                    let _ = writeln!(
+                        out,
+                        "spine = {spine}\nrib = {rib}\nbranch = \"{}\"\ntrip = {trip}",
+                        render_branch(branch)
+                    );
+                }
+                EmitterKind::Divergent { exit_prob, trip, region } => {
+                    let _ = writeln!(
+                        out,
+                        "exit_prob = {exit_prob:?}\ntrip = {trip}\nregion = {region:#x}"
+                    );
+                }
+                EmitterKind::Chase { region, trip } => {
+                    let _ = writeln!(out, "region = {region:#x}\ntrip = {trip}");
+                }
+                EmitterKind::Chains { width, op, addrs } => {
+                    let _ = writeln!(out, "width = {width}\nop = \"{}\"", render_op(*op));
+                    if let Some(a) = addrs {
+                        let _ = writeln!(out, "addrs = \"{}\"", render_addrs(a));
+                    }
+                }
+                EmitterKind::Tree { width } => {
+                    let _ = writeln!(out, "width = {width}");
+                }
+                EmitterKind::Branchy { units, behaviors } => {
+                    let list = behaviors
+                        .iter()
+                        .map(|b| format!("\"{}\"", render_branch(b)))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let _ = writeln!(out, "units = {units}\nbehaviors = [{list}]");
+                }
+                EmitterKind::Store { addrs } => {
+                    let _ = writeln!(out, "addrs = \"{}\"", render_addrs(addrs));
+                }
+                EmitterKind::BackEdge { trip } => {
+                    let _ = writeln!(out, "trip = {trip}");
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Val {
+    Str(String),
+    List(Vec<String>),
+    Int(u64),
+    Float(f64),
+}
+
+impl Val {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Val::Str(_) => "string",
+            Val::List(_) => "list",
+            Val::Int(_) => "integer",
+            Val::Float(_) => "float",
+        }
+    }
+}
+
+struct Entry {
+    val: Val,
+    line: usize,
+}
+
+/// The key-value pairs of one section instance, with duplicate
+/// detection and leftover (= unknown key) reporting.
+#[derive(Default)]
+struct Table {
+    entries: HashMap<String, Entry>,
+}
+
+impl Table {
+    fn insert(&mut self, key: String, val: Val, line: usize) -> Result<(), ScenarioError> {
+        if self.entries.contains_key(&key) {
+            return Err(ScenarioError::parse(line, format!("duplicate key '{key}'")));
+        }
+        self.entries.insert(key, Entry { val, line });
+        Ok(())
+    }
+
+    fn take(&mut self, key: &str) -> Option<Entry> {
+        self.entries.remove(key)
+    }
+
+    fn take_str(&mut self, key: &str) -> Result<Option<(String, usize)>, ScenarioError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(Entry { val: Val::Str(s), line }) => Ok(Some((s, line))),
+            Some(Entry { val, line }) => Err(ScenarioError::bad_value(
+                line,
+                key,
+                format!("expected a string, got a {}", val.type_name()),
+            )),
+        }
+    }
+
+    fn take_u64(&mut self, key: &str) -> Result<Option<(u64, usize)>, ScenarioError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(Entry { val: Val::Int(n), line }) => Ok(Some((n, line))),
+            Some(Entry { val, line }) => Err(ScenarioError::bad_value(
+                line,
+                key,
+                format!("expected an integer, got a {}", val.type_name()),
+            )),
+        }
+    }
+
+    fn take_u32(&mut self, key: &str) -> Result<Option<(u32, usize)>, ScenarioError> {
+        match self.take_u64(key)? {
+            None => Ok(None),
+            Some((n, line)) => u32::try_from(n)
+                .map(|v| Some((v, line)))
+                .map_err(|_| ScenarioError::bad_value(line, key, format!("{n} does not fit u32"))),
+        }
+    }
+
+    fn take_f64(&mut self, key: &str) -> Result<Option<(f64, usize)>, ScenarioError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(Entry { val: Val::Float(x), line }) => Ok(Some((x, line))),
+            Some(Entry { val: Val::Int(n), line }) => Ok(Some((n as f64, line))),
+            Some(Entry { val, line }) => Err(ScenarioError::bad_value(
+                line,
+                key,
+                format!("expected a number, got a {}", val.type_name()),
+            )),
+        }
+    }
+
+    fn take_list(&mut self, key: &str) -> Result<Option<(Vec<String>, usize)>, ScenarioError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(Entry { val: Val::List(v), line }) => Ok(Some((v, line))),
+            Some(Entry { val, line }) => Err(ScenarioError::bad_value(
+                line,
+                key,
+                format!("expected a list of strings, got a {}", val.type_name()),
+            )),
+        }
+    }
+
+    /// Errors on the first leftover (unconsumed = unknown) key.
+    fn expect_empty(&self, section: &'static str) -> Result<(), ScenarioError> {
+        if let Some((key, entry)) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.line)
+        {
+            return Err(ScenarioError::UnknownKey {
+                line: entry.line,
+                section,
+                key: key.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    fn require_str(&mut self, key: &str, line: usize) -> Result<(String, usize), ScenarioError> {
+        self.take_str(key)?
+            .ok_or_else(|| ScenarioError::parse(line, format!("missing required key '{key}'")))
+    }
+
+    fn require_u64(&mut self, key: &str, line: usize) -> Result<(u64, usize), ScenarioError> {
+        self.take_u64(key)?
+            .ok_or_else(|| ScenarioError::parse(line, format!("missing required key '{key}'")))
+    }
+
+    fn require_u32(&mut self, key: &str, line: usize) -> Result<(u32, usize), ScenarioError> {
+        self.take_u32(key)?
+            .ok_or_else(|| ScenarioError::parse(line, format!("missing required key '{key}'")))
+    }
+
+    fn require_f64(&mut self, key: &str, line: usize) -> Result<(f64, usize), ScenarioError> {
+        self.take_f64(key)?
+            .ok_or_else(|| ScenarioError::parse(line, format!("missing required key '{key}'")))
+    }
+}
+
+/// Strips the comment part of a line: everything from the first `#`
+/// that is not inside a double-quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_number(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+    } else {
+        s.replace('_', "").parse().ok()
+    }
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Val, ScenarioError> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(ScenarioError::parse(line, "missing value after '='"));
+    }
+    if let Some(rest) = raw.strip_prefix('"') {
+        let Some(end) = rest.find('"') else {
+            return Err(ScenarioError::parse(line, "unterminated string"));
+        };
+        if !rest[end + 1..].trim().is_empty() {
+            return Err(ScenarioError::parse(line, "trailing characters after string"));
+        }
+        return Ok(Val::Str(rest[..end].to_string()));
+    }
+    if let Some(rest) = raw.strip_prefix('[') {
+        let Some(inner) = rest.strip_suffix(']') else {
+            return Err(ScenarioError::parse(line, "unterminated list"));
+        };
+        let inner = inner.trim();
+        let mut items = Vec::new();
+        if !inner.is_empty() {
+            for item in inner.split(',') {
+                let item = item.trim();
+                let Some(s) = item
+                    .strip_prefix('"')
+                    .and_then(|i| i.strip_suffix('"'))
+                else {
+                    return Err(ScenarioError::parse(
+                        line,
+                        "lists hold double-quoted strings",
+                    ));
+                };
+                items.push(s.to_string());
+            }
+        }
+        return Ok(Val::List(items));
+    }
+    if let Some(n) = parse_number(raw) {
+        return Ok(Val::Int(n));
+    }
+    if let Ok(x) = raw.parse::<f64>() {
+        if x.is_finite() {
+            return Ok(Val::Float(x));
+        }
+    }
+    Err(ScenarioError::parse(line, format!("unparseable value '{raw}'")))
+}
+
+fn parse_branch(s: &str, key: &str, line: usize) -> Result<BranchSpec, ScenarioError> {
+    let mut parts = s.split(':');
+    let head = parts.next().unwrap_or("");
+    let rest: Vec<&str> = parts.collect();
+    let arity = |n: usize| -> Result<(), ScenarioError> {
+        if rest.len() == n {
+            Ok(())
+        } else {
+            Err(ScenarioError::bad_value(
+                line,
+                key,
+                format!("'{head}' takes {n} parameter(s), got {}", rest.len()),
+            ))
+        }
+    };
+    match head {
+        "bernoulli" => {
+            arity(1)?;
+            let p: f64 = rest[0].parse().map_err(|_| {
+                ScenarioError::bad_value(line, key, format!("bad probability '{}'", rest[0]))
+            })?;
+            Ok(BranchSpec::Bernoulli(p))
+        }
+        "loop_exit" => {
+            arity(1)?;
+            let trip = parse_number(rest[0])
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| {
+                    ScenarioError::bad_value(line, key, format!("bad trip count '{}'", rest[0]))
+                })?;
+            Ok(BranchSpec::LoopExit(trip))
+        }
+        "always" => {
+            arity(0)?;
+            Ok(BranchSpec::Always)
+        }
+        "never" => {
+            arity(0)?;
+            Ok(BranchSpec::Never)
+        }
+        "alternating" => {
+            arity(0)?;
+            Ok(BranchSpec::Alternating)
+        }
+        "pattern" => {
+            arity(2)?;
+            let bits = parse_number(rest[0])
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| {
+                    ScenarioError::bad_value(line, key, format!("bad pattern bits '{}'", rest[0]))
+                })?;
+            let len = parse_number(rest[1])
+                .and_then(|n| u8::try_from(n).ok())
+                .ok_or_else(|| {
+                    ScenarioError::bad_value(line, key, format!("bad pattern length '{}'", rest[1]))
+                })?;
+            Ok(BranchSpec::Pattern { bits, len })
+        }
+        other => Err(ScenarioError::bad_value(
+            line,
+            key,
+            format!("unknown branch process '{other}'"),
+        )),
+    }
+}
+
+fn parse_addrs(s: &str, key: &str, line: usize) -> Result<AddrSpec, ScenarioError> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let num = |p: &str| -> Result<u64, ScenarioError> {
+        parse_number(p)
+            .ok_or_else(|| ScenarioError::bad_value(line, key, format!("bad number '{p}'")))
+    };
+    match parts.as_slice() {
+        ["stream", base, stride, len] => Ok(AddrSpec::Stream {
+            base: num(base)?,
+            stride: num(stride)?,
+            len: num(len)?,
+        }),
+        ["random_in", base, len] => Ok(AddrSpec::RandomIn {
+            base: num(base)?,
+            len: num(len)?,
+        }),
+        ["fixed", addr] => Ok(AddrSpec::Fixed { addr: num(addr)? }),
+        _ => Err(ScenarioError::bad_value(
+            line,
+            key,
+            format!("unknown address stream '{s}'"),
+        )),
+    }
+}
+
+fn parse_op(s: &str, key: &str, line: usize) -> Result<OpSpec, ScenarioError> {
+    match s {
+        "int_alu" => Ok(OpSpec::IntAlu),
+        "int_mul" => Ok(OpSpec::IntMul),
+        "fp_add" => Ok(OpSpec::FpAdd),
+        "fp_mul" => Ok(OpSpec::FpMul),
+        "fp_div" => Ok(OpSpec::FpDiv),
+        "load" => Ok(OpSpec::Load),
+        other => Err(ScenarioError::bad_value(
+            line,
+            key,
+            format!("unknown op '{other}' (chains ops must produce a value)"),
+        )),
+    }
+}
+
+fn parse_schedule(s: &str, line: usize) -> Result<Vec<Step>, ScenarioError> {
+    let mut steps = Vec::new();
+    for item in s.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            return Err(ScenarioError::bad_value(line, "schedule", "empty step"));
+        }
+        let (id, reps) = match item.split_once('*') {
+            None => (item, 1),
+            Some((id, reps)) => {
+                let reps = parse_number(reps.trim())
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| {
+                        ScenarioError::bad_value(
+                            line,
+                            "schedule",
+                            format!("bad repeat count in '{item}'"),
+                        )
+                    })?;
+                (id.trim(), reps)
+            }
+        };
+        steps.push(Step {
+            id: id.to_string(),
+            reps,
+        });
+    }
+    Ok(steps)
+}
+
+fn finish_emit(mut table: Table, header_line: usize) -> Result<EmitterSpec, ScenarioError> {
+    let (id, _) = table.require_str("id", header_line)?;
+    let (kind_name, kind_line) = table.require_str("kind", header_line)?;
+    let (pc, _) = table.require_u64("pc", header_line)?;
+    let branch = |t: &mut Table| -> Result<BranchSpec, ScenarioError> {
+        let (s, line) = t.require_str("branch", header_line)?;
+        parse_branch(&s, "branch", line)
+    };
+    let addrs_opt = |t: &mut Table| -> Result<Option<AddrSpec>, ScenarioError> {
+        match t.take_str("addrs")? {
+            None => Ok(None),
+            Some((s, line)) => parse_addrs(&s, "addrs", line).map(Some),
+        }
+    };
+    let kind = match kind_name.as_str() {
+        "chain" => EmitterKind::Chain {
+            len: table.require_u32("len", header_line)?.0,
+        },
+        "hammock" => {
+            let arm = table.require_u32("arm", header_line)?.0;
+            let branch = branch(&mut table)?;
+            let region = table.require_u64("region", header_line)?.0;
+            EmitterKind::Hammock { arm, branch, region }
+        }
+        "spine_ribs" => {
+            let spine = table.require_u32("spine", header_line)?.0;
+            let rib = table.require_u32("rib", header_line)?.0;
+            let branch = branch(&mut table)?;
+            let trip = table.require_u32("trip", header_line)?.0;
+            EmitterKind::SpineRibs { spine, rib, branch, trip }
+        }
+        "divergent" => {
+            let exit_prob = table.require_f64("exit_prob", header_line)?.0;
+            let trip = table.require_u32("trip", header_line)?.0;
+            let region = table.require_u64("region", header_line)?.0;
+            EmitterKind::Divergent { exit_prob, trip, region }
+        }
+        "chase" => {
+            let region = table.require_u64("region", header_line)?.0;
+            let trip = table.require_u32("trip", header_line)?.0;
+            EmitterKind::Chase { region, trip }
+        }
+        "chains" => {
+            let width = table.require_u32("width", header_line)?.0;
+            let (op, op_line) = table.require_str("op", header_line)?;
+            let op = parse_op(&op, "op", op_line)?;
+            let addrs = addrs_opt(&mut table)?;
+            EmitterKind::Chains { width, op, addrs }
+        }
+        "tree" => EmitterKind::Tree {
+            width: table.require_u32("width", header_line)?.0,
+        },
+        "branchy" => {
+            let units = table.require_u32("units", header_line)?.0;
+            let (items, list_line) = table
+                .take_list("behaviors")?
+                .ok_or_else(|| {
+                    ScenarioError::parse(header_line, "missing required key 'behaviors'")
+                })?;
+            let behaviors = items
+                .iter()
+                .map(|s| parse_branch(s, "behaviors", list_line))
+                .collect::<Result<Vec<_>, _>>()?;
+            EmitterKind::Branchy { units, behaviors }
+        }
+        "store" => {
+            let (s, line) = table.require_str("addrs", header_line)?;
+            EmitterKind::Store {
+                addrs: parse_addrs(&s, "addrs", line)?,
+            }
+        }
+        "back_edge" => EmitterKind::BackEdge {
+            trip: table.require_u32("trip", header_line)?.0,
+        },
+        other => {
+            return Err(ScenarioError::bad_value(
+                kind_line,
+                "kind",
+                format!("unknown emitter kind '{other}'"),
+            ))
+        }
+    };
+    table.expect_empty("phase.emit")?;
+    Ok(EmitterSpec { id, pc, kind })
+}
+
+struct PhaseDraft {
+    header_line: usize,
+    table: Table,
+    emits: Vec<(usize, Table)>,
+}
+
+fn finish_phase(mut draft: PhaseDraft) -> Result<Phase, ScenarioError> {
+    let salt = draft.table.take_u64("salt")?.map(|(v, _)| v).unwrap_or(0);
+    let weight = draft.table.take_u32("weight")?.map(|(v, _)| v).unwrap_or(1);
+    let thread = draft.table.take_u32("thread")?.map(|(v, _)| v).unwrap_or(0);
+    let (schedule_text, schedule_line) = draft.table.require_str("schedule", draft.header_line)?;
+    draft.table.expect_empty("phase")?;
+    let schedule = parse_schedule(&schedule_text, schedule_line)?;
+    let emitters = draft
+        .emits
+        .into_iter()
+        .map(|(line, table)| finish_emit(table, line))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Phase {
+        salt,
+        weight,
+        thread,
+        schedule,
+        emitters,
+    })
+}
+
+/// Parses manifest text into a validated [`Scenario`].
+pub fn from_manifest(text: &str) -> Result<Scenario, ScenarioError> {
+    enum Section {
+        Root,
+        Interleave,
+        Phase,
+        Emit,
+    }
+    let mut section = Section::Root;
+    let mut root = Table::default();
+    let mut interleave: Option<(usize, Table)> = None;
+    let mut phases: Vec<PhaseDraft> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stripped = strip_comment(raw).trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        match stripped {
+            "[interleave]" => {
+                if interleave.is_some() {
+                    return Err(ScenarioError::parse(line, "duplicate [interleave] section"));
+                }
+                interleave = Some((line, Table::default()));
+                section = Section::Interleave;
+                continue;
+            }
+            "[[phase]]" => {
+                phases.push(PhaseDraft {
+                    header_line: line,
+                    table: Table::default(),
+                    emits: Vec::new(),
+                });
+                section = Section::Phase;
+                continue;
+            }
+            "[[phase.emit]]" => {
+                let Some(phase) = phases.last_mut() else {
+                    return Err(ScenarioError::parse(
+                        line,
+                        "[[phase.emit]] must follow a [[phase]] section",
+                    ));
+                };
+                phase.emits.push((line, Table::default()));
+                section = Section::Emit;
+                continue;
+            }
+            s if s.starts_with('[') => {
+                return Err(ScenarioError::parse(line, format!("unknown section '{s}'")));
+            }
+            _ => {}
+        }
+        let Some((key, value)) = stripped.split_once('=') else {
+            return Err(ScenarioError::parse(line, "expected 'key = value'"));
+        };
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(ScenarioError::parse(line, format!("bad key '{key}'")));
+        }
+        let val = parse_value(value, line)?;
+        match section {
+            Section::Root => root.insert(key.to_string(), val, line)?,
+            Section::Interleave => {
+                let (_, table) = interleave.as_mut().expect("section implies table");
+                table.insert(key.to_string(), val, line)?;
+            }
+            Section::Phase => {
+                let table = &mut phases.last_mut().expect("section implies phase").table;
+                table.insert(key.to_string(), val, line)?;
+            }
+            Section::Emit => {
+                let phase = phases.last_mut().expect("section implies phase");
+                let (_, table) = phase.emits.last_mut().expect("section implies emit");
+                table.insert(key.to_string(), val, line)?;
+            }
+        }
+    }
+
+    let (name, _) = root.require_str("name", 1)?;
+    root.expect_empty("scenario")?;
+    let interleave = match interleave {
+        None => None,
+        Some((header_line, mut table)) => {
+            let (mode, mode_line) = table.require_str("mode", header_line)?;
+            let mode = match mode.as_str() {
+                "roundrobin" => InterleaveMode::RoundRobin,
+                "block" => InterleaveMode::Block,
+                other => {
+                    return Err(ScenarioError::bad_value(
+                        mode_line,
+                        "mode",
+                        format!("unknown mode '{other}' (roundrobin | block)"),
+                    ))
+                }
+            };
+            let quantum = table.take_u32("quantum")?.map(|(v, _)| v).unwrap_or(1);
+            table.expect_empty("interleave")?;
+            Some(Interleave { mode, quantum })
+        }
+    };
+    let phases = phases
+        .into_iter()
+        .map(finish_phase)
+        .collect::<Result<Vec<_>, _>>()?;
+    let scenario = Scenario {
+        name,
+        interleave,
+        phases,
+    };
+    scenario.validate()?;
+    Ok(scenario)
+}

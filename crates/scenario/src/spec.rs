@@ -1,0 +1,819 @@
+//! The scenario data model: what a workload *is*, independent of how it
+//! is written down ([`manifest`](crate::manifest)) or executed
+//! ([`engine`](crate::engine)).
+
+use crate::error::ScenarioError;
+use ccs_isa::OpClass;
+use ccs_trace::{BranchBehavior, Benchmark};
+
+/// Architectural registers available to one phase's emitters (the
+/// pattern library's `RegAlloc` hands out 31 before panicking).
+pub const PHASE_REG_BUDGET: usize = 31;
+
+/// A complete declarative workload: a named sequence of phases, each a
+/// set of dataflow emitters driven by a schedule, optionally split
+/// across SMT-style threads and interleaved.
+///
+/// Scenarios are *data*: two scenarios with equal fields render to the
+/// same canonical manifest, fingerprint to the same [`SourceId`]
+/// (`ccs_trace::SourceId`), and generate bit-identical traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Display name; also the cell-key prefix for scenario cells.
+    pub name: String,
+    /// Multi-thread interleaving policy. `None` means the default
+    /// round-robin with quantum 1 (only relevant when phases use more
+    /// than one thread).
+    pub interleave: Option<Interleave>,
+    /// Phases in program order. Phase `k`'s RNG stream is derived from
+    /// `seed.wrapping_add(k) ^ salt`, so a single zero-salt phase at
+    /// thread 0 reproduces a plain workload generator exactly.
+    pub phases: Vec<Phase>,
+}
+
+/// How multi-thread scenarios merge their per-thread streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interleave {
+    /// Merge discipline.
+    pub mode: InterleaveMode,
+    /// Instructions taken from a thread per turn in
+    /// [`InterleaveMode::Block`] mode; ignored (always 1) in
+    /// round-robin mode.
+    pub quantum: u32,
+}
+
+/// SMT-style fetch interleaving discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterleaveMode {
+    /// One instruction per thread per turn.
+    RoundRobin,
+    /// `quantum` instructions per thread per turn (block multithreading).
+    Block,
+}
+
+/// One phase: a fresh register namespace, a set of emitters, and the
+/// schedule that drives them until the phase's length target is met.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// XORed into the phase's RNG seed; benchmark-equivalent manifests
+    /// use the generator's own seed perturbation here.
+    pub salt: u64,
+    /// Relative share of the scenario's requested length (≥ 1).
+    pub weight: u32,
+    /// SMT thread this phase belongs to. Thread ids must be contiguous
+    /// from 0.
+    pub thread: u32,
+    /// Emission order: each step names an emitter and a repeat count.
+    pub schedule: Vec<Step>,
+    /// Emitters in *construction* order — this fixes register
+    /// allocation, so reordering emitters changes the generated trace.
+    pub emitters: Vec<EmitterSpec>,
+}
+
+/// One schedule step: emit `reps` instances of the named emitter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Emitter id within the phase.
+    pub id: String,
+    /// Instances per pass (≥ 1).
+    pub reps: u32,
+}
+
+/// A named, placed dataflow emitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmitterSpec {
+    /// Phase-unique id referenced by schedule steps.
+    pub id: String,
+    /// Base PC of the emitter's static instructions.
+    pub pc: u64,
+    /// Which dataflow primitive, with its parameters.
+    pub kind: EmitterKind,
+}
+
+/// The dataflow primitives of the pattern library, in manifest form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmitterKind {
+    /// A serial dependence chain of `len` static links (ILP ≈ 1).
+    Chain {
+        /// Static body length (≥ 1).
+        len: u32,
+    },
+    /// Convergent dyadic dataflow: two load-headed arms converging at a
+    /// branch (Figure 3 of the paper).
+    Hammock {
+        /// Operations per arm (≥ 1).
+        arm: u32,
+        /// Behaviour of the converging branch.
+        branch: BranchSpec,
+        /// Bytes touched by the arm loads (locality knob, ≥ 1).
+        region: u64,
+    },
+    /// Spine-and-ribs loop (Figure 7): a loop-carried spine with ribs
+    /// that end in stores and a hard branch.
+    SpineRibs {
+        /// Spine operations per iteration (≥ 1).
+        spine: u32,
+        /// Rib operations per iteration (≥ 1).
+        rib: u32,
+        /// Behaviour of the hard rib branch.
+        branch: BranchSpec,
+        /// Loop trip count (≥ 1).
+        trip: u32,
+    },
+    /// Divergent early-exit scan loop (Figure 12).
+    Divergent {
+        /// Early-exit probability per iteration, in `[0, 1]`.
+        exit_prob: f64,
+        /// Counted-exit trip count (≥ 1).
+        trip: u32,
+        /// Bytes of the scanned array (≥ 1).
+        region: u64,
+    },
+    /// Pointer chase: load-to-load recurrence with poor locality.
+    Chase {
+        /// Bytes of the walked structure (≥ 1).
+        region: u64,
+        /// Loop trip count (≥ 1).
+        trip: u32,
+    },
+    /// `width` independent dependence chains advanced round-robin
+    /// (available ILP ≈ width).
+    Chains {
+        /// Number of chains (≥ 1); each costs one register.
+        width: u32,
+        /// Link operation; must produce a value.
+        op: OpSpec,
+        /// Address stream, required iff `op` is a memory operation.
+        addrs: Option<AddrSpec>,
+    },
+    /// Pairwise reduction over `width` leaves — divergence that
+    /// re-converges.
+    Tree {
+        /// Leaf count, `2..=8` (rounded to a power of two internally).
+        width: u32,
+    },
+    /// `units` compute→compare→branch triples with cycling behaviours
+    /// (dense irregular control).
+    Branchy {
+        /// Triples per pass (≥ 1).
+        units: u32,
+        /// Branch behaviours, cycled across units (non-empty).
+        behaviors: Vec<BranchSpec>,
+    },
+    /// A single store fed by its own address stream.
+    Store {
+        /// Address stream of the store.
+        addrs: AddrSpec,
+    },
+    /// A lone loop back-edge branch (control-flow density filler).
+    BackEdge {
+        /// Loop trip count (≥ 1).
+        trip: u32,
+    },
+}
+
+/// Branch direction processes, mirroring
+/// [`BranchBehavior`](ccs_trace::BranchBehavior) in manifest form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BranchSpec {
+    /// Taken with independent probability `p ∈ [0, 1]`.
+    Bernoulli(f64),
+    /// Taken `trip - 1` times then not taken, repeating (`trip ≥ 1`).
+    LoopExit(u32),
+    /// Always taken.
+    Always,
+    /// Never taken.
+    Never,
+    /// Alternates taken / not-taken.
+    Alternating,
+    /// Repeating direction pattern (`len ∈ 1..=32`, bits beyond `len`
+    /// must be zero so the canonical rendering is unique).
+    Pattern {
+        /// Outcome bits, LSB first.
+        bits: u32,
+        /// Period length.
+        len: u8,
+    },
+}
+
+impl BranchSpec {
+    /// The trace-layer behaviour this spec denotes.
+    pub fn to_behavior(&self) -> BranchBehavior {
+        match *self {
+            BranchSpec::Bernoulli(p) => BranchBehavior::Bernoulli(p),
+            BranchSpec::LoopExit(trip) => BranchBehavior::LoopExit(trip),
+            BranchSpec::Always => BranchBehavior::AlwaysTaken,
+            BranchSpec::Never => BranchBehavior::NeverTaken,
+            BranchSpec::Alternating => BranchBehavior::Alternating,
+            BranchSpec::Pattern { bits, len } => BranchBehavior::Pattern { bits, len },
+        }
+    }
+}
+
+/// Value-producing operation classes a [`EmitterKind::Chains`] emitter
+/// may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpSpec {
+    /// Integer ALU op (1-cycle).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// FP add.
+    FpAdd,
+    /// FP multiply.
+    FpMul,
+    /// FP divide.
+    FpDiv,
+    /// Load (requires an address stream).
+    Load,
+}
+
+impl OpSpec {
+    /// The ISA operation class.
+    pub fn to_op_class(self) -> OpClass {
+        match self {
+            OpSpec::IntAlu => OpClass::IntAlu,
+            OpSpec::IntMul => OpClass::IntMul,
+            OpSpec::FpAdd => OpClass::FpAdd,
+            OpSpec::FpMul => OpClass::FpMul,
+            OpSpec::FpDiv => OpClass::FpDiv,
+            OpSpec::Load => OpClass::Load,
+        }
+    }
+
+    /// Whether the op reads memory (and therefore needs addresses).
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpSpec::Load)
+    }
+}
+
+/// Effective-address processes, mirroring
+/// [`AddrStream`](ccs_trace::AddrStream) in manifest form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddrSpec {
+    /// Sequential walk `base + i·stride mod len`.
+    Stream {
+        /// First address.
+        base: u64,
+        /// Bytes between accesses (≥ 1).
+        stride: u64,
+        /// Region size before wrapping (≥ 1).
+        len: u64,
+    },
+    /// Uniformly random inside `[base, base + len)`.
+    RandomIn {
+        /// Region base.
+        base: u64,
+        /// Region size (≥ 1).
+        len: u64,
+    },
+    /// One fixed address.
+    Fixed {
+        /// The address.
+        addr: u64,
+    },
+}
+
+impl AddrSpec {
+    /// The trace-layer stream this spec denotes.
+    pub fn to_stream(&self) -> ccs_trace::AddrStream {
+        match *self {
+            AddrSpec::Stream { base, stride, len } => ccs_trace::AddrStream::stream(base, stride, len),
+            AddrSpec::RandomIn { base, len } => ccs_trace::AddrStream::random_in(base, len),
+            AddrSpec::Fixed { addr } => ccs_trace::AddrStream::Fixed(addr),
+        }
+    }
+}
+
+impl EmitterKind {
+    /// Architectural registers this emitter allocates at construction.
+    pub fn reg_cost(&self) -> usize {
+        match *self {
+            EmitterKind::Chain { .. } => 1,
+            EmitterKind::Hammock { .. } => 3,
+            EmitterKind::SpineRibs { .. } => 3,
+            EmitterKind::Divergent { .. } => 5,
+            EmitterKind::Chase { .. } => 2,
+            EmitterKind::Chains { width, .. } => width as usize,
+            EmitterKind::Tree { width } => 1 + (width as usize).next_power_of_two().clamp(2, 8),
+            EmitterKind::Branchy { .. } => 2,
+            EmitterKind::Store { .. } => 1,
+            EmitterKind::BackEdge { .. } => 1,
+        }
+    }
+
+    /// The manifest `kind` tag.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            EmitterKind::Chain { .. } => "chain",
+            EmitterKind::Hammock { .. } => "hammock",
+            EmitterKind::SpineRibs { .. } => "spine_ribs",
+            EmitterKind::Divergent { .. } => "divergent",
+            EmitterKind::Chase { .. } => "chase",
+            EmitterKind::Chains { .. } => "chains",
+            EmitterKind::Tree { .. } => "tree",
+            EmitterKind::Branchy { .. } => "branchy",
+            EmitterKind::Store { .. } => "store",
+            EmitterKind::BackEdge { .. } => "back_edge",
+        }
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 64
+        && s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+}
+
+fn valid_id(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= 32
+        && s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn check_branch(what: &str, spec: &BranchSpec) -> Result<(), ScenarioError> {
+    match *spec {
+        BranchSpec::Bernoulli(p) => {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ScenarioError::invalid(
+                    what,
+                    format!("bernoulli probability {p} is outside [0, 1]"),
+                ));
+            }
+        }
+        BranchSpec::LoopExit(trip) => {
+            if trip == 0 {
+                return Err(ScenarioError::invalid(what, "loop_exit trip must be ≥ 1"));
+            }
+        }
+        BranchSpec::Pattern { bits, len } => {
+            if len == 0 || len > 32 {
+                return Err(ScenarioError::invalid(what, "pattern length must be in 1..=32"));
+            }
+            if len < 32 && bits >> len != 0 {
+                return Err(ScenarioError::invalid(
+                    what,
+                    "pattern bits beyond the period must be zero",
+                ));
+            }
+        }
+        BranchSpec::Always | BranchSpec::Never | BranchSpec::Alternating => {}
+    }
+    Ok(())
+}
+
+fn check_addrs(what: &str, spec: &AddrSpec) -> Result<(), ScenarioError> {
+    match *spec {
+        AddrSpec::Stream { stride, len, .. } => {
+            if stride == 0 || len == 0 {
+                return Err(ScenarioError::invalid(what, "stream stride and len must be ≥ 1"));
+            }
+        }
+        AddrSpec::RandomIn { len, .. } => {
+            if len == 0 {
+                return Err(ScenarioError::invalid(what, "random_in len must be ≥ 1"));
+            }
+        }
+        AddrSpec::Fixed { .. } => {}
+    }
+    Ok(())
+}
+
+fn check_kind(what: &str, kind: &EmitterKind) -> Result<(), ScenarioError> {
+    let positive = |name: &str, v: u64| -> Result<(), ScenarioError> {
+        if v == 0 {
+            Err(ScenarioError::invalid(what, format!("{name} must be ≥ 1")))
+        } else {
+            Ok(())
+        }
+    };
+    match kind {
+        EmitterKind::Chain { len } => positive("len", u64::from(*len)),
+        EmitterKind::Hammock { arm, branch, region } => {
+            positive("arm", u64::from(*arm))?;
+            positive("region", *region)?;
+            check_branch(what, branch)
+        }
+        EmitterKind::SpineRibs { spine, rib, branch, trip } => {
+            positive("spine", u64::from(*spine))?;
+            positive("rib", u64::from(*rib))?;
+            positive("trip", u64::from(*trip))?;
+            check_branch(what, branch)
+        }
+        EmitterKind::Divergent { exit_prob, trip, region } => {
+            if !(0.0..=1.0).contains(exit_prob) {
+                return Err(ScenarioError::invalid(
+                    what,
+                    format!("exit_prob {exit_prob} is outside [0, 1]"),
+                ));
+            }
+            positive("trip", u64::from(*trip))?;
+            positive("region", *region)
+        }
+        EmitterKind::Chase { region, trip } => {
+            positive("region", *region)?;
+            positive("trip", u64::from(*trip))
+        }
+        EmitterKind::Chains { width, op, addrs } => {
+            positive("width", u64::from(*width))?;
+            match (op.is_mem(), addrs) {
+                (true, None) => Err(ScenarioError::invalid(
+                    what,
+                    "memory chains require an addrs stream",
+                )),
+                (false, Some(_)) => Err(ScenarioError::invalid(
+                    what,
+                    format!("op {op:?} does not access memory; drop the addrs key"),
+                )),
+                (_, Some(a)) => check_addrs(what, a),
+                (false, None) => Ok(()),
+            }
+        }
+        EmitterKind::Tree { width } => {
+            if !(2..=8).contains(width) {
+                return Err(ScenarioError::invalid(what, "tree width must be in 2..=8"));
+            }
+            Ok(())
+        }
+        EmitterKind::Branchy { units, behaviors } => {
+            positive("units", u64::from(*units))?;
+            if behaviors.is_empty() {
+                return Err(ScenarioError::invalid(what, "branchy needs at least one behaviour"));
+            }
+            for bh in behaviors {
+                check_branch(what, bh)?;
+            }
+            Ok(())
+        }
+        EmitterKind::Store { addrs } => check_addrs(what, addrs),
+        EmitterKind::BackEdge { trip } => positive("trip", u64::from(*trip)),
+    }
+}
+
+impl Phase {
+    /// An empty thread-0 phase with salt 0 and weight 1.
+    pub fn new() -> Self {
+        Phase {
+            salt: 0,
+            weight: 1,
+            thread: 0,
+            schedule: Vec::new(),
+            emitters: Vec::new(),
+        }
+    }
+
+    /// Sets the RNG salt.
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// Sets the length-share weight.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Assigns the phase to an SMT thread.
+    pub fn with_thread(mut self, thread: u32) -> Self {
+        self.thread = thread;
+        self
+    }
+
+    /// Appends an emitter (construction order = register order).
+    pub fn with_emitter(mut self, id: &str, pc: u64, kind: EmitterKind) -> Self {
+        self.emitters.push(EmitterSpec {
+            id: id.to_string(),
+            pc,
+            kind,
+        });
+        self
+    }
+
+    /// Appends a schedule step.
+    pub fn with_step(mut self, id: &str, reps: u32) -> Self {
+        self.schedule.push(Step {
+            id: id.to_string(),
+            reps,
+        });
+        self
+    }
+
+    fn validate(&self, k: usize) -> Result<(), ScenarioError> {
+        let what = format!("phase {k}");
+        if self.weight == 0 {
+            return Err(ScenarioError::invalid(&what, "weight must be ≥ 1"));
+        }
+        if self.emitters.is_empty() {
+            return Err(ScenarioError::invalid(&what, "a phase needs at least one emitter"));
+        }
+        if self.schedule.is_empty() {
+            return Err(ScenarioError::invalid(&what, "a phase needs a non-empty schedule"));
+        }
+        let mut budget = 0usize;
+        for e in &self.emitters {
+            let ewhat = format!("{what} emitter '{}'", e.id);
+            if !valid_id(&e.id) {
+                return Err(ScenarioError::invalid(
+                    &ewhat,
+                    "ids are non-empty [a-z0-9_] strings of at most 32 chars",
+                ));
+            }
+            if self.emitters.iter().filter(|o| o.id == e.id).count() > 1 {
+                return Err(ScenarioError::invalid(&ewhat, "duplicate emitter id"));
+            }
+            check_kind(&ewhat, &e.kind)?;
+            budget += e.kind.reg_cost();
+        }
+        if budget > PHASE_REG_BUDGET {
+            return Err(ScenarioError::invalid(
+                &what,
+                format!("emitters need {budget} registers, budget is {PHASE_REG_BUDGET}"),
+            ));
+        }
+        for s in &self.schedule {
+            if s.reps == 0 {
+                return Err(ScenarioError::invalid(
+                    &what,
+                    format!("schedule step '{}' has zero reps", s.id),
+                ));
+            }
+            if !self.emitters.iter().any(|e| e.id == s.id) {
+                return Err(ScenarioError::invalid(
+                    &what,
+                    format!("schedule references unknown emitter '{}'", s.id),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Phase {
+    fn default() -> Self {
+        Phase::new()
+    }
+}
+
+impl Scenario {
+    /// A new, empty scenario. Add phases with
+    /// [`with_phase`](Self::with_phase) or [`with_mix`](Self::with_mix).
+    pub fn new(name: &str) -> Self {
+        Scenario {
+            name: name.to_string(),
+            interleave: None,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Sets the multi-thread interleaving policy.
+    pub fn with_interleave(mut self, mode: InterleaveMode, quantum: u32) -> Self {
+        self.interleave = Some(Interleave { mode, quantum });
+        self
+    }
+
+    /// Appends a phase.
+    pub fn with_phase(mut self, phase: Phase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Appends a single-thread phase mixing the given primitives: entry
+    /// `k` becomes emitter `m{k}` at PC `0x1000 + 0x100·k`, scheduled
+    /// with its repeat count, in order.
+    pub fn with_mix(self, salt: u64, entries: &[(EmitterKind, u32)]) -> Self {
+        let mut phase = Phase::new().with_salt(salt);
+        for (k, (kind, reps)) in entries.iter().enumerate() {
+            let id = format!("m{k}");
+            phase = phase
+                .with_emitter(&id, 0x1000 + 0x100 * k as u64, kind.clone())
+                .with_step(&id, *reps);
+        }
+        self.with_phase(phase)
+    }
+
+    /// Number of SMT threads the phases span (max thread id + 1).
+    pub fn thread_count(&self) -> usize {
+        self.phases.iter().map(|p| p.thread as usize + 1).max().unwrap_or(1)
+    }
+
+    /// Checks every structural and range constraint, returning the
+    /// first violation as a typed error.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if !valid_name(&self.name) {
+            return Err(ScenarioError::invalid(
+                "name",
+                "names are non-empty [a-z0-9_-] strings of at most 64 chars",
+            ));
+        }
+        if self.phases.is_empty() {
+            return Err(ScenarioError::invalid("phases", "a scenario needs at least one phase"));
+        }
+        if let Some(il) = &self.interleave {
+            if il.quantum == 0 {
+                return Err(ScenarioError::invalid("interleave", "quantum must be ≥ 1"));
+            }
+        }
+        let threads = self.thread_count();
+        for t in 0..threads as u32 {
+            if !self.phases.iter().any(|p| p.thread == t) {
+                return Err(ScenarioError::invalid(
+                    "phases",
+                    format!("thread ids must be contiguous from 0; thread {t} has no phase"),
+                ));
+            }
+        }
+        for (k, phase) in self.phases.iter().enumerate() {
+            phase.validate(k)?;
+        }
+        Ok(())
+    }
+
+    /// The scenario that reproduces `bench` **bit-identically**: one
+    /// zero-thread phase whose salt equals the generator's own seed
+    /// perturbation and whose emitters/schedule mirror the hard-coded
+    /// composition in `ccs-trace`'s workload module.
+    pub fn benchmark_equivalent(bench: Benchmark) -> Scenario {
+        let salt = (bench as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let phase = benchmark_phase(bench).with_salt(salt);
+        Scenario::new(bench.name()).with_phase(phase)
+    }
+}
+
+/// The emitter composition of one benchmark model, without its salt.
+fn benchmark_phase(bench: Benchmark) -> Phase {
+    use BranchSpec::{Alternating, Always, Bernoulli, LoopExit};
+    use EmitterKind::*;
+    match bench {
+        Benchmark::Bzip2 => Phase::new()
+            .with_emitter("h1", 0x1000, Hammock { arm: 2, branch: Bernoulli(0.18), region: 1 << 15 })
+            .with_emitter("h2", 0x1100, Hammock { arm: 1, branch: Bernoulli(0.06), region: 1 << 13 })
+            .with_emitter("chain", 0x1200, Chain { len: 3 })
+            .with_emitter("back", 0x1300, BackEdge { trip: 48 })
+            .with_step("h1", 1)
+            .with_step("h2", 1)
+            .with_step("chain", 3)
+            .with_step("back", 1),
+        Benchmark::Crafty => Phase::new()
+            .with_emitter("h", 0x2000, Hammock { arm: 3, branch: Bernoulli(0.12), region: 1 << 14 })
+            .with_emitter(
+                "bb",
+                0x2100,
+                Branchy {
+                    units: 4,
+                    behaviors: vec![Bernoulli(0.05), LoopExit(6), Bernoulli(0.30), Always],
+                },
+            )
+            .with_emitter("tree", 0x2200, Tree { width: 4 })
+            .with_step("h", 1)
+            .with_step("bb", 1)
+            .with_step("tree", 1),
+        Benchmark::Eon => Phase::new()
+            .with_emitter("fp", 0x3000, Chains { width: 4, op: OpSpec::FpMul, addrs: None })
+            .with_emitter("int", 0x3100, Chains { width: 4, op: OpSpec::IntAlu, addrs: None })
+            .with_emitter(
+                "loads",
+                0x3200,
+                Chains {
+                    width: 2,
+                    op: OpSpec::Load,
+                    addrs: Some(AddrSpec::Stream { base: 0x60_0000, stride: 8, len: 1 << 13 }),
+                },
+            )
+            .with_emitter("back", 0x3300, BackEdge { trip: 16 })
+            .with_step("loads", 1)
+            .with_step("fp", 1)
+            .with_step("int", 1)
+            .with_step("back", 1),
+        Benchmark::Gap => Phase::new()
+            .with_emitter(
+                "sr",
+                0x4000,
+                SpineRibs { spine: 4, rib: 2, branch: Bernoulli(0.10), trip: 40 },
+            )
+            .with_emitter("chain", 0x4100, Chain { len: 4 })
+            .with_step("sr", 1)
+            .with_step("chain", 4),
+        Benchmark::Gcc => Phase::new()
+            .with_emitter(
+                "bb1",
+                0x5000,
+                Branchy {
+                    units: 5,
+                    behaviors: vec![
+                        Bernoulli(0.40),
+                        Bernoulli(0.10),
+                        LoopExit(3),
+                        Bernoulli(0.25),
+                        Alternating,
+                    ],
+                },
+            )
+            .with_emitter("d", 0x5100, Divergent { exit_prob: 0.08, trip: 12, region: 1 << 16 })
+            .with_emitter("h", 0x5200, Hammock { arm: 1, branch: Bernoulli(0.35), region: 1 << 16 })
+            .with_step("bb1", 1)
+            .with_step("d", 1)
+            .with_step("h", 1),
+        Benchmark::Gzip => Phase::new()
+            .with_emitter("chain", 0x6000, Chain { len: 6 })
+            .with_emitter("side", 0x6100, Chains { width: 2, op: OpSpec::IntAlu, addrs: None })
+            .with_emitter(
+                "loads",
+                0x6200,
+                Chains {
+                    width: 1,
+                    op: OpSpec::Load,
+                    addrs: Some(AddrSpec::Stream { base: 0x70_0000, stride: 4, len: 1 << 14 }),
+                },
+            )
+            .with_emitter("back", 0x6300, BackEdge { trip: 96 })
+            .with_step("chain", 12)
+            .with_step("side", 1)
+            .with_step("loads", 1)
+            .with_step("back", 1),
+        Benchmark::Mcf => Phase::new()
+            .with_emitter("chase", 0x7000, Chase { region: 16 << 20, trip: 64 })
+            .with_emitter("side", 0x7100, Chains { width: 2, op: OpSpec::IntAlu, addrs: None })
+            .with_emitter("h", 0x7200, Hammock { arm: 1, branch: Bernoulli(0.20), region: 8 << 20 })
+            .with_step("chase", 1)
+            .with_step("side", 1)
+            .with_step("chase", 1)
+            .with_step("h", 1),
+        Benchmark::Parser => Phase::new()
+            .with_emitter("d", 0x8000, Divergent { exit_prob: 0.05, trip: 24, region: 1 << 15 })
+            .with_emitter(
+                "bb",
+                0x8100,
+                Branchy {
+                    units: 3,
+                    behaviors: vec![Bernoulli(0.15), Bernoulli(0.45), LoopExit(5)],
+                },
+            )
+            .with_emitter("chain", 0x8200, Chain { len: 2 })
+            .with_step("d", 3)
+            .with_step("bb", 1)
+            .with_step("chain", 2),
+        Benchmark::Perl => Phase::new()
+            .with_emitter(
+                "sr",
+                0x9000,
+                SpineRibs { spine: 3, rib: 4, branch: Bernoulli(0.35), trip: 32 },
+            )
+            .with_emitter("h", 0x9100, Hammock { arm: 2, branch: Bernoulli(0.10), region: 1 << 14 })
+            .with_step("sr", 1)
+            .with_step("h", 1),
+        Benchmark::Twolf => Phase::new()
+            .with_emitter(
+                "sr",
+                0xA000,
+                SpineRibs { spine: 2, rib: 3, branch: Bernoulli(0.40), trip: 20 },
+            )
+            .with_emitter(
+                "loads",
+                0xA100,
+                Chains {
+                    width: 2,
+                    op: OpSpec::Load,
+                    addrs: Some(AddrSpec::RandomIn { base: 0x80_0000, len: 1 << 19 }),
+                },
+            )
+            .with_emitter("tree", 0xA200, Tree { width: 4 })
+            .with_step("sr", 1)
+            .with_step("loads", 1)
+            .with_step("tree", 1),
+        Benchmark::Vortex => Phase::new()
+            .with_emitter("int", 0xB000, Chains { width: 6, op: OpSpec::IntAlu, addrs: None })
+            .with_emitter(
+                "loads",
+                0xB100,
+                Chains {
+                    width: 2,
+                    op: OpSpec::Load,
+                    addrs: Some(AddrSpec::Stream { base: 0x90_0000, stride: 8, len: 1 << 13 }),
+                },
+            )
+            .with_emitter(
+                "st",
+                0xB200,
+                Store { addrs: AddrSpec::Stream { base: 0xA0_0000, stride: 8, len: 1 << 13 } },
+            )
+            .with_emitter(
+                "bb",
+                0xB300,
+                Branchy { units: 2, behaviors: vec![Bernoulli(0.02), LoopExit(10)] },
+            )
+            .with_step("int", 1)
+            .with_step("loads", 1)
+            .with_step("st", 1)
+            .with_step("bb", 1),
+        Benchmark::Vpr => Phase::new()
+            .with_emitter(
+                "sr",
+                0xC000,
+                SpineRibs { spine: 2, rib: 3, branch: Bernoulli(0.50), trip: 64 },
+            )
+            .with_emitter("tree", 0xC100, Tree { width: 8 })
+            .with_step("sr", 4)
+            .with_step("tree", 1),
+    }
+}

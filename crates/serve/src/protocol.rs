@@ -14,6 +14,14 @@
 //! cycle budget). Ablation cells with custom policy configurations are
 //! batch-binary territory and are refused at encode time rather than
 //! silently mis-keyed.
+//!
+//! Scenario cells (the `ccs-scenario` DSL) travel as an extra optional
+//! `"scenario"` field carrying the canonical manifest text; the `bench`
+//! field then holds the marker `scenario:<name>`, which is not a valid
+//! benchmark name, so a daemon predating the field rejects the cell
+//! loudly instead of silently simulating the placeholder benchmark.
+//! Decoding is tolerant (an absent field is a plain benchmark cell), so
+//! the protocol stays at version 1.
 
 use crate::json;
 use ccs_core::checkpoint::CheckpointRecord;
@@ -235,6 +243,11 @@ pub struct WireCellSpec {
     pub checked: bool,
     /// Deterministic per-epoch cycle budget.
     pub cycle_budget: Option<u64>,
+    /// Canonical scenario manifest text, for cells whose workload is a
+    /// `ccs-scenario` source instead of a named benchmark. When set,
+    /// `bench` holds the `scenario:<name>` marker and is never parsed
+    /// as a benchmark.
+    pub scenario: Option<String>,
 }
 
 impl WireCellSpec {
@@ -257,6 +270,35 @@ impl WireCellSpec {
             run_seed: defaults.seed,
             checked: defaults.checked,
             cycle_budget: defaults.cycle_budget,
+            scenario: None,
+        }
+    }
+
+    /// Names a scenario cell with default run options. The scenario is
+    /// carried as its canonical manifest text, so the receiving daemon
+    /// registers the bit-identical source (same [`SourceId`], same
+    /// cache key) that an in-process run would use.
+    ///
+    /// [`SourceId`]: ccs_trace::SourceId
+    pub fn for_scenario(
+        scenario: &ccs_scenario::Scenario,
+        sample_seed: u64,
+        len: usize,
+        layout: ClusterLayout,
+        policy: PolicyKind,
+    ) -> Self {
+        let defaults = RunOptions::default();
+        WireCellSpec {
+            bench: format!("scenario:{}", scenario.name),
+            sample_seed,
+            len,
+            layout: layout.name().to_string(),
+            policy: policy.name().to_string(),
+            epochs: defaults.epochs,
+            run_seed: defaults.seed,
+            checked: defaults.checked,
+            cycle_budget: defaults.cycle_budget,
+            scenario: Some(scenario.to_manifest()),
         }
     }
 
@@ -302,8 +344,22 @@ impl WireCellSpec {
                 message: "only micro05_baseline machines are wire-addressable".into(),
             });
         }
+        // Scenario cells re-emit the canonical manifest from the
+        // registry, so a remote daemon re-registers the identical
+        // content-addressed source.
+        let (bench, scenario) = match spec.scenario {
+            None => (spec.benchmark.name().to_string(), None),
+            Some(id) => {
+                let registry = ccs_trace::SourceRegistry::global();
+                let manifest = registry.manifest(id).ok_or_else(|| ServeError::Malformed {
+                    message: format!("scenario source {id} is not registered in this process"),
+                })?;
+                let name = registry.name(id).unwrap_or_else(|| "unnamed".into());
+                (format!("scenario:{name}"), Some(manifest.to_string()))
+            }
+        };
         Ok(WireCellSpec {
-            bench: spec.benchmark.name().to_string(),
+            bench,
             sample_seed: spec.sample_seed,
             len: spec.len,
             layout: spec.config.layout.name().to_string(),
@@ -312,6 +368,7 @@ impl WireCellSpec {
             run_seed: spec.options.seed,
             checked: spec.options.checked,
             cycle_budget: spec.options.cycle_budget,
+            scenario,
         })
     }
 
@@ -323,9 +380,8 @@ impl WireCellSpec {
     /// # Errors
     ///
     /// [`ServeError::Malformed`] for unknown benchmark/layout/policy
-    /// names.
+    /// names, or a scenario manifest the DSL rejects.
     pub fn to_cell(&self) -> Result<CellSpec, ServeError> {
-        let bench = parse_benchmark(&self.bench)?;
         let layout = parse_layout(&self.layout)?;
         let policy = parse_policy(&self.policy)?;
         let mut options = RunOptions::default()
@@ -335,8 +391,27 @@ impl WireCellSpec {
         if let Some(budget) = self.cycle_budget {
             options = options.with_cycle_budget(budget);
         }
+        let config = MachineConfig::micro05_baseline().with_layout(layout);
+        if let Some(manifest) = &self.scenario {
+            // Registration is content-addressed and idempotent, so
+            // repeated submissions of the same scenario are free and
+            // resolve to the same cache key.
+            let (_, id) =
+                ccs_scenario::register_manifest(manifest).map_err(|e| ServeError::Malformed {
+                    message: format!("bad scenario manifest: {e}"),
+                })?;
+            return Ok(CellSpec::for_scenario(
+                config,
+                id,
+                self.sample_seed,
+                self.len,
+                policy,
+                options,
+            ));
+        }
+        let bench = parse_benchmark(&self.bench)?;
         Ok(CellSpec::new(
-            MachineConfig::micro05_baseline().with_layout(layout),
+            config,
             bench,
             self.sample_seed,
             self.len,
@@ -360,11 +435,17 @@ impl WireCellSpec {
             self.checked,
         );
         match self.cycle_budget {
-            None => out.push_str(",\"cycle_budget\":null}"),
+            None => out.push_str(",\"cycle_budget\":null"),
             Some(b) => {
-                let _ = write!(out, ",\"cycle_budget\":{b}}}");
+                let _ = write!(out, ",\"cycle_budget\":{b}");
             }
         }
+        // Omitted entirely for benchmark cells, so their encoding is
+        // byte-identical to what pre-scenario builds produced.
+        if let Some(manifest) = &self.scenario {
+            let _ = write!(out, ",\"scenario\":{}", json::quoted(manifest));
+        }
+        out.push('}');
     }
 
     fn decode(obj: &str) -> Result<Self, ServeError> {
@@ -394,6 +475,9 @@ impl WireCellSpec {
                     message: "cell missing field \"cycle_budget\"".into(),
                 }
             })?,
+            // Tolerant: absent (or null, from a cautious peer) reads as
+            // a plain benchmark cell, keeping the protocol at v1.
+            scenario: json::opt_str_field(obj, "scenario").flatten(),
         })
     }
 }
@@ -984,6 +1068,89 @@ mod tests {
             .with_epochs(3)
             .with_cycle_budget(500_000),
         ]
+    }
+
+    fn sample_scenario_cell() -> WireCellSpec {
+        WireCellSpec::for_scenario(
+            &ccs_scenario::Scenario::benchmark_equivalent(Benchmark::Gzip),
+            7,
+            1_200,
+            ClusterLayout::C2x4w,
+            PolicyKind::Dependence,
+        )
+    }
+
+    #[test]
+    fn benchmark_cells_encode_without_the_scenario_field() {
+        // Pre-scenario builds never wrote the field; omitting it keeps
+        // benchmark-cell payloads byte-identical across versions.
+        let mut out = String::new();
+        sample_cells()[0].encode_into(&mut out);
+        assert!(!out.contains("scenario"), "{out}");
+    }
+
+    #[test]
+    fn scenario_cells_round_trip_through_requests() {
+        let reqs = [
+            Request::SubmitCell {
+                id: 21,
+                approx: false,
+                cell: sample_scenario_cell(),
+            },
+            // A grid mixing benchmark and scenario cells exercises the
+            // array splitter against an embedded multi-line manifest.
+            Request::SubmitGrid {
+                id: 22,
+                cells: vec![
+                    sample_cells()[0].clone(),
+                    sample_scenario_cell(),
+                    sample_cells()[1].clone(),
+                ],
+            },
+        ];
+        for req in reqs {
+            let payload = req.encode();
+            let back = Request::decode(&payload).unwrap_or_else(|e| panic!("{payload}: {e}"));
+            assert_eq!(back, req, "{payload}");
+        }
+    }
+
+    #[test]
+    fn scenario_wire_cells_round_trip_through_cell_specs() {
+        let wire = sample_scenario_cell();
+        let spec = wire.to_cell().unwrap();
+        let id = spec.scenario.expect("scenario cell spec must carry a source id");
+        assert_eq!(
+            id.raw(),
+            ccs_scenario::Scenario::benchmark_equivalent(Benchmark::Gzip)
+                .fingerprint(),
+            "wire transport must preserve the content-addressed identity"
+        );
+        let back = WireCellSpec::from_cell(&spec).unwrap();
+        assert_eq!(back, wire);
+    }
+
+    #[test]
+    fn scenario_cells_fail_loudly_on_pre_scenario_daemons() {
+        // An old daemon's decode drops the unknown "scenario" field and
+        // is left staring at bench = "scenario:<name>" — which must be
+        // an unknown-benchmark error, never a silent placeholder run.
+        let mut stripped = sample_scenario_cell();
+        stripped.scenario = None;
+        let err = stripped.to_cell().unwrap_err();
+        assert!(
+            matches!(&err, ServeError::Malformed { message } if message.contains("scenario:gzip")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejected_scenario_manifests_are_malformed_not_fatal() {
+        let mut cell = sample_scenario_cell();
+        cell.scenario = Some("name = \"broken\"\n".into());
+        let err = cell.to_cell().unwrap_err();
+        assert!(matches!(&err, ServeError::Malformed { .. }), "{err}");
+        assert!(err.is_recoverable());
     }
 
     #[test]

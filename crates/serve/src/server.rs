@@ -470,10 +470,7 @@ fn worker_loop(shared: &Shared) {
                     1,
                     &shared.resilience,
                     |_, spec, cancel| {
-                        let trace =
-                            shared
-                                .traces
-                                .get(spec.benchmark, spec.sample_seed, spec.len);
+                        let trace = ccs_core::fetch_cell_trace(&shared.traces, spec);
                         let policy_config =
                             spec.policy_config.unwrap_or_else(|| spec.policy.config());
                         run_custom_cancellable(
@@ -943,9 +940,7 @@ fn handle_approx(
             }
             None => {
                 shared.metrics.record_cache_miss();
-                let trace = shared
-                    .traces
-                    .get(spec.benchmark, spec.sample_seed, spec.len);
+                let trace = ccs_core::fetch_cell_trace(&shared.traces, spec);
                 let mut p = ccs_predict::predict(&spec.config, &trace)
                     .with_cycle_budget(spec.options.cycle_budget);
                 // The envelope is sound for any policy, but its

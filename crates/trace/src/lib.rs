@@ -42,14 +42,16 @@ mod error;
 mod memdep;
 pub mod patterns;
 pub mod program;
+mod source;
 mod stats;
 mod store;
 mod workloads;
 
-pub use behavior::{AddrStream, BranchBehavior};
+pub use behavior::{AddrState, AddrStream, BranchBehavior, BranchState};
 pub use builder::{Trace, TraceBuilder};
 pub use dynamic::{DynIdx, DynInst};
 pub use error::TraceError;
+pub use source::{fnv1a, SourceGenerator, SourceId, SourceRegistry};
 pub use stats::TraceStats;
 pub use store::{TraceKey, TraceStore};
-pub use workloads::{phased, try_phased, Benchmark};
+pub use workloads::{phased, try_phased, Benchmark, MAX_TRACE_LEN};

@@ -25,8 +25,19 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
-/// The memoization key: which trace, which sample seed, which length.
+/// The benchmark memoization key: which trace, which sample seed, which
+/// length. Custom sources (registered scenarios) are cached under their
+/// 64-bit source fingerprint instead — see [`TraceStore::get_custom`].
 pub type TraceKey = (Benchmark, u64, usize);
+
+/// The internal cache key: either a closed-enum benchmark or an open
+/// fingerprint-addressed custom source. Both share the same slot, LRU
+/// and panic-eviction machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Bench(Benchmark, u64, usize),
+    Custom(u64, u64, usize),
+}
 
 /// One cache entry: the generation slot plus its recency stamp.
 #[derive(Debug)]
@@ -55,7 +66,7 @@ struct Entry {
 /// one pointer-identical `Arc<Trace>`.
 #[derive(Debug, Default)]
 pub struct TraceStore {
-    map: Mutex<HashMap<TraceKey, Entry>>,
+    map: Mutex<HashMap<Key, Entry>>,
     /// LRU bound on cached entries; `None` never evicts.
     capacity: Option<usize>,
     /// Logical recency clock, advanced by every `get`.
@@ -113,13 +124,13 @@ impl TraceStore {
     /// Treating poison as fatal (the pre-resilience behaviour) turned
     /// one panicking grid cell into a process-wide cache outage, so we
     /// take the guard regardless.
-    fn lock_map(&self) -> MutexGuard<'_, HashMap<TraceKey, Entry>> {
+    fn lock_map(&self) -> MutexGuard<'_, HashMap<Key, Entry>> {
         self.map.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Evicts initialized least-recently-used entries (never `keep`)
     /// until the table fits the capacity bound. Caller holds the lock.
-    fn evict_to_capacity(&self, map: &mut HashMap<TraceKey, Entry>, keep: &TraceKey) {
+    fn evict_to_capacity(&self, map: &mut HashMap<Key, Entry>, keep: &Key) {
         let Some(cap) = self.capacity else { return };
         while map.len() > cap {
             let victim = map
@@ -149,7 +160,25 @@ impl TraceStore {
     /// refreshes the key's recency, and inserting a new key may evict
     /// the least-recently-used generated entry.
     pub fn get(&self, bench: Benchmark, seed: u64, len: usize) -> Arc<Trace> {
-        let key = (bench, seed, len);
+        self.get_with(Key::Bench(bench, seed, len), || bench.generate(seed, len))
+    }
+
+    /// The trace of a fingerprint-addressed custom source (a registered
+    /// scenario), memoized under `(fp, seed, len)` with the same
+    /// single-generation, LRU and panic-eviction behaviour as
+    /// [`get`](Self::get). `generate` runs at most once per live key;
+    /// callers racing on a cold key block until it finishes.
+    pub fn get_custom(
+        &self,
+        fp: u64,
+        seed: u64,
+        len: usize,
+        generate: impl FnOnce() -> Trace,
+    ) -> Arc<Trace> {
+        self.get_with(Key::Custom(fp, seed, len), generate)
+    }
+
+    fn get_with(&self, key: Key, generate: impl FnOnce() -> Trace) -> Arc<Trace> {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let (slot, creator) = {
             let mut map = self.lock_map();
@@ -187,7 +216,7 @@ impl TraceStore {
         // panicked must not be left installed, or a later retry of the
         // same key would find the dead slot instead of regenerating.
         let init = catch_unwind(AssertUnwindSafe(|| {
-            Arc::clone(slot.get_or_init(|| Arc::new(bench.generate(seed, len))))
+            Arc::clone(slot.get_or_init(|| Arc::new(generate())))
         }));
         match init {
             Ok(trace) => trace,
@@ -211,7 +240,13 @@ impl TraceStore {
     /// Whether `(bench, seed, len)` is currently cached (generated or
     /// mid-generation), without touching its recency.
     pub fn contains(&self, bench: Benchmark, seed: u64, len: usize) -> bool {
-        self.lock_map().contains_key(&(bench, seed, len))
+        self.lock_map().contains_key(&Key::Bench(bench, seed, len))
+    }
+
+    /// Whether the custom-source key `(fp, seed, len)` is currently
+    /// cached (generated or mid-generation), without touching recency.
+    pub fn contains_custom(&self, fp: u64, seed: u64, len: usize) -> bool {
+        self.lock_map().contains_key(&Key::Custom(fp, seed, len))
     }
 
     /// Number of distinct traces currently cached.
@@ -445,6 +480,23 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         store.clear();
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn custom_keys_memoize_without_colliding_with_benchmarks() {
+        let store = TraceStore::new();
+        let bench = store.get(Benchmark::Gap, 1, 300);
+        // A custom source cached at the same (seed, len) is a distinct
+        // entry, even if its fingerprint happens to be small.
+        let custom = store.get_custom(0, 1, 300, || Benchmark::Vpr.generate(1, 300));
+        assert!(!Arc::ptr_eq(&bench, &custom));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.misses(), 2);
+        // Memoized: the generator must not run again.
+        let again = store.get_custom(0, 1, 300, || panic!("generator re-ran for a warm key"));
+        assert!(Arc::ptr_eq(&custom, &again));
+        assert!(store.contains_custom(0, 1, 300));
+        assert!(!store.contains_custom(1, 1, 300));
     }
 
     #[test]

@@ -140,6 +140,12 @@ impl Benchmark {
     /// Emits this model's instructions into an existing builder until the
     /// builder holds at least `min_len` instructions — the building block
     /// for [`phased`] composite workloads.
+    ///
+    /// If the builder already holds `min_len` instructions this emits
+    /// nothing: the target is a floor on the *builder's* length, not a
+    /// count of instructions to append. [`try_phased`] therefore sets
+    /// each phase's target relative to the builder's current length, so
+    /// every phase contributes at least one pattern iteration.
     pub fn emit_into(self, b: &mut TraceBuilder, seed: u64, min_len: usize) {
         let mut rng = StdRng::seed_from_u64(seed ^ (self as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         match self {
@@ -212,7 +218,11 @@ pub fn try_phased(phases: &[Benchmark], seed: u64, phase_len: usize) -> Result<T
     let mut b = TraceBuilder::new();
     for (k, bench) in phases.iter().enumerate() {
         let target = b.len() + phase_len;
-        bench.emit_into(&mut b, seed + k as u64, target);
+        // Wrapping: phase seeds are a per-phase perturbation of the
+        // caller's seed, and callers may legitimately pass seeds near
+        // `u64::MAX` (fuzzers do). `seed + k` overflowed there, turning
+        // a valid parameter set into a debug-build panic.
+        bench.emit_into(&mut b, seed.wrapping_add(k as u64), target);
         b.barrier();
     }
     Ok(b.finish())
@@ -220,8 +230,10 @@ pub fn try_phased(phases: &[Benchmark], seed: u64, phase_len: usize) -> Result<T
 
 /// Hard cap on requested trace lengths: dynamic indices are `u32`, and
 /// generation may overshoot a pattern iteration, so reject anything close
-/// to the representable limit up front.
-const MAX_TRACE_LEN: usize = (u32::MAX / 2) as usize;
+/// to the representable limit up front. Public so other workload layers
+/// (the scenario DSL) can validate against the same bound instead of
+/// re-deriving it.
+pub const MAX_TRACE_LEN: usize = (u32::MAX / 2) as usize;
 
 fn validate_min_len(min_len: usize) -> Result<(), TraceError> {
     if min_len == 0 {
@@ -685,6 +697,70 @@ mod tests {
     #[should_panic]
     fn empty_phases_panic() {
         let _ = phased(&[], 1, 100);
+    }
+
+    #[test]
+    fn phased_near_max_seed_does_not_overflow() {
+        // Regression: phase k used `seed + k`, which overflowed (debug
+        // panic) for seeds near u64::MAX. Phase seeds now wrap.
+        let t = try_phased(&[Benchmark::Gzip, Benchmark::Mcf], u64::MAX, 200)
+            .expect("a maximal seed is a valid parameter");
+        assert!(t.len() >= 400);
+        t.validate().unwrap();
+        // Wrapping is part of the deterministic contract: phase 1 at
+        // seed u64::MAX draws the same stream as a phase seeded with 0.
+        let mut b = TraceBuilder::new();
+        Benchmark::Gzip.emit_into(&mut b, u64::MAX, 200);
+        b.barrier();
+        let split = b.len();
+        Benchmark::Mcf.emit_into(&mut b, 0, split + 200);
+        b.barrier();
+        let manual = b.finish();
+        assert_eq!(t.len(), manual.len());
+        for (x, y) in t.as_slice().iter().zip(manual.as_slice()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_are_typed_errors_not_panics() {
+        for (name, result) in [
+            ("generate 0", Benchmark::Vpr.try_generate(1, 0)),
+            ("generate cap+1", Benchmark::Vpr.try_generate(1, MAX_TRACE_LEN + 1)),
+            ("phased 0", try_phased(&[Benchmark::Vpr], 1, 0)),
+            (
+                "phased cap overflow",
+                try_phased(&[Benchmark::Vpr, Benchmark::Gcc], 1, MAX_TRACE_LEN),
+            ),
+        ] {
+            match result {
+                Err(TraceError::BadWorkloadParam { .. }) => {}
+                other => panic!("{name}: expected BadWorkloadParam, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            try_phased(&[], 1, 100),
+            Err(TraceError::BadWorkloadParam { param: "phases", .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_phase_len_still_gives_every_phase_an_iteration() {
+        // phase_len far below one pattern iteration must not silently
+        // truncate a phase to zero instructions: each phase's target is
+        // relative to the builder's running length, so each emits at
+        // least one full iteration.
+        let phases = [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Gcc];
+        let t = try_phased(&phases, 5, 1).expect("phase_len=1 is valid");
+        t.validate().unwrap();
+        // All three models' PC ranges must appear (gzip 0x6xxx, mcf
+        // 0x7xxx, gcc 0x5xxx).
+        for range in [0x6000..0x7000u64, 0x7000..0x8000, 0x5000..0x6000] {
+            assert!(
+                t.iter().any(|(_, inst)| range.contains(&inst.pc().raw())),
+                "phase with PCs in {range:x?} emitted nothing"
+            );
+        }
     }
 
     #[test]

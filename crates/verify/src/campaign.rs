@@ -172,32 +172,52 @@ pub fn standard_campaign(cases: usize) -> Vec<DiffCase> {
 /// infrastructure failure distinct from a divergence.
 pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, String> {
     let trace = case.source.trace();
-    let config = case.config();
-    let cfg = case.policy.config();
-    let name = case.policy.name();
+    run_trace_case(&trace, &case.config(), case.policy, case.epochs, &case.describe())
+}
+
+/// [`run_case`] for a caller-supplied trace: the same six-step
+/// differential pipeline, reusable by campaigns whose traces do not
+/// come from a [`TraceSource`] (the scenario-manifest fuzzer in
+/// [`scenariofuzz`](crate::scenariofuzz) feeds generated scenario
+/// traces through here). `describe` prefixes every reported problem so
+/// a failure names its case.
+///
+/// # Errors
+///
+/// Returns `Err` if either simulator hits its cycle limit — an
+/// infrastructure failure distinct from a divergence.
+pub fn run_trace_case(
+    trace: &Trace,
+    config: &MachineConfig,
+    policy_kind: PolicyKind,
+    epochs: u32,
+    describe: &str,
+) -> Result<CaseOutcome, String> {
+    let cfg = policy_kind.config();
+    let name = policy_kind.name();
 
     let mut bank = PredictorBank::new(LocMode::Quantized16, 0xC1A5);
-    for _ in 1..case.epochs.max(1) {
-        let mut policy = CellPolicy::build(case.policy, cfg, bank, name);
-        let result = ccs_sim::simulate(&config, &trace, &mut policy)
-            .map_err(|e| format!("{}: training run failed: {e}", case.describe()))?;
-        let analysis = analyze(&trace, &result);
+    for _ in 1..epochs.max(1) {
+        let mut policy = CellPolicy::build(policy_kind, cfg, bank, name);
+        let result = ccs_sim::simulate(config, trace, &mut policy)
+            .map_err(|e| format!("{describe}: training run failed: {e}"))?;
+        let analysis = analyze(trace, &result);
         bank = policy.into_bank();
-        bank.train_criticality(&trace, &analysis.e_critical);
+        bank.train_criticality(trace, &analysis.e_critical);
     }
 
-    let mut engine_policy = CellPolicy::build(case.policy, cfg, bank.clone(), name);
-    let engine = ccs_sim::simulate(&config, &trace, &mut engine_policy)
-        .map_err(|e| format!("{}: engine failed: {e}", case.describe()))?;
-    let mut oracle_policy = CellPolicy::build(case.policy, cfg, bank, name);
-    let oracle = reference_simulate(&config, &trace, &mut oracle_policy)
-        .map_err(|e| format!("{}: oracle failed: {e}", case.describe()))?;
+    let mut engine_policy = CellPolicy::build(policy_kind, cfg, bank.clone(), name);
+    let engine = ccs_sim::simulate(config, trace, &mut engine_policy)
+        .map_err(|e| format!("{describe}: engine failed: {e}"))?;
+    let mut oracle_policy = CellPolicy::build(policy_kind, cfg, bank, name);
+    let oracle = reference_simulate(config, trace, &mut oracle_policy)
+        .map_err(|e| format!("{describe}: oracle failed: {e}"))?;
 
     let mut problems = diff_results(&engine, &oracle);
-    for v in ccs_sim::check_invariants(&config, &trace, &engine) {
+    for v in ccs_sim::check_invariants(config, trace, &engine) {
         problems.push(format!("invariant: {v}"));
     }
-    let analysis = analyze(&trace, &engine);
+    let analysis = analyze(trace, &engine);
     if analysis.breakdown.total() != engine.cycles {
         problems.push(format!(
             "critical-path breakdown sums to {} but the run took {} cycles",
@@ -207,7 +227,7 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, String> {
     }
     // The analytic envelope holds for every legal schedule, so every
     // differential case doubles as a bounds test for free.
-    for v in crate::bounds::check_bounds(&config, &trace, &engine) {
+    for v in crate::bounds::check_bounds(config, trace, &engine) {
         problems.push(format!("bounds: {v}"));
     }
 
@@ -215,7 +235,7 @@ pub fn run_case(case: &DiffCase) -> Result<CaseOutcome, String> {
         Ok(CaseOutcome::Agreed)
     } else {
         Ok(CaseOutcome::Diverged(
-            std::iter::once(case.describe()).chain(problems).collect(),
+            std::iter::once(describe.to_string()).chain(problems).collect(),
         ))
     }
 }

@@ -4,7 +4,7 @@
 //! in window entries, resolves memory dependences through an
 //! open-addressed table, reuses scratch buffers, and encodes "not yet"
 //! as a sentinel cycle. Each of those optimizations is a place for a
-//! subtle scheduling bug to hide. This crate provides eight independent
+//! subtle scheduling bug to hide. This crate provides nine independent
 //! lines of defence:
 //!
 //! 1. **A reference oracle** ([`reference_simulate`]) — a naive
@@ -40,7 +40,13 @@
 //!    prefixes, flipped payload bits) that the service integration
 //!    suite feeds to a live `ccs-serve` daemon, asserting typed errors
 //!    and a surviving process.
-//! 8. **Service-level chaos** ([`chaos`]) — a seeded fault plan
+//! 8. **Scenario-manifest fuzzing** ([`scenariofuzz`]) — seeded random
+//!    *valid* `ccs-scenario` workloads (arbitrary emitter mixes, phase
+//!    sequences, SMT interleavings) checked for manifest round-trip
+//!    stability and trace validity, then driven through the full
+//!    differential pipeline, so the declarative workload space gets the
+//!    same engine-vs-oracle guarantee as the hand-written models.
+//! 9. **Service-level chaos** ([`chaos`]) — a seeded fault plan
 //!    ([`ServeFaultPlan`]) and byte-level fault-injecting TCP proxy
 //!    ([`ChaosProxy`]) staging shard deaths, wedged accept loops, torn
 //!    replies, and injected latency, so the sharded-cluster integration
@@ -61,9 +67,12 @@ pub mod golden;
 pub mod metricscheck;
 pub mod oracle;
 pub mod protocol;
+pub mod scenariofuzz;
 
 pub use bounds::{check_bounds, check_bounds_against, BoundViolation};
-pub use campaign::{run_case, standard_campaign, CaseOutcome, DiffCase, TraceSource};
+pub use campaign::{
+    run_case, run_trace_case, standard_campaign, CaseOutcome, DiffCase, TraceSource,
+};
 pub use chaos::{ChaosProxy, ServeFault, ServeFaultPlan};
 pub use diff::diff_results;
 pub use faultinject::{
@@ -73,3 +82,4 @@ pub use faultinject::{
 pub use metricscheck::check_metrics;
 pub use oracle::reference_simulate;
 pub use protocol::{mutate_frame, FrameMutation, ALL_FRAME_MUTATIONS, FRAME_HEADER_LEN};
+pub use scenariofuzz::{fuzz_scenario, run_scenario_case};

@@ -1,0 +1,295 @@
+//! Seeded scenario-manifest fuzzing: random *valid* `ccs-scenario`
+//! workloads driven through the manifest round-trip, the trace
+//! validator, and the full engine-vs-oracle differential pipeline.
+//!
+//! The scenario DSL multiplies the workload space the simulator can
+//! see: arbitrary emitter mixes, phase sequences and SMT interleavings
+//! that no hand-written benchmark model exercises. This campaign is the
+//! matching verification surface. Case `i` deterministically maps to a
+//! scenario (so CI failures reproduce locally by id) and each case
+//! checks, in order:
+//!
+//! 1. the generated scenario passes [`Scenario::validate`];
+//! 2. its canonical manifest **round-trips**:
+//!    `from_manifest(to_manifest(s)) == s`, and rendering is a fixed
+//!    point;
+//! 3. the generated trace passes `Trace::validate`;
+//! 4. the trace agrees end to end under
+//!    [`run_trace_case`](crate::campaign::run_trace_case) — engine vs
+//!    reference oracle, schedule invariants, critical-path cycle
+//!    conservation, and the analytic bounds envelope.
+//!
+//! The case budget lives in the integration suite
+//! (`tests/scenario_fuzz.rs`, tunable via `CCS_SCENARIO_CASES`).
+
+use crate::campaign::{run_trace_case, CaseOutcome, ALL_POLICIES};
+use ccs_isa::{ClusterLayout, MachineConfig};
+use ccs_scenario::{
+    AddrSpec, BranchSpec, EmitterKind, InterleaveMode, OpSpec, Phase, Scenario, PHASE_REG_BUDGET,
+};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Branch-taken probabilities drawn by the fuzzer. A fixed menu (rather
+/// than arbitrary floats) keeps every manifest value exactly
+/// representable, so round-trip equality is a hard check instead of an
+/// epsilon comparison.
+const PROBS: [f64; 8] = [0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+
+fn random_branch(rng: &mut StdRng) -> BranchSpec {
+    match rng.random_range(0u32..6) {
+        0 => BranchSpec::Bernoulli(PROBS[rng.random_range(0usize..PROBS.len())]),
+        1 => BranchSpec::LoopExit(rng.random_range(1u32..65)),
+        2 => BranchSpec::Always,
+        3 => BranchSpec::Never,
+        4 => BranchSpec::Alternating,
+        _ => {
+            let len = rng.random_range(1u8..9);
+            let bits = rng.random_range(0u32..(1 << len));
+            BranchSpec::Pattern { bits, len }
+        }
+    }
+}
+
+fn random_addrs(rng: &mut StdRng) -> AddrSpec {
+    let base = 0x10_0000 + 0x1000 * rng.random_range(0u64..256);
+    match rng.random_range(0u32..3) {
+        0 => AddrSpec::Stream {
+            base,
+            stride: [4, 8, 64][rng.random_range(0usize..3)],
+            len: 1 << rng.random_range(10u32..21),
+        },
+        1 => AddrSpec::RandomIn {
+            base,
+            len: 1 << rng.random_range(10u32..22),
+        },
+        _ => AddrSpec::Fixed { addr: base },
+    }
+}
+
+/// Draws one emitter kind whose register cost fits `budget`. Falls back
+/// to a plain chain (cost 1) when the draw is too expensive — the
+/// greedy fill mirrors how a user would pack a phase, and keeps every
+/// generated scenario inside [`PHASE_REG_BUDGET`] by construction.
+fn random_kind(rng: &mut StdRng, budget: usize) -> EmitterKind {
+    let candidate = match rng.random_range(0u32..10) {
+        0 => EmitterKind::Chain {
+            len: rng.random_range(1u32..9),
+        },
+        1 => EmitterKind::Hammock {
+            arm: rng.random_range(1u32..5),
+            branch: random_branch(rng),
+            region: 1 << rng.random_range(10u32..23),
+        },
+        2 => EmitterKind::SpineRibs {
+            spine: rng.random_range(1u32..5),
+            rib: rng.random_range(1u32..5),
+            branch: random_branch(rng),
+            trip: rng.random_range(2u32..65),
+        },
+        3 => EmitterKind::Divergent {
+            exit_prob: PROBS[rng.random_range(0usize..PROBS.len())],
+            trip: rng.random_range(1u32..33),
+            region: 1 << rng.random_range(10u32..19),
+        },
+        4 => EmitterKind::Chase {
+            region: 1 << rng.random_range(12u32..25),
+            trip: rng.random_range(2u32..65),
+        },
+        5 => {
+            let op = [
+                OpSpec::IntAlu,
+                OpSpec::IntMul,
+                OpSpec::FpAdd,
+                OpSpec::FpMul,
+                OpSpec::FpDiv,
+                OpSpec::Load,
+            ][rng.random_range(0usize..6)];
+            EmitterKind::Chains {
+                width: rng.random_range(1u32..7),
+                op,
+                addrs: op.is_mem().then(|| random_addrs(rng)),
+            }
+        }
+        6 => EmitterKind::Tree {
+            width: rng.random_range(2u32..9),
+        },
+        7 => EmitterKind::Branchy {
+            units: rng.random_range(1u32..6),
+            behaviors: (0..rng.random_range(1usize..5))
+                .map(|_| random_branch(rng))
+                .collect(),
+        },
+        8 => EmitterKind::Store {
+            addrs: random_addrs(rng),
+        },
+        _ => EmitterKind::BackEdge {
+            trip: rng.random_range(2u32..129),
+        },
+    };
+    if candidate.reg_cost() <= budget {
+        candidate
+    } else {
+        EmitterKind::Chain {
+            len: rng.random_range(1u32..9),
+        }
+    }
+}
+
+fn random_phase(rng: &mut StdRng, thread: u32) -> Phase {
+    let mut phase = Phase::new()
+        .with_salt(rng.random_range(0u64..u64::MAX))
+        .with_weight(rng.random_range(1u32..4))
+        .with_thread(thread);
+    let emitters = rng.random_range(1usize..5);
+    let mut budget = PHASE_REG_BUDGET;
+    let mut ids = Vec::with_capacity(emitters);
+    for k in 0..emitters {
+        let kind = random_kind(rng, budget);
+        budget -= kind.reg_cost();
+        let id = format!("e{k}");
+        phase = phase.with_emitter(&id, 0x1000 * (u64::from(thread) + 1) + 0x100 * k as u64, kind);
+        ids.push(id);
+    }
+    // Every emitter is scheduled at least once so none is dead weight,
+    // then a few extra random steps vary the mix ratios.
+    for id in &ids {
+        phase = phase.with_step(id, rng.random_range(1u32..5));
+    }
+    for _ in 0..rng.random_range(0usize..4) {
+        let id = &ids[rng.random_range(0usize..ids.len())];
+        phase = phase.with_step(id, rng.random_range(1u32..9));
+    }
+    phase
+}
+
+/// The deterministic random scenario for fuzz case `id`: 1–3 phases of
+/// 1–4 emitters each, occasionally split across two SMT threads with a
+/// random interleaving discipline. Valid by construction (asserted by
+/// the campaign before anything else runs).
+pub fn fuzz_scenario(id: usize) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(
+        0x5CE0_4A22_u64
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(id as u64),
+    );
+    let threads: u32 = if rng.random_bool(0.25) { 2 } else { 1 };
+    let mut s = Scenario::new(&format!("fuzz_{id:04}"));
+    if threads == 2 {
+        s = match rng.random_range(0u32..3) {
+            0 => s.with_interleave(InterleaveMode::RoundRobin, 1),
+            1 => s.with_interleave(InterleaveMode::Block, rng.random_range(2u32..65)),
+            _ => s, // default interleaving (round-robin, quantum 1)
+        };
+    }
+    let phases = rng.random_range(threads as usize..4);
+    for k in 0..phases {
+        // `k % threads` keeps thread ids contiguous from 0, which the
+        // validator requires.
+        s = s.with_phase(random_phase(&mut rng, k as u32 % threads));
+    }
+    s
+}
+
+/// Runs fuzz case `id` end to end: generate → validate → manifest
+/// round-trip → trace validation → full differential pipeline. The
+/// machine axes (layout, policy, epochs, trace length) derive from the
+/// id with coprime periods, so any run of ≥ 28 consecutive cases covers
+/// every layout × policy pair.
+///
+/// # Errors
+///
+/// Returns `Err` on infrastructure failures (a simulator hitting its
+/// cycle limit), as distinct from a checked divergence.
+pub fn run_scenario_case(id: usize) -> Result<CaseOutcome, String> {
+    let scenario = fuzz_scenario(id);
+    let mut problems: Vec<String> = Vec::new();
+
+    if let Err(e) = scenario.validate() {
+        // The generator only emits valid scenarios; a validation error
+        // here is a fuzzer bug, not a DSL bug — still report it.
+        problems.push(format!("generated scenario failed validation: {e}"));
+    }
+    let text = scenario.to_manifest();
+    match Scenario::from_manifest(&text) {
+        Ok(back) => {
+            if back != scenario {
+                problems.push("manifest round-trip changed the scenario".to_string());
+            } else if back.to_manifest() != text {
+                problems.push("canonical rendering is not a fixed point".to_string());
+            }
+        }
+        Err(e) => problems.push(format!("canonical manifest failed to parse: {e}")),
+    }
+
+    let layout = ClusterLayout::ALL[id % 4];
+    let policy = ALL_POLICIES[(id / 4) % ALL_POLICIES.len()];
+    let epochs = 1 + (id % 2) as u32;
+    let len = 400 + 37 * (id % 12);
+    let seed = 1 + (id / 7) as u64;
+    let describe = format!(
+        "scenario fuzz case {id}: {} {} {} len={len} seed={seed} epochs={epochs}",
+        scenario.name,
+        layout,
+        policy.name(),
+    );
+
+    let trace = match scenario.try_generate(seed, len) {
+        Ok(t) => t,
+        Err(e) => {
+            problems.push(format!("trace generation failed: {e}"));
+            return Ok(CaseOutcome::Diverged(
+                std::iter::once(describe).chain(problems).collect(),
+            ));
+        }
+    };
+    if let Err(e) = trace.validate() {
+        problems.push(format!("generated trace failed validation: {e}"));
+    }
+
+    let config = MachineConfig::micro05_baseline().with_layout(layout);
+    match run_trace_case(&trace, &config, policy, epochs, &describe)? {
+        CaseOutcome::Agreed => {}
+        CaseOutcome::Diverged(lines) => problems.extend(lines.into_iter().skip(1)),
+    }
+
+    if problems.is_empty() {
+        Ok(CaseOutcome::Agreed)
+    } else {
+        Ok(CaseOutcome::Diverged(
+            std::iter::once(describe).chain(problems).collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuzz_scenarios_are_deterministic_and_valid() {
+        for id in 0..40 {
+            let a = fuzz_scenario(id);
+            let b = fuzz_scenario(id);
+            assert_eq!(a, b, "case {id} must be deterministic");
+            a.validate()
+                .unwrap_or_else(|e| panic!("case {id} generated an invalid scenario: {e}"));
+        }
+    }
+
+    #[test]
+    fn fuzz_cases_cover_both_smt_and_single_thread_shapes() {
+        let scenarios: Vec<Scenario> = (0..40).map(fuzz_scenario).collect();
+        assert!(scenarios.iter().any(|s| s.thread_count() == 1));
+        assert!(scenarios.iter().any(|s| s.thread_count() == 2));
+        assert!(scenarios.iter().any(|s| s.interleave.is_some()));
+        assert!(scenarios.iter().any(|s| s.phases.len() > 1));
+    }
+
+    #[test]
+    fn a_single_fuzz_case_agrees_end_to_end() {
+        match run_scenario_case(0).unwrap() {
+            CaseOutcome::Agreed => {}
+            CaseOutcome::Diverged(lines) => panic!("{}", lines.join("\n  ")),
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The scenario-manifest fuzzing campaign: seeded random valid
+//! `ccs-scenario` workloads checked for manifest round-trip stability
+//! and trace validity, then driven through the full engine-vs-oracle
+//! differential pipeline (`ccs_verify::run_trace_case`).
+//!
+//! The case budget defaults to 120 and is tunable via
+//! `CCS_SCENARIO_CASES` (CI sets it explicitly; see `ci.sh`). Cases are
+//! deterministic by id, so a reported failure reproduces exactly.
+
+use ccs_core::parallel_map;
+use ccs_verify::{fuzz_scenario, run_scenario_case, CaseOutcome};
+
+fn case_budget() -> usize {
+    std::env::var("CCS_SCENARIO_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120)
+}
+
+#[test]
+fn fuzzed_scenarios_round_trip_and_agree_with_the_oracle() {
+    // At least 28 cases guarantees full layout × policy coverage (the
+    // machine axes cycle with coprime periods 4 and 7).
+    let ids: Vec<usize> = (0..case_budget().max(28)).collect();
+
+    // The generated population must actually exercise the DSL's
+    // distinguishing features, or the campaign fuzzes a corner.
+    let scenarios: Vec<_> = ids.iter().map(|&id| fuzz_scenario(id)).collect();
+    assert!(scenarios.iter().any(|s| s.thread_count() > 1), "no SMT case");
+    assert!(scenarios.iter().any(|s| s.phases.len() > 1), "no multi-phase case");
+    assert!(scenarios.iter().any(|s| s.interleave.is_some()), "no explicit interleave");
+
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let outcomes = parallel_map(&ids, threads, |&id| run_scenario_case(id));
+    let mut failures: Vec<String> = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(CaseOutcome::Agreed) => {}
+            Ok(CaseOutcome::Diverged(lines)) => failures.push(lines.join("\n  ")),
+            Err(infra) => failures.push(infra),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} scenario fuzz cases failed:\n{}",
+        failures.len(),
+        ids.len(),
+        failures.join("\n")
+    );
+}

@@ -134,6 +134,56 @@ fn server_grid_is_bit_identical_to_in_process_run_grid() {
 }
 
 #[test]
+fn scenario_cell_over_the_wire_is_bit_identical_to_in_process() {
+    use ccs_scenario::Scenario;
+
+    // A gallery scenario, evaluated in-process as ground truth.
+    let entry = ccs_scenario::gallery::GALLERY
+        .iter()
+        .find(|e| e.name == "phase_shift")
+        .expect("gallery has phase_shift");
+    let scenario = Scenario::from_manifest(entry.text).expect("gallery manifest parses");
+    let id = scenario.register().expect("valid scenario registers");
+    let spec = CellSpec::for_scenario(
+        MachineConfig::micro05_baseline().with_layout(ClusterLayout::C4x2w),
+        id,
+        5,
+        LEN,
+        PolicyKind::Focused,
+        RunOptions::default().with_epochs(2),
+    );
+    let local = CheckpointRecord::from_result(&spec.run());
+    assert_eq!(local.status, "ok", "in-process scenario cell completes");
+    assert!(
+        local.key.starts_with("scn-phase_shift/"),
+        "scenario cells key on the scenario namespace: {}",
+        local.key
+    );
+
+    // The same cell over the wire: the daemon re-registers the manifest
+    // it decodes and must land on the same key and the same bits.
+    let (addr, handle) = start_server();
+    let mut client = Client::connect(&addr.to_string()).expect("connect");
+    let wire = WireCellSpec::from_cell(&spec).expect("scenario cell is wire-addressable");
+    assert_eq!(wire.bench, "scenario:phase_shift");
+    let record = client.submit_cell(&wire).expect("scenario cell over the wire");
+    assert_eq!(record.key, cell_key(&spec));
+    assert_eq!(record.key, local.key);
+    assert_eq!(record.status, local.status);
+    assert_eq!(record.cycles, local.cycles, "cycle count must match");
+    assert_eq!(record.cpi_bits, local.cpi_bits, "CPI bits must match");
+    assert_eq!(record.digest, local.digest, "schedule digest must match");
+
+    // Resubmission hits the result cache under the same key.
+    let again = client.submit_cell(&wire).expect("resubmit");
+    assert!(again.cached, "second submission is a cache hit");
+    assert_eq!(again.digest, record.digest);
+
+    client.drain().expect("drain");
+    handle.join().expect("clean exit");
+}
+
+#[test]
 fn backpressure_rejects_whole_submission_with_hint() {
     let server = Server::bind(ServeConfig {
         workers: 1,
